@@ -1,0 +1,623 @@
+//! Token-passing Viterbi beam search.
+
+use crate::acoustic::Frame;
+use crate::decoder::BeamConfig;
+use crate::lexicon::{Lexicon, WordId};
+use crate::lm::LanguageModel;
+use std::collections::HashMap;
+
+/// Log-probability of remaining in the current phone for another frame.
+const LOG_STAY: f64 = -0.5108256237659907; // ln 0.6
+/// Log-probability of advancing to the next phone.
+const LOG_ADVANCE: f64 = -0.916290731874155; // ln 0.4
+
+/// Sentinel for the root of the backtrace arena.
+const ROOT: u32 = u32::MAX;
+
+/// The outcome of decoding one utterance.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct DecodeResult {
+    /// Best-path word hypothesis.
+    pub words: Vec<WordId>,
+    /// Log score of the best path.
+    pub score: f64,
+    /// Log score of the best surviving competitor on a different
+    /// history, if the beam retained one. The gap to `score` drives the
+    /// confidence metric. May *exceed* `score`: the best answer must
+    /// have completed its final word, while a competitor may be
+    /// mid-word with a higher effective score — maximal ambiguity,
+    /// which the confidence model maps to a low confidence.
+    pub runner_up: Option<f64>,
+    /// Token expansions performed (the decoder's work counter, which the
+    /// engine converts to latency).
+    pub work: u64,
+    /// Number of emission frames consumed.
+    pub frames: usize,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Token {
+    word: WordId,
+    phone_idx: u16,
+    score: f64,
+    /// Per-phone share of the word's language-model cost. The full LM
+    /// cost of entering a word would land on its entry frame and throw
+    /// rare words out of any realistic beam; production decoders push
+    /// the weight across the word (WFST weight-pushing), which this
+    /// field implements: one share is charged at entry and one at every
+    /// phone advance within the word.
+    lm_per_phone: f64,
+    /// LM cost not yet charged (used to compare tokens fairly when
+    /// merging: a token that has paid less so far is not better).
+    pending_lm: f64,
+    hist: u32,
+}
+
+impl Token {
+    /// Score adjusted for LM cost not yet charged; the fair basis for
+    /// Viterbi merging and pruning.
+    fn effective_score(&self) -> f64 {
+        self.score + self.pending_lm
+    }
+}
+
+/// A beam-search decoder borrowing a lexicon and language model.
+#[derive(Debug, Clone, Copy)]
+pub struct Decoder<'a> {
+    lexicon: &'a Lexicon,
+    lm: &'a LanguageModel,
+}
+
+impl<'a> Decoder<'a> {
+    /// Create a decoder over the given lexicon and language model.
+    pub fn new(lexicon: &'a Lexicon, lm: &'a LanguageModel) -> Self {
+        Decoder { lexicon, lm }
+    }
+
+    /// Assemble the words to expand at a word boundary. Half the budget
+    /// goes to the language model's likely successors (plus top unigram
+    /// words); the other half to *acoustic fast-match* candidates — the
+    /// classic rapid-match idea: words whose first phone matches the
+    /// frame's best-scoring phones, ranked by a short emission lookahead
+    /// over their opening phones plus their language-model prior. The
+    /// fast match is what lets the decoder recover words the language
+    /// model would never propose; how many candidates survive is the
+    /// "network scope" pruning dimension of the paper's engine.
+    fn exit_candidates(
+        &self,
+        prev: Option<WordId>,
+        frames: &[Frame],
+        t: usize,
+        budget: usize,
+        work: &mut u64,
+    ) -> Vec<WordId> {
+        let lm_budget = budget / 2 + 1;
+        let mut out = self.lm.candidate_successors(prev, lm_budget);
+
+        // Top two phones by emission score at the entry frame.
+        let frame = &frames[t];
+        let mut ranked: Vec<usize> = (0..frame.len()).collect();
+        ranked.sort_by(|&a, &b| frame[b].partial_cmp(&frame[a]).expect("finite emission"));
+        let per_phone = (budget.saturating_sub(out.len())) / 2 + 1;
+
+        const LOOKAHEAD: usize = 4; // frames scanned by the fast match
+        for &p in ranked.iter().take(2) {
+            let bucket = self
+                .lexicon
+                .words_with_first_phone(crate::phone::Phone::new(p as u8));
+            // Rank the bucket by lookahead acoustic fit + LM prior.
+            let mut scored: Vec<(f64, WordId)> = bucket
+                .iter()
+                .map(|&w| {
+                    *work += 1;
+                    let pron = self.lexicon.word(w).pronunciation();
+                    let mut fit = self.lm.log_prob(prev, w);
+                    for k in 0..LOOKAHEAD {
+                        let Some(frame) = frames.get(t + k) else { break };
+                        // ~2 frames per phone: frame t+k aligns to phone k/2.
+                        let phone = pron[(k / 2).min(pron.len() - 1)];
+                        fit += f64::from(frame[phone.index()]);
+                    }
+                    (fit, w)
+                })
+                .collect();
+            scored.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite fit"));
+            for (_, w) in scored.into_iter().take(per_phone) {
+                if out.len() >= budget {
+                    return out;
+                }
+                if !out.contains(&w) {
+                    out.push(w);
+                }
+            }
+        }
+        out.truncate(budget);
+        out
+    }
+
+    /// Decode emission frames under a pruning configuration.
+    pub fn decode(&self, frames: &[Frame], config: &BeamConfig) -> DecodeResult {
+        if frames.is_empty() {
+            return DecodeResult {
+                words: Vec::new(),
+                score: 0.0,
+                runner_up: None,
+                work: 0,
+                frames: 0,
+            };
+        }
+        let search = self.run_search(frames, config);
+        search.finalize_best(self, frames.len())
+    }
+
+    /// Decode and return the `n` best distinct word sequences the beam
+    /// retained, best first. The 1-best entry equals
+    /// [`Decoder::decode`]'s hypothesis; entries beyond what the beam
+    /// kept alive are simply absent (narrow beams may retain a single
+    /// hypothesis).
+    pub fn decode_nbest(
+        &self,
+        frames: &[Frame],
+        config: &BeamConfig,
+        n: usize,
+    ) -> Vec<Hypothesis> {
+        if frames.is_empty() || n == 0 {
+            return Vec::new();
+        }
+        let search = self.run_search(frames, config);
+        let mut ranked: Vec<&Token> = search.tokens.iter().collect();
+        ranked.sort_by(|a, b| {
+            b.effective_score()
+                .partial_cmp(&a.effective_score())
+                .expect("scores are finite")
+        });
+        let mut out: Vec<Hypothesis> = Vec::with_capacity(n);
+        for t in ranked {
+            let words = backtrace(&search.arena, t.hist);
+            if out.iter().any(|h| h.words == words) {
+                continue;
+            }
+            out.push(Hypothesis {
+                words,
+                score: t.effective_score(),
+            });
+            if out.len() == n {
+                break;
+            }
+        }
+        out
+    }
+
+    /// The main token-passing loop, shared by 1-best and n-best decode.
+    fn run_search(&self, frames: &[Frame], config: &BeamConfig) -> SearchState<'_> {
+        // Backtrace arena: (previous entry, word entered).
+        let mut arena: Vec<(u32, WordId)> = Vec::new();
+        let mut work: u64 = 0;
+
+        // Active tokens, unique per (word, phone_idx).
+        let mut tokens: Vec<Token> = Vec::new();
+        let mut index: HashMap<(u32, u16), usize> = HashMap::new();
+
+        // Frame 0: enter the candidate first words.
+        for w in self.exit_candidates(None, frames, 0, config.word_exit_candidates, &mut work) {
+            let pron = self.lexicon.word(w).pronunciation();
+            let total_lm =
+                config.lm_scale * self.lm.log_prob(None, w) + config.word_insertion_penalty;
+            let per = total_lm / pron.len() as f64;
+            let score = per + f64::from(frames[0][pron[0].index()]);
+            let hist = push(&mut arena, ROOT, w);
+            work += 1;
+            upsert(
+                &mut tokens,
+                &mut index,
+                Token {
+                    word: w,
+                    phone_idx: 0,
+                    score,
+                    lm_per_phone: per,
+                    pending_lm: total_lm - per,
+                    hist,
+                },
+            );
+        }
+        prune(&mut tokens, &mut index, config);
+
+        for fi in 1..frames.len() {
+            let frame = &frames[fi];
+            let best_prev = tokens
+                .iter()
+                .map(Token::effective_score)
+                .fold(f64::NEG_INFINITY, f64::max);
+            let mut next: Vec<Token> = Vec::with_capacity(tokens.len() * 2);
+            let mut next_index: HashMap<(u32, u16), usize> =
+                HashMap::with_capacity(tokens.len() * 2);
+            // Fast-match results are identical for every token leaving the
+            // same word at the same frame; memoize them (real decoders run
+            // the rapid match once per frame too).
+            let mut exit_cache: HashMap<u32, Vec<WordId>> = HashMap::new();
+
+            for t in &tokens {
+                let pron = self.lexicon.word(t.word).pronunciation();
+                let idx = t.phone_idx as usize;
+
+                // Stay in the current phone.
+                work += 1;
+                upsert(
+                    &mut next,
+                    &mut next_index,
+                    Token {
+                        score: t.score + LOG_STAY + f64::from(frame[pron[idx].index()]),
+                        ..*t
+                    },
+                );
+
+                // Advance to the next phone of the word, paying the next
+                // share of the pushed LM cost.
+                if idx + 1 < pron.len() {
+                    work += 1;
+                    upsert(
+                        &mut next,
+                        &mut next_index,
+                        Token {
+                            phone_idx: t.phone_idx + 1,
+                            score: t.score
+                                + t.lm_per_phone
+                                + LOG_ADVANCE
+                                + f64::from(frame[pron[idx + 1].index()]),
+                            pending_lm: t.pending_lm - t.lm_per_phone,
+                            ..*t
+                        },
+                    );
+                } else if t.effective_score() >= best_prev - config.word_end_beam {
+                    // Exit the word into candidate successors.
+                    let exits = match exit_cache.entry(t.word.0) {
+                        std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+                        std::collections::hash_map::Entry::Vacant(e) => e.insert(
+                            self.exit_candidates(
+                                Some(t.word),
+                                frames,
+                                fi,
+                                config.word_exit_candidates,
+                                &mut work,
+                            ),
+                        ),
+                    };
+                    for &w in exits.iter() {
+                        let next_pron = self.lexicon.word(w).pronunciation();
+                        let total_lm = config.lm_scale * self.lm.log_prob(Some(t.word), w)
+                            + config.word_insertion_penalty;
+                        let per = total_lm / next_pron.len() as f64;
+                        let score = t.score
+                            + LOG_ADVANCE
+                            + per
+                            + f64::from(frame[next_pron[0].index()]);
+                        let pending_lm = total_lm - per;
+                        work += 1;
+                        // Defer arena push until we know the token survives
+                        // the upsert (avoids unbounded arena growth).
+                        let key = (w.0, 0u16);
+                        match next_index.get(&key) {
+                            Some(&i) if next[i].effective_score() >= score + pending_lm => {}
+                            _ => {
+                                let hist = push(&mut arena, t.hist, w);
+                                upsert(
+                                    &mut next,
+                                    &mut next_index,
+                                    Token {
+                                        word: w,
+                                        phone_idx: 0,
+                                        score,
+                                        lm_per_phone: per,
+                                        pending_lm,
+                                        hist,
+                                    },
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+
+            tokens = next;
+            index = next_index;
+            prune(&mut tokens, &mut index, config);
+            if tokens.is_empty() {
+                break;
+            }
+        }
+
+        SearchState {
+            tokens,
+            arena,
+            work,
+            lexicon: self.lexicon,
+        }
+    }
+}
+
+/// A ranked alternative hypothesis from [`Decoder::decode_nbest`].
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Hypothesis {
+    /// Word sequence.
+    pub words: Vec<WordId>,
+    /// Effective log score.
+    pub score: f64,
+}
+
+/// The surviving beam at the final frame.
+struct SearchState<'a> {
+    tokens: Vec<Token>,
+    arena: Vec<(u32, WordId)>,
+    work: u64,
+    lexicon: &'a Lexicon,
+}
+
+impl SearchState<'_> {
+    /// Finalize: prefer tokens that completed their word's last phone.
+    fn finalize_best(&self, _decoder: &Decoder<'_>, frames: usize) -> DecodeResult {
+        let mut finalized: Vec<&Token> = self
+            .tokens
+            .iter()
+            .filter(|t| {
+                (t.phone_idx as usize) == self.lexicon.word(t.word).pronunciation().len() - 1
+            })
+            .collect();
+        if finalized.is_empty() {
+            finalized = self.tokens.iter().collect();
+        }
+        finalized.sort_by(|a, b| {
+            b.effective_score()
+                .partial_cmp(&a.effective_score())
+                .expect("scores are finite")
+        });
+
+        let Some(best) = finalized.first() else {
+            return DecodeResult {
+                words: Vec::new(),
+                score: f64::NEG_INFINITY,
+                runner_up: None,
+                work: self.work,
+                frames,
+            };
+        };
+        // The runner-up is the best surviving token on a *different*
+        // history — finalized or not (mid-word competitors still witness
+        // ambiguity, which is what the confidence metric needs).
+        let runner_up = self
+            .tokens
+            .iter()
+            .filter(|t| t.hist != best.hist)
+            .map(Token::effective_score)
+            .fold(None, |acc: Option<f64>, s| {
+                Some(acc.map_or(s, |a| a.max(s)))
+            });
+
+        DecodeResult {
+            words: backtrace(&self.arena, best.hist),
+            score: best.effective_score(),
+            runner_up,
+            work: self.work,
+            frames,
+        }
+    }
+}
+
+fn push(arena: &mut Vec<(u32, WordId)>, prev: u32, word: WordId) -> u32 {
+    arena.push((prev, word));
+    (arena.len() - 1) as u32
+}
+
+fn backtrace(arena: &[(u32, WordId)], mut hist: u32) -> Vec<WordId> {
+    let mut words = Vec::new();
+    while hist != ROOT {
+        let (prev, word) = arena[hist as usize];
+        words.push(word);
+        hist = prev;
+    }
+    words.reverse();
+    words
+}
+
+/// Insert a token, keeping only the best-scoring token per state
+/// (exact Viterbi merge: with a bigram LM the future depends only on the
+/// current word).
+fn upsert(tokens: &mut Vec<Token>, index: &mut HashMap<(u32, u16), usize>, token: Token) {
+    match index.entry((token.word.0, token.phone_idx)) {
+        std::collections::hash_map::Entry::Occupied(e) => {
+            let i = *e.get();
+            if tokens[i].effective_score() < token.effective_score() {
+                tokens[i] = token;
+            }
+        }
+        std::collections::hash_map::Entry::Vacant(e) => {
+            e.insert(tokens.len());
+            tokens.push(token);
+        }
+    }
+}
+
+/// Apply the local beam and global histogram pruning.
+fn prune(tokens: &mut Vec<Token>, index: &mut HashMap<(u32, u16), usize>, config: &BeamConfig) {
+    if tokens.is_empty() {
+        return;
+    }
+    let best = tokens
+        .iter()
+        .map(Token::effective_score)
+        .fold(f64::NEG_INFINITY, f64::max);
+    tokens.retain(|t| t.effective_score() >= best - config.beam);
+    if tokens.len() > config.max_active {
+        tokens.sort_by(|a, b| {
+            b.effective_score()
+                .partial_cmp(&a.effective_score())
+                .expect("scores are finite")
+        });
+        tokens.truncate(config.max_active);
+    }
+    index.clear();
+    for (i, t) in tokens.iter().enumerate() {
+        index.insert((t.word.0, t.phone_idx), i);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::acoustic::AcousticModel;
+    use crate::lexicon::Lexicon;
+    use tt_stats::Alignment;
+
+    struct Fixture {
+        lexicon: Lexicon,
+        lm: LanguageModel,
+        acoustic: AcousticModel,
+    }
+
+    fn fixture() -> Fixture {
+        Fixture {
+            lexicon: Lexicon::synthesize(300, 11),
+            lm: LanguageModel::synthesize(300, 12, 11),
+            acoustic: AcousticModel::default(),
+        }
+    }
+
+    fn wide() -> BeamConfig {
+        BeamConfig::new("wide", 16.0, 400, 40)
+    }
+
+    fn narrow() -> BeamConfig {
+        BeamConfig::new("narrow", 3.0, 12, 3)
+    }
+
+    #[test]
+    fn empty_frames_decode_to_nothing() {
+        let f = fixture();
+        let dec = Decoder::new(&f.lexicon, &f.lm);
+        let out = dec.decode(&[], &wide());
+        assert!(out.words.is_empty());
+        assert_eq!(out.work, 0);
+    }
+
+    #[test]
+    fn clean_audio_decodes_exactly_under_a_wide_beam() {
+        let f = fixture();
+        let dec = Decoder::new(&f.lexicon, &f.lm);
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(3);
+        let reference = f.lm.sample_sentence(&mut rng, 5);
+        let frames = f.acoustic.render(&f.lexicon, &reference, 0.05, 7);
+        let out = dec.decode(&frames, &wide());
+        assert_eq!(out.words, reference, "clean audio should decode exactly");
+    }
+
+    #[test]
+    fn wide_beam_does_more_work_than_narrow() {
+        let f = fixture();
+        let dec = Decoder::new(&f.lexicon, &f.lm);
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(5);
+        let reference = f.lm.sample_sentence(&mut rng, 6);
+        let frames = f.acoustic.render(&f.lexicon, &reference, 1.5, 21);
+        let narrow_out = dec.decode(&frames, &narrow());
+        let wide_out = dec.decode(&frames, &wide());
+        assert!(
+            wide_out.work > narrow_out.work * 2,
+            "wide {} vs narrow {}",
+            wide_out.work,
+            narrow_out.work
+        );
+    }
+
+    #[test]
+    fn wide_beam_is_no_worse_on_average() {
+        // Aggregate over several utterances: the wide beam's total word
+        // errors must not exceed the narrow beam's.
+        let f = fixture();
+        let dec = Decoder::new(&f.lexicon, &f.lm);
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(17);
+        let mut narrow_errors = 0usize;
+        let mut wide_errors = 0usize;
+        for i in 0..12 {
+            let reference = f.lm.sample_sentence(&mut rng, 6);
+            let frames = f.acoustic.render(&f.lexicon, &reference, 1.8, 100 + i);
+            narrow_errors += Alignment::align(&dec.decode(&frames, &narrow()).words, &reference)
+                .errors();
+            wide_errors +=
+                Alignment::align(&dec.decode(&frames, &wide()).words, &reference).errors();
+        }
+        assert!(
+            wide_errors <= narrow_errors,
+            "wide {wide_errors} vs narrow {narrow_errors}"
+        );
+        // And with this noise level the narrow beam must actually err
+        // somewhere, or the fixture is too easy to discriminate.
+        assert!(narrow_errors > 0, "fixture too easy");
+    }
+
+    #[test]
+    fn decoding_is_deterministic() {
+        let f = fixture();
+        let dec = Decoder::new(&f.lexicon, &f.lm);
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(9);
+        let reference = f.lm.sample_sentence(&mut rng, 5);
+        let frames = f.acoustic.render(&f.lexicon, &reference, 1.0, 33);
+        let a = dec.decode(&frames, &wide());
+        let b = dec.decode(&frames, &wide());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn nbest_is_ranked_distinct_and_headed_by_the_one_best() {
+        let f = fixture();
+        let dec = Decoder::new(&f.lexicon, &f.lm);
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(41);
+        let reference = f.lm.sample_sentence(&mut rng, 5);
+        let frames = f.acoustic.render(&f.lexicon, &reference, 1.8, 77);
+        let nbest = dec.decode_nbest(&frames, &wide(), 5);
+        assert!(!nbest.is_empty());
+        assert!(nbest.len() <= 5);
+        // Ranked by score, all sequences distinct.
+        for w in nbest.windows(2) {
+            assert!(w[0].score >= w[1].score);
+            assert_ne!(w[0].words, w[1].words);
+        }
+        // 1-best agrees with decode()'s hypothesis... except when a
+        // higher-scoring mid-word competitor survived; in that case the
+        // 1-best hypothesis must still appear in the list.
+        let one_best = dec.decode(&frames, &wide());
+        assert!(
+            nbest.iter().any(|h| h.words == one_best.words),
+            "decode()'s hypothesis missing from the n-best list"
+        );
+    }
+
+    #[test]
+    fn nbest_degenerate_inputs() {
+        let f = fixture();
+        let dec = Decoder::new(&f.lexicon, &f.lm);
+        assert!(dec.decode_nbest(&[], &wide(), 3).is_empty());
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(43);
+        let reference = f.lm.sample_sentence(&mut rng, 3);
+        let frames = f.acoustic.render(&f.lexicon, &reference, 1.0, 9);
+        assert!(dec.decode_nbest(&frames, &wide(), 0).is_empty());
+        assert_eq!(dec.decode_nbest(&frames, &wide(), 1).len(), 1);
+    }
+
+    #[test]
+    fn runner_up_is_finite_and_usually_close_to_best() {
+        let f = fixture();
+        let dec = Decoder::new(&f.lexicon, &f.lm);
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(29);
+        for i in 0..5 {
+            let reference = f.lm.sample_sentence(&mut rng, 4);
+            let frames = f.acoustic.render(&f.lexicon, &reference, 2.0, 200 + i);
+            let out = dec.decode(&frames, &wide());
+            let r = out.runner_up.expect("wide beams always retain competitors");
+            assert!(r.is_finite());
+            // The competitor may slightly exceed the finalized best (a
+            // mid-word token), but never by more than a word's worth of
+            // score.
+            assert!((out.score - r).abs() < 100.0, "margin blew up: {}", out.score - r);
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! Beam-search pruning configurations (the paper's service versions).
+
+/// Pruning parameters for one decoder configuration.
+///
+/// The paper's seven ASR service versions are points along the Pareto
+/// frontier of a six-parameter grid search; [`BeamConfig::paper_versions`]
+/// provides the equivalent ladder for this decoder.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct BeamConfig {
+    /// Human-readable version name (`"v1"`..`"v7"` for the paper ladder).
+    pub name: String,
+    /// Local pruning: drop tokens scoring below `best - beam`.
+    pub beam: f64,
+    /// Global pruning: keep at most this many tokens per frame.
+    pub max_active: usize,
+    /// Network pruning: successor words considered at a word exit.
+    pub word_exit_candidates: usize,
+    /// Tokens must score within this of the frame best to exit a word.
+    pub word_end_beam: f64,
+    /// Language-model scale factor.
+    pub lm_scale: f64,
+    /// Additive penalty per emitted word (discourages over-segmentation).
+    pub word_insertion_penalty: f64,
+}
+
+impl BeamConfig {
+    /// Create a configuration with the shared scoring defaults and the
+    /// three pruning knobs that differentiate versions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any pruning parameter is degenerate (non-positive beam,
+    /// zero tokens or candidates).
+    pub fn new(
+        name: impl Into<String>,
+        beam: f64,
+        max_active: usize,
+        word_exit_candidates: usize,
+    ) -> Self {
+        assert!(beam > 0.0, "beam must be positive");
+        assert!(max_active > 0, "max_active must be positive");
+        assert!(word_exit_candidates > 0, "word_exit_candidates must be positive");
+        BeamConfig {
+            name: name.into(),
+            beam,
+            max_active,
+            word_exit_candidates,
+            word_end_beam: beam * 0.75,
+            lm_scale: 2.0,
+            word_insertion_penalty: -1.0,
+        }
+    }
+
+    /// The seven-version ladder used throughout the reproduction,
+    /// ordered from fastest/least accurate (`v1`) to slowest/most
+    /// accurate (`v7`).
+    pub fn paper_versions() -> Vec<BeamConfig> {
+        vec![
+            BeamConfig::new("v1", 14.0, 48, 24),
+            BeamConfig::new("v2", 16.0, 64, 27),
+            BeamConfig::new("v3", 18.0, 84, 30),
+            BeamConfig::new("v4", 20.0, 112, 33),
+            BeamConfig::new("v5", 23.0, 150, 36),
+            BeamConfig::new("v6", 26.0, 205, 40),
+            BeamConfig::new("v7", 29.0, 280, 44),
+        ]
+    }
+}
+
+impl std::fmt::Display for BeamConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}(beam={}, max_active={}, cands={})",
+            self.name, self.beam, self.max_active, self.word_exit_candidates
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_is_monotone_in_every_knob() {
+        let versions = BeamConfig::paper_versions();
+        assert_eq!(versions.len(), 7);
+        for pair in versions.windows(2) {
+            assert!(pair[0].beam < pair[1].beam);
+            assert!(pair[0].max_active < pair[1].max_active);
+            assert!(pair[0].word_exit_candidates <= pair[1].word_exit_candidates);
+        }
+    }
+
+    #[test]
+    fn names_are_v1_through_v7() {
+        let names: Vec<String> = BeamConfig::paper_versions()
+            .into_iter()
+            .map(|c| c.name)
+            .collect();
+        assert_eq!(names, vec!["v1", "v2", "v3", "v4", "v5", "v6", "v7"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "beam must be positive")]
+    fn zero_beam_panics() {
+        let _ = BeamConfig::new("bad", 0.0, 10, 5);
+    }
+
+    #[test]
+    fn display_mentions_the_name() {
+        let c = BeamConfig::new("vX", 5.0, 10, 5);
+        assert!(c.to_string().contains("vX"));
+    }
+}

@@ -1,0 +1,210 @@
+//! The synthetic lexicon: pseudo-words with phone pronunciations.
+
+use crate::phone::{Phone, NUM_PHONES};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Identifier of a word in a [`Lexicon`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct WordId(pub u32);
+
+impl WordId {
+    /// Index into the lexicon's word table.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for WordId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "w{}", self.0)
+    }
+}
+
+/// A word: a spelled form plus its phone pronunciation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Word {
+    spelling: String,
+    pronunciation: Vec<Phone>,
+}
+
+impl Word {
+    /// The word's written form.
+    pub fn spelling(&self) -> &str {
+        &self.spelling
+    }
+
+    /// The word's phone sequence.
+    pub fn pronunciation(&self) -> &[Phone] {
+        &self.pronunciation
+    }
+}
+
+/// A seeded vocabulary of pseudo-words.
+///
+/// Pronunciations are 2–8 phones, generated with a bias towards nearby
+/// phones within a word (real syllables cluster articulation); the
+/// spelled form is derived from the pronunciation so it is stable and
+/// human-readable in transcripts.
+///
+/// ```
+/// use tt_asr::lexicon::Lexicon;
+///
+/// let lex = Lexicon::synthesize(100, 42);
+/// assert_eq!(lex.len(), 100);
+/// assert!(!lex.word(tt_asr::WordId(0)).spelling().is_empty());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Lexicon {
+    words: Vec<Word>,
+    /// Words grouped by first phone, each bucket in unigram-rank order
+    /// (word id order). The decoder uses this to expand acoustically
+    /// plausible words at word boundaries.
+    by_first_phone: Vec<Vec<WordId>>,
+}
+
+/// Syllable onsets used to render spellings.
+const ONSETS: [&str; 10] = ["k", "t", "r", "m", "s", "n", "b", "d", "g", "l"];
+/// Syllable nuclei used to render spellings.
+const NUCLEI: [&str; 4] = ["a", "e", "i", "o"];
+
+impl Lexicon {
+    /// Generate a vocabulary of `size` words from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size == 0`.
+    pub fn synthesize(size: usize, seed: u64) -> Self {
+        assert!(size > 0, "lexicon must contain at least one word");
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut words = Vec::with_capacity(size);
+        for _ in 0..size {
+            let len = rng.gen_range(2..=8usize);
+            let mut pron = Vec::with_capacity(len);
+            let mut current = rng.gen_range(0..NUM_PHONES as i32);
+            for _ in 0..len {
+                pron.push(Phone::new(current as u8));
+                // Drift to a nearby phone: articulation clusters.
+                let step = rng.gen_range(-6..=6i32);
+                current = (current + step).rem_euclid(NUM_PHONES as i32);
+            }
+            let spelling: String = pron
+                .iter()
+                .map(|p| {
+                    let idx = p.index();
+                    format!("{}{}", ONSETS[idx % ONSETS.len()], NUCLEI[idx % NUCLEI.len()])
+                })
+                .collect();
+            words.push(Word {
+                spelling,
+                pronunciation: pron,
+            });
+        }
+        let mut by_first_phone = vec![Vec::new(); NUM_PHONES];
+        for (i, w) in words.iter().enumerate() {
+            by_first_phone[w.pronunciation[0].index()].push(WordId(i as u32));
+        }
+        Lexicon {
+            words,
+            by_first_phone,
+        }
+    }
+
+    /// Words whose pronunciation starts with `phone`, in unigram-rank
+    /// (word id) order.
+    pub fn words_with_first_phone(&self, phone: Phone) -> &[WordId] {
+        &self.by_first_phone[phone.index()]
+    }
+
+    /// Number of words.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Whether the lexicon is empty (never true; construction rejects
+    /// zero-size vocabularies).
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Look up a word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn word(&self, id: WordId) -> &Word {
+        &self.words[id.index()]
+    }
+
+    /// Iterate over `(WordId, &Word)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (WordId, &Word)> {
+        self.words
+            .iter()
+            .enumerate()
+            .map(|(i, w)| (WordId(i as u32), w))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthesize_is_deterministic() {
+        let a = Lexicon::synthesize(50, 1);
+        let b = Lexicon::synthesize(50, 1);
+        let c = Lexicon::synthesize(50, 2);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn pronunciations_are_within_length_bounds() {
+        let lex = Lexicon::synthesize(500, 3);
+        for (_, w) in lex.iter() {
+            let len = w.pronunciation().len();
+            assert!((2..=8).contains(&len));
+        }
+    }
+
+    #[test]
+    fn spellings_are_nonempty_and_derived() {
+        let lex = Lexicon::synthesize(20, 9);
+        for (_, w) in lex.iter() {
+            assert!(!w.spelling().is_empty());
+            // One onset+nucleus pair (>= 2 chars) per phone.
+            assert!(w.spelling().len() >= 2 * w.pronunciation().len());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one word")]
+    fn zero_size_panics() {
+        let _ = Lexicon::synthesize(0, 1);
+    }
+
+    #[test]
+    fn first_phone_index_is_complete_and_ordered() {
+        let lex = Lexicon::synthesize(200, 5);
+        let mut total = 0usize;
+        for p in crate::phone::Phone::all() {
+            let bucket = lex.words_with_first_phone(p);
+            total += bucket.len();
+            for w in bucket {
+                assert_eq!(lex.word(*w).pronunciation()[0], p);
+            }
+            assert!(bucket.windows(2).all(|w| w[0] < w[1]), "bucket not rank-ordered");
+        }
+        assert_eq!(total, 200);
+    }
+
+    #[test]
+    fn iter_covers_all_ids() {
+        let lex = Lexicon::synthesize(10, 4);
+        let ids: Vec<u32> = lex.iter().map(|(id, _)| id.0).collect();
+        assert_eq!(ids, (0..10).collect::<Vec<u32>>());
+    }
+}

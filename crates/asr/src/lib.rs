@@ -1,0 +1,60 @@
+//! Automatic speech recognition substrate for the `toltiers` workspace.
+//!
+//! The Tolerance Tiers paper characterizes a production-grade ASR engine:
+//! a hidden-Markov-model decoder whose heuristic beam search trades
+//! accuracy for latency through its pruning parameters. That engine is
+//! proprietary, so this crate builds the same *kind* of system from
+//! scratch, end to end:
+//!
+//! * [`phone`] — a 40-phone synthetic phone set with a confusability
+//!   metric (acoustically close phones are easier to confuse).
+//! * [`lexicon`] — a seeded pseudo-word vocabulary with pronunciations.
+//! * [`lm`] — a bigram language model with Zipf unigram frequencies.
+//! * [`acoustic`] — utterance rendering: reference word sequences become
+//!   per-frame phone-emission log-probability vectors corrupted by
+//!   speaker/environment noise.
+//! * [`corpus`] — a VoxForge-scale corpus generator (speakers, recording
+//!   environments, per-utterance difficulty).
+//! * [`decoder`] — a token-passing Viterbi beam-search decoder whose
+//!   pruning knobs (beam width, max active tokens, word-exit candidates)
+//!   reproduce the paper's seven service versions.
+//! * [`wer`] — word error rate via edit-distance alignment.
+//! * [`service`] — the assembled ASR engine: decode an utterance under a
+//!   beam configuration, producing hypothesis, WER, confidence and a
+//!   deterministic work-derived latency.
+//!
+//! The accuracy-latency trade-off is *emergent*: hard (noisy) utterances
+//! lose the true path under narrow beams and recover it under wide ones,
+//! exactly the structural property the paper's analysis depends on.
+//!
+//! # Examples
+//!
+//! ```
+//! use tt_asr::corpus::CorpusConfig;
+//! use tt_asr::decoder::BeamConfig;
+//! use tt_asr::service::AsrEngine;
+//!
+//! let engine = AsrEngine::synthesize(CorpusConfig::small().with_seed(7));
+//! let utt = &engine.corpus().utterances()[0];
+//! let out = engine.decode(utt, &BeamConfig::paper_versions()[6]);
+//! assert!(out.wer >= 0.0);
+//! assert!(out.confidence >= 0.0 && out.confidence <= 1.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod acoustic;
+pub mod corpus;
+pub mod decoder;
+pub mod lexicon;
+pub mod lm;
+pub mod phone;
+pub mod service;
+pub mod wer;
+
+pub use corpus::{Corpus, CorpusConfig, Utterance};
+pub use decoder::{BeamConfig, Decoder};
+pub use lexicon::{Lexicon, WordId};
+pub use phone::Phone;
+pub use service::{AsrEngine, DecodeOutcome};

@@ -1,0 +1,97 @@
+//! The synthetic phone set.
+//!
+//! Real acoustic confusions are structured: /b/ is confused with /p/ far
+//! more often than with /iy/. We reproduce that structure by arranging
+//! the phones on a circle and making acoustic distance (and therefore
+//! confusability) proportional to circular distance.
+
+/// Number of phones in the synthetic phone set.
+pub const NUM_PHONES: usize = 40;
+
+/// A phone (atomic speech sound) in the synthetic phone set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Phone(u8);
+
+impl Phone {
+    /// Construct from an index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= NUM_PHONES`.
+    pub fn new(index: u8) -> Self {
+        assert!(
+            (index as usize) < NUM_PHONES,
+            "phone index {index} out of range"
+        );
+        Phone(index)
+    }
+
+    /// The phone's index in `0..NUM_PHONES`.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Iterate over every phone.
+    pub fn all() -> impl Iterator<Item = Phone> {
+        (0..NUM_PHONES as u8).map(Phone)
+    }
+
+    /// Acoustic distance to another phone: circular distance on the
+    /// phone ring, in `0..=NUM_PHONES/2`. Distance 0 means identity;
+    /// small distances mean confusable phones.
+    pub fn distance(self, other: Phone) -> usize {
+        let d = (self.0 as i32 - other.0 as i32).unsigned_abs() as usize;
+        d.min(NUM_PHONES - d)
+    }
+}
+
+impl std::fmt::Display for Phone {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Two-letter pseudo-ARPABET labels: p0..p39 grouped by family.
+        write!(f, "p{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_is_symmetric_and_zero_on_identity() {
+        for a in Phone::all() {
+            assert_eq!(a.distance(a), 0);
+            for b in Phone::all() {
+                assert_eq!(a.distance(b), b.distance(a));
+            }
+        }
+    }
+
+    #[test]
+    fn distance_wraps_around_the_ring() {
+        let first = Phone::new(0);
+        let last = Phone::new((NUM_PHONES - 1) as u8);
+        assert_eq!(first.distance(last), 1);
+    }
+
+    #[test]
+    fn max_distance_is_half_ring() {
+        let a = Phone::new(0);
+        let b = Phone::new((NUM_PHONES / 2) as u8);
+        assert_eq!(a.distance(b), NUM_PHONES / 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        let _ = Phone::new(NUM_PHONES as u8);
+    }
+
+    #[test]
+    fn all_yields_every_phone_once() {
+        let v: Vec<Phone> = Phone::all().collect();
+        assert_eq!(v.len(), NUM_PHONES);
+        assert_eq!(v[0].index(), 0);
+        assert_eq!(v[NUM_PHONES - 1].index(), NUM_PHONES - 1);
+    }
+}

@@ -1,0 +1,193 @@
+//! Word error rate.
+//!
+//! WER is the ratio of word-level insertions, deletions and substitutions
+//! between hypothesis and reference to the reference word count. Corpus
+//! WER follows the standard convention of pooling error and word counts
+//! across utterances (not averaging per-utterance rates).
+
+use crate::lexicon::WordId;
+use tt_stats::Alignment;
+
+/// WER of a single utterance.
+///
+/// ```
+/// use tt_asr::wer::wer;
+/// use tt_asr::WordId;
+///
+/// let reference = [WordId(1), WordId(2), WordId(3)];
+/// let hypothesis = [WordId(1), WordId(9), WordId(3)];
+/// assert!((wer(&hypothesis, &reference) - 1.0 / 3.0).abs() < 1e-12);
+/// ```
+pub fn wer(hypothesis: &[WordId], reference: &[WordId]) -> f64 {
+    Alignment::align(hypothesis, reference).error_rate()
+}
+
+/// Word-level edit count between hypothesis and reference.
+pub fn word_errors(hypothesis: &[WordId], reference: &[WordId]) -> usize {
+    Alignment::align(hypothesis, reference).errors()
+}
+
+/// The composition of an utterance's word errors — the three edit
+/// categories the WER definition enumerates.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ErrorBreakdown {
+    /// Reference words replaced by different hypothesis words.
+    pub substitutions: usize,
+    /// Hypothesis words with no reference counterpart.
+    pub insertions: usize,
+    /// Reference words the hypothesis missed.
+    pub deletions: usize,
+}
+
+impl ErrorBreakdown {
+    /// Break down one utterance's errors.
+    pub fn of(hypothesis: &[WordId], reference: &[WordId]) -> Self {
+        let a = Alignment::align(hypothesis, reference);
+        ErrorBreakdown {
+            substitutions: a.substitutions(),
+            insertions: a.insertions(),
+            deletions: a.deletions(),
+        }
+    }
+
+    /// Total errors.
+    pub fn total(&self) -> usize {
+        self.substitutions + self.insertions + self.deletions
+    }
+
+    /// Accumulate another breakdown.
+    pub fn merge(&mut self, other: &ErrorBreakdown) {
+        self.substitutions += other.substitutions;
+        self.insertions += other.insertions;
+        self.deletions += other.deletions;
+    }
+}
+
+impl std::fmt::Display for ErrorBreakdown {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} sub, {} ins, {} del",
+            self.substitutions, self.insertions, self.deletions
+        )
+    }
+}
+
+/// Pools word errors across utterances to report corpus-level WER.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct WerAccumulator {
+    errors: usize,
+    reference_words: usize,
+    utterances: usize,
+}
+
+impl WerAccumulator {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        WerAccumulator::default()
+    }
+
+    /// Add one utterance's alignment.
+    pub fn add(&mut self, hypothesis: &[WordId], reference: &[WordId]) {
+        self.errors += word_errors(hypothesis, reference);
+        self.reference_words += reference.len();
+        self.utterances += 1;
+    }
+
+    /// Add pre-computed counts (used when decode outcomes are cached).
+    pub fn add_counts(&mut self, errors: usize, reference_words: usize) {
+        self.errors += errors;
+        self.reference_words += reference_words;
+        self.utterances += 1;
+    }
+
+    /// Pooled corpus WER; zero when nothing was accumulated.
+    pub fn rate(&self) -> f64 {
+        if self.reference_words == 0 {
+            0.0
+        } else {
+            self.errors as f64 / self.reference_words as f64
+        }
+    }
+
+    /// Total word errors.
+    pub fn errors(&self) -> usize {
+        self.errors
+    }
+
+    /// Total reference words.
+    pub fn reference_words(&self) -> usize {
+        self.reference_words
+    }
+
+    /// Utterances accumulated.
+    pub fn utterances(&self) -> usize {
+        self.utterances
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w(ids: &[u32]) -> Vec<WordId> {
+        ids.iter().map(|&i| WordId(i)).collect()
+    }
+
+    #[test]
+    fn perfect_hypothesis_has_zero_wer() {
+        assert_eq!(wer(&w(&[1, 2]), &w(&[1, 2])), 0.0);
+    }
+
+    #[test]
+    fn empty_hypothesis_is_all_deletions() {
+        assert_eq!(wer(&[], &w(&[1, 2, 3, 4])), 1.0);
+    }
+
+    #[test]
+    fn accumulator_pools_counts() {
+        let mut acc = WerAccumulator::new();
+        acc.add(&w(&[1, 2, 3]), &w(&[1, 2, 3])); // 0 errors / 3
+        acc.add(&w(&[9]), &w(&[1])); // 1 error / 1
+        assert_eq!(acc.errors(), 1);
+        assert_eq!(acc.reference_words(), 4);
+        assert_eq!(acc.utterances(), 2);
+        assert!((acc.rate() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accumulator_accepts_precomputed_counts() {
+        let mut acc = WerAccumulator::new();
+        acc.add_counts(2, 10);
+        assert!((acc.rate() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_accumulator_rates_zero() {
+        assert_eq!(WerAccumulator::new().rate(), 0.0);
+    }
+
+    #[test]
+    fn breakdown_matches_total_errors() {
+        let hyp = w(&[1, 9, 3, 7]);
+        let reference = w(&[1, 2, 3]);
+        let b = ErrorBreakdown::of(&hyp, &reference);
+        assert_eq!(b.total(), word_errors(&hyp, &reference));
+        assert_eq!(b.substitutions, 1);
+        assert_eq!(b.insertions, 1);
+        assert_eq!(b.deletions, 0);
+        assert!(b.to_string().contains("1 sub"));
+    }
+
+    #[test]
+    fn breakdown_merges_additively() {
+        let mut a = ErrorBreakdown::of(&w(&[9]), &w(&[1]));
+        let b = ErrorBreakdown::of(&[], &w(&[1, 2]));
+        a.merge(&b);
+        assert_eq!(a.substitutions, 1);
+        assert_eq!(a.deletions, 2);
+        assert_eq!(a.total(), 3);
+    }
+}

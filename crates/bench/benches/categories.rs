@@ -1,0 +1,20 @@
+//! Fig. 2 regeneration cost: per-request category analysis.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tt_core::category::categorize;
+use tt_vision::dataset::DatasetConfig;
+use tt_vision::Device;
+use tt_workloads::VisionWorkload;
+
+fn bench_categorize(c: &mut Criterion) {
+    let workload = VisionWorkload::build(
+        DatasetConfig::evaluation().with_images(5_000),
+        Device::Cpu,
+    );
+    c.bench_function("fig2_categorize_5000_requests", |b| {
+        b.iter(|| categorize(workload.matrix()))
+    });
+}
+
+criterion_group!(benches, bench_categorize);
+criterion_main!(benches);

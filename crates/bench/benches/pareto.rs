@@ -1,0 +1,23 @@
+//! Fig. 1 regeneration cost: profiling a corpus/dataset across every
+//! service version (the workload builders behind every experiment).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tt_asr::CorpusConfig;
+use tt_vision::dataset::DatasetConfig;
+use tt_vision::Device;
+use tt_workloads::{AsrWorkload, VisionWorkload};
+
+fn bench_workload_builds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig1_profiling");
+    group.sample_size(10);
+    group.bench_function("asr_60_utterances_x7_versions", |b| {
+        b.iter(|| AsrWorkload::build(CorpusConfig::small()))
+    });
+    group.bench_function("vision_300_images_x6_models", |b| {
+        b.iter(|| VisionWorkload::build(DatasetConfig::small(), Device::Cpu))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_workload_builds);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Fig. 5 regeneration cost: closed-form policy evaluation over a
+//! profile matrix, for every scheduling × termination flavour.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tt_core::policy::{Policy, Scheduling, Termination};
+use tt_vision::dataset::DatasetConfig;
+use tt_vision::Device;
+use tt_workloads::VisionWorkload;
+
+fn bench_policies(c: &mut Criterion) {
+    let workload = VisionWorkload::build(
+        DatasetConfig::evaluation().with_images(5_000),
+        Device::Cpu,
+    );
+    let matrix = workload.matrix();
+    let best = matrix.best_version().unwrap();
+
+    let mut group = c.benchmark_group("fig5_policy_eval_5000_requests");
+    let flavours = [
+        ("single", Policy::Single { version: best }),
+        (
+            "seq_et",
+            Policy::Cascade {
+                cheap: 0,
+                accurate: best,
+                threshold: 0.8,
+                scheduling: Scheduling::Sequential,
+                termination: Termination::EarlyTerminate,
+            },
+        ),
+        (
+            "conc_et",
+            Policy::Cascade {
+                cheap: 0,
+                accurate: best,
+                threshold: 0.8,
+                scheduling: Scheduling::Concurrent,
+                termination: Termination::EarlyTerminate,
+            },
+        ),
+        (
+            "conc_fo",
+            Policy::Cascade {
+                cheap: 0,
+                accurate: best,
+                threshold: 0.8,
+                scheduling: Scheduling::Concurrent,
+                termination: Termination::FinishOut,
+            },
+        ),
+    ];
+    for (name, policy) in flavours {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &policy, |b, p| {
+            b.iter(|| p.evaluate(matrix, None).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_policies);
+criterion_main!(benches);

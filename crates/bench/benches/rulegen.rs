@@ -1,0 +1,32 @@
+//! Fig. 7 regeneration cost: the bootstrapped routing-rule generator.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tt_core::objective::Objective;
+use tt_core::rulegen::RoutingRuleGenerator;
+use tt_vision::dataset::DatasetConfig;
+use tt_vision::Device;
+use tt_workloads::VisionWorkload;
+
+fn bench_rulegen(c: &mut Criterion) {
+    let workload = VisionWorkload::build(
+        DatasetConfig::evaluation().with_images(1_000),
+        Device::Cpu,
+    );
+    let matrix = workload.matrix();
+
+    let mut group = c.benchmark_group("fig7_rule_generation");
+    group.sample_size(10);
+    group.bench_function("bootstrap_all_candidates_1000_requests", |b| {
+        b.iter(|| RoutingRuleGenerator::with_defaults(matrix, 0.999, 3).unwrap())
+    });
+
+    let generator = RoutingRuleGenerator::with_defaults(matrix, 0.999, 3).unwrap();
+    let grid: Vec<f64> = (0..=100).map(|i| i as f64 / 1000.0).collect();
+    group.bench_function("generate_101_tier_grid", |b| {
+        b.iter(|| generator.generate(&grid, Objective::ResponseTime).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_rulegen);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Micro-benchmarks of the discrete-event kernel and the serving
+//! cluster (the substrate behind the serving-layer results).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tt_core::objective::Objective;
+use tt_core::request::ServiceRequest;
+use tt_core::rulegen::RoutingRuleGenerator;
+use tt_serve::cluster::{ClusterConfig, ClusterSim, PoolDevice};
+use tt_serve::frontend::TieredFrontend;
+use tt_serve::PricingCatalog;
+use tt_sim::{ArrivalProcess, EventQueue, ServiceNode, SimDuration, SimTime};
+use tt_vision::dataset::DatasetConfig;
+use tt_vision::Device;
+use tt_workloads::{RequestMix, VisionWorkload};
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue_schedule_pop_10k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..10_000u64 {
+                q.schedule(SimTime::from_micros((i * 7919) % 100_000), i);
+            }
+            let mut count = 0;
+            while q.pop().is_some() {
+                count += 1;
+            }
+            count
+        })
+    });
+}
+
+fn bench_node_admission(c: &mut Criterion) {
+    c.bench_function("service_node_admit_10k", |b| {
+        b.iter(|| {
+            let mut node = ServiceNode::new(8);
+            for i in 0..10_000u64 {
+                node.admit(
+                    SimTime::from_micros(i * 100),
+                    SimDuration::from_micros(750),
+                );
+            }
+            node.busy_time()
+        })
+    });
+}
+
+fn bench_cluster(c: &mut Criterion) {
+    let workload = VisionWorkload::build(
+        DatasetConfig::evaluation().with_images(1_000),
+        Device::Gpu,
+    );
+    let matrix = workload.matrix();
+    let generator = RoutingRuleGenerator::with_defaults(matrix, 0.99, 5).unwrap();
+    let frontend = TieredFrontend::new(vec![generator
+        .generate(&[0.0, 0.05, 0.10], Objective::ResponseTime)
+        .unwrap()]);
+    let mix = RequestMix::representative();
+    let n = 2_000;
+    let arrivals: Vec<(SimTime, ServiceRequest)> = ArrivalProcess::poisson(200.0, 3)
+        .unwrap()
+        .take(n)
+        .zip(mix.sample(n, matrix.requests(), 4))
+        .collect();
+
+    let mut group = c.benchmark_group("serving_cluster");
+    group.sample_size(10);
+    group.bench_function("poisson_2000_requests", |b| {
+        b.iter(|| {
+            let config = ClusterConfig {
+                slots_per_pool: 8,
+                devices: vec![PoolDevice::Gpu; matrix.versions()],
+                pricing: PricingCatalog::list_prices(),
+            };
+            ClusterSim::new(matrix, config).run(&frontend, &arrivals)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_event_queue, bench_node_admission, bench_cluster);
+criterion_main!(benches);

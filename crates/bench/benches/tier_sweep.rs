@@ -1,0 +1,30 @@
+//! Figs. 8/9 regeneration cost: the full tolerance-tier sweep on a
+//! CI-scale workload.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tt_core::objective::Objective;
+use tt_experiments::sweep::sweep_tiers;
+use tt_vision::dataset::DatasetConfig;
+use tt_vision::Device;
+use tt_workloads::VisionWorkload;
+
+fn bench_sweep(c: &mut Criterion) {
+    let workload = VisionWorkload::build(
+        DatasetConfig::evaluation().with_images(1_000),
+        Device::Gpu,
+    );
+    let matrix = workload.matrix();
+    let tolerances = [0.0, 0.01, 0.02, 0.05, 0.10];
+
+    let mut group = c.benchmark_group("fig8_fig9_tier_sweep");
+    group.sample_size(10);
+    for objective in [Objective::ResponseTime, Objective::Cost] {
+        group.bench_function(format!("sweep_{objective}"), |b| {
+            b.iter(|| sweep_tiers(matrix, &tolerances, objective, 8).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sweep);
+criterion_main!(benches);

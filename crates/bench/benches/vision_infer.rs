@@ -1,0 +1,27 @@
+//! Micro-benchmark: real forward passes through the inference engine
+//! for every zoo architecture (the compute behind the IC side of
+//! Fig. 1; wall-clock ratios should roughly track the FLOP ratios).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tt_vision::dataset::{Dataset, DatasetConfig};
+use tt_vision::zoo::{model_zoo, INPUT_SIZE};
+
+fn bench_forward(c: &mut Criterion) {
+    let dataset = Dataset::synthesize(DatasetConfig::small());
+    let input = dataset.images()[0].render(INPUT_SIZE);
+
+    let mut group = c.benchmark_group("forward_pass");
+    group.sample_size(10);
+    for profile in model_zoo() {
+        let network = profile.network();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(profile.name()),
+            &network,
+            |b, net| b.iter(|| net.forward(&input)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_forward);
+criterion_main!(benches);

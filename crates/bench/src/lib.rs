@@ -1,0 +1,1 @@
+//! Criterion benchmarks for the toltiers workspace (see benches/).

@@ -1,0 +1,206 @@
+//! Per-request accuracy-latency behaviour categories (paper §III-C).
+//!
+//! For each request, look at its quality error across the version
+//! ladder (fastest → most accurate) and classify how the result quality
+//! responds to spending more time:
+//!
+//! * **Unchanged** — every version produces the same quality. The
+//!   paper finds ≥74% (ASR) and ≥65% (IC) of requests here: the core
+//!   argument against "one size fits all".
+//! * **Improves** — quality only gets better (weakly monotone, with at
+//!   least one strict improvement).
+//! * **Degrades** — quality only gets worse.
+//! * **Varies** — non-monotone.
+
+use crate::profile::ProfileMatrix;
+
+/// How a request's result quality responds to more expensive versions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum Category {
+    /// Identical quality under every version.
+    Unchanged,
+    /// Monotonically improving quality.
+    Improves,
+    /// Monotonically degrading quality.
+    Degrades,
+    /// Non-monotone quality.
+    Varies,
+}
+
+impl Category {
+    /// All categories in presentation order.
+    pub fn all() -> impl Iterator<Item = Category> {
+        [
+            Category::Unchanged,
+            Category::Improves,
+            Category::Degrades,
+            Category::Varies,
+        ]
+        .into_iter()
+    }
+}
+
+impl std::fmt::Display for Category {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Category::Unchanged => write!(f, "unchanged"),
+            Category::Improves => write!(f, "improves"),
+            Category::Degrades => write!(f, "degrades"),
+            Category::Varies => write!(f, "varies"),
+        }
+    }
+}
+
+/// Classify one request's error ladder.
+///
+/// # Panics
+///
+/// Panics if `errors` is empty.
+pub fn classify(errors: &[f64]) -> Category {
+    assert!(!errors.is_empty(), "cannot classify an empty ladder");
+    let mut any_up = false;
+    let mut any_down = false;
+    for w in errors.windows(2) {
+        if w[1] > w[0] {
+            any_up = true;
+        }
+        if w[1] < w[0] {
+            any_down = true;
+        }
+    }
+    match (any_down, any_up) {
+        (false, false) => Category::Unchanged,
+        (true, false) => Category::Improves,
+        (false, true) => Category::Degrades,
+        (true, true) => Category::Varies,
+    }
+}
+
+/// Category shares over a whole profile matrix (paper Fig. 2e/2f).
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct CategoryBreakdown {
+    counts: [usize; 4],
+    total: usize,
+}
+
+impl CategoryBreakdown {
+    /// Requests in a category.
+    pub fn count(&self, c: Category) -> usize {
+        self.counts[index(c)]
+    }
+
+    /// Fraction of requests in a category.
+    pub fn fraction(&self, c: Category) -> f64 {
+        self.count(c) as f64 / self.total as f64
+    }
+
+    /// Total requests classified.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Request indices in a category of a given matrix (recomputed, not
+    /// cached — the breakdown only stores counts).
+    pub fn members(matrix: &ProfileMatrix, c: Category) -> Vec<usize> {
+        (0..matrix.requests())
+            .filter(|&r| classify_request(matrix, r) == c)
+            .collect()
+    }
+}
+
+impl std::fmt::Display for CategoryBreakdown {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unchanged {:.1}%, improves {:.1}%, degrades {:.1}%, varies {:.1}%",
+            self.fraction(Category::Unchanged) * 100.0,
+            self.fraction(Category::Improves) * 100.0,
+            self.fraction(Category::Degrades) * 100.0,
+            self.fraction(Category::Varies) * 100.0,
+        )
+    }
+}
+
+fn index(c: Category) -> usize {
+    match c {
+        Category::Unchanged => 0,
+        Category::Improves => 1,
+        Category::Degrades => 2,
+        Category::Varies => 3,
+    }
+}
+
+/// Classify one request of a matrix.
+pub fn classify_request(matrix: &ProfileMatrix, request: usize) -> Category {
+    let errors: Vec<f64> = matrix
+        .request_row(request)
+        .iter()
+        .map(|o| o.quality_err)
+        .collect();
+    classify(&errors)
+}
+
+/// Classify every request of a matrix.
+pub fn categorize(matrix: &ProfileMatrix) -> CategoryBreakdown {
+    let mut counts = [0usize; 4];
+    for r in 0..matrix.requests() {
+        counts[index(classify_request(matrix, r))] += 1;
+    }
+    CategoryBreakdown {
+        counts,
+        total: matrix.requests(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::test_support::toy_matrix;
+
+    #[test]
+    fn ladder_classification() {
+        assert_eq!(classify(&[0.2, 0.2, 0.2]), Category::Unchanged);
+        assert_eq!(classify(&[0.3, 0.2, 0.2]), Category::Improves);
+        assert_eq!(classify(&[0.2, 0.2, 0.3]), Category::Degrades);
+        assert_eq!(classify(&[0.2, 0.4, 0.1]), Category::Varies);
+        assert_eq!(classify(&[0.5]), Category::Unchanged);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty ladder")]
+    fn empty_ladder_panics() {
+        let _ = classify(&[]);
+    }
+
+    #[test]
+    fn breakdown_over_toy_matrix() {
+        // r0 unchanged(0,0), r1 improves(1,0), r2 unchanged(1,1), r3 unchanged(0,0)
+        let b = categorize(&toy_matrix());
+        assert_eq!(b.count(Category::Unchanged), 3);
+        assert_eq!(b.count(Category::Improves), 1);
+        assert_eq!(b.count(Category::Degrades), 0);
+        assert_eq!(b.count(Category::Varies), 0);
+        assert_eq!(b.total(), 4);
+        assert!((b.fraction(Category::Unchanged) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn members_match_counts() {
+        let m = toy_matrix();
+        let b = categorize(&m);
+        for c in Category::all() {
+            assert_eq!(CategoryBreakdown::members(&m, c).len(), b.count(c));
+        }
+        assert_eq!(CategoryBreakdown::members(&m, Category::Improves), vec![1]);
+    }
+
+    #[test]
+    fn display_lists_all_categories() {
+        let s = categorize(&toy_matrix()).to_string();
+        for c in Category::all() {
+            assert!(s.contains(&c.to_string()));
+        }
+    }
+}

@@ -1,0 +1,170 @@
+//! Workload drift detection.
+//!
+//! The routing-rule generator "assumes that the training data is
+//! representative of future client request traffic" (paper §IV-D). In
+//! production that assumption decays: speakers change, content shifts,
+//! new clients arrive. A [`DriftDetector`] watches the served quality
+//! of a deployed tier and raises when the recent window is
+//! statistically inconsistent with the training-time expectation — the
+//! signal to re-profile and regenerate routing rules.
+
+use crate::{CoreError, Result};
+use tt_stats::hypothesis::two_sample_z;
+
+/// What the detector concluded about the most recent window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum DriftVerdict {
+    /// Not enough observations yet.
+    Warmup,
+    /// The window is consistent with training.
+    Stable,
+    /// The window differs significantly — regenerate the rules.
+    Drifted {
+        /// The window's mean quality error.
+        window_err: f64,
+        /// Two-sided p-value of the comparison.
+        p_value: f64,
+    },
+}
+
+/// A rolling-window drift detector over per-request quality errors.
+///
+/// ```
+/// use tt_core::drift::{DriftDetector, DriftVerdict};
+///
+/// let training_errors = vec![0.1; 500];
+/// let mut det = DriftDetector::new(&training_errors, 100, 0.01).unwrap();
+/// for _ in 0..99 {
+///     assert_eq!(det.observe(0.1), DriftVerdict::Warmup);
+/// }
+/// assert_eq!(det.observe(0.1), DriftVerdict::Stable);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DriftDetector {
+    training: Vec<f64>,
+    window: Vec<f64>,
+    window_size: usize,
+    alpha: f64,
+    cursor: usize,
+    filled: bool,
+}
+
+impl DriftDetector {
+    /// Create a detector from training-time per-request quality errors.
+    ///
+    /// `alpha` is the two-sided significance level; pick it small
+    /// (0.001–0.01) — a deployed service evaluates many windows, and
+    /// every false alarm triggers an expensive re-profiling run.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if training has fewer than two observations,
+    /// the window is smaller than 2, or `alpha` is not in `(0, 1)`.
+    pub fn new(training_errors: &[f64], window_size: usize, alpha: f64) -> Result<Self> {
+        if training_errors.len() < 2 {
+            return Err(CoreError::Stats(tt_stats::StatsError::EmptySample));
+        }
+        if window_size < 2 {
+            return Err(CoreError::InvalidParameter { what: "window_size" });
+        }
+        if !(alpha > 0.0 && alpha < 1.0) {
+            return Err(CoreError::InvalidParameter { what: "alpha" });
+        }
+        Ok(DriftDetector {
+            training: training_errors.to_vec(),
+            window: vec![0.0; window_size],
+            window_size,
+            alpha,
+            cursor: 0,
+            filled: false,
+        })
+    }
+
+    /// Feed one served request's quality error; returns the verdict for
+    /// the current window.
+    pub fn observe(&mut self, quality_err: f64) -> DriftVerdict {
+        self.window[self.cursor] = quality_err;
+        self.cursor = (self.cursor + 1) % self.window_size;
+        if self.cursor == 0 {
+            self.filled = true;
+        }
+        if !self.filled {
+            return DriftVerdict::Warmup;
+        }
+        let test = two_sample_z(&self.window, &self.training)
+            .expect("both samples have >= 2 observations");
+        if test.significant_at(self.alpha) {
+            DriftVerdict::Drifted {
+                window_err: self.window.iter().sum::<f64>() / self.window.len() as f64,
+                p_value: test.p_value,
+            }
+        } else {
+            DriftVerdict::Stable
+        }
+    }
+
+    /// The rolling window size.
+    pub fn window_size(&self) -> usize {
+        self.window_size
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    fn noisy(rate: f64, n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        (0..n).map(|_| f64::from(rng.gen::<f64>() < rate)).collect()
+    }
+
+    #[test]
+    fn stable_traffic_stays_stable() {
+        let training = noisy(0.15, 2_000, 1);
+        let mut det = DriftDetector::new(&training, 200, 0.001).unwrap();
+        let mut verdicts = Vec::new();
+        for e in noisy(0.15, 1_000, 2) {
+            verdicts.push(det.observe(e));
+        }
+        let drifted = verdicts
+            .iter()
+            .filter(|v| matches!(v, DriftVerdict::Drifted { .. }))
+            .count();
+        assert_eq!(drifted, 0, "false alarms on stable traffic");
+    }
+
+    #[test]
+    fn a_real_shift_is_detected() {
+        let training = noisy(0.10, 2_000, 3);
+        let mut det = DriftDetector::new(&training, 200, 0.001).unwrap();
+        let mut detected = false;
+        for e in noisy(0.35, 600, 4) {
+            if let DriftVerdict::Drifted { window_err, .. } = det.observe(e) {
+                assert!(window_err > 0.2);
+                detected = true;
+                break;
+            }
+        }
+        assert!(detected, "a 10% -> 35% error shift must be detected");
+    }
+
+    #[test]
+    fn warmup_until_window_fills() {
+        let training = noisy(0.1, 100, 5);
+        let mut det = DriftDetector::new(&training, 50, 0.01).unwrap();
+        for i in 0..49 {
+            assert_eq!(det.observe(0.0), DriftVerdict::Warmup, "at {i}");
+        }
+        assert_ne!(det.observe(0.0), DriftVerdict::Warmup);
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert!(DriftDetector::new(&[0.1], 10, 0.01).is_err());
+        assert!(DriftDetector::new(&[0.1, 0.2], 1, 0.01).is_err());
+        assert!(DriftDetector::new(&[0.1, 0.2], 10, 0.0).is_err());
+        assert!(DriftDetector::new(&[0.1, 0.2], 10, 1.0).is_err());
+    }
+}

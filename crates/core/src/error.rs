@@ -1,0 +1,90 @@
+//! Error types for the Tolerance Tiers core.
+
+use std::fmt;
+
+/// Errors returned by the Tolerance Tiers core.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// A profile matrix was built with inconsistent dimensions.
+    MalformedProfile {
+        /// Explanation of the inconsistency.
+        detail: String,
+    },
+    /// A version index was out of range.
+    UnknownVersion {
+        /// The offending index.
+        index: usize,
+        /// How many versions exist.
+        versions: usize,
+    },
+    /// A tolerance, threshold or confidence was outside its domain.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        what: &'static str,
+    },
+    /// No candidate policy satisfied a tier's tolerance.
+    NoFeasiblePolicy {
+        /// The tolerance that could not be met.
+        tolerance: f64,
+    },
+    /// An underlying statistics operation failed.
+    Stats(tt_stats::StatsError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::MalformedProfile { detail } => {
+                write!(f, "malformed profile matrix: {detail}")
+            }
+            CoreError::UnknownVersion { index, versions } => {
+                write!(f, "version index {index} out of range (have {versions})")
+            }
+            CoreError::InvalidParameter { what } => {
+                write!(f, "parameter `{what}` is outside its valid domain")
+            }
+            CoreError::NoFeasiblePolicy { tolerance } => {
+                write!(f, "no candidate policy satisfies tolerance {tolerance}")
+            }
+            CoreError::Stats(e) => write!(f, "statistics error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Stats(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<tt_stats::StatsError> for CoreError {
+    fn from(e: tt_stats::StatsError) -> Self {
+        CoreError::Stats(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = CoreError::UnknownVersion {
+            index: 9,
+            versions: 7,
+        };
+        let s = e.to_string();
+        assert!(s.contains('9') && s.contains('7'));
+    }
+
+    #[test]
+    fn stats_errors_convert() {
+        let e: CoreError = tt_stats::StatsError::EmptySample.into();
+        assert!(matches!(e, CoreError::Stats(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,243 @@
+//! Cross-validated verification of tier accuracy guarantees.
+//!
+//! The paper validates Tolerance Tiers with 10-fold cross-validation:
+//! routing rules are generated from nine folds; the held-out fold then
+//! checks that every deployed tier's observed error degradation stays
+//! within its advertised tolerance. The headline result is *zero*
+//! violations across the whole tolerance sweep.
+
+use crate::objective::Objective;
+use crate::profile::ProfileMatrix;
+use crate::rulegen::RoutingRuleGenerator;
+use crate::Result;
+use tt_stats::KFold;
+
+/// One observed guarantee violation.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Violation {
+    /// Which fold produced it.
+    pub fold: usize,
+    /// The tier's advertised tolerance.
+    pub tolerance: f64,
+    /// The degradation actually observed on held-out data.
+    pub observed_degradation: f64,
+    /// The objective whose rules were being validated.
+    pub objective: Objective,
+}
+
+/// The outcome of a cross-validation run.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ViolationReport {
+    /// Number of (fold × tier × objective) checks performed.
+    pub checks: usize,
+    /// Every violation found (empty in a healthy deployment).
+    pub violations: Vec<Violation>,
+}
+
+impl ViolationReport {
+    /// Whether every guarantee held.
+    pub fn all_upheld(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Violations per check (the paper reports 0).
+    pub fn violation_rate(&self) -> f64 {
+        if self.checks == 0 {
+            0.0
+        } else {
+            self.violations.len() as f64 / self.checks as f64
+        }
+    }
+}
+
+impl std::fmt::Display for ViolationReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} checks, {} violations ({:.4}%)",
+            self.checks,
+            self.violations.len(),
+            self.violation_rate() * 100.0
+        )
+    }
+}
+
+/// K-fold cross-validation of routing-rule guarantees.
+#[derive(Debug, Clone, Copy)]
+pub struct CrossValidator {
+    folds: usize,
+    confidence: f64,
+    seed: u64,
+}
+
+impl CrossValidator {
+    /// The paper's setup: 10 folds, 99.9% confidence.
+    pub fn paper_setup(seed: u64) -> Self {
+        CrossValidator {
+            folds: 10,
+            confidence: 0.999,
+            seed,
+        }
+    }
+
+    /// Custom fold count and confidence.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `folds < 2` (propagated from the splitter at
+    /// validation time) — construction itself is infallible.
+    pub fn new(folds: usize, confidence: f64, seed: u64) -> Self {
+        CrossValidator {
+            folds,
+            confidence,
+            seed,
+        }
+    }
+
+    /// Validate: per fold, generate rules on the training split for
+    /// every tolerance × objective, then measure each tier's
+    /// degradation on the held-out split.
+    ///
+    /// # Errors
+    ///
+    /// Propagates splitter and generator errors.
+    pub fn validate(
+        &self,
+        matrix: &ProfileMatrix,
+        tolerances: &[f64],
+        objectives: &[Objective],
+    ) -> Result<ViolationReport> {
+        let folds = KFold::new(self.folds, self.seed)?.split(matrix.requests())?;
+        let mut checks = 0usize;
+        let mut violations = Vec::new();
+
+        for (fold_idx, fold) in folds.iter().enumerate() {
+            let train = matrix.subset(&fold.train)?;
+            let generator = RoutingRuleGenerator::with_defaults(
+                &train,
+                self.confidence,
+                self.seed.wrapping_add(fold_idx as u64),
+            )?;
+            let test = matrix.subset(&fold.test)?;
+            let baseline_err = test.version_error(generator.baseline_version(), None)?;
+
+            for &objective in objectives {
+                let rules = generator.generate(tolerances, objective)?;
+                for &(tolerance, policy) in rules.tiers() {
+                    let perf = policy.evaluate(&test, None)?;
+                    let degradation = if baseline_err == 0.0 {
+                        if perf.mean_err == 0.0 {
+                            0.0
+                        } else {
+                            f64::INFINITY
+                        }
+                    } else {
+                        (perf.mean_err - baseline_err) / baseline_err
+                    };
+                    checks += 1;
+                    if degradation > tolerance + 1e-9 {
+                        violations.push(Violation {
+                            fold: fold_idx,
+                            tolerance,
+                            observed_degradation: degradation,
+                            objective,
+                        });
+                    }
+                }
+            }
+        }
+        Ok(ViolationReport { checks, violations })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::{Observation, ProfileMatrixBuilder};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// A synthetic two-version matrix with discriminative confidence:
+    /// plenty of structure for cascades, large enough for 10 folds.
+    fn synthetic_matrix(n: usize, seed: u64) -> crate::profile::ProfileMatrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut b = ProfileMatrixBuilder::new(vec!["fast".into(), "accurate".into()]);
+        for _ in 0..n {
+            let hard: f64 = rng.gen();
+            let fast_wrong = hard > 0.7;
+            let acc_wrong = hard > 0.92;
+            b.push_request(vec![
+                Observation {
+                    quality_err: if fast_wrong { 1.0 } else { 0.0 },
+                    latency_us: 100 + rng.gen_range(0..20),
+                    cost: 1.0,
+                    confidence: if fast_wrong {
+                        0.2 + rng.gen::<f64>() * 0.4
+                    } else {
+                        0.7 + rng.gen::<f64>() * 0.3
+                    },
+                },
+                Observation {
+                    quality_err: if acc_wrong { 1.0 } else { 0.0 },
+                    latency_us: 400 + rng.gen_range(0..50),
+                    cost: 4.0,
+                    confidence: 0.9,
+                },
+            ]);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn validation_counts_checks() {
+        let m = synthetic_matrix(400, 1);
+        let report = CrossValidator::new(5, 0.99, 2)
+            .validate(&m, &[0.0, 0.05, 0.10], &[Objective::ResponseTime])
+            .unwrap();
+        assert_eq!(report.checks, 5 * 3);
+    }
+
+    #[test]
+    fn guarantees_hold_on_well_behaved_data() {
+        let m = synthetic_matrix(600, 3);
+        let report = CrossValidator::paper_setup(4)
+            .validate(
+                &m,
+                &[0.0, 0.02, 0.05, 0.10],
+                &[Objective::ResponseTime, Objective::Cost],
+            )
+            .unwrap();
+        assert!(
+            report.all_upheld(),
+            "unexpected violations: {:?}",
+            report.violations
+        );
+        assert_eq!(report.checks, 10 * 4 * 2);
+    }
+
+    #[test]
+    fn report_display_and_rate() {
+        let report = ViolationReport {
+            checks: 10,
+            violations: vec![Violation {
+                fold: 0,
+                tolerance: 0.01,
+                observed_degradation: 0.02,
+                objective: Objective::Cost,
+            }],
+        };
+        assert!(!report.all_upheld());
+        assert!((report.violation_rate() - 0.1).abs() < 1e-12);
+        assert!(report.to_string().contains("1 violations"));
+    }
+
+    #[test]
+    fn too_few_requests_for_folds_errors() {
+        let m = synthetic_matrix(5, 9);
+        assert!(CrossValidator::paper_setup(1)
+            .validate(&m, &[0.0], &[Objective::Cost])
+            .is_err());
+    }
+}

@@ -1,0 +1,64 @@
+//! Consumer optimization objectives.
+
+/// What a Tolerance Tier optimizes, subject to its accuracy tolerance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum Objective {
+    /// Minimize service response time (the paper's `response-time`
+    /// header value).
+    ResponseTime,
+    /// Minimize invocation cost (the paper's cost policy).
+    Cost,
+}
+
+impl Objective {
+    /// Both objectives, in presentation order.
+    pub fn all() -> impl Iterator<Item = Objective> {
+        [Objective::ResponseTime, Objective::Cost].into_iter()
+    }
+
+    /// Parse the annotation-header spelling used by the serving layer.
+    ///
+    /// # Errors
+    ///
+    /// Returns the unrecognized input on failure.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "response-time" | "latency" => Ok(Objective::ResponseTime),
+            "cost" => Ok(Objective::Cost),
+            other => Err(format!("unknown objective `{other}`")),
+        }
+    }
+}
+
+impl std::fmt::Display for Objective {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Objective::ResponseTime => write!(f, "response-time"),
+            Objective::Cost => write!(f, "cost"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trips_display() {
+        for obj in Objective::all() {
+            assert_eq!(Objective::parse(&obj.to_string()).unwrap(), obj);
+        }
+    }
+
+    #[test]
+    fn parse_accepts_aliases_and_case() {
+        assert_eq!(Objective::parse("LATENCY").unwrap(), Objective::ResponseTime);
+        assert_eq!(Objective::parse(" Cost ").unwrap(), Objective::Cost);
+    }
+
+    #[test]
+    fn parse_rejects_unknown() {
+        assert!(Objective::parse("speed").is_err());
+    }
+}

@@ -1,0 +1,577 @@
+//! Service-version ensembling policies (§IV-C of the paper).
+//!
+//! A policy decides how one or two service versions combine to answer a
+//! request. Cascades are parameterized along two orthogonal axes:
+//!
+//! * **Scheduling** — `Sequential` runs the cheap version first and the
+//!   accurate one only on low confidence; `Concurrent` launches both at
+//!   t = 0.
+//! * **Termination** — `EarlyTerminate` (ET) cancels work made
+//!   unnecessary by a confident cheap answer; `FinishOut` (FO) lets
+//!   every launched invocation run to completion (the paper: "In FO,
+//!   the IaaS cost for Conc is the same as Seq because both service
+//!   node versions will compute the results in either case").
+//!
+//! The cost/latency algebra per flavour, for cheap observation `c` and
+//! accurate observation `a`, confident := `c.confidence ≥ threshold`:
+//!
+//! | scheduling | termination | latency                        | cost                                  |
+//! |------------|-------------|--------------------------------|---------------------------------------|
+//! | Seq        | ET          | conf? c.lat : c.lat + a.lat    | conf? c.cost : c.cost + a.cost        |
+//! | Seq        | FO          | conf? c.lat : c.lat + a.lat    | c.cost + a.cost                       |
+//! | Conc       | ET          | conf? c.lat : max(c.lat,a.lat) | conf? c.cost + a.cost·min(1, c/a) : both |
+//! | Conc       | FO          | conf? c.lat : max(c.lat,a.lat) | c.cost + a.cost                       |
+
+use crate::profile::ProfileMatrix;
+use crate::{CoreError, Result};
+
+/// When the ensemble launches each version.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum Scheduling {
+    /// Launch the accurate version only after the cheap one disappoints.
+    Sequential,
+    /// Launch both versions at request arrival.
+    Concurrent,
+}
+
+/// Whether superfluous in-flight work is cancelled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum Termination {
+    /// Cancel the accurate version once a confident cheap answer lands.
+    EarlyTerminate,
+    /// Let every launched invocation finish.
+    FinishOut,
+}
+
+/// A routing policy for one tier.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum Policy {
+    /// Route every request to one version (the "one size fits all"
+    /// baseline when that version is the most accurate one).
+    Single {
+        /// Version index.
+        version: usize,
+    },
+    /// A two-version cascade.
+    Cascade {
+        /// The fast version consulted first.
+        cheap: usize,
+        /// The accurate version consulted when confidence is low.
+        accurate: usize,
+        /// Confidence threshold above which the cheap answer is final.
+        threshold: f64,
+        /// Scheduling axis.
+        scheduling: Scheduling,
+        /// Termination axis.
+        termination: Termination,
+    },
+    /// A three-version sequential chain with early termination — one of
+    /// the "more complex solutions including using more than two
+    /// versions" the paper evaluated (and found outperformed by the
+    /// simple policies; kept here as an ablation).
+    Chain3 {
+        /// First version consulted.
+        first: usize,
+        /// Second version, consulted when the first is unconfident.
+        second: usize,
+        /// Final version; always answers if reached.
+        third: usize,
+        /// Confidence threshold for accepting the first version.
+        threshold_first: f64,
+        /// Confidence threshold for accepting the second version.
+        threshold_second: f64,
+    },
+}
+
+/// What a policy produced for one request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct PolicyOutcome {
+    /// Quality error of the returned result.
+    pub quality_err: f64,
+    /// Response time in microseconds.
+    pub latency_us: u64,
+    /// Total invocation cost in dollars.
+    pub cost: f64,
+    /// Which version's answer was returned.
+    pub answered_by: usize,
+}
+
+impl Policy {
+    /// Validate the policy against a matrix's version count.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for out-of-range versions, a cascade onto
+    /// itself, or a threshold outside `[0, 1]`.
+    pub fn validate(&self, versions: usize) -> Result<()> {
+        match *self {
+            Policy::Single { version } => {
+                if version >= versions {
+                    return Err(CoreError::UnknownVersion {
+                        index: version,
+                        versions,
+                    });
+                }
+            }
+            Policy::Cascade {
+                cheap,
+                accurate,
+                threshold,
+                ..
+            } => {
+                for v in [cheap, accurate] {
+                    if v >= versions {
+                        return Err(CoreError::UnknownVersion { index: v, versions });
+                    }
+                }
+                if cheap == accurate {
+                    return Err(CoreError::InvalidParameter {
+                        what: "cascade versions",
+                    });
+                }
+                if !(0.0..=1.0).contains(&threshold) {
+                    return Err(CoreError::InvalidParameter { what: "threshold" });
+                }
+            }
+            Policy::Chain3 {
+                first,
+                second,
+                third,
+                threshold_first,
+                threshold_second,
+            } => {
+                for v in [first, second, third] {
+                    if v >= versions {
+                        return Err(CoreError::UnknownVersion { index: v, versions });
+                    }
+                }
+                if first == second || second == third || first == third {
+                    return Err(CoreError::InvalidParameter {
+                        what: "chain versions",
+                    });
+                }
+                for t in [threshold_first, threshold_second] {
+                    if !(0.0..=1.0).contains(&t) {
+                        return Err(CoreError::InvalidParameter { what: "threshold" });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Evaluate the policy on one profiled request.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the policy references versions outside the matrix
+    /// (call [`Policy::validate`] first at the trust boundary).
+    pub fn execute(&self, matrix: &ProfileMatrix, request: usize) -> PolicyOutcome {
+        match *self {
+            Policy::Single { version } => {
+                let o = matrix.get(request, version);
+                PolicyOutcome {
+                    quality_err: o.quality_err,
+                    latency_us: o.latency_us,
+                    cost: o.cost,
+                    answered_by: version,
+                }
+            }
+            Policy::Cascade {
+                cheap,
+                accurate,
+                threshold,
+                scheduling,
+                termination,
+            } => {
+                let c = matrix.get(request, cheap);
+                let a = matrix.get(request, accurate);
+                let confident = c.confidence >= threshold;
+
+                let latency_us = match (scheduling, confident) {
+                    (_, true) => c.latency_us,
+                    (Scheduling::Sequential, false) => c.latency_us + a.latency_us,
+                    (Scheduling::Concurrent, false) => c.latency_us.max(a.latency_us),
+                };
+
+                let cost = match (scheduling, termination, confident) {
+                    // Sequential + confident + ET: the accurate version
+                    // was never launched.
+                    (Scheduling::Sequential, Termination::EarlyTerminate, true) => c.cost,
+                    // A non-confident cascade always pays both in full.
+                    (Scheduling::Sequential, Termination::EarlyTerminate, false) => {
+                        c.cost + a.cost
+                    }
+                    // Concurrent + confident + ET: the accurate version ran
+                    // until the moment the cheap answer landed.
+                    (Scheduling::Concurrent, Termination::EarlyTerminate, true) => {
+                        let fraction =
+                            (c.latency_us as f64 / a.latency_us.max(1) as f64).min(1.0);
+                        c.cost + a.cost * fraction
+                    }
+                    (Scheduling::Concurrent, Termination::EarlyTerminate, false) => {
+                        c.cost + a.cost
+                    }
+                    // Finish-out always pays both in full.
+                    (_, Termination::FinishOut, _) => c.cost + a.cost,
+                };
+
+                let (quality_err, answered_by) = if confident {
+                    (c.quality_err, cheap)
+                } else {
+                    (a.quality_err, accurate)
+                };
+
+                PolicyOutcome {
+                    quality_err,
+                    latency_us,
+                    cost,
+                    answered_by,
+                }
+            }
+            Policy::Chain3 {
+                first,
+                second,
+                third,
+                threshold_first,
+                threshold_second,
+            } => {
+                // Sequential, early-terminating: each stage runs only if
+                // every earlier stage was unconfident.
+                let o1 = matrix.get(request, first);
+                if o1.confidence >= threshold_first {
+                    return PolicyOutcome {
+                        quality_err: o1.quality_err,
+                        latency_us: o1.latency_us,
+                        cost: o1.cost,
+                        answered_by: first,
+                    };
+                }
+                let o2 = matrix.get(request, second);
+                if o2.confidence >= threshold_second {
+                    return PolicyOutcome {
+                        quality_err: o2.quality_err,
+                        latency_us: o1.latency_us + o2.latency_us,
+                        cost: o1.cost + o2.cost,
+                        answered_by: second,
+                    };
+                }
+                let o3 = matrix.get(request, third);
+                PolicyOutcome {
+                    quality_err: o3.quality_err,
+                    latency_us: o1.latency_us + o2.latency_us + o3.latency_us,
+                    cost: o1.cost + o2.cost + o3.cost,
+                    answered_by: third,
+                }
+            }
+        }
+    }
+
+    /// Evaluate over all (or a subset of) requests and aggregate.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on an empty or out-of-range index set.
+    pub fn evaluate(
+        &self,
+        matrix: &ProfileMatrix,
+        indices: Option<&[usize]>,
+    ) -> Result<PolicyPerformance> {
+        self.validate(matrix.versions())?;
+        let all: Vec<usize>;
+        let idx: &[usize] = match indices {
+            Some(i) if i.is_empty() => {
+                return Err(CoreError::Stats(tt_stats::StatsError::EmptySample))
+            }
+            Some(i) => i,
+            None => {
+                all = (0..matrix.requests()).collect();
+                &all
+            }
+        };
+        let mut err = 0.0;
+        let mut lat = 0.0;
+        let mut cost = 0.0;
+        let mut cheap_answers = 0usize;
+        for &r in idx {
+            if r >= matrix.requests() {
+                return Err(CoreError::MalformedProfile {
+                    detail: format!("index {r} out of range"),
+                });
+            }
+            let o = self.execute(matrix, r);
+            err += o.quality_err;
+            lat += o.latency_us as f64;
+            cost += o.cost;
+            match self {
+                Policy::Cascade { cheap, .. } if o.answered_by == *cheap => cheap_answers += 1,
+                Policy::Chain3 { first, .. } if o.answered_by == *first => cheap_answers += 1,
+                _ => {}
+            }
+        }
+        let n = idx.len() as f64;
+        Ok(PolicyPerformance {
+            mean_err: err / n,
+            mean_latency_us: lat / n,
+            mean_cost: cost / n,
+            cheap_answer_fraction: cheap_answers as f64 / n,
+        })
+    }
+}
+
+impl std::fmt::Display for Policy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Policy::Single { version } => write!(f, "single(v{version})"),
+            Policy::Cascade {
+                cheap,
+                accurate,
+                threshold,
+                scheduling,
+                termination,
+            } => {
+                let sched = match scheduling {
+                    Scheduling::Sequential => "seq",
+                    Scheduling::Concurrent => "conc",
+                };
+                let term = match termination {
+                    Termination::EarlyTerminate => "et",
+                    Termination::FinishOut => "fo",
+                };
+                write!(f, "cascade(v{cheap}→v{accurate}, θ={threshold:.2}, {sched}+{term})")
+            }
+            Policy::Chain3 {
+                first,
+                second,
+                third,
+                threshold_first,
+                threshold_second,
+            } => write!(
+                f,
+                "chain(v{first}→v{second}→v{third}, θ={threshold_first:.2}/{threshold_second:.2})"
+            ),
+        }
+    }
+}
+
+/// Aggregate performance of a policy over a request set.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct PolicyPerformance {
+    /// Mean quality error.
+    pub mean_err: f64,
+    /// Mean response time in microseconds.
+    pub mean_latency_us: f64,
+    /// Mean invocation cost in dollars.
+    pub mean_cost: f64,
+    /// Fraction of requests answered by the cheap version (0 for
+    /// single-version policies).
+    pub cheap_answer_fraction: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::test_support::toy_matrix;
+
+    fn cascade(scheduling: Scheduling, termination: Termination) -> Policy {
+        Policy::Cascade {
+            cheap: 0,
+            accurate: 1,
+            threshold: 0.5,
+            scheduling,
+            termination,
+        }
+    }
+
+    #[test]
+    fn single_reproduces_version_stats() {
+        let m = toy_matrix();
+        let perf = Policy::Single { version: 1 }.evaluate(&m, None).unwrap();
+        assert_eq!(perf.mean_err, 0.25);
+        assert_eq!(perf.mean_latency_us, 400.0);
+        assert_eq!(perf.mean_cost, 4.0);
+        assert_eq!(perf.cheap_answer_fraction, 0.0);
+    }
+
+    #[test]
+    fn sequential_et_charges_only_cheap_when_confident() {
+        let m = toy_matrix();
+        // Request 0: conf 0.95 >= 0.5 -> cheap answers.
+        let o = cascade(Scheduling::Sequential, Termination::EarlyTerminate).execute(&m, 0);
+        assert_eq!(o.latency_us, 100);
+        assert_eq!(o.cost, 1.0);
+        assert_eq!(o.answered_by, 0);
+        // Request 1: conf 0.30 < 0.5 -> escalate.
+        let o = cascade(Scheduling::Sequential, Termination::EarlyTerminate).execute(&m, 1);
+        assert_eq!(o.latency_us, 500);
+        assert_eq!(o.cost, 5.0);
+        assert_eq!(o.quality_err, 0.0);
+        assert_eq!(o.answered_by, 1);
+    }
+
+    #[test]
+    fn finish_out_always_pays_both() {
+        let m = toy_matrix();
+        let o = cascade(Scheduling::Sequential, Termination::FinishOut).execute(&m, 0);
+        assert_eq!(o.cost, 5.0);
+        assert_eq!(o.latency_us, 100); // still answers fast
+        let o = cascade(Scheduling::Concurrent, Termination::FinishOut).execute(&m, 0);
+        assert_eq!(o.cost, 5.0);
+    }
+
+    #[test]
+    fn concurrent_latency_is_max_not_sum() {
+        let m = toy_matrix();
+        // Request 1 is unconfident.
+        let seq = cascade(Scheduling::Sequential, Termination::EarlyTerminate).execute(&m, 1);
+        let conc = cascade(Scheduling::Concurrent, Termination::EarlyTerminate).execute(&m, 1);
+        assert_eq!(seq.latency_us, 500);
+        assert_eq!(conc.latency_us, 400);
+    }
+
+    #[test]
+    fn concurrent_et_pays_partial_accurate_cost_when_confident() {
+        let m = toy_matrix();
+        // Request 0: confident at 100µs; accurate takes 400µs, so 1/4 of
+        // its cost accrues before cancellation.
+        let o = cascade(Scheduling::Concurrent, Termination::EarlyTerminate).execute(&m, 0);
+        assert!((o.cost - 2.0).abs() < 1e-12); // 1.0 + 4.0 * 0.25
+        assert_eq!(o.latency_us, 100);
+    }
+
+    #[test]
+    fn threshold_one_always_escalates_threshold_zero_never() {
+        let m = toy_matrix();
+        let never = Policy::Cascade {
+            cheap: 0,
+            accurate: 1,
+            threshold: 0.0,
+            scheduling: Scheduling::Sequential,
+            termination: Termination::EarlyTerminate,
+        };
+        let perf = never.evaluate(&m, None).unwrap();
+        assert_eq!(perf.cheap_answer_fraction, 1.0);
+        assert_eq!(perf.mean_err, 0.5); // cheap version's error
+
+        let always = Policy::Cascade {
+            cheap: 0,
+            accurate: 1,
+            threshold: 1.0,
+            scheduling: Scheduling::Sequential,
+            termination: Termination::EarlyTerminate,
+        };
+        let perf = always.evaluate(&m, None).unwrap();
+        assert_eq!(perf.cheap_answer_fraction, 0.0);
+        assert_eq!(perf.mean_err, 0.25); // accurate version's error
+    }
+
+    #[test]
+    fn cascade_with_discriminative_confidence_beats_both_singles() {
+        let m = toy_matrix();
+        // Threshold 0.5 separates the toy matrix's confident/unconfident
+        // requests perfectly.
+        let c = cascade(Scheduling::Sequential, Termination::EarlyTerminate)
+            .evaluate(&m, None)
+            .unwrap();
+        let fast = Policy::Single { version: 0 }.evaluate(&m, None).unwrap();
+        let acc = Policy::Single { version: 1 }.evaluate(&m, None).unwrap();
+        assert_eq!(c.mean_err, acc.mean_err); // no accuracy loss
+        assert!(c.mean_latency_us < acc.mean_latency_us);
+        assert!(c.mean_cost < acc.mean_cost);
+        assert!(c.mean_err < fast.mean_err);
+    }
+
+    #[test]
+    fn validate_catches_bad_policies() {
+        let m = toy_matrix();
+        assert!(Policy::Single { version: 5 }.validate(m.versions()).is_err());
+        assert!(Policy::Cascade {
+            cheap: 0,
+            accurate: 0,
+            threshold: 0.5,
+            scheduling: Scheduling::Sequential,
+            termination: Termination::FinishOut,
+        }
+        .validate(m.versions())
+        .is_err());
+        assert!(Policy::Cascade {
+            cheap: 0,
+            accurate: 1,
+            threshold: 1.5,
+            scheduling: Scheduling::Sequential,
+            termination: Termination::FinishOut,
+        }
+        .validate(m.versions())
+        .is_err());
+    }
+
+    fn chain() -> Policy {
+        Policy::Chain3 {
+            first: 0,
+            second: 1,
+            third: 0, // deliberately invalid in validate tests; fixed below
+            threshold_first: 0.5,
+            threshold_second: 0.5,
+        }
+    }
+
+    #[test]
+    fn chain_requires_distinct_versions() {
+        let m = toy_matrix();
+        assert!(chain().validate(m.versions()).is_err());
+    }
+
+    #[test]
+    fn chain_semantics_on_a_three_version_matrix() {
+        // Build a 3-version matrix by hand.
+        let mut b = crate::profile::ProfileMatrixBuilder::new(vec![
+            "a".into(),
+            "b".into(),
+            "c".into(),
+        ]);
+        let obs = |err: f64, lat: u64, conf: f64| Observation {
+            quality_err: err,
+            latency_us: lat,
+            cost: lat as f64,
+            confidence: conf,
+        };
+        // r0: first confident; r1: second confident; r2: falls through.
+        b.push_request(vec![obs(0.0, 10, 0.9), obs(0.0, 20, 0.9), obs(0.0, 40, 0.9)]);
+        b.push_request(vec![obs(1.0, 10, 0.1), obs(0.0, 20, 0.9), obs(0.0, 40, 0.9)]);
+        b.push_request(vec![obs(1.0, 10, 0.1), obs(1.0, 20, 0.1), obs(0.0, 40, 0.9)]);
+        let m = b.build().unwrap();
+        let p = Policy::Chain3 {
+            first: 0,
+            second: 1,
+            third: 2,
+            threshold_first: 0.5,
+            threshold_second: 0.5,
+        };
+        let o0 = p.execute(&m, 0);
+        assert_eq!((o0.latency_us, o0.answered_by), (10, 0));
+        let o1 = p.execute(&m, 1);
+        assert_eq!((o1.latency_us, o1.answered_by), (30, 1));
+        assert_eq!(o1.quality_err, 0.0);
+        let o2 = p.execute(&m, 2);
+        assert_eq!((o2.latency_us, o2.answered_by), (70, 2));
+        assert_eq!(o2.cost, 70.0);
+        // cheap_answer_fraction counts first-stage answers.
+        let perf = p.evaluate(&m, None).unwrap();
+        assert!((perf.cheap_answer_fraction - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    use crate::profile::Observation;
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Policy::Single { version: 2 }.to_string(), "single(v2)");
+        assert!(cascade(Scheduling::Concurrent, Termination::EarlyTerminate)
+            .to_string()
+            .contains("conc+et"));
+    }
+}

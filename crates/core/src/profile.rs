@@ -1,0 +1,411 @@
+//! The per-request profile matrix.
+//!
+//! Characterization (§III of the paper) and routing-rule generation
+//! (§IV) both need the same data: for every request and every service
+//! version, what quality, latency, cost and confidence the version
+//! produced. Substrates (`tt-asr`, `tt-vision`) decode/classify each
+//! request once per version to fill this matrix; policies are then
+//! evaluated over it closed-form — exactly what the paper's
+//! `toltiers.simulator.simulate` does.
+
+use crate::{CoreError, Result};
+
+/// One (request, version) observation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Observation {
+    /// Per-request quality error: WER for ASR (continuous ≥ 0), top-1
+    /// error for image classification (0 or 1). Lower is better.
+    pub quality_err: f64,
+    /// Service latency in microseconds.
+    pub latency_us: u64,
+    /// Cost of the invocation in dollars.
+    pub cost: f64,
+    /// The version's result confidence in `[0, 1]`.
+    pub confidence: f64,
+}
+
+impl Observation {
+    /// Whether every field is in its documented domain (finite,
+    /// non-negative error and cost, confidence in `[0, 1]`). The
+    /// builder enforces this at the trust boundary so the policy
+    /// algebra never sees NaN.
+    pub fn is_valid(&self) -> bool {
+        self.quality_err.is_finite()
+            && self.quality_err >= 0.0
+            && self.cost.is_finite()
+            && self.cost >= 0.0
+            && (0.0..=1.0).contains(&self.confidence)
+    }
+}
+
+/// Request × version observations for one service.
+///
+/// Versions are ordered fastest/least-accurate first (the ladder order
+/// of the substrate that produced them); [`ProfileMatrix::best_version`]
+/// identifies the most accurate one empirically.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ProfileMatrix {
+    version_names: Vec<String>,
+    requests: usize,
+    /// Row-major: `obs[request * versions + version]`.
+    obs: Vec<Observation>,
+}
+
+impl ProfileMatrix {
+    /// Number of versions.
+    pub fn versions(&self) -> usize {
+        self.version_names.len()
+    }
+
+    /// Version names in ladder order.
+    pub fn version_names(&self) -> &[String] {
+        &self.version_names
+    }
+
+    /// Number of profiled requests.
+    pub fn requests(&self) -> usize {
+        self.requests
+    }
+
+    /// The observation for `(request, version)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn get(&self, request: usize, version: usize) -> &Observation {
+        assert!(request < self.requests, "request {request} out of range");
+        assert!(
+            version < self.versions(),
+            "version {version} out of range"
+        );
+        &self.obs[request * self.versions() + version]
+    }
+
+    /// All observations of one request, in version order.
+    pub fn request_row(&self, request: usize) -> &[Observation] {
+        assert!(request < self.requests, "request {request} out of range");
+        let v = self.versions();
+        &self.obs[request * v..(request + 1) * v]
+    }
+
+    /// Mean quality error of a version over the given request indices
+    /// (all requests if `indices` is `None`).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an unknown version or empty index set.
+    pub fn version_error(&self, version: usize, indices: Option<&[usize]>) -> Result<f64> {
+        self.check_version(version)?;
+        self.mean_over(indices, |r| self.get(r, version).quality_err)
+    }
+
+    /// Mean latency (µs) of a version over the given request indices.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an unknown version or empty index set.
+    pub fn version_latency(&self, version: usize, indices: Option<&[usize]>) -> Result<f64> {
+        self.check_version(version)?;
+        self.mean_over(indices, |r| self.get(r, version).latency_us as f64)
+    }
+
+    /// Mean cost of a version over the given request indices.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an unknown version or empty index set.
+    pub fn version_cost(&self, version: usize, indices: Option<&[usize]>) -> Result<f64> {
+        self.check_version(version)?;
+        self.mean_over(indices, |r| self.get(r, version).cost)
+    }
+
+    /// The empirically most accurate version (ties resolve to the first).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the matrix is somehow empty (construction
+    /// prevents this).
+    pub fn best_version(&self) -> Result<usize> {
+        let mut best = 0usize;
+        let mut best_err = f64::INFINITY;
+        for v in 0..self.versions() {
+            let err = self.version_error(v, None)?;
+            if err < best_err {
+                best_err = err;
+                best = v;
+            }
+        }
+        Ok(best)
+    }
+
+    /// Restrict the matrix to a subset of requests (used by k-fold
+    /// validation). Indices may repeat (bootstrap resamples).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `indices` is empty or any index is out of
+    /// range.
+    pub fn subset(&self, indices: &[usize]) -> Result<ProfileMatrix> {
+        if indices.is_empty() {
+            return Err(CoreError::MalformedProfile {
+                detail: "subset of zero requests".into(),
+            });
+        }
+        let v = self.versions();
+        let mut obs = Vec::with_capacity(indices.len() * v);
+        for &r in indices {
+            if r >= self.requests {
+                return Err(CoreError::MalformedProfile {
+                    detail: format!("subset index {r} out of range"),
+                });
+            }
+            obs.extend_from_slice(self.request_row(r));
+        }
+        Ok(ProfileMatrix {
+            version_names: self.version_names.clone(),
+            requests: indices.len(),
+            obs,
+        })
+    }
+
+    fn check_version(&self, version: usize) -> Result<()> {
+        if version >= self.versions() {
+            return Err(CoreError::UnknownVersion {
+                index: version,
+                versions: self.versions(),
+            });
+        }
+        Ok(())
+    }
+
+    fn mean_over<F: Fn(usize) -> f64>(&self, indices: Option<&[usize]>, f: F) -> Result<f64> {
+        match indices {
+            None => {
+                Ok((0..self.requests).map(&f).sum::<f64>() / self.requests as f64)
+            }
+            Some(idx) => {
+                if idx.is_empty() {
+                    return Err(CoreError::Stats(tt_stats::StatsError::EmptySample));
+                }
+                for &r in idx {
+                    if r >= self.requests {
+                        return Err(CoreError::MalformedProfile {
+                            detail: format!("index {r} out of range"),
+                        });
+                    }
+                }
+                Ok(idx.iter().map(|&r| f(r)).sum::<f64>() / idx.len() as f64)
+            }
+        }
+    }
+}
+
+/// Incremental builder for [`ProfileMatrix`].
+#[derive(Debug, Clone)]
+pub struct ProfileMatrixBuilder {
+    version_names: Vec<String>,
+    obs: Vec<Observation>,
+    requests: usize,
+}
+
+impl ProfileMatrixBuilder {
+    /// Start a matrix over the named versions (ladder order).
+    pub fn new(version_names: Vec<String>) -> Self {
+        ProfileMatrixBuilder {
+            version_names,
+            obs: Vec::new(),
+            requests: 0,
+        }
+    }
+
+    /// Append one request's observations (must match the version count).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row.len()` differs from the version count or any
+    /// observation is invalid (NaN, negative error/cost, confidence
+    /// outside `[0, 1]`).
+    pub fn push_request(&mut self, row: Vec<Observation>) -> &mut Self {
+        assert_eq!(
+            row.len(),
+            self.version_names.len(),
+            "observation row does not cover every version"
+        );
+        assert!(
+            row.iter().all(Observation::is_valid),
+            "observation outside its documented domain: {row:?}"
+        );
+        self.obs.extend(row);
+        self.requests += 1;
+        self
+    }
+
+    /// Finalize the matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if no versions or no requests were provided.
+    pub fn build(self) -> Result<ProfileMatrix> {
+        if self.version_names.is_empty() {
+            return Err(CoreError::MalformedProfile {
+                detail: "no versions".into(),
+            });
+        }
+        if self.requests == 0 {
+            return Err(CoreError::MalformedProfile {
+                detail: "no requests".into(),
+            });
+        }
+        Ok(ProfileMatrix {
+            version_names: self.version_names,
+            requests: self.requests,
+            obs: self.obs,
+        })
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use super::*;
+
+    /// A small deterministic matrix: 2 versions, hand-written numbers.
+    ///
+    /// Request layout (err_fast, err_acc):
+    ///   r0: (0.0, 0.0) easy      conf_fast 0.95
+    ///   r1: (1.0, 0.0) improves  conf_fast 0.30
+    ///   r2: (1.0, 1.0) hopeless  conf_fast 0.20
+    ///   r3: (0.0, 0.0) easy      conf_fast 0.90
+    pub fn toy_matrix() -> ProfileMatrix {
+        let mut b = ProfileMatrixBuilder::new(vec!["fast".into(), "acc".into()]);
+        let rows = [
+            (0.0, 0.95, 0.0),
+            (1.0, 0.30, 0.0),
+            (1.0, 0.20, 1.0),
+            (0.0, 0.90, 0.0),
+        ];
+        for (err_fast, conf_fast, err_acc) in rows {
+            b.push_request(vec![
+                Observation {
+                    quality_err: err_fast,
+                    latency_us: 100,
+                    cost: 1.0,
+                    confidence: conf_fast,
+                },
+                Observation {
+                    quality_err: err_acc,
+                    latency_us: 400,
+                    cost: 4.0,
+                    confidence: 0.97,
+                },
+            ]);
+        }
+        b.build().unwrap()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::test_support::toy_matrix;
+    use super::*;
+
+    #[test]
+    fn builder_produces_consistent_matrix() {
+        let m = toy_matrix();
+        assert_eq!(m.versions(), 2);
+        assert_eq!(m.requests(), 4);
+        assert_eq!(m.get(1, 0).quality_err, 1.0);
+        assert_eq!(m.get(1, 1).quality_err, 0.0);
+    }
+
+    #[test]
+    fn version_statistics() {
+        let m = toy_matrix();
+        assert_eq!(m.version_error(0, None).unwrap(), 0.5);
+        assert_eq!(m.version_error(1, None).unwrap(), 0.25);
+        assert_eq!(m.version_latency(1, None).unwrap(), 400.0);
+        assert_eq!(m.version_cost(0, None).unwrap(), 1.0);
+        assert_eq!(m.best_version().unwrap(), 1);
+    }
+
+    #[test]
+    fn statistics_over_subset_indices() {
+        let m = toy_matrix();
+        assert_eq!(m.version_error(0, Some(&[0, 3])).unwrap(), 0.0);
+        assert_eq!(m.version_error(0, Some(&[1, 2])).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn subset_preserves_rows_and_allows_repeats() {
+        let m = toy_matrix();
+        let s = m.subset(&[1, 1, 2]).unwrap();
+        assert_eq!(s.requests(), 3);
+        assert_eq!(s.get(0, 0).quality_err, 1.0);
+        assert_eq!(s.get(2, 1).quality_err, 1.0);
+    }
+
+    #[test]
+    fn errors_on_bad_indices() {
+        let m = toy_matrix();
+        assert!(m.version_error(9, None).is_err());
+        assert!(m.version_error(0, Some(&[])).is_err());
+        assert!(m.subset(&[]).is_err());
+        assert!(m.subset(&[99]).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "does not cover every version")]
+    fn builder_rejects_ragged_rows() {
+        let mut b = ProfileMatrixBuilder::new(vec!["a".into(), "b".into()]);
+        b.push_request(vec![Observation {
+            quality_err: 0.0,
+            latency_us: 1,
+            cost: 0.0,
+            confidence: 1.0,
+        }]);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside its documented domain")]
+    fn builder_rejects_nan_confidence() {
+        let mut b = ProfileMatrixBuilder::new(vec!["a".into()]);
+        b.push_request(vec![Observation {
+            quality_err: 0.0,
+            latency_us: 1,
+            cost: 0.0,
+            confidence: f64::NAN,
+        }]);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside its documented domain")]
+    fn builder_rejects_negative_error() {
+        let mut b = ProfileMatrixBuilder::new(vec!["a".into()]);
+        b.push_request(vec![Observation {
+            quality_err: -0.5,
+            latency_us: 1,
+            cost: 0.0,
+            confidence: 0.5,
+        }]);
+    }
+
+    #[test]
+    fn observation_validity_rules() {
+        let ok = Observation {
+            quality_err: 0.3,
+            latency_us: 10,
+            cost: 0.01,
+            confidence: 0.8,
+        };
+        assert!(ok.is_valid());
+        assert!(!Observation { confidence: 1.5, ..ok }.is_valid());
+        assert!(!Observation { cost: f64::INFINITY, ..ok }.is_valid());
+    }
+
+    #[test]
+    fn build_rejects_empty() {
+        assert!(ProfileMatrixBuilder::new(vec![]).build().is_err());
+        assert!(ProfileMatrixBuilder::new(vec!["a".into()]).build().is_err());
+    }
+}

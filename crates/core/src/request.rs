@@ -1,0 +1,106 @@
+//! Consumer-facing request annotations.
+//!
+//! The paper's API consumers annotate each request with a `Tolerance`
+//! header (acceptable relative accuracy degradation) and an `Objective`
+//! header (what to optimize under that tolerance):
+//!
+//! ```text
+//! curl --header Tolerance: 0.01
+//!      --header Objective: response-time
+//!      --data-binary @input-file-name
+//!      -X POST http://cloud-service/compute
+//! ```
+
+use crate::objective::Objective;
+use crate::{CoreError, Result};
+
+/// An accuracy tolerance: the maximum acceptable *relative* quality
+/// degradation versus the most accurate tier, e.g. `0.01` = "at most 1%
+/// worse".
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Tolerance(f64);
+
+impl Tolerance {
+    /// Zero tolerance: the consumer wants the most accurate tier.
+    pub const ZERO: Tolerance = Tolerance(0.0);
+
+    /// Validate and wrap a tolerance value.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless `0 ≤ value` and `value` is finite.
+    /// (Tolerances above 1.0 are legal — "up to twice the error" — if
+    /// unusual.)
+    pub fn new(value: f64) -> Result<Self> {
+        if !value.is_finite() || value < 0.0 {
+            return Err(CoreError::InvalidParameter { what: "tolerance" });
+        }
+        Ok(Tolerance(value))
+    }
+
+    /// The wrapped value.
+    pub fn value(self) -> f64 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for Tolerance {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.1}%", self.0 * 100.0)
+    }
+}
+
+/// A service request as the Tolerance Tiers frontend sees it: an opaque
+/// payload reference plus the two annotation headers.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ServiceRequest {
+    /// Which profiled request this is (index into the service's
+    /// workload/profile matrix — the serving layer's handle to the
+    /// payload).
+    pub payload: usize,
+    /// The consumer's accuracy tolerance.
+    pub tolerance: Tolerance,
+    /// The consumer's optimization objective.
+    pub objective: Objective,
+}
+
+impl ServiceRequest {
+    /// Annotate a payload with tolerance and objective.
+    pub fn new(payload: usize, tolerance: Tolerance, objective: Objective) -> Self {
+        ServiceRequest {
+            payload,
+            tolerance,
+            objective,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tolerance_validates_domain() {
+        assert!(Tolerance::new(0.0).is_ok());
+        assert!(Tolerance::new(0.1).is_ok());
+        assert!(Tolerance::new(2.0).is_ok());
+        assert!(Tolerance::new(-0.1).is_err());
+        assert!(Tolerance::new(f64::NAN).is_err());
+        assert!(Tolerance::new(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn tolerance_displays_as_percentage() {
+        assert_eq!(Tolerance::new(0.01).unwrap().to_string(), "1.0%");
+    }
+
+    #[test]
+    fn request_carries_annotations() {
+        let r = ServiceRequest::new(7, Tolerance::new(0.05).unwrap(), Objective::Cost);
+        assert_eq!(r.payload, 7);
+        assert_eq!(r.objective, Objective::Cost);
+        assert_eq!(r.tolerance.value(), 0.05);
+    }
+}

@@ -1,0 +1,355 @@
+//! A learned per-request router — the "ML-based router" ablation.
+//!
+//! The paper reports evaluating "more complex solutions including ...
+//! a ML-based router; however the simple policies that we discuss here
+//! outperformed them". This module implements such a router so the
+//! comparison can be reproduced: the cheap version runs first and its
+//! confidence is bucketed by training-set quantiles; each bucket learns
+//! an *escalation target* (possibly "accept the cheap answer") chosen
+//! greedily to minimize the objective subject to a training-set
+//! degradation budget.
+//!
+//! Because the router fits per-bucket decisions to the training sample
+//! without the rule generator's worst-case bootstrap, it can overfit —
+//! its held-out degradation may exceed the budget, which is exactly the
+//! weakness that makes the bootstrapped cascade policies preferable.
+
+use crate::objective::Objective;
+use crate::policy::PolicyPerformance;
+use crate::profile::ProfileMatrix;
+use crate::{CoreError, Result};
+
+/// A trained confidence-bucket router.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct BucketRouter {
+    cheap: usize,
+    /// Ascending upper bounds of the confidence buckets (the last is
+    /// +∞, represented as `f64::INFINITY`).
+    bounds: Vec<f64>,
+    /// Escalation target per bucket; equal to `cheap` means the cheap
+    /// answer is accepted.
+    targets: Vec<usize>,
+}
+
+impl BucketRouter {
+    /// Train a router on (a subset of) a profile matrix.
+    ///
+    /// `tolerance` is the training-set relative degradation budget
+    /// versus the most accurate single version.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for invalid versions, empty buckets
+    /// configuration, or degenerate index sets.
+    pub fn train(
+        matrix: &ProfileMatrix,
+        cheap: usize,
+        tolerance: f64,
+        objective: Objective,
+        buckets: usize,
+        indices: Option<&[usize]>,
+    ) -> Result<Self> {
+        if cheap >= matrix.versions() {
+            return Err(CoreError::UnknownVersion {
+                index: cheap,
+                versions: matrix.versions(),
+            });
+        }
+        if buckets == 0 {
+            return Err(CoreError::InvalidParameter { what: "buckets" });
+        }
+        if !tolerance.is_finite() || tolerance < 0.0 {
+            return Err(CoreError::InvalidParameter { what: "tolerance" });
+        }
+        let all: Vec<usize>;
+        let idx: &[usize] = match indices {
+            Some(i) if i.is_empty() => {
+                return Err(CoreError::Stats(tt_stats::StatsError::EmptySample))
+            }
+            Some(i) => i,
+            None => {
+                all = (0..matrix.requests()).collect();
+                &all
+            }
+        };
+
+        // Quantile bucket bounds over cheap confidences.
+        let mut confs: Vec<f64> = idx
+            .iter()
+            .map(|&r| matrix.get(r, cheap).confidence)
+            .collect();
+        confs.sort_by(|a, b| a.partial_cmp(b).expect("confidences are finite"));
+        let mut bounds: Vec<f64> = (1..buckets)
+            .map(|b| confs[(b * confs.len() / buckets).min(confs.len() - 1)])
+            .collect();
+        bounds.push(f64::INFINITY);
+
+        // Bucket membership.
+        let bucket_of = |conf: f64, bounds: &[f64]| {
+            bounds
+                .iter()
+                .position(|&ub| conf < ub)
+                .unwrap_or(bounds.len() - 1)
+        };
+        let mut members: Vec<Vec<usize>> = vec![Vec::new(); buckets];
+        for &r in idx {
+            members[bucket_of(matrix.get(r, cheap).confidence, &bounds)].push(r);
+        }
+
+        // Baseline error and the degradation budget (in error units).
+        let baseline_version = matrix.best_version()?;
+        let baseline_err = matrix.version_error(baseline_version, Some(idx))?;
+        let budget = baseline_err * tolerance * idx.len() as f64;
+
+        // Per-bucket, per-target error sums and objective sums. Target
+        // == cheap means "accept the cheap answer" (no escalation).
+        let eval = |bucket: &[usize], target: usize| -> (f64, f64) {
+            let mut err = 0.0;
+            let mut obj = 0.0;
+            for &r in bucket {
+                let c = matrix.get(r, cheap);
+                if target == cheap {
+                    err += c.quality_err;
+                    obj += match objective {
+                        Objective::ResponseTime => c.latency_us as f64,
+                        Objective::Cost => c.cost,
+                    };
+                } else {
+                    let t = matrix.get(r, target);
+                    err += t.quality_err;
+                    obj += match objective {
+                        Objective::ResponseTime => (c.latency_us + t.latency_us) as f64,
+                        Objective::Cost => c.cost + t.cost,
+                    };
+                }
+            }
+            (err, obj)
+        };
+
+        // Start conservatively: every bucket escalates to the baseline.
+        let mut targets = vec![baseline_version; buckets];
+        let mut current: Vec<(f64, f64)> = members
+            .iter()
+            .map(|b| eval(b, baseline_version))
+            .collect();
+        let base_total_err: f64 = current.iter().map(|(e, _)| e).sum();
+
+        // Greedy: repeatedly take the (bucket, target) move with the
+        // best objective gain per unit of added error, while the
+        // training budget holds.
+        loop {
+            let spent: f64 = current.iter().map(|(e, _)| e).sum::<f64>() - base_total_err;
+            let mut best_move: Option<(usize, usize, (f64, f64), f64)> = None;
+            for b in 0..buckets {
+                for target in 0..matrix.versions() {
+                    if target == targets[b] {
+                        continue;
+                    }
+                    let cand = eval(&members[b], target);
+                    let d_err = cand.0 - current[b].0;
+                    let d_obj = cand.1 - current[b].1;
+                    if d_obj >= 0.0 || spent + d_err > budget + 1e-12 {
+                        continue;
+                    }
+                    let score = -d_obj / d_err.max(1e-12);
+                    if best_move
+                        .as_ref()
+                        .map(|&(_, _, _, s)| score > s)
+                        .unwrap_or(true)
+                    {
+                        best_move = Some((b, target, cand, score));
+                    }
+                }
+            }
+            match best_move {
+                Some((b, target, cand, _)) => {
+                    targets[b] = target;
+                    current[b] = cand;
+                }
+                None => break,
+            }
+        }
+
+        Ok(BucketRouter {
+            cheap,
+            bounds,
+            targets,
+        })
+    }
+
+    /// The cheap (probing) version.
+    pub fn cheap_version(&self) -> usize {
+        self.cheap
+    }
+
+    /// Number of confidence buckets.
+    pub fn buckets(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// The escalation target for a given cheap-version confidence.
+    pub fn target_for(&self, confidence: f64) -> usize {
+        let b = self
+            .bounds
+            .iter()
+            .position(|&ub| confidence < ub)
+            .unwrap_or(self.bounds.len() - 1);
+        self.targets[b]
+    }
+
+    /// Evaluate the router over (a subset of) a matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for out-of-range indices.
+    pub fn evaluate(
+        &self,
+        matrix: &ProfileMatrix,
+        indices: Option<&[usize]>,
+    ) -> Result<PolicyPerformance> {
+        let all: Vec<usize>;
+        let idx: &[usize] = match indices {
+            Some(i) if i.is_empty() => {
+                return Err(CoreError::Stats(tt_stats::StatsError::EmptySample))
+            }
+            Some(i) => i,
+            None => {
+                all = (0..matrix.requests()).collect();
+                &all
+            }
+        };
+        let mut err = 0.0;
+        let mut lat = 0.0;
+        let mut cost = 0.0;
+        let mut cheap_answers = 0usize;
+        for &r in idx {
+            if r >= matrix.requests() {
+                return Err(CoreError::MalformedProfile {
+                    detail: format!("index {r} out of range"),
+                });
+            }
+            let c = matrix.get(r, self.cheap);
+            let target = self.target_for(c.confidence);
+            if target == self.cheap {
+                err += c.quality_err;
+                lat += c.latency_us as f64;
+                cost += c.cost;
+                cheap_answers += 1;
+            } else {
+                let t = matrix.get(r, target);
+                err += t.quality_err;
+                lat += (c.latency_us + t.latency_us) as f64;
+                cost += c.cost + t.cost;
+            }
+        }
+        let n = idx.len() as f64;
+        Ok(PolicyPerformance {
+            mean_err: err / n,
+            mean_latency_us: lat / n,
+            mean_cost: cost / n,
+            cheap_answer_fraction: cheap_answers as f64 / n,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::{Observation, ProfileMatrixBuilder};
+    use rand::{Rng, SeedableRng};
+
+    fn matrix(n: usize, seed: u64) -> ProfileMatrix {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut b = ProfileMatrixBuilder::new(vec!["fast".into(), "acc".into()]);
+        for _ in 0..n {
+            let hard: f64 = rng.gen();
+            let fast_wrong = hard > 0.7;
+            b.push_request(vec![
+                Observation {
+                    quality_err: if fast_wrong { 1.0 } else { 0.0 },
+                    latency_us: 100,
+                    cost: 1.0,
+                    confidence: if fast_wrong {
+                        rng.gen::<f64>() * 0.6
+                    } else {
+                        0.4 + rng.gen::<f64>() * 0.6
+                    },
+                },
+                Observation {
+                    quality_err: if hard > 0.95 { 1.0 } else { 0.0 },
+                    latency_us: 400,
+                    cost: 4.0,
+                    confidence: 0.9,
+                },
+            ]);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn trained_router_respects_training_budget() {
+        let m = matrix(600, 1);
+        let baseline = m.version_error(1, None).unwrap();
+        for tol in [0.0, 0.05, 0.20] {
+            let router =
+                BucketRouter::train(&m, 0, tol, Objective::ResponseTime, 8, None).unwrap();
+            let perf = router.evaluate(&m, None).unwrap();
+            let deg = (perf.mean_err - baseline) / baseline;
+            assert!(deg <= tol + 1e-9, "tol {tol}: in-sample degradation {deg}");
+        }
+    }
+
+    #[test]
+    fn looser_budget_is_no_slower() {
+        let m = matrix(600, 2);
+        let lat = |tol: f64| {
+            BucketRouter::train(&m, 0, tol, Objective::ResponseTime, 8, None)
+                .unwrap()
+                .evaluate(&m, None)
+                .unwrap()
+                .mean_latency_us
+        };
+        assert!(lat(0.20) <= lat(0.05) + 1e-9);
+        assert!(lat(0.05) <= lat(0.0) + 1e-9);
+    }
+
+    #[test]
+    fn router_can_overfit_out_of_sample() {
+        // Train on one half, evaluate on the other: held-out degradation
+        // may exceed the budget (this is the router's documented
+        // weakness, not a bug). We only assert it *runs* and that the
+        // generalization gap is measurable.
+        let m = matrix(800, 3);
+        let train_idx: Vec<usize> = (0..400).collect();
+        let test_idx: Vec<usize> = (400..800).collect();
+        let router =
+            BucketRouter::train(&m, 0, 0.05, Objective::ResponseTime, 10, Some(&train_idx))
+                .unwrap();
+        let train_perf = router.evaluate(&m, Some(&train_idx)).unwrap();
+        let test_perf = router.evaluate(&m, Some(&test_idx)).unwrap();
+        assert!(train_perf.mean_err.is_finite());
+        assert!(test_perf.mean_err.is_finite());
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        let m = matrix(100, 4);
+        assert!(BucketRouter::train(&m, 9, 0.1, Objective::Cost, 4, None).is_err());
+        assert!(BucketRouter::train(&m, 0, 0.1, Objective::Cost, 0, None).is_err());
+        assert!(BucketRouter::train(&m, 0, -0.1, Objective::Cost, 4, None).is_err());
+        assert!(BucketRouter::train(&m, 0, 0.1, Objective::Cost, 4, Some(&[])).is_err());
+    }
+
+    #[test]
+    fn target_lookup_covers_the_whole_confidence_range() {
+        let m = matrix(300, 5);
+        let router = BucketRouter::train(&m, 0, 0.10, Objective::Cost, 6, None).unwrap();
+        for conf in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            let t = router.target_for(conf);
+            assert!(t < m.versions());
+        }
+        assert_eq!(router.buckets(), 6);
+        assert_eq!(router.cheap_version(), 0);
+    }
+}

@@ -1,0 +1,66 @@
+//! Tolerance tier definitions.
+
+use crate::objective::Objective;
+use crate::request::Tolerance;
+
+/// One tier a provider offers: an accuracy tolerance paired with the
+/// objective the tier optimizes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ToleranceTier {
+    /// Maximum relative accuracy degradation the tier may exhibit.
+    pub tolerance: Tolerance,
+    /// What the tier optimizes subject to that tolerance.
+    pub objective: Objective,
+}
+
+impl ToleranceTier {
+    /// Define a tier.
+    pub fn new(tolerance: Tolerance, objective: Objective) -> Self {
+        ToleranceTier {
+            tolerance,
+            objective,
+        }
+    }
+
+    /// The paper's evaluation grid: tolerances from 0 to 10% in 0.1%
+    /// steps, for one objective.
+    pub fn paper_grid(objective: Objective) -> Vec<ToleranceTier> {
+        (0..=100)
+            .map(|i| {
+                ToleranceTier::new(
+                    Tolerance::new(i as f64 / 1000.0).expect("grid values are valid"),
+                    objective,
+                )
+            })
+            .collect()
+    }
+}
+
+impl std::fmt::Display for ToleranceTier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "tier({} tolerance, optimize {})", self.tolerance, self.objective)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_grid_spans_zero_to_ten_percent() {
+        let grid = ToleranceTier::paper_grid(Objective::ResponseTime);
+        assert_eq!(grid.len(), 101);
+        assert_eq!(grid[0].tolerance.value(), 0.0);
+        assert!((grid[100].tolerance.value() - 0.10).abs() < 1e-12);
+        // 0.1% steps.
+        assert!((grid[1].tolerance.value() - 0.001).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_mentions_both_parts() {
+        let t = ToleranceTier::new(Tolerance::new(0.05).unwrap(), Objective::Cost);
+        let s = t.to_string();
+        assert!(s.contains("5.0%") && s.contains("cost"));
+    }
+}

@@ -1,0 +1,99 @@
+//! Design-choice ablation: what does each part of the candidate space
+//! buy?
+//!
+//! The routing-rule generator enumerates single versions plus
+//! two-version cascades over a dense threshold grid. This ablation
+//! re-runs the 5%-tolerance response-time tier under restricted and
+//! extended candidate sets:
+//!
+//! * `singles`      — single versions only (no ensembling): the paper's
+//!   "one size fits all per tier" strawman.
+//! * `coarse-θ`     — cascades with only {0.5, 0.9} thresholds.
+//! * `default`      — the full default set.
+//! * `+chains`      — default plus three-version chains.
+//!
+//! Expected (and measured) outcome: ensembling is where the win is;
+//! the dense threshold grid buys a further slice; chains add nothing —
+//! matching the paper's §IV-D conclusions.
+
+use tt_core::objective::Objective;
+use tt_core::policy::{Policy, Scheduling, Termination};
+use tt_core::rulegen::RoutingRuleGenerator;
+use tt_experiments::report::{ms, pct};
+use tt_experiments::sweep::policy_label;
+use tt_experiments::{ExperimentContext, Table};
+use tt_stats::TrialLimits;
+
+const TOLERANCE: f64 = 0.05;
+
+fn main() {
+    let ctx = ExperimentContext::from_args();
+    println!("== Ablation: candidate-space design choices (5% response-time tier) ==\n");
+
+    for (label, matrix) in ctx.deployments() {
+        println!("--- {label} ---");
+        let default = RoutingRuleGenerator::default_candidates(matrix).expect("valid matrix");
+        let singles: Vec<Policy> = default
+            .iter()
+            .copied()
+            .filter(|p| matches!(p, Policy::Single { .. }))
+            .collect();
+        let coarse: Vec<Policy> = default
+            .iter()
+            .copied()
+            .filter(|p| match p {
+                Policy::Single { .. } => true,
+                Policy::Cascade { threshold, .. } => *threshold == 0.5 || *threshold == 0.9,
+                Policy::Chain3 { .. } => false,
+            })
+            .collect();
+        let mut with_chains = default.clone();
+        with_chains
+            .extend(RoutingRuleGenerator::chain_candidates(matrix).expect("valid matrix"));
+
+        let mut table = Table::new(vec![
+            "candidate set",
+            "candidates",
+            "chosen policy",
+            "mean latency",
+            "latency cut",
+        ]);
+        let baseline_latency = {
+            let best = matrix.best_version().unwrap();
+            matrix.version_latency(best, None).unwrap()
+        };
+        for (name, candidates) in [
+            ("singles", singles),
+            ("coarse-θ", coarse),
+            ("default", default),
+            ("+chains", with_chains),
+        ] {
+            let generator = RoutingRuleGenerator::new(
+                matrix,
+                candidates.clone(),
+                0.999,
+                7,
+                TrialLimits::default(),
+            )
+            .expect("candidates are valid");
+            let rules = generator
+                .generate(&[TOLERANCE], Objective::ResponseTime)
+                .expect("tolerance is feasible");
+            let policy = rules.tiers()[0].1;
+            let perf = policy.evaluate(matrix, None).expect("valid policy");
+            table.row(vec![
+                name.into(),
+                candidates.len().to_string(),
+                policy_label(&policy, matrix),
+                ms(perf.mean_latency_us),
+                pct(1.0 - perf.mean_latency_us / baseline_latency),
+            ]);
+        }
+        table.print();
+        println!();
+    }
+
+    // Keep the unused variants referenced for the reader.
+    let _ = (Scheduling::Sequential, Termination::FinishOut);
+    println!("expected shape: ensembling >> singles; dense θ ≥ coarse θ; chains add ~nothing");
+}

@@ -1,0 +1,55 @@
+//! Supplementary analysis: how discriminative is each version's
+//! confidence signal?
+//!
+//! Not a numbered figure, but it quantifies the property the entire
+//! Tolerance Tiers mechanism rests on ("a general confidence metric
+//! that allows it to work with machine learning applications beyond
+//! neural networks"): the ROC-AUC of confidence against
+//! answer-is-no-worse-than-the-best-version, per version and service.
+
+use tt_experiments::{ExperimentContext, Table};
+use tt_stats::discrimination::roc_auc;
+
+fn main() {
+    let ctx = ExperimentContext::from_args();
+    println!("== Confidence discrimination (ROC-AUC vs. 'no worse than best version') ==\n");
+
+    for (label, matrix) in ctx.deployments() {
+        let best = matrix.best_version().expect("non-empty matrix");
+        println!("--- {label} ---");
+        let mut table = Table::new(vec!["version", "auc", "mean conf (good)", "mean conf (bad)"]);
+        for v in 0..matrix.versions() {
+            let mut scores = Vec::with_capacity(matrix.requests());
+            let mut labels = Vec::with_capacity(matrix.requests());
+            for r in 0..matrix.requests() {
+                let o = matrix.get(r, v);
+                scores.push(o.confidence);
+                labels.push(o.quality_err <= matrix.get(r, best).quality_err);
+            }
+            let auc = roc_auc(&scores, &labels);
+            let mean = |want: bool| {
+                let xs: Vec<f64> = scores
+                    .iter()
+                    .zip(&labels)
+                    .filter(|(_, &l)| l == want)
+                    .map(|(s, _)| *s)
+                    .collect();
+                if xs.is_empty() {
+                    f64::NAN
+                } else {
+                    xs.iter().sum::<f64>() / xs.len() as f64
+                }
+            };
+            table.row(vec![
+                matrix.version_names()[v].clone(),
+                auc.map(|a| format!("{a:.3}")).unwrap_or_else(|_| "n/a".into()),
+                format!("{:.3}", mean(true)),
+                format!("{:.3}", mean(false)),
+            ]);
+        }
+        table.print();
+        println!();
+    }
+
+    println!("AUC 0.5 = no signal; cascades profit in proportion to the cheap version's AUC.");
+}

@@ -1,0 +1,37 @@
+//! Diagnostic: dump bootstrapped candidate records for each deployment,
+//! sorted by worst-case latency, to inspect the feasibility spectrum.
+
+use tt_core::rulegen::RoutingRuleGenerator;
+use tt_experiments::ExperimentContext;
+
+fn main() {
+    let ctx = ExperimentContext::from_args();
+    for (label, matrix) in ctx.deployments() {
+        println!("--- {label} (baseline err per version) ---");
+        for v in 0..matrix.versions() {
+            println!(
+                "  {}: err={:.4} lat={:.1}ms cost={:.6}",
+                matrix.version_names()[v],
+                matrix.version_error(v, None).unwrap(),
+                matrix.version_latency(v, None).unwrap() / 1e3,
+                matrix.version_cost(v, None).unwrap(),
+            );
+        }
+        let gen = RoutingRuleGenerator::with_defaults(matrix, 0.999, 8).unwrap();
+        let mut records = gen.records().to_vec();
+        records.sort_by(|a, b| a.worst_latency_us.partial_cmp(&b.worst_latency_us).unwrap());
+        println!("  fastest 25 candidates by worst-case latency:");
+        for r in records.iter().take(25) {
+            println!(
+                "    {:<42} deg worst={:>8.4} mean={:>8.4}  lat={:>8.1}ms cost={:.6} trials={}",
+                r.policy.to_string(),
+                r.worst_err_degradation,
+                r.mean_err_degradation,
+                r.worst_latency_us / 1e3,
+                r.worst_cost,
+                r.trials
+            );
+        }
+        println!();
+    }
+}

@@ -1,0 +1,43 @@
+//! Diagnostic: degradation and confident-fraction vs. cascade threshold
+//! for the extreme cheap→accurate pair of each deployment.
+
+use tt_core::policy::{Policy, Scheduling, Termination};
+use tt_experiments::ExperimentContext;
+
+fn main() {
+    let ctx = ExperimentContext::from_args();
+    for (label, matrix) in ctx.deployments() {
+        let best = matrix.best_version().unwrap();
+        let cheap = 0usize;
+        let base_err = matrix.version_error(best, None).unwrap();
+        let base_lat = matrix.version_latency(best, None).unwrap();
+        println!(
+            "--- {label}: cascade v{}→v{} (baseline err {:.4}, lat {:.1}ms) ---",
+            cheap + 1,
+            best + 1,
+            base_err,
+            base_lat / 1e3
+        );
+        for i in 0..=20 {
+            let threshold = i as f64 / 20.0;
+            let p = Policy::Cascade {
+                cheap,
+                accurate: best,
+                threshold,
+                scheduling: Scheduling::Sequential,
+                termination: Termination::EarlyTerminate,
+            };
+            let perf = p.evaluate(matrix, None).unwrap();
+            let deg = (perf.mean_err - base_err) / base_err;
+            println!(
+                "  θ={threshold:.2}  cheap-answers={:>5.1}%  err={:.4}  deg={:>7.2}%  lat={:>7.1}ms ({:>5.1}% cut)",
+                perf.cheap_answer_fraction * 100.0,
+                perf.mean_err,
+                deg * 100.0,
+                perf.mean_latency_us / 1e3,
+                (1.0 - perf.mean_latency_us / base_lat) * 100.0
+            );
+        }
+        println!();
+    }
+}

@@ -1,0 +1,44 @@
+//! Fig. 1 / §III-A — the accuracy-latency Pareto frontier of the
+//! service versions.
+//!
+//! For the ASR engine (seven beam-search configurations, CPU) and the
+//! image-classification zoo (CPU and GPU), report each version's
+//! corpus-level error, mean latency and mean invocation cost.
+
+use tt_experiments::report::{cost_per_k, ms, pct};
+use tt_experiments::{ExperimentContext, Table};
+
+fn main() {
+    let ctx = ExperimentContext::from_args();
+    println!("== Fig. 1: service-version accuracy-latency trade-off ==\n");
+
+    for (label, matrix) in ctx.deployments() {
+        println!("--- {label} ---");
+        let mut table = Table::new(vec!["version", "error", "mean latency", "mean cost"]);
+        for v in 0..matrix.versions() {
+            table.row(vec![
+                matrix.version_names()[v].clone(),
+                pct(matrix.version_error(v, None).expect("valid version")),
+                ms(matrix.version_latency(v, None).expect("valid version")),
+                cost_per_k(matrix.version_cost(v, None).expect("valid version")),
+            ]);
+        }
+        table.print();
+
+        let first_err = matrix.version_error(0, None).unwrap();
+        let (best, worst_lat) = {
+            let best = matrix.best_version().unwrap();
+            (best, matrix.version_latency(best, None).unwrap())
+        };
+        let best_err = matrix.version_error(best, None).unwrap();
+        let first_lat = matrix.version_latency(0, None).unwrap();
+        println!(
+            "latency spread {:.2}x buys {:.1}% relative error reduction\n",
+            worst_lat / first_lat,
+            (first_err - best_err) / first_err * 100.0
+        );
+    }
+
+    println!("paper reference: ASR 2.6x latency for >9% error reduction;");
+    println!("                 IC ~5x latency for >65% error reduction");
+}

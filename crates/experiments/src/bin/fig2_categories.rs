@@ -1,0 +1,48 @@
+//! Fig. 2 — per-request accuracy-latency behaviour categories.
+//!
+//! (a–d) example requests from each category; (e, f) the category
+//! breakdown. The paper finds ≥74% (ASR) and ≥65% (IC) of requests
+//! *unchanged* and >15% *improves* — the quantitative case against
+//! "one size fits all".
+
+use tt_core::category::{categorize, Category, CategoryBreakdown};
+use tt_experiments::report::pct;
+use tt_experiments::{ExperimentContext, Table};
+
+fn main() {
+    let ctx = ExperimentContext::from_args();
+    let show_examples = std::env::args().any(|a| a == "--examples");
+    println!("== Fig. 2: request behaviour categories ==\n");
+
+    for (label, matrix) in ctx.deployments() {
+        let breakdown = categorize(matrix);
+        println!("--- {label} ({} requests) ---", breakdown.total());
+        let mut table = Table::new(vec!["category", "requests", "share"]);
+        for c in Category::all() {
+            table.row(vec![
+                c.to_string(),
+                breakdown.count(c).to_string(),
+                pct(breakdown.fraction(c)),
+            ]);
+        }
+        table.print();
+        println!();
+
+        if show_examples {
+            println!("example error ladders (fastest → most accurate):");
+            for c in Category::all() {
+                if let Some(&r) = CategoryBreakdown::members(matrix, c).first() {
+                    let ladder: Vec<String> = matrix
+                        .request_row(r)
+                        .iter()
+                        .map(|o| format!("{:.2}", o.quality_err))
+                        .collect();
+                    println!("  {c:<10} request {r}: [{}]", ladder.join(", "));
+                }
+            }
+            println!();
+        }
+    }
+
+    println!("paper reference (Fig. 2e/2f): unchanged >74% (ASR) / >65% (IC), improves >15%");
+}

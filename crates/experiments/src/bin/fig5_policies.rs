@@ -1,0 +1,174 @@
+//! Fig. 5/6 (§IV-C) — ensembling policy comparison.
+//!
+//! For each deployment, compare the one-size-fits-all baseline against
+//! the cheap→accurate cascade under every scheduling × termination
+//! flavour at a fixed mid threshold: response time, invocation cost and
+//! error. The paper's observations to reproduce:
+//!
+//! * ET improves response time by >60% and costs ~50% less than OSFA;
+//! * under FO, concurrent and sequential cascades cost the same
+//!   (both versions always compute);
+//! * concurrent scheduling answers faster than sequential when the
+//!   cheap answer is not confident.
+//!
+//! `--ablation` additionally evaluates the three-version cascades and
+//! the oracle router the paper mentions evaluating (and rejecting).
+
+use tt_core::policy::{Policy, Scheduling, Termination};
+use tt_core::profile::ProfileMatrix;
+use tt_experiments::report::{cost_per_k, ms, pct};
+use tt_experiments::sweep::policy_label;
+use tt_experiments::{ExperimentContext, Table};
+
+// The ablation helpers at the bottom of this file reproduce §IV-D's
+// "we evaluated more complex solutions ... the simple policies
+// outperformed them".
+
+/// The fixed threshold used for the comparison (mid-dial).
+const THRESHOLD: f64 = 0.8;
+
+fn main() {
+    let ctx = ExperimentContext::from_args();
+    let ablation = std::env::args().any(|a| a == "--ablation");
+    println!("== Fig. 5/6: ensembling policy comparison (θ = {THRESHOLD}) ==\n");
+
+    for (label, matrix) in ctx.deployments() {
+        println!("--- {label} ---");
+        let best = matrix.best_version().expect("non-empty matrix");
+        let cheap = 0usize;
+
+        let mut policies: Vec<Policy> = vec![Policy::Single { version: best }];
+        for scheduling in [Scheduling::Sequential, Scheduling::Concurrent] {
+            for termination in [Termination::EarlyTerminate, Termination::FinishOut] {
+                policies.push(Policy::Cascade {
+                    cheap,
+                    accurate: best,
+                    threshold: THRESHOLD,
+                    scheduling,
+                    termination,
+                });
+            }
+        }
+
+        let baseline = policies[0].evaluate(matrix, None).expect("valid policy");
+        let mut table = Table::new(vec![
+            "policy",
+            "error",
+            "mean latency",
+            "latency cut",
+            "mean cost",
+            "cost cut",
+        ]);
+        for p in &policies {
+            let perf = p.evaluate(matrix, None).expect("valid policy");
+            table.row(vec![
+                policy_label(p, matrix),
+                pct(perf.mean_err),
+                ms(perf.mean_latency_us),
+                pct(1.0 - perf.mean_latency_us / baseline.mean_latency_us),
+                cost_per_k(perf.mean_cost),
+                pct(1.0 - perf.mean_cost / baseline.mean_cost),
+            ]);
+        }
+        table.print();
+
+        if ablation {
+            println!("\nablation: chains, learned router, oracle (paper: simple policies win)");
+            best_chain(matrix);
+            learned_router(matrix, best);
+            oracle_router(matrix, best);
+        }
+        println!();
+    }
+
+    println!("paper reference: ET >60% faster / ~50% cheaper than OSFA; Conc==Seq cost under FO");
+}
+
+/// The best three-version chain by mean latency with degradation under
+/// 10% — the paper's "more than two versions" ablation, now a
+/// first-class [`Policy::Chain3`].
+fn best_chain(matrix: &ProfileMatrix) {
+    let chains = tt_core::rulegen::RoutingRuleGenerator::chain_candidates(matrix)
+        .expect("chain enumeration succeeds");
+    if chains.is_empty() {
+        println!("  (ladder too short for a three-version chain)");
+        return;
+    }
+    let best_version = matrix.best_version().unwrap();
+    let base_err = matrix.version_error(best_version, None).unwrap();
+    let winner = chains
+        .iter()
+        .filter_map(|p| {
+            let perf = p.evaluate(matrix, None).ok()?;
+            let deg = (perf.mean_err - base_err) / base_err;
+            (deg <= 0.10).then_some((p, perf))
+        })
+        .min_by(|a, b| {
+            a.1.mean_latency_us
+                .partial_cmp(&b.1.mean_latency_us)
+                .expect("finite latencies")
+        });
+    match winner {
+        Some((p, perf)) => println!(
+            "  best {}:  err {} lat {} cost {}",
+            policy_label(p, matrix),
+            pct(perf.mean_err),
+            ms(perf.mean_latency_us),
+            cost_per_k(perf.mean_cost),
+        ),
+        None => println!("  (no chain stays within 10% degradation)"),
+    }
+}
+
+/// The learned confidence-bucket router, trained and evaluated on a
+/// train/test split to expose its generalization gap.
+fn learned_router(matrix: &ProfileMatrix, best: usize) {
+    let n = matrix.requests();
+    let train: Vec<usize> = (0..n / 2).collect();
+    let test: Vec<usize> = (n / 2..n).collect();
+    let router = tt_core::BucketRouter::train(
+        matrix,
+        0,
+        0.10,
+        tt_core::Objective::ResponseTime,
+        10,
+        Some(&train),
+    )
+    .expect("router training succeeds");
+    let perf = router.evaluate(matrix, Some(&test)).unwrap();
+    let base_err = matrix.version_error(best, Some(&test)).unwrap();
+    println!(
+        "  learned router (10% budget): err {} (held-out deg {}) lat {} cost {}",
+        pct(perf.mean_err),
+        pct((perf.mean_err - base_err) / base_err),
+        ms(perf.mean_latency_us),
+        cost_per_k(perf.mean_cost),
+    );
+}
+
+/// An oracle router that somehow knows, per request, the cheapest
+/// version matching the best version's quality — an upper bound no
+/// real router reaches (the paper's ML-based router underperformed the
+/// simple policies; this bounds what it could have won).
+fn oracle_router(matrix: &ProfileMatrix, best: usize) {
+    let mut err = 0.0;
+    let mut lat = 0.0;
+    let mut cost = 0.0;
+    for r in 0..matrix.requests() {
+        let target = matrix.get(r, best).quality_err;
+        let v = (0..matrix.versions())
+            .find(|&v| matrix.get(r, v).quality_err <= target)
+            .unwrap_or(best);
+        let o = matrix.get(r, v);
+        err += o.quality_err;
+        lat += o.latency_us as f64;
+        cost += o.cost;
+    }
+    let n = matrix.requests() as f64;
+    println!(
+        "  oracle per-request router:    err {} lat {} cost {}",
+        pct(err / n),
+        ms(lat / n),
+        cost_per_k(cost / n),
+    );
+}

@@ -1,0 +1,52 @@
+//! Fig. 8 — response-time Tolerance Tier sweep.
+//!
+//! For each deployment (ASR-CPU, IC-CPU, IC-GPU), generate routing
+//! rules at 99.9% confidence for tolerances 0→10% in 0.1% steps with
+//! the response-time objective, and report each tier's relative
+//! response-time reduction versus the one-size-fits-all baseline.
+//!
+//! Paper headline: 19% @ 1%, 45% @ 5%, 60% @ 10% tolerance.
+
+use tt_core::objective::Objective;
+use tt_experiments::report::{ms, pct};
+use tt_experiments::sweep::{paper_tolerances, point_at, policy_label, sweep_tiers};
+use tt_experiments::{ExperimentContext, Table};
+
+fn main() {
+    let ctx = ExperimentContext::from_args();
+    println!("== Fig. 8: response-time tier sweep (tolerance 0..10% step 0.1%) ==\n");
+
+    for (label, matrix) in ctx.deployments() {
+        let points = sweep_tiers(matrix, &paper_tolerances(), Objective::ResponseTime, 8)
+            .expect("sweep succeeds on well-formed workloads");
+
+        println!("--- {label} ---");
+        let mut table = Table::new(vec![
+            "tolerance",
+            "policy",
+            "mean latency",
+            "latency reduction",
+            "observed degradation",
+        ]);
+        for &t in &[0.0, 0.005, 0.01, 0.02, 0.03, 0.05, 0.07, 0.10] {
+            let p = point_at(&points, t).expect("grid covers these tolerances");
+            table.row(vec![
+                pct(p.tolerance),
+                policy_label(&p.policy, matrix),
+                ms(p.mean_latency_us),
+                pct(p.latency_reduction),
+                pct(p.degradation),
+            ]);
+        }
+        table.print();
+
+        println!("\nfull series (tolerance, latency_reduction):");
+        let series: Vec<String> = points
+            .iter()
+            .map(|p| format!("({:.3},{:.3})", p.tolerance, p.latency_reduction))
+            .collect();
+        println!("{}\n", series.join(" "));
+    }
+
+    println!("paper reference: 19% @1%, 45% @5%, 60% @10% (ASR)");
+}

@@ -1,0 +1,48 @@
+//! Fig. 9 — invocation-cost Tolerance Tier sweep.
+//!
+//! Same grid as Fig. 8 with the cost objective. Paper headline: 21% @
+//! 1%, 60% @ 5%, 70% @ 10% tolerance.
+
+use tt_core::objective::Objective;
+use tt_experiments::report::{cost_per_k, pct};
+use tt_experiments::sweep::{paper_tolerances, point_at, policy_label, sweep_tiers};
+use tt_experiments::{ExperimentContext, Table};
+
+fn main() {
+    let ctx = ExperimentContext::from_args();
+    println!("== Fig. 9: invocation-cost tier sweep (tolerance 0..10% step 0.1%) ==\n");
+
+    for (label, matrix) in ctx.deployments() {
+        let points = sweep_tiers(matrix, &paper_tolerances(), Objective::Cost, 9)
+            .expect("sweep succeeds on well-formed workloads");
+
+        println!("--- {label} ---");
+        let mut table = Table::new(vec![
+            "tolerance",
+            "policy",
+            "mean cost",
+            "cost reduction",
+            "observed degradation",
+        ]);
+        for &t in &[0.0, 0.005, 0.01, 0.02, 0.03, 0.05, 0.07, 0.10] {
+            let p = point_at(&points, t).expect("grid covers these tolerances");
+            table.row(vec![
+                pct(p.tolerance),
+                policy_label(&p.policy, matrix),
+                cost_per_k(p.mean_cost),
+                pct(p.cost_reduction),
+                pct(p.degradation),
+            ]);
+        }
+        table.print();
+
+        println!("\nfull series (tolerance, cost_reduction):");
+        let series: Vec<String> = points
+            .iter()
+            .map(|p| format!("({:.3},{:.3})", p.tolerance, p.cost_reduction))
+            .collect();
+        println!("{}\n", series.join(" "));
+    }
+
+    println!("paper reference: 21% @1%, 60% @5%, 70% @10%");
+}

@@ -1,0 +1,61 @@
+//! Extension study: what does model compression buy the tiers?
+//!
+//! The paper's prior-work section points at Deep-Compression-style
+//! quantization as a complementary technique. This study extends the
+//! IC version ladder with int8 variants (same architectures, ~2.5×
+//! effective throughput, ~1.5 points more top-1 error) and re-runs the
+//! response-time tier sweep: a richer Pareto frontier gives the
+//! routing-rule generator strictly more options, so every tier should
+//! be at least as fast.
+
+use tt_core::objective::Objective;
+use tt_experiments::context::Scale;
+use tt_experiments::report::{ms, pct};
+use tt_experiments::sweep::{point_at, policy_label, sweep_tiers};
+use tt_experiments::Table;
+use tt_vision::service::VisionService;
+use tt_vision::zoo::{extended_zoo, model_zoo};
+use tt_vision::Device;
+use tt_workloads::VisionWorkload;
+
+fn main() {
+    let scale = Scale::from_args();
+    println!("== Extension: quantized variants in the IC version ladder ==\n");
+
+    let base = VisionWorkload::from_service(
+        VisionService::with_zoo(scale.vision_config(), model_zoo()),
+        Device::Cpu,
+    );
+    let extended = VisionWorkload::from_service(
+        VisionService::with_zoo(scale.vision_config(), extended_zoo()),
+        Device::Cpu,
+    );
+
+    let tolerances = [0.0, 0.01, 0.02, 0.05, 0.10];
+    let mut table = Table::new(vec![
+        "tolerance",
+        "fp32-only policy",
+        "fp32 latency",
+        "+int8 policy",
+        "+int8 latency",
+    ]);
+    let base_points = sweep_tiers(base.matrix(), &tolerances, Objective::ResponseTime, 8)
+        .expect("sweep succeeds");
+    let ext_points = sweep_tiers(extended.matrix(), &tolerances, Objective::ResponseTime, 8)
+        .expect("sweep succeeds");
+    for &t in &tolerances {
+        let b = point_at(&base_points, t).expect("grid point");
+        let e = point_at(&ext_points, t).expect("grid point");
+        table.row(vec![
+            pct(t),
+            policy_label(&b.policy, base.matrix()),
+            ms(b.mean_latency_us),
+            policy_label(&e.policy, extended.matrix()),
+            ms(e.mean_latency_us),
+        ]);
+    }
+    table.print();
+
+    println!("\nexpected shape: the extended ladder's tiers are at least as fast,");
+    println!("with quantized models appearing as cascade stages.");
+}

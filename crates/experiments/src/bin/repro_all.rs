@@ -1,0 +1,130 @@
+//! One-shot reproduction report: runs every experiment in sequence over
+//! a single shared context and prints a compact paper-vs-measured
+//! summary at the end. The per-figure binaries provide the detailed
+//! output; this is the overview `EXPERIMENTS.md` is written from.
+
+use tt_core::category::{categorize, Category};
+use tt_core::guarantee::CrossValidator;
+use tt_core::objective::Objective;
+use tt_core::policy::{Policy, Scheduling, Termination};
+use tt_experiments::report::pct;
+use tt_experiments::sweep::{point_at, sweep_tiers};
+use tt_experiments::{ExperimentContext, Table};
+
+fn main() {
+    let ctx = ExperimentContext::from_args();
+    println!("== toltiers: one-shot reproduction report ({:?} scale) ==\n", ctx.scale);
+
+    let mut summary = Table::new(vec!["experiment", "deployment", "paper", "measured"]);
+
+    // §III-E / Fig. 1 claims.
+    for (label, matrix) in ctx.deployments() {
+        let best = matrix.best_version().unwrap();
+        let lat_ratio = matrix.version_latency(best, None).unwrap()
+            / matrix.version_latency(0, None).unwrap();
+        let err_red = {
+            let e0 = matrix.version_error(0, None).unwrap();
+            let eb = matrix.version_error(best, None).unwrap();
+            (e0 - eb) / e0
+        };
+        let paper = match label {
+            "ASR (CPU)" => "2.6x -> >9% err cut",
+            _ => "5x -> >65% err cut",
+        };
+        summary.row(vec![
+            "Fig1/Sec3 trade-off".into(),
+            label.into(),
+            paper.into(),
+            format!("{:.1}x -> {} err cut", lat_ratio, pct(err_red)),
+        ]);
+    }
+
+    // Fig. 2 categories.
+    for (label, matrix) in ctx.deployments() {
+        let b = categorize(matrix);
+        let paper = match label {
+            "ASR (CPU)" => ">74% unchanged, >15% improves",
+            _ => ">65% unchanged, >15% improves",
+        };
+        summary.row(vec![
+            "Fig2 categories".into(),
+            label.into(),
+            paper.into(),
+            format!(
+                "{} unchanged, {} improves, {} varies",
+                pct(b.fraction(Category::Unchanged)),
+                pct(b.fraction(Category::Improves)),
+                pct(b.fraction(Category::Varies)),
+            ),
+        ]);
+    }
+
+    // Fig. 5 policy comparison: ET vs OSFA on the extreme pair.
+    for (label, matrix) in ctx.deployments() {
+        let best = matrix.best_version().unwrap();
+        let osfa = Policy::Single { version: best }.evaluate(matrix, None).unwrap();
+        let et = Policy::Cascade {
+            cheap: 0,
+            accurate: best,
+            threshold: 0.8,
+            scheduling: Scheduling::Concurrent,
+            termination: Termination::EarlyTerminate,
+        }
+        .evaluate(matrix, None)
+        .unwrap();
+        summary.row(vec![
+            "Fig5 Conc+ET vs OSFA".into(),
+            label.into(),
+            ">60% faster, ~50% cheaper".into(),
+            format!(
+                "{} faster, {} cheaper",
+                pct(1.0 - et.mean_latency_us / osfa.mean_latency_us),
+                pct(1.0 - et.mean_cost / osfa.mean_cost)
+            ),
+        ]);
+    }
+
+    // Figs. 8/9 headline tiers.
+    let headline_tols = [0.01, 0.05, 0.10];
+    for (label, matrix) in ctx.deployments() {
+        let lat_points =
+            sweep_tiers(matrix, &headline_tols, Objective::ResponseTime, 8).unwrap();
+        let cost_points = sweep_tiers(matrix, &headline_tols, Objective::Cost, 9).unwrap();
+        let lat: Vec<String> = headline_tols
+            .iter()
+            .map(|&t| pct(point_at(&lat_points, t).unwrap().latency_reduction))
+            .collect();
+        let cost: Vec<String> = headline_tols
+            .iter()
+            .map(|&t| pct(point_at(&cost_points, t).unwrap().cost_reduction))
+            .collect();
+        summary.row(vec![
+            "Fig8 latency tiers @1/5/10%".into(),
+            label.into(),
+            "19% / 45% / 60%".into(),
+            lat.join(" / "),
+        ]);
+        summary.row(vec![
+            "Fig9 cost tiers @1/5/10%".into(),
+            label.into(),
+            "21% / 60% / 70%".into(),
+            cost.join(" / "),
+        ]);
+    }
+
+    // §V guarantees.
+    let tolerances = [0.0, 0.01, 0.02, 0.05, 0.10];
+    for (label, matrix) in ctx.deployments() {
+        let report = CrossValidator::paper_setup(17)
+            .validate(matrix, &tolerances, &[Objective::ResponseTime, Objective::Cost])
+            .unwrap();
+        summary.row(vec![
+            "SecV guarantee violations".into(),
+            label.into(),
+            "0".into(),
+            format!("{} / {} checks", report.violations.len(), report.checks),
+        ]);
+    }
+
+    summary.print();
+}

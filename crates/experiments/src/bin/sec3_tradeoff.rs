@@ -1,0 +1,30 @@
+//! §III-E — the headline trade-off claims.
+//!
+//! "A 2.6× increase in response time can reduce the ASR service's error
+//! by over 9%, and a 5× response time increase reduces the image
+//! classification service's error by over 65%."
+
+use tt_experiments::ExperimentContext;
+
+fn main() {
+    let ctx = ExperimentContext::from_args();
+    println!("== §III-E: latency-for-error trade-off claims ==\n");
+
+    for (label, matrix) in ctx.deployments() {
+        let fastest = 0usize;
+        let best = matrix.best_version().expect("non-empty matrix");
+        let lat_fast = matrix.version_latency(fastest, None).unwrap();
+        let lat_best = matrix.version_latency(best, None).unwrap();
+        let err_fast = matrix.version_error(fastest, None).unwrap();
+        let err_best = matrix.version_error(best, None).unwrap();
+        println!(
+            "{label}: {:.2}x response time buys {:.1}% relative error reduction ({:.2}% -> {:.2}%)",
+            lat_best / lat_fast,
+            (err_fast - err_best) / err_fast * 100.0,
+            err_fast * 100.0,
+            err_best * 100.0,
+        );
+    }
+
+    println!("\npaper reference: ASR 2.6x -> >9%; IC 5x -> >65%");
+}

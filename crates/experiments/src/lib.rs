@@ -1,0 +1,18 @@
+//! Shared infrastructure for the reproduction experiments.
+//!
+//! Every figure/table of the paper has a binary under `src/bin/`; this
+//! library provides what they share: standard workload construction
+//! (with `--full` paper-scale and `--quick` CI-scale switches), the
+//! tolerance grids, tier-sweep evaluation, and plain-text table
+//! rendering.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod context;
+pub mod report;
+pub mod sweep;
+
+pub use context::ExperimentContext;
+pub use report::Table;
+pub use sweep::{sweep_tiers, TierPoint};

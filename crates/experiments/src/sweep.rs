@@ -1,0 +1,197 @@
+//! Tolerance-tier sweeps (the machinery behind Figs. 8 and 9).
+
+use tt_core::objective::Objective;
+use tt_core::profile::ProfileMatrix;
+use tt_core::rulegen::RoutingRuleGenerator;
+use tt_core::{Policy, Result};
+
+/// One point of a tier sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TierPoint {
+    /// The tier's tolerance.
+    pub tolerance: f64,
+    /// The policy the generator deployed for the tier.
+    pub policy: Policy,
+    /// Mean response time of the tier (µs) over the evaluation matrix.
+    pub mean_latency_us: f64,
+    /// Mean invocation cost of the tier over the evaluation matrix.
+    pub mean_cost: f64,
+    /// Observed relative error degradation vs. the baseline version.
+    pub degradation: f64,
+    /// Relative response-time reduction vs. the baseline version.
+    pub latency_reduction: f64,
+    /// Relative cost reduction vs. the baseline version.
+    pub cost_reduction: f64,
+}
+
+/// Generate rules on `matrix` at 99.9% confidence for `tolerances` and
+/// evaluate every tier on the same matrix, reporting reductions
+/// relative to the one-size-fits-all baseline (the most accurate single
+/// version).
+///
+/// # Errors
+///
+/// Propagates generator and evaluation failures.
+pub fn sweep_tiers(
+    matrix: &ProfileMatrix,
+    tolerances: &[f64],
+    objective: Objective,
+    seed: u64,
+) -> Result<Vec<TierPoint>> {
+    let generator = RoutingRuleGenerator::with_defaults(matrix, 0.999, seed)?;
+    let rules = generator.generate(tolerances, objective)?;
+    let baseline = Policy::Single {
+        version: generator.baseline_version(),
+    }
+    .evaluate(matrix, None)?;
+
+    let mut points = Vec::with_capacity(rules.tiers().len());
+    for &(tolerance, policy) in rules.tiers() {
+        let perf = policy.evaluate(matrix, None)?;
+        let degradation = if baseline.mean_err == 0.0 {
+            0.0
+        } else {
+            (perf.mean_err - baseline.mean_err) / baseline.mean_err
+        };
+        points.push(TierPoint {
+            tolerance,
+            policy,
+            mean_latency_us: perf.mean_latency_us,
+            mean_cost: perf.mean_cost,
+            degradation,
+            latency_reduction: 1.0 - perf.mean_latency_us / baseline.mean_latency_us,
+            cost_reduction: 1.0 - perf.mean_cost / baseline.mean_cost,
+        });
+    }
+    Ok(points)
+}
+
+/// The paper's sweep grid: 0 to 10% in 0.1% steps.
+pub fn paper_tolerances() -> Vec<f64> {
+    (0..=100).map(|i| i as f64 / 1000.0).collect()
+}
+
+/// Render a policy with the matrix's human version names (the raw
+/// [`Policy`] display uses zero-based indices).
+pub fn policy_label(policy: &Policy, matrix: &ProfileMatrix) -> String {
+    let name = |v: usize| matrix.version_names()[v].clone();
+    match *policy {
+        Policy::Single { version } => format!("single({})", name(version)),
+        Policy::Cascade {
+            cheap,
+            accurate,
+            threshold,
+            scheduling,
+            termination,
+        } => {
+            let sched = match scheduling {
+                tt_core::Scheduling::Sequential => "seq",
+                tt_core::Scheduling::Concurrent => "conc",
+            };
+            let term = match termination {
+                tt_core::Termination::EarlyTerminate => "et",
+                tt_core::Termination::FinishOut => "fo",
+            };
+            format!(
+                "cascade({}→{}, θ={threshold:.2}, {sched}+{term})",
+                name(cheap),
+                name(accurate)
+            )
+        }
+        Policy::Chain3 {
+            first,
+            second,
+            third,
+            threshold_first,
+            threshold_second,
+        } => format!(
+            "chain({}→{}→{}, θ={threshold_first:.2}/{threshold_second:.2})",
+            name(first),
+            name(second),
+            name(third)
+        ),
+    }
+}
+
+/// Pick the sweep point nearest a tolerance (for headline reporting).
+pub fn point_at(points: &[TierPoint], tolerance: f64) -> Option<&TierPoint> {
+    points.iter().min_by(|a, b| {
+        (a.tolerance - tolerance)
+            .abs()
+            .partial_cmp(&(b.tolerance - tolerance).abs())
+            .expect("tolerances are finite")
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tt_core::profile::{Observation, ProfileMatrixBuilder};
+
+    fn matrix() -> ProfileMatrix {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let mut b = ProfileMatrixBuilder::new(vec!["fast".into(), "acc".into()]);
+        for _ in 0..300 {
+            let hard: f64 = rng.gen();
+            let fast_wrong = hard > 0.75;
+            b.push_request(vec![
+                Observation {
+                    quality_err: if fast_wrong { 1.0 } else { 0.0 },
+                    latency_us: 100,
+                    cost: 1.0,
+                    confidence: if fast_wrong { 0.3 } else { 0.9 },
+                },
+                Observation {
+                    quality_err: if hard > 0.95 { 1.0 } else { 0.0 },
+                    latency_us: 400,
+                    cost: 4.0,
+                    confidence: 0.9,
+                },
+            ]);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn sweep_reductions_are_monotone_in_tolerance() {
+        let m = matrix();
+        let points = sweep_tiers(&m, &[0.0, 0.05, 0.10, 0.5], Objective::ResponseTime, 1).unwrap();
+        assert_eq!(points.len(), 4);
+        for w in points.windows(2) {
+            assert!(
+                w[1].mean_latency_us <= w[0].mean_latency_us + 1e-9,
+                "latency should not grow with tolerance"
+            );
+        }
+        // Zero tolerance: no reduction guarantee, but never negative
+        // relative to itself beyond numerical noise.
+        assert!(points[0].latency_reduction >= -1e-9);
+    }
+
+    #[test]
+    fn paper_grid_and_point_lookup() {
+        let grid = paper_tolerances();
+        assert_eq!(grid.len(), 101);
+        let m = matrix();
+        let points = sweep_tiers(&m, &[0.0, 0.01, 0.05], Objective::Cost, 2).unwrap();
+        let p = point_at(&points, 0.012).unwrap();
+        assert!((p.tolerance - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degradation_stays_within_tolerance_in_sample() {
+        let m = matrix();
+        for objective in Objective::all() {
+            let points = sweep_tiers(&m, &[0.0, 0.02, 0.10], objective, 3).unwrap();
+            for p in &points {
+                assert!(
+                    p.degradation <= p.tolerance + 1e-9,
+                    "in-sample degradation {} exceeds tolerance {}",
+                    p.degradation,
+                    p.tolerance
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,694 @@
+//! The discrete-event serving cluster.
+//!
+//! A load balancer in front of per-version node pools, executing each
+//! request's tier policy with real queueing: sequential cascades admit
+//! the accurate version only after a disappointing cheap answer,
+//! concurrent cascades admit both at arrival, and early termination
+//! cancels the in-flight accurate invocation the moment a confident
+//! cheap answer lands — refunding the unused busy time, which is
+//! exactly where the ET policy's IaaS savings come from (paper §IV-C).
+
+use crate::frontend::TieredFrontend;
+use crate::pricing::PricingCatalog;
+use crate::trace::{TraceEvent, TraceRecorder};
+use tt_core::policy::{Policy, Scheduling, Termination};
+use tt_core::profile::ProfileMatrix;
+use tt_core::request::ServiceRequest;
+use tt_sim::engine::EventToken;
+use tt_sim::node::JobId;
+use tt_sim::{
+    CostLedger, EventQueue, InstanceType, LatencyRecorder, ServiceNode, SimDuration, SimTime,
+};
+
+/// Which device class a version's pool runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum PoolDevice {
+    /// CPU nodes.
+    Cpu,
+    /// GPU nodes.
+    Gpu,
+}
+
+/// Cluster shape: one pool per service version.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Parallel capacity (node-slots) per version pool.
+    pub slots_per_pool: usize,
+    /// Device class per version (must match the matrix's version
+    /// count).
+    pub devices: Vec<PoolDevice>,
+    /// Price catalog.
+    pub pricing: PricingCatalog,
+}
+
+impl ClusterConfig {
+    /// A uniform CPU deployment for `versions` versions.
+    pub fn uniform_cpu(versions: usize, slots_per_pool: usize) -> Self {
+        ClusterConfig {
+            slots_per_pool,
+            devices: vec![PoolDevice::Cpu; versions],
+            pricing: PricingCatalog::list_prices(),
+        }
+    }
+}
+
+/// Everything a run reports.
+#[derive(Debug, Clone)]
+pub struct ServingReport {
+    /// Per-request response times.
+    pub latency: LatencyRecorder,
+    /// Per-request queueing delays (first admission wait).
+    pub queueing: LatencyRecorder,
+    /// Compute + invocation charges.
+    pub ledger: CostLedger,
+    /// Mean quality error over responded requests.
+    pub mean_err: f64,
+    /// Requests served.
+    pub served: usize,
+    /// Accurate invocations cancelled early.
+    pub early_terminations: usize,
+    /// Per-request trace (sliceable by tier; CSV-exportable).
+    pub trace: TraceRecorder,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Role {
+    Only,
+    Cheap,
+    Mid,
+    Accurate,
+}
+
+#[derive(Debug)]
+struct InFlight {
+    policy: Policy,
+    arrival: SimTime,
+    responded: bool,
+    err: f64,
+    accurate_cancel: Option<(usize, JobId, EventToken)>,
+}
+
+/// The cluster simulator.
+#[derive(Debug)]
+pub struct ClusterSim<'a> {
+    matrix: &'a ProfileMatrix,
+    config: ClusterConfig,
+}
+
+impl<'a> ClusterSim<'a> {
+    /// Build a cluster over a profiled service.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the device list does not match the matrix's version
+    /// count or the pool capacity is zero.
+    pub fn new(matrix: &'a ProfileMatrix, config: ClusterConfig) -> Self {
+        assert_eq!(
+            config.devices.len(),
+            matrix.versions(),
+            "one device class per version required"
+        );
+        assert!(config.slots_per_pool > 0, "pools need capacity");
+        ClusterSim { matrix, config }
+    }
+
+    fn instance(&self, version: usize) -> InstanceType {
+        match self.config.devices[version] {
+            PoolDevice::Cpu => self.config.pricing.cpu().clone(),
+            PoolDevice::Gpu => self.config.pricing.gpu().clone(),
+        }
+    }
+
+    /// Serve a timed, annotated request stream through `frontend`.
+    ///
+    /// Requests must be sorted by arrival time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if arrivals are unsorted or reference unknown payloads.
+    pub fn run(
+        &self,
+        frontend: &TieredFrontend,
+        arrivals: &[(SimTime, ServiceRequest)],
+    ) -> ServingReport {
+        assert!(
+            arrivals.windows(2).all(|w| w[0].0 <= w[1].0),
+            "arrivals must be sorted by time"
+        );
+
+        let mut pools: Vec<ServiceNode> = (0..self.matrix.versions())
+            .map(|_| ServiceNode::new(self.config.slots_per_pool))
+            .collect();
+        let mut ledger = CostLedger::new();
+        let mut latency = LatencyRecorder::new();
+        let mut queueing = LatencyRecorder::new();
+        let mut total_err = 0.0;
+        let mut early_terminations = 0usize;
+        let mut trace = TraceRecorder::new();
+
+        #[derive(Debug)]
+        enum Event {
+            Arrival(usize),
+            Done { flight: usize, role: Role },
+        }
+
+        let mut queue: EventQueue<Event> = EventQueue::new();
+        let mut flights: Vec<InFlight> = Vec::with_capacity(arrivals.len());
+        for (i, (at, _)) in arrivals.iter().enumerate() {
+            queue.schedule(*at, Event::Arrival(i));
+        }
+
+        // Admit a version invocation for a flight; returns the job and
+        // its completion token.
+        let admit = |pools: &mut Vec<ServiceNode>,
+                         queue: &mut EventQueue<Event>,
+                         ledger: &mut CostLedger,
+                         queueing: &mut LatencyRecorder,
+                         flight: usize,
+                         payload: usize,
+                         version: usize,
+                         role: Role,
+                         now: SimTime,
+                         record_queueing: bool|
+         -> (JobId, EventToken) {
+            let service = SimDuration::from_micros(self.matrix.get(payload, version).latency_us);
+            let (timing, job) = pools[version].admit(now, service);
+            ledger.charge_invocation(self.config.pricing.api_price());
+            if record_queueing {
+                queueing.record(timing.queueing(now));
+            }
+            let token = queue.schedule(timing.finish, Event::Done { flight, role });
+            (job, token)
+        };
+
+        while let Some((now, event)) = queue.pop() {
+            match event {
+                Event::Arrival(i) => {
+                    let request = &arrivals[i].1;
+                    let policy = frontend.route(request);
+                    policy
+                        .validate(self.matrix.versions())
+                        .expect("frontend produced a valid policy");
+                    let flight_idx = flights.len();
+                    flights.push(InFlight {
+                        policy,
+                        arrival: now,
+                        responded: false,
+                        err: 0.0,
+                        accurate_cancel: None,
+                    });
+                    match policy {
+                        Policy::Single { version } => {
+                            admit(
+                                &mut pools,
+                                &mut queue,
+                                &mut ledger,
+                                &mut queueing,
+                                flight_idx,
+                                request.payload,
+                                version,
+                                Role::Only,
+                                now,
+                                true,
+                            );
+                        }
+                        Policy::Chain3 { first, .. } => {
+                            admit(
+                                &mut pools,
+                                &mut queue,
+                                &mut ledger,
+                                &mut queueing,
+                                flight_idx,
+                                request.payload,
+                                first,
+                                Role::Cheap,
+                                now,
+                                true,
+                            );
+                        }
+                        Policy::Cascade {
+                            cheap,
+                            accurate,
+                            scheduling,
+                            ..
+                        } => {
+                            admit(
+                                &mut pools,
+                                &mut queue,
+                                &mut ledger,
+                                &mut queueing,
+                                flight_idx,
+                                request.payload,
+                                cheap,
+                                Role::Cheap,
+                                now,
+                                true,
+                            );
+                            if scheduling == Scheduling::Concurrent {
+                                let (job, token) = admit(
+                                    &mut pools,
+                                    &mut queue,
+                                    &mut ledger,
+                                    &mut queueing,
+                                    flight_idx,
+                                    request.payload,
+                                    accurate,
+                                    Role::Accurate,
+                                    now,
+                                    false,
+                                );
+                                flights[flight_idx].accurate_cancel = Some((accurate, job, token));
+                            }
+                        }
+                    }
+                }
+                Event::Done { flight, role } => {
+                    let payload = arrivals[flight].1.payload;
+                    let f = &mut flights[flight];
+                    match (f.policy, role) {
+                        (Policy::Single { version }, Role::Only) => {
+                            f.responded = true;
+                            f.err = self.matrix.get(payload, version).quality_err;
+                            latency.record(now.saturating_since(f.arrival));
+                            total_err += f.err;
+                            trace.record(TraceEvent {
+                                arrival: f.arrival,
+                                responded: now,
+                                tolerance: arrivals[flight].1.tolerance.value(),
+                                objective: arrivals[flight].1.objective,
+                                answered_by: version,
+                                quality_err: f.err,
+                            });
+                        }
+                        (
+                            Policy::Cascade {
+                                cheap,
+                                accurate,
+                                threshold,
+                                scheduling,
+                                termination,
+                            },
+                            Role::Cheap,
+                        ) => {
+                            let obs = self.matrix.get(payload, cheap);
+                            let confident = obs.confidence >= threshold;
+                            if confident && !f.responded {
+                                f.responded = true;
+                                f.err = obs.quality_err;
+                                latency.record(now.saturating_since(f.arrival));
+                                total_err += f.err;
+                            trace.record(TraceEvent {
+                                arrival: f.arrival,
+                                responded: now,
+                                tolerance: arrivals[flight].1.tolerance.value(),
+                                objective: arrivals[flight].1.objective,
+                                answered_by: cheap,
+                                quality_err: f.err,
+                            });
+                                match (scheduling, termination) {
+                                    (Scheduling::Concurrent, Termination::EarlyTerminate) => {
+                                        if let Some((version, job, token)) =
+                                            f.accurate_cancel.take()
+                                        {
+                                            queue.cancel(token);
+                                            if pools[version].release_early(job, now) {
+                                                early_terminations += 1;
+                                            }
+                                        }
+                                    }
+                                    (Scheduling::Sequential, Termination::FinishOut) => {
+                                        // The paper's FO semantics: the
+                                        // accurate version computes its
+                                        // result regardless (cost, no
+                                        // latency impact).
+                                        admit(
+                                            &mut pools,
+                                            &mut queue,
+                                            &mut ledger,
+                                            &mut queueing,
+                                            flight,
+                                            payload,
+                                            accurate,
+                                            Role::Accurate,
+                                            now,
+                                            false,
+                                        );
+                                    }
+                                    _ => {}
+                                }
+                            } else if !confident && scheduling == Scheduling::Sequential {
+                                admit(
+                                    &mut pools,
+                                    &mut queue,
+                                    &mut ledger,
+                                    &mut queueing,
+                                    flight,
+                                    payload,
+                                    accurate,
+                                    Role::Accurate,
+                                    now,
+                                    false,
+                                );
+                            }
+                        }
+                        (Policy::Cascade { accurate, .. }, Role::Accurate) => {
+                            if !f.responded {
+                                f.responded = true;
+                                f.err = self.matrix.get(payload, accurate).quality_err;
+                                latency.record(now.saturating_since(f.arrival));
+                                total_err += f.err;
+                            trace.record(TraceEvent {
+                                arrival: f.arrival,
+                                responded: now,
+                                tolerance: arrivals[flight].1.tolerance.value(),
+                                objective: arrivals[flight].1.objective,
+                                answered_by: accurate,
+                                quality_err: f.err,
+                            });
+                            }
+                        }
+                        (
+                            Policy::Chain3 {
+                                first,
+                                second,
+                                threshold_first,
+                                ..
+                            },
+                            Role::Cheap,
+                        ) => {
+                            let obs = self.matrix.get(payload, first);
+                            if obs.confidence >= threshold_first {
+                                f.responded = true;
+                                f.err = obs.quality_err;
+                                latency.record(now.saturating_since(f.arrival));
+                                total_err += f.err;
+                            trace.record(TraceEvent {
+                                arrival: f.arrival,
+                                responded: now,
+                                tolerance: arrivals[flight].1.tolerance.value(),
+                                objective: arrivals[flight].1.objective,
+                                answered_by: first,
+                                quality_err: f.err,
+                            });
+                            } else {
+                                admit(
+                                    &mut pools,
+                                    &mut queue,
+                                    &mut ledger,
+                                    &mut queueing,
+                                    flight,
+                                    payload,
+                                    second,
+                                    Role::Mid,
+                                    now,
+                                    false,
+                                );
+                            }
+                        }
+                        (
+                            Policy::Chain3 {
+                                second,
+                                third,
+                                threshold_second,
+                                ..
+                            },
+                            Role::Mid,
+                        ) => {
+                            let obs = self.matrix.get(payload, second);
+                            if obs.confidence >= threshold_second {
+                                f.responded = true;
+                                f.err = obs.quality_err;
+                                latency.record(now.saturating_since(f.arrival));
+                                total_err += f.err;
+                            trace.record(TraceEvent {
+                                arrival: f.arrival,
+                                responded: now,
+                                tolerance: arrivals[flight].1.tolerance.value(),
+                                objective: arrivals[flight].1.objective,
+                                answered_by: second,
+                                quality_err: f.err,
+                            });
+                            } else {
+                                admit(
+                                    &mut pools,
+                                    &mut queue,
+                                    &mut ledger,
+                                    &mut queueing,
+                                    flight,
+                                    payload,
+                                    third,
+                                    Role::Accurate,
+                                    now,
+                                    false,
+                                );
+                            }
+                        }
+                        (Policy::Chain3 { third, .. }, Role::Accurate) => {
+                            f.responded = true;
+                            f.err = self.matrix.get(payload, third).quality_err;
+                            latency.record(now.saturating_since(f.arrival));
+                            total_err += f.err;
+                            trace.record(TraceEvent {
+                                arrival: f.arrival,
+                                responded: now,
+                                tolerance: arrivals[flight].1.tolerance.value(),
+                                objective: arrivals[flight].1.objective,
+                                answered_by: third,
+                                quality_err: f.err,
+                            });
+                        }
+                        (policy, role) => {
+                            unreachable!("event role {role:?} impossible under {policy}")
+                        }
+                    }
+                }
+            }
+        }
+
+        // Charge compute: each pool's accrued busy time at its instance
+        // price.
+        for (version, pool) in pools.iter().enumerate() {
+            ledger.charge_compute(&self.instance(version), pool.busy_time());
+        }
+
+        let served = flights.iter().filter(|f| f.responded).count();
+        ServingReport {
+            latency,
+            queueing,
+            ledger,
+            mean_err: if served == 0 {
+                0.0
+            } else {
+                total_err / served as f64
+            },
+            served,
+            early_terminations,
+            trace,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tt_core::objective::Objective;
+    use tt_core::profile::{Observation, ProfileMatrixBuilder};
+    use tt_core::request::Tolerance;
+    use tt_core::rulegen::RoutingRuleGenerator;
+
+    fn matrix() -> ProfileMatrix {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let mut b = ProfileMatrixBuilder::new(vec!["fast".into(), "accurate".into()]);
+        for _ in 0..200 {
+            let hard: f64 = rng.gen();
+            let fast_wrong = hard > 0.7;
+            b.push_request(vec![
+                Observation {
+                    quality_err: if fast_wrong { 1.0 } else { 0.0 },
+                    latency_us: 10_000,
+                    cost: 0.0,
+                    confidence: if fast_wrong { 0.2 } else { 0.9 },
+                },
+                Observation {
+                    quality_err: if hard > 0.93 { 1.0 } else { 0.0 },
+                    latency_us: 40_000,
+                    cost: 0.0,
+                    confidence: 0.9,
+                },
+            ]);
+        }
+        b.build().unwrap()
+    }
+
+    fn frontend(matrix: &ProfileMatrix) -> TieredFrontend {
+        let gen = RoutingRuleGenerator::with_defaults(matrix, 0.99, 3).unwrap();
+        TieredFrontend::new(vec![
+            gen.generate(&[0.0, 0.05, 0.10, 0.5], Objective::ResponseTime)
+                .unwrap(),
+            gen.generate(&[0.0, 0.05, 0.10, 0.5], Objective::Cost).unwrap(),
+        ])
+    }
+
+    fn uncontended_arrivals(
+        matrix: &ProfileMatrix,
+        tolerance: f64,
+    ) -> Vec<(SimTime, ServiceRequest)> {
+        (0..matrix.requests())
+            .map(|r| {
+                (
+                    SimTime::from_micros(r as u64 * 1_000_000),
+                    ServiceRequest::new(
+                        r,
+                        Tolerance::new(tolerance).unwrap(),
+                        Objective::ResponseTime,
+                    ),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn serves_every_request() {
+        let m = matrix();
+        let fe = frontend(&m);
+        let sim = ClusterSim::new(&m, ClusterConfig::uniform_cpu(2, 4));
+        let report = sim.run(&fe, &uncontended_arrivals(&m, 0.05));
+        assert_eq!(report.served, m.requests());
+        assert_eq!(report.latency.len(), m.requests());
+    }
+
+    #[test]
+    fn uncontended_latency_matches_closed_form() {
+        let m = matrix();
+        let fe = frontend(&m);
+        let sim = ClusterSim::new(&m, ClusterConfig::uniform_cpu(2, 64));
+        for tol in [0.0, 0.10, 0.5] {
+            let arrivals = uncontended_arrivals(&m, tol);
+            let report = sim.run(&fe, &arrivals);
+            let policy = fe.route(&arrivals[0].1);
+            let perf = policy.evaluate(&m, None).unwrap();
+            let sim_mean = report.latency.summary().unwrap().mean() * 1_000.0; // ms -> µs
+            assert!(
+                (sim_mean - perf.mean_latency_us).abs() / perf.mean_latency_us < 0.01,
+                "tol {tol}: sim {sim_mean} vs closed form {}",
+                perf.mean_latency_us
+            );
+            assert!((report.mean_err - perf.mean_err).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn queueing_appears_under_load() {
+        let m = matrix();
+        let fe = frontend(&m);
+        let sim = ClusterSim::new(&m, ClusterConfig::uniform_cpu(2, 1));
+        // All requests arrive at once on a single-slot pool: massive queueing.
+        let arrivals: Vec<(SimTime, ServiceRequest)> = (0..50)
+            .map(|r| {
+                (
+                    SimTime::ZERO,
+                    ServiceRequest::new(r, Tolerance::ZERO, Objective::ResponseTime),
+                )
+            })
+            .collect();
+        let report = sim.run(&fe, &arrivals);
+        assert_eq!(report.served, 50);
+        assert!(report.queueing.summary().unwrap().max() > 0.0);
+        assert!(
+            report.latency.summary().unwrap().max()
+                > report.latency.summary().unwrap().min() * 10.0
+        );
+    }
+
+    #[test]
+    fn early_termination_happens_and_refunds_compute() {
+        let m = matrix();
+        let gen = RoutingRuleGenerator::with_defaults(&m, 0.99, 3).unwrap();
+        // Force a concurrent + ET policy via a hand-built frontend: use
+        // a rules object whose only tier maps to it. Simplest: run the
+        // cluster twice with hand-made frontends and compare compute
+        // cost.
+        let _ = gen;
+        use tt_core::policy::{Scheduling, Termination};
+        let conc_et = Policy::Cascade {
+            cheap: 0,
+            accurate: 1,
+            threshold: 0.5,
+            scheduling: Scheduling::Concurrent,
+            termination: Termination::EarlyTerminate,
+        };
+        let conc_fo = Policy::Cascade {
+            cheap: 0,
+            accurate: 1,
+            threshold: 0.5,
+            scheduling: Scheduling::Concurrent,
+            termination: Termination::FinishOut,
+        };
+        let run_policy = |policy: Policy| {
+            let sim = ClusterSim::new(&m, ClusterConfig::uniform_cpu(2, 64));
+            // A frontend that always routes to `policy`: emulate by
+            // driving the executor directly through a single-tier rule
+            // set is cumbersome; instead exercise the private path via a
+            // custom frontend built from a generator with one candidate.
+            let gen = RoutingRuleGenerator::new(
+                &m,
+                vec![policy],
+                0.9,
+                1,
+                tt_stats::TrialLimits {
+                    min_trials: 2,
+                    max_trials: 4,
+                },
+            )
+            .unwrap();
+            let rules = gen.generate(&[10.0], Objective::ResponseTime).unwrap();
+            let fe = TieredFrontend::new(vec![rules]);
+            let arrivals: Vec<(SimTime, ServiceRequest)> = (0..m.requests())
+                .map(|r| {
+                    (
+                        SimTime::from_micros(r as u64 * 1_000_000),
+                        ServiceRequest::new(
+                            r,
+                            Tolerance::new(10.0).unwrap(),
+                            Objective::ResponseTime,
+                        ),
+                    )
+                })
+                .collect();
+            sim.run(&fe, &arrivals)
+        };
+        let et = run_policy(conc_et);
+        let fo = run_policy(conc_fo);
+        assert!(et.early_terminations > 0);
+        assert_eq!(fo.early_terminations, 0);
+        assert!(
+            et.ledger.compute_cost() < fo.ledger.compute_cost(),
+            "ET should refund compute: {} vs {}",
+            et.ledger.compute_cost(),
+            fo.ledger.compute_cost()
+        );
+        // Same responses either way.
+        assert!((et.mean_err - fo.mean_err).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted by time")]
+    fn unsorted_arrivals_panic() {
+        let m = matrix();
+        let fe = frontend(&m);
+        let sim = ClusterSim::new(&m, ClusterConfig::uniform_cpu(2, 4));
+        let arrivals = vec![
+            (
+                SimTime::from_micros(10),
+                ServiceRequest::new(0, Tolerance::ZERO, Objective::ResponseTime),
+            ),
+            (
+                SimTime::ZERO,
+                ServiceRequest::new(1, Tolerance::ZERO, Objective::ResponseTime),
+            ),
+        ];
+        sim.run(&fe, &arrivals);
+    }
+}

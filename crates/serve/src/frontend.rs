@@ -1,0 +1,141 @@
+//! The consumer-facing frontend: annotation parsing and tier routing.
+//!
+//! The paper's request shape:
+//!
+//! ```text
+//! curl --header Tolerance: 0.01
+//!      --header Objective: response-time
+//!      --data-binary @input-file-name
+//!      -X POST http://cloud-service/compute
+//! ```
+//!
+//! [`parse_annotations`] understands that header block;
+//! [`TieredFrontend`] holds the deployed routing rules per objective and
+//! resolves each annotated request to the policy that will serve it.
+
+use std::collections::HashMap;
+use tt_core::objective::Objective;
+use tt_core::request::{ServiceRequest, Tolerance};
+use tt_core::rulegen::RoutingRules;
+use tt_core::Policy;
+
+/// Parse a `Tolerance:` / `Objective:` annotation block (one header per
+/// line, case-insensitive names, missing objective defaults to
+/// response-time, missing tolerance to zero).
+///
+/// # Errors
+///
+/// Returns a message for malformed values or unknown headers.
+pub fn parse_annotations(headers: &str) -> Result<(Tolerance, Objective), String> {
+    let mut tolerance = Tolerance::ZERO;
+    let mut objective = Objective::ResponseTime;
+    for line in headers.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| format!("malformed header line `{line}`"))?;
+        match name.trim().to_ascii_lowercase().as_str() {
+            "tolerance" => {
+                let v: f64 = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("invalid tolerance `{}`", value.trim()))?;
+                tolerance = Tolerance::new(v).map_err(|e| e.to_string())?;
+            }
+            "objective" => {
+                objective = Objective::parse(value)?;
+            }
+            other => return Err(format!("unknown annotation header `{other}`")),
+        }
+    }
+    Ok((tolerance, objective))
+}
+
+/// The deployed frontend: routing rules per objective.
+#[derive(Debug, Clone)]
+pub struct TieredFrontend {
+    rules: HashMap<Objective, RoutingRules>,
+}
+
+impl TieredFrontend {
+    /// Deploy rules for one or both objectives.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rules` is empty.
+    pub fn new(rules: Vec<RoutingRules>) -> Self {
+        assert!(!rules.is_empty(), "frontend needs at least one rule set");
+        TieredFrontend {
+            rules: rules.into_iter().map(|r| (r.objective(), r)).collect(),
+        }
+    }
+
+    /// The policy that will serve an annotated request. Requests for an
+    /// objective with no deployed rules fall back to the other
+    /// objective's baseline (most accurate) version — the service never
+    /// rejects a request over tiering.
+    pub fn route(&self, request: &ServiceRequest) -> Policy {
+        if let Some(rules) = self.rules.get(&request.objective) {
+            return rules.lookup(request.tolerance);
+        }
+        let any = self.rules.values().next().expect("non-empty rules");
+        Policy::Single {
+            version: any.baseline_version(),
+        }
+    }
+
+    /// Parse an annotation block and route in one step.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parse failures.
+    pub fn route_annotated(&self, headers: &str, payload: usize) -> Result<(ServiceRequest, Policy), String> {
+        let (tolerance, objective) = parse_annotations(headers)?;
+        let request = ServiceRequest::new(payload, tolerance, objective);
+        let policy = self.route(&request);
+        Ok((request, policy))
+    }
+
+    /// The deployed rule sets.
+    pub fn rules(&self) -> impl Iterator<Item = &RoutingRules> {
+        self.rules.values()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_paper_example() {
+        let (tol, obj) = parse_annotations("Tolerance: 0.01\nObjective: response-time").unwrap();
+        assert_eq!(tol.value(), 0.01);
+        assert_eq!(obj, Objective::ResponseTime);
+    }
+
+    #[test]
+    fn defaults_and_case_insensitivity() {
+        let (tol, obj) = parse_annotations("").unwrap();
+        assert_eq!(tol, Tolerance::ZERO);
+        assert_eq!(obj, Objective::ResponseTime);
+        let (tol, obj) = parse_annotations("TOLERANCE: 0.10\nobjective: COST").unwrap();
+        assert_eq!(tol.value(), 0.10);
+        assert_eq!(obj, Objective::Cost);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(parse_annotations("Tolerance 0.01").is_err());
+        assert!(parse_annotations("Tolerance: lots").is_err());
+        assert!(parse_annotations("Tolerance: -0.3").is_err());
+        assert!(parse_annotations("X-Custom: 1").is_err());
+        assert!(parse_annotations("Objective: teleport").is_err());
+    }
+
+    // TieredFrontend routing is exercised end-to-end in the cluster
+    // tests and the workspace integration tests, where real routing
+    // rules exist.
+}

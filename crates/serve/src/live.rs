@@ -1,0 +1,204 @@
+//! A real thread-pool executor for tiered serving.
+//!
+//! The cluster simulator reasons about time analytically; this module
+//! actually *runs* model code on worker threads, so the examples can
+//! demonstrate the full consumer experience — annotated request in,
+//! result out — with genuine concurrency (crossbeam channels) and
+//! early-ish termination (a cancellation flag the expensive invocation
+//! checks; compute cannot be preempted mid-call, matching how real
+//! serving frameworks cancel between batches).
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A unit of model work: returns `(result, confidence)`.
+pub type ModelCall<T> = Box<dyn FnOnce() -> (T, f64) + Send + 'static>;
+
+enum Job<T> {
+    Run {
+        call: ModelCall<T>,
+        cancelled: Arc<AtomicBool>,
+        reply: Sender<(T, f64)>,
+    },
+    Shutdown,
+}
+
+/// A fixed-size worker pool executing model calls.
+///
+/// ```
+/// use tt_serve::live::WorkerPool;
+///
+/// let pool = WorkerPool::new(2);
+/// let rx = pool.submit(Box::new(|| (21 * 2, 0.99)));
+/// assert_eq!(rx.recv().unwrap(), (42, 0.99));
+/// pool.shutdown();
+/// ```
+#[derive(Debug)]
+pub struct WorkerPool<T: Send + 'static> {
+    tx: Sender<Job<T>>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl<T: Send + 'static> WorkerPool<T> {
+    /// Spawn `workers` threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers == 0`.
+    pub fn new(workers: usize) -> Self {
+        assert!(workers > 0, "pool needs at least one worker");
+        let (tx, rx) = unbounded::<Job<T>>();
+        let handles = (0..workers)
+            .map(|_| {
+                let rx: Receiver<Job<T>> = rx.clone();
+                std::thread::spawn(move || {
+                    while let Ok(job) = rx.recv() {
+                        match job {
+                            Job::Run {
+                                call,
+                                cancelled,
+                                reply,
+                            } => {
+                                if cancelled.load(Ordering::Relaxed) {
+                                    continue; // cancelled while queued
+                                }
+                                let out = call();
+                                let _ = reply.send(out);
+                            }
+                            Job::Shutdown => break,
+                        }
+                    }
+                })
+            })
+            .collect();
+        WorkerPool {
+            tx,
+            workers: Mutex::new(handles),
+        }
+    }
+
+    /// Submit a call; the receiver yields its result.
+    pub fn submit(&self, call: ModelCall<T>) -> Receiver<(T, f64)> {
+        let (reply_tx, reply_rx) = unbounded();
+        self.tx
+            .send(Job::Run {
+                call,
+                cancelled: Arc::new(AtomicBool::new(false)),
+                reply: reply_tx,
+            })
+            .expect("pool is alive");
+        reply_rx
+    }
+
+    /// Submit a cancellable call: flipping the returned flag before a
+    /// worker picks the job up skips it entirely.
+    pub fn submit_cancellable(&self, call: ModelCall<T>) -> (Receiver<(T, f64)>, Arc<AtomicBool>) {
+        let (reply_tx, reply_rx) = unbounded();
+        let cancelled = Arc::new(AtomicBool::new(false));
+        self.tx
+            .send(Job::Run {
+                call,
+                cancelled: Arc::clone(&cancelled),
+                reply: reply_tx,
+            })
+            .expect("pool is alive");
+        (reply_rx, cancelled)
+    }
+
+    /// Execute a two-version concurrent cascade: launch both, answer
+    /// with the cheap result if its confidence clears `threshold`
+    /// (cancelling the accurate call if it is still queued), otherwise
+    /// wait for the accurate result.
+    pub fn cascade(
+        &self,
+        cheap: ModelCall<T>,
+        accurate: ModelCall<T>,
+        threshold: f64,
+    ) -> (T, f64) {
+        let (acc_rx, acc_cancel) = self.submit_cancellable(accurate);
+        let cheap_rx = self.submit(cheap);
+        match cheap_rx.recv() {
+            Ok((result, confidence)) if confidence >= threshold => {
+                acc_cancel.store(true, Ordering::Relaxed);
+                (result, confidence)
+            }
+            _ => acc_rx.recv().expect("accurate call completes"),
+        }
+    }
+
+    /// Stop all workers (idempotent; pending jobs may be dropped).
+    pub fn shutdown(&self) {
+        let mut workers = self.workers.lock();
+        for _ in 0..workers.len() {
+            let _ = self.tx.send(Job::Shutdown);
+        }
+        for handle in workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl<T: Send + 'static> Drop for WorkerPool<T> {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn executes_submitted_work() {
+        let pool = WorkerPool::new(2);
+        let rx = pool.submit(Box::new(|| ("hello", 0.8)));
+        assert_eq!(rx.recv().unwrap(), ("hello", 0.8));
+    }
+
+    #[test]
+    fn cascade_prefers_confident_cheap_answer() {
+        let pool = WorkerPool::new(2);
+        let (result, conf) = pool.cascade(
+            Box::new(|| ("cheap", 0.95)),
+            Box::new(|| {
+                std::thread::sleep(std::time::Duration::from_millis(30));
+                ("accurate", 0.99)
+            }),
+            0.9,
+        );
+        assert_eq!(result, "cheap");
+        assert!(conf >= 0.9);
+    }
+
+    #[test]
+    fn cascade_escalates_on_low_confidence() {
+        let pool = WorkerPool::new(2);
+        let (result, _) = pool.cascade(
+            Box::new(|| ("cheap", 0.1)),
+            Box::new(|| ("accurate", 0.99)),
+            0.9,
+        );
+        assert_eq!(result, "accurate");
+    }
+
+    #[test]
+    fn parallel_throughput() {
+        let pool = Arc::new(WorkerPool::new(4));
+        let receivers: Vec<_> = (0..64)
+            .map(|i| pool.submit(Box::new(move || (i * i, 1.0))))
+            .collect();
+        for (i, rx) in receivers.into_iter().enumerate() {
+            assert_eq!(rx.recv().unwrap().0, i * i);
+        }
+    }
+
+    #[test]
+    fn shutdown_is_idempotent() {
+        let pool: WorkerPool<u8> = WorkerPool::new(2);
+        pool.shutdown();
+        pool.shutdown();
+    }
+}

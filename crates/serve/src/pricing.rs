@@ -1,0 +1,72 @@
+//! The price catalog for a deployment.
+
+use tt_sim::{InstanceType, Money};
+
+/// Prices a deployment charges and pays.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct PricingCatalog {
+    cpu: InstanceType,
+    gpu: InstanceType,
+    api_price: Money,
+}
+
+impl PricingCatalog {
+    /// 2017-era list prices: c4.xlarge-class CPU nodes, p2.xlarge-class
+    /// GPU nodes, and a per-invocation API price in the range of the
+    /// Watson/Cloud Vision APIs of the time (~$1 per 1 000 calls).
+    pub fn list_prices() -> Self {
+        PricingCatalog {
+            cpu: InstanceType::cpu_node(),
+            gpu: InstanceType::gpu_node(),
+            api_price: Money::from_dollars(0.001),
+        }
+    }
+
+    /// Custom catalog.
+    pub fn new(cpu: InstanceType, gpu: InstanceType, api_price: Money) -> Self {
+        PricingCatalog {
+            cpu,
+            gpu,
+            api_price,
+        }
+    }
+
+    /// The CPU node type.
+    pub fn cpu(&self) -> &InstanceType {
+        &self.cpu
+    }
+
+    /// The GPU node type.
+    pub fn gpu(&self) -> &InstanceType {
+        &self.gpu
+    }
+
+    /// The per-invocation API price.
+    pub fn api_price(&self) -> Money {
+        self.api_price
+    }
+}
+
+impl Default for PricingCatalog {
+    fn default() -> Self {
+        Self::list_prices()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn list_prices_keep_gpu_premium() {
+        let p = PricingCatalog::list_prices();
+        assert!(p.gpu().price_per_hour() > 3.0 * p.cpu().price_per_hour());
+        assert!(p.api_price().as_dollars() > 0.0);
+    }
+
+    #[test]
+    fn default_is_list_prices() {
+        assert_eq!(PricingCatalog::default(), PricingCatalog::list_prices());
+    }
+}

@@ -1,0 +1,191 @@
+//! Serving traces and per-tier service-level reporting.
+//!
+//! The cluster reports aggregates; operators want per-tier views: does
+//! the 1%-tolerance tier actually get the latency it pays for? A
+//! [`TraceRecorder`] collects one [`TraceEvent`] per served request and
+//! slices the stream by (tolerance, objective) tier.
+
+use std::collections::BTreeMap;
+use tt_core::objective::Objective;
+use tt_sim::{LatencyRecorder, SimDuration, SimTime};
+
+/// One served request.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct TraceEvent {
+    /// Arrival instant.
+    pub arrival: SimTime,
+    /// Response instant.
+    pub responded: SimTime,
+    /// The consumer's tolerance annotation.
+    pub tolerance: f64,
+    /// The consumer's objective annotation.
+    pub objective: Objective,
+    /// Which version's answer was returned.
+    pub answered_by: usize,
+    /// Quality error of the returned answer.
+    pub quality_err: f64,
+}
+
+impl TraceEvent {
+    /// Response time.
+    pub fn response_time(&self) -> SimDuration {
+        self.responded.saturating_since(self.arrival)
+    }
+}
+
+/// Per-tier aggregate view of a trace.
+#[derive(Debug, Clone)]
+pub struct TierStats {
+    /// Requests in the tier.
+    pub requests: usize,
+    /// Response-time distribution.
+    pub latency: LatencyRecorder,
+    /// Mean quality error.
+    pub mean_err: f64,
+}
+
+/// Collects trace events and slices them by tier.
+#[derive(Debug, Clone, Default)]
+pub struct TraceRecorder {
+    events: Vec<TraceEvent>,
+}
+
+impl TraceRecorder {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        TraceRecorder::default()
+    }
+
+    /// Record one served request.
+    pub fn record(&mut self, event: TraceEvent) {
+        self.events.push(event);
+    }
+
+    /// All events in recording order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Aggregate by (objective, tolerance-in-tenths-of-percent) tier.
+    pub fn by_tier(&self) -> BTreeMap<(String, u32), TierStats> {
+        let mut map: BTreeMap<(String, u32), (LatencyRecorder, f64, usize)> = BTreeMap::new();
+        for e in &self.events {
+            let key = (e.objective.to_string(), (e.tolerance * 1000.0).round() as u32);
+            let slot = map.entry(key).or_default();
+            slot.0.record(e.response_time());
+            slot.1 += e.quality_err;
+            slot.2 += 1;
+        }
+        map.into_iter()
+            .map(|(k, (latency, err, n))| {
+                (
+                    k,
+                    TierStats {
+                        requests: n,
+                        latency,
+                        mean_err: err / n as f64,
+                    },
+                )
+            })
+            .collect()
+    }
+
+    /// Render as a CSV string (`arrival_us,responded_us,tolerance,
+    /// objective,answered_by,quality_err`), for offline analysis.
+    pub fn to_csv(&self) -> String {
+        let mut out =
+            String::from("arrival_us,responded_us,tolerance,objective,answered_by,quality_err\n");
+        for e in &self.events {
+            out.push_str(&format!(
+                "{},{},{},{},{},{}\n",
+                e.arrival.as_micros(),
+                e.responded.as_micros(),
+                e.tolerance,
+                e.objective,
+                e.answered_by,
+                e.quality_err
+            ));
+        }
+        out
+    }
+}
+
+/// Capacity planning: the pool slots needed to keep utilization below
+/// `target_utilization` at `rate_per_sec` arrivals with the given mean
+/// service time.
+///
+/// # Panics
+///
+/// Panics unless `0 < target_utilization < 1` and inputs are positive.
+pub fn required_slots(
+    rate_per_sec: f64,
+    mean_service: SimDuration,
+    target_utilization: f64,
+) -> usize {
+    assert!(
+        rate_per_sec > 0.0 && rate_per_sec.is_finite(),
+        "rate must be positive"
+    );
+    assert!(
+        target_utilization > 0.0 && target_utilization < 1.0,
+        "utilization target must be in (0, 1)"
+    );
+    let offered = rate_per_sec * mean_service.as_secs_f64();
+    (offered / target_utilization).ceil().max(1.0) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(tol: f64, obj: Objective, at_us: u64, took_us: u64, err: f64) -> TraceEvent {
+        TraceEvent {
+            arrival: SimTime::from_micros(at_us),
+            responded: SimTime::from_micros(at_us + took_us),
+            tolerance: tol,
+            objective: obj,
+            answered_by: 0,
+            quality_err: err,
+        }
+    }
+
+    #[test]
+    fn tier_slicing_groups_correctly() {
+        let mut rec = TraceRecorder::new();
+        rec.record(event(0.01, Objective::ResponseTime, 0, 100, 0.0));
+        rec.record(event(0.01, Objective::ResponseTime, 10, 300, 1.0));
+        rec.record(event(0.10, Objective::Cost, 20, 50, 0.0));
+        let tiers = rec.by_tier();
+        assert_eq!(tiers.len(), 2);
+        let rt = &tiers[&("response-time".to_string(), 10)];
+        assert_eq!(rt.requests, 2);
+        assert!((rt.mean_err - 0.5).abs() < 1e-12);
+        assert_eq!(tiers[&("cost".to_string(), 100)].requests, 1);
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let mut rec = TraceRecorder::new();
+        rec.record(event(0.05, Objective::Cost, 5, 10, 0.0));
+        let csv = rec.to_csv();
+        assert_eq!(csv.lines().count(), 2);
+        assert!(csv.starts_with("arrival_us"));
+        assert!(csv.contains("cost"));
+    }
+
+    #[test]
+    fn capacity_planning_matches_littles_law() {
+        // 100 req/s x 0.2s service = 20 busy servers; at 80% target -> 25.
+        let slots = required_slots(100.0, SimDuration::from_millis(200), 0.8);
+        assert_eq!(slots, 25);
+        // Tiny load still needs one slot.
+        assert_eq!(required_slots(0.1, SimDuration::from_millis(1), 0.9), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "utilization target")]
+    fn capacity_rejects_full_utilization() {
+        required_slots(10.0, SimDuration::from_millis(10), 1.0);
+    }
+}

@@ -1,0 +1,128 @@
+//! Arrival processes generating request timestamps.
+
+use crate::time::{SimDuration, SimTime};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A stream of arrival instants.
+///
+/// ```
+/// use tt_sim::ArrivalProcess;
+///
+/// // 100 requests/second, seeded.
+/// let arrivals: Vec<_> = ArrivalProcess::poisson(100.0, 7).unwrap().take(10).collect();
+/// assert_eq!(arrivals.len(), 10);
+/// assert!(arrivals.windows(2).all(|w| w[0] <= w[1]));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ArrivalProcess {
+    kind: Kind,
+    now: SimTime,
+}
+
+#[derive(Debug, Clone)]
+enum Kind {
+    Poisson { rate_per_sec: f64, rng: StdRng },
+    Deterministic { gap: SimDuration },
+}
+
+impl ArrivalProcess {
+    /// Poisson arrivals at `rate_per_sec` requests per second
+    /// (exponential inter-arrival times), seeded for determinism.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error message if the rate is non-positive or
+    /// non-finite.
+    pub fn poisson(rate_per_sec: f64, seed: u64) -> Result<Self, String> {
+        if !rate_per_sec.is_finite() || rate_per_sec <= 0.0 {
+            return Err(format!("invalid arrival rate: {rate_per_sec}"));
+        }
+        Ok(ArrivalProcess {
+            kind: Kind::Poisson {
+                rate_per_sec,
+                rng: StdRng::seed_from_u64(seed),
+            },
+            now: SimTime::ZERO,
+        })
+    }
+
+    /// Deterministic arrivals separated by `gap`.
+    pub fn deterministic(gap: SimDuration) -> Self {
+        ArrivalProcess {
+            kind: Kind::Deterministic { gap },
+            now: SimTime::ZERO,
+        }
+    }
+}
+
+impl Iterator for ArrivalProcess {
+    type Item = SimTime;
+
+    fn next(&mut self) -> Option<SimTime> {
+        let gap = match &mut self.kind {
+            Kind::Poisson { rate_per_sec, rng } => {
+                let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                SimDuration::from_secs_f64(-u.ln() / *rate_per_sec)
+            }
+            Kind::Deterministic { gap } => *gap,
+        };
+        self.now += gap;
+        Some(self.now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_rejects_bad_rate() {
+        assert!(ArrivalProcess::poisson(0.0, 1).is_err());
+        assert!(ArrivalProcess::poisson(-5.0, 1).is_err());
+        assert!(ArrivalProcess::poisson(f64::NAN, 1).is_err());
+    }
+
+    #[test]
+    fn poisson_mean_rate_is_close() {
+        let n = 20_000;
+        let last = ArrivalProcess::poisson(200.0, 42)
+            .unwrap()
+            .take(n)
+            .last()
+            .unwrap();
+        let observed_rate = n as f64 / last.as_secs_f64();
+        assert!(
+            (observed_rate - 200.0).abs() / 200.0 < 0.05,
+            "observed {observed_rate}"
+        );
+    }
+
+    #[test]
+    fn poisson_is_deterministic_per_seed() {
+        let a: Vec<_> = ArrivalProcess::poisson(50.0, 9).unwrap().take(100).collect();
+        let b: Vec<_> = ArrivalProcess::poisson(50.0, 9).unwrap().take(100).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn deterministic_spacing() {
+        let gaps: Vec<_> = ArrivalProcess::deterministic(SimDuration::from_millis(10))
+            .take(3)
+            .collect();
+        assert_eq!(
+            gaps,
+            vec![
+                SimTime::from_micros(10_000),
+                SimTime::from_micros(20_000),
+                SimTime::from_micros(30_000)
+            ]
+        );
+    }
+
+    #[test]
+    fn arrivals_are_monotone() {
+        let a: Vec<_> = ArrivalProcess::poisson(1000.0, 3).unwrap().take(1000).collect();
+        assert!(a.windows(2).all(|w| w[0] <= w[1]));
+    }
+}

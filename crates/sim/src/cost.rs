@@ -1,0 +1,247 @@
+//! Cost accounting: IaaS busy-time charges and per-invocation API prices.
+//!
+//! The paper reports two cost perspectives: what the *provider* pays for
+//! the compute (instance-hours of the nodes executing the service
+//! versions — GPU nodes cost roughly 3× a CPU node) and what the *API
+//! consumer* pays per invocation. Both reduce to the same accounting:
+//! time × rate and count × price.
+
+use crate::time::SimDuration;
+use std::fmt;
+use std::ops::{Add, AddAssign};
+
+/// An amount of money in dollars.
+///
+/// A thin newtype over `f64` so costs cannot be confused with latencies
+/// or error rates in APIs that juggle all three.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Money(f64);
+
+impl Money {
+    /// Zero dollars.
+    pub const ZERO: Money = Money(0.0);
+
+    /// Build from a dollar amount.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dollars` is NaN.
+    pub fn from_dollars(dollars: f64) -> Self {
+        assert!(!dollars.is_nan(), "money cannot be NaN");
+        Money(dollars)
+    }
+
+    /// Amount in dollars.
+    pub fn as_dollars(self) -> f64 {
+        self.0
+    }
+
+    /// Scale by a dimensionless factor.
+    pub fn scaled(self, factor: f64) -> Money {
+        Money(self.0 * factor)
+    }
+}
+
+impl Add for Money {
+    type Output = Money;
+
+    fn add(self, rhs: Money) -> Money {
+        Money(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Money {
+    fn add_assign(&mut self, rhs: Money) {
+        self.0 += rhs.0;
+    }
+}
+
+impl std::iter::Sum for Money {
+    fn sum<I: Iterator<Item = Money>>(iter: I) -> Self {
+        iter.fold(Money::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for Money {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "${:.6}", self.0)
+    }
+}
+
+/// A machine instance type with an hourly price.
+///
+/// ```
+/// use tt_sim::{InstanceType, SimDuration};
+///
+/// let gpu = InstanceType::new("gpu-k80", 2.70);
+/// let cost = gpu.cost_of(SimDuration::from_secs_f64(3600.0));
+/// assert!((cost.as_dollars() - 2.70).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct InstanceType {
+    name: String,
+    price_per_hour: f64,
+}
+
+impl InstanceType {
+    /// Define an instance type.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the price is negative or non-finite.
+    pub fn new(name: impl Into<String>, price_per_hour: f64) -> Self {
+        assert!(
+            price_per_hour.is_finite() && price_per_hour >= 0.0,
+            "invalid instance price"
+        );
+        InstanceType {
+            name: name.into(),
+            price_per_hour,
+        }
+    }
+
+    /// Instance type name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Hourly price in dollars.
+    pub fn price_per_hour(&self) -> f64 {
+        self.price_per_hour
+    }
+
+    /// Cost of keeping this instance busy for `busy` time.
+    pub fn cost_of(&self, busy: SimDuration) -> Money {
+        Money(self.price_per_hour * busy.as_secs_f64() / 3600.0)
+    }
+
+    /// The CPU node type used throughout the reproduction (2017-era
+    /// c4.xlarge-class list price).
+    pub fn cpu_node() -> InstanceType {
+        InstanceType::new("cpu-c4", 0.199)
+    }
+
+    /// The GPU node type (K80-class p2.xlarge list price).
+    pub fn gpu_node() -> InstanceType {
+        InstanceType::new("gpu-k80", 0.90)
+    }
+}
+
+/// Accumulates compute and invocation charges over a simulation.
+#[derive(Debug, Clone, Default, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct CostLedger {
+    compute: Money,
+    invocation: Money,
+    invocations: u64,
+}
+
+impl CostLedger {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        CostLedger::default()
+    }
+
+    /// Charge compute time on an instance type.
+    pub fn charge_compute(&mut self, instance: &InstanceType, busy: SimDuration) {
+        self.compute += instance.cost_of(busy);
+    }
+
+    /// Charge one API invocation at `price`.
+    pub fn charge_invocation(&mut self, price: Money) {
+        self.invocation += price;
+        self.invocations += 1;
+    }
+
+    /// Refund compute (early termination gives unused busy time back).
+    pub fn refund_compute(&mut self, instance: &InstanceType, unused: SimDuration) {
+        self.compute += instance.cost_of(unused).scaled(-1.0);
+    }
+
+    /// Total compute (IaaS) charges.
+    pub fn compute_cost(&self) -> Money {
+        self.compute
+    }
+
+    /// Total invocation (API) charges.
+    pub fn invocation_cost(&self) -> Money {
+        self.invocation
+    }
+
+    /// Number of invocations charged.
+    pub fn invocations(&self) -> u64 {
+        self.invocations
+    }
+
+    /// Grand total.
+    pub fn total(&self) -> Money {
+        self.compute + self.invocation
+    }
+
+    /// Merge another ledger into this one.
+    pub fn merge(&mut self, other: &CostLedger) {
+        self.compute += other.compute;
+        self.invocation += other.invocation;
+        self.invocations += other.invocations;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instance_cost_scales_linearly() {
+        let cpu = InstanceType::new("cpu", 0.40);
+        let one_hr = cpu.cost_of(SimDuration::from_secs_f64(3600.0));
+        let two_hr = cpu.cost_of(SimDuration::from_secs_f64(7200.0));
+        assert!((one_hr.as_dollars() - 0.40).abs() < 1e-12);
+        assert!((two_hr.as_dollars() - 0.80).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid instance price")]
+    fn negative_price_panics() {
+        let _ = InstanceType::new("bad", -1.0);
+    }
+
+    #[test]
+    fn ledger_accumulates_and_refunds() {
+        let cpu = InstanceType::new("cpu", 3.6); // $0.001/sec
+        let mut ledger = CostLedger::new();
+        ledger.charge_compute(&cpu, SimDuration::from_secs_f64(10.0));
+        assert!((ledger.compute_cost().as_dollars() - 0.01).abs() < 1e-12);
+        ledger.refund_compute(&cpu, SimDuration::from_secs_f64(5.0));
+        assert!((ledger.compute_cost().as_dollars() - 0.005).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ledger_counts_invocations() {
+        let mut ledger = CostLedger::new();
+        ledger.charge_invocation(Money::from_dollars(0.004));
+        ledger.charge_invocation(Money::from_dollars(0.004));
+        assert_eq!(ledger.invocations(), 2);
+        assert!((ledger.invocation_cost().as_dollars() - 0.008).abs() < 1e-12);
+        assert!((ledger.total().as_dollars() - 0.008).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ledger_merge() {
+        let mut a = CostLedger::new();
+        a.charge_invocation(Money::from_dollars(1.0));
+        let mut b = CostLedger::new();
+        b.charge_invocation(Money::from_dollars(2.0));
+        a.merge(&b);
+        assert_eq!(a.invocations(), 2);
+        assert!((a.invocation_cost().as_dollars() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn money_sum_and_display() {
+        let total: Money = [1.0, 2.0].iter().map(|&d| Money::from_dollars(d)).sum();
+        assert_eq!(total, Money::from_dollars(3.0));
+        assert!(total.to_string().starts_with('$'));
+    }
+}

@@ -1,0 +1,228 @@
+//! A generic discrete-event queue.
+//!
+//! Events carry a user-defined payload `E` and fire in timestamp order;
+//! events scheduled for the same instant fire in FIFO (schedule) order,
+//! which keeps simulations deterministic. Scheduled events can be
+//! cancelled by token, which is how early termination of a concurrent
+//! service invocation is modelled.
+
+use crate::time::SimTime;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+
+/// Token identifying a scheduled event, usable to cancel it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventToken(u64);
+
+#[derive(Debug)]
+struct Scheduled<E> {
+    at: SimTime,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// A deterministic event queue advancing a virtual clock.
+///
+/// ```
+/// use tt_sim::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// let tok = q.schedule(SimTime::from_micros(10), "late");
+/// q.schedule(SimTime::from_micros(5), "early");
+/// q.cancel(tok);
+/// assert_eq!(q.pop(), Some((SimTime::from_micros(5), "early")));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Scheduled<E>>>,
+    cancelled: HashSet<u64>,
+    next_seq: u64,
+    now: SimTime,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Create an empty queue at time zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            next_seq: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// Current simulation time: the timestamp of the most recently popped
+    /// event (zero before the first pop).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of pending (non-cancelled) events.
+    pub fn len(&self) -> usize {
+        self.heap.len() - self.cancelled.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Schedule `payload` to fire at `at`.
+    ///
+    /// Scheduling in the past is allowed (the event fires "immediately",
+    /// before anything later), because analytic service models sometimes
+    /// discover completions retroactively; the clock itself never runs
+    /// backwards below the last popped timestamp.
+    pub fn schedule(&mut self, at: SimTime, payload: E) -> EventToken {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(Scheduled { at, seq, payload }));
+        EventToken(seq)
+    }
+
+    /// Cancel a previously scheduled event. Returns `true` if the event
+    /// had not yet fired (or been cancelled).
+    pub fn cancel(&mut self, token: EventToken) -> bool {
+        if token.0 >= self.next_seq {
+            return false;
+        }
+        // We cannot cheaply know whether the event already fired; track
+        // cancellations and skip on pop. Inserting twice is idempotent.
+        self.cancelled.insert(token.0)
+    }
+
+    /// Pop the next event, advancing the clock to its timestamp.
+    /// Cancelled events are skipped. The clock is monotone: an event
+    /// scheduled in the past fires at the current clock value.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        while let Some(Reverse(ev)) = self.heap.pop() {
+            if self.cancelled.remove(&ev.seq) {
+                continue;
+            }
+            self.now = self.now.max(ev.at);
+            return Some((self.now, ev.payload));
+        }
+        None
+    }
+
+    /// Timestamp of the next pending event, if any.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        while let Some(Reverse(ev)) = self.heap.peek() {
+            if self.cancelled.contains(&ev.seq) {
+                let seq = ev.seq;
+                self.heap.pop();
+                self.cancelled.remove(&seq);
+                continue;
+            }
+            return Some(ev.at);
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_micros(30), 3);
+        q.schedule(SimTime::from_micros(10), 1);
+        q.schedule(SimTime::from_micros(20), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn simultaneous_events_fire_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_micros(5);
+        q.schedule(t, "first");
+        q.schedule(t, "second");
+        assert_eq!(q.pop().unwrap().1, "first");
+        assert_eq!(q.pop().unwrap().1, "second");
+    }
+
+    #[test]
+    fn clock_advances_monotonically_even_for_past_events() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_micros(100), "a");
+        assert_eq!(q.pop().unwrap().0, SimTime::from_micros(100));
+        // Scheduled "in the past" relative to the clock.
+        q.schedule(SimTime::from_micros(50), "b");
+        let (t, _) = q.pop().unwrap();
+        assert_eq!(t, SimTime::from_micros(100));
+        assert_eq!(q.now(), SimTime::from_micros(100));
+    }
+
+    #[test]
+    fn cancel_prevents_delivery() {
+        let mut q = EventQueue::new();
+        let tok = q.schedule(SimTime::from_micros(10), "x");
+        assert_eq!(q.len(), 1);
+        assert!(q.cancel(tok));
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn cancel_unknown_token_is_false() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(!q.cancel(EventToken(99)));
+    }
+
+    #[test]
+    fn peek_skips_cancelled() {
+        let mut q = EventQueue::new();
+        let tok = q.schedule(SimTime::from_micros(1), "dead");
+        q.schedule(SimTime::from_micros(2), "live");
+        q.cancel(tok);
+        assert_eq!(q.peek_time(), Some(SimTime::from_micros(2)));
+        assert_eq!(q.pop().unwrap().1, "live");
+    }
+
+    #[test]
+    fn schedule_in_chain() {
+        // A small two-event cascade driven by the queue itself.
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::ZERO, 0u32);
+        let mut fired = Vec::new();
+        while let Some((t, stage)) = q.pop() {
+            fired.push((t, stage));
+            if stage < 3 {
+                q.schedule(t + SimDuration::from_millis(1), stage + 1);
+            }
+        }
+        assert_eq!(fired.len(), 4);
+        assert_eq!(fired[3].0, SimTime::from_micros(3_000));
+    }
+}

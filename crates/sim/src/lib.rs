@@ -1,0 +1,46 @@
+//! Deterministic discrete-event simulation kernel for the `toltiers`
+//! workspace.
+//!
+//! The Tolerance Tiers paper evaluates routing policies on a production
+//! serving cluster. This crate provides the machinery to reproduce that
+//! environment deterministically:
+//!
+//! * [`time`] — virtual time newtypes ([`SimTime`], [`SimDuration`],
+//!   microsecond resolution).
+//! * [`engine`] — a generic event queue with stable FIFO ordering for
+//!   simultaneous events.
+//! * [`node`] — service nodes with `c` parallel slots and FIFO admission,
+//!   including early release for cancelled work (the paper's early
+//!   termination policy).
+//! * [`arrivals`] — Poisson and deterministic arrival processes.
+//! * [`cost`] — IaaS (busy-time) and per-invocation API cost accounting.
+//! * [`metrics`] — latency recording and summaries.
+//!
+//! # Examples
+//!
+//! ```
+//! use tt_sim::{EventQueue, SimDuration, SimTime};
+//!
+//! let mut q = EventQueue::new();
+//! q.schedule(SimTime::ZERO + SimDuration::from_millis(5), "b");
+//! q.schedule(SimTime::ZERO, "a");
+//! assert_eq!(q.pop(), Some((SimTime::ZERO, "a")));
+//! assert_eq!(q.pop().map(|(t, e)| (t.as_micros(), e)), Some((5_000, "b")));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arrivals;
+pub mod cost;
+pub mod engine;
+pub mod metrics;
+pub mod node;
+pub mod time;
+
+pub use arrivals::ArrivalProcess;
+pub use cost::{CostLedger, InstanceType, Money};
+pub use engine::EventQueue;
+pub use metrics::LatencyRecorder;
+pub use node::{JobTiming, ServiceNode};
+pub use time::{SimDuration, SimTime};

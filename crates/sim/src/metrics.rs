@@ -1,0 +1,135 @@
+//! Latency recording and summarization.
+
+use crate::time::SimDuration;
+use tt_stats::descriptive::Summary;
+use tt_stats::Result;
+
+/// Records per-request latencies and produces summaries.
+///
+/// ```
+/// use tt_sim::{LatencyRecorder, SimDuration};
+///
+/// let mut rec = LatencyRecorder::new();
+/// rec.record(SimDuration::from_millis(10));
+/// rec.record(SimDuration::from_millis(30));
+/// assert_eq!(rec.len(), 2);
+/// let s = rec.summary().unwrap();
+/// assert!((s.mean() - 20.0).abs() < 1e-9); // milliseconds
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct LatencyRecorder {
+    samples_ms: Vec<f64>,
+}
+
+impl LatencyRecorder {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        LatencyRecorder::default()
+    }
+
+    /// Record one latency observation.
+    pub fn record(&mut self, latency: SimDuration) {
+        self.samples_ms.push(latency.as_millis_f64());
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.samples_ms.len()
+    }
+
+    /// Whether no observations were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples_ms.is_empty()
+    }
+
+    /// Raw samples in milliseconds, in recording order.
+    pub fn samples_ms(&self) -> &[f64] {
+        &self.samples_ms
+    }
+
+    /// Summary statistics over the recorded latencies, in milliseconds.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if nothing was recorded.
+    pub fn summary(&self) -> Result<Summary> {
+        Summary::from_slice(&self.samples_ms)
+    }
+
+    /// A fixed-width-bucket histogram with `buckets` bins spanning
+    /// `[0, max]`. Returns bucket counts; observations above `max` land
+    /// in the final bucket.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buckets == 0` or `max_ms <= 0`.
+    pub fn histogram(&self, buckets: usize, max_ms: f64) -> Vec<usize> {
+        assert!(buckets > 0, "histogram needs at least one bucket");
+        assert!(max_ms > 0.0, "histogram span must be positive");
+        let mut counts = vec![0usize; buckets];
+        let width = max_ms / buckets as f64;
+        for &s in &self.samples_ms {
+            let idx = ((s / width) as usize).min(buckets - 1);
+            counts[idx] += 1;
+        }
+        counts
+    }
+
+    /// Merge another recorder's samples into this one.
+    pub fn merge(&mut self, other: &LatencyRecorder) {
+        self.samples_ms.extend_from_slice(&other.samples_ms);
+    }
+}
+
+impl Extend<SimDuration> for LatencyRecorder {
+    fn extend<T: IntoIterator<Item = SimDuration>>(&mut self, iter: T) {
+        for d in iter {
+            self.record(d);
+        }
+    }
+}
+
+impl FromIterator<SimDuration> for LatencyRecorder {
+    fn from_iter<T: IntoIterator<Item = SimDuration>>(iter: T) -> Self {
+        let mut rec = LatencyRecorder::new();
+        rec.extend(iter);
+        rec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_empty_recorder_errors() {
+        assert!(LatencyRecorder::new().summary().is_err());
+    }
+
+    #[test]
+    fn histogram_buckets_counts() {
+        let rec: LatencyRecorder = [1u64, 5, 9, 15, 100]
+            .iter()
+            .map(|&ms| SimDuration::from_millis(ms))
+            .collect();
+        let h = rec.histogram(2, 20.0);
+        // [0,10): 1,5,9 -> 3; [10,20]+overflow: 15,100 -> 2
+        assert_eq!(h, vec![3, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bucket")]
+    fn histogram_rejects_zero_buckets() {
+        LatencyRecorder::new().histogram(0, 10.0);
+    }
+
+    #[test]
+    fn merge_concatenates() {
+        let mut a: LatencyRecorder =
+            std::iter::once(SimDuration::from_millis(1)).collect();
+        let b: LatencyRecorder = std::iter::once(SimDuration::from_millis(2)).collect();
+        a.merge(&b);
+        assert_eq!(a.len(), 2);
+    }
+}

@@ -1,0 +1,243 @@
+//! Service nodes: `c` parallel execution slots with FIFO admission.
+//!
+//! A node models one scaled-out instantiation of a service version (the
+//! paper's "service node"). Work is admitted in arrival order; each job
+//! occupies the earliest-available slot. The timing model is analytic —
+//! admission immediately yields the job's start and finish instants — but
+//! jobs may later be *released early* (cancelled), which is how the early
+//! termination (ET) routing policy frees capacity and stops accruing IaaS
+//! cost for the expensive version.
+
+use crate::time::{SimDuration, SimTime};
+
+/// Identifier of a job admitted to a node, used for early release.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct JobId {
+    slot: usize,
+    seq: u64,
+}
+
+/// The computed schedule for an admitted job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct JobTiming {
+    /// Instant the job begins executing (>= its arrival).
+    pub start: SimTime,
+    /// Instant the job completes.
+    pub finish: SimTime,
+}
+
+impl JobTiming {
+    /// Queueing delay experienced before execution started.
+    pub fn queueing(&self, arrival: SimTime) -> SimDuration {
+        self.start.saturating_since(arrival)
+    }
+
+    /// Total time from arrival to completion.
+    pub fn response_time(&self, arrival: SimTime) -> SimDuration {
+        self.finish.saturating_since(arrival)
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    free_at: SimTime,
+    last_job: Option<(u64, SimTime)>, // (seq, start) of the job finishing at free_at
+}
+
+/// A service node with a fixed number of parallel slots.
+///
+/// ```
+/// use tt_sim::{ServiceNode, SimDuration, SimTime};
+///
+/// let mut node = ServiceNode::new(1);
+/// let (a, _) = node.admit(SimTime::ZERO, SimDuration::from_millis(10));
+/// let (b, _) = node.admit(SimTime::ZERO, SimDuration::from_millis(10));
+/// assert_eq!(a.finish, SimTime::from_micros(10_000));
+/// assert_eq!(b.start, a.finish); // queued behind the first job
+/// ```
+#[derive(Debug, Clone)]
+pub struct ServiceNode {
+    slots: Vec<Slot>,
+    next_seq: u64,
+    busy: SimDuration,
+}
+
+impl ServiceNode {
+    /// Create a node with `slots` parallel execution slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots == 0`.
+    pub fn new(slots: usize) -> Self {
+        assert!(slots > 0, "a service node needs at least one slot");
+        ServiceNode {
+            slots: vec![
+                Slot {
+                    free_at: SimTime::ZERO,
+                    last_job: None,
+                };
+                slots
+            ],
+            next_seq: 0,
+            busy: SimDuration::ZERO,
+        }
+    }
+
+    /// Number of parallel slots.
+    pub fn slots(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total busy time accrued so far (including time scheduled in the
+    /// future for already-admitted jobs; early release refunds it).
+    pub fn busy_time(&self) -> SimDuration {
+        self.busy
+    }
+
+    /// Admit a job arriving at `arrival` needing `service` execution
+    /// time. Returns its schedule and an id usable with
+    /// [`ServiceNode::release_early`].
+    pub fn admit(&mut self, arrival: SimTime, service: SimDuration) -> (JobTiming, JobId) {
+        // Earliest-free slot; ties broken by index for determinism.
+        let (slot_idx, _) = self
+            .slots
+            .iter()
+            .enumerate()
+            .min_by_key(|(i, s)| (s.free_at, *i))
+            .expect("at least one slot");
+        let slot = &mut self.slots[slot_idx];
+        let start = arrival.max(slot.free_at);
+        let finish = start + service;
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        slot.free_at = finish;
+        slot.last_job = Some((seq, start));
+        self.busy += service;
+        (
+            JobTiming { start, finish },
+            JobId {
+                slot: slot_idx,
+                seq,
+            },
+        )
+    }
+
+    /// Cancel a running job at instant `at`, freeing its slot and
+    /// refunding the unexecuted portion of its busy time.
+    ///
+    /// Only the *most recently admitted* job on a slot can be released
+    /// (later admissions already queued behind it would otherwise need
+    /// rescheduling); attempting to release anything else returns
+    /// `false` and changes nothing. This matches how the serving layer
+    /// uses it: a concurrent ensemble admits the expensive job last and
+    /// cancels it as soon as the cheap version's confident answer
+    /// arrives.
+    pub fn release_early(&mut self, job: JobId, at: SimTime) -> bool {
+        let slot = &mut self.slots[job.slot];
+        match slot.last_job {
+            Some((seq, start)) if seq == job.seq => {
+                let effective_end = at.max(start).min(slot.free_at);
+                let refund = slot.free_at.saturating_since(effective_end);
+                self.busy = self.busy.saturating_sub(refund);
+                slot.free_at = effective_end;
+                slot.last_job = None;
+                true
+            }
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> SimDuration {
+        SimDuration::from_millis(v)
+    }
+
+    fn at(v: u64) -> SimTime {
+        SimTime::from_micros(v * 1_000)
+    }
+
+    #[test]
+    fn single_slot_queues_fifo() {
+        let mut n = ServiceNode::new(1);
+        let (a, _) = n.admit(at(0), ms(10));
+        let (b, _) = n.admit(at(2), ms(10));
+        assert_eq!(a.start, at(0));
+        assert_eq!(a.finish, at(10));
+        assert_eq!(b.start, at(10));
+        assert_eq!(b.finish, at(20));
+        assert_eq!(b.queueing(at(2)), ms(8));
+        assert_eq!(b.response_time(at(2)), ms(18));
+    }
+
+    #[test]
+    fn parallel_slots_run_concurrently() {
+        let mut n = ServiceNode::new(2);
+        let (a, _) = n.admit(at(0), ms(10));
+        let (b, _) = n.admit(at(0), ms(10));
+        assert_eq!(a.start, at(0));
+        assert_eq!(b.start, at(0));
+        assert_eq!(n.busy_time(), ms(20));
+    }
+
+    #[test]
+    fn idle_gap_before_late_arrival() {
+        let mut n = ServiceNode::new(1);
+        let (a, _) = n.admit(at(0), ms(5));
+        let (b, _) = n.admit(at(100), ms(5));
+        assert_eq!(a.finish, at(5));
+        assert_eq!(b.start, at(100));
+    }
+
+    #[test]
+    fn early_release_refunds_busy_time() {
+        let mut n = ServiceNode::new(1);
+        let (t, id) = n.admit(at(0), ms(100));
+        assert_eq!(n.busy_time(), ms(100));
+        assert!(n.release_early(id, at(30)));
+        assert_eq!(n.busy_time(), ms(30));
+        // Slot is free again at t=30.
+        let (next, _) = n.admit(at(30), ms(10));
+        assert_eq!(next.start, at(30));
+        let _ = t;
+    }
+
+    #[test]
+    fn early_release_before_start_refunds_everything() {
+        let mut n = ServiceNode::new(1);
+        let (_, first) = n.admit(at(0), ms(50));
+        let (_, second) = n.admit(at(0), ms(50)); // queued: starts at 50
+        // Cancel the queued job at t=10, before it started.
+        assert!(n.release_early(second, at(10)));
+        assert_eq!(n.busy_time(), ms(50));
+        let _ = first;
+    }
+
+    #[test]
+    fn release_of_stale_job_is_rejected() {
+        let mut n = ServiceNode::new(1);
+        let (_, first) = n.admit(at(0), ms(10));
+        let (_, _second) = n.admit(at(0), ms(10));
+        // `first` is no longer the slot's most recent admission.
+        assert!(!n.release_early(first, at(1)));
+        assert_eq!(n.busy_time(), ms(20));
+    }
+
+    #[test]
+    fn double_release_is_rejected() {
+        let mut n = ServiceNode::new(1);
+        let (_, id) = n.admit(at(0), ms(10));
+        assert!(n.release_early(id, at(1)));
+        assert!(!n.release_early(id, at(2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slot")]
+    fn zero_slots_panics() {
+        let _ = ServiceNode::new(0);
+    }
+}

@@ -1,0 +1,101 @@
+//! Property-based tests for the discrete-event kernel.
+
+use proptest::prelude::*;
+use tt_sim::{ArrivalProcess, EventQueue, InstanceType, ServiceNode, SimDuration, SimTime};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn events_pop_in_nondecreasing_time_order(
+        times in prop::collection::vec(0u64..1_000_000, 1..200),
+    ) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_micros(t), i);
+        }
+        let mut last = SimTime::ZERO;
+        let mut count = 0;
+        while let Some((t, _)) = q.pop() {
+            prop_assert!(t >= last);
+            last = t;
+            count += 1;
+        }
+        prop_assert_eq!(count, times.len());
+    }
+
+    #[test]
+    fn simultaneous_events_preserve_fifo(
+        n in 1usize..100,
+        t in 0u64..1_000,
+    ) {
+        let mut q = EventQueue::new();
+        for i in 0..n {
+            q.schedule(SimTime::from_micros(t), i);
+        }
+        let order: Vec<usize> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        prop_assert_eq!(order, (0..n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn node_conservation_of_busy_time(
+        jobs in prop::collection::vec((0u64..10_000, 1u64..5_000), 1..100),
+        slots in 1usize..8,
+    ) {
+        let mut sorted = jobs.clone();
+        sorted.sort();
+        let mut node = ServiceNode::new(slots);
+        let mut total = SimDuration::ZERO;
+        for (arrival, service) in sorted {
+            let service = SimDuration::from_micros(service);
+            let (timing, _) = node.admit(SimTime::from_micros(arrival), service);
+            // FIFO within a slot: start >= arrival, finish = start + service.
+            prop_assert!(timing.start >= SimTime::from_micros(arrival));
+            prop_assert_eq!(timing.finish, timing.start + service);
+            total += service;
+        }
+        prop_assert_eq!(node.busy_time(), total);
+    }
+
+    #[test]
+    fn node_single_slot_is_strictly_serial(
+        jobs in prop::collection::vec((0u64..10_000, 1u64..2_000), 2..50),
+    ) {
+        let mut sorted = jobs.clone();
+        sorted.sort();
+        let mut node = ServiceNode::new(1);
+        let mut prev_finish = SimTime::ZERO;
+        for (arrival, service) in sorted {
+            let (timing, _) =
+                node.admit(SimTime::from_micros(arrival), SimDuration::from_micros(service));
+            prop_assert!(timing.start >= prev_finish);
+            prev_finish = timing.finish;
+        }
+    }
+
+    #[test]
+    fn poisson_arrivals_are_strictly_increasing(
+        rate in 1.0f64..10_000.0,
+        seed in 0u64..100,
+    ) {
+        let arrivals: Vec<SimTime> =
+            ArrivalProcess::poisson(rate, seed).unwrap().take(200).collect();
+        for w in arrivals.windows(2) {
+            prop_assert!(w[1] >= w[0]);
+        }
+        prop_assert!(arrivals[0] > SimTime::ZERO);
+    }
+
+    #[test]
+    fn instance_cost_is_linear(
+        price in 0.01f64..10.0,
+        a in 1u64..1_000_000,
+        b in 1u64..1_000_000,
+    ) {
+        let inst = InstanceType::new("prop", price);
+        let ca = inst.cost_of(SimDuration::from_micros(a)).as_dollars();
+        let cb = inst.cost_of(SimDuration::from_micros(b)).as_dollars();
+        let cab = inst.cost_of(SimDuration::from_micros(a + b)).as_dollars();
+        prop_assert!((ca + cb - cab).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,66 @@
+//! Analytic cross-validation of the kernel's queueing behaviour.
+//!
+//! A single-slot node fed by Poisson arrivals with deterministic
+//! service is an M/D/1 queue, whose mean waiting time is known in
+//! closed form: `W = ρ·D / (2(1 − ρ))`. The simulated node must agree —
+//! this is the strongest correctness check available for the admission
+//! logic, because it exercises the full interplay of stochastic
+//! arrivals and slot bookkeeping against independent theory.
+
+use tt_sim::{ArrivalProcess, LatencyRecorder, ServiceNode, SimDuration};
+
+/// Simulate and return the mean wait (ms) at the given utilization.
+fn mean_wait_ms(rho: f64, service_ms: u64, n: usize, seed: u64) -> f64 {
+    let service = SimDuration::from_millis(service_ms);
+    let rate = rho / service.as_secs_f64();
+    let mut node = ServiceNode::new(1);
+    let mut waits = LatencyRecorder::new();
+    for arrival in ArrivalProcess::poisson(rate, seed).unwrap().take(n) {
+        let (timing, _) = node.admit(arrival, service);
+        waits.record(timing.queueing(arrival));
+    }
+    waits.summary().unwrap().mean()
+}
+
+#[test]
+fn md1_mean_wait_matches_theory_at_moderate_load() {
+    for &rho in &[0.3f64, 0.5, 0.7] {
+        let service_ms = 10u64;
+        let observed = mean_wait_ms(rho, service_ms, 60_000, 42);
+        let expected = rho * service_ms as f64 / (2.0 * (1.0 - rho));
+        let rel = (observed - expected).abs() / expected;
+        assert!(
+            rel < 0.15,
+            "rho {rho}: observed {observed:.3}ms vs M/D/1 {expected:.3}ms ({rel:.2} rel err)"
+        );
+    }
+}
+
+#[test]
+fn waits_explode_as_utilization_approaches_one() {
+    let low = mean_wait_ms(0.5, 10, 20_000, 7);
+    let high = mean_wait_ms(0.95, 10, 20_000, 7);
+    assert!(high > low * 5.0, "high {high} vs low {low}");
+}
+
+#[test]
+fn multi_slot_pool_cuts_waits_superlinearly() {
+    // Same offered load split over more slots: pooled capacity wins.
+    let service = SimDuration::from_millis(10);
+    let run = |slots: usize| {
+        let rate = 0.8 * slots as f64 / service.as_secs_f64();
+        let mut node = ServiceNode::new(slots);
+        let mut waits = LatencyRecorder::new();
+        for arrival in ArrivalProcess::poisson(rate, 3).unwrap().take(30_000) {
+            let (timing, _) = node.admit(arrival, service);
+            waits.record(timing.queueing(arrival));
+        }
+        waits.summary().unwrap().mean()
+    };
+    let single = run(1);
+    let pooled = run(8);
+    assert!(
+        pooled < single / 2.0,
+        "pooling should cut waits: 1 slot {single:.3}ms vs 8 slots {pooled:.3}ms"
+    );
+}

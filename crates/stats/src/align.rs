@@ -1,0 +1,212 @@
+//! Sequence alignment via Levenshtein dynamic programming.
+//!
+//! Word error rate — the paper's ASR accuracy metric — is the number of
+//! word-level insertions, deletions and substitutions between a hypothesis
+//! and a reference transcript, divided by the reference length. This
+//! module provides the underlying alignment for arbitrary `PartialEq`
+//! tokens.
+
+/// One edit operation in an optimal alignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum EditOp {
+    /// Tokens matched; no edit.
+    Match,
+    /// Hypothesis token replaces a different reference token.
+    Substitution,
+    /// Hypothesis contains a token absent from the reference.
+    Insertion,
+    /// Reference token missing from the hypothesis.
+    Deletion,
+}
+
+/// The outcome of aligning a hypothesis against a reference.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Alignment {
+    /// Optimal edit script (reference order, hypothesis interleaved).
+    ops: Vec<EditOp>,
+    matches: usize,
+    substitutions: usize,
+    insertions: usize,
+    deletions: usize,
+}
+
+impl Alignment {
+    /// Align `hypothesis` against `reference`, minimizing total edits
+    /// (unit costs).
+    ///
+    /// ```
+    /// use tt_stats::Alignment;
+    ///
+    /// let a = Alignment::align(&["the", "cat", "sat"], &["the", "hat", "sat"]);
+    /// assert_eq!(a.errors(), 1);
+    /// assert_eq!(a.substitutions(), 1);
+    /// ```
+    pub fn align<T: PartialEq>(hypothesis: &[T], reference: &[T]) -> Self {
+        let h = hypothesis.len();
+        let r = reference.len();
+        // dist[i][j]: edits to align hyp[..i] with ref[..j].
+        let mut dist = vec![vec![0usize; r + 1]; h + 1];
+        for (i, row) in dist.iter_mut().enumerate() {
+            row[0] = i;
+        }
+        for j in 0..=r {
+            dist[0][j] = j;
+        }
+        for i in 1..=h {
+            for j in 1..=r {
+                let sub_cost = usize::from(hypothesis[i - 1] != reference[j - 1]);
+                dist[i][j] = (dist[i - 1][j - 1] + sub_cost)
+                    .min(dist[i - 1][j] + 1) // insertion (extra hyp token)
+                    .min(dist[i][j - 1] + 1); // deletion (missing ref token)
+            }
+        }
+
+        // Backtrace.
+        let mut ops = Vec::new();
+        let (mut i, mut j) = (h, r);
+        while i > 0 || j > 0 {
+            if i > 0 && j > 0 {
+                let sub_cost = usize::from(hypothesis[i - 1] != reference[j - 1]);
+                if dist[i][j] == dist[i - 1][j - 1] + sub_cost {
+                    ops.push(if sub_cost == 0 {
+                        EditOp::Match
+                    } else {
+                        EditOp::Substitution
+                    });
+                    i -= 1;
+                    j -= 1;
+                    continue;
+                }
+            }
+            if i > 0 && dist[i][j] == dist[i - 1][j] + 1 {
+                ops.push(EditOp::Insertion);
+                i -= 1;
+            } else {
+                ops.push(EditOp::Deletion);
+                j -= 1;
+            }
+        }
+        ops.reverse();
+
+        let count = |op: EditOp| ops.iter().filter(|&&o| o == op).count();
+        Alignment {
+            matches: count(EditOp::Match),
+            substitutions: count(EditOp::Substitution),
+            insertions: count(EditOp::Insertion),
+            deletions: count(EditOp::Deletion),
+            ops,
+        }
+    }
+
+    /// The optimal edit script.
+    pub fn ops(&self) -> &[EditOp] {
+        &self.ops
+    }
+
+    /// Total edits (substitutions + insertions + deletions).
+    pub fn errors(&self) -> usize {
+        self.substitutions + self.insertions + self.deletions
+    }
+
+    /// Matched tokens.
+    pub fn matches(&self) -> usize {
+        self.matches
+    }
+
+    /// Substituted tokens.
+    pub fn substitutions(&self) -> usize {
+        self.substitutions
+    }
+
+    /// Inserted tokens (present in hypothesis, absent in reference).
+    pub fn insertions(&self) -> usize {
+        self.insertions
+    }
+
+    /// Deleted tokens (present in reference, absent in hypothesis).
+    pub fn deletions(&self) -> usize {
+        self.deletions
+    }
+
+    /// Error rate relative to the reference length: `errors / ref_len`.
+    /// An empty reference yields `0.0` for an empty hypothesis and
+    /// `1.0` otherwise (every hypothesis token is an error against
+    /// nothing; capped to keep the metric in a sane range).
+    pub fn error_rate(&self) -> f64 {
+        let ref_len = self.matches + self.substitutions + self.deletions;
+        if ref_len == 0 {
+            return if self.insertions == 0 { 0.0 } else { 1.0 };
+        }
+        self.errors() as f64 / ref_len as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_sequences_have_zero_errors() {
+        let a = Alignment::align(&[1, 2, 3], &[1, 2, 3]);
+        assert_eq!(a.errors(), 0);
+        assert_eq!(a.matches(), 3);
+        assert_eq!(a.error_rate(), 0.0);
+    }
+
+    #[test]
+    fn single_substitution() {
+        let a = Alignment::align(&["a", "x", "c"], &["a", "b", "c"]);
+        assert_eq!(a.substitutions(), 1);
+        assert_eq!(a.errors(), 1);
+        assert!((a.error_rate() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn insertion_and_deletion() {
+        // hyp has an extra token -> insertion
+        let a = Alignment::align(&["a", "b", "c"], &["a", "c"]);
+        assert_eq!(a.insertions(), 1);
+        assert_eq!(a.deletions(), 0);
+        // hyp misses a token -> deletion
+        let b = Alignment::align(&["a", "c"], &["a", "b", "c"]);
+        assert_eq!(b.deletions(), 1);
+        assert_eq!(b.insertions(), 0);
+    }
+
+    #[test]
+    fn empty_cases() {
+        let a = Alignment::align::<u8>(&[], &[]);
+        assert_eq!(a.error_rate(), 0.0);
+        let b = Alignment::align(&[1, 2], &[]);
+        assert_eq!(b.error_rate(), 1.0);
+        let c = Alignment::align::<u8>(&[], &[1, 2, 3]);
+        assert_eq!(c.deletions(), 3);
+        assert_eq!(c.error_rate(), 1.0);
+    }
+
+    #[test]
+    fn error_rate_can_exceed_one() {
+        // 5 hypothesis tokens against 1 reference token: 1 sub + 4 ins = 5 errors / 1 word.
+        let a = Alignment::align(&[9, 9, 9, 9, 9], &[1]);
+        assert_eq!(a.errors(), 5);
+        assert_eq!(a.error_rate(), 5.0);
+    }
+
+    #[test]
+    fn ops_reconstruct_counts() {
+        let a = Alignment::align(&["x", "b", "c", "d"], &["a", "b", "d"]);
+        let subs = a.ops().iter().filter(|&&o| o == EditOp::Substitution).count();
+        assert_eq!(subs, a.substitutions());
+        assert_eq!(a.errors(), 2); // substitute a->x, insert c
+    }
+
+    #[test]
+    fn classic_kitten_sitting() {
+        let hyp: Vec<char> = "sitting".chars().collect();
+        let reference: Vec<char> = "kitten".chars().collect();
+        let a = Alignment::align(&hyp, &reference);
+        assert_eq!(a.errors(), 3);
+    }
+}

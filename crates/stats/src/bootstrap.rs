@@ -1,0 +1,313 @@
+//! The bootstrapping engine behind the routing-rule generator (paper Fig. 7).
+//!
+//! The paper's generator repeatedly draws a random subset of the training
+//! data, simulates a candidate service-version ensemble on it, and keeps a
+//! per-trial tuple of metrics (error degradation, response time, cost).
+//! Trials continue until every metric is *confident* — its trial values
+//! have spanned a z-score range wide enough for the requested confidence
+//! level — and the per-metric **worst case** over all trials is reported.
+//!
+//! The Python pseudocode in the paper has two degenerate cases we guard
+//! against (and document):
+//!
+//! * an empty trial list makes its `while any(...)` loop exit immediately —
+//!   we always run at least [`TrialLimits::min_trials`] trials;
+//! * a metric that is constant across trials never satisfies the z-spread
+//!   criterion — we declare a zero-variance metric confident (its worst
+//!   case is exact) and additionally cap work at
+//!   [`TrialLimits::max_trials`].
+
+use crate::descriptive::z_scores;
+use crate::normal::ppf;
+use crate::{Result, StatsError};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Bounds on the number of bootstrap trials.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct TrialLimits {
+    /// Minimum number of trials before the stopping rule may fire.
+    pub min_trials: usize,
+    /// Hard cap on trials (the stopping rule may never fire for
+    /// pathological metric distributions).
+    pub max_trials: usize,
+}
+
+impl Default for TrialLimits {
+    fn default() -> Self {
+        TrialLimits {
+            min_trials: 10,
+            max_trials: 400,
+        }
+    }
+}
+
+/// Result of bootstrapping one configuration.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct BootstrapOutcome {
+    /// Worst case (maximum) observed per metric, in the order the
+    /// simulation closure returned them.
+    pub worst_case: Vec<f64>,
+    /// Mean per metric across trials.
+    pub trial_mean: Vec<f64>,
+    /// Number of trials executed.
+    pub trials: usize,
+    /// Whether the stopping rule fired (as opposed to hitting
+    /// `max_trials`).
+    pub converged: bool,
+}
+
+/// A seeded bootstrap runner.
+///
+/// ```
+/// use tt_stats::bootstrap::Bootstrap;
+///
+/// let data: Vec<f64> = (0..100).map(f64::from).collect();
+/// let boot = Bootstrap::new(0.999, 42).unwrap();
+/// // One metric: the sample mean of each resampled subset.
+/// let out = boot
+///     .run(&data, 1, |sample| vec![sample.iter().copied().sum::<f64>() / sample.len() as f64])
+///     .unwrap();
+/// assert_eq!(out.worst_case.len(), 1);
+/// assert!(out.trials >= 10);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Bootstrap {
+    confidence: f64,
+    sample_fraction: f64,
+    limits: TrialLimits,
+    seed: u64,
+}
+
+impl Bootstrap {
+    /// Create a bootstrap runner with the paper's defaults: subsets of
+    /// one tenth of the training data, at least 10 and at most 400 trials.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidProbability`] unless
+    /// `0 < confidence < 1`.
+    pub fn new(confidence: f64, seed: u64) -> Result<Self> {
+        if !(confidence > 0.0 && confidence < 1.0) {
+            return Err(StatsError::InvalidProbability { what: "confidence" });
+        }
+        Ok(Bootstrap {
+            confidence,
+            sample_fraction: 0.1,
+            limits: TrialLimits::default(),
+            seed,
+        })
+    }
+
+    /// Override the fraction of the training data drawn per trial
+    /// (default `0.1`, the paper's `len(train_data) / 10`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidProbability`] unless
+    /// `0 < fraction <= 1`.
+    pub fn with_sample_fraction(mut self, fraction: f64) -> Result<Self> {
+        if !(fraction > 0.0 && fraction <= 1.0) {
+            return Err(StatsError::InvalidProbability { what: "fraction" });
+        }
+        self.sample_fraction = fraction;
+        Ok(self)
+    }
+
+    /// Override the trial limits.
+    pub fn with_limits(mut self, limits: TrialLimits) -> Self {
+        self.limits = limits;
+        self
+    }
+
+    /// Confidence level this runner was built with.
+    pub fn confidence(&self) -> f64 {
+        self.confidence
+    }
+
+    /// Run the bootstrap: draw subsets of `data` with replacement, call
+    /// `simulate` on each, and stop once every one of the `metrics`
+    /// values it returns is confident (or `max_trials` is reached).
+    ///
+    /// `simulate` receives the indices of the resampled observations and
+    /// must return exactly `metrics` values per call.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::EmptySample`] if `data` is empty and
+    /// [`StatsError::InvalidParameter`] if `metrics` is zero or
+    /// `simulate` returns the wrong number of metrics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `simulate` returns NaN (the stopping rule is undefined
+    /// on NaN).
+    pub fn run<T, F>(&self, data: &[T], metrics: usize, mut simulate: F) -> Result<BootstrapOutcome>
+    where
+        F: FnMut(&[&T]) -> Vec<f64>,
+    {
+        if data.is_empty() {
+            return Err(StatsError::EmptySample);
+        }
+        if metrics == 0 {
+            return Err(StatsError::InvalidParameter { what: "metrics" });
+        }
+        let z_bound = ppf(self.confidence)?;
+        let k = ((data.len() as f64 * self.sample_fraction).ceil() as usize).max(1);
+        let mut rng = StdRng::seed_from_u64(self.seed);
+
+        // trial_values[m] collects metric m across trials.
+        let mut trial_values: Vec<Vec<f64>> = vec![Vec::new(); metrics];
+        let mut trials = 0usize;
+        let mut converged = false;
+
+        while trials < self.limits.max_trials {
+            let sample: Vec<&T> = (0..k).map(|_| &data[rng.gen_range(0..data.len())]).collect();
+            let observed = simulate(&sample);
+            if observed.len() != metrics {
+                return Err(StatsError::InvalidParameter { what: "simulate" });
+            }
+            for (m, v) in observed.into_iter().enumerate() {
+                assert!(!v.is_nan(), "simulate returned NaN for metric {m}");
+                trial_values[m].push(v);
+            }
+            trials += 1;
+
+            if trials >= self.limits.min_trials
+                && trial_values.iter().all(|vals| confident(vals, z_bound))
+            {
+                converged = true;
+                break;
+            }
+        }
+
+        let worst_case = trial_values
+            .iter()
+            .map(|vals| vals.iter().copied().fold(f64::NEG_INFINITY, f64::max))
+            .collect();
+        let trial_mean = trial_values
+            .iter()
+            .map(|vals| vals.iter().sum::<f64>() / vals.len() as f64)
+            .collect();
+        Ok(BootstrapOutcome {
+            worst_case,
+            trial_mean,
+            trials,
+            converged,
+        })
+    }
+}
+
+/// The paper's `confident` predicate (Fig. 7): the z-scores of the trial
+/// values must either straddle `±z_bound`, or span more than `2 *
+/// z_bound`. A zero-variance metric is declared confident (see module
+/// docs).
+fn confident(vals: &[f64], z_bound: f64) -> bool {
+    let zs = match z_scores(vals) {
+        Ok(zs) => zs,
+        Err(_) => return false,
+    };
+    let min = zs.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = zs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if min == 0.0 && max == 0.0 {
+        // Constant metric: the worst case is exact.
+        return true;
+    }
+    (min < -z_bound && max > z_bound) || (max - min > 2.0 * z_bound)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_confidence() {
+        assert!(Bootstrap::new(0.0, 1).is_err());
+        assert!(Bootstrap::new(1.0, 1).is_err());
+        assert!(Bootstrap::new(0.999, 1).is_ok());
+    }
+
+    #[test]
+    fn rejects_empty_data() {
+        let boot = Bootstrap::new(0.9, 1).unwrap();
+        let data: Vec<f64> = vec![];
+        assert!(boot.run(&data, 1, |_| vec![0.0]).is_err());
+    }
+
+    #[test]
+    fn rejects_zero_metrics() {
+        let boot = Bootstrap::new(0.9, 1).unwrap();
+        assert!(boot.run(&[1.0], 0, |_| vec![]).is_err());
+    }
+
+    #[test]
+    fn constant_metric_converges_at_min_trials() {
+        let boot = Bootstrap::new(0.999, 7).unwrap();
+        let data: Vec<u32> = (0..50).collect();
+        let out = boot.run(&data, 1, |_| vec![3.5]).unwrap();
+        assert!(out.converged);
+        assert_eq!(out.trials, TrialLimits::default().min_trials);
+        assert_eq!(out.worst_case, vec![3.5]);
+        assert_eq!(out.trial_mean, vec![3.5]);
+    }
+
+    #[test]
+    fn worst_case_dominates_every_trial_mean() {
+        let boot = Bootstrap::new(0.99, 11).unwrap();
+        let data: Vec<f64> = (0..200).map(f64::from).collect();
+        let out = boot
+            .run(&data, 2, |s| {
+                let mean = s.iter().copied().sum::<f64>() / s.len() as f64;
+                vec![mean, -mean]
+            })
+            .unwrap();
+        assert!(out.worst_case[0] >= out.trial_mean[0]);
+        assert!(out.worst_case[1] >= out.trial_mean[1]);
+    }
+
+    #[test]
+    fn deterministic_under_same_seed() {
+        let data: Vec<f64> = (0..100).map(f64::from).collect();
+        let run = |seed| {
+            Bootstrap::new(0.999, seed)
+                .unwrap()
+                .run(&data, 1, |s| {
+                    vec![s.iter().copied().sum::<f64>() / s.len() as f64]
+                })
+                .unwrap()
+        };
+        assert_eq!(run(5), run(5));
+        // Different seeds should (almost surely) differ.
+        assert_ne!(run(5).worst_case, run(6).worst_case);
+    }
+
+    #[test]
+    fn respects_max_trials_cap() {
+        let boot = Bootstrap::new(0.9999999, 3)
+            .unwrap()
+            .with_limits(TrialLimits {
+                min_trials: 2,
+                max_trials: 5,
+            });
+        let data: Vec<f64> = (0..100).map(f64::from).collect();
+        let mut flip = 0.0;
+        let out = boot
+            .run(&data, 1, |_| {
+                flip += 1.0;
+                vec![flip % 2.0] // alternates, never spans an extreme z range
+            })
+            .unwrap();
+        assert_eq!(out.trials, 5);
+        assert!(!out.converged);
+    }
+
+    #[test]
+    fn sample_fraction_validation() {
+        let b = Bootstrap::new(0.9, 1).unwrap();
+        assert!(b.clone().with_sample_fraction(0.0).is_err());
+        assert!(b.clone().with_sample_fraction(1.1).is_err());
+        assert!(b.with_sample_fraction(0.5).is_ok());
+    }
+}

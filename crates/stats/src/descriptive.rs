@@ -1,0 +1,271 @@
+//! Descriptive statistics over `f64` samples.
+
+use crate::{Result, StatsError};
+
+/// Mean of a sample.
+///
+/// # Errors
+///
+/// Returns [`StatsError::EmptySample`] if `xs` is empty.
+///
+/// ```
+/// assert_eq!(tt_stats::descriptive::mean(&[2.0, 4.0]).unwrap(), 3.0);
+/// ```
+pub fn mean(xs: &[f64]) -> Result<f64> {
+    if xs.is_empty() {
+        return Err(StatsError::EmptySample);
+    }
+    Ok(xs.iter().sum::<f64>() / xs.len() as f64)
+}
+
+/// Population variance (divides by `n`).
+///
+/// # Errors
+///
+/// Returns [`StatsError::EmptySample`] if `xs` is empty.
+pub fn variance(xs: &[f64]) -> Result<f64> {
+    let m = mean(xs)?;
+    Ok(xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64)
+}
+
+/// Population standard deviation.
+///
+/// # Errors
+///
+/// Returns [`StatsError::EmptySample`] if `xs` is empty.
+pub fn std_dev(xs: &[f64]) -> Result<f64> {
+    Ok(variance(xs)?.sqrt())
+}
+
+/// Z-scores of every observation relative to the sample itself, i.e.
+/// `(x - mean) / std_dev`, matching `scipy.stats.zscore` as used by the
+/// paper's routing-rule generator (Fig. 7).
+///
+/// A sample with zero variance maps every observation to `0.0` (scipy
+/// returns NaN there; zero is the behaviour the stopping rule needs, since
+/// a constant metric is maximally "confident").
+///
+/// # Errors
+///
+/// Returns [`StatsError::EmptySample`] if `xs` is empty.
+pub fn z_scores(xs: &[f64]) -> Result<Vec<f64>> {
+    let m = mean(xs)?;
+    let sd = std_dev(xs)?;
+    if sd == 0.0 {
+        return Ok(vec![0.0; xs.len()]);
+    }
+    Ok(xs.iter().map(|x| (x - m) / sd).collect())
+}
+
+/// Linear-interpolation percentile (the numpy `linear` method).
+///
+/// `q` is a fraction in `[0, 1]`; `q = 0.5` is the median.
+///
+/// # Errors
+///
+/// Returns [`StatsError::EmptySample`] if `xs` is empty and
+/// [`StatsError::InvalidProbability`] if `q` is outside `[0, 1]` or NaN.
+pub fn percentile(xs: &[f64], q: f64) -> Result<f64> {
+    if xs.is_empty() {
+        return Err(StatsError::EmptySample);
+    }
+    if !(0.0..=1.0).contains(&q) {
+        return Err(StatsError::InvalidProbability { what: "q" });
+    }
+    let mut sorted: Vec<f64> = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample"));
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    Ok(sorted[lo] + (sorted[hi] - sorted[lo]) * frac)
+}
+
+/// Geometric mean of a sample of positive values.
+///
+/// # Errors
+///
+/// Returns [`StatsError::EmptySample`] for empty input and
+/// [`StatsError::InvalidParameter`] if any observation is non-positive.
+pub fn geometric_mean(xs: &[f64]) -> Result<f64> {
+    if xs.is_empty() {
+        return Err(StatsError::EmptySample);
+    }
+    if xs.iter().any(|&x| x <= 0.0) {
+        return Err(StatsError::InvalidParameter { what: "xs" });
+    }
+    Ok((xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp())
+}
+
+/// A one-pass summary of a sample: count, mean, min, max, standard
+/// deviation, and selected percentiles.
+///
+/// ```
+/// use tt_stats::descriptive::Summary;
+/// let s = Summary::from_slice(&[1.0, 3.0, 5.0]).unwrap();
+/// assert_eq!(s.count(), 3);
+/// assert_eq!(s.min(), 1.0);
+/// assert_eq!(s.max(), 5.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Summary {
+    count: usize,
+    mean: f64,
+    std_dev: f64,
+    min: f64,
+    max: f64,
+    p50: f64,
+    p95: f64,
+    p99: f64,
+}
+
+impl Summary {
+    /// Summarize a sample.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::EmptySample`] if `xs` is empty.
+    pub fn from_slice(xs: &[f64]) -> Result<Self> {
+        if xs.is_empty() {
+            return Err(StatsError::EmptySample);
+        }
+        Ok(Summary {
+            count: xs.len(),
+            mean: mean(xs)?,
+            std_dev: std_dev(xs)?,
+            min: xs.iter().copied().fold(f64::INFINITY, f64::min),
+            max: xs.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+            p50: percentile(xs, 0.50)?,
+            p95: percentile(xs, 0.95)?,
+            p99: percentile(xs, 0.99)?,
+        })
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Arithmetic mean.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.std_dev
+    }
+
+    /// Smallest observation.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Median (50th percentile).
+    pub fn median(&self) -> f64 {
+        self.p50
+    }
+
+    /// 95th percentile.
+    pub fn p95(&self) -> f64 {
+        self.p95
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> f64 {
+        self.p99
+    }
+}
+
+impl std::fmt::Display for Summary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.4} sd={:.4} min={:.4} p50={:.4} p95={:.4} p99={:.4} max={:.4}",
+            self.count, self.mean, self.std_dev, self.min, self.p50, self.p95, self.p99, self.max
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_of_simple_sample() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]).unwrap(), 2.0);
+    }
+
+    #[test]
+    fn mean_of_empty_sample_errors() {
+        assert_eq!(mean(&[]), Err(StatsError::EmptySample));
+    }
+
+    #[test]
+    fn variance_matches_hand_computation() {
+        // var([1,2,3]) with population normalization = 2/3
+        let v = variance(&[1.0, 2.0, 3.0]).unwrap();
+        assert!((v - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn z_scores_have_zero_mean_unit_variance() {
+        let zs = z_scores(&[1.0, 2.0, 3.0, 8.0]).unwrap();
+        let m = mean(&zs).unwrap();
+        let v = variance(&zs).unwrap();
+        assert!(m.abs() < 1e-12);
+        assert!((v - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn z_scores_of_constant_sample_are_zero() {
+        assert_eq!(z_scores(&[5.0, 5.0, 5.0]).unwrap(), vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn percentile_interpolates_linearly() {
+        let xs = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(percentile(&xs, 0.0).unwrap(), 10.0);
+        assert_eq!(percentile(&xs, 1.0).unwrap(), 40.0);
+        assert_eq!(percentile(&xs, 0.5).unwrap(), 25.0);
+    }
+
+    #[test]
+    fn percentile_rejects_bad_q() {
+        assert!(percentile(&[1.0], 1.5).is_err());
+        assert!(percentile(&[1.0], -0.1).is_err());
+    }
+
+    #[test]
+    fn geometric_mean_of_powers() {
+        let g = geometric_mean(&[1.0, 100.0]).unwrap();
+        assert!((g - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn geometric_mean_rejects_nonpositive() {
+        assert!(geometric_mean(&[1.0, 0.0]).is_err());
+        assert!(geometric_mean(&[-1.0]).is_err());
+    }
+
+    #[test]
+    fn summary_reports_extremes_and_median() {
+        let s = Summary::from_slice(&[4.0, 1.0, 3.0, 2.0]).unwrap();
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 4.0);
+        assert_eq!(s.median(), 2.5);
+        assert_eq!(s.count(), 4);
+    }
+
+    #[test]
+    fn summary_display_is_nonempty() {
+        let s = Summary::from_slice(&[1.0]).unwrap();
+        assert!(!s.to_string().is_empty());
+    }
+}

@@ -1,0 +1,107 @@
+//! Binary discrimination metrics for confidence signals.
+//!
+//! Early-termination ensembles live or die by how well a version's
+//! confidence separates good answers from bad ones. ROC-AUC is the
+//! standard scalar for that: the probability that a randomly chosen
+//! positive (good answer) scores above a randomly chosen negative.
+
+use crate::{Result, StatsError};
+
+/// Area under the ROC curve for scores with binary labels, computed via
+/// the Mann-Whitney U statistic with tie correction.
+///
+/// Returns a value in `[0, 1]`; `0.5` means the score carries no
+/// signal, `1.0` means perfect separation.
+///
+/// # Errors
+///
+/// Returns [`StatsError::InvalidParameter`] if the slices differ in
+/// length and [`StatsError::EmptySample`] unless both classes are
+/// represented.
+///
+/// ```
+/// let scores = [0.9, 0.8, 0.3, 0.2];
+/// let labels = [true, true, false, false];
+/// assert_eq!(tt_stats::discrimination::roc_auc(&scores, &labels).unwrap(), 1.0);
+/// ```
+pub fn roc_auc(scores: &[f64], labels: &[bool]) -> Result<f64> {
+    if scores.len() != labels.len() {
+        return Err(StatsError::InvalidParameter { what: "labels" });
+    }
+    let positives = labels.iter().filter(|&&l| l).count();
+    let negatives = labels.len() - positives;
+    if positives == 0 || negatives == 0 {
+        return Err(StatsError::EmptySample);
+    }
+
+    // Rank the scores (average ranks over ties).
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).expect("NaN score"));
+    let mut ranks = vec![0.0f64; scores.len()];
+    let mut i = 0;
+    while i < order.len() {
+        let mut j = i;
+        while j + 1 < order.len() && scores[order[j + 1]] == scores[order[i]] {
+            j += 1;
+        }
+        let avg_rank = (i + j) as f64 / 2.0 + 1.0;
+        for &idx in &order[i..=j] {
+            ranks[idx] = avg_rank;
+        }
+        i = j + 1;
+    }
+
+    let rank_sum_pos: f64 = ranks
+        .iter()
+        .zip(labels)
+        .filter(|(_, &l)| l)
+        .map(|(r, _)| r)
+        .sum();
+    let u = rank_sum_pos - positives as f64 * (positives as f64 + 1.0) / 2.0;
+    Ok(u / (positives as f64 * negatives as f64))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_separation_is_one() {
+        let auc = roc_auc(&[0.9, 0.8, 0.2, 0.1], &[true, true, false, false]).unwrap();
+        assert_eq!(auc, 1.0);
+    }
+
+    #[test]
+    fn inverted_separation_is_zero() {
+        let auc = roc_auc(&[0.1, 0.2, 0.8, 0.9], &[true, true, false, false]).unwrap();
+        assert_eq!(auc, 0.0);
+    }
+
+    #[test]
+    fn identical_scores_are_chance() {
+        let auc = roc_auc(&[0.5, 0.5, 0.5, 0.5], &[true, false, true, false]).unwrap();
+        assert!((auc - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partial_overlap_lands_between() {
+        let auc = roc_auc(&[0.9, 0.4, 0.6, 0.1], &[true, true, false, false]).unwrap();
+        assert!((auc - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_degenerate_input() {
+        assert!(roc_auc(&[0.5], &[true]).is_err()); // one class only
+        assert!(roc_auc(&[0.5, 0.6], &[true]).is_err()); // length mismatch
+    }
+
+    #[test]
+    fn auc_is_invariant_to_monotone_transforms() {
+        let scores = [0.9, 0.8, 0.3, 0.45, 0.2, 0.7];
+        let labels = [true, true, false, true, false, false];
+        let a = roc_auc(&scores, &labels).unwrap();
+        let squashed: Vec<f64> = scores.iter().map(|s| s.powi(3)).collect();
+        let b = roc_auc(&squashed, &labels).unwrap();
+        assert!((a - b).abs() < 1e-12);
+    }
+}

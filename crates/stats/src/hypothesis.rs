@@ -1,0 +1,140 @@
+//! Hypothesis tests.
+//!
+//! The drift detector in `tt-core` needs to decide whether a service's
+//! recent error rate is consistent with the error rate its routing
+//! rules were trained on; the standard tool is the two-proportion
+//! z-test, and for continuous qualities (WER) the two-sample z-test on
+//! means.
+
+use crate::normal::cdf;
+use crate::{Result, StatsError};
+
+/// Result of a two-sided test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct TestResult {
+    /// The test statistic (z).
+    pub statistic: f64,
+    /// Two-sided p-value.
+    pub p_value: f64,
+}
+
+impl TestResult {
+    /// Whether the null hypothesis is rejected at significance `alpha`.
+    pub fn significant_at(&self, alpha: f64) -> bool {
+        self.p_value < alpha
+    }
+}
+
+/// Two-proportion z-test (pooled): are the success rates `k1/n1` and
+/// `k2/n2` consistent with a common proportion?
+///
+/// # Errors
+///
+/// Returns [`StatsError::InvalidParameter`] if either sample is empty
+/// or a count exceeds its sample size.
+pub fn two_proportion_z(k1: usize, n1: usize, k2: usize, n2: usize) -> Result<TestResult> {
+    if n1 == 0 || n2 == 0 {
+        return Err(StatsError::InvalidParameter { what: "n" });
+    }
+    if k1 > n1 || k2 > n2 {
+        return Err(StatsError::InvalidParameter { what: "k" });
+    }
+    let p1 = k1 as f64 / n1 as f64;
+    let p2 = k2 as f64 / n2 as f64;
+    let pooled = (k1 + k2) as f64 / (n1 + n2) as f64;
+    let se = (pooled * (1.0 - pooled) * (1.0 / n1 as f64 + 1.0 / n2 as f64)).sqrt();
+    if se == 0.0 {
+        // Both samples unanimously agree: no evidence of difference.
+        return Ok(TestResult {
+            statistic: 0.0,
+            p_value: 1.0,
+        });
+    }
+    let z = (p1 - p2) / se;
+    Ok(TestResult {
+        statistic: z,
+        p_value: 2.0 * (1.0 - cdf(z.abs())),
+    })
+}
+
+/// Two-sample z-test on means (for large samples; uses sample standard
+/// deviations).
+///
+/// # Errors
+///
+/// Returns [`StatsError::EmptySample`] if either sample has fewer than
+/// two observations.
+pub fn two_sample_z(xs: &[f64], ys: &[f64]) -> Result<TestResult> {
+    if xs.len() < 2 || ys.len() < 2 {
+        return Err(StatsError::EmptySample);
+    }
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    let var = |v: &[f64], m: f64| {
+        v.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (v.len() - 1) as f64
+    };
+    let (mx, my) = (mean(xs), mean(ys));
+    let se = (var(xs, mx) / xs.len() as f64 + var(ys, my) / ys.len() as f64).sqrt();
+    if se <= 1e-12 * mx.abs().max(my.abs()).max(1.0) {
+        // Both samples are (numerically) constant; compare means with a
+        // summation-rounding tolerance (0.1 summed 100 vs. 500 times
+        // differs in the last ulp, and the residual "variance" of a
+        // constant sample is pure rounding noise).
+        let same = (mx - my).abs() <= 1e-9 * mx.abs().max(my.abs()).max(1.0);
+        return Ok(TestResult {
+            statistic: 0.0,
+            p_value: if same { 1.0 } else { 0.0 },
+        });
+    }
+    let z = (mx - my) / se;
+    Ok(TestResult {
+        statistic: z,
+        p_value: 2.0 * (1.0 - cdf(z.abs())),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_proportions_are_not_significant() {
+        let t = two_proportion_z(30, 100, 60, 200).unwrap();
+        assert!(t.p_value > 0.9);
+        assert!(!t.significant_at(0.05));
+    }
+
+    #[test]
+    fn wildly_different_proportions_are_significant() {
+        let t = two_proportion_z(10, 100, 60, 100).unwrap();
+        assert!(t.significant_at(0.001));
+        assert!(t.statistic < 0.0); // first is smaller
+    }
+
+    #[test]
+    fn unanimous_samples_yield_p_one() {
+        let t = two_proportion_z(0, 50, 0, 80).unwrap();
+        assert_eq!(t.p_value, 1.0);
+    }
+
+    #[test]
+    fn proportion_test_rejects_bad_counts() {
+        assert!(two_proportion_z(5, 0, 1, 10).is_err());
+        assert!(two_proportion_z(11, 10, 1, 10).is_err());
+    }
+
+    #[test]
+    fn mean_test_detects_a_shift() {
+        let xs: Vec<f64> = (0..200).map(|i| (i % 10) as f64).collect();
+        let ys: Vec<f64> = (0..200).map(|i| (i % 10) as f64 + 2.0).collect();
+        let t = two_sample_z(&xs, &ys).unwrap();
+        assert!(t.significant_at(0.001));
+        let same = two_sample_z(&xs, &xs).unwrap();
+        assert!(!same.significant_at(0.05));
+    }
+
+    #[test]
+    fn mean_test_needs_two_observations() {
+        assert!(two_sample_z(&[1.0], &[1.0, 2.0]).is_err());
+    }
+}

@@ -1,0 +1,148 @@
+//! K-fold cross-validation splitting.
+//!
+//! The paper validates its accuracy guarantees with 10-fold
+//! cross-validation: routing rules are generated from nine folds and the
+//! held-out fold checks that the deployed tier never violates its
+//! tolerance.
+
+use crate::{Result, StatsError};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// A single train/test split produced by [`KFold`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Fold {
+    /// Indices of the training observations.
+    pub train: Vec<usize>,
+    /// Indices of the held-out test observations.
+    pub test: Vec<usize>,
+}
+
+/// A seeded k-fold splitter over `n` observations.
+///
+/// Observations are shuffled once, then partitioned into `k` contiguous
+/// folds of near-equal size (the first `n % k` folds get one extra
+/// element).
+///
+/// ```
+/// use tt_stats::KFold;
+///
+/// let folds = KFold::new(10, 42).unwrap().split(100).unwrap();
+/// assert_eq!(folds.len(), 10);
+/// assert!(folds.iter().all(|f| f.test.len() == 10 && f.train.len() == 90));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KFold {
+    k: usize,
+    seed: u64,
+}
+
+impl KFold {
+    /// Create a splitter with `k` folds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] if `k < 2`.
+    pub fn new(k: usize, seed: u64) -> Result<Self> {
+        if k < 2 {
+            return Err(StatsError::InvalidParameter { what: "k" });
+        }
+        Ok(KFold { k, seed })
+    }
+
+    /// Number of folds.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Split `n` observations into `k` folds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] if `n < k` (every fold
+    /// must contain at least one test observation).
+    pub fn split(&self, n: usize) -> Result<Vec<Fold>> {
+        if n < self.k {
+            return Err(StatsError::InvalidParameter { what: "n" });
+        }
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        order.shuffle(&mut rng);
+
+        let base = n / self.k;
+        let extra = n % self.k;
+        let mut folds = Vec::with_capacity(self.k);
+        let mut start = 0usize;
+        for f in 0..self.k {
+            let len = base + usize::from(f < extra);
+            let test: Vec<usize> = order[start..start + len].to_vec();
+            let train: Vec<usize> = order[..start]
+                .iter()
+                .chain(order[start + len..].iter())
+                .copied()
+                .collect();
+            folds.push(Fold { train, test });
+            start += len;
+        }
+        Ok(folds)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn rejects_degenerate_k() {
+        assert!(KFold::new(0, 1).is_err());
+        assert!(KFold::new(1, 1).is_err());
+        assert!(KFold::new(2, 1).is_ok());
+    }
+
+    #[test]
+    fn rejects_n_smaller_than_k() {
+        assert!(KFold::new(10, 1).unwrap().split(9).is_err());
+    }
+
+    #[test]
+    fn folds_partition_all_indices() {
+        let folds = KFold::new(10, 7).unwrap().split(103).unwrap();
+        let mut seen = BTreeSet::new();
+        for f in &folds {
+            for &i in &f.test {
+                assert!(seen.insert(i), "index {i} appeared in two test folds");
+            }
+        }
+        assert_eq!(seen.len(), 103);
+    }
+
+    #[test]
+    fn train_and_test_are_disjoint_and_complete() {
+        let folds = KFold::new(5, 3).unwrap().split(23).unwrap();
+        for f in &folds {
+            let train: BTreeSet<_> = f.train.iter().collect();
+            let test: BTreeSet<_> = f.test.iter().collect();
+            assert!(train.is_disjoint(&test));
+            assert_eq!(train.len() + test.len(), 23);
+        }
+    }
+
+    #[test]
+    fn fold_sizes_are_balanced() {
+        let folds = KFold::new(4, 9).unwrap().split(10).unwrap();
+        let sizes: Vec<usize> = folds.iter().map(|f| f.test.len()).collect();
+        assert_eq!(sizes, vec![3, 3, 2, 2]);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = KFold::new(10, 5).unwrap().split(50).unwrap();
+        let b = KFold::new(10, 5).unwrap().split(50).unwrap();
+        let c = KFold::new(10, 6).unwrap().split(50).unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,87 @@
+//! Statistics substrate for the `toltiers` workspace.
+//!
+//! This crate collects the statistical machinery the Tolerance Tiers paper
+//! relies on, implemented from scratch with no numeric dependencies:
+//!
+//! * [`descriptive`] — means, variances, percentiles and z-scores over
+//!   `f64` samples.
+//! * [`normal`] — the standard normal distribution (pdf, cdf and the
+//!   inverse cdf / `ppf` used by the routing-rule generator's confidence
+//!   stopping rule).
+//! * [`bootstrap`] — the bootstrapping engine of the paper's Fig. 7: run
+//!   randomized trials of a simulation until every observed metric reaches
+//!   a target confidence, then report worst-case values.
+//! * [`kfold`] — the 10-fold cross-validation splitter used to validate
+//!   tier accuracy guarantees.
+//! * [`sampling`] — seeded with-replacement sampling and a Zipf sampler
+//!   (used by the synthetic language model).
+//! * [`align`] — sequence alignment (Levenshtein with edit-op counts),
+//!   the primitive behind word error rate.
+//!
+//! # Examples
+//!
+//! ```
+//! use tt_stats::descriptive::Summary;
+//!
+//! let s = Summary::from_slice(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+//! assert_eq!(s.mean(), 2.5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod align;
+pub mod bootstrap;
+pub mod descriptive;
+pub mod discrimination;
+pub mod hypothesis;
+pub mod kfold;
+pub mod normal;
+pub mod sampling;
+
+pub use align::{Alignment, EditOp};
+pub use bootstrap::{Bootstrap, BootstrapOutcome, TrialLimits};
+pub use descriptive::Summary;
+pub use kfold::KFold;
+
+use std::fmt;
+
+/// Error type for statistics operations.
+///
+/// Returned whenever an operation receives an empty sample, an invalid
+/// probability, or otherwise-degenerate input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum StatsError {
+    /// The operation requires at least one observation.
+    EmptySample,
+    /// A probability-like argument fell outside `(0, 1)`.
+    InvalidProbability {
+        /// Name of the offending argument.
+        what: &'static str,
+    },
+    /// A parameter was outside its documented domain.
+    InvalidParameter {
+        /// Name of the offending argument.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for StatsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatsError::EmptySample => write!(f, "sample contains no observations"),
+            StatsError::InvalidProbability { what } => {
+                write!(f, "probability argument `{what}` must lie strictly in (0, 1)")
+            }
+            StatsError::InvalidParameter { what } => {
+                write!(f, "parameter `{what}` is outside its valid domain")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StatsError {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, StatsError>;

@@ -1,0 +1,167 @@
+//! The standard normal distribution.
+//!
+//! The routing-rule generator of the paper (Fig. 7) calls
+//! `scipy.stats.ppf(conf)` — the inverse cdf of the standard normal — to
+//! convert a confidence level into a z-score threshold. This module
+//! provides [`pdf`], [`cdf`] and [`ppf`] with double-precision accuracy,
+//! implemented from scratch (Abramowitz-Stegun erf and the
+//! Beasley-Springer-Moro / Acklam inverse).
+
+use crate::{Result, StatsError};
+
+/// Probability density function of the standard normal distribution.
+///
+/// ```
+/// let p = tt_stats::normal::pdf(0.0);
+/// assert!((p - 0.3989422804014327).abs() < 1e-12);
+/// ```
+pub fn pdf(x: f64) -> f64 {
+    (-(x * x) / 2.0).exp() / (2.0 * std::f64::consts::PI).sqrt()
+}
+
+/// Error function, via the Abramowitz & Stegun 7.1.26 rational
+/// approximation refined with one step of Newton's method against the
+/// series expansion. Absolute error below `1.5e-7` from the base
+/// approximation alone; adequate for z-score thresholds.
+fn erf(x: f64) -> f64 {
+    // A&S formula 7.1.26.
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.3275911 * x);
+    let y = 1.0
+        - (((((1.061405429 * t - 1.453152027) * t) + 1.421413741) * t - 0.284496736) * t
+            + 0.254829592)
+            * t
+            * (-x * x).exp();
+    sign * y
+}
+
+/// Cumulative distribution function of the standard normal distribution.
+///
+/// ```
+/// assert!((tt_stats::normal::cdf(0.0) - 0.5).abs() < 1e-9);
+/// assert!(tt_stats::normal::cdf(5.0) > 0.999999);
+/// ```
+pub fn cdf(x: f64) -> f64 {
+    0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
+}
+
+/// Percent-point function (inverse cdf, a.k.a. quantile function) of the
+/// standard normal distribution, using Peter Acklam's rational
+/// approximation followed by one Halley refinement step — relative error
+/// below `1e-9` over the full open interval.
+///
+/// This is the `ppf` the paper's rule generator uses to turn a confidence
+/// level (e.g. `0.999`) into a z-score bound.
+///
+/// # Errors
+///
+/// Returns [`StatsError::InvalidProbability`] unless `0 < p < 1`.
+///
+/// ```
+/// let z = tt_stats::normal::ppf(0.999).unwrap();
+/// assert!((z - 3.0902).abs() < 1e-3);
+/// ```
+pub fn ppf(p: f64) -> Result<f64> {
+    if !(p > 0.0 && p < 1.0) {
+        return Err(StatsError::InvalidProbability { what: "p" });
+    }
+
+    // Acklam's coefficients.
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.383577518672690e+02,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    const P_LOW: f64 = 0.02425;
+
+    let x = if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    };
+
+    // One Halley refinement step against our cdf.
+    let e = cdf(x) - p;
+    let u = e * (2.0 * std::f64::consts::PI).sqrt() * (x * x / 2.0).exp();
+    Ok(x - u / (1.0 + x * u / 2.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pdf_is_symmetric_and_peaked_at_zero() {
+        assert_eq!(pdf(1.3), pdf(-1.3));
+        assert!(pdf(0.0) > pdf(0.1));
+    }
+
+    #[test]
+    fn cdf_known_values() {
+        assert!((cdf(0.0) - 0.5).abs() < 1e-9);
+        assert!((cdf(1.0) - 0.8413447460685429).abs() < 1e-6);
+        assert!((cdf(-1.96) - 0.024997895).abs() < 1e-5);
+    }
+
+    #[test]
+    fn ppf_known_values() {
+        assert!((ppf(0.5).unwrap()).abs() < 1e-8);
+        assert!((ppf(0.975).unwrap() - 1.959964).abs() < 1e-4);
+        assert!((ppf(0.999).unwrap() - 3.090232).abs() < 1e-4);
+        assert!((ppf(0.001).unwrap() + 3.090232).abs() < 1e-4);
+    }
+
+    #[test]
+    fn ppf_rejects_out_of_domain() {
+        assert!(ppf(0.0).is_err());
+        assert!(ppf(1.0).is_err());
+        assert!(ppf(-0.3).is_err());
+        assert!(ppf(1.3).is_err());
+    }
+
+    #[test]
+    fn cdf_ppf_round_trip() {
+        for &p in &[0.001, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 0.9999] {
+            let x = ppf(p).unwrap();
+            assert!(
+                (cdf(x) - p).abs() < 1e-6,
+                "round trip failed at p={p}: cdf(ppf(p))={}",
+                cdf(x)
+            );
+        }
+    }
+}

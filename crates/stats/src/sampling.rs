@@ -1,0 +1,180 @@
+//! Seeded sampling utilities: with-replacement subsets and a Zipf sampler.
+//!
+//! The Zipf sampler drives the synthetic language model in `tt-asr` (word
+//! frequencies in natural language are famously Zipf-distributed); the
+//! with-replacement sampler backs the bootstrap and workload generators.
+
+use crate::{Result, StatsError};
+use rand::Rng;
+
+/// Draw `k` indices in `0..n` uniformly with replacement.
+///
+/// # Errors
+///
+/// Returns [`StatsError::InvalidParameter`] if `n == 0`.
+pub fn indices_with_replacement<R: Rng>(rng: &mut R, n: usize, k: usize) -> Result<Vec<usize>> {
+    if n == 0 {
+        return Err(StatsError::InvalidParameter { what: "n" });
+    }
+    Ok((0..k).map(|_| rng.gen_range(0..n)).collect())
+}
+
+/// A discrete sampler over `0..n` with probabilities proportional to
+/// `1 / (rank + 1)^exponent` — the Zipf distribution.
+///
+/// Sampling is `O(log n)` via binary search over the precomputed cdf.
+///
+/// ```
+/// use rand::SeedableRng;
+/// use tt_stats::sampling::Zipf;
+///
+/// let zipf = Zipf::new(1000, 1.0).unwrap();
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let draw = zipf.sample(&mut rng);
+/// assert!(draw < 1000);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+    exponent: f64,
+}
+
+impl Zipf {
+    /// Build a Zipf sampler over `n` ranks with the given exponent
+    /// (`1.0` is classic Zipf; larger exponents concentrate mass on the
+    /// head).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] if `n == 0` or the
+    /// exponent is non-finite or negative.
+    pub fn new(n: usize, exponent: f64) -> Result<Self> {
+        if n == 0 {
+            return Err(StatsError::InvalidParameter { what: "n" });
+        }
+        if !exponent.is_finite() || exponent < 0.0 {
+            return Err(StatsError::InvalidParameter { what: "exponent" });
+        }
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for rank in 0..n {
+            acc += 1.0 / ((rank + 1) as f64).powf(exponent);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Ok(Zipf { cdf, exponent })
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the sampler has zero ranks (never true; construction
+    /// rejects `n == 0`).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// The exponent the sampler was built with.
+    pub fn exponent(&self) -> f64 {
+        self.exponent
+    }
+
+    /// Probability mass of `rank`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank >= self.len()`.
+    pub fn pmf(&self, rank: usize) -> f64 {
+        if rank == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[rank] - self.cdf[rank - 1]
+        }
+    }
+
+    /// Draw one rank.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        match self
+            .cdf
+            .binary_search_by(|probe| probe.partial_cmp(&u).expect("cdf is finite"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn with_replacement_rejects_empty_domain() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(indices_with_replacement(&mut rng, 0, 3).is_err());
+    }
+
+    #[test]
+    fn with_replacement_draws_in_range() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let draws = indices_with_replacement(&mut rng, 7, 100).unwrap();
+        assert_eq!(draws.len(), 100);
+        assert!(draws.iter().all(|&i| i < 7));
+    }
+
+    #[test]
+    fn zipf_rejects_bad_parameters() {
+        assert!(Zipf::new(0, 1.0).is_err());
+        assert!(Zipf::new(10, -1.0).is_err());
+        assert!(Zipf::new(10, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn zipf_pmf_sums_to_one() {
+        let z = Zipf::new(50, 1.2).unwrap();
+        let total: f64 = (0..50).map(|r| z.pmf(r)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zipf_head_is_heavier_than_tail() {
+        let z = Zipf::new(100, 1.0).unwrap();
+        assert!(z.pmf(0) > z.pmf(1));
+        assert!(z.pmf(1) > z.pmf(99));
+    }
+
+    #[test]
+    fn zipf_exponent_zero_is_uniform() {
+        let z = Zipf::new(4, 0.0).unwrap();
+        for r in 0..4 {
+            assert!((z.pmf(r) - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn zipf_empirical_frequencies_track_pmf() {
+        let z = Zipf::new(10, 1.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut counts = [0usize; 10];
+        let n = 100_000;
+        for _ in 0..n {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for r in 0..10 {
+            let observed = counts[r] as f64 / n as f64;
+            assert!(
+                (observed - z.pmf(r)).abs() < 0.01,
+                "rank {r}: observed {observed} vs pmf {}",
+                z.pmf(r)
+            );
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! Property-based tests for the statistics substrate.
+
+use proptest::prelude::*;
+use tt_stats::align::Alignment;
+use tt_stats::descriptive::{mean, percentile, std_dev, z_scores};
+use tt_stats::normal::{cdf, ppf};
+use tt_stats::sampling::Zipf;
+use tt_stats::KFold;
+
+proptest! {
+    #[test]
+    fn mean_is_bounded_by_extremes(xs in prop::collection::vec(-1e6f64..1e6, 1..200)) {
+        let m = mean(&xs).unwrap();
+        let lo = xs.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(m >= lo - 1e-9 && m <= hi + 1e-9);
+    }
+
+    #[test]
+    fn std_dev_is_translation_invariant(
+        xs in prop::collection::vec(-1e3f64..1e3, 2..100),
+        shift in -1e3f64..1e3,
+    ) {
+        let shifted: Vec<f64> = xs.iter().map(|x| x + shift).collect();
+        let a = std_dev(&xs).unwrap();
+        let b = std_dev(&shifted).unwrap();
+        prop_assert!((a - b).abs() < 1e-6, "sd changed under translation: {a} vs {b}");
+    }
+
+    #[test]
+    fn percentile_is_monotone_in_q(
+        xs in prop::collection::vec(-1e3f64..1e3, 1..100),
+        q1 in 0.0f64..1.0,
+        q2 in 0.0f64..1.0,
+    ) {
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        let a = percentile(&xs, lo).unwrap();
+        let b = percentile(&xs, hi).unwrap();
+        prop_assert!(a <= b + 1e-9);
+    }
+
+    #[test]
+    fn z_scores_are_scale_free(
+        xs in prop::collection::vec(-1e3f64..1e3, 2..50),
+        scale in 0.1f64..100.0,
+    ) {
+        // Skip effectively-constant samples: scaling noise-level variance
+        // is numerically unstable.
+        let sd = std_dev(&xs).unwrap();
+        prop_assume!(sd > 1e-6);
+        let scaled: Vec<f64> = xs.iter().map(|x| x * scale).collect();
+        let a = z_scores(&xs).unwrap();
+        let b = z_scores(&scaled).unwrap();
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn normal_cdf_is_monotone(x in -6.0f64..6.0, dx in 0.0f64..3.0) {
+        prop_assert!(cdf(x + dx) >= cdf(x) - 1e-12);
+    }
+
+    #[test]
+    fn ppf_inverts_cdf(p in 0.0005f64..0.9995) {
+        let x = ppf(p).unwrap();
+        prop_assert!((cdf(x) - p).abs() < 1e-5);
+    }
+
+    #[test]
+    fn alignment_error_count_is_symmetric_in_cost(
+        hyp in prop::collection::vec(0u8..5, 0..20),
+        reference in prop::collection::vec(0u8..5, 0..20),
+    ) {
+        // Levenshtein distance is a metric: d(a,b) == d(b,a).
+        let ab = Alignment::align(&hyp, &reference).errors();
+        let ba = Alignment::align(&reference, &hyp).errors();
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn alignment_satisfies_triangle_inequality(
+        a in prop::collection::vec(0u8..4, 0..12),
+        b in prop::collection::vec(0u8..4, 0..12),
+        c in prop::collection::vec(0u8..4, 0..12),
+    ) {
+        let ab = Alignment::align(&a, &b).errors();
+        let bc = Alignment::align(&b, &c).errors();
+        let ac = Alignment::align(&a, &c).errors();
+        prop_assert!(ac <= ab + bc);
+    }
+
+    #[test]
+    fn alignment_errors_bounded_by_lengths(
+        hyp in prop::collection::vec(0u8..5, 0..30),
+        reference in prop::collection::vec(0u8..5, 0..30),
+    ) {
+        let a = Alignment::align(&hyp, &reference);
+        prop_assert!(a.errors() <= hyp.len().max(reference.len()));
+        prop_assert!(a.errors() >= hyp.len().abs_diff(reference.len()));
+        // Totals reconstruct input lengths.
+        prop_assert_eq!(a.matches() + a.substitutions() + a.insertions(), hyp.len());
+        prop_assert_eq!(a.matches() + a.substitutions() + a.deletions(), reference.len());
+    }
+
+    #[test]
+    fn kfold_partitions_exactly(n in 10usize..200, k in 2usize..10, seed in 0u64..100) {
+        prop_assume!(n >= k);
+        let folds = KFold::new(k, seed).unwrap().split(n).unwrap();
+        let mut count = vec![0usize; n];
+        for f in &folds {
+            for &i in &f.test {
+                count[i] += 1;
+            }
+        }
+        prop_assert!(count.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn zipf_pmf_is_normalized_and_monotone(n in 1usize..500, exp in 0.0f64..3.0) {
+        let z = Zipf::new(n, exp).unwrap();
+        let total: f64 = (0..n).map(|r| z.pmf(r)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-6);
+        for r in 1..n {
+            prop_assert!(z.pmf(r - 1) >= z.pmf(r) - 1e-12);
+        }
+    }
+}

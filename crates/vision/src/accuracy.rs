@@ -1,0 +1,248 @@
+//! The calibrated correctness and confidence model.
+//!
+//! We cannot ship ImageNet weights, so classification *accuracy* is
+//! modelled statistically (the inference engine still runs real forward
+//! passes for latency/FLOP realism — see `DESIGN.md` for the full
+//! substitution argument). The model preserves the three structural
+//! facts the paper's analysis needs:
+//!
+//! 1. **Calibrated error ladder.** Model `m` classifies image `i`
+//!    correctly iff `difficulty_i ≤ capability_m + η`, with
+//!    `η ~ N(0, σ²)` seeded per (model, image). Capabilities are derived
+//!    analytically from target top-1 errors, so the zoo's published
+//!    error ladder is reproduced exactly in expectation.
+//! 2. **Category structure.** Difficulty is shared across models while
+//!    `η` is model-specific and small, so easy images are correct
+//!    everywhere (*unchanged*), hopeless ones wrong everywhere
+//!    (*unchanged*), mid-difficulty images mostly flip monotonically
+//!    with capability (*improves*) with a minority of non-monotone flips
+//!    (*varies*) — the paper's Fig. 2 mix.
+//! 3. **Discriminative confidence.** Confidence is a logistic function
+//!    of the same margin that decides correctness (plus observation
+//!    noise), so it correlates with correctness without revealing it —
+//!    which is what makes early-termination ensembles work and is true
+//!    of real softmax confidences.
+
+use crate::dataset::ImageSpec;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tt_stats::normal::ppf;
+
+/// Standard deviation of the per-(model, image) noise `η`.
+const ETA_SD: f64 = 0.2;
+/// Logistic steepness for the confidence mapping.
+const CONF_STEEPNESS: f64 = 3.0;
+/// Observation noise added to the confidence logit.
+const CONF_NOISE_SD: f64 = 0.25;
+/// Probability of an overconfident blunder: real softmax classifiers
+/// are occasionally very sure of a wrong answer, which is what keeps a
+/// zero-tolerance tier honest (no threshold fully escapes them).
+const OVERCONFIDENCE_P: f64 = 0.02;
+/// Logit boost applied on an overconfident blunder.
+const OVERCONFIDENCE_BOOST: f64 = 2.5;
+
+/// Derive the capability that yields a target top-1 error rate against
+/// standard-normal difficulties.
+///
+/// `err = P(d > c + η) = Φ(-c / √(1 + σ²))`, so
+/// `c = -√(1 + σ²) · Φ⁻¹(err)`.
+///
+/// # Panics
+///
+/// Panics if `top1_err` is not strictly inside `(0, 1)`.
+pub fn capability_for_error(top1_err: f64) -> f64 {
+    let z = ppf(top1_err).expect("top-1 error must be in (0, 1)");
+    -(1.0 + ETA_SD * ETA_SD).sqrt() * z
+}
+
+/// Margin slack within which a wrong argmax still keeps the label in
+/// its top five (top-5 error is what ImageNet leaderboards of the era
+/// reported alongside top-1).
+const TOP5_SLACK: f64 = 0.55;
+
+/// The outcome of the correctness model for one (model, image) pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Judgement {
+    /// Whether the model's argmax equals the label.
+    pub correct: bool,
+    /// Whether the label lands in the model's top five classes.
+    pub correct_top5: bool,
+    /// The class the model predicts (the label when correct, a
+    /// deterministic-but-arbitrary other class when not).
+    pub predicted: u32,
+    /// Confidence in `[0, 1]`, correlated with correctness.
+    pub confidence: f64,
+}
+
+/// Judge whether a model of the given capability classifies an image
+/// correctly, deterministically per (capability-bearing model id,
+/// image).
+///
+/// `model_tag` must be stable and unique per model version (the zoo uses
+/// a hash of the model name) so that different models draw independent
+/// `η` for the same image.
+pub fn judge(image: &ImageSpec, capability: f64, model_tag: u64, classes: u32) -> Judgement {
+    let mut rng = StdRng::seed_from_u64(
+        image
+            .render_seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(model_tag),
+    );
+    let eta = gaussian(&mut rng) * ETA_SD;
+    let margin = capability + eta - image.difficulty;
+    let correct = margin >= 0.0;
+    let mut logit = CONF_STEEPNESS * margin + gaussian(&mut rng) * CONF_NOISE_SD;
+    if rng.gen::<f64>() < OVERCONFIDENCE_P {
+        logit += OVERCONFIDENCE_BOOST;
+    }
+    let confidence = 1.0 / (1.0 + (-logit).exp());
+    let predicted = if correct {
+        image.class
+    } else {
+        // A deterministic wrong class.
+        let offset = 1 + (rng.gen::<u32>() % (classes.max(2) - 1));
+        (image.class + offset) % classes.max(2)
+    };
+    Judgement {
+        correct,
+        correct_top5: margin >= -TOP5_SLACK,
+        predicted,
+        confidence,
+    }
+}
+
+fn gaussian<R: Rng>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{Dataset, DatasetConfig};
+
+    #[test]
+    fn capability_is_monotone_in_accuracy() {
+        assert!(capability_for_error(0.1) > capability_for_error(0.3));
+        assert!(capability_for_error(0.3) > capability_for_error(0.5));
+        // 50% error against N(0,1) difficulties means capability 0.
+        assert!(capability_for_error(0.5).abs() < 1e-7);
+    }
+
+    #[test]
+    #[should_panic]
+    fn capability_rejects_out_of_range_error() {
+        let _ = capability_for_error(0.0);
+    }
+
+    #[test]
+    fn empirical_error_matches_target() {
+        let d = Dataset::synthesize(DatasetConfig::evaluation());
+        for &target in &[0.15, 0.30, 0.43] {
+            let cap = capability_for_error(target);
+            let wrong = d
+                .images()
+                .iter()
+                .filter(|i| !judge(i, cap, 77, 1000).correct)
+                .count();
+            let observed = wrong as f64 / d.images().len() as f64;
+            assert!(
+                (observed - target).abs() < 0.02,
+                "target {target}, observed {observed}"
+            );
+        }
+    }
+
+    #[test]
+    fn judgement_is_deterministic_per_model_tag() {
+        let d = Dataset::synthesize(DatasetConfig::small());
+        let img = &d.images()[0];
+        assert_eq!(judge(img, 0.5, 1, 100), judge(img, 0.5, 1, 100));
+        // Different model tags draw different noise.
+        let outcomes: Vec<bool> = (0..64)
+            .map(|tag| judge(img, 0.0, tag, 100).correct)
+            .collect();
+        assert!(outcomes.iter().any(|&b| b) || outcomes.iter().any(|&b| !b));
+    }
+
+    #[test]
+    fn wrong_predictions_never_equal_the_label() {
+        let d = Dataset::synthesize(DatasetConfig::small());
+        for img in d.images() {
+            let j = judge(img, -3.0, 5, 100); // capability so low it always errs
+            assert!(!j.correct);
+            assert_ne!(j.predicted, img.class);
+        }
+    }
+
+    #[test]
+    fn top5_error_sits_below_top1() {
+        let d = Dataset::synthesize(DatasetConfig::evaluation());
+        let cap = capability_for_error(0.43);
+        let (mut top1_wrong, mut top5_wrong) = (0usize, 0usize);
+        for img in d.images() {
+            let j = judge(img, cap, 3, 1000);
+            assert!(
+                j.correct_top5 || !j.correct,
+                "top-1 correct implies top-5 correct"
+            );
+            top1_wrong += usize::from(!j.correct);
+            top5_wrong += usize::from(!j.correct_top5);
+        }
+        let n = d.images().len() as f64;
+        let top1 = top1_wrong as f64 / n;
+        let top5 = top5_wrong as f64 / n;
+        // The era's networks showed top-5 error roughly half the top-1.
+        assert!(top5 < top1 * 0.7, "top5 {top5} vs top1 {top1}");
+        assert!(top5 > top1 * 0.2);
+    }
+
+    #[test]
+    fn confidence_discriminates() {
+        let d = Dataset::synthesize(DatasetConfig::evaluation());
+        let cap = capability_for_error(0.43);
+        let (mut c_ok, mut n_ok, mut c_bad, mut n_bad) = (0.0, 0, 0.0, 0);
+        for img in d.images() {
+            let j = judge(img, cap, 9, 1000);
+            if j.correct {
+                c_ok += j.confidence;
+                n_ok += 1;
+            } else {
+                c_bad += j.confidence;
+                n_bad += 1;
+            }
+        }
+        let mean_ok = c_ok / n_ok as f64;
+        let mean_bad = c_bad / n_bad as f64;
+        assert!(
+            mean_ok - mean_bad > 0.3,
+            "confidence separation too weak: {mean_ok} vs {mean_bad}"
+        );
+    }
+
+    #[test]
+    fn better_models_dominate_on_most_images() {
+        // With shared difficulty and small eta, a strictly more capable
+        // model should rarely be wrong where the weaker one is right.
+        let d = Dataset::synthesize(DatasetConfig::evaluation());
+        let weak = capability_for_error(0.43);
+        let strong = capability_for_error(0.15);
+        let mut weak_right_strong_wrong = 0usize;
+        let mut strong_right_weak_wrong = 0usize;
+        for img in d.images() {
+            let jw = judge(img, weak, 1, 1000);
+            let js = judge(img, strong, 2, 1000);
+            match (jw.correct, js.correct) {
+                (true, false) => weak_right_strong_wrong += 1,
+                (false, true) => strong_right_weak_wrong += 1,
+                _ => {}
+            }
+        }
+        assert!(
+            strong_right_weak_wrong > 5 * weak_right_strong_wrong,
+            "improvement should dominate: {strong_right_weak_wrong} vs {weak_right_strong_wrong}"
+        );
+    }
+}

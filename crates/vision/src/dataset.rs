@@ -1,0 +1,208 @@
+//! The synthetic ILSVRC-like validation set.
+//!
+//! The paper evaluates on 45 000 images of the ILSVRC-2012 validation
+//! set (1 000 classes). Each synthetic image carries a latent
+//! *difficulty* — the same role noise level plays for utterances — which
+//! drives the calibrated correctness model, plus a render seed so a real
+//! pixel tensor can be produced for the inference engine.
+
+use crate::tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for dataset synthesis.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct DatasetConfig {
+    /// Number of images.
+    pub images: usize,
+    /// Number of classes.
+    pub classes: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl DatasetConfig {
+    /// A small dataset for tests and doc examples.
+    pub fn small() -> Self {
+        DatasetConfig {
+            images: 300,
+            classes: 100,
+            seed: 3,
+        }
+    }
+
+    /// The default evaluation dataset.
+    pub fn evaluation() -> Self {
+        DatasetConfig {
+            images: 10_000,
+            classes: 1_000,
+            seed: 2012,
+        }
+    }
+
+    /// Paper scale: the 45 000-image ILSVRC-2012 validation subset.
+    pub fn ilsvrc_scale() -> Self {
+        DatasetConfig {
+            images: 45_000,
+            classes: 1_000,
+            seed: 2012,
+        }
+    }
+
+    /// Replace the seed (builder-style).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Replace the image count (builder-style).
+    pub fn with_images(mut self, images: usize) -> Self {
+        self.images = images;
+        self
+    }
+}
+
+/// One validation image: its label, latent difficulty and render seed.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ImageSpec {
+    /// Dataset-unique id.
+    pub id: u32,
+    /// Ground-truth class.
+    pub class: u32,
+    /// Latent difficulty (standard-normal-ish; higher is harder).
+    pub difficulty: f64,
+    /// Seed for pixel rendering and per-request noise.
+    pub render_seed: u64,
+}
+
+impl ImageSpec {
+    /// Render the image as a CHW pixel tensor: a class-dependent
+    /// low-frequency prototype plus difficulty-scaled noise. Used by the
+    /// real inference engine in benches and examples.
+    pub fn render(&self, size: usize) -> Tensor {
+        let mut rng = StdRng::seed_from_u64(self.render_seed ^ 0xBEEF_0000_0000_0003);
+        let mut t = Tensor::zeros(&[3, size, size]);
+        let phase = self.class as f32 * 0.61803;
+        let noise_amp = 0.1 + 0.2 * self.difficulty.max(0.0) as f32;
+        let data = t.data_mut();
+        for c in 0..3 {
+            for y in 0..size {
+                for x in 0..size {
+                    let proto = ((x as f32 * 0.3 + phase + c as f32).sin()
+                        + (y as f32 * 0.2 + phase * 1.7).cos())
+                        * 0.5;
+                    data[(c * size + y) * size + x] =
+                        proto + noise_amp * (rng.gen::<f32>() - 0.5);
+                }
+            }
+        }
+        t
+    }
+}
+
+/// A generated validation set.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    config: DatasetConfig,
+    images: Vec<ImageSpec>,
+}
+
+impl Dataset {
+    /// Generate a dataset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration has zero images or classes.
+    pub fn synthesize(config: DatasetConfig) -> Self {
+        assert!(config.images > 0, "dataset must contain images");
+        assert!(config.classes > 0, "dataset needs classes");
+        let mut rng = StdRng::seed_from_u64(config.seed.wrapping_mul(0x2545_F491_4F6C_DD1D));
+        let images = (0..config.images)
+            .map(|id| ImageSpec {
+                id: id as u32,
+                class: rng.gen_range(0..config.classes) as u32,
+                difficulty: gaussian(&mut rng),
+                render_seed: rng.gen(),
+            })
+            .collect();
+        Dataset { config, images }
+    }
+
+    /// The generating configuration.
+    pub fn config(&self) -> &DatasetConfig {
+        &self.config
+    }
+
+    /// The images.
+    pub fn images(&self) -> &[ImageSpec] {
+        &self.images
+    }
+}
+
+fn gaussian<R: Rng>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dataset_shape_matches_config() {
+        let d = Dataset::synthesize(DatasetConfig::small());
+        assert_eq!(d.images().len(), 300);
+        assert!(d.images().iter().all(|i| (i.class as usize) < 100));
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Dataset::synthesize(DatasetConfig::small());
+        let b = Dataset::synthesize(DatasetConfig::small());
+        assert_eq!(a.images(), b.images());
+        let c = Dataset::synthesize(DatasetConfig::small().with_seed(9));
+        assert_ne!(a.images(), c.images());
+    }
+
+    #[test]
+    fn difficulties_are_roughly_standard_normal() {
+        let d = Dataset::synthesize(DatasetConfig::evaluation());
+        let mean: f64 =
+            d.images().iter().map(|i| i.difficulty).sum::<f64>() / d.images().len() as f64;
+        let var: f64 = d
+            .images()
+            .iter()
+            .map(|i| (i.difficulty - mean).powi(2))
+            .sum::<f64>()
+            / d.images().len() as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn render_is_deterministic_and_class_dependent() {
+        let d = Dataset::synthesize(DatasetConfig::small());
+        let a = d.images()[0].render(16);
+        let b = d.images()[0].render(16);
+        assert_eq!(a, b);
+        let other = d
+            .images()
+            .iter()
+            .find(|i| i.class != d.images()[0].class)
+            .unwrap()
+            .render(16);
+        assert_ne!(a, other);
+    }
+
+    #[test]
+    #[should_panic(expected = "must contain images")]
+    fn zero_images_panics() {
+        let _ = Dataset::synthesize(DatasetConfig {
+            images: 0,
+            ..DatasetConfig::small()
+        });
+    }
+}

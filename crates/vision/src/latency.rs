@@ -1,0 +1,102 @@
+//! FLOP-derived inference latency for CPU and GPU deployments.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Deployment device for a model version.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum Device {
+    /// A 2017-era server CPU core.
+    Cpu,
+    /// A K80-class accelerator.
+    Gpu,
+}
+
+impl Device {
+    /// Effective serving throughput in FLOPs per microsecond. These are
+    /// *end-to-end serving* numbers (single request, batch size 1,
+    /// including framework overhead), far below peak hardware FLOPS —
+    /// which is also why the GPU's advantage is ~12× rather than its
+    /// paper-spec ratio.
+    pub fn throughput_flops_per_us(self) -> f64 {
+        match self {
+            Device::Cpu => 500.0,  // 0.5 GFLOP/s effective
+            Device::Gpu => 6000.0, // 6 GFLOP/s effective
+        }
+    }
+
+    /// Fixed per-request overhead (decode, preprocess, result assembly)
+    /// in microseconds.
+    pub fn overhead_us(self) -> u64 {
+        match self {
+            Device::Cpu => 15_000,
+            Device::Gpu => 8_000,
+        }
+    }
+
+    /// Iterate over both devices.
+    pub fn all() -> impl Iterator<Item = Device> {
+        [Device::Cpu, Device::Gpu].into_iter()
+    }
+}
+
+impl std::fmt::Display for Device {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Device::Cpu => write!(f, "cpu"),
+            Device::Gpu => write!(f, "gpu"),
+        }
+    }
+}
+
+/// Deterministic inference latency in microseconds for a model of
+/// `flops` on `device`, with ±5% seeded jitter (OS scheduling, cache
+/// state).
+pub fn inference_latency_us(flops: u64, device: Device, jitter_seed: u64) -> u64 {
+    let mut rng = StdRng::seed_from_u64(jitter_seed ^ 0x1A7E_0000_0000_0007);
+    let base = device.overhead_us() as f64 + flops as f64 / device.throughput_flops_per_us();
+    let jitter = 1.0 + 0.05 * (rng.gen::<f64>() * 2.0 - 1.0);
+    (base * jitter).round() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gpu_is_faster_than_cpu_for_big_models() {
+        let flops = 100_000_000;
+        assert!(
+            inference_latency_us(flops, Device::Gpu, 1) < inference_latency_us(flops, Device::Cpu, 1)
+        );
+    }
+
+    #[test]
+    fn latency_scales_with_flops() {
+        let small = inference_latency_us(10_000_000, Device::Cpu, 5);
+        let large = inference_latency_us(100_000_000, Device::Cpu, 5);
+        assert!(large > small * 3);
+    }
+
+    #[test]
+    fn jitter_is_bounded_and_deterministic() {
+        let flops = 50_000_000;
+        let base = Device::Cpu.overhead_us() as f64
+            + flops as f64 / Device::Cpu.throughput_flops_per_us();
+        for seed in 0..50 {
+            let l = inference_latency_us(flops, Device::Cpu, seed) as f64;
+            assert!(l >= base * 0.94 && l <= base * 1.06, "jitter out of range: {l}");
+            assert_eq!(
+                inference_latency_us(flops, Device::Cpu, seed),
+                inference_latency_us(flops, Device::Cpu, seed)
+            );
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Device::Cpu.to_string(), "cpu");
+        assert_eq!(Device::Gpu.to_string(), "gpu");
+    }
+}

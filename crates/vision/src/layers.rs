@@ -1,0 +1,381 @@
+//! Neural-network layers with exact FLOP accounting.
+//!
+//! Only what CNN inference needs: 2-D convolution, ReLU, max pooling,
+//! global average pooling, fully-connected, and softmax. Weights are
+//! seeded pseudo-random — the engine demonstrates real compute and real
+//! FLOP counts; classification *accuracy* comes from the calibrated
+//! model in [`crate::accuracy`] (see `DESIGN.md`).
+
+use crate::tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A network layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Layer {
+    /// 2-D convolution over CHW input with square kernels, stride and
+    /// zero padding; includes bias.
+    Conv2d {
+        /// Input channels.
+        in_channels: usize,
+        /// Output channels.
+        out_channels: usize,
+        /// Square kernel size.
+        kernel: usize,
+        /// Stride.
+        stride: usize,
+        /// Zero padding on each side.
+        padding: usize,
+        /// Kernel weights, `[out][in][k][k]` flattened.
+        weights: Vec<f32>,
+        /// Per-output-channel bias.
+        bias: Vec<f32>,
+    },
+    /// Elementwise `max(0, x)`.
+    Relu,
+    /// Max pooling with a square window and equal stride.
+    MaxPool {
+        /// Window size (and stride).
+        window: usize,
+    },
+    /// Collapse each channel to its mean: CHW → C.
+    GlobalAvgPool,
+    /// Fully-connected layer over a rank-1 input.
+    Dense {
+        /// Input features.
+        in_features: usize,
+        /// Output features.
+        out_features: usize,
+        /// Row-major `[out][in]` weights.
+        weights: Vec<f32>,
+        /// Per-output bias.
+        bias: Vec<f32>,
+    },
+    /// Softmax over a rank-1 input.
+    Softmax,
+}
+
+impl Layer {
+    /// A convolution with seeded He-style weights.
+    pub fn conv2d(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+        seed: u64,
+    ) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let scale = (2.0 / (in_channels * kernel * kernel) as f32).sqrt();
+        let n = out_channels * in_channels * kernel * kernel;
+        Layer::Conv2d {
+            in_channels,
+            out_channels,
+            kernel,
+            stride,
+            padding,
+            weights: (0..n).map(|_| (rng.gen::<f32>() - 0.5) * 2.0 * scale).collect(),
+            bias: vec![0.0; out_channels],
+        }
+    }
+
+    /// A dense layer with seeded weights.
+    pub fn dense(in_features: usize, out_features: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let scale = (2.0 / in_features as f32).sqrt();
+        Layer::Dense {
+            in_features,
+            out_features,
+            weights: (0..in_features * out_features)
+                .map(|_| (rng.gen::<f32>() - 0.5) * 2.0 * scale)
+                .collect(),
+            bias: vec![0.0; out_features],
+        }
+    }
+
+    /// Shape of this layer's output for the given input shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input shape is incompatible with the layer.
+    pub fn output_shape(&self, input: &[usize]) -> Vec<usize> {
+        match self {
+            Layer::Conv2d {
+                in_channels,
+                out_channels,
+                kernel,
+                stride,
+                padding,
+                ..
+            } => {
+                let [c, h, w] = chw(input);
+                assert_eq!(c, *in_channels, "conv input channel mismatch");
+                let oh = (h + 2 * padding - kernel) / stride + 1;
+                let ow = (w + 2 * padding - kernel) / stride + 1;
+                vec![*out_channels, oh, ow]
+            }
+            Layer::Relu => input.to_vec(),
+            Layer::MaxPool { window } => {
+                let [c, h, w] = chw(input);
+                assert!(h >= *window && w >= *window, "pool window larger than input");
+                vec![c, h / window, w / window]
+            }
+            Layer::GlobalAvgPool => vec![chw(input)[0]],
+            Layer::Dense {
+                in_features,
+                out_features,
+                ..
+            } => {
+                assert_eq!(
+                    input.iter().product::<usize>(),
+                    *in_features,
+                    "dense input size mismatch"
+                );
+                vec![*out_features]
+            }
+            Layer::Softmax => input.to_vec(),
+        }
+    }
+
+    /// Floating-point operations to evaluate this layer on the given
+    /// input shape (multiply-accumulate counted as two).
+    pub fn flops(&self, input: &[usize]) -> u64 {
+        match self {
+            Layer::Conv2d {
+                in_channels,
+                kernel,
+                ..
+            } => {
+                let out = self.output_shape(input);
+                let per_output = 2 * in_channels * kernel * kernel;
+                (out.iter().product::<usize>() * per_output) as u64
+            }
+            Layer::Relu | Layer::Softmax => input.iter().product::<usize>() as u64,
+            Layer::MaxPool { .. } | Layer::GlobalAvgPool => {
+                input.iter().product::<usize>() as u64
+            }
+            Layer::Dense {
+                in_features,
+                out_features,
+                ..
+            } => (2 * in_features * out_features) as u64,
+        }
+    }
+
+    /// Evaluate the layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input shape is incompatible with the layer.
+    pub fn forward(&self, input: &Tensor) -> Tensor {
+        match self {
+            Layer::Conv2d {
+                in_channels,
+                out_channels,
+                kernel,
+                stride,
+                padding,
+                weights,
+                bias,
+            } => {
+                let [c, h, w] = chw(input.shape());
+                assert_eq!(c, *in_channels, "conv input channel mismatch");
+                let oh = (h + 2 * padding - kernel) / stride + 1;
+                let ow = (w + 2 * padding - kernel) / stride + 1;
+                let mut out = Tensor::zeros(&[*out_channels, oh, ow]);
+                let x = input.data();
+                let o = out.data_mut();
+                for oc in 0..*out_channels {
+                    for oy in 0..oh {
+                        for ox in 0..ow {
+                            let mut acc = bias[oc];
+                            for ic in 0..c {
+                                for ky in 0..*kernel {
+                                    let iy = (oy * stride + ky) as isize - *padding as isize;
+                                    if iy < 0 || iy >= h as isize {
+                                        continue;
+                                    }
+                                    for kx in 0..*kernel {
+                                        let ix = (ox * stride + kx) as isize - *padding as isize;
+                                        if ix < 0 || ix >= w as isize {
+                                            continue;
+                                        }
+                                        let wv = weights[((oc * c + ic) * kernel + ky) * kernel
+                                            + kx];
+                                        acc += wv * x[(ic * h + iy as usize) * w + ix as usize];
+                                    }
+                                }
+                            }
+                            o[(oc * oh + oy) * ow + ox] = acc;
+                        }
+                    }
+                }
+                out
+            }
+            Layer::Relu => {
+                let mut out = input.clone();
+                for v in out.data_mut() {
+                    *v = v.max(0.0);
+                }
+                out
+            }
+            Layer::MaxPool { window } => {
+                let [c, h, w] = chw(input.shape());
+                let oh = h / window;
+                let ow = w / window;
+                let mut out = Tensor::zeros(&[c, oh, ow]);
+                let x = input.data();
+                let o = out.data_mut();
+                for ch in 0..c {
+                    for oy in 0..oh {
+                        for ox in 0..ow {
+                            let mut m = f32::NEG_INFINITY;
+                            for ky in 0..*window {
+                                for kx in 0..*window {
+                                    m = m.max(
+                                        x[(ch * h + oy * window + ky) * w + ox * window + kx],
+                                    );
+                                }
+                            }
+                            o[(ch * oh + oy) * ow + ox] = m;
+                        }
+                    }
+                }
+                out
+            }
+            Layer::GlobalAvgPool => {
+                let [c, h, w] = chw(input.shape());
+                let x = input.data();
+                let mut out = Tensor::zeros(&[c]);
+                for ch in 0..c {
+                    let sum: f32 = x[ch * h * w..(ch + 1) * h * w].iter().sum();
+                    out.data_mut()[ch] = sum / (h * w) as f32;
+                }
+                out
+            }
+            Layer::Dense {
+                in_features,
+                out_features,
+                weights,
+                bias,
+            } => {
+                assert_eq!(input.len(), *in_features, "dense input size mismatch");
+                let x = input.data();
+                let mut out = Tensor::zeros(&[*out_features]);
+                for (i, ov) in out.data_mut().iter_mut().enumerate() {
+                    let row = &weights[i * in_features..(i + 1) * in_features];
+                    *ov = bias[i] + row.iter().zip(x).map(|(a, b)| a * b).sum::<f32>();
+                }
+                out
+            }
+            Layer::Softmax => {
+                let mut out = input.clone();
+                let max = out
+                    .data()
+                    .iter()
+                    .copied()
+                    .fold(f32::NEG_INFINITY, f32::max);
+                let mut total = 0.0;
+                for v in out.data_mut() {
+                    *v = (*v - max).exp();
+                    total += *v;
+                }
+                for v in out.data_mut() {
+                    *v /= total;
+                }
+                out
+            }
+        }
+    }
+}
+
+/// Interpret a shape as CHW.
+fn chw(shape: &[usize]) -> [usize; 3] {
+    assert_eq!(shape.len(), 3, "expected a CHW shape, got {shape:?}");
+    [shape[0], shape[1], shape[2]]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_shape_and_flops() {
+        let conv = Layer::conv2d(3, 8, 3, 1, 1, 1);
+        assert_eq!(conv.output_shape(&[3, 16, 16]), vec![8, 16, 16]);
+        // 2 * 3 * 3 * 3 per output element * 8*16*16 outputs.
+        assert_eq!(conv.flops(&[3, 16, 16]), 2 * 27 * 8 * 16 * 16);
+    }
+
+    #[test]
+    fn conv_identity_kernel_passes_through() {
+        // 1x1 conv with identity weights reproduces the input channel.
+        let conv = Layer::Conv2d {
+            in_channels: 1,
+            out_channels: 1,
+            kernel: 1,
+            stride: 1,
+            padding: 0,
+            weights: vec![1.0],
+            bias: vec![0.0],
+        };
+        let x = Tensor::from_vec(&[1, 2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(conv.forward(&x).data(), x.data());
+    }
+
+    #[test]
+    fn conv_stride_downsamples() {
+        let conv = Layer::conv2d(1, 2, 3, 2, 1, 7);
+        assert_eq!(conv.output_shape(&[1, 8, 8]), vec![2, 4, 4]);
+    }
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let x = Tensor::from_vec(&[3], vec![-1.0, 0.0, 2.0]);
+        assert_eq!(Layer::Relu.forward(&x).data(), &[0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn maxpool_takes_window_max() {
+        let x = Tensor::from_vec(&[1, 2, 2], vec![1.0, 5.0, 3.0, 2.0]);
+        let out = Layer::MaxPool { window: 2 }.forward(&x);
+        assert_eq!(out.shape(), &[1, 1, 1]);
+        assert_eq!(out.data(), &[5.0]);
+    }
+
+    #[test]
+    fn global_avg_pool_averages_channels() {
+        let x = Tensor::from_vec(&[2, 1, 2], vec![1.0, 3.0, 10.0, 20.0]);
+        let out = Layer::GlobalAvgPool.forward(&x);
+        assert_eq!(out.data(), &[2.0, 15.0]);
+    }
+
+    #[test]
+    fn dense_computes_affine_map() {
+        let dense = Layer::Dense {
+            in_features: 2,
+            out_features: 1,
+            weights: vec![2.0, -1.0],
+            bias: vec![0.5],
+        };
+        let x = Tensor::from_vec(&[2], vec![3.0, 4.0]);
+        assert_eq!(dense.forward(&x).data(), &[2.5]);
+    }
+
+    #[test]
+    fn softmax_sums_to_one_and_is_monotone() {
+        let x = Tensor::from_vec(&[3], vec![1.0, 2.0, 3.0]);
+        let out = Layer::Softmax.forward(&x);
+        let sum: f32 = out.data().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6);
+        assert!(out.data()[2] > out.data()[1]);
+        assert_eq!(out.argmax(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "channel mismatch")]
+    fn conv_rejects_wrong_channels() {
+        let conv = Layer::conv2d(3, 8, 3, 1, 1, 1);
+        let _ = conv.forward(&Tensor::zeros(&[2, 8, 8]));
+    }
+}

@@ -1,0 +1,63 @@
+//! Image-classification substrate for the `toltiers` workspace.
+//!
+//! The Tolerance Tiers paper's second application is an image
+//! classification service backed by ImageNet CNNs (SqueezeNet, AlexNet,
+//! GoogLeNet, VGG, ResNet) served on CPUs and GPUs. We reproduce the
+//! parts of that stack the paper's analysis actually exercises:
+//!
+//! * [`tensor`] / [`layers`] / [`network`] — a real (small) inference
+//!   engine: NCHW tensors, conv/pool/dense layers with exact FLOP
+//!   counting, and sequential network assembly. The engine genuinely
+//!   runs — benches and examples execute real forward passes — and its
+//!   FLOP counts drive the latency model.
+//! * [`zoo`] — six scaled-down network architectures standing in for the
+//!   paper's model families, with calibrated accuracy profiles.
+//! * [`latency`] — FLOPs × device throughput latency with seeded jitter,
+//!   for CPU and GPU deployments (GPU ≈ 12× the throughput, ≈ 3× the
+//!   hourly price — handled by the serving layer).
+//! * [`dataset`] — a synthetic ILSVRC-2012-like validation set: 1 000
+//!   classes, configurable size (45 000 at paper scale), with a latent
+//!   per-image difficulty.
+//! * [`accuracy`] — the calibrated correctness model: whether model `m`
+//!   classifies image `i` correctly depends on the image's difficulty,
+//!   the model's capability and per-(model, image) noise, reproducing
+//!   the paper's unchanged / improves / degrades / varies request
+//!   categories and a confidence signal that genuinely discriminates
+//!   (see `DESIGN.md` for why this substitution is faithful).
+//! * [`service`] — the assembled classification service.
+//! * [`train`] — a tiny genuinely-trained MLP path (SGD on a Gaussian
+//!   mixture) demonstrating the same serving API with real learned
+//!   models.
+//!
+//! # Examples
+//!
+//! ```
+//! use tt_vision::dataset::DatasetConfig;
+//! use tt_vision::service::VisionService;
+//! use tt_vision::latency::Device;
+//!
+//! let svc = VisionService::synthesize(DatasetConfig::small());
+//! let model = &svc.zoo()[0];
+//! let out = svc.classify(&svc.dataset().images()[0], model, Device::Cpu);
+//! assert!(out.confidence >= 0.0 && out.confidence <= 1.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod accuracy;
+pub mod dataset;
+pub mod latency;
+pub mod layers;
+pub mod network;
+pub mod service;
+pub mod tensor;
+pub mod train;
+pub mod zoo;
+
+pub use dataset::{Dataset, DatasetConfig, ImageSpec};
+pub use latency::Device;
+pub use network::Network;
+pub use service::{ClassifyOutcome, VisionService};
+pub use tensor::Tensor;
+pub use zoo::ModelProfile;

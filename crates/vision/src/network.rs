@@ -1,0 +1,197 @@
+//! Sequential network assembly.
+
+use crate::layers::Layer;
+use crate::tensor::Tensor;
+
+/// A sequential neural network with a fixed input shape.
+///
+/// ```
+/// use tt_vision::network::NetworkBuilder;
+/// use tt_vision::layers::Layer;
+///
+/// let net = NetworkBuilder::new("tiny", &[3, 8, 8])
+///     .layer(Layer::conv2d(3, 4, 3, 1, 1, 1))
+///     .layer(Layer::Relu)
+///     .layer(Layer::GlobalAvgPool)
+///     .layer(Layer::dense(4, 10, 2))
+///     .layer(Layer::Softmax)
+///     .build();
+/// assert_eq!(net.output_shape(), &[10]);
+/// assert!(net.flops() > 0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Network {
+    name: String,
+    input_shape: Vec<usize>,
+    layers: Vec<Layer>,
+    flops: u64,
+    output_shape: Vec<usize>,
+}
+
+impl Network {
+    /// Network name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Expected input shape (CHW).
+    pub fn input_shape(&self) -> &[usize] {
+        &self.input_shape
+    }
+
+    /// Output shape.
+    pub fn output_shape(&self) -> &[usize] {
+        &self.output_shape
+    }
+
+    /// Total inference FLOPs for one input.
+    pub fn flops(&self) -> u64 {
+        self.flops
+    }
+
+    /// Number of layers.
+    pub fn depth(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Run a forward pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input` does not match the network's input shape.
+    pub fn forward(&self, input: &Tensor) -> Tensor {
+        assert_eq!(
+            input.shape(),
+            &self.input_shape[..],
+            "input shape mismatch for network `{}`",
+            self.name
+        );
+        let mut x = input.clone();
+        for layer in &self.layers {
+            // Dense layers consume flattened input.
+            if let Layer::Dense { in_features, .. } = layer {
+                if x.shape().len() > 1 && x.len() == *in_features {
+                    x = x.reshaped(&[*in_features]);
+                }
+            }
+            x = layer.forward(&x);
+        }
+        x
+    }
+}
+
+/// Builder for [`Network`]; validates shape compatibility as layers are
+/// appended.
+#[derive(Debug, Clone)]
+pub struct NetworkBuilder {
+    name: String,
+    input_shape: Vec<usize>,
+    current_shape: Vec<usize>,
+    layers: Vec<Layer>,
+    flops: u64,
+}
+
+impl NetworkBuilder {
+    /// Start a network with the given input shape (CHW).
+    pub fn new(name: impl Into<String>, input_shape: &[usize]) -> Self {
+        let input_shape = input_shape.to_vec();
+        NetworkBuilder {
+            name: name.into(),
+            current_shape: input_shape.clone(),
+            input_shape,
+            layers: Vec::new(),
+            flops: 0,
+        }
+    }
+
+    /// Append a layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the layer is incompatible with the current shape.
+    pub fn layer(mut self, layer: Layer) -> Self {
+        // Dense layers implicitly flatten.
+        if let Layer::Dense { in_features, .. } = &layer {
+            if self.current_shape.len() > 1
+                && self.current_shape.iter().product::<usize>() == *in_features
+            {
+                self.current_shape = vec![*in_features];
+            }
+        }
+        self.flops += layer.flops(&self.current_shape);
+        self.current_shape = layer.output_shape(&self.current_shape);
+        self.layers.push(layer);
+        self
+    }
+
+    /// Finish the network.
+    pub fn build(self) -> Network {
+        Network {
+            name: self.name,
+            input_shape: self.input_shape,
+            output_shape: self.current_shape,
+            layers: self.layers,
+            flops: self.flops,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Network {
+        NetworkBuilder::new("tiny", &[3, 8, 8])
+            .layer(Layer::conv2d(3, 4, 3, 1, 1, 11))
+            .layer(Layer::Relu)
+            .layer(Layer::MaxPool { window: 2 })
+            .layer(Layer::GlobalAvgPool)
+            .layer(Layer::dense(4, 5, 12))
+            .layer(Layer::Softmax)
+            .build()
+    }
+
+    #[test]
+    fn forward_produces_distribution() {
+        let net = tiny();
+        let out = net.forward(&Tensor::zeros(&[3, 8, 8]));
+        assert_eq!(out.shape(), &[5]);
+        let sum: f32 = out.data().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn flops_accumulate_over_layers() {
+        let net = tiny();
+        // conv: 2*3*9 per output * 4*8*8 outputs
+        let conv = 2 * 27 * 4 * 8 * 8u64;
+        assert!(net.flops() > conv);
+    }
+
+    #[test]
+    #[should_panic(expected = "input shape mismatch")]
+    fn forward_rejects_wrong_input() {
+        let _ = tiny().forward(&Tensor::zeros(&[3, 4, 4]));
+    }
+
+    #[test]
+    fn deeper_network_has_more_flops() {
+        let shallow = NetworkBuilder::new("s", &[3, 16, 16])
+            .layer(Layer::conv2d(3, 8, 3, 1, 1, 1))
+            .build();
+        let deep = NetworkBuilder::new("d", &[3, 16, 16])
+            .layer(Layer::conv2d(3, 8, 3, 1, 1, 1))
+            .layer(Layer::conv2d(8, 8, 3, 1, 1, 2))
+            .build();
+        assert!(deep.flops() > shallow.flops());
+    }
+
+    #[test]
+    fn dense_auto_flattens() {
+        let net = NetworkBuilder::new("flat", &[2, 2, 2])
+            .layer(Layer::dense(8, 3, 9))
+            .build();
+        let out = net.forward(&Tensor::zeros(&[2, 2, 2]));
+        assert_eq!(out.shape(), &[3]);
+    }
+}

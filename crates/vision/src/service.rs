@@ -1,0 +1,198 @@
+//! The assembled image-classification service.
+
+use crate::accuracy::judge;
+use crate::dataset::{Dataset, DatasetConfig, ImageSpec};
+use crate::latency::{inference_latency_us, Device};
+use crate::zoo::{model_zoo, ModelProfile};
+
+/// Everything the service reports for one classified image.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ClassifyOutcome {
+    /// Predicted class.
+    pub predicted: u32,
+    /// Whether the prediction matches the label (top-1).
+    pub correct: bool,
+    /// Top-1 error for this request: `0.0` or `1.0` (the paper's
+    /// per-request quality metric for IC).
+    pub top1_err: f64,
+    /// Top-5 error for this request: `0.0` or `1.0`.
+    pub top5_err: f64,
+    /// Result confidence in `[0, 1]`.
+    pub confidence: f64,
+    /// Deterministic inference latency in microseconds on the chosen
+    /// device.
+    pub latency_us: u64,
+    /// FLOPs executed.
+    pub flops: u64,
+}
+
+/// An image-classification service over a synthetic validation set.
+///
+/// ```
+/// use tt_vision::{Device, VisionService};
+/// use tt_vision::dataset::DatasetConfig;
+///
+/// let svc = VisionService::synthesize(DatasetConfig::small());
+/// let out = svc.classify(&svc.dataset().images()[0], &svc.zoo()[0], Device::Gpu);
+/// assert!(out.latency_us > 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct VisionService {
+    dataset: Dataset,
+    zoo: Vec<ModelProfile>,
+}
+
+impl VisionService {
+    /// Build the service: synthesize the dataset and load the zoo.
+    pub fn synthesize(config: DatasetConfig) -> Self {
+        Self::with_zoo(config, model_zoo())
+    }
+
+    /// Build the service with an explicit model ladder (e.g.
+    /// [`crate::zoo::extended_zoo`] for the quantized-variant study).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the zoo is empty.
+    pub fn with_zoo(config: DatasetConfig, zoo: Vec<ModelProfile>) -> Self {
+        assert!(!zoo.is_empty(), "service needs at least one model");
+        VisionService {
+            dataset: Dataset::synthesize(config),
+            zoo,
+        }
+    }
+
+    /// The validation set.
+    pub fn dataset(&self) -> &Dataset {
+        &self.dataset
+    }
+
+    /// The model ladder, fastest first.
+    pub fn zoo(&self) -> &[ModelProfile] {
+        &self.zoo
+    }
+
+    /// Classify one image with one model on one device.
+    pub fn classify(
+        &self,
+        image: &ImageSpec,
+        model: &ModelProfile,
+        device: Device,
+    ) -> ClassifyOutcome {
+        let classes = self.dataset.config().classes as u32;
+        let judgement = judge(image, model.capability(), model.model_tag(), classes);
+        let latency_us = inference_latency_us(
+            model.effective_flops(),
+            device,
+            image.render_seed ^ model.model_tag(),
+        );
+        ClassifyOutcome {
+            predicted: judgement.predicted,
+            correct: judgement.correct,
+            top1_err: if judgement.correct { 0.0 } else { 1.0 },
+            top5_err: if judgement.correct_top5 { 0.0 } else { 1.0 },
+            confidence: judgement.confidence,
+            latency_us,
+            flops: model.flops(),
+        }
+    }
+
+    /// Classify the whole dataset under one model/device; outcomes in
+    /// dataset order.
+    pub fn classify_dataset(&self, model: &ModelProfile, device: Device) -> Vec<ClassifyOutcome> {
+        self.dataset
+            .images()
+            .iter()
+            .map(|img| self.classify(img, model, device))
+            .collect()
+    }
+
+    /// Dataset-level top-1 error under one model.
+    pub fn dataset_error(&self, model: &ModelProfile, device: Device) -> f64 {
+        let outs = self.classify_dataset(model, device);
+        outs.iter().map(|o| o.top1_err).sum::<f64>() / outs.len() as f64
+    }
+
+    /// Dataset-level top-5 error under one model.
+    pub fn dataset_top5_error(&self, model: &ModelProfile, device: Device) -> f64 {
+        let outs = self.classify_dataset(model, device);
+        outs.iter().map(|o| o.top5_err).sum::<f64>() / outs.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn svc() -> VisionService {
+        VisionService::synthesize(DatasetConfig::evaluation().with_images(3_000))
+    }
+
+    #[test]
+    fn outcome_is_consistent_and_deterministic() {
+        let s = svc();
+        let img = &s.dataset().images()[0];
+        let a = s.classify(img, &s.zoo()[0], Device::Cpu);
+        let b = s.classify(img, &s.zoo()[0], Device::Cpu);
+        assert_eq!(a, b);
+        assert_eq!(a.correct, a.top1_err == 0.0);
+    }
+
+    #[test]
+    fn dataset_error_tracks_calibration() {
+        let s = svc();
+        for model in s.zoo() {
+            let err = s.dataset_error(model, Device::Cpu);
+            assert!(
+                (err - model.top1_err()).abs() < 0.03,
+                "{}: calibrated {} observed {err}",
+                model.name(),
+                model.top1_err()
+            );
+        }
+    }
+
+    #[test]
+    fn gpu_latency_is_far_below_cpu() {
+        let s = svc();
+        let img = &s.dataset().images()[0];
+        let model = &s.zoo()[5];
+        let cpu = s.classify(img, model, Device::Cpu).latency_us;
+        let gpu = s.classify(img, model, Device::Gpu).latency_us;
+        assert!(cpu > gpu * 3, "cpu {cpu} vs gpu {gpu}");
+    }
+
+    #[test]
+    fn latency_spread_across_zoo_is_about_five_x() {
+        let s = svc();
+        let img = &s.dataset().images()[0];
+        let lats: Vec<u64> = s
+            .zoo()
+            .iter()
+            .map(|m| s.classify(img, m, Device::Cpu).latency_us)
+            .collect();
+        let min = *lats.iter().min().unwrap() as f64;
+        let max = *lats.iter().max().unwrap() as f64;
+        assert!(
+            (3.0..8.0).contains(&(max / min)),
+            "latency spread {}",
+            max / min
+        );
+    }
+
+    #[test]
+    fn confidence_discriminates_for_the_cheap_model() {
+        let s = svc();
+        let outs = s.classify_dataset(&s.zoo()[0], Device::Cpu);
+        let mean = |pred: bool| {
+            let xs: Vec<f64> = outs
+                .iter()
+                .filter(|o| o.correct == pred)
+                .map(|o| o.confidence)
+                .collect();
+            xs.iter().sum::<f64>() / xs.len() as f64
+        };
+        assert!(mean(true) - mean(false) > 0.3);
+    }
+}

@@ -1,0 +1,165 @@
+//! A minimal dense tensor.
+
+use std::fmt;
+
+/// A dense row-major tensor of `f32`.
+///
+/// Shapes follow the CHW convention for images (channels, height,
+/// width); fully-connected activations are rank 1.
+///
+/// ```
+/// use tt_vision::Tensor;
+///
+/// let t = Tensor::zeros(&[3, 4, 4]);
+/// assert_eq!(t.len(), 48);
+/// assert_eq!(t.shape(), &[3, 4, 4]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Tensor {
+    shape: Vec<usize>,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// A tensor of zeros with the given shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shape is empty or has a zero dimension.
+    pub fn zeros(shape: &[usize]) -> Self {
+        assert!(!shape.is_empty(), "tensor shape cannot be empty");
+        assert!(shape.iter().all(|&d| d > 0), "tensor dimensions must be positive");
+        Tensor {
+            shape: shape.to_vec(),
+            data: vec![0.0; shape.iter().product()],
+        }
+    }
+
+    /// Build from explicit data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` does not equal the shape's element count.
+    pub fn from_vec(shape: &[usize], data: Vec<f32>) -> Self {
+        assert_eq!(
+            data.len(),
+            shape.iter().product::<usize>(),
+            "data length does not match shape"
+        );
+        assert!(!shape.is_empty(), "tensor shape cannot be empty");
+        Tensor {
+            shape: shape.to_vec(),
+            data,
+        }
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor has zero elements (never true: construction
+    /// rejects zero dimensions).
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the backing data.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the backing data.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Index of the maximum element (ties resolve to the first).
+    pub fn argmax(&self) -> usize {
+        let mut best = 0;
+        for (i, v) in self.data.iter().enumerate().skip(1) {
+            assert!(!v.is_nan(), "tensor contains NaN");
+            if *v > self.data[best] {
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Reinterpret as a different shape with the same element count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the element counts differ.
+    pub fn reshaped(mut self, shape: &[usize]) -> Self {
+        assert_eq!(
+            self.len(),
+            shape.iter().product::<usize>(),
+            "reshape changes element count"
+        );
+        self.shape = shape.to_vec();
+        self
+    }
+}
+
+impl fmt::Display for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor{:?}", self.shape)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_has_right_shape_and_content() {
+        let t = Tensor::zeros(&[2, 3]);
+        assert_eq!(t.shape(), &[2, 3]);
+        assert_eq!(t.len(), 6);
+        assert!(t.data().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn from_vec_round_trips() {
+        let t = Tensor::from_vec(&[4], vec![1.0, 5.0, 3.0, 2.0]);
+        assert_eq!(t.argmax(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match shape")]
+    fn from_vec_rejects_bad_length() {
+        let _ = Tensor::from_vec(&[3], vec![1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot be empty")]
+    fn empty_shape_rejected() {
+        let _ = Tensor::zeros(&[]);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_vec(&[2, 2], vec![1.0, 2.0, 3.0, 4.0]).reshaped(&[4]);
+        assert_eq!(t.shape(), &[4]);
+        assert_eq!(t.data(), &[1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "changes element count")]
+    fn reshape_rejects_size_change() {
+        let _ = Tensor::zeros(&[4]).reshaped(&[5]);
+    }
+
+    #[test]
+    fn argmax_first_on_ties() {
+        let t = Tensor::from_vec(&[3], vec![7.0, 7.0, 1.0]);
+        assert_eq!(t.argmax(), 0);
+    }
+}

@@ -1,0 +1,372 @@
+//! The network zoo: scaled-down stand-ins for the paper's model
+//! families, with calibrated accuracy profiles.
+//!
+//! Architectures are sequential approximations (our engine has no
+//! residual graph), sized so their *relative* FLOP counts track the
+//! relative inference costs of the originals: roughly a 5× spread from
+//! the SqueezeNet-class network to the multi-crop ResNet-class one. The
+//! top-1 error ladder is calibrated so the fastest-to-most-accurate
+//! spread reproduces the paper's ">65% error reduction for a 5×
+//! response-time increase" claim (see `EXPERIMENTS.md` for the
+//! paper-vs-measured comparison).
+
+use crate::accuracy::capability_for_error;
+use crate::layers::Layer;
+use crate::network::{Network, NetworkBuilder};
+
+/// Input image side length used by the zoo.
+pub const INPUT_SIZE: usize = 64;
+/// Classes the zoo networks emit.
+pub const NUM_CLASSES: usize = 1000;
+
+/// One model version: identity, calibrated accuracy, and architecture.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelProfile {
+    name: &'static str,
+    family: &'static str,
+    top1_err: f64,
+    capability: f64,
+    model_tag: u64,
+    flops: u64,
+    /// Effective-throughput multiplier (1.0 for fp32; >1 for quantized
+    /// variants, which execute the same FLOPs faster).
+    speedup: f64,
+}
+
+impl ModelProfile {
+    fn new(name: &'static str, family: &'static str, top1_err: f64, model_tag: u64) -> Self {
+        Self::with_speedup(name, name, family, top1_err, model_tag, 1.0)
+    }
+
+    /// A variant reusing `arch`'s architecture under a different name,
+    /// accuracy and effective speedup (e.g. an int8 quantization).
+    fn with_speedup(
+        name: &'static str,
+        arch: &'static str,
+        family: &'static str,
+        top1_err: f64,
+        model_tag: u64,
+        speedup: f64,
+    ) -> Self {
+        assert!(speedup > 0.0, "speedup must be positive");
+        let flops = build_network(arch).flops();
+        ModelProfile {
+            name,
+            family,
+            top1_err,
+            capability: capability_for_error(top1_err),
+            model_tag,
+            flops,
+            speedup,
+        }
+    }
+
+    /// Model version name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// The original model family this stands in for.
+    pub fn family(&self) -> &'static str {
+        self.family
+    }
+
+    /// Calibrated top-1 error target.
+    pub fn top1_err(&self) -> f64 {
+        self.top1_err
+    }
+
+    /// Capability in difficulty units (see [`crate::accuracy`]).
+    pub fn capability(&self) -> f64 {
+        self.capability
+    }
+
+    /// Stable tag for per-(model, image) noise seeding.
+    pub fn model_tag(&self) -> u64 {
+        self.model_tag
+    }
+
+    /// Inference FLOPs of the architecture.
+    pub fn flops(&self) -> u64 {
+        self.flops
+    }
+
+    /// FLOPs divided by the effective-throughput multiplier; what the
+    /// latency model charges (an int8 model runs its FLOPs ~2.5× faster
+    /// on the same silicon).
+    pub fn effective_flops(&self) -> u64 {
+        (self.flops as f64 / self.speedup).round() as u64
+    }
+
+    /// Build the runnable network (weights are seeded from the model
+    /// tag; construction is deferred because most workflows only need
+    /// the profile).
+    pub fn network(&self) -> Network {
+        build_network(self.name)
+    }
+}
+
+impl std::fmt::Display for ModelProfile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} ({}; top-1 err {:.1}%, {:.0} MFLOPs)",
+            self.name,
+            self.family,
+            self.top1_err * 100.0,
+            self.flops as f64 / 1e6
+        )
+    }
+}
+
+/// The six-model ladder, ordered from fastest/least accurate to
+/// slowest/most accurate. Error targets follow the published top-1
+/// ladder of the respective families, with the top end extended to a
+/// multi-crop ResNet variant so the fastest-to-best spread matches the
+/// paper's ">65% error reduction at ~5× latency".
+pub fn model_zoo() -> Vec<ModelProfile> {
+    vec![
+        ModelProfile::new("squeeze-s", "SqueezeNet", 0.430, 0xA1),
+        ModelProfile::new("alex-s", "AlexNet", 0.425, 0xA2),
+        ModelProfile::new("goog-s", "GoogLeNet", 0.313, 0xA3),
+        ModelProfile::new("res50-s", "ResNet-50", 0.247, 0xA4),
+        ModelProfile::new("vgg-s", "VGG-16", 0.285, 0xA5),
+        ModelProfile::new("res152-x", "ResNet-152 (multi-crop)", 0.143, 0xA6),
+    ]
+}
+
+/// The zoo extended with int8-quantized variants: same architectures,
+/// ~2.5× effective throughput, ~1.5 points more top-1 error — the
+/// compression trade-off of Deep-Compression-era quantization (paper
+/// §VI prior work). A richer version ladder gives the routing-rule
+/// generator more Pareto points to deploy.
+pub fn extended_zoo() -> Vec<ModelProfile> {
+    let mut zoo = model_zoo();
+    zoo.extend([
+        ModelProfile::with_speedup("squeeze-s-q8", "squeeze-s", "SqueezeNet (int8)", 0.445, 0xB1, 2.5),
+        ModelProfile::with_speedup("goog-s-q8", "goog-s", "GoogLeNet (int8)", 0.328, 0xB3, 2.5),
+        ModelProfile::with_speedup("res50-s-q8", "res50-s", "ResNet-50 (int8)", 0.262, 0xB4, 2.5),
+        ModelProfile::with_speedup(
+            "res152-x-q8",
+            "res152-x",
+            "ResNet-152 multi-crop (int8)",
+            0.158,
+            0xB6,
+            2.5,
+        ),
+    ]);
+    zoo
+}
+
+/// Build a zoo architecture by name.
+///
+/// # Panics
+///
+/// Panics on an unknown name.
+pub fn build_network(name: &str) -> Network {
+    let s = INPUT_SIZE;
+    match name {
+        "squeeze-s" => NetworkBuilder::new(name, &[3, s, s])
+            .layer(Layer::conv2d(3, 16, 3, 1, 1, 0xA10))
+            .layer(Layer::Relu)
+            .layer(Layer::MaxPool { window: 2 })
+            .layer(Layer::conv2d(16, 32, 3, 1, 1, 0xA11))
+            .layer(Layer::Relu)
+            .layer(Layer::MaxPool { window: 2 })
+            .layer(Layer::conv2d(32, 64, 3, 1, 1, 0xA12))
+            .layer(Layer::Relu)
+            .layer(Layer::MaxPool { window: 2 })
+            .layer(Layer::conv2d(64, 64, 3, 1, 1, 0xA13))
+            .layer(Layer::Relu)
+            .layer(Layer::GlobalAvgPool)
+            .layer(Layer::dense(64, NUM_CLASSES, 0xA14))
+            .layer(Layer::Softmax)
+            .build(),
+        "alex-s" => NetworkBuilder::new(name, &[3, s, s])
+            .layer(Layer::conv2d(3, 16, 5, 1, 2, 0xA20))
+            .layer(Layer::Relu)
+            .layer(Layer::MaxPool { window: 2 })
+            .layer(Layer::conv2d(16, 40, 3, 1, 1, 0xA21))
+            .layer(Layer::Relu)
+            .layer(Layer::MaxPool { window: 2 })
+            .layer(Layer::conv2d(40, 40, 3, 1, 1, 0xA22))
+            .layer(Layer::Relu)
+            .layer(Layer::MaxPool { window: 2 })
+            .layer(Layer::GlobalAvgPool)
+            .layer(Layer::dense(40, NUM_CLASSES, 0xA23))
+            .layer(Layer::Softmax)
+            .build(),
+        "goog-s" => NetworkBuilder::new(name, &[3, s, s])
+            .layer(Layer::conv2d(3, 24, 3, 1, 1, 0xA30))
+            .layer(Layer::Relu)
+            .layer(Layer::MaxPool { window: 2 })
+            .layer(Layer::conv2d(24, 48, 3, 1, 1, 0xA31))
+            .layer(Layer::Relu)
+            .layer(Layer::MaxPool { window: 2 })
+            .layer(Layer::conv2d(48, 96, 3, 1, 1, 0xA32))
+            .layer(Layer::Relu)
+            .layer(Layer::MaxPool { window: 2 })
+            .layer(Layer::conv2d(96, 96, 3, 1, 1, 0xA33))
+            .layer(Layer::Relu)
+            .layer(Layer::GlobalAvgPool)
+            .layer(Layer::dense(96, NUM_CLASSES, 0xA34))
+            .layer(Layer::Softmax)
+            .build(),
+        "res50-s" => NetworkBuilder::new(name, &[3, s, s])
+            .layer(Layer::conv2d(3, 32, 3, 1, 1, 0xA40))
+            .layer(Layer::Relu)
+            .layer(Layer::MaxPool { window: 2 })
+            .layer(Layer::conv2d(32, 32, 3, 1, 1, 0xA41))
+            .layer(Layer::Relu)
+            .layer(Layer::conv2d(32, 32, 3, 1, 1, 0xA42))
+            .layer(Layer::Relu)
+            .layer(Layer::conv2d(32, 32, 3, 1, 1, 0xA43))
+            .layer(Layer::Relu)
+            .layer(Layer::MaxPool { window: 2 })
+            .layer(Layer::conv2d(32, 64, 3, 1, 1, 0xA44))
+            .layer(Layer::Relu)
+            .layer(Layer::conv2d(64, 64, 3, 1, 1, 0xA45))
+            .layer(Layer::Relu)
+            .layer(Layer::MaxPool { window: 2 })
+            .layer(Layer::conv2d(64, 128, 3, 1, 1, 0xA46))
+            .layer(Layer::Relu)
+            .layer(Layer::GlobalAvgPool)
+            .layer(Layer::dense(128, NUM_CLASSES, 0xA47))
+            .layer(Layer::Softmax)
+            .build(),
+        "vgg-s" => NetworkBuilder::new(name, &[3, s, s])
+            .layer(Layer::conv2d(3, 24, 3, 1, 1, 0xA50))
+            .layer(Layer::Relu)
+            .layer(Layer::conv2d(24, 24, 3, 1, 1, 0xA51))
+            .layer(Layer::Relu)
+            .layer(Layer::MaxPool { window: 2 })
+            .layer(Layer::conv2d(24, 48, 3, 1, 1, 0xA52))
+            .layer(Layer::Relu)
+            .layer(Layer::conv2d(48, 48, 3, 1, 1, 0xA53))
+            .layer(Layer::Relu)
+            .layer(Layer::MaxPool { window: 2 })
+            .layer(Layer::conv2d(48, 64, 3, 1, 1, 0xA54))
+            .layer(Layer::Relu)
+            .layer(Layer::GlobalAvgPool)
+            .layer(Layer::dense(64, NUM_CLASSES, 0xA55))
+            .layer(Layer::Softmax)
+            .build(),
+        "res152-x" => NetworkBuilder::new(name, &[3, s, s])
+            .layer(Layer::conv2d(3, 32, 3, 1, 1, 0xA60))
+            .layer(Layer::Relu)
+            .layer(Layer::MaxPool { window: 2 })
+            .layer(Layer::conv2d(32, 32, 3, 1, 1, 0xA61))
+            .layer(Layer::Relu)
+            .layer(Layer::conv2d(32, 32, 3, 1, 1, 0xA62))
+            .layer(Layer::Relu)
+            .layer(Layer::conv2d(32, 32, 3, 1, 1, 0xA63))
+            .layer(Layer::Relu)
+            .layer(Layer::conv2d(32, 32, 3, 1, 1, 0xA64))
+            .layer(Layer::Relu)
+            .layer(Layer::conv2d(32, 32, 3, 1, 1, 0xA65))
+            .layer(Layer::Relu)
+            .layer(Layer::MaxPool { window: 2 })
+            .layer(Layer::conv2d(32, 64, 3, 1, 1, 0xA66))
+            .layer(Layer::Relu)
+            .layer(Layer::conv2d(64, 64, 3, 1, 1, 0xA67))
+            .layer(Layer::Relu)
+            .layer(Layer::MaxPool { window: 2 })
+            .layer(Layer::conv2d(64, 128, 3, 1, 1, 0xA68))
+            .layer(Layer::Relu)
+            .layer(Layer::conv2d(128, 128, 3, 1, 1, 0xA69))
+            .layer(Layer::Relu)
+            .layer(Layer::GlobalAvgPool)
+            .layer(Layer::dense(128, NUM_CLASSES, 0xA6A))
+            .layer(Layer::Softmax)
+            .build(),
+        other => panic!("unknown zoo network `{other}`"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zoo_has_six_models_in_accuracy_order_at_the_ends() {
+        let zoo = model_zoo();
+        assert_eq!(zoo.len(), 6);
+        let first = &zoo[0];
+        let last = &zoo[zoo.len() - 1];
+        assert!(first.top1_err() > last.top1_err());
+        assert!(first.capability() < last.capability());
+    }
+
+    #[test]
+    fn flop_spread_is_roughly_five_x() {
+        let zoo = model_zoo();
+        let min = zoo.iter().map(ModelProfile::flops).min().unwrap();
+        let max = zoo.iter().map(ModelProfile::flops).max().unwrap();
+        let ratio = max as f64 / min as f64;
+        assert!(
+            (3.5..8.0).contains(&ratio),
+            "FLOP spread {ratio} outside the calibrated window"
+        );
+    }
+
+    #[test]
+    fn error_ladder_spans_the_paper_claim() {
+        // Fastest model to most accurate: >65% top-1 error reduction.
+        let zoo = model_zoo();
+        let fastest = zoo.iter().min_by_key(|m| m.flops()).unwrap();
+        let best = zoo
+            .iter()
+            .min_by(|a, b| a.top1_err().partial_cmp(&b.top1_err()).unwrap())
+            .unwrap();
+        let reduction = (fastest.top1_err() - best.top1_err()) / fastest.top1_err();
+        assert!(reduction > 0.60, "error reduction only {reduction}");
+    }
+
+    #[test]
+    fn networks_build_and_classify() {
+        for profile in model_zoo() {
+            let net = profile.network();
+            assert_eq!(net.output_shape(), &[NUM_CLASSES]);
+            assert_eq!(net.flops(), profile.flops());
+        }
+    }
+
+    #[test]
+    fn model_tags_are_unique() {
+        let zoo = extended_zoo();
+        let mut tags: Vec<u64> = zoo.iter().map(ModelProfile::model_tag).collect();
+        tags.sort_unstable();
+        tags.dedup();
+        assert_eq!(tags.len(), zoo.len());
+    }
+
+    #[test]
+    fn quantized_variants_trade_accuracy_for_speed() {
+        let zoo = extended_zoo();
+        assert_eq!(zoo.len(), 10);
+        for (base, q8) in [
+            ("squeeze-s", "squeeze-s-q8"),
+            ("res152-x", "res152-x-q8"),
+        ] {
+            let base = zoo.iter().find(|m| m.name() == base).unwrap();
+            let q8 = zoo.iter().find(|m| m.name() == q8).unwrap();
+            assert_eq!(base.flops(), q8.flops(), "same architecture");
+            assert!(q8.effective_flops() * 2 < base.effective_flops());
+            assert!(q8.top1_err() > base.top1_err(), "quantization costs accuracy");
+        }
+        // fp32 profiles charge their raw FLOPs.
+        assert_eq!(zoo[0].effective_flops(), zoo[0].flops());
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown zoo network")]
+    fn unknown_network_panics() {
+        let _ = build_network("nonexistent");
+    }
+
+    #[test]
+    fn display_mentions_family() {
+        let zoo = model_zoo();
+        assert!(zoo[0].to_string().contains("SqueezeNet"));
+    }
+}

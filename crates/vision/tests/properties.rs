@@ -1,0 +1,96 @@
+//! Property-based tests for the vision substrate.
+
+use proptest::prelude::*;
+use tt_vision::accuracy::{capability_for_error, judge};
+use tt_vision::dataset::{Dataset, DatasetConfig, ImageSpec};
+use tt_vision::latency::{inference_latency_us, Device};
+use tt_vision::layers::Layer;
+use tt_vision::network::NetworkBuilder;
+use tt_vision::tensor::Tensor;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn capability_is_strictly_monotone(e1 in 0.01f64..0.98, gap in 0.01f64..0.5) {
+        let e2 = (e1 + gap).min(0.99);
+        prop_assume!(e2 > e1);
+        prop_assert!(capability_for_error(e1) > capability_for_error(e2));
+    }
+
+    #[test]
+    fn judgement_confidence_is_a_probability(
+        difficulty in -3.0f64..3.0,
+        capability in -2.0f64..2.0,
+        tag in 0u64..100,
+        seed in 0u64..1_000,
+    ) {
+        let image = ImageSpec { id: 0, class: 3, difficulty, render_seed: seed };
+        let j = judge(&image, capability, tag, 100);
+        prop_assert!((0.0..=1.0).contains(&j.confidence));
+        prop_assert!(j.predicted < 100);
+        if j.correct {
+            prop_assert_eq!(j.predicted, 3);
+        } else {
+            prop_assert_ne!(j.predicted, 3);
+        }
+    }
+
+    #[test]
+    fn latency_is_monotone_in_flops(
+        f1 in 1_000_000u64..200_000_000,
+        extra in 1_000_000u64..200_000_000,
+        seed in 0u64..50,
+    ) {
+        for device in [Device::Cpu, Device::Gpu] {
+            let small = inference_latency_us(f1, device, seed);
+            let large = inference_latency_us(f1 + extra + f1 / 2, device, seed);
+            // Jitter is ±5%, the flop delta is ≥ 50%: order must hold.
+            prop_assert!(large > small, "{device}: {large} !> {small}");
+        }
+    }
+
+    #[test]
+    fn softmax_output_is_a_distribution(
+        seed in 0u64..50,
+        channels in 1usize..6,
+        size in 4usize..12,
+    ) {
+        let net = NetworkBuilder::new("prop", &[channels, size, size])
+            .layer(Layer::conv2d(channels, 4, 3, 1, 1, seed))
+            .layer(Layer::Relu)
+            .layer(Layer::GlobalAvgPool)
+            .layer(Layer::dense(4, 10, seed + 1))
+            .layer(Layer::Softmax)
+            .build();
+        let mut input = Tensor::zeros(&[channels, size, size]);
+        for (i, v) in input.data_mut().iter_mut().enumerate() {
+            *v = ((i * 2_654_435_761) % 97) as f32 / 97.0 - 0.5;
+        }
+        let out = net.forward(&input);
+        let sum: f32 = out.data().iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-4);
+        prop_assert!(out.data().iter().all(|&p| (0.0..=1.0).contains(&p)));
+    }
+
+    #[test]
+    fn conv_flops_equal_manual_formula(
+        cin in 1usize..5,
+        cout in 1usize..8,
+        k in 1usize..4,
+        size in 4usize..16,
+    ) {
+        let conv = Layer::conv2d(cin, cout, k, 1, k / 2, 1);
+        let input = [cin, size, size];
+        let out = conv.output_shape(&input);
+        let expected = (2 * cin * k * k * out.iter().product::<usize>()) as u64;
+        prop_assert_eq!(conv.flops(&input), expected);
+    }
+
+    #[test]
+    fn dataset_difficulty_distribution_is_stable(seed in 0u64..30) {
+        let d = Dataset::synthesize(DatasetConfig { images: 2_000, classes: 50, seed });
+        let mean: f64 = d.images().iter().map(|i| i.difficulty).sum::<f64>() / 2_000.0;
+        prop_assert!(mean.abs() < 0.12, "mean drifted: {mean}");
+    }
+}

@@ -1,0 +1,127 @@
+//! The ASR service as a Tolerance Tiers workload.
+
+use tt_asr::decoder::BeamConfig;
+use tt_asr::service::AsrEngine;
+use tt_asr::CorpusConfig;
+use tt_core::profile::{Observation, ProfileMatrix, ProfileMatrixBuilder};
+
+/// Fraction of an hour per microsecond (for IaaS cost conversion).
+const HOURS_PER_US: f64 = 1.0 / 3.6e9;
+
+/// The ASR workload: every corpus utterance decoded under every beam
+/// configuration, assembled into a profile matrix.
+///
+/// Invocation cost is the CPU node's IaaS charge for the decode time
+/// (the paper's ASR engine is CPU-only).
+#[derive(Debug, Clone)]
+pub struct AsrWorkload {
+    engine: AsrEngine,
+    versions: Vec<BeamConfig>,
+    matrix: ProfileMatrix,
+}
+
+impl AsrWorkload {
+    /// Decode the corpus under the seven paper versions and profile it.
+    pub fn build(config: CorpusConfig) -> Self {
+        Self::build_with_versions(config, BeamConfig::paper_versions())
+    }
+
+    /// Same, with an explicit version ladder.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `versions` is empty.
+    pub fn build_with_versions(config: CorpusConfig, versions: Vec<BeamConfig>) -> Self {
+        assert!(!versions.is_empty(), "need at least one service version");
+        let engine = AsrEngine::synthesize(config);
+        let cpu_price = tt_sim::InstanceType::cpu_node().price_per_hour();
+
+        // Decode once per version, then transpose into request rows.
+        let per_version: Vec<Vec<tt_asr::service::DecodeOutcome>> = versions
+            .iter()
+            .map(|cfg| engine.decode_corpus(cfg))
+            .collect();
+
+        let mut builder =
+            ProfileMatrixBuilder::new(versions.iter().map(|v| v.name.clone()).collect());
+        for r in 0..engine.corpus().utterances().len() {
+            let row: Vec<Observation> = per_version
+                .iter()
+                .map(|outs| {
+                    let o = &outs[r];
+                    Observation {
+                        quality_err: o.wer,
+                        latency_us: o.latency_us,
+                        cost: o.latency_us as f64 * HOURS_PER_US * cpu_price,
+                        confidence: o.confidence,
+                    }
+                })
+                .collect();
+            builder.push_request(row);
+        }
+        let matrix = builder.build().expect("non-empty corpus and versions");
+        AsrWorkload {
+            engine,
+            versions,
+            matrix,
+        }
+    }
+
+    /// The profile matrix (requests × versions).
+    pub fn matrix(&self) -> &ProfileMatrix {
+        &self.matrix
+    }
+
+    /// The underlying engine.
+    pub fn engine(&self) -> &AsrEngine {
+        &self.engine
+    }
+
+    /// The version ladder.
+    pub fn versions(&self) -> &[BeamConfig] {
+        &self.versions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_dimensions_match_corpus_and_ladder() {
+        let w = AsrWorkload::build(CorpusConfig::small());
+        assert_eq!(w.matrix().versions(), 7);
+        assert_eq!(
+            w.matrix().requests(),
+            w.engine().corpus().utterances().len()
+        );
+    }
+
+    #[test]
+    fn cost_scales_with_latency() {
+        let w = AsrWorkload::build(CorpusConfig::small());
+        let m = w.matrix();
+        for r in 0..m.requests() {
+            for v in 0..m.versions() {
+                let o = m.get(r, v);
+                let expected =
+                    o.latency_us as f64 / 3.6e9 * tt_sim::InstanceType::cpu_node().price_per_hour();
+                assert!((o.cost - expected).abs() < 1e-15);
+            }
+        }
+    }
+
+    #[test]
+    fn most_accurate_version_is_near_the_wide_end() {
+        let w = AsrWorkload::build(CorpusConfig::small().with_utterances(120));
+        let best = w.matrix().best_version().unwrap();
+        assert!(best >= 4, "expected a wide beam to win, got v{}", best + 1);
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let a = AsrWorkload::build(CorpusConfig::small());
+        let b = AsrWorkload::build(CorpusConfig::small());
+        assert_eq!(a.matrix(), b.matrix());
+    }
+}

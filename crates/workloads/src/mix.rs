@@ -1,0 +1,122 @@
+//! Annotated request streams for serving experiments.
+//!
+//! A [`RequestMix`] turns profiled payloads into a stream of
+//! [`ServiceRequest`]s whose tolerance/objective annotations follow a
+//! configurable distribution — the population of API consumers hitting
+//! a tiered deployment.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tt_core::objective::Objective;
+use tt_core::request::{ServiceRequest, Tolerance};
+
+/// A weighted set of (tolerance, objective) consumer profiles.
+#[derive(Debug, Clone)]
+pub struct RequestMix {
+    /// `(weight, tolerance, objective)` entries; weights need not sum
+    /// to 1.
+    entries: Vec<(f64, Tolerance, Objective)>,
+    total_weight: f64,
+}
+
+impl RequestMix {
+    /// Build a mix from weighted entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is empty or any weight is non-positive.
+    pub fn new(entries: Vec<(f64, Tolerance, Objective)>) -> Self {
+        assert!(!entries.is_empty(), "request mix needs entries");
+        assert!(
+            entries.iter().all(|(w, _, _)| *w > 0.0),
+            "weights must be positive"
+        );
+        let total_weight = entries.iter().map(|(w, _, _)| w).sum();
+        RequestMix {
+            entries,
+            total_weight,
+        }
+    }
+
+    /// A representative consumer population: half latency-sensitive at
+    /// various tolerances, a third cost-sensitive, the rest
+    /// accuracy-critical (zero tolerance).
+    pub fn representative() -> Self {
+        let t = |v: f64| Tolerance::new(v).expect("valid tolerance");
+        RequestMix::new(vec![
+            (0.17, t(0.0), Objective::ResponseTime),
+            (0.25, t(0.01), Objective::ResponseTime),
+            (0.15, t(0.05), Objective::ResponseTime),
+            (0.10, t(0.10), Objective::ResponseTime),
+            (0.13, t(0.01), Objective::Cost),
+            (0.12, t(0.05), Objective::Cost),
+            (0.08, t(0.10), Objective::Cost),
+        ])
+    }
+
+    /// Draw a stream of `n` requests over `payloads` profiled payloads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `payloads == 0`.
+    pub fn sample(&self, n: usize, payloads: usize, seed: u64) -> Vec<ServiceRequest> {
+        assert!(payloads > 0, "need at least one payload");
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let mut u = rng.gen::<f64>() * self.total_weight;
+                let mut chosen = &self.entries[self.entries.len() - 1];
+                for e in &self.entries {
+                    if u < e.0 {
+                        chosen = e;
+                        break;
+                    }
+                    u -= e.0;
+                }
+                ServiceRequest::new(rng.gen_range(0..payloads), chosen.1, chosen.2)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_has_requested_shape() {
+        let mix = RequestMix::representative();
+        let reqs = mix.sample(500, 100, 7);
+        assert_eq!(reqs.len(), 500);
+        assert!(reqs.iter().all(|r| r.payload < 100));
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let mix = RequestMix::representative();
+        assert_eq!(mix.sample(50, 10, 1), mix.sample(50, 10, 1));
+        assert_ne!(mix.sample(50, 10, 1), mix.sample(50, 10, 2));
+    }
+
+    #[test]
+    fn weights_shape_the_distribution() {
+        let t = |v: f64| Tolerance::new(v).unwrap();
+        let mix = RequestMix::new(vec![
+            (9.0, t(0.0), Objective::ResponseTime),
+            (1.0, t(0.10), Objective::Cost),
+        ]);
+        let reqs = mix.sample(5_000, 10, 3);
+        let zero_tol = reqs
+            .iter()
+            .filter(|r| r.tolerance.value() == 0.0)
+            .count() as f64
+            / reqs.len() as f64;
+        assert!((zero_tol - 0.9).abs() < 0.03, "observed {zero_tol}");
+    }
+
+    #[test]
+    #[should_panic(expected = "needs entries")]
+    fn empty_mix_panics() {
+        let _ = RequestMix::new(vec![]);
+    }
+}

@@ -1,0 +1,71 @@
+//! The speech-recognition service end to end: synthesize a corpus,
+//! decode it under the seven beam configurations, generate tiers, and
+//! serve annotated requests.
+//!
+//! Run with `cargo run --release -p tt-examples --bin asr_service`.
+
+use tt_asr::CorpusConfig;
+use tt_core::objective::Objective;
+use tt_examples::banner;
+use tt_serve::frontend::TieredFrontend;
+use tt_workloads::AsrWorkload;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    banner("1. Build the ASR engine and decode the corpus under 7 versions");
+    let workload = AsrWorkload::build(CorpusConfig::evaluation().with_utterances(800));
+    let matrix = workload.matrix();
+    println!(
+        "  corpus: {} utterances (~{:.1}h audio), vocabulary {}",
+        workload.engine().corpus().utterances().len(),
+        workload.engine().corpus().approx_audio_hours(),
+        workload.engine().lexicon().len(),
+    );
+    for v in 0..matrix.versions() {
+        println!(
+            "  {}: WER {:.2}%  latency {:.0}ms",
+            matrix.version_names()[v],
+            matrix.version_error(v, None)? * 100.0,
+            matrix.version_latency(v, None)? / 1000.0
+        );
+    }
+
+    banner("2. Generate tiers for both objectives");
+    let generator = tt_core::rulegen::RoutingRuleGenerator::with_defaults(matrix, 0.999, 1)?;
+    let tolerances = [0.0, 0.01, 0.05, 0.10];
+    let frontend = TieredFrontend::new(vec![
+        generator.generate(&tolerances, Objective::ResponseTime)?,
+        generator.generate(&tolerances, Objective::Cost)?,
+    ]);
+
+    banner("3. Serve annotated requests (the paper's curl shape)");
+    for headers in [
+        "Tolerance: 0.0\nObjective: response-time",
+        "Tolerance: 0.01\nObjective: response-time",
+        "Tolerance: 0.10\nObjective: response-time",
+        "Tolerance: 0.10\nObjective: cost",
+    ] {
+        let (request, policy) = frontend.route_annotated(headers, 3)?;
+        let outcome = policy.execute(matrix, request.payload);
+        let hyp = workload
+            .engine()
+            .decode(
+                &workload.engine().corpus().utterances()[request.payload],
+                &workload.versions()[outcome.answered_by],
+            )
+            .hypothesis;
+        let text: Vec<&str> = hyp
+            .iter()
+            .map(|&w| workload.engine().lexicon().word(w).spelling())
+            .collect();
+        println!(
+            "  [{} | {}] answered by {} in {:.0}ms: \"{}\"",
+            request.tolerance,
+            request.objective,
+            matrix.version_names()[outcome.answered_by],
+            outcome.latency_us as f64 / 1000.0,
+            text.join(" ")
+        );
+    }
+
+    Ok(())
+}

@@ -1,0 +1,18 @@
+//! Shared helpers for the toltiers example binaries.
+//!
+//! The runnable examples live next to this file:
+//!
+//! * `quickstart` — tiers over a toy two-version service in ~60 lines.
+//! * `asr_service` — the speech service end to end: corpus, decoding,
+//!   rule generation, annotated requests.
+//! * `vision_service` — the image-classification service on CPU and
+//!   GPU pools, including a real forward pass.
+//! * `cluster_load` — a tiered cluster under Poisson load with a mixed
+//!   consumer population.
+//! * `train_and_serve` — genuinely trained MLPs served through the
+//!   same tiered API.
+
+/// Print a section header.
+pub fn banner(title: &str) {
+    println!("\n=== {title} ===");
+}

@@ -1,0 +1,113 @@
+//! Operating a Tolerance Tiers deployment: capacity planning, per-tier
+//! billing, and drift monitoring.
+//!
+//! Run with `cargo run --release -p tt-examples --bin operations`.
+
+use tt_core::drift::{DriftDetector, DriftVerdict};
+use tt_core::objective::Objective;
+use tt_core::rulegen::RoutingRuleGenerator;
+use tt_examples::banner;
+use tt_serve::billing::{BillingReport, TierPriceSchedule};
+use tt_serve::cluster::{ClusterConfig, ClusterSim, PoolDevice};
+use tt_serve::frontend::TieredFrontend;
+use tt_serve::trace::required_slots;
+use tt_sim::{ArrivalProcess, Money, SimDuration};
+use tt_vision::dataset::DatasetConfig;
+use tt_vision::Device;
+use tt_workloads::{RequestMix, VisionWorkload};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let workload =
+        VisionWorkload::build(DatasetConfig::evaluation().with_images(4_000), Device::Gpu);
+    let matrix = workload.matrix();
+    let generator = RoutingRuleGenerator::with_defaults(matrix, 0.999, 4)?;
+    let tolerances = [0.0, 0.01, 0.05, 0.10];
+    let frontend = TieredFrontend::new(vec![
+        generator.generate(&tolerances, Objective::ResponseTime)?,
+        generator.generate(&tolerances, Objective::Cost)?,
+    ]);
+
+    banner("1. Capacity planning (Little's law)");
+    let rate = 250.0;
+    let mean_service =
+        SimDuration::from_micros(matrix.version_latency(matrix.versions() - 1, None)? as u64);
+    let slots = required_slots(rate, mean_service, 0.7);
+    println!(
+        "  {rate} req/s at {:.1}ms mean service needs {} slots at 70% target utilization",
+        mean_service.as_millis_f64(),
+        slots
+    );
+
+    banner("2. Serve a day's traffic slice and bill it");
+    let mix = RequestMix::representative();
+    let n = 6_000;
+    let arrivals: Vec<_> = ArrivalProcess::poisson(rate, 21)?
+        .take(n)
+        .zip(mix.sample(n, matrix.requests(), 22))
+        .collect();
+    let config = ClusterConfig {
+        slots_per_pool: slots,
+        devices: vec![PoolDevice::Gpu; matrix.versions()],
+        pricing: tt_serve::PricingCatalog::list_prices(),
+    };
+    let report = ClusterSim::new(matrix, config).run(&frontend, &arrivals);
+    let schedule = TierPriceSchedule::list_prices(Money::from_dollars(0.001));
+    let billing =
+        BillingReport::from_trace(&report.trace, &schedule, report.ledger.compute_cost());
+    for ((objective, tol_tenths), econ) in &billing.tiers {
+        println!(
+            "  [{objective:<13} @ {:>4.1}%] {:>4} reqs  revenue {}",
+            *tol_tenths as f64 / 10.0,
+            econ.requests,
+            econ.revenue
+        );
+    }
+    println!(
+        "  total revenue {}  compute cost {}  gross margin {}",
+        billing.revenue,
+        billing.compute_cost,
+        billing.margin()
+    );
+
+    banner("3. Drift monitoring");
+    // Training-time per-request errors of the deployed 5% tier.
+    let policy = frontend.route(&tt_core::ServiceRequest::new(
+        0,
+        tt_core::Tolerance::new(0.05)?,
+        Objective::ResponseTime,
+    ));
+    let training_errors: Vec<f64> = (0..matrix.requests())
+        .map(|r| policy.execute(matrix, r).quality_err)
+        .collect();
+    let mut detector = DriftDetector::new(&training_errors, 400, 0.001)?;
+
+    // Healthy traffic first, then a content shift (only hard payloads).
+    let hard_payloads: Vec<usize> = (0..matrix.requests())
+        .filter(|&r| matrix.get(r, 0).quality_err > 0.5)
+        .collect();
+    let mut alarm_at = None;
+    for i in 0..2_000usize {
+        let payload = if i < 1_000 {
+            i % matrix.requests()
+        } else {
+            hard_payloads[i % hard_payloads.len()]
+        };
+        let err = policy.execute(matrix, payload).quality_err;
+        if let DriftVerdict::Drifted { window_err, p_value } = detector.observe(err) {
+            println!(
+                "  drift detected at request {i}: window error {:.1}% (p = {:.2e}) — regenerate rules",
+                window_err * 100.0,
+                p_value
+            );
+            alarm_at = Some(i);
+            break;
+        }
+    }
+    match alarm_at {
+        Some(i) if i >= 1_000 => println!("  (healthy first half passed without alarms)"),
+        Some(i) => println!("  WARNING: false alarm at request {i}"),
+        None => println!("  WARNING: shift went undetected"),
+    }
+
+    Ok(())
+}

@@ -1,0 +1,66 @@
+//! Quickstart: Tolerance Tiers over a toy two-version service.
+//!
+//! Run with `cargo run -p tt-examples --bin quickstart`.
+
+use tt_core::objective::Objective;
+use tt_core::profile::{Observation, ProfileMatrixBuilder};
+use tt_core::request::Tolerance;
+use tt_core::rulegen::RoutingRuleGenerator;
+use tt_examples::banner;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    banner("1. Profile your service versions");
+    // Imagine a fast model (100µs, sometimes wrong, self-aware about
+    // it) and an accurate one (400µs). Each request is profiled under
+    // both; in production you get this from your serving logs.
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let mut builder = ProfileMatrixBuilder::new(vec!["fast".into(), "accurate".into()]);
+    for _ in 0..500 {
+        let hard: f64 = rng.gen();
+        let fast_wrong = hard > 0.8;
+        builder.push_request(vec![
+            Observation {
+                quality_err: if fast_wrong { 1.0 } else { 0.0 },
+                latency_us: 100,
+                cost: 0.001,
+                // Confidence correlates with correctness but overlaps —
+                // as real model confidences do — so the threshold dial
+                // genuinely trades accuracy for speed.
+                confidence: if fast_wrong {
+                    0.2 + rng.gen::<f64>() * 0.6
+                } else {
+                    0.55 + rng.gen::<f64>() * 0.45
+                },
+            },
+            Observation {
+                quality_err: if hard > 0.97 { 1.0 } else { 0.0 },
+                latency_us: 400,
+                cost: 0.004,
+                confidence: 0.95,
+            },
+        ]);
+    }
+    let matrix = builder.build()?;
+
+    banner("2. Generate routing rules (bootstrapped, 99.9% confidence)");
+    let generator = RoutingRuleGenerator::with_defaults(&matrix, 0.999, 42)?;
+    let rules = generator.generate(&[0.0, 0.01, 0.05, 0.10], Objective::ResponseTime)?;
+    for (tol, policy) in rules.tiers() {
+        println!("  tolerance {:>5.1}% -> {policy}", tol * 100.0);
+    }
+
+    banner("3. Consumers pick a tier per request");
+    for tol in [0.0, 0.05, 0.20] {
+        let tolerance = Tolerance::new(tol)?;
+        let policy = rules.lookup(tolerance);
+        let perf = policy.evaluate(&matrix, None)?;
+        println!(
+            "  Tolerance: {tolerance} -> {policy}: mean latency {:.0}µs, error {:.2}%",
+            perf.mean_latency_us,
+            perf.mean_err * 100.0
+        );
+    }
+
+    Ok(())
+}

@@ -1,0 +1,90 @@
+//! Train real models, then serve them through Tolerance Tiers: three
+//! MLPs of increasing capacity are trained with SGD on a Gaussian
+//! mixture, profiled into a matrix, tiered, and finally served *live*
+//! on a crossbeam worker pool with genuine concurrent cascades.
+//!
+//! Run with `cargo run --release -p tt-examples --bin train_and_serve`.
+
+use std::sync::Arc;
+use tt_core::objective::Objective;
+use tt_core::profile::{Observation, ProfileMatrixBuilder};
+use tt_examples::banner;
+use tt_serve::live::WorkerPool;
+use tt_vision::train::{MixtureData, MlpClassifier};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    banner("1. Train three model versions (SGD, Gaussian mixture task)");
+    let train = MixtureData::synthesize(4_000, 16, 10, 1.15, 1);
+    let test = train.resample(2_000, 2);
+    let models: Vec<(String, MlpClassifier)> = [(4usize, 6usize), (16, 8), (64, 12)]
+        .iter()
+        .map(|&(hidden, epochs)| {
+            let m = MlpClassifier::train(&train, hidden, epochs, 0.03, 7);
+            (format!("mlp-{hidden}"), m)
+        })
+        .collect();
+    for (name, m) in &models {
+        println!(
+            "  {name}: test accuracy {:.1}%, {} FLOPs/prediction",
+            m.accuracy(&test) * 100.0,
+            m.flops()
+        );
+    }
+
+    banner("2. Profile them into a Tolerance Tiers matrix");
+    // Latency model: FLOPs at a fixed effective throughput.
+    let latency_us = |m: &MlpClassifier| (m.flops() as f64 / 50.0).max(1.0) as u64;
+    let mut builder =
+        ProfileMatrixBuilder::new(models.iter().map(|(n, _)| n.clone()).collect());
+    for (x, &y) in test.features.iter().zip(&test.labels) {
+        let row: Vec<Observation> = models
+            .iter()
+            .map(|(_, m)| {
+                let (pred, conf) = m.predict(x);
+                Observation {
+                    quality_err: if pred == y { 0.0 } else { 1.0 },
+                    latency_us: latency_us(m),
+                    cost: latency_us(m) as f64 * 1e-9,
+                    confidence: conf,
+                }
+            })
+            .collect();
+        builder.push_request(row);
+    }
+    let matrix = builder.build()?;
+
+    let generator = tt_core::rulegen::RoutingRuleGenerator::with_defaults(&matrix, 0.99, 3)?;
+    let rules = generator.generate(&[0.0, 0.02, 0.05, 0.10], Objective::ResponseTime)?;
+    for (tol, policy) in rules.tiers() {
+        println!("  tolerance {:>5.1}% -> {policy}", tol * 100.0);
+    }
+
+    banner("3. Serve live on a crossbeam worker pool (real concurrency)");
+    let pool: WorkerPool<usize> = WorkerPool::new(4);
+    let cheap_model = Arc::new(models[0].1.clone());
+    let accurate_model = Arc::new(models[2].1.clone());
+    let mut agree = 0usize;
+    let samples = 200;
+    for i in 0..samples {
+        let x = test.features[i].clone();
+        let cheap = Arc::clone(&cheap_model);
+        let x2 = x.clone();
+        let accurate = Arc::clone(&accurate_model);
+        let (pred, _conf) = pool.cascade(
+            Box::new(move || cheap.predict(&x)),
+            Box::new(move || accurate.predict(&x2)),
+            0.85,
+        );
+        if pred == test.labels[i] {
+            agree += 1;
+        }
+    }
+    println!(
+        "  live cascade accuracy over {samples} requests: {:.1}% (accurate model alone: {:.1}%)",
+        agree as f64 / samples as f64 * 100.0,
+        accurate_model.accuracy(&test) * 100.0
+    );
+    pool.shutdown();
+
+    Ok(())
+}

@@ -1,0 +1,63 @@
+//! The image-classification service: the zoo on CPU and GPU pools,
+//! with one genuine forward pass through the inference engine.
+//!
+//! Run with `cargo run --release -p tt-examples --bin vision_service`.
+
+use tt_core::objective::Objective;
+use tt_examples::banner;
+use tt_vision::dataset::DatasetConfig;
+use tt_vision::zoo::INPUT_SIZE;
+use tt_vision::Device;
+use tt_workloads::VisionWorkload;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    banner("1. Profile the zoo on both devices");
+    let cpu = VisionWorkload::build(DatasetConfig::evaluation().with_images(3_000), Device::Cpu);
+    let gpu = VisionWorkload::build(DatasetConfig::evaluation().with_images(3_000), Device::Gpu);
+    for (dev, w) in [("cpu", &cpu), ("gpu", &gpu)] {
+        println!("  -- {dev} --");
+        let m = w.matrix();
+        for v in 0..m.versions() {
+            println!(
+                "  {:<10} top-1 err {:.1}%  latency {:.1}ms  cost ${:.5}/k",
+                m.version_names()[v],
+                m.version_error(v, None)? * 100.0,
+                m.version_latency(v, None)? / 1000.0,
+                m.version_cost(v, None)? * 1000.0,
+            );
+        }
+    }
+
+    banner("2. A real forward pass through the inference engine");
+    let model = &cpu.service().zoo()[0];
+    let image = &cpu.service().dataset().images()[0];
+    let logits = model.network().forward(&image.render(INPUT_SIZE));
+    println!(
+        "  {} on image {}: argmax class {} of {} ({} MFLOPs)",
+        model,
+        image.id,
+        logits.argmax(),
+        logits.len(),
+        model.flops() / 1_000_000
+    );
+
+    banner("3. Cost tiers on the GPU deployment");
+    let generator =
+        tt_core::rulegen::RoutingRuleGenerator::with_defaults(gpu.matrix(), 0.999, 5)?;
+    let rules = generator.generate(&[0.0, 0.01, 0.05, 0.10], Objective::Cost)?;
+    let baseline = tt_core::Policy::Single {
+        version: generator.baseline_version(),
+    }
+    .evaluate(gpu.matrix(), None)?;
+    for (tol, policy) in rules.tiers() {
+        let perf = policy.evaluate(gpu.matrix(), None)?;
+        println!(
+            "  tolerance {:>5.1}% -> {policy}: cost cut {:>5.1}%, err {:.2}%",
+            tol * 100.0,
+            (1.0 - perf.mean_cost / baseline.mean_cost) * 100.0,
+            perf.mean_err * 100.0
+        );
+    }
+
+    Ok(())
+}

@@ -1,0 +1,92 @@
+//! End-to-end: ASR substrate → profile matrix → tiers → guarantees.
+
+use tt_core::category::{categorize, Category};
+use tt_core::objective::Objective;
+use tt_core::request::Tolerance;
+use tt_core::rulegen::RoutingRuleGenerator;
+use tt_core::Policy;
+use tt_integration::asr_workload;
+
+#[test]
+fn pareto_ladder_holds_end_to_end() {
+    let m = asr_workload().matrix();
+    // Latency strictly increases along the ladder.
+    let lats: Vec<f64> = (0..m.versions())
+        .map(|v| m.version_latency(v, None).unwrap())
+        .collect();
+    assert!(lats.windows(2).all(|w| w[0] < w[1]), "latency ladder: {lats:?}");
+    // Error at the wide end beats the narrow end by a wide margin.
+    let e0 = m.version_error(0, None).unwrap();
+    let eb = m.version_error(m.best_version().unwrap(), None).unwrap();
+    assert!(eb < e0 * 0.8, "accuracy ladder too flat: {e0} -> {eb}");
+}
+
+#[test]
+fn categories_match_paper_structure() {
+    let b = categorize(asr_workload().matrix());
+    assert!(
+        b.fraction(Category::Unchanged) > 0.5,
+        "unchanged {}",
+        b.fraction(Category::Unchanged)
+    );
+    assert!(
+        b.fraction(Category::Improves) > 0.10,
+        "improves {}",
+        b.fraction(Category::Improves)
+    );
+    assert!(b.fraction(Category::Degrades) < 0.05);
+}
+
+#[test]
+fn tiers_obey_tolerances_in_sample() {
+    let m = asr_workload().matrix();
+    let generator = RoutingRuleGenerator::with_defaults(m, 0.99, 5).unwrap();
+    let tolerances = [0.0, 0.02, 0.05, 0.10, 0.25];
+    for objective in Objective::all() {
+        let rules = generator.generate(&tolerances, objective).unwrap();
+        let base_err = m
+            .version_error(generator.baseline_version(), None)
+            .unwrap();
+        for &(tol, policy) in rules.tiers() {
+            let perf = policy.evaluate(m, None).unwrap();
+            let deg = (perf.mean_err - base_err) / base_err;
+            assert!(
+                deg <= tol + 1e-9,
+                "tier {tol} violated in sample: {deg} ({policy})"
+            );
+        }
+    }
+}
+
+#[test]
+fn looser_tiers_are_no_slower() {
+    let m = asr_workload().matrix();
+    let generator = RoutingRuleGenerator::with_defaults(m, 0.99, 5).unwrap();
+    let rules = generator
+        .generate(&[0.0, 0.05, 0.10, 0.5, 2.0], Objective::ResponseTime)
+        .unwrap();
+    let latency_of = |p: Policy| p.evaluate(m, None).unwrap().mean_latency_us;
+    let lats: Vec<f64> = rules.tiers().iter().map(|&(_, p)| latency_of(p)).collect();
+    for w in lats.windows(2) {
+        assert!(w[1] <= w[0] + 1e-6, "latency grew with tolerance: {lats:?}");
+    }
+    // And a very loose tier must actually be faster than the baseline.
+    let baseline = latency_of(Policy::Single {
+        version: rules.baseline_version(),
+    });
+    assert!(lats.last().unwrap() < &(baseline * 0.7));
+}
+
+#[test]
+fn tolerance_lookup_is_monotone() {
+    let m = asr_workload().matrix();
+    let generator = RoutingRuleGenerator::with_defaults(m, 0.99, 5).unwrap();
+    let rules = generator
+        .generate(&[0.0, 0.05, 0.10], Objective::ResponseTime)
+        .unwrap();
+    let p_strict = rules.lookup(Tolerance::new(0.0).unwrap());
+    let p_loose = rules.lookup(Tolerance::new(1.0).unwrap());
+    let strict_lat = p_strict.evaluate(m, None).unwrap().mean_latency_us;
+    let loose_lat = p_loose.evaluate(m, None).unwrap().mean_latency_us;
+    assert!(loose_lat <= strict_lat);
+}

@@ -1,0 +1,73 @@
+//! End-to-end: vision substrate → profile matrix → tiers, on both
+//! devices.
+
+use tt_core::category::{categorize, Category};
+use tt_core::objective::Objective;
+use tt_core::rulegen::RoutingRuleGenerator;
+use tt_integration::{vision_workload_cpu, vision_workload_gpu};
+
+#[test]
+fn error_ladder_is_device_independent() {
+    let cpu = vision_workload_cpu().matrix();
+    let gpu = vision_workload_gpu().matrix();
+    for v in 0..cpu.versions() {
+        assert_eq!(
+            cpu.version_error(v, None).unwrap(),
+            gpu.version_error(v, None).unwrap(),
+            "accuracy must not depend on the device"
+        );
+    }
+}
+
+#[test]
+fn gpu_latencies_dominate_cpu() {
+    let cpu = vision_workload_cpu().matrix();
+    let gpu = vision_workload_gpu().matrix();
+    for v in 0..cpu.versions() {
+        assert!(
+            gpu.version_latency(v, None).unwrap() * 3.0 < cpu.version_latency(v, None).unwrap()
+        );
+    }
+}
+
+#[test]
+fn categories_match_paper_structure() {
+    let b = categorize(vision_workload_cpu().matrix());
+    assert!(b.fraction(Category::Unchanged) > 0.60);
+    assert!(b.fraction(Category::Improves) > 0.15);
+}
+
+#[test]
+fn the_five_x_for_sixty_five_percent_claim() {
+    let m = vision_workload_cpu().matrix();
+    let best = m.best_version().unwrap();
+    let lat_ratio =
+        m.version_latency(best, None).unwrap() / m.version_latency(0, None).unwrap();
+    let err_cut = {
+        let e0 = m.version_error(0, None).unwrap();
+        (e0 - m.version_error(best, None).unwrap()) / e0
+    };
+    assert!((3.5..7.0).contains(&lat_ratio), "latency ratio {lat_ratio}");
+    assert!(err_cut > 0.60, "error reduction {err_cut}");
+}
+
+#[test]
+fn cost_tiers_never_cost_more_than_baseline() {
+    for workload in [vision_workload_cpu(), vision_workload_gpu()] {
+        let m = workload.matrix();
+        let generator = RoutingRuleGenerator::with_defaults(m, 0.99, 6).unwrap();
+        let rules = generator
+            .generate(&[0.0, 0.05, 0.10], Objective::Cost)
+            .unwrap();
+        let base = m
+            .version_cost(generator.baseline_version(), None)
+            .unwrap();
+        for &(_, policy) in rules.tiers() {
+            let perf = policy.evaluate(m, None).unwrap();
+            assert!(
+                perf.mean_cost <= base * 1.0 + 1e-12,
+                "a cost tier costing more than OSFA should never be selected"
+            );
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! Shared fixtures for the workspace integration tests.
+//!
+//! Workloads are built once per process and shared; integration tests
+//! exercise the crates together exactly as the experiment binaries do,
+//! at a scale small enough for CI.
+
+use std::sync::OnceLock;
+use tt_asr::CorpusConfig;
+use tt_vision::dataset::DatasetConfig;
+use tt_vision::Device;
+use tt_workloads::{AsrWorkload, VisionWorkload};
+
+/// A small-but-structured ASR workload (shared).
+pub fn asr_workload() -> &'static AsrWorkload {
+    static CELL: OnceLock<AsrWorkload> = OnceLock::new();
+    CELL.get_or_init(|| AsrWorkload::build(CorpusConfig::evaluation().with_utterances(500)))
+}
+
+/// A small-but-structured vision workload on CPU (shared).
+pub fn vision_workload_cpu() -> &'static VisionWorkload {
+    static CELL: OnceLock<VisionWorkload> = OnceLock::new();
+    CELL.get_or_init(|| {
+        VisionWorkload::build(DatasetConfig::evaluation().with_images(2_000), Device::Cpu)
+    })
+}
+
+/// A small-but-structured vision workload on GPU (shared).
+pub fn vision_workload_gpu() -> &'static VisionWorkload {
+    static CELL: OnceLock<VisionWorkload> = OnceLock::new();
+    CELL.get_or_init(|| {
+        VisionWorkload::build(DatasetConfig::evaluation().with_images(2_000), Device::Gpu)
+    })
+}

@@ -1,0 +1,105 @@
+//! Integration: the operations loop — serve, bill, monitor drift.
+
+use tt_core::drift::{DriftDetector, DriftVerdict};
+use tt_core::objective::Objective;
+use tt_core::rulegen::RoutingRuleGenerator;
+use tt_integration::vision_workload_gpu;
+use tt_serve::billing::{BillingReport, TierPriceSchedule};
+use tt_serve::cluster::{ClusterConfig, ClusterSim, PoolDevice};
+use tt_serve::frontend::TieredFrontend;
+use tt_sim::{ArrivalProcess, Money};
+use tt_workloads::RequestMix;
+
+#[test]
+fn serving_revenue_exceeds_compute_cost_at_list_prices() {
+    let m = vision_workload_gpu().matrix();
+    let generator = RoutingRuleGenerator::with_defaults(m, 0.99, 41).unwrap();
+    let tolerances = [0.0, 0.01, 0.05, 0.10];
+    let frontend = TieredFrontend::new(vec![
+        generator
+            .generate(&tolerances, Objective::ResponseTime)
+            .unwrap(),
+        generator.generate(&tolerances, Objective::Cost).unwrap(),
+    ]);
+    let mix = RequestMix::representative();
+    let n = 1_200;
+    let arrivals: Vec<_> = ArrivalProcess::poisson(100.0, 42)
+        .unwrap()
+        .take(n)
+        .zip(mix.sample(n, m.requests(), 43))
+        .collect();
+    let config = ClusterConfig {
+        slots_per_pool: 16,
+        devices: vec![PoolDevice::Gpu; m.versions()],
+        pricing: tt_serve::PricingCatalog::list_prices(),
+    };
+    let report = ClusterSim::new(m, config).run(&frontend, &arrivals);
+    let schedule = TierPriceSchedule::list_prices(Money::from_dollars(0.001));
+    let billing = BillingReport::from_trace(&report.trace, &schedule, report.ledger.compute_cost());
+
+    // Every served request was billed exactly once.
+    let billed: usize = billing.tiers.values().map(|t| t.requests).sum();
+    assert_eq!(billed, report.served);
+    // At 2017 list prices a GPU deployment is comfortably margin-positive.
+    assert!(
+        billing.margin().as_dollars() > 0.0,
+        "revenue {} vs compute {}",
+        billing.revenue,
+        billing.compute_cost
+    );
+    // Looser tiers billed at lower prices: mean revenue/request ordering.
+    let per_req = |tol: u32| {
+        billing
+            .tiers
+            .iter()
+            .filter(|((_, t), _)| *t == tol)
+            .map(|(_, e)| e.revenue.as_dollars() / e.requests as f64)
+            .next()
+    };
+    if let (Some(strict), Some(loose)) = (per_req(0), per_req(100)) {
+        assert!(loose < strict);
+    }
+}
+
+#[test]
+fn drift_detector_closes_the_loop_on_served_traffic() {
+    let m = vision_workload_gpu().matrix();
+    let generator = RoutingRuleGenerator::with_defaults(m, 0.99, 44).unwrap();
+    let rules = generator
+        .generate(&[0.05], Objective::ResponseTime)
+        .unwrap();
+    let policy = rules.tiers()[0].1;
+    let training: Vec<f64> = (0..m.requests())
+        .map(|r| policy.execute(m, r).quality_err)
+        .collect();
+    let mut detector = DriftDetector::new(&training, 300, 0.001).unwrap();
+
+    // Replay healthy traffic: no alarms once warmed up.
+    let mut alarms = 0;
+    for r in 0..m.requests() {
+        if matches!(
+            detector.observe(policy.execute(m, r).quality_err),
+            DriftVerdict::Drifted { .. }
+        ) {
+            alarms += 1;
+        }
+    }
+    assert_eq!(alarms, 0, "false drift alarms on the training distribution");
+
+    // Shifted traffic (hard requests only) must alarm.
+    let hard: Vec<usize> = (0..m.requests())
+        .filter(|&r| m.get(r, 0).quality_err > 0.5)
+        .collect();
+    let mut detected = false;
+    for i in 0..1_000 {
+        let r = hard[i % hard.len()];
+        if matches!(
+            detector.observe(policy.execute(m, r).quality_err),
+            DriftVerdict::Drifted { .. }
+        ) {
+            detected = true;
+            break;
+        }
+    }
+    assert!(detected, "hard-only traffic shift went undetected");
+}

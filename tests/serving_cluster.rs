@@ -1,0 +1,187 @@
+//! The serving layer over a real workload: annotated requests through
+//! the frontend into the discrete-event cluster.
+
+use tt_core::objective::Objective;
+use tt_core::request::{ServiceRequest, Tolerance};
+use tt_core::rulegen::RoutingRuleGenerator;
+use tt_integration::vision_workload_gpu;
+use tt_serve::cluster::{ClusterConfig, ClusterSim, PoolDevice};
+use tt_serve::frontend::TieredFrontend;
+use tt_serve::PricingCatalog;
+use tt_sim::{ArrivalProcess, SimTime};
+use tt_workloads::RequestMix;
+
+fn frontend() -> TieredFrontend {
+    let m = vision_workload_gpu().matrix();
+    let generator = RoutingRuleGenerator::with_defaults(m, 0.99, 31).unwrap();
+    let tolerances = [0.0, 0.01, 0.05, 0.10];
+    TieredFrontend::new(vec![
+        generator
+            .generate(&tolerances, Objective::ResponseTime)
+            .unwrap(),
+        generator.generate(&tolerances, Objective::Cost).unwrap(),
+    ])
+}
+
+fn gpu_cluster_config(versions: usize, slots: usize) -> ClusterConfig {
+    ClusterConfig {
+        slots_per_pool: slots,
+        devices: vec![PoolDevice::Gpu; versions],
+        pricing: PricingCatalog::list_prices(),
+    }
+}
+
+#[test]
+fn annotated_stream_is_fully_served() {
+    let m = vision_workload_gpu().matrix();
+    let fe = frontend();
+    let mix = RequestMix::representative();
+    let n = 1_000;
+    let arrivals: Vec<(SimTime, ServiceRequest)> = ArrivalProcess::poisson(100.0, 3)
+        .unwrap()
+        .take(n)
+        .zip(mix.sample(n, m.requests(), 4))
+        .collect();
+    let report = ClusterSim::new(m, gpu_cluster_config(m.versions(), 16)).run(&fe, &arrivals);
+    assert_eq!(report.served, n);
+    assert_eq!(report.latency.len(), n);
+    assert!(report.ledger.invocations() >= n as u64);
+    assert!(report.ledger.compute_cost().as_dollars() > 0.0);
+}
+
+#[test]
+fn higher_load_cannot_lower_latency() {
+    let m = vision_workload_gpu().matrix();
+    let fe = frontend();
+    let mix = RequestMix::representative();
+    let n = 1_500;
+    let run_at = |rate: f64| {
+        let arrivals: Vec<(SimTime, ServiceRequest)> = ArrivalProcess::poisson(rate, 7)
+            .unwrap()
+            .take(n)
+            .zip(mix.sample(n, m.requests(), 8))
+            .collect();
+        ClusterSim::new(m, gpu_cluster_config(m.versions(), 4))
+            .run(&fe, &arrivals)
+            .latency
+            .summary()
+            .unwrap()
+            .mean()
+    };
+    let light = run_at(20.0);
+    let heavy = run_at(500.0);
+    assert!(
+        heavy > light,
+        "queueing should inflate latency: light {light} heavy {heavy}"
+    );
+}
+
+#[test]
+fn zero_tolerance_stream_matches_baseline_error() {
+    let m = vision_workload_gpu().matrix();
+    let fe = frontend();
+    // Every request at zero tolerance, uncontended.
+    let arrivals: Vec<(SimTime, ServiceRequest)> = (0..m.requests())
+        .map(|r| {
+            (
+                SimTime::from_micros(r as u64 * 10_000_000),
+                ServiceRequest::new(r, Tolerance::ZERO, Objective::ResponseTime),
+            )
+        })
+        .collect();
+    let report =
+        ClusterSim::new(m, gpu_cluster_config(m.versions(), 64)).run(&fe, &arrivals);
+    let baseline_err = m.version_error(m.best_version().unwrap(), None).unwrap();
+    assert!(
+        report.mean_err <= baseline_err + 1e-9,
+        "zero-tolerance stream must not degrade: {} vs {}",
+        report.mean_err,
+        baseline_err
+    );
+}
+
+#[test]
+fn trace_slices_by_tier_and_exports_csv() {
+    let m = vision_workload_gpu().matrix();
+    let fe = frontend();
+    let mix = RequestMix::representative();
+    let n = 600;
+    let arrivals: Vec<(SimTime, ServiceRequest)> = ArrivalProcess::poisson(50.0, 13)
+        .unwrap()
+        .take(n)
+        .zip(mix.sample(n, m.requests(), 14))
+        .collect();
+    let report = ClusterSim::new(m, gpu_cluster_config(m.versions(), 16)).run(&fe, &arrivals);
+    assert_eq!(report.trace.events().len(), n);
+    let tiers = report.trace.by_tier();
+    assert!(tiers.len() >= 3, "representative mix spans several tiers");
+    let total: usize = tiers.values().map(|t| t.requests).sum();
+    assert_eq!(total, n);
+    // Tier latency summaries are well-formed and the CSV round-trips
+    // the event count.
+    for stats in tiers.values() {
+        assert!(stats.latency.summary().unwrap().mean() > 0.0);
+        assert!(stats.mean_err >= 0.0);
+    }
+    assert_eq!(report.trace.to_csv().lines().count(), n + 1);
+}
+
+#[test]
+fn chain_policy_runs_through_the_cluster() {
+    use tt_core::rulegen::RoutingRuleGenerator;
+    use tt_stats::TrialLimits;
+    let m = vision_workload_gpu().matrix();
+    let chain = tt_core::Policy::Chain3 {
+        first: 0,
+        second: 2,
+        third: m.versions() - 1,
+        threshold_first: 0.9,
+        threshold_second: 0.8,
+    };
+    let generator = RoutingRuleGenerator::new(
+        m,
+        vec![chain],
+        0.9,
+        1,
+        TrialLimits {
+            min_trials: 2,
+            max_trials: 4,
+        },
+    )
+    .unwrap();
+    let rules = generator
+        .generate(&[10.0], Objective::ResponseTime)
+        .unwrap();
+    let fe = TieredFrontend::new(vec![rules]);
+    let arrivals: Vec<(SimTime, ServiceRequest)> = (0..200)
+        .map(|r| {
+            (
+                SimTime::from_micros(r as u64 * 1_000_000),
+                ServiceRequest::new(r, Tolerance::new(10.0).unwrap(), Objective::ResponseTime),
+            )
+        })
+        .collect();
+    let report = ClusterSim::new(m, gpu_cluster_config(m.versions(), 32)).run(&fe, &arrivals);
+    assert_eq!(report.served, 200);
+    // Uncontended: the cluster must agree with the closed-form algebra.
+    let perf = chain.evaluate(m, Some(&(0..200).collect::<Vec<_>>())).unwrap();
+    let sim_mean_us = report.latency.summary().unwrap().mean() * 1000.0;
+    assert!(
+        (sim_mean_us - perf.mean_latency_us).abs() / perf.mean_latency_us < 0.01,
+        "sim {sim_mean_us} vs closed form {}",
+        perf.mean_latency_us
+    );
+    assert!((report.mean_err - perf.mean_err).abs() < 1e-9);
+}
+
+#[test]
+fn frontend_parses_and_routes_the_paper_request() {
+    let fe = frontend();
+    let (request, policy) = fe
+        .route_annotated("Tolerance: 0.01\nObjective: response-time", 0)
+        .unwrap();
+    assert_eq!(request.tolerance.value(), 0.01);
+    policy
+        .validate(vision_workload_gpu().matrix().versions())
+        .unwrap();
+}

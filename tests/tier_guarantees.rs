@@ -1,0 +1,70 @@
+//! The paper's headline statistical claim: cross-validated tiers do
+//! not violate their tolerances.
+
+use tt_core::guarantee::CrossValidator;
+use tt_core::objective::Objective;
+use tt_integration::{asr_workload, vision_workload_cpu};
+
+#[test]
+fn asr_guarantees_hold_under_cross_validation() {
+    let report = CrossValidator::new(5, 0.999, 21)
+        .validate(
+            asr_workload().matrix(),
+            &[0.0, 0.02, 0.05, 0.10],
+            &[Objective::ResponseTime, Objective::Cost],
+        )
+        .unwrap();
+    assert_eq!(report.checks, 5 * 4 * 2);
+    assert!(
+        report.all_upheld(),
+        "violations: {:?}",
+        report.violations
+    );
+}
+
+#[test]
+fn vision_guarantees_hold_under_cross_validation() {
+    let report = CrossValidator::new(5, 0.999, 22)
+        .validate(
+            vision_workload_cpu().matrix(),
+            &[0.0, 0.02, 0.05, 0.10],
+            &[Objective::ResponseTime, Objective::Cost],
+        )
+        .unwrap();
+    assert!(
+        report.all_upheld(),
+        "violations: {:?}",
+        report.violations
+    );
+}
+
+#[test]
+fn lower_confidence_is_less_conservative() {
+    // With a lower bootstrap confidence the generator may deploy more
+    // aggressive policies; the worst-case records it reasons about
+    // shrink. We verify the knob is wired through: the 0.70-confidence
+    // generator's chosen tier is at least as fast as the
+    // 0.999-confidence one.
+    use tt_core::rulegen::RoutingRuleGenerator;
+    let m = asr_workload().matrix();
+    let aggressive = RoutingRuleGenerator::with_defaults(m, 0.70, 9).unwrap();
+    let conservative = RoutingRuleGenerator::with_defaults(m, 0.999, 9).unwrap();
+    let tol = [0.05];
+    let fast = aggressive
+        .generate(&tol, Objective::ResponseTime)
+        .unwrap()
+        .tiers()[0]
+        .1
+        .evaluate(m, None)
+        .unwrap()
+        .mean_latency_us;
+    let safe = conservative
+        .generate(&tol, Objective::ResponseTime)
+        .unwrap()
+        .tiers()[0]
+        .1
+        .evaluate(m, None)
+        .unwrap()
+        .mean_latency_us;
+    assert!(fast <= safe + 1e-6, "aggressive {fast} vs conservative {safe}");
+}
