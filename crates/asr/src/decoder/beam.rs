@@ -114,7 +114,9 @@ impl<'a> Decoder<'a> {
                     let pron = self.lexicon.word(w).pronunciation();
                     let mut fit = self.lm.log_prob(prev, w);
                     for k in 0..LOOKAHEAD {
-                        let Some(frame) = frames.get(t + k) else { break };
+                        let Some(frame) = frames.get(t + k) else {
+                            break;
+                        };
                         // ~2 frames per phone: frame t+k aligns to phone k/2.
                         let phone = pron[(k / 2).min(pron.len() - 1)];
                         fit += f64::from(frame[phone.index()]);
@@ -156,12 +158,7 @@ impl<'a> Decoder<'a> {
     /// [`Decoder::decode`]'s hypothesis; entries beyond what the beam
     /// kept alive are simply absent (narrow beams may retain a single
     /// hypothesis).
-    pub fn decode_nbest(
-        &self,
-        frames: &[Frame],
-        config: &BeamConfig,
-        n: usize,
-    ) -> Vec<Hypothesis> {
+    pub fn decode_nbest(&self, frames: &[Frame], config: &BeamConfig, n: usize) -> Vec<Hypothesis> {
         if frames.is_empty() || n == 0 {
             return Vec::new();
         }
@@ -273,25 +270,23 @@ impl<'a> Decoder<'a> {
                     // Exit the word into candidate successors.
                     let exits = match exit_cache.entry(t.word.0) {
                         std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
-                        std::collections::hash_map::Entry::Vacant(e) => e.insert(
-                            self.exit_candidates(
+                        std::collections::hash_map::Entry::Vacant(e) => {
+                            e.insert(self.exit_candidates(
                                 Some(t.word),
                                 frames,
                                 fi,
                                 config.word_exit_candidates,
                                 &mut work,
-                            ),
-                        ),
+                            ))
+                        }
                     };
                     for &w in exits.iter() {
                         let next_pron = self.lexicon.word(w).pronunciation();
                         let total_lm = config.lm_scale * self.lm.log_prob(Some(t.word), w)
                             + config.word_insertion_penalty;
                         let per = total_lm / next_pron.len() as f64;
-                        let score = t.score
-                            + LOG_ADVANCE
-                            + per
-                            + f64::from(frame[next_pron[0].index()]);
+                        let score =
+                            t.score + LOG_ADVANCE + per + f64::from(frame[next_pron[0].index()]);
                         let pending_lm = total_lm - per;
                         work += 1;
                         // Defer arena push until we know the token survives
@@ -540,8 +535,8 @@ mod tests {
         for i in 0..12 {
             let reference = f.lm.sample_sentence(&mut rng, 6);
             let frames = f.acoustic.render(&f.lexicon, &reference, 1.8, 100 + i);
-            narrow_errors += Alignment::align(&dec.decode(&frames, &narrow()).words, &reference)
-                .errors();
+            narrow_errors +=
+                Alignment::align(&dec.decode(&frames, &narrow()).words, &reference).errors();
             wide_errors +=
                 Alignment::align(&dec.decode(&frames, &wide()).words, &reference).errors();
         }
@@ -617,7 +612,11 @@ mod tests {
             // The competitor may slightly exceed the finalized best (a
             // mid-word token), but never by more than a word's worth of
             // score.
-            assert!((out.score - r).abs() < 100.0, "margin blew up: {}", out.score - r);
+            assert!(
+                (out.score - r).abs() < 100.0,
+                "margin blew up: {}",
+                out.score - r
+            );
         }
     }
 }

@@ -40,7 +40,10 @@ impl BeamConfig {
     ) -> Self {
         assert!(beam > 0.0, "beam must be positive");
         assert!(max_active > 0, "max_active must be positive");
-        assert!(word_exit_candidates > 0, "word_exit_candidates must be positive");
+        assert!(
+            word_exit_candidates > 0,
+            "word_exit_candidates must be positive"
+        );
         BeamConfig {
             name: name.into(),
             beam,

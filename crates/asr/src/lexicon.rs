@@ -95,7 +95,11 @@ impl Lexicon {
                 .iter()
                 .map(|p| {
                     let idx = p.index();
-                    format!("{}{}", ONSETS[idx % ONSETS.len()], NUCLEI[idx % NUCLEI.len()])
+                    format!(
+                        "{}{}",
+                        ONSETS[idx % ONSETS.len()],
+                        NUCLEI[idx % NUCLEI.len()]
+                    )
                 })
                 .collect();
             words.push(Word {
@@ -196,7 +200,10 @@ mod tests {
             for w in bucket {
                 assert_eq!(lex.word(*w).pronunciation()[0], p);
             }
-            assert!(bucket.windows(2).all(|w| w[0] < w[1]), "bucket not rank-ordered");
+            assert!(
+                bucket.windows(2).all(|w| w[0] < w[1]),
+                "bucket not rank-ordered"
+            );
         }
         assert_eq!(total, 200);
     }

@@ -235,6 +235,9 @@ mod tests {
         let lm = lm();
         let mut a = rand::rngs::StdRng::seed_from_u64(5);
         let mut b = rand::rngs::StdRng::seed_from_u64(5);
-        assert_eq!(lm.sample_sentence(&mut a, 10), lm.sample_sentence(&mut b, 10));
+        assert_eq!(
+            lm.sample_sentence(&mut a, 10),
+            lm.sample_sentence(&mut b, 10)
+        );
     }
 }

@@ -168,8 +168,8 @@ impl AsrEngine {
         );
         let result = Decoder::new(&self.lexicon, &self.lm).decode(&frames, config);
         let errors = wer::word_errors(&result.words, &utterance.words);
-        let latency_us =
-            result.frames as u64 * FRAME_OVERHEAD_US + (result.work as f64 * US_PER_EXPANSION) as u64;
+        let latency_us = result.frames as u64 * FRAME_OVERHEAD_US
+            + (result.work as f64 * US_PER_EXPANSION) as u64;
         DecodeOutcome {
             errors,
             reference_words: utterance.words.len(),
@@ -312,12 +312,17 @@ mod tests {
     fn calibration_confidence_signals() {
         use crate::decoder::Decoder;
         let e = AsrEngine::synthesize(CorpusConfig::evaluation().with_utterances(400));
-        for cfg in [&BeamConfig::paper_versions()[0], &BeamConfig::paper_versions()[6]] {
+        for cfg in [
+            &BeamConfig::paper_versions()[0],
+            &BeamConfig::paper_versions()[6],
+        ] {
             let mut ok = (0.0f64, 0.0f64, 0usize);
             let mut bad = (0.0f64, 0.0f64, 0usize);
             let mut no_runner = 0usize;
             for u in e.corpus().utterances() {
-                let frames = e.acoustic.render(&e.lexicon, &u.words, u.noise_sigma, u.render_seed);
+                let frames = e
+                    .acoustic
+                    .render(&e.lexicon, &u.words, u.noise_sigma, u.render_seed);
                 let r = Decoder::new(&e.lexicon, &e.lm).decode(&frames, cfg);
                 let margin = r.runner_up.map(|x| (r.score - x) / r.frames as f64);
                 if margin.is_none() {
@@ -358,12 +363,22 @@ mod tests {
         ] {
             let mut acc = wer::WerAccumulator::new();
             let mut work = 0u64;
-            for u in e.corpus().utterances().iter().filter(|u| u.noise_sigma < 1.0) {
+            for u in e
+                .corpus()
+                .utterances()
+                .iter()
+                .filter(|u| u.noise_sigma < 1.0)
+            {
                 let out = e.decode(u, &cfg);
                 acc.add_counts(out.errors, out.reference_words);
                 work += out.work;
             }
-            println!("{}: easy-band wer={:.4} work={}", cfg.name, acc.rate(), work);
+            println!(
+                "{}: easy-band wer={:.4} work={}",
+                cfg.name,
+                acc.rate(),
+                work
+            );
         }
     }
 
@@ -391,7 +406,10 @@ mod tests {
                 n_bad += 1;
             }
         }
-        assert!(n_ok > 0 && n_bad > 0, "need both outcomes: {n_ok} ok, {n_bad} bad");
+        assert!(
+            n_ok > 0 && n_bad > 0,
+            "need both outcomes: {n_ok} ok, {n_bad} bad"
+        );
         assert!(
             c_ok / n_ok as f64 > c_bad / n_bad as f64,
             "confidence fails to discriminate: ok={} bad={}",

@@ -7,10 +7,8 @@ use tt_vision::Device;
 use tt_workloads::VisionWorkload;
 
 fn bench_categorize(c: &mut Criterion) {
-    let workload = VisionWorkload::build(
-        DatasetConfig::evaluation().with_images(5_000),
-        Device::Cpu,
-    );
+    let workload =
+        VisionWorkload::build(DatasetConfig::evaluation().with_images(5_000), Device::Cpu);
     c.bench_function("fig2_categorize_5000_requests", |b| {
         b.iter(|| categorize(workload.matrix()))
     });

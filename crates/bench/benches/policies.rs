@@ -8,10 +8,8 @@ use tt_vision::Device;
 use tt_workloads::VisionWorkload;
 
 fn bench_policies(c: &mut Criterion) {
-    let workload = VisionWorkload::build(
-        DatasetConfig::evaluation().with_images(5_000),
-        Device::Cpu,
-    );
+    let workload =
+        VisionWorkload::build(DatasetConfig::evaluation().with_images(5_000), Device::Cpu);
     let matrix = workload.matrix();
     let best = matrix.best_version().unwrap();
 

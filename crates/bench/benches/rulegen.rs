@@ -8,10 +8,8 @@ use tt_vision::Device;
 use tt_workloads::VisionWorkload;
 
 fn bench_rulegen(c: &mut Criterion) {
-    let workload = VisionWorkload::build(
-        DatasetConfig::evaluation().with_images(1_000),
-        Device::Cpu,
-    );
+    let workload =
+        VisionWorkload::build(DatasetConfig::evaluation().with_images(1_000), Device::Cpu);
     let matrix = workload.matrix();
 
     let mut group = c.benchmark_group("fig7_rule_generation");

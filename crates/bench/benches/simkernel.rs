@@ -34,10 +34,7 @@ fn bench_node_admission(c: &mut Criterion) {
         b.iter(|| {
             let mut node = ServiceNode::new(8);
             for i in 0..10_000u64 {
-                node.admit(
-                    SimTime::from_micros(i * 100),
-                    SimDuration::from_micros(750),
-                );
+                node.admit(SimTime::from_micros(i * 100), SimDuration::from_micros(750));
             }
             node.busy_time()
         })
@@ -45,10 +42,8 @@ fn bench_node_admission(c: &mut Criterion) {
 }
 
 fn bench_cluster(c: &mut Criterion) {
-    let workload = VisionWorkload::build(
-        DatasetConfig::evaluation().with_images(1_000),
-        Device::Gpu,
-    );
+    let workload =
+        VisionWorkload::build(DatasetConfig::evaluation().with_images(1_000), Device::Gpu);
     let matrix = workload.matrix();
     let generator = RoutingRuleGenerator::with_defaults(matrix, 0.99, 5).unwrap();
     let frontend = TieredFrontend::new(vec![generator
@@ -77,5 +72,10 @@ fn bench_cluster(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_event_queue, bench_node_admission, bench_cluster);
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_node_admission,
+    bench_cluster
+);
 criterion_main!(benches);

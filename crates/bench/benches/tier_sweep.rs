@@ -9,10 +9,8 @@ use tt_vision::Device;
 use tt_workloads::VisionWorkload;
 
 fn bench_sweep(c: &mut Criterion) {
-    let workload = VisionWorkload::build(
-        DatasetConfig::evaluation().with_images(1_000),
-        Device::Gpu,
-    );
+    let workload =
+        VisionWorkload::build(DatasetConfig::evaluation().with_images(1_000), Device::Gpu);
     let matrix = workload.matrix();
     let tolerances = [0.0, 0.01, 0.02, 0.05, 0.10];
 

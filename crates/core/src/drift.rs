@@ -66,7 +66,9 @@ impl DriftDetector {
             return Err(CoreError::Stats(tt_stats::StatsError::EmptySample));
         }
         if window_size < 2 {
-            return Err(CoreError::InvalidParameter { what: "window_size" });
+            return Err(CoreError::InvalidParameter {
+                what: "window_size",
+            });
         }
         if !(alpha > 0.0 && alpha < 1.0) {
             return Err(CoreError::InvalidParameter { what: "alpha" });

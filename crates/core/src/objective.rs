@@ -53,7 +53,10 @@ mod tests {
 
     #[test]
     fn parse_accepts_aliases_and_case() {
-        assert_eq!(Objective::parse("LATENCY").unwrap(), Objective::ResponseTime);
+        assert_eq!(
+            Objective::parse("LATENCY").unwrap(),
+            Objective::ResponseTime
+        );
         assert_eq!(Objective::parse(" Cost ").unwrap(), Objective::Cost);
     }
 

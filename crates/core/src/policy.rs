@@ -203,19 +203,14 @@ impl Policy {
                     // was never launched.
                     (Scheduling::Sequential, Termination::EarlyTerminate, true) => c.cost,
                     // A non-confident cascade always pays both in full.
-                    (Scheduling::Sequential, Termination::EarlyTerminate, false) => {
-                        c.cost + a.cost
-                    }
+                    (Scheduling::Sequential, Termination::EarlyTerminate, false) => c.cost + a.cost,
                     // Concurrent + confident + ET: the accurate version ran
                     // until the moment the cheap answer landed.
                     (Scheduling::Concurrent, Termination::EarlyTerminate, true) => {
-                        let fraction =
-                            (c.latency_us as f64 / a.latency_us.max(1) as f64).min(1.0);
+                        let fraction = (c.latency_us as f64 / a.latency_us.max(1) as f64).min(1.0);
                         c.cost + a.cost * fraction
                     }
-                    (Scheduling::Concurrent, Termination::EarlyTerminate, false) => {
-                        c.cost + a.cost
-                    }
+                    (Scheduling::Concurrent, Termination::EarlyTerminate, false) => c.cost + a.cost,
                     // Finish-out always pays both in full.
                     (_, Termination::FinishOut, _) => c.cost + a.cost,
                 };
@@ -284,9 +279,7 @@ impl Policy {
         self.validate(matrix.versions())?;
         let all: Vec<usize>;
         let idx: &[usize] = match indices {
-            Some(i) if i.is_empty() => {
-                return Err(CoreError::Stats(tt_stats::StatsError::EmptySample))
-            }
+            Some([]) => return Err(CoreError::Stats(tt_stats::StatsError::EmptySample)),
             Some(i) => i,
             None => {
                 all = (0..matrix.requests()).collect();
@@ -342,7 +335,10 @@ impl std::fmt::Display for Policy {
                     Termination::EarlyTerminate => "et",
                     Termination::FinishOut => "fo",
                 };
-                write!(f, "cascade(v{cheap}→v{accurate}, θ={threshold:.2}, {sched}+{term})")
+                write!(
+                    f,
+                    "cascade(v{cheap}→v{accurate}, θ={threshold:.2}, {sched}+{term})"
+                )
             }
             Policy::Chain3 {
                 first,
@@ -489,7 +485,9 @@ mod tests {
     #[test]
     fn validate_catches_bad_policies() {
         let m = toy_matrix();
-        assert!(Policy::Single { version: 5 }.validate(m.versions()).is_err());
+        assert!(Policy::Single { version: 5 }
+            .validate(m.versions())
+            .is_err());
         assert!(Policy::Cascade {
             cheap: 0,
             accurate: 0,
@@ -529,11 +527,8 @@ mod tests {
     #[test]
     fn chain_semantics_on_a_three_version_matrix() {
         // Build a 3-version matrix by hand.
-        let mut b = crate::profile::ProfileMatrixBuilder::new(vec![
-            "a".into(),
-            "b".into(),
-            "c".into(),
-        ]);
+        let mut b =
+            crate::profile::ProfileMatrixBuilder::new(vec!["a".into(), "b".into(), "c".into()]);
         let obs = |err: f64, lat: u64, conf: f64| Observation {
             quality_err: err,
             latency_us: lat,
@@ -541,9 +536,21 @@ mod tests {
             confidence: conf,
         };
         // r0: first confident; r1: second confident; r2: falls through.
-        b.push_request(vec![obs(0.0, 10, 0.9), obs(0.0, 20, 0.9), obs(0.0, 40, 0.9)]);
-        b.push_request(vec![obs(1.0, 10, 0.1), obs(0.0, 20, 0.9), obs(0.0, 40, 0.9)]);
-        b.push_request(vec![obs(1.0, 10, 0.1), obs(1.0, 20, 0.1), obs(0.0, 40, 0.9)]);
+        b.push_request(vec![
+            obs(0.0, 10, 0.9),
+            obs(0.0, 20, 0.9),
+            obs(0.0, 40, 0.9),
+        ]);
+        b.push_request(vec![
+            obs(1.0, 10, 0.1),
+            obs(0.0, 20, 0.9),
+            obs(0.0, 40, 0.9),
+        ]);
+        b.push_request(vec![
+            obs(1.0, 10, 0.1),
+            obs(1.0, 20, 0.1),
+            obs(0.0, 40, 0.9),
+        ]);
         let m = b.build().unwrap();
         let p = Policy::Chain3 {
             first: 0,

@@ -76,10 +76,7 @@ impl ProfileMatrix {
     /// Panics if either index is out of range.
     pub fn get(&self, request: usize, version: usize) -> &Observation {
         assert!(request < self.requests, "request {request} out of range");
-        assert!(
-            version < self.versions(),
-            "version {version} out of range"
-        );
+        assert!(version < self.versions(), "version {version} out of range");
         &self.obs[request * self.versions() + version]
     }
 
@@ -182,9 +179,7 @@ impl ProfileMatrix {
 
     fn mean_over<F: Fn(usize) -> f64>(&self, indices: Option<&[usize]>, f: F) -> Result<f64> {
         match indices {
-            None => {
-                Ok((0..self.requests).map(&f).sum::<f64>() / self.requests as f64)
-            }
+            None => Ok((0..self.requests).map(&f).sum::<f64>() / self.requests as f64),
             Some(idx) => {
                 if idx.is_empty() {
                     return Err(CoreError::Stats(tt_stats::StatsError::EmptySample));
@@ -399,8 +394,16 @@ mod tests {
             confidence: 0.8,
         };
         assert!(ok.is_valid());
-        assert!(!Observation { confidence: 1.5, ..ok }.is_valid());
-        assert!(!Observation { cost: f64::INFINITY, ..ok }.is_valid());
+        assert!(!Observation {
+            confidence: 1.5,
+            ..ok
+        }
+        .is_valid());
+        assert!(!Observation {
+            cost: f64::INFINITY,
+            ..ok
+        }
+        .is_valid());
     }
 
     #[test]

@@ -64,9 +64,7 @@ impl BucketRouter {
         }
         let all: Vec<usize>;
         let idx: &[usize] = match indices {
-            Some(i) if i.is_empty() => {
-                return Err(CoreError::Stats(tt_stats::StatsError::EmptySample))
-            }
+            Some([]) => return Err(CoreError::Stats(tt_stats::StatsError::EmptySample)),
             Some(i) => i,
             None => {
                 all = (0..matrix.requests()).collect();
@@ -129,10 +127,8 @@ impl BucketRouter {
 
         // Start conservatively: every bucket escalates to the baseline.
         let mut targets = vec![baseline_version; buckets];
-        let mut current: Vec<(f64, f64)> = members
-            .iter()
-            .map(|b| eval(b, baseline_version))
-            .collect();
+        let mut current: Vec<(f64, f64)> =
+            members.iter().map(|b| eval(b, baseline_version)).collect();
         let base_total_err: f64 = current.iter().map(|(e, _)| e).sum();
 
         // Greedy: repeatedly take the (bucket, target) move with the
@@ -210,9 +206,7 @@ impl BucketRouter {
     ) -> Result<PolicyPerformance> {
         let all: Vec<usize>;
         let idx: &[usize] = match indices {
-            Some(i) if i.is_empty() => {
-                return Err(CoreError::Stats(tt_stats::StatsError::EmptySample))
-            }
+            Some([]) => return Err(CoreError::Stats(tt_stats::StatsError::EmptySample)),
             Some(i) => i,
             None => {
                 all = (0..matrix.requests()).collect();
@@ -292,8 +286,7 @@ mod tests {
         let m = matrix(600, 1);
         let baseline = m.version_error(1, None).unwrap();
         for tol in [0.0, 0.05, 0.20] {
-            let router =
-                BucketRouter::train(&m, 0, tol, Objective::ResponseTime, 8, None).unwrap();
+            let router = BucketRouter::train(&m, 0, tol, Objective::ResponseTime, 8, None).unwrap();
             let perf = router.evaluate(&m, None).unwrap();
             let deg = (perf.mean_err - baseline) / baseline;
             assert!(deg <= tol + 1e-9, "tol {tol}: in-sample degradation {deg}");

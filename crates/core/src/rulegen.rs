@@ -166,8 +166,7 @@ impl<'a> RoutingRuleGenerator<'a> {
 
         let mut records = Vec::with_capacity(candidates.len());
         for (i, policy) in candidates.into_iter().enumerate() {
-            let boot = Bootstrap::new(confidence, seed.wrapping_add(i as u64))?
-                .with_limits(limits);
+            let boot = Bootstrap::new(confidence, seed.wrapping_add(i as u64))?.with_limits(limits);
             let outcome = boot.run(&requests, 3, |sample| {
                 let idx: Vec<usize> = sample.iter().map(|&&r| r).collect();
                 let perf = policy
@@ -220,12 +219,15 @@ impl<'a> RoutingRuleGenerator<'a> {
             errs.push(matrix.version_error(i, None)?);
             lats.push(matrix.version_latency(i, None)?);
         }
-        let mut candidates: Vec<Policy> = (0..v).map(|version| Policy::Single { version }).collect();
+        let mut candidates: Vec<Policy> =
+            (0..v).map(|version| Policy::Single { version }).collect();
         for cheap in 0..v {
             for accurate in 0..v {
                 // A cascade makes sense when the first version is faster
                 // and the second strictly more accurate.
-                if cheap == accurate || lats[cheap] >= lats[accurate] || errs[accurate] >= errs[cheap]
+                if cheap == accurate
+                    || lats[cheap] >= lats[accurate]
+                    || errs[accurate] >= errs[cheap]
                 {
                     continue;
                 }
@@ -416,9 +418,7 @@ mod tests {
         let m = toy_matrix();
         let g = generator(&m);
         for objective in Objective::all() {
-            let rules = g
-                .generate(&[0.0, 0.05, 0.10, 0.5, 1.0], objective)
-                .unwrap();
+            let rules = g.generate(&[0.0, 0.05, 0.10, 0.5, 1.0], objective).unwrap();
             let values: Vec<f64> = rules
                 .tiers()
                 .iter()

@@ -39,7 +39,11 @@ impl ToleranceTier {
 
 impl std::fmt::Display for ToleranceTier {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "tier({} tolerance, optimize {})", self.tolerance, self.objective)
+        write!(
+            f,
+            "tier({} tolerance, optimize {})",
+            self.tolerance, self.objective
+        )
     }
 }
 

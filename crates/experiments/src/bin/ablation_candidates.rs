@@ -48,8 +48,7 @@ fn main() {
             })
             .collect();
         let mut with_chains = default.clone();
-        with_chains
-            .extend(RoutingRuleGenerator::chain_candidates(matrix).expect("valid matrix"));
+        with_chains.extend(RoutingRuleGenerator::chain_candidates(matrix).expect("valid matrix"));
 
         let mut table = Table::new(vec![
             "candidate set",

@@ -17,7 +17,12 @@ fn main() {
     for (label, matrix) in ctx.deployments() {
         let best = matrix.best_version().expect("non-empty matrix");
         println!("--- {label} ---");
-        let mut table = Table::new(vec!["version", "auc", "mean conf (good)", "mean conf (bad)"]);
+        let mut table = Table::new(vec![
+            "version",
+            "auc",
+            "mean conf (good)",
+            "mean conf (bad)",
+        ]);
         for v in 0..matrix.versions() {
             let mut scores = Vec::with_capacity(matrix.requests());
             let mut labels = Vec::with_capacity(matrix.requests());
@@ -42,7 +47,8 @@ fn main() {
             };
             table.row(vec![
                 matrix.version_names()[v].clone(),
-                auc.map(|a| format!("{a:.3}")).unwrap_or_else(|_| "n/a".into()),
+                auc.map(|a| format!("{a:.3}"))
+                    .unwrap_or_else(|_| "n/a".into()),
                 format!("{:.3}", mean(true)),
                 format!("{:.3}", mean(false)),
             ]);

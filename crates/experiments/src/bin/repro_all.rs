@@ -13,15 +13,18 @@ use tt_experiments::{ExperimentContext, Table};
 
 fn main() {
     let ctx = ExperimentContext::from_args();
-    println!("== toltiers: one-shot reproduction report ({:?} scale) ==\n", ctx.scale);
+    println!(
+        "== toltiers: one-shot reproduction report ({:?} scale) ==\n",
+        ctx.scale
+    );
 
     let mut summary = Table::new(vec!["experiment", "deployment", "paper", "measured"]);
 
     // §III-E / Fig. 1 claims.
     for (label, matrix) in ctx.deployments() {
         let best = matrix.best_version().unwrap();
-        let lat_ratio = matrix.version_latency(best, None).unwrap()
-            / matrix.version_latency(0, None).unwrap();
+        let lat_ratio =
+            matrix.version_latency(best, None).unwrap() / matrix.version_latency(0, None).unwrap();
         let err_red = {
             let e0 = matrix.version_error(0, None).unwrap();
             let eb = matrix.version_error(best, None).unwrap();
@@ -62,7 +65,9 @@ fn main() {
     // Fig. 5 policy comparison: ET vs OSFA on the extreme pair.
     for (label, matrix) in ctx.deployments() {
         let best = matrix.best_version().unwrap();
-        let osfa = Policy::Single { version: best }.evaluate(matrix, None).unwrap();
+        let osfa = Policy::Single { version: best }
+            .evaluate(matrix, None)
+            .unwrap();
         let et = Policy::Cascade {
             cheap: 0,
             accurate: best,
@@ -87,8 +92,7 @@ fn main() {
     // Figs. 8/9 headline tiers.
     let headline_tols = [0.01, 0.05, 0.10];
     for (label, matrix) in ctx.deployments() {
-        let lat_points =
-            sweep_tiers(matrix, &headline_tols, Objective::ResponseTime, 8).unwrap();
+        let lat_points = sweep_tiers(matrix, &headline_tols, Objective::ResponseTime, 8).unwrap();
         let cost_points = sweep_tiers(matrix, &headline_tols, Objective::Cost, 9).unwrap();
         let lat: Vec<String> = headline_tols
             .iter()
@@ -116,7 +120,11 @@ fn main() {
     let tolerances = [0.0, 0.01, 0.02, 0.05, 0.10];
     for (label, matrix) in ctx.deployments() {
         let report = CrossValidator::paper_setup(17)
-            .validate(matrix, &tolerances, &[Objective::ResponseTime, Objective::Cost])
+            .validate(
+                matrix,
+                &tolerances,
+                &[Objective::ResponseTime, Objective::Cost],
+            )
             .unwrap();
         summary.row(vec![
             "SecV guarantee violations".into(),

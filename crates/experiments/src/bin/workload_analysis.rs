@@ -29,7 +29,13 @@ fn asr_analysis(scale: Scale) {
     let wide = &BeamConfig::paper_versions()[6];
 
     println!("--- ASR: WER by acoustic noise band (v1 vs v7) ---");
-    let mut table = Table::new(vec!["noise band", "utterances", "WER v1", "WER v7", "v1 penalty"]);
+    let mut table = Table::new(vec![
+        "noise band",
+        "utterances",
+        "WER v1",
+        "WER v7",
+        "v1 penalty",
+    ]);
     let bands = [(0.0, 0.8), (0.8, 1.2), (1.2, 2.0), (2.0, 99.0)];
     for (lo, hi) in bands {
         let mut acc1 = WerAccumulator::new();

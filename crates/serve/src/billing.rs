@@ -112,7 +112,10 @@ impl BillingReport {
         for e in trace.events() {
             let price = schedule.price_for(e.tolerance);
             revenue += price;
-            let key = (e.objective.to_string(), (e.tolerance * 1000.0).round() as u32);
+            let key = (
+                e.objective.to_string(),
+                (e.tolerance * 1000.0).round() as u32,
+            );
             let slot = tiers.entry(key).or_insert(TierEconomics {
                 requests: 0,
                 revenue: Money::ZERO,
@@ -184,15 +187,11 @@ mod tests {
                 });
             }
         }
-        let report =
-            BillingReport::from_trace(&trace, &schedule(), Money::from_dollars(0.001));
+        let report = BillingReport::from_trace(&trace, &schedule(), Money::from_dollars(0.001));
         // 3 × 0.001 + 2 × 0.0005.
         assert!((report.revenue.as_dollars() - 0.004).abs() < 1e-12);
         assert!((report.margin().as_dollars() - 0.003).abs() < 1e-12);
         assert_eq!(report.tiers.len(), 2);
-        assert_eq!(
-            report.tiers[&("response-time".to_string(), 0)].requests,
-            3
-        );
+        assert_eq!(report.tiers[&("response-time".to_string(), 0)].requests, 3);
     }
 }

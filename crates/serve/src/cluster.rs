@@ -7,9 +7,21 @@
 //! cancels the in-flight accurate invocation the moment a confident
 //! cheap answer lands — refunding the unused busy time, which is
 //! exactly where the ET policy's IaaS savings come from (paper §IV-C).
+//!
+//! On top of the fault-free core sits a resilience layer
+//! ([`crate::resilience`]): invocations may crash, error, or straggle
+//! according to a seeded [`tt_sim::FaultPlan`], and the cluster responds
+//! with per-request retries (capped exponential backoff), per-pool
+//! circuit breakers that shed load to sibling pools, deadlines derived
+//! from each tier's guaranteed latency, hedged launches for sequential
+//! cascades, and graceful degradation to cheaper versions — with the
+//! accuracy cost of that degradation reported as tolerance violations.
+//! [`ClusterSim::run`] uses [`ResilienceConfig::disabled`], which
+//! reproduces the fault-free simulation bit-for-bit.
 
 use crate::frontend::TieredFrontend;
 use crate::pricing::PricingCatalog;
+use crate::resilience::{CircuitBreaker, ResilienceConfig, ResilienceStats, RetryPolicy};
 use crate::trace::{TraceEvent, TraceRecorder};
 use tt_core::policy::{Policy, Scheduling, Termination};
 use tt_core::profile::ProfileMatrix;
@@ -17,7 +29,8 @@ use tt_core::request::ServiceRequest;
 use tt_sim::engine::EventToken;
 use tt_sim::node::JobId;
 use tt_sim::{
-    CostLedger, EventQueue, InstanceType, LatencyRecorder, ServiceNode, SimDuration, SimTime,
+    CostLedger, EventQueue, FaultPlan, InstanceType, JobCompletion, LatencyRecorder, ServiceNode,
+    SimDuration, SimTime,
 };
 
 /// Which device class a version's pool runs on.
@@ -70,6 +83,9 @@ pub struct ServingReport {
     pub early_terminations: usize,
     /// Per-request trace (sliceable by tier; CSV-exportable).
     pub trace: TraceRecorder,
+    /// What the resilience layer observed (all zeros under
+    /// [`ResilienceConfig::disabled`], except `total_requests`).
+    pub resilience: ResilienceStats,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -78,6 +94,9 @@ enum Role {
     Cheap,
     Mid,
     Accurate,
+    /// Serving in place of the policy's version: a breaker shed or a
+    /// failure re-route to a cheaper sibling.
+    Degraded,
 }
 
 #[derive(Debug)]
@@ -85,8 +104,41 @@ struct InFlight {
     policy: Policy,
     arrival: SimTime,
     responded: bool,
+    dropped: bool,
     err: f64,
+    /// Invocations (and pending retries) currently in flight.
+    outstanding: u32,
+    /// Retry budget consumed (shared across the request's stages).
+    retries_used: u32,
+    /// Whether the cascade's accurate version has been launched.
+    escalated: bool,
     accurate_cancel: Option<(usize, JobId, EventToken)>,
+    hedge_token: Option<EventToken>,
+    deadline_token: Option<EventToken>,
+    /// A usable-but-unconfident answer stashed for degradation.
+    fallback: Option<(usize, f64)>,
+}
+
+#[derive(Debug)]
+enum Event {
+    Arrival(usize),
+    Done {
+        flight: usize,
+        role: Role,
+        version: usize,
+        completion: JobCompletion,
+    },
+    Retry {
+        flight: usize,
+        role: Role,
+        version: usize,
+    },
+    Hedge {
+        flight: usize,
+    },
+    Deadline {
+        flight: usize,
+    },
 }
 
 /// The cluster simulator.
@@ -94,6 +146,586 @@ struct InFlight {
 pub struct ClusterSim<'a> {
     matrix: &'a ProfileMatrix,
     config: ClusterConfig,
+}
+
+/// Mutable state of one simulation run, shared by the event handlers.
+struct RunState<'m, 'r> {
+    matrix: &'m ProfileMatrix,
+    pricing: &'r PricingCatalog,
+    arrivals: &'r [(SimTime, ServiceRequest)],
+    pools: Vec<ServiceNode>,
+    queue: EventQueue<Event>,
+    flights: Vec<InFlight>,
+    ledger: CostLedger,
+    latency: LatencyRecorder,
+    queueing: LatencyRecorder,
+    total_err: f64,
+    early_terminations: usize,
+    trace: TraceRecorder,
+    stats: ResilienceStats,
+    faults: FaultPlan,
+    retry: RetryPolicy,
+    /// One breaker per pool; empty when breakers are disabled.
+    breakers: Vec<CircuitBreaker>,
+    deadline_factor: Option<f64>,
+    hedge_factor: Option<f64>,
+    degrade: bool,
+    /// Versions ordered by mean profiled latency, ascending; "cheaper"
+    /// for degradation purposes means earlier in this order.
+    version_order: Vec<usize>,
+    /// Deadline per distinct routed policy (memoised `evaluate` calls).
+    deadline_cache: Vec<(Policy, SimDuration)>,
+}
+
+impl<'m, 'r> RunState<'m, 'r> {
+    fn allows(&mut self, version: usize, now: SimTime) -> bool {
+        match self.breakers.get_mut(version) {
+            Some(b) => b.allows(now),
+            None => true,
+        }
+    }
+
+    fn breaker_record(&mut self, version: usize, success: bool, now: SimTime) {
+        if let Some(b) = self.breakers.get_mut(version) {
+            b.record(success, now);
+        }
+    }
+
+    /// Admit one invocation of `version` for `flight`, drawing its
+    /// fault outcome, charging the invocation, and scheduling its
+    /// completion.
+    fn launch(
+        &mut self,
+        flight: usize,
+        role: Role,
+        version: usize,
+        now: SimTime,
+        record_queueing: bool,
+    ) -> (JobId, EventToken) {
+        let payload = self.arrivals[flight].1.payload;
+        let service = SimDuration::from_micros(self.matrix.get(payload, version).latency_us);
+        let fault = self.faults.draw(version);
+        let (timing, job, completion) = self.pools[version].admit_faulty(now, service, fault);
+        self.ledger.charge_invocation(self.pricing.api_price());
+        if record_queueing {
+            self.queueing.record(timing.queueing(now));
+        }
+        let token = self.queue.schedule(
+            timing.finish,
+            Event::Done {
+                flight,
+                role,
+                version,
+                completion,
+            },
+        );
+        self.flights[flight].outstanding += 1;
+        (job, token)
+    }
+
+    /// Deliver `flight`'s answer: the single place a response is
+    /// recorded (latency, error aggregate, trace event).
+    fn respond(&mut self, flight: usize, now: SimTime, version: usize, err: f64) {
+        let request = &self.arrivals[flight].1;
+        let f = &mut self.flights[flight];
+        f.responded = true;
+        f.err = err;
+        self.latency.record(now.saturating_since(f.arrival));
+        self.total_err += err;
+        self.trace.record(TraceEvent {
+            arrival: f.arrival,
+            responded: now,
+            tolerance: request.tolerance.value(),
+            objective: request.objective,
+            answered_by: version,
+            quality_err: err,
+        });
+    }
+
+    /// Respond with an answer the tier policy did not intend (stash or
+    /// cheaper re-route), counting it — and, when its extra quality
+    /// error exceeds the request's advertised tolerance relative to the
+    /// fault-free policy outcome, counting a tolerance violation.
+    fn respond_degraded(&mut self, flight: usize, now: SimTime, version: usize, err: f64) {
+        self.stats.degraded_responses += 1;
+        let request = &self.arrivals[flight].1;
+        let intended = self.flights[flight]
+            .policy
+            .execute(self.matrix, request.payload)
+            .quality_err;
+        if err - intended > request.tolerance.value() + 1e-12 {
+            self.stats.tolerance_violations_under_fault += 1;
+        }
+        self.respond(flight, now, version, err);
+    }
+
+    /// The deadline span for a policy: `deadline_factor` times the
+    /// tier's guaranteed (mean) latency.
+    fn deadline_for(&mut self, policy: Policy) -> Option<SimDuration> {
+        let factor = self.deadline_factor?;
+        if let Some((_, d)) = self.deadline_cache.iter().find(|(p, _)| *p == policy) {
+            return Some(*d);
+        }
+        let mean = policy
+            .evaluate(self.matrix, None)
+            .expect("routed policy evaluates")
+            .mean_latency_us;
+        let d = SimDuration::from_micros((mean * factor).round() as u64);
+        self.deadline_cache.push((policy, d));
+        Some(d)
+    }
+
+    /// The nearest strictly-cheaper version whose pool accepts work.
+    fn degrade_target(&mut self, from: usize, now: SimTime) -> Option<usize> {
+        let pos = self.version_order.iter().position(|&v| v == from)?;
+        let order = self.version_order.clone();
+        order[..pos]
+            .iter()
+            .rev()
+            .copied()
+            .find(|&v| self.allows(v, now))
+    }
+
+    /// A sibling pool for shedding: nearest cheaper preferred, else
+    /// nearest more expensive — answering beats dropping.
+    fn shed_target(&mut self, from: usize, now: SimTime) -> Option<usize> {
+        let pos = self.version_order.iter().position(|&v| v == from)?;
+        let order = self.version_order.clone();
+        order[..pos]
+            .iter()
+            .rev()
+            .copied()
+            .chain(order[pos + 1..].iter().copied())
+            .find(|&v| self.allows(v, now))
+    }
+
+    fn drop_request(&mut self, flight: usize, _now: SimTime) {
+        if self.flights[flight].dropped || self.flights[flight].responded {
+            return;
+        }
+        self.flights[flight].dropped = true;
+        self.stats.dropped_requests += 1;
+        if let Some(tok) = self.flights[flight].deadline_token.take() {
+            self.queue.cancel(tok);
+        }
+        if let Some(tok) = self.flights[flight].hedge_token.take() {
+            self.queue.cancel(tok);
+        }
+    }
+
+    /// Resolve a request that has nothing left in flight: answer from
+    /// the stashed fallback, re-route to a cheaper version, or drop.
+    fn degrade_or_drop(&mut self, flight: usize, failed_version: usize, now: SimTime) {
+        let f = &self.flights[flight];
+        if f.responded || f.dropped || f.outstanding > 0 {
+            return;
+        }
+        if let Some((version, err)) = f.fallback {
+            self.respond_degraded(flight, now, version, err);
+            return;
+        }
+        if self.degrade {
+            if let Some(alt) = self.degrade_target(failed_version, now) {
+                self.launch(flight, Role::Degraded, alt, now, false);
+                return;
+            }
+        }
+        self.drop_request(flight, now);
+    }
+
+    /// Safety net after every completion: an unresolved request with no
+    /// in-flight work must degrade or drop, never hang.
+    fn settle(&mut self, flight: usize, version: usize, now: SimTime) {
+        let f = &self.flights[flight];
+        if f.responded || f.dropped || f.outstanding > 0 {
+            return;
+        }
+        self.degrade_or_drop(flight, version, now);
+    }
+
+    /// Launch a later policy stage, respecting breakers; a blocked
+    /// stage sheds onward to the next one.
+    fn guarded_escalate(&mut self, flight: usize, role: Role, version: usize, now: SimTime) {
+        if self.allows(version, now) {
+            self.launch(flight, role, version, now, false);
+            return;
+        }
+        self.stats.breaker_sheds += 1;
+        if role == Role::Mid {
+            if let Policy::Chain3 { third, .. } = self.flights[flight].policy {
+                if self.allows(third, now) {
+                    self.launch(flight, Role::Accurate, third, now, false);
+                    return;
+                }
+                self.stats.breaker_sheds += 1;
+            }
+        }
+        // No further stage: settle()/degrade_or_drop picks it up.
+    }
+
+    /// A failed (or breaker-blocked) stage is treated like an
+    /// unconfident one: move to the policy's next stage if it exists.
+    fn escalate_after_failure(&mut self, flight: usize, role: Role, now: SimTime) {
+        let policy = self.flights[flight].policy;
+        match (policy, role) {
+            (Policy::Cascade { accurate, .. }, Role::Cheap) if !self.flights[flight].escalated => {
+                if let Some(tok) = self.flights[flight].hedge_token.take() {
+                    self.queue.cancel(tok);
+                }
+                self.flights[flight].escalated = true;
+                self.guarded_escalate(flight, Role::Accurate, accurate, now);
+            }
+            (Policy::Chain3 { second, .. }, Role::Cheap) => {
+                self.guarded_escalate(flight, Role::Mid, second, now);
+            }
+            (Policy::Chain3 { third, .. }, Role::Mid) => {
+                self.guarded_escalate(flight, Role::Accurate, third, now);
+            }
+            _ => {}
+        }
+    }
+
+    /// First launch of a request's entry stage, shedding around open
+    /// breakers (to later stages, then siblings) or dropping.
+    fn launch_entry(&mut self, flight: usize, role: Role, version: usize, now: SimTime) {
+        if self.allows(version, now) {
+            self.launch(flight, role, version, now, true);
+            return;
+        }
+        self.stats.breaker_sheds += 1;
+        let policy = self.flights[flight].policy;
+        match (policy, role) {
+            (Policy::Cascade { accurate, .. }, Role::Cheap) => {
+                if self.allows(accurate, now) {
+                    self.flights[flight].escalated = true;
+                    self.launch(flight, Role::Accurate, accurate, now, true);
+                    return;
+                }
+                self.stats.breaker_sheds += 1;
+            }
+            (Policy::Chain3 { second, third, .. }, Role::Cheap) => {
+                if self.allows(second, now) {
+                    self.launch(flight, Role::Mid, second, now, true);
+                    return;
+                }
+                self.stats.breaker_sheds += 1;
+                if self.allows(third, now) {
+                    self.launch(flight, Role::Accurate, third, now, true);
+                    return;
+                }
+                self.stats.breaker_sheds += 1;
+            }
+            _ => {}
+        }
+        if let Some(alt) = self.shed_target(version, now) {
+            self.launch(flight, Role::Degraded, alt, now, true);
+            return;
+        }
+        self.drop_request(flight, now);
+    }
+
+    fn on_arrival(&mut self, frontend: &TieredFrontend, index: usize, now: SimTime) {
+        let request = &self.arrivals[index].1;
+        let policy = frontend.route(request);
+        policy
+            .validate(self.matrix.versions())
+            .expect("frontend produced a valid policy");
+        let flight = self.flights.len();
+        self.flights.push(InFlight {
+            policy,
+            arrival: now,
+            responded: false,
+            dropped: false,
+            err: 0.0,
+            outstanding: 0,
+            retries_used: 0,
+            escalated: false,
+            accurate_cancel: None,
+            hedge_token: None,
+            deadline_token: None,
+            fallback: None,
+        });
+        match policy {
+            Policy::Single { version } => {
+                self.launch_entry(flight, Role::Only, version, now);
+            }
+            Policy::Chain3 { first, .. } => {
+                self.launch_entry(flight, Role::Cheap, first, now);
+            }
+            Policy::Cascade {
+                cheap,
+                accurate,
+                scheduling,
+                ..
+            } => {
+                self.launch_entry(flight, Role::Cheap, cheap, now);
+                if scheduling == Scheduling::Concurrent
+                    && !self.flights[flight].dropped
+                    && !self.flights[flight].escalated
+                {
+                    if self.allows(accurate, now) {
+                        self.flights[flight].escalated = true;
+                        let (job, token) =
+                            self.launch(flight, Role::Accurate, accurate, now, false);
+                        self.flights[flight].accurate_cancel = Some((accurate, job, token));
+                    } else {
+                        self.stats.breaker_sheds += 1;
+                    }
+                }
+                if scheduling == Scheduling::Sequential && !self.flights[flight].dropped {
+                    if let Some(h) = self.hedge_factor {
+                        let nominal = self.matrix.get(request.payload, cheap).latency_us;
+                        let fire_at =
+                            now + SimDuration::from_micros((nominal as f64 * h).round() as u64);
+                        let tok = self.queue.schedule(fire_at, Event::Hedge { flight });
+                        self.flights[flight].hedge_token = Some(tok);
+                    }
+                }
+            }
+        }
+        if !self.flights[flight].dropped {
+            if let Some(span) = self.deadline_for(policy) {
+                let tok = self.queue.schedule(now + span, Event::Deadline { flight });
+                self.flights[flight].deadline_token = Some(tok);
+            }
+        }
+    }
+
+    fn on_success(&mut self, flight: usize, role: Role, version: usize, now: SimTime) {
+        let matrix = self.matrix;
+        let payload = self.arrivals[flight].1.payload;
+        let policy = self.flights[flight].policy;
+        match (policy, role) {
+            (_, Role::Degraded) => {
+                if !self.flights[flight].responded {
+                    let err = matrix.get(payload, version).quality_err;
+                    self.respond_degraded(flight, now, version, err);
+                }
+            }
+            (Policy::Single { .. }, Role::Only) => {
+                if !self.flights[flight].responded {
+                    let err = matrix.get(payload, version).quality_err;
+                    self.respond(flight, now, version, err);
+                }
+            }
+            (
+                Policy::Cascade {
+                    cheap,
+                    accurate,
+                    threshold,
+                    scheduling,
+                    termination,
+                },
+                Role::Cheap,
+            ) => {
+                let obs = matrix.get(payload, cheap);
+                let confident = obs.confidence >= threshold;
+                if confident && !self.flights[flight].responded {
+                    if let Some(tok) = self.flights[flight].hedge_token.take() {
+                        self.queue.cancel(tok);
+                    }
+                    self.respond(flight, now, cheap, obs.quality_err);
+                    match (scheduling, termination) {
+                        (Scheduling::Concurrent, Termination::EarlyTerminate) => {
+                            if let Some((v, job, token)) =
+                                self.flights[flight].accurate_cancel.take()
+                            {
+                                if self.queue.cancel(token) {
+                                    self.flights[flight].outstanding -= 1;
+                                }
+                                if self.pools[v].release_early(job, now) {
+                                    self.early_terminations += 1;
+                                }
+                            }
+                        }
+                        (Scheduling::Sequential, Termination::FinishOut)
+                            if !self.flights[flight].escalated =>
+                        {
+                            // The paper's FO semantics: the accurate
+                            // version computes its result regardless
+                            // (cost, no latency impact).
+                            self.flights[flight].escalated = true;
+                            self.guarded_escalate(flight, Role::Accurate, accurate, now);
+                        }
+                        _ => {}
+                    }
+                } else if !confident {
+                    self.flights[flight].fallback = Some((cheap, obs.quality_err));
+                    if scheduling == Scheduling::Sequential
+                        && !self.flights[flight].escalated
+                        && !self.flights[flight].responded
+                    {
+                        if let Some(tok) = self.flights[flight].hedge_token.take() {
+                            self.queue.cancel(tok);
+                        }
+                        self.flights[flight].escalated = true;
+                        self.guarded_escalate(flight, Role::Accurate, accurate, now);
+                    }
+                }
+            }
+            (Policy::Cascade { accurate, .. }, Role::Accurate) => {
+                if !self.flights[flight].responded {
+                    let err = matrix.get(payload, accurate).quality_err;
+                    self.respond(flight, now, accurate, err);
+                }
+            }
+            (
+                Policy::Chain3 {
+                    first,
+                    second,
+                    threshold_first,
+                    ..
+                },
+                Role::Cheap,
+            ) => {
+                let obs = matrix.get(payload, first);
+                if obs.confidence >= threshold_first {
+                    if !self.flights[flight].responded {
+                        self.respond(flight, now, first, obs.quality_err);
+                    }
+                } else {
+                    self.flights[flight].fallback = Some((first, obs.quality_err));
+                    if !self.flights[flight].responded {
+                        self.guarded_escalate(flight, Role::Mid, second, now);
+                    }
+                }
+            }
+            (
+                Policy::Chain3 {
+                    second,
+                    third,
+                    threshold_second,
+                    ..
+                },
+                Role::Mid,
+            ) => {
+                let obs = matrix.get(payload, second);
+                if obs.confidence >= threshold_second {
+                    if !self.flights[flight].responded {
+                        self.respond(flight, now, second, obs.quality_err);
+                    }
+                } else {
+                    self.flights[flight].fallback = Some((second, obs.quality_err));
+                    if !self.flights[flight].responded {
+                        self.guarded_escalate(flight, Role::Accurate, third, now);
+                    }
+                }
+            }
+            (Policy::Chain3 { third, .. }, Role::Accurate) => {
+                if !self.flights[flight].responded {
+                    let err = matrix.get(payload, third).quality_err;
+                    self.respond(flight, now, third, err);
+                }
+            }
+            (policy, role) => {
+                unreachable!("event role {role:?} impossible under {policy}")
+            }
+        }
+    }
+
+    fn on_failure(&mut self, flight: usize, role: Role, version: usize, now: SimTime) {
+        if self.flights[flight].responded || self.flights[flight].dropped {
+            return;
+        }
+        if self.flights[flight].retries_used < self.retry.max_retries && self.allows(version, now) {
+            let used = self.flights[flight].retries_used;
+            self.flights[flight].retries_used += 1;
+            self.stats.retries += 1;
+            let delay = self.retry.backoff(used);
+            self.flights[flight].outstanding += 1;
+            self.queue.schedule(
+                now + delay,
+                Event::Retry {
+                    flight,
+                    role,
+                    version,
+                },
+            );
+            return;
+        }
+        self.escalate_after_failure(flight, role, now);
+    }
+
+    fn handle(&mut self, frontend: &TieredFrontend, now: SimTime, event: Event) {
+        match event {
+            Event::Arrival(index) => self.on_arrival(frontend, index, now),
+            Event::Done {
+                flight,
+                role,
+                version,
+                completion,
+            } => {
+                self.flights[flight].outstanding -= 1;
+                if role == Role::Accurate {
+                    self.flights[flight].accurate_cancel = None;
+                }
+                match completion {
+                    JobCompletion::Failed => {
+                        self.stats.failed_invocations += 1;
+                        self.breaker_record(version, false, now);
+                        self.on_failure(flight, role, version, now);
+                    }
+                    JobCompletion::Slow => {
+                        self.stats.slow_invocations += 1;
+                        self.breaker_record(version, true, now);
+                        self.on_success(flight, role, version, now);
+                    }
+                    JobCompletion::Success => {
+                        self.breaker_record(version, true, now);
+                        self.on_success(flight, role, version, now);
+                    }
+                }
+                self.settle(flight, version, now);
+            }
+            Event::Retry {
+                flight,
+                role,
+                version,
+            } => {
+                self.flights[flight].outstanding -= 1;
+                if !self.flights[flight].responded && !self.flights[flight].dropped {
+                    if self.allows(version, now) {
+                        self.launch(flight, role, version, now, false);
+                    } else {
+                        // The pool's breaker opened during the backoff.
+                        self.escalate_after_failure(flight, role, now);
+                    }
+                }
+                self.settle(flight, version, now);
+            }
+            Event::Hedge { flight } => {
+                self.flights[flight].hedge_token = None;
+                let f = &self.flights[flight];
+                if f.responded || f.dropped || f.escalated {
+                    return;
+                }
+                if let Policy::Cascade { accurate, .. } = f.policy {
+                    if self.allows(accurate, now) {
+                        self.stats.hedges += 1;
+                        self.flights[flight].escalated = true;
+                        let (job, token) =
+                            self.launch(flight, Role::Accurate, accurate, now, false);
+                        self.flights[flight].accurate_cancel = Some((accurate, job, token));
+                    }
+                    // Pool unavailable: the hedge is opportunistic —
+                    // abort it and leave escalation to the cheap result.
+                }
+            }
+            Event::Deadline { flight } => {
+                self.flights[flight].deadline_token = None;
+                let f = &self.flights[flight];
+                if f.responded || f.dropped {
+                    return;
+                }
+                self.stats.deadline_misses += 1;
+                if let Some((version, err)) = f.fallback {
+                    // Deadline pressure: answer now with what we have
+                    // rather than keep waiting on the intended version.
+                    self.respond_degraded(flight, now, version, err);
+                }
+            }
+        }
+    }
 }
 
 impl<'a> ClusterSim<'a> {
@@ -120,7 +752,8 @@ impl<'a> ClusterSim<'a> {
         }
     }
 
-    /// Serve a timed, annotated request stream through `frontend`.
+    /// Serve a timed, annotated request stream through `frontend` with
+    /// every resilience mechanism disabled (the fault-free baseline).
     ///
     /// Requests must be sorted by arrival time.
     ///
@@ -132,359 +765,119 @@ impl<'a> ClusterSim<'a> {
         frontend: &TieredFrontend,
         arrivals: &[(SimTime, ServiceRequest)],
     ) -> ServingReport {
+        self.run_resilient(
+            frontend,
+            arrivals,
+            ResilienceConfig::disabled(self.matrix.versions()),
+        )
+    }
+
+    /// Serve a request stream under fault injection and resilience
+    /// policies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if arrivals are unsorted, the fault plan's pool count
+    /// does not match the matrix, or the retry policy is invalid.
+    pub fn run_resilient(
+        &self,
+        frontend: &TieredFrontend,
+        arrivals: &[(SimTime, ServiceRequest)],
+        resilience: ResilienceConfig,
+    ) -> ServingReport {
         assert!(
             arrivals.windows(2).all(|w| w[0].0 <= w[1].0),
             "arrivals must be sorted by time"
         );
+        assert_eq!(
+            resilience.faults.pools(),
+            self.matrix.versions(),
+            "fault plan must cover every version pool"
+        );
+        resilience
+            .retry
+            .validate()
+            .expect("retry policy must be valid");
 
-        let mut pools: Vec<ServiceNode> = (0..self.matrix.versions())
-            .map(|_| ServiceNode::new(self.config.slots_per_pool))
+        let versions = self.matrix.versions();
+        let mean_latency: Vec<f64> = (0..versions)
+            .map(|v| {
+                (0..self.matrix.requests())
+                    .map(|r| self.matrix.get(r, v).latency_us as f64)
+                    .sum::<f64>()
+                    / self.matrix.requests().max(1) as f64
+            })
             .collect();
-        let mut ledger = CostLedger::new();
-        let mut latency = LatencyRecorder::new();
-        let mut queueing = LatencyRecorder::new();
-        let mut total_err = 0.0;
-        let mut early_terminations = 0usize;
-        let mut trace = TraceRecorder::new();
+        let mut version_order: Vec<usize> = (0..versions).collect();
+        version_order.sort_by(|&a, &b| {
+            mean_latency[a]
+                .partial_cmp(&mean_latency[b])
+                .expect("finite latencies")
+                .then(a.cmp(&b))
+        });
 
-        #[derive(Debug)]
-        enum Event {
-            Arrival(usize),
-            Done { flight: usize, role: Role },
-        }
-
-        let mut queue: EventQueue<Event> = EventQueue::new();
-        let mut flights: Vec<InFlight> = Vec::with_capacity(arrivals.len());
-        for (i, (at, _)) in arrivals.iter().enumerate() {
-            queue.schedule(*at, Event::Arrival(i));
-        }
-
-        // Admit a version invocation for a flight; returns the job and
-        // its completion token.
-        let admit = |pools: &mut Vec<ServiceNode>,
-                         queue: &mut EventQueue<Event>,
-                         ledger: &mut CostLedger,
-                         queueing: &mut LatencyRecorder,
-                         flight: usize,
-                         payload: usize,
-                         version: usize,
-                         role: Role,
-                         now: SimTime,
-                         record_queueing: bool|
-         -> (JobId, EventToken) {
-            let service = SimDuration::from_micros(self.matrix.get(payload, version).latency_us);
-            let (timing, job) = pools[version].admit(now, service);
-            ledger.charge_invocation(self.config.pricing.api_price());
-            if record_queueing {
-                queueing.record(timing.queueing(now));
-            }
-            let token = queue.schedule(timing.finish, Event::Done { flight, role });
-            (job, token)
+        let mut state = RunState {
+            matrix: self.matrix,
+            pricing: &self.config.pricing,
+            arrivals,
+            pools: (0..versions)
+                .map(|_| ServiceNode::new(self.config.slots_per_pool))
+                .collect(),
+            queue: EventQueue::new(),
+            flights: Vec::with_capacity(arrivals.len()),
+            ledger: CostLedger::new(),
+            latency: LatencyRecorder::new(),
+            queueing: LatencyRecorder::new(),
+            total_err: 0.0,
+            early_terminations: 0,
+            trace: TraceRecorder::new(),
+            stats: ResilienceStats {
+                total_requests: arrivals.len(),
+                ..ResilienceStats::default()
+            },
+            faults: resilience.faults,
+            retry: resilience.retry,
+            breakers: match resilience.breaker {
+                Some(policy) => (0..versions).map(|_| CircuitBreaker::new(policy)).collect(),
+                None => Vec::new(),
+            },
+            deadline_factor: resilience.deadline_factor,
+            hedge_factor: resilience.hedge_factor,
+            degrade: resilience.degrade,
+            version_order,
+            deadline_cache: Vec::new(),
         };
 
-        while let Some((now, event)) = queue.pop() {
-            match event {
-                Event::Arrival(i) => {
-                    let request = &arrivals[i].1;
-                    let policy = frontend.route(request);
-                    policy
-                        .validate(self.matrix.versions())
-                        .expect("frontend produced a valid policy");
-                    let flight_idx = flights.len();
-                    flights.push(InFlight {
-                        policy,
-                        arrival: now,
-                        responded: false,
-                        err: 0.0,
-                        accurate_cancel: None,
-                    });
-                    match policy {
-                        Policy::Single { version } => {
-                            admit(
-                                &mut pools,
-                                &mut queue,
-                                &mut ledger,
-                                &mut queueing,
-                                flight_idx,
-                                request.payload,
-                                version,
-                                Role::Only,
-                                now,
-                                true,
-                            );
-                        }
-                        Policy::Chain3 { first, .. } => {
-                            admit(
-                                &mut pools,
-                                &mut queue,
-                                &mut ledger,
-                                &mut queueing,
-                                flight_idx,
-                                request.payload,
-                                first,
-                                Role::Cheap,
-                                now,
-                                true,
-                            );
-                        }
-                        Policy::Cascade {
-                            cheap,
-                            accurate,
-                            scheduling,
-                            ..
-                        } => {
-                            admit(
-                                &mut pools,
-                                &mut queue,
-                                &mut ledger,
-                                &mut queueing,
-                                flight_idx,
-                                request.payload,
-                                cheap,
-                                Role::Cheap,
-                                now,
-                                true,
-                            );
-                            if scheduling == Scheduling::Concurrent {
-                                let (job, token) = admit(
-                                    &mut pools,
-                                    &mut queue,
-                                    &mut ledger,
-                                    &mut queueing,
-                                    flight_idx,
-                                    request.payload,
-                                    accurate,
-                                    Role::Accurate,
-                                    now,
-                                    false,
-                                );
-                                flights[flight_idx].accurate_cancel = Some((accurate, job, token));
-                            }
-                        }
-                    }
-                }
-                Event::Done { flight, role } => {
-                    let payload = arrivals[flight].1.payload;
-                    let f = &mut flights[flight];
-                    match (f.policy, role) {
-                        (Policy::Single { version }, Role::Only) => {
-                            f.responded = true;
-                            f.err = self.matrix.get(payload, version).quality_err;
-                            latency.record(now.saturating_since(f.arrival));
-                            total_err += f.err;
-                            trace.record(TraceEvent {
-                                arrival: f.arrival,
-                                responded: now,
-                                tolerance: arrivals[flight].1.tolerance.value(),
-                                objective: arrivals[flight].1.objective,
-                                answered_by: version,
-                                quality_err: f.err,
-                            });
-                        }
-                        (
-                            Policy::Cascade {
-                                cheap,
-                                accurate,
-                                threshold,
-                                scheduling,
-                                termination,
-                            },
-                            Role::Cheap,
-                        ) => {
-                            let obs = self.matrix.get(payload, cheap);
-                            let confident = obs.confidence >= threshold;
-                            if confident && !f.responded {
-                                f.responded = true;
-                                f.err = obs.quality_err;
-                                latency.record(now.saturating_since(f.arrival));
-                                total_err += f.err;
-                            trace.record(TraceEvent {
-                                arrival: f.arrival,
-                                responded: now,
-                                tolerance: arrivals[flight].1.tolerance.value(),
-                                objective: arrivals[flight].1.objective,
-                                answered_by: cheap,
-                                quality_err: f.err,
-                            });
-                                match (scheduling, termination) {
-                                    (Scheduling::Concurrent, Termination::EarlyTerminate) => {
-                                        if let Some((version, job, token)) =
-                                            f.accurate_cancel.take()
-                                        {
-                                            queue.cancel(token);
-                                            if pools[version].release_early(job, now) {
-                                                early_terminations += 1;
-                                            }
-                                        }
-                                    }
-                                    (Scheduling::Sequential, Termination::FinishOut) => {
-                                        // The paper's FO semantics: the
-                                        // accurate version computes its
-                                        // result regardless (cost, no
-                                        // latency impact).
-                                        admit(
-                                            &mut pools,
-                                            &mut queue,
-                                            &mut ledger,
-                                            &mut queueing,
-                                            flight,
-                                            payload,
-                                            accurate,
-                                            Role::Accurate,
-                                            now,
-                                            false,
-                                        );
-                                    }
-                                    _ => {}
-                                }
-                            } else if !confident && scheduling == Scheduling::Sequential {
-                                admit(
-                                    &mut pools,
-                                    &mut queue,
-                                    &mut ledger,
-                                    &mut queueing,
-                                    flight,
-                                    payload,
-                                    accurate,
-                                    Role::Accurate,
-                                    now,
-                                    false,
-                                );
-                            }
-                        }
-                        (Policy::Cascade { accurate, .. }, Role::Accurate) => {
-                            if !f.responded {
-                                f.responded = true;
-                                f.err = self.matrix.get(payload, accurate).quality_err;
-                                latency.record(now.saturating_since(f.arrival));
-                                total_err += f.err;
-                            trace.record(TraceEvent {
-                                arrival: f.arrival,
-                                responded: now,
-                                tolerance: arrivals[flight].1.tolerance.value(),
-                                objective: arrivals[flight].1.objective,
-                                answered_by: accurate,
-                                quality_err: f.err,
-                            });
-                            }
-                        }
-                        (
-                            Policy::Chain3 {
-                                first,
-                                second,
-                                threshold_first,
-                                ..
-                            },
-                            Role::Cheap,
-                        ) => {
-                            let obs = self.matrix.get(payload, first);
-                            if obs.confidence >= threshold_first {
-                                f.responded = true;
-                                f.err = obs.quality_err;
-                                latency.record(now.saturating_since(f.arrival));
-                                total_err += f.err;
-                            trace.record(TraceEvent {
-                                arrival: f.arrival,
-                                responded: now,
-                                tolerance: arrivals[flight].1.tolerance.value(),
-                                objective: arrivals[flight].1.objective,
-                                answered_by: first,
-                                quality_err: f.err,
-                            });
-                            } else {
-                                admit(
-                                    &mut pools,
-                                    &mut queue,
-                                    &mut ledger,
-                                    &mut queueing,
-                                    flight,
-                                    payload,
-                                    second,
-                                    Role::Mid,
-                                    now,
-                                    false,
-                                );
-                            }
-                        }
-                        (
-                            Policy::Chain3 {
-                                second,
-                                third,
-                                threshold_second,
-                                ..
-                            },
-                            Role::Mid,
-                        ) => {
-                            let obs = self.matrix.get(payload, second);
-                            if obs.confidence >= threshold_second {
-                                f.responded = true;
-                                f.err = obs.quality_err;
-                                latency.record(now.saturating_since(f.arrival));
-                                total_err += f.err;
-                            trace.record(TraceEvent {
-                                arrival: f.arrival,
-                                responded: now,
-                                tolerance: arrivals[flight].1.tolerance.value(),
-                                objective: arrivals[flight].1.objective,
-                                answered_by: second,
-                                quality_err: f.err,
-                            });
-                            } else {
-                                admit(
-                                    &mut pools,
-                                    &mut queue,
-                                    &mut ledger,
-                                    &mut queueing,
-                                    flight,
-                                    payload,
-                                    third,
-                                    Role::Accurate,
-                                    now,
-                                    false,
-                                );
-                            }
-                        }
-                        (Policy::Chain3 { third, .. }, Role::Accurate) => {
-                            f.responded = true;
-                            f.err = self.matrix.get(payload, third).quality_err;
-                            latency.record(now.saturating_since(f.arrival));
-                            total_err += f.err;
-                            trace.record(TraceEvent {
-                                arrival: f.arrival,
-                                responded: now,
-                                tolerance: arrivals[flight].1.tolerance.value(),
-                                objective: arrivals[flight].1.objective,
-                                answered_by: third,
-                                quality_err: f.err,
-                            });
-                        }
-                        (policy, role) => {
-                            unreachable!("event role {role:?} impossible under {policy}")
-                        }
-                    }
-                }
-            }
+        for (i, (at, _)) in arrivals.iter().enumerate() {
+            state.queue.schedule(*at, Event::Arrival(i));
+        }
+        while let Some((now, event)) = state.queue.pop() {
+            state.handle(frontend, now, event);
         }
 
         // Charge compute: each pool's accrued busy time at its instance
         // price.
-        for (version, pool) in pools.iter().enumerate() {
-            ledger.charge_compute(&self.instance(version), pool.busy_time());
+        for (version, pool) in state.pools.iter().enumerate() {
+            state
+                .ledger
+                .charge_compute(&self.instance(version), pool.busy_time());
         }
+        state.stats.breaker_transitions = state.breakers.iter().map(|b| b.transitions()).sum();
 
-        let served = flights.iter().filter(|f| f.responded).count();
+        let served = state.flights.iter().filter(|f| f.responded).count();
         ServingReport {
-            latency,
-            queueing,
-            ledger,
+            latency: state.latency,
+            queueing: state.queueing,
+            ledger: state.ledger,
             mean_err: if served == 0 {
                 0.0
             } else {
-                total_err / served as f64
+                state.total_err / served as f64
             },
             served,
-            early_terminations,
-            trace,
+            early_terminations: state.early_terminations,
+            trace: state.trace,
+            resilience: state.stats,
         }
     }
 }
@@ -492,10 +885,12 @@ impl<'a> ClusterSim<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::resilience::BreakerPolicy;
     use tt_core::objective::Objective;
     use tt_core::profile::{Observation, ProfileMatrixBuilder};
     use tt_core::request::Tolerance;
     use tt_core::rulegen::RoutingRuleGenerator;
+    use tt_sim::FaultRates;
 
     fn matrix() -> ProfileMatrix {
         use rand::{Rng, SeedableRng};
@@ -527,7 +922,8 @@ mod tests {
         TieredFrontend::new(vec![
             gen.generate(&[0.0, 0.05, 0.10, 0.5], Objective::ResponseTime)
                 .unwrap(),
-            gen.generate(&[0.0, 0.05, 0.10, 0.5], Objective::Cost).unwrap(),
+            gen.generate(&[0.0, 0.05, 0.10, 0.5], Objective::Cost)
+                .unwrap(),
         ])
     }
 
@@ -544,6 +940,36 @@ mod tests {
                         Tolerance::new(tolerance).unwrap(),
                         Objective::ResponseTime,
                     ),
+                )
+            })
+            .collect()
+    }
+
+    /// A frontend that always routes to `policy`, for driving specific
+    /// execution paths (tier tolerance 10.0 matches the requests built
+    /// by [`forced_arrivals`]).
+    fn forced_frontend(m: &ProfileMatrix, policy: Policy) -> TieredFrontend {
+        let gen = RoutingRuleGenerator::new(
+            m,
+            vec![policy],
+            0.9,
+            1,
+            tt_stats::TrialLimits {
+                min_trials: 2,
+                max_trials: 4,
+            },
+        )
+        .unwrap();
+        let rules = gen.generate(&[10.0], Objective::ResponseTime).unwrap();
+        TieredFrontend::new(vec![rules])
+    }
+
+    fn forced_arrivals(m: &ProfileMatrix) -> Vec<(SimTime, ServiceRequest)> {
+        (0..m.requests())
+            .map(|r| {
+                (
+                    SimTime::from_micros(r as u64 * 1_000_000),
+                    ServiceRequest::new(r, Tolerance::new(10.0).unwrap(), Objective::ResponseTime),
                 )
             })
             .collect()
@@ -605,13 +1031,6 @@ mod tests {
     #[test]
     fn early_termination_happens_and_refunds_compute() {
         let m = matrix();
-        let gen = RoutingRuleGenerator::with_defaults(&m, 0.99, 3).unwrap();
-        // Force a concurrent + ET policy via a hand-built frontend: use
-        // a rules object whose only tier maps to it. Simplest: run the
-        // cluster twice with hand-made frontends and compare compute
-        // cost.
-        let _ = gen;
-        use tt_core::policy::{Scheduling, Termination};
         let conc_et = Policy::Cascade {
             cheap: 0,
             accurate: 1,
@@ -628,36 +1047,7 @@ mod tests {
         };
         let run_policy = |policy: Policy| {
             let sim = ClusterSim::new(&m, ClusterConfig::uniform_cpu(2, 64));
-            // A frontend that always routes to `policy`: emulate by
-            // driving the executor directly through a single-tier rule
-            // set is cumbersome; instead exercise the private path via a
-            // custom frontend built from a generator with one candidate.
-            let gen = RoutingRuleGenerator::new(
-                &m,
-                vec![policy],
-                0.9,
-                1,
-                tt_stats::TrialLimits {
-                    min_trials: 2,
-                    max_trials: 4,
-                },
-            )
-            .unwrap();
-            let rules = gen.generate(&[10.0], Objective::ResponseTime).unwrap();
-            let fe = TieredFrontend::new(vec![rules]);
-            let arrivals: Vec<(SimTime, ServiceRequest)> = (0..m.requests())
-                .map(|r| {
-                    (
-                        SimTime::from_micros(r as u64 * 1_000_000),
-                        ServiceRequest::new(
-                            r,
-                            Tolerance::new(10.0).unwrap(),
-                            Objective::ResponseTime,
-                        ),
-                    )
-                })
-                .collect();
-            sim.run(&fe, &arrivals)
+            sim.run(&forced_frontend(&m, policy), &forced_arrivals(&m))
         };
         let et = run_policy(conc_et);
         let fo = run_policy(conc_fo);
@@ -690,5 +1080,248 @@ mod tests {
             ),
         ];
         sim.run(&fe, &arrivals);
+    }
+
+    #[test]
+    fn disabled_resilience_is_bit_for_bit_identical() {
+        let m = matrix();
+        let fe = frontend(&m);
+        let sim = ClusterSim::new(&m, ClusterConfig::uniform_cpu(2, 4));
+        let arrivals = uncontended_arrivals(&m, 0.05);
+        let plain = sim.run(&fe, &arrivals);
+        let resilient = sim.run_resilient(&fe, &arrivals, ResilienceConfig::disabled(2));
+        assert_eq!(plain.latency.samples_ms(), resilient.latency.samples_ms());
+        assert_eq!(plain.queueing.samples_ms(), resilient.queueing.samples_ms());
+        assert_eq!(plain.trace.events(), resilient.trace.events());
+        assert_eq!(
+            plain.ledger.total().as_dollars(),
+            resilient.ledger.total().as_dollars()
+        );
+        assert_eq!(plain.served, resilient.served);
+        assert_eq!(plain.early_terminations, resilient.early_terminations);
+        assert_eq!(resilient.resilience.failed_invocations, 0);
+        assert_eq!(resilient.resilience.dropped_requests, 0);
+        assert_eq!(resilient.resilience.availability(), 1.0);
+    }
+
+    #[test]
+    fn retries_recover_availability_under_crashes() {
+        let m = matrix();
+        let fe = forced_frontend(&m, Policy::Single { version: 1 });
+        let arrivals = forced_arrivals(&m);
+        let sim = ClusterSim::new(&m, ClusterConfig::uniform_cpu(2, 8));
+        let crashy = |retry: RetryPolicy| ResilienceConfig {
+            faults: FaultPlan::new(7, vec![FaultRates::NONE, FaultRates::crash_only(0.4)]),
+            retry,
+            ..ResilienceConfig::disabled(2)
+        };
+        let without = sim.run_resilient(&fe, &arrivals, crashy(RetryPolicy::NONE));
+        let with = sim.run_resilient(&fe, &arrivals, crashy(RetryPolicy::immediate(5)));
+        assert!(
+            without.resilience.availability() < 0.8,
+            "crashes with no retries must drop requests: {}",
+            without.resilience.availability()
+        );
+        assert!(
+            with.resilience.availability() > without.resilience.availability(),
+            "retries must recover availability: {} vs {}",
+            with.resilience.availability(),
+            without.resilience.availability()
+        );
+        assert!(with.resilience.retries > 0);
+        assert!(
+            with.resilience.availability() > 0.95,
+            "five retries against p=0.4 crashes leave almost nothing dropped: {}",
+            with.resilience.availability()
+        );
+    }
+
+    #[test]
+    fn degradation_answers_and_counts_tolerance_violations() {
+        let m = matrix();
+        // Single{1}: every invocation of v1 crashes; with degradation
+        // on, answers come from v0 instead. v0 is wrong on ~30% of
+        // payloads while v1 is intended — those degraded answers exceed
+        // a tolerance of zero... but the forced tier advertises 10.0,
+        // so craft the check on both sides of the violation boundary by
+        // comparing against what the fault-free policy would have done.
+        let fe = forced_frontend(&m, Policy::Single { version: 1 });
+        let arrivals = forced_arrivals(&m);
+        let sim = ClusterSim::new(&m, ClusterConfig::uniform_cpu(2, 8));
+        let config = ResilienceConfig {
+            faults: FaultPlan::new(3, vec![FaultRates::NONE, FaultRates::crash_only(1.0)]),
+            degrade: true,
+            ..ResilienceConfig::disabled(2)
+        };
+        let report = sim.run_resilient(&fe, &arrivals, config);
+        assert_eq!(
+            report.served,
+            m.requests(),
+            "degradation answers everything"
+        );
+        assert_eq!(report.resilience.degraded_responses, m.requests());
+        // Tolerance 10.0 absorbs any quality error in [0, 1]: no
+        // violations despite universal degradation.
+        assert_eq!(report.resilience.tolerance_violations_under_fault, 0);
+        assert!(report.mean_err > 0.0, "cheap answers carry error");
+    }
+
+    #[test]
+    fn degradation_violations_respect_the_advertised_tolerance() {
+        // Tight-tolerance variant: build a matrix whose cheap version
+        // errs on every payload, deploy real rules at tolerance 0.0
+        // (which routes to the accurate baseline), and crash the
+        // accurate pool. Every degraded answer then violates.
+        let mut b = ProfileMatrixBuilder::new(vec!["fast".into(), "accurate".into()]);
+        for _ in 0..50 {
+            b.push_request(vec![
+                Observation {
+                    quality_err: 1.0,
+                    latency_us: 10_000,
+                    cost: 0.0,
+                    confidence: 0.1,
+                },
+                Observation {
+                    quality_err: 0.0,
+                    latency_us: 40_000,
+                    cost: 0.0,
+                    confidence: 0.9,
+                },
+            ]);
+        }
+        let m = b.build().unwrap();
+        let gen = RoutingRuleGenerator::with_defaults(&m, 0.9, 5).unwrap();
+        let fe = TieredFrontend::new(vec![gen.generate(&[0.0], Objective::ResponseTime).unwrap()]);
+        let arrivals: Vec<(SimTime, ServiceRequest)> = (0..m.requests())
+            .map(|r| {
+                (
+                    SimTime::from_micros(r as u64 * 1_000_000),
+                    ServiceRequest::new(r, Tolerance::ZERO, Objective::ResponseTime),
+                )
+            })
+            .collect();
+        let sim = ClusterSim::new(&m, ClusterConfig::uniform_cpu(2, 8));
+        let config = ResilienceConfig {
+            faults: FaultPlan::new(3, vec![FaultRates::NONE, FaultRates::crash_only(1.0)]),
+            degrade: true,
+            ..ResilienceConfig::disabled(2)
+        };
+        let report = sim.run_resilient(&fe, &arrivals, config);
+        assert_eq!(report.served, m.requests());
+        assert!(report.resilience.degraded_responses > 0);
+        assert_eq!(
+            report.resilience.tolerance_violations_under_fault,
+            report.resilience.degraded_responses,
+            "every degraded answer exceeds a zero tolerance"
+        );
+    }
+
+    #[test]
+    fn breaker_trips_and_sheds_to_sibling_pool() {
+        let m = matrix();
+        let fe = forced_frontend(&m, Policy::Single { version: 1 });
+        let arrivals = forced_arrivals(&m);
+        let sim = ClusterSim::new(&m, ClusterConfig::uniform_cpu(2, 8));
+        let config = ResilienceConfig {
+            faults: FaultPlan::new(9, vec![FaultRates::NONE, FaultRates::crash_only(1.0)]),
+            breaker: Some(BreakerPolicy {
+                failure_threshold: 3,
+                cooldown: SimDuration::from_secs_f64(30.0),
+            }),
+            degrade: true,
+            ..ResilienceConfig::disabled(2)
+        };
+        let report = sim.run_resilient(&fe, &arrivals, config);
+        assert!(
+            report.resilience.breaker_transitions > 0,
+            "breaker must trip"
+        );
+        assert!(
+            report.resilience.breaker_sheds > 0,
+            "open breaker sheds load"
+        );
+        // Shed requests are answered by the sibling pool.
+        assert_eq!(report.served, m.requests());
+    }
+
+    #[test]
+    fn hedging_caps_straggler_latency_for_sequential_cascades() {
+        let m = matrix();
+        let seq_et = Policy::Cascade {
+            cheap: 0,
+            accurate: 1,
+            threshold: 0.5,
+            scheduling: Scheduling::Sequential,
+            termination: Termination::EarlyTerminate,
+        };
+        let fe = forced_frontend(&m, seq_et);
+        let arrivals = forced_arrivals(&m);
+        let sim = ClusterSim::new(&m, ClusterConfig::uniform_cpu(2, 8));
+        let straggly = |hedge: Option<f64>| ResilienceConfig {
+            faults: FaultPlan::new(
+                17,
+                vec![
+                    FaultRates {
+                        crash: 0.0,
+                        transient: 0.0,
+                        straggler: 0.3,
+                        straggler_factor: 20.0,
+                    },
+                    FaultRates::NONE,
+                ],
+            ),
+            hedge_factor: hedge,
+            ..ResilienceConfig::disabled(2)
+        };
+        let unhedged = sim.run_resilient(&fe, &arrivals, straggly(None));
+        let hedged = sim.run_resilient(&fe, &arrivals, straggly(Some(3.0)));
+        assert!(
+            hedged.resilience.hedges > 0,
+            "stragglers must trigger hedges"
+        );
+        let unhedged_p_max = unhedged.latency.summary().unwrap().max();
+        let hedged_p_max = hedged.latency.summary().unwrap().max();
+        assert!(
+            hedged_p_max < unhedged_p_max,
+            "hedging must cap straggler tail latency: {hedged_p_max} vs {unhedged_p_max}"
+        );
+    }
+
+    #[test]
+    fn deadlines_convert_straggler_waits_into_degraded_answers() {
+        let m = matrix();
+        let seq_et = Policy::Cascade {
+            cheap: 0,
+            accurate: 1,
+            threshold: 0.5,
+            scheduling: Scheduling::Sequential,
+            termination: Termination::EarlyTerminate,
+        };
+        let fe = forced_frontend(&m, seq_et);
+        let arrivals = forced_arrivals(&m);
+        let sim = ClusterSim::new(&m, ClusterConfig::uniform_cpu(2, 8));
+        let config = ResilienceConfig {
+            faults: FaultPlan::new(
+                23,
+                vec![
+                    FaultRates::NONE,
+                    FaultRates {
+                        crash: 0.0,
+                        transient: 0.0,
+                        straggler: 0.5,
+                        straggler_factor: 50.0,
+                    },
+                ],
+            ),
+            deadline_factor: Some(3.0),
+            ..ResilienceConfig::disabled(2)
+        };
+        let report = sim.run_resilient(&fe, &arrivals, config);
+        assert!(report.resilience.deadline_misses > 0);
+        assert!(
+            report.resilience.degraded_responses > 0,
+            "deadline pressure answers from the stashed cheap result"
+        );
+        assert_eq!(report.served, m.requests());
     }
 }

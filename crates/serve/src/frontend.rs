@@ -19,16 +19,65 @@ use tt_core::request::{ServiceRequest, Tolerance};
 use tt_core::rulegen::RoutingRules;
 use tt_core::Policy;
 
+/// Why an annotation block failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AnnotationError {
+    /// A non-empty line had no `name: value` shape.
+    MalformedLine(String),
+    /// The `Tolerance:` value is not a number.
+    InvalidTolerance(String),
+    /// The `Tolerance:` value parsed but is out of range (negative or
+    /// non-finite).
+    ToleranceOutOfRange(String),
+    /// The `Objective:` value names no known objective.
+    InvalidObjective(String),
+    /// A header name the API does not define.
+    UnknownHeader(String),
+    /// The same header appeared more than once.
+    DuplicateHeader(String),
+}
+
+impl std::fmt::Display for AnnotationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AnnotationError::MalformedLine(line) => {
+                write!(f, "malformed header line `{line}`")
+            }
+            AnnotationError::InvalidTolerance(value) => {
+                write!(f, "invalid tolerance `{value}`")
+            }
+            AnnotationError::ToleranceOutOfRange(value) => {
+                write!(
+                    f,
+                    "tolerance `{value}` out of range (must be finite and >= 0)"
+                )
+            }
+            AnnotationError::InvalidObjective(value) => {
+                write!(f, "invalid objective `{value}`")
+            }
+            AnnotationError::UnknownHeader(name) => {
+                write!(f, "unknown annotation header `{name}`")
+            }
+            AnnotationError::DuplicateHeader(name) => {
+                write!(f, "duplicate annotation header `{name}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AnnotationError {}
+
 /// Parse a `Tolerance:` / `Objective:` annotation block (one header per
 /// line, case-insensitive names, missing objective defaults to
 /// response-time, missing tolerance to zero).
 ///
 /// # Errors
 ///
-/// Returns a message for malformed values or unknown headers.
-pub fn parse_annotations(headers: &str) -> Result<(Tolerance, Objective), String> {
-    let mut tolerance = Tolerance::ZERO;
-    let mut objective = Objective::ResponseTime;
+/// Returns an [`AnnotationError`] describing the first malformed,
+/// unknown, out-of-range, or duplicated header.
+pub fn parse_annotations(headers: &str) -> Result<(Tolerance, Objective), AnnotationError> {
+    let mut tolerance: Option<Tolerance> = None;
+    let mut objective: Option<Objective> = None;
     for line in headers.lines() {
         let line = line.trim();
         if line.is_empty() {
@@ -36,22 +85,37 @@ pub fn parse_annotations(headers: &str) -> Result<(Tolerance, Objective), String
         }
         let (name, value) = line
             .split_once(':')
-            .ok_or_else(|| format!("malformed header line `{line}`"))?;
+            .ok_or_else(|| AnnotationError::MalformedLine(line.to_string()))?;
         match name.trim().to_ascii_lowercase().as_str() {
             "tolerance" => {
+                if tolerance.is_some() {
+                    return Err(AnnotationError::DuplicateHeader("Tolerance".to_string()));
+                }
+                let value = value.trim();
                 let v: f64 = value
-                    .trim()
                     .parse()
-                    .map_err(|_| format!("invalid tolerance `{}`", value.trim()))?;
-                tolerance = Tolerance::new(v).map_err(|e| e.to_string())?;
+                    .map_err(|_| AnnotationError::InvalidTolerance(value.to_string()))?;
+                tolerance = Some(
+                    Tolerance::new(v)
+                        .map_err(|_| AnnotationError::ToleranceOutOfRange(value.to_string()))?,
+                );
             }
             "objective" => {
-                objective = Objective::parse(value)?;
+                if objective.is_some() {
+                    return Err(AnnotationError::DuplicateHeader("Objective".to_string()));
+                }
+                objective =
+                    Some(Objective::parse(value).map_err(|_| {
+                        AnnotationError::InvalidObjective(value.trim().to_string())
+                    })?);
             }
-            other => return Err(format!("unknown annotation header `{other}`")),
+            other => return Err(AnnotationError::UnknownHeader(other.to_string())),
         }
     }
-    Ok((tolerance, objective))
+    Ok((
+        tolerance.unwrap_or(Tolerance::ZERO),
+        objective.unwrap_or(Objective::ResponseTime),
+    ))
 }
 
 /// The deployed frontend: routing rules per objective.
@@ -92,7 +156,11 @@ impl TieredFrontend {
     /// # Errors
     ///
     /// Propagates parse failures.
-    pub fn route_annotated(&self, headers: &str, payload: usize) -> Result<(ServiceRequest, Policy), String> {
+    pub fn route_annotated(
+        &self,
+        headers: &str,
+        payload: usize,
+    ) -> Result<(ServiceRequest, Policy), AnnotationError> {
         let (tolerance, objective) = parse_annotations(headers)?;
         let request = ServiceRequest::new(payload, tolerance, objective);
         let policy = self.route(&request);
@@ -127,12 +195,56 @@ mod tests {
     }
 
     #[test]
-    fn rejects_malformed_input() {
-        assert!(parse_annotations("Tolerance 0.01").is_err());
-        assert!(parse_annotations("Tolerance: lots").is_err());
-        assert!(parse_annotations("Tolerance: -0.3").is_err());
-        assert!(parse_annotations("X-Custom: 1").is_err());
-        assert!(parse_annotations("Objective: teleport").is_err());
+    fn rejects_malformed_input_with_typed_errors() {
+        assert_eq!(
+            parse_annotations("Tolerance 0.01"),
+            Err(AnnotationError::MalformedLine("Tolerance 0.01".into()))
+        );
+        assert_eq!(
+            parse_annotations("Tolerance: lots"),
+            Err(AnnotationError::InvalidTolerance("lots".into()))
+        );
+        assert_eq!(
+            parse_annotations("Tolerance: -0.3"),
+            Err(AnnotationError::ToleranceOutOfRange("-0.3".into()))
+        );
+        assert_eq!(
+            parse_annotations("Tolerance: NaN"),
+            Err(AnnotationError::ToleranceOutOfRange("NaN".into()))
+        );
+        assert_eq!(
+            parse_annotations("X-Custom: 1"),
+            Err(AnnotationError::UnknownHeader("x-custom".into()))
+        );
+        assert_eq!(
+            parse_annotations("Objective: teleport"),
+            Err(AnnotationError::InvalidObjective("teleport".into()))
+        );
+    }
+
+    #[test]
+    fn rejects_duplicate_headers() {
+        assert_eq!(
+            parse_annotations("Tolerance: 0.01\nTolerance: 0.05"),
+            Err(AnnotationError::DuplicateHeader("Tolerance".into()))
+        );
+        assert_eq!(
+            parse_annotations("Objective: cost\nOBJECTIVE: cost"),
+            Err(AnnotationError::DuplicateHeader("Objective".into()))
+        );
+        // Distinct headers are of course fine in either order.
+        assert!(parse_annotations("Objective: cost\nTolerance: 0.05").is_ok());
+    }
+
+    #[test]
+    fn errors_render_and_satisfy_the_error_trait() {
+        let err: Box<dyn std::error::Error> =
+            Box::new(AnnotationError::DuplicateHeader("Tolerance".into()));
+        assert!(err.to_string().contains("duplicate"));
+        assert!(parse_annotations("Tolerance: lots")
+            .unwrap_err()
+            .to_string()
+            .contains("invalid tolerance `lots`"));
     }
 
     // TieredFrontend routing is exercised end-to-end in the cluster

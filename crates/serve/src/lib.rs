@@ -11,6 +11,10 @@
 //!   by a load balancer executing the tier policies, with genuine
 //!   queueing, concurrent dispatch and early-termination cancellation,
 //!   plus cost accounting.
+//! * [`resilience`] — the fault-tolerance policy layer: retry budgets
+//!   with capped exponential backoff, per-pool circuit breakers,
+//!   deadlines, hedging, and graceful degradation, plus the statistics
+//!   the cluster reports about them.
 //! * [`live`] — a real thread-pool executor (crossbeam channels) for
 //!   running actual model code behind the same tiered API, used by the
 //!   examples.
@@ -33,10 +37,14 @@ pub mod cluster;
 pub mod frontend;
 pub mod live;
 pub mod pricing;
+pub mod resilience;
 pub mod trace;
 
 pub use billing::{BillingReport, TierPriceSchedule};
 pub use cluster::{ClusterConfig, ClusterSim, ServingReport};
-pub use frontend::{parse_annotations, TieredFrontend};
+pub use frontend::{parse_annotations, AnnotationError, TieredFrontend};
 pub use pricing::PricingCatalog;
+pub use resilience::{
+    BreakerPolicy, BreakerState, CircuitBreaker, ResilienceConfig, ResilienceStats, RetryPolicy,
+};
 pub use trace::{TraceEvent, TraceRecorder};

@@ -7,12 +7,21 @@
 //! early-ish termination (a cancellation flag the expensive invocation
 //! checks; compute cannot be preempted mid-call, matching how real
 //! serving frameworks cancel between batches).
+//!
+//! The executor mirrors the simulator's resilience layer in wall-clock
+//! terms: [`WorkerPool::call_with_retry`] re-submits failed calls with
+//! the same capped exponential backoff schedule
+//! ([`crate::resilience::RetryPolicy`]), and
+//! [`WorkerPool::cascade_with_deadline`] bounds a cascade by a real
+//! deadline, cancelling whatever is still queued when it expires.
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crate::resilience::RetryPolicy;
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 /// A unit of model work: returns `(result, confidence)`.
 pub type ModelCall<T> = Box<dyn FnOnce() -> (T, f64) + Send + 'static>;
@@ -112,12 +121,7 @@ impl<T: Send + 'static> WorkerPool<T> {
     /// with the cheap result if its confidence clears `threshold`
     /// (cancelling the accurate call if it is still queued), otherwise
     /// wait for the accurate result.
-    pub fn cascade(
-        &self,
-        cheap: ModelCall<T>,
-        accurate: ModelCall<T>,
-        threshold: f64,
-    ) -> (T, f64) {
+    pub fn cascade(&self, cheap: ModelCall<T>, accurate: ModelCall<T>, threshold: f64) -> (T, f64) {
         let (acc_rx, acc_cancel) = self.submit_cancellable(accurate);
         let cheap_rx = self.submit(cheap);
         match cheap_rx.recv() {
@@ -129,6 +133,47 @@ impl<T: Send + 'static> WorkerPool<T> {
         }
     }
 
+    /// Execute a two-version cascade under a wall-clock deadline.
+    ///
+    /// Both versions launch immediately. A confident cheap answer wins
+    /// and cancels the accurate call; an unconfident one waits for the
+    /// accurate result, but only until the deadline. `Err` carries the
+    /// best available fallback when the deadline fires — the degraded
+    /// unconfident cheap answer if one landed, mirroring how the
+    /// simulated cluster answers from its stashed fallback under
+    /// deadline pressure.
+    pub fn cascade_with_deadline(
+        &self,
+        cheap: ModelCall<T>,
+        accurate: ModelCall<T>,
+        threshold: f64,
+        deadline: Duration,
+    ) -> Result<(T, f64), Option<(T, f64)>> {
+        let started = Instant::now();
+        let (acc_rx, acc_cancel) = self.submit_cancellable(accurate);
+        let cheap_rx = self.submit(cheap);
+        match cheap_rx.recv_timeout(deadline) {
+            Ok((result, confidence)) if confidence >= threshold => {
+                acc_cancel.store(true, Ordering::Relaxed);
+                Ok((result, confidence))
+            }
+            Ok(fallback) => {
+                let remaining = deadline.saturating_sub(started.elapsed());
+                match acc_rx.recv_timeout(remaining) {
+                    Ok(out) => Ok(out),
+                    Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => {
+                        acc_cancel.store(true, Ordering::Relaxed);
+                        Err(Some(fallback))
+                    }
+                }
+            }
+            Err(_) => {
+                acc_cancel.store(true, Ordering::Relaxed);
+                Err(None)
+            }
+        }
+    }
+
     /// Stop all workers (idempotent; pending jobs may be dropped).
     pub fn shutdown(&self) {
         let mut workers = self.workers.lock();
@@ -137,6 +182,36 @@ impl<T: Send + 'static> WorkerPool<T> {
         }
         for handle in workers.drain(..) {
             let _ = handle.join();
+        }
+    }
+}
+
+impl<R: Send + 'static, E: Send + 'static> WorkerPool<Result<R, E>> {
+    /// Submit fresh attempts produced by `attempt` until one succeeds
+    /// or the retry budget is exhausted, sleeping the policy's capped
+    /// exponential backoff between attempts — the wall-clock twin of
+    /// the simulated cluster's retry events. Returns the final error
+    /// when every attempt fails.
+    pub fn call_with_retry<F>(&self, mut attempt: F, retry: &RetryPolicy) -> Result<(R, f64), E>
+    where
+        F: FnMut() -> ModelCall<Result<R, E>>,
+    {
+        let mut used = 0u32;
+        loop {
+            let rx = self.submit(attempt());
+            match rx.recv().expect("worker replies") {
+                (Ok(result), confidence) => return Ok((result, confidence)),
+                (Err(e), _) => {
+                    if used >= retry.max_retries {
+                        return Err(e);
+                    }
+                    let delay = retry.backoff(used);
+                    used += 1;
+                    if delay > tt_sim::SimDuration::ZERO {
+                        std::thread::sleep(Duration::from_secs_f64(delay.as_secs_f64()));
+                    }
+                }
+            }
         }
     }
 }
@@ -200,5 +275,100 @@ mod tests {
         let pool: WorkerPool<u8> = WorkerPool::new(2);
         pool.shutdown();
         pool.shutdown();
+    }
+
+    #[test]
+    fn retry_recovers_from_transient_failures() {
+        let pool: WorkerPool<Result<&'static str, &'static str>> = WorkerPool::new(2);
+        let attempts = Arc::new(std::sync::atomic::AtomicU32::new(0));
+        let retry = RetryPolicy {
+            max_retries: 3,
+            base: tt_sim::SimDuration::from_millis(1),
+            cap: tt_sim::SimDuration::from_millis(2),
+            multiplier: 2.0,
+        };
+        let result = pool.call_with_retry(
+            || {
+                let attempts = Arc::clone(&attempts);
+                Box::new(move || {
+                    if attempts.fetch_add(1, Ordering::SeqCst) < 2 {
+                        (Err("flaky"), 0.0)
+                    } else {
+                        (Ok("answer"), 0.9)
+                    }
+                })
+            },
+            &retry,
+        );
+        assert_eq!(result, Ok(("answer", 0.9)));
+        assert_eq!(attempts.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn retry_budget_exhausts_to_the_final_error() {
+        let pool: WorkerPool<Result<u8, &'static str>> = WorkerPool::new(1);
+        let retry = RetryPolicy {
+            max_retries: 2,
+            base: tt_sim::SimDuration::ZERO,
+            cap: tt_sim::SimDuration::ZERO,
+            multiplier: 1.0,
+        };
+        let attempts = Arc::new(std::sync::atomic::AtomicU32::new(0));
+        let result = pool.call_with_retry(
+            || {
+                let attempts = Arc::clone(&attempts);
+                Box::new(move || {
+                    attempts.fetch_add(1, Ordering::SeqCst);
+                    (Err("down"), 0.0)
+                })
+            },
+            &retry,
+        );
+        assert_eq!(result, Err("down"));
+        assert_eq!(attempts.load(Ordering::SeqCst), 3); // 1 try + 2 retries
+    }
+
+    #[test]
+    fn deadline_cascade_answers_confidently_in_time() {
+        let pool = WorkerPool::new(2);
+        let out = pool.cascade_with_deadline(
+            Box::new(|| ("cheap", 0.95)),
+            Box::new(|| {
+                std::thread::sleep(std::time::Duration::from_millis(50));
+                ("accurate", 0.99)
+            }),
+            0.9,
+            Duration::from_secs(5),
+        );
+        assert_eq!(out, Ok(("cheap", 0.95)));
+    }
+
+    #[test]
+    fn deadline_cascade_degrades_to_the_cheap_fallback() {
+        let pool = WorkerPool::new(2);
+        let out = pool.cascade_with_deadline(
+            Box::new(|| ("cheap", 0.1)),
+            Box::new(|| {
+                std::thread::sleep(std::time::Duration::from_millis(400));
+                ("accurate", 0.99)
+            }),
+            0.9,
+            Duration::from_millis(50),
+        );
+        // Deadline fires before the accurate answer: the unconfident
+        // cheap result is handed back as the degraded fallback.
+        assert_eq!(out, Err(Some(("cheap", 0.1))));
+    }
+
+    #[test]
+    fn deadline_cascade_escalates_when_time_allows() {
+        let pool = WorkerPool::new(2);
+        let out = pool.cascade_with_deadline(
+            Box::new(|| ("cheap", 0.1)),
+            Box::new(|| ("accurate", 0.99)),
+            0.9,
+            Duration::from_secs(5),
+        );
+        assert_eq!(out, Ok(("accurate", 0.99)));
     }
 }

@@ -1,0 +1,461 @@
+//! Resilience policies for the serving cluster: retries with capped
+//! exponential backoff, per-pool circuit breakers, request deadlines,
+//! graceful degradation, and hedging for sequential cascades.
+//!
+//! The paper's tiers advertise a latency/accuracy contract. Faults (see
+//! [`tt_sim::fault`]) attack that contract from two sides: failures cost
+//! retries (latency) or force answers from cheaper versions (accuracy),
+//! and stragglers blow the latency guarantee directly. The policies in
+//! this module are the knobs a production deployment would turn, and
+//! [`ResilienceStats`] quantifies what each one buys and what it costs —
+//! in particular how often the *advertised tolerance* is breached
+//! because degradation swapped in a less-accurate version.
+//!
+//! Everything here is deterministic: backoff delays are a pure function
+//! of the retry index, and fault draws come from the seeded per-pool
+//! streams of a [`FaultPlan`]. [`ResilienceConfig::disabled`] is
+//! guaranteed to reproduce the fault-free simulation bit-for-bit.
+
+use tt_sim::{FaultPlan, SimDuration, SimTime};
+
+/// Retry budget and capped exponential backoff schedule.
+///
+/// The budget is **per request**, shared across every invocation the
+/// request's policy launches: a cascade whose cheap stage burns all
+/// retries leaves none for the accurate stage. Delays are deterministic
+/// (no jitter) so simulations are exactly reproducible:
+///
+/// ```
+/// use tt_serve::resilience::RetryPolicy;
+/// use tt_sim::SimDuration;
+///
+/// let retry = RetryPolicy {
+///     max_retries: 4,
+///     base: SimDuration::from_millis(10),
+///     cap: SimDuration::from_millis(35),
+///     multiplier: 2.0,
+/// };
+/// let delays: Vec<u64> = (0..4).map(|i| retry.backoff(i).as_micros()).collect();
+/// assert_eq!(delays, vec![10_000, 20_000, 35_000, 35_000]);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Maximum retry attempts per request (0 disables retries).
+    pub max_retries: u32,
+    /// Delay before the first retry.
+    pub base: SimDuration,
+    /// Upper bound on any single delay.
+    pub cap: SimDuration,
+    /// Growth factor per retry (>= 1).
+    pub multiplier: f64,
+}
+
+impl RetryPolicy {
+    /// No retries at all.
+    pub const NONE: RetryPolicy = RetryPolicy {
+        max_retries: 0,
+        base: SimDuration::ZERO,
+        cap: SimDuration::ZERO,
+        multiplier: 1.0,
+    };
+
+    /// `max_retries` immediate retries (zero backoff).
+    pub fn immediate(max_retries: u32) -> Self {
+        RetryPolicy {
+            max_retries,
+            ..RetryPolicy::NONE
+        }
+    }
+
+    /// The delay before retry number `retry_index` (0-based):
+    /// `min(cap, base * multiplier^retry_index)`.
+    pub fn backoff(&self, retry_index: u32) -> SimDuration {
+        if self.base == SimDuration::ZERO {
+            return SimDuration::ZERO;
+        }
+        // Saturate the exponent computation through the cap rather than
+        // overflowing: once base * m^i exceeds the cap the answer is the
+        // cap regardless of i.
+        let cap_us = self.cap.as_micros() as f64;
+        let mut delay_us = self.base.as_micros() as f64;
+        for _ in 0..retry_index {
+            delay_us *= self.multiplier;
+            if delay_us >= cap_us {
+                return self.cap;
+            }
+        }
+        SimDuration::from_micros(delay_us.round() as u64).min(self.cap)
+    }
+
+    /// Validate the schedule: a multiplier below 1 would make delays
+    /// shrink, and a cap below the base is contradictory.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.multiplier < 1.0 {
+            return Err(format!("multiplier {} < 1", self.multiplier));
+        }
+        if self.max_retries > 0 && self.base > SimDuration::ZERO && self.cap < self.base {
+            return Err(format!("cap {} below base {}", self.cap, self.base));
+        }
+        Ok(())
+    }
+}
+
+/// Circuit-breaker state (the classic three-state machine).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BreakerState {
+    /// Healthy: requests flow.
+    Closed,
+    /// Tripped: requests are shed to sibling pools.
+    Open,
+    /// Cooldown elapsed: one probe request is allowed through.
+    HalfOpen,
+}
+
+/// Breaker tuning shared by every pool.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BreakerPolicy {
+    /// Consecutive failures that trip the breaker.
+    pub failure_threshold: u32,
+    /// How long the breaker stays open before probing.
+    pub cooldown: SimDuration,
+}
+
+/// A per-pool circuit breaker.
+///
+/// Trips open after `failure_threshold` *consecutive* failures; while
+/// open, [`CircuitBreaker::allows`] rejects work (the cluster sheds it
+/// to sibling pools). After `cooldown` a single probe is admitted: its
+/// success closes the breaker, its failure re-opens it for another
+/// cooldown.
+#[derive(Debug, Clone)]
+pub struct CircuitBreaker {
+    policy: BreakerPolicy,
+    state: BreakerState,
+    consecutive_failures: u32,
+    opened_at: SimTime,
+    probe_in_flight: bool,
+    transitions: u64,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker with the given tuning.
+    pub fn new(policy: BreakerPolicy) -> Self {
+        assert!(
+            policy.failure_threshold > 0,
+            "a zero failure threshold would never close"
+        );
+        CircuitBreaker {
+            policy,
+            state: BreakerState::Closed,
+            consecutive_failures: 0,
+            opened_at: SimTime::ZERO,
+            probe_in_flight: false,
+            transitions: 0,
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Number of state transitions so far.
+    pub fn transitions(&self) -> u64 {
+        self.transitions
+    }
+
+    fn transition(&mut self, to: BreakerState) {
+        if self.state != to {
+            self.state = to;
+            self.transitions += 1;
+        }
+    }
+
+    /// Whether a new invocation may be sent to this pool at `now`.
+    /// Moving from `Open` to `HalfOpen` happens here, lazily, when the
+    /// cooldown has elapsed; the first caller after that gets the probe
+    /// slot.
+    pub fn allows(&mut self, now: SimTime) -> bool {
+        match self.state {
+            BreakerState::Closed => true,
+            BreakerState::Open => {
+                if now.saturating_since(self.opened_at) >= self.policy.cooldown {
+                    self.transition(BreakerState::HalfOpen);
+                    self.probe_in_flight = true;
+                    true
+                } else {
+                    false
+                }
+            }
+            BreakerState::HalfOpen => {
+                if self.probe_in_flight {
+                    false
+                } else {
+                    self.probe_in_flight = true;
+                    true
+                }
+            }
+        }
+    }
+
+    /// Record an invocation result for this pool.
+    pub fn record(&mut self, success: bool, now: SimTime) {
+        match self.state {
+            BreakerState::Closed => {
+                if success {
+                    self.consecutive_failures = 0;
+                } else {
+                    self.consecutive_failures += 1;
+                    if self.consecutive_failures >= self.policy.failure_threshold {
+                        self.transition(BreakerState::Open);
+                        self.opened_at = now;
+                    }
+                }
+            }
+            BreakerState::HalfOpen => {
+                self.probe_in_flight = false;
+                if success {
+                    self.consecutive_failures = 0;
+                    self.transition(BreakerState::Closed);
+                } else {
+                    self.transition(BreakerState::Open);
+                    self.opened_at = now;
+                }
+            }
+            BreakerState::Open => {
+                // A straggler from before the trip landing now; the
+                // breaker already made its decision.
+            }
+        }
+    }
+}
+
+/// Cluster-wide resilience configuration.
+///
+/// [`ResilienceConfig::disabled`] turns every mechanism off and is the
+/// implicit configuration of [`crate::cluster::ClusterSim::run`]; with
+/// it, simulation reports are bit-for-bit identical to the pre-fault
+/// code path.
+#[derive(Debug, Clone)]
+pub struct ResilienceConfig {
+    /// Per-pool fault injection (see [`tt_sim::fault`]).
+    pub faults: FaultPlan,
+    /// Retry budget and backoff schedule.
+    pub retry: RetryPolicy,
+    /// Circuit-breaker tuning; `None` disables breakers.
+    pub breaker: Option<BreakerPolicy>,
+    /// Deadline per request, as a multiple of the serving tier's mean
+    /// (guaranteed) latency; `None` disables deadlines.
+    pub deadline_factor: Option<f64>,
+    /// Hedge a `Scheduling::Sequential` cascade by launching the
+    /// accurate version once the cheap stage has been out for this
+    /// multiple of its nominal service time; `None` disables hedging.
+    pub hedge_factor: Option<f64>,
+    /// Re-route to the next-cheaper version when a request exhausts its
+    /// retries (or its pool's breaker is open); off means such requests
+    /// are dropped.
+    pub degrade: bool,
+}
+
+impl ResilienceConfig {
+    /// Every mechanism off, for a cluster of `pools` version pools.
+    pub fn disabled(pools: usize) -> Self {
+        ResilienceConfig {
+            faults: FaultPlan::disabled(pools),
+            retry: RetryPolicy::NONE,
+            breaker: None,
+            deadline_factor: None,
+            hedge_factor: None,
+            degrade: false,
+        }
+    }
+
+    /// Whether this configuration can diverge from the fault-free path.
+    pub fn is_disabled(&self) -> bool {
+        self.faults.is_disabled()
+            && self.retry.max_retries == 0
+            && self.breaker.is_none()
+            && self.deadline_factor.is_none()
+            && self.hedge_factor.is_none()
+            && !self.degrade
+    }
+}
+
+/// What the resilience layer observed during one simulation run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ResilienceStats {
+    /// Requests offered to the cluster.
+    pub total_requests: usize,
+    /// Invocations that completed `Failed` (crash or transient error).
+    pub failed_invocations: usize,
+    /// Invocations that completed `Slow` (stragglers).
+    pub slow_invocations: usize,
+    /// Retry attempts issued.
+    pub retries: usize,
+    /// Sequential cascades that launched their accurate version off the
+    /// hedging timer.
+    pub hedges: usize,
+    /// Launches redirected away from a pool with an open breaker.
+    pub breaker_sheds: usize,
+    /// Total breaker state transitions across all pools.
+    pub breaker_transitions: u64,
+    /// Responses served by a version other than the one the tier policy
+    /// intended (stashed cascade answers and cheaper re-routes).
+    pub degraded_responses: usize,
+    /// Degraded responses whose quality error exceeded the fault-free
+    /// policy outcome by more than the request's advertised tolerance.
+    pub tolerance_violations_under_fault: usize,
+    /// Requests not answered strictly before their deadline.
+    pub deadline_misses: usize,
+    /// Requests that exhausted every avenue and were never answered.
+    pub dropped_requests: usize,
+}
+
+impl ResilienceStats {
+    /// Fraction of offered requests that received an answer.
+    pub fn availability(&self) -> f64 {
+        if self.total_requests == 0 {
+            1.0
+        } else {
+            (self.total_requests - self.dropped_requests) as f64 / self.total_requests as f64
+        }
+    }
+
+    /// Fraction of offered requests answered strictly before their
+    /// deadline (1.0 when deadlines are disabled).
+    pub fn deadline_hit_rate(&self) -> f64 {
+        if self.total_requests == 0 {
+            1.0
+        } else {
+            (self.total_requests - self.deadline_misses) as f64 / self.total_requests as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> SimDuration {
+        SimDuration::from_millis(v)
+    }
+
+    fn at(v: u64) -> SimTime {
+        SimTime::from_micros(v * 1_000)
+    }
+
+    #[test]
+    fn backoff_grows_and_caps() {
+        let retry = RetryPolicy {
+            max_retries: 10,
+            base: ms(5),
+            cap: ms(40),
+            multiplier: 2.0,
+        };
+        assert_eq!(retry.backoff(0), ms(5));
+        assert_eq!(retry.backoff(1), ms(10));
+        assert_eq!(retry.backoff(2), ms(20));
+        assert_eq!(retry.backoff(3), ms(40));
+        assert_eq!(retry.backoff(4), ms(40));
+        assert_eq!(retry.backoff(100), ms(40)); // no overflow
+    }
+
+    #[test]
+    fn zero_base_means_immediate_retries() {
+        let retry = RetryPolicy::immediate(3);
+        assert_eq!(retry.backoff(0), SimDuration::ZERO);
+        assert_eq!(retry.backoff(7), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn retry_validation() {
+        assert!(RetryPolicy::NONE.validate().is_ok());
+        assert!(RetryPolicy {
+            multiplier: 0.5,
+            ..RetryPolicy::NONE
+        }
+        .validate()
+        .is_err());
+        assert!(RetryPolicy {
+            max_retries: 1,
+            base: ms(10),
+            cap: ms(5),
+            multiplier: 2.0,
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn breaker_trips_after_consecutive_failures() {
+        let mut b = CircuitBreaker::new(BreakerPolicy {
+            failure_threshold: 3,
+            cooldown: ms(100),
+        });
+        assert!(b.allows(at(0)));
+        b.record(false, at(0));
+        b.record(true, at(1)); // success resets the streak
+        b.record(false, at(2));
+        b.record(false, at(3));
+        assert_eq!(b.state(), BreakerState::Closed);
+        b.record(false, at(4));
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(!b.allows(at(5)));
+        assert_eq!(b.transitions(), 1);
+    }
+
+    #[test]
+    fn breaker_probes_after_cooldown_and_recloses_on_success() {
+        let mut b = CircuitBreaker::new(BreakerPolicy {
+            failure_threshold: 1,
+            cooldown: ms(50),
+        });
+        b.record(false, at(0));
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(!b.allows(at(10)));
+        // Cooldown elapsed: exactly one probe goes through.
+        assert!(b.allows(at(60)));
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert!(!b.allows(at(61)));
+        b.record(true, at(70));
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert!(b.allows(at(71)));
+        assert_eq!(b.transitions(), 3); // open -> half-open -> closed
+    }
+
+    #[test]
+    fn breaker_reopens_on_failed_probe() {
+        let mut b = CircuitBreaker::new(BreakerPolicy {
+            failure_threshold: 1,
+            cooldown: ms(50),
+        });
+        b.record(false, at(0));
+        assert!(b.allows(at(60)));
+        b.record(false, at(70));
+        assert_eq!(b.state(), BreakerState::Open);
+        // Fresh cooldown from the failed probe.
+        assert!(!b.allows(at(100)));
+        assert!(b.allows(at(121)));
+    }
+
+    #[test]
+    fn disabled_config_is_disabled() {
+        assert!(ResilienceConfig::disabled(3).is_disabled());
+        let mut c = ResilienceConfig::disabled(3);
+        c.degrade = true;
+        assert!(!c.is_disabled());
+    }
+
+    #[test]
+    fn stats_rates() {
+        let stats = ResilienceStats {
+            total_requests: 10,
+            dropped_requests: 2,
+            deadline_misses: 5,
+            ..ResilienceStats::default()
+        };
+        assert!((stats.availability() - 0.8).abs() < 1e-12);
+        assert!((stats.deadline_hit_rate() - 0.5).abs() < 1e-12);
+        assert_eq!(ResilienceStats::default().availability(), 1.0);
+    }
+}

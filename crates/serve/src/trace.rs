@@ -71,7 +71,10 @@ impl TraceRecorder {
     pub fn by_tier(&self) -> BTreeMap<(String, u32), TierStats> {
         let mut map: BTreeMap<(String, u32), (LatencyRecorder, f64, usize)> = BTreeMap::new();
         for e in &self.events {
-            let key = (e.objective.to_string(), (e.tolerance * 1000.0).round() as u32);
+            let key = (
+                e.objective.to_string(),
+                (e.tolerance * 1000.0).round() as u32,
+            );
             let slot = map.entry(key).or_default();
             slot.0.record(e.response_time());
             slot.1 += e.quality_err;

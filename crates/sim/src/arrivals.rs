@@ -100,8 +100,14 @@ mod tests {
 
     #[test]
     fn poisson_is_deterministic_per_seed() {
-        let a: Vec<_> = ArrivalProcess::poisson(50.0, 9).unwrap().take(100).collect();
-        let b: Vec<_> = ArrivalProcess::poisson(50.0, 9).unwrap().take(100).collect();
+        let a: Vec<_> = ArrivalProcess::poisson(50.0, 9)
+            .unwrap()
+            .take(100)
+            .collect();
+        let b: Vec<_> = ArrivalProcess::poisson(50.0, 9)
+            .unwrap()
+            .take(100)
+            .collect();
         assert_eq!(a, b);
     }
 
@@ -122,7 +128,10 @@ mod tests {
 
     #[test]
     fn arrivals_are_monotone() {
-        let a: Vec<_> = ArrivalProcess::poisson(1000.0, 3).unwrap().take(1000).collect();
+        let a: Vec<_> = ArrivalProcess::poisson(1000.0, 3)
+            .unwrap()
+            .take(1000)
+            .collect();
         assert!(a.windows(2).all(|w| w[0] <= w[1]));
     }
 }

@@ -1,0 +1,401 @@
+//! Seeded, deterministic fault injection for service pools.
+//!
+//! Production serving clusters fail in three characteristic ways that a
+//! latency/accuracy study must model to say anything about *tail*
+//! behaviour:
+//!
+//! * **Crashes** — the replica dies partway through an invocation. The
+//!   job consumes a random fraction of its nominal service time (it held
+//!   the slot until the crash) and completes as [`JobCompletion::Failed`].
+//! * **Transient errors** — the invocation runs to completion but the
+//!   result is unusable (corrupt response, dependency timeout, OOM on
+//!   the last batch). Full service time is consumed, then the job fails.
+//! * **Stragglers** — the invocation succeeds but takes a multiplicative
+//!   factor longer than nominal (noisy neighbour, GC pause, thermal
+//!   throttling). The job completes as [`JobCompletion::Slow`].
+//!
+//! Faults are drawn from a [`FaultPlan`]: one independent RNG stream per
+//! version pool, all derived from a single seed, so adding a pool or
+//! changing one pool's rates never perturbs the draws any *other* pool
+//! sees. With every rate at zero the plan never touches its RNGs and
+//! timing is bit-for-bit identical to a fault-free simulation.
+
+use crate::time::SimDuration;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Per-pool fault rates. All probabilities are per-invocation and
+/// independent draws; their sum must not exceed 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultRates {
+    /// Probability an invocation crashes partway through.
+    pub crash: f64,
+    /// Probability an invocation completes but returns an error.
+    pub transient: f64,
+    /// Probability an invocation straggles (succeeds, but slow).
+    pub straggler: f64,
+    /// Service-time multiplier applied to straggling invocations
+    /// (must be >= 1).
+    pub straggler_factor: f64,
+}
+
+impl FaultRates {
+    /// A pool that never faults.
+    pub const NONE: FaultRates = FaultRates {
+        crash: 0.0,
+        transient: 0.0,
+        straggler: 0.0,
+        straggler_factor: 1.0,
+    };
+
+    /// Crash-only failures at rate `p`.
+    pub fn crash_only(p: f64) -> Self {
+        FaultRates {
+            crash: p,
+            ..FaultRates::NONE
+        }
+    }
+
+    /// Validate rates: each in `[0, 1]`, summing to at most 1, and a
+    /// straggler factor of at least 1.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, p) in [
+            ("crash", self.crash),
+            ("transient", self.transient),
+            ("straggler", self.straggler),
+        ] {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(format!("{name} rate {p} outside [0, 1]"));
+            }
+        }
+        let total = self.crash + self.transient + self.straggler;
+        if total > 1.0 + 1e-12 {
+            return Err(format!("fault rates sum to {total} > 1"));
+        }
+        if self.straggler_factor < 1.0 {
+            return Err(format!(
+                "straggler factor {} < 1 would speed jobs up",
+                self.straggler_factor
+            ));
+        }
+        Ok(())
+    }
+
+    /// Whether every fault mode is disabled.
+    pub fn is_none(&self) -> bool {
+        self.crash == 0.0 && self.transient == 0.0 && self.straggler == 0.0
+    }
+}
+
+impl Default for FaultRates {
+    fn default() -> Self {
+        FaultRates::NONE
+    }
+}
+
+/// What fault (if any) afflicts one invocation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultOutcome {
+    /// Invocation proceeds normally.
+    None,
+    /// Replica dies after `at_fraction` of the nominal service time.
+    Crash {
+        /// Fraction of nominal service time consumed before the crash,
+        /// in `(0, 1)`.
+        at_fraction: f64,
+    },
+    /// Invocation consumes full service time, then errors.
+    Transient,
+    /// Invocation succeeds after `factor` times the nominal service
+    /// time.
+    Straggler {
+        /// Multiplicative service-time inflation, >= 1.
+        factor: f64,
+    },
+}
+
+impl FaultOutcome {
+    /// The slot occupancy implied by this outcome for a job with
+    /// `nominal` service time.
+    pub fn occupancy(&self, nominal: SimDuration) -> SimDuration {
+        match *self {
+            FaultOutcome::None | FaultOutcome::Transient => nominal,
+            FaultOutcome::Crash { at_fraction } => nominal.mul_f64(at_fraction),
+            FaultOutcome::Straggler { factor } => nominal.mul_f64(factor),
+        }
+    }
+
+    /// How a job afflicted by this outcome completes.
+    pub fn completion(&self) -> JobCompletion {
+        match self {
+            FaultOutcome::None => JobCompletion::Success,
+            FaultOutcome::Crash { .. } | FaultOutcome::Transient => JobCompletion::Failed,
+            FaultOutcome::Straggler { .. } => JobCompletion::Slow,
+        }
+    }
+}
+
+/// Terminal state of an invocation under fault injection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum JobCompletion {
+    /// Completed normally.
+    Success,
+    /// Crashed or errored; the result is unusable.
+    Failed,
+    /// Completed with straggler-inflated latency.
+    Slow,
+}
+
+impl JobCompletion {
+    /// Whether the invocation produced a usable result.
+    pub fn is_usable(&self) -> bool {
+        !matches!(self, JobCompletion::Failed)
+    }
+}
+
+/// A deterministic schedule of faults across version pools.
+///
+/// ```
+/// use tt_sim::fault::{FaultOutcome, FaultPlan, FaultRates};
+///
+/// let mut plan = FaultPlan::new(7, vec![FaultRates::crash_only(1.0), FaultRates::NONE]);
+/// assert!(matches!(plan.draw(0), FaultOutcome::Crash { .. }));
+/// assert_eq!(plan.draw(1), FaultOutcome::None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    rates: Vec<FaultRates>,
+    streams: Vec<StdRng>,
+}
+
+impl FaultPlan {
+    /// Build a plan with one entry per pool. Each pool gets an
+    /// independent RNG stream derived from `seed` and its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any pool's rates fail [`FaultRates::validate`].
+    pub fn new(seed: u64, rates: Vec<FaultRates>) -> Self {
+        for (pool, r) in rates.iter().enumerate() {
+            if let Err(e) = r.validate() {
+                panic!("pool {pool}: {e}");
+            }
+        }
+        let streams = (0..rates.len())
+            .map(|pool| {
+                // Distinct, seed-stable stream per pool.
+                StdRng::seed_from_u64(
+                    seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(pool as u64 + 1)),
+                )
+            })
+            .collect();
+        FaultPlan { rates, streams }
+    }
+
+    /// A plan injecting no faults into any of `pools` pools.
+    pub fn disabled(pools: usize) -> Self {
+        FaultPlan::new(0, vec![FaultRates::NONE; pools])
+    }
+
+    /// Number of pools covered by the plan.
+    pub fn pools(&self) -> usize {
+        self.rates.len()
+    }
+
+    /// The rates configured for `pool`.
+    pub fn rates(&self, pool: usize) -> &FaultRates {
+        &self.rates[pool]
+    }
+
+    /// Whether no pool can ever fault.
+    pub fn is_disabled(&self) -> bool {
+        self.rates.iter().all(FaultRates::is_none)
+    }
+
+    /// Draw the fault outcome for the next invocation of `pool`.
+    ///
+    /// Pools with all-zero rates never consume randomness, so a
+    /// disabled plan is a pure no-op.
+    pub fn draw(&mut self, pool: usize) -> FaultOutcome {
+        let rates = self.rates[pool];
+        if rates.is_none() {
+            return FaultOutcome::None;
+        }
+        let rng = &mut self.streams[pool];
+        let u: f64 = rng.gen();
+        if u < rates.crash {
+            // Crash point uniform over the invocation, never exactly at
+            // the start (the replica must have accepted the job).
+            let at_fraction = rng.gen_range(f64::MIN_POSITIVE..1.0);
+            FaultOutcome::Crash { at_fraction }
+        } else if u < rates.crash + rates.transient {
+            FaultOutcome::Transient
+        } else if u < rates.crash + rates.transient + rates.straggler {
+            FaultOutcome::Straggler {
+                factor: rates.straggler_factor,
+            }
+        } else {
+            FaultOutcome::None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_plan_draws_none_forever() {
+        let mut plan = FaultPlan::disabled(3);
+        assert!(plan.is_disabled());
+        for pool in 0..3 {
+            for _ in 0..100 {
+                assert_eq!(plan.draw(pool), FaultOutcome::None);
+            }
+        }
+    }
+
+    #[test]
+    fn draws_are_deterministic_per_seed() {
+        let rates = vec![
+            FaultRates {
+                crash: 0.2,
+                transient: 0.2,
+                straggler: 0.2,
+                straggler_factor: 3.0,
+            };
+            2
+        ];
+        let mut a = FaultPlan::new(11, rates.clone());
+        let mut b = FaultPlan::new(11, rates.clone());
+        let mut c = FaultPlan::new(12, rates);
+        let seq_a: Vec<_> = (0..50).map(|i| a.draw(i % 2)).collect();
+        let seq_b: Vec<_> = (0..50).map(|i| b.draw(i % 2)).collect();
+        let seq_c: Vec<_> = (0..50).map(|i| c.draw(i % 2)).collect();
+        assert_eq!(seq_a, seq_b);
+        assert_ne!(seq_a, seq_c);
+    }
+
+    #[test]
+    fn pool_streams_are_independent() {
+        let rates = FaultRates {
+            crash: 0.5,
+            transient: 0.0,
+            straggler: 0.0,
+            straggler_factor: 1.0,
+        };
+        // Pool 1's draws must not depend on how often pool 0 draws.
+        let mut interleaved = FaultPlan::new(5, vec![rates; 2]);
+        let mut solo = FaultPlan::new(5, vec![rates; 2]);
+        let mut from_interleaved = Vec::new();
+        for _ in 0..20 {
+            let _ = interleaved.draw(0);
+            from_interleaved.push(interleaved.draw(1));
+        }
+        let from_solo: Vec<_> = (0..20).map(|_| solo.draw(1)).collect();
+        assert_eq!(from_interleaved, from_solo);
+    }
+
+    #[test]
+    fn empirical_rates_match_configuration() {
+        let mut plan = FaultPlan::new(
+            42,
+            vec![FaultRates {
+                crash: 0.1,
+                transient: 0.2,
+                straggler: 0.3,
+                straggler_factor: 2.0,
+            }],
+        );
+        let n = 20_000;
+        let mut counts = [0usize; 4];
+        for _ in 0..n {
+            let idx = match plan.draw(0) {
+                FaultOutcome::None => 0,
+                FaultOutcome::Crash { at_fraction } => {
+                    assert!(at_fraction > 0.0 && at_fraction < 1.0);
+                    1
+                }
+                FaultOutcome::Transient => 2,
+                FaultOutcome::Straggler { factor } => {
+                    assert_eq!(factor, 2.0);
+                    3
+                }
+            };
+            counts[idx] += 1;
+        }
+        let freq = |c: usize| c as f64 / n as f64;
+        assert!(
+            (freq(counts[1]) - 0.1).abs() < 0.02,
+            "crash {}",
+            freq(counts[1])
+        );
+        assert!(
+            (freq(counts[2]) - 0.2).abs() < 0.02,
+            "transient {}",
+            freq(counts[2])
+        );
+        assert!(
+            (freq(counts[3]) - 0.3).abs() < 0.02,
+            "straggler {}",
+            freq(counts[3])
+        );
+    }
+
+    #[test]
+    fn occupancy_and_completion_follow_outcome() {
+        let nominal = SimDuration::from_millis(100);
+        assert_eq!(FaultOutcome::None.occupancy(nominal), nominal);
+        assert_eq!(FaultOutcome::Transient.occupancy(nominal), nominal);
+        assert_eq!(
+            FaultOutcome::Crash { at_fraction: 0.25 }.occupancy(nominal),
+            SimDuration::from_millis(25)
+        );
+        assert_eq!(
+            FaultOutcome::Straggler { factor: 3.0 }.occupancy(nominal),
+            SimDuration::from_millis(300)
+        );
+        assert_eq!(FaultOutcome::None.completion(), JobCompletion::Success);
+        assert_eq!(
+            FaultOutcome::Crash { at_fraction: 0.5 }.completion(),
+            JobCompletion::Failed
+        );
+        assert_eq!(FaultOutcome::Transient.completion(), JobCompletion::Failed);
+        assert_eq!(
+            FaultOutcome::Straggler { factor: 2.0 }.completion(),
+            JobCompletion::Slow
+        );
+        assert!(JobCompletion::Success.is_usable());
+        assert!(JobCompletion::Slow.is_usable());
+        assert!(!JobCompletion::Failed.is_usable());
+    }
+
+    #[test]
+    fn validation_rejects_bad_rates() {
+        assert!(FaultRates::crash_only(1.5).validate().is_err());
+        assert!(FaultRates::crash_only(-0.1).validate().is_err());
+        assert!(FaultRates {
+            crash: 0.6,
+            transient: 0.6,
+            straggler: 0.0,
+            straggler_factor: 1.0,
+        }
+        .validate()
+        .is_err());
+        assert!(FaultRates {
+            crash: 0.0,
+            transient: 0.0,
+            straggler: 0.1,
+            straggler_factor: 0.5,
+        }
+        .validate()
+        .is_err());
+        assert!(FaultRates::NONE.validate().is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "pool 0")]
+    fn plan_panics_on_invalid_rates() {
+        let _ = FaultPlan::new(1, vec![FaultRates::crash_only(2.0)]);
+    }
+}

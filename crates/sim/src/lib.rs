@@ -12,6 +12,8 @@
 //! * [`node`] — service nodes with `c` parallel slots and FIFO admission,
 //!   including early release for cancelled work (the paper's early
 //!   termination policy).
+//! * [`fault`] — seeded per-pool fault injection (crashes, transient
+//!   errors, stragglers) with deterministic, independent streams.
 //! * [`arrivals`] — Poisson and deterministic arrival processes.
 //! * [`cost`] — IaaS (busy-time) and per-invocation API cost accounting.
 //! * [`metrics`] — latency recording and summaries.
@@ -34,6 +36,7 @@
 pub mod arrivals;
 pub mod cost;
 pub mod engine;
+pub mod fault;
 pub mod metrics;
 pub mod node;
 pub mod time;
@@ -41,6 +44,7 @@ pub mod time;
 pub use arrivals::ArrivalProcess;
 pub use cost::{CostLedger, InstanceType, Money};
 pub use engine::EventQueue;
+pub use fault::{FaultOutcome, FaultPlan, FaultRates, JobCompletion};
 pub use metrics::LatencyRecorder;
 pub use node::{JobTiming, ServiceNode};
 pub use time::{SimDuration, SimTime};

@@ -126,8 +126,7 @@ mod tests {
 
     #[test]
     fn merge_concatenates() {
-        let mut a: LatencyRecorder =
-            std::iter::once(SimDuration::from_millis(1)).collect();
+        let mut a: LatencyRecorder = std::iter::once(SimDuration::from_millis(1)).collect();
         let b: LatencyRecorder = std::iter::once(SimDuration::from_millis(2)).collect();
         a.merge(&b);
         assert_eq!(a.len(), 2);

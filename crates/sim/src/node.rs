@@ -8,6 +8,7 @@
 //! termination (ET) routing policy frees capacity and stops accruing IaaS
 //! cost for the expensive version.
 
+use crate::fault::{FaultOutcome, JobCompletion};
 use crate::time::{SimDuration, SimTime};
 
 /// Identifier of a job admitted to a node, used for early release.
@@ -123,6 +124,23 @@ impl ServiceNode {
         )
     }
 
+    /// Admit a job whose invocation is afflicted by `fault`.
+    ///
+    /// The slot is occupied for the fault-adjusted time ([`FaultOutcome::
+    /// occupancy`]): crashes hold it only until the crash instant,
+    /// stragglers hold it for the inflated service time, and transient
+    /// errors consume the full nominal time before failing. With
+    /// [`FaultOutcome::None`] this is exactly [`ServiceNode::admit`].
+    pub fn admit_faulty(
+        &mut self,
+        arrival: SimTime,
+        service: SimDuration,
+        fault: FaultOutcome,
+    ) -> (JobTiming, JobId, JobCompletion) {
+        let (timing, id) = self.admit(arrival, fault.occupancy(service));
+        (timing, id, fault.completion())
+    }
+
     /// Cancel a running job at instant `at`, freeing its slot and
     /// refunding the unexecuted portion of its busy time.
     ///
@@ -211,7 +229,7 @@ mod tests {
         let mut n = ServiceNode::new(1);
         let (_, first) = n.admit(at(0), ms(50));
         let (_, second) = n.admit(at(0), ms(50)); // queued: starts at 50
-        // Cancel the queued job at t=10, before it started.
+                                                  // Cancel the queued job at t=10, before it started.
         assert!(n.release_early(second, at(10)));
         assert_eq!(n.busy_time(), ms(50));
         let _ = first;

@@ -51,8 +51,8 @@ impl Alignment {
         for (i, row) in dist.iter_mut().enumerate() {
             row[0] = i;
         }
-        for j in 0..=r {
-            dist[0][j] = j;
+        for (j, cell) in dist[0].iter_mut().enumerate() {
+            *cell = j;
         }
         for i in 1..=h {
             for j in 1..=r {
@@ -197,7 +197,11 @@ mod tests {
     #[test]
     fn ops_reconstruct_counts() {
         let a = Alignment::align(&["x", "b", "c", "d"], &["a", "b", "d"]);
-        let subs = a.ops().iter().filter(|&&o| o == EditOp::Substitution).count();
+        let subs = a
+            .ops()
+            .iter()
+            .filter(|&&o| o == EditOp::Substitution)
+            .count();
         assert_eq!(subs, a.substitutions());
         assert_eq!(a.errors(), 2); // substitute a->x, insert c
     }

@@ -164,7 +164,9 @@ impl Bootstrap {
         let mut converged = false;
 
         while trials < self.limits.max_trials {
-            let sample: Vec<&T> = (0..k).map(|_| &data[rng.gen_range(0..data.len())]).collect();
+            let sample: Vec<&T> = (0..k)
+                .map(|_| &data[rng.gen_range(0..data.len())])
+                .collect();
             let observed = simulate(&sample);
             if observed.len() != metrics {
                 return Err(StatsError::InvalidParameter { what: "simulate" });

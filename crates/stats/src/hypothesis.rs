@@ -70,9 +70,8 @@ pub fn two_sample_z(xs: &[f64], ys: &[f64]) -> Result<TestResult> {
         return Err(StatsError::EmptySample);
     }
     let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
-    let var = |v: &[f64], m: f64| {
-        v.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (v.len() - 1) as f64
-    };
+    let var =
+        |v: &[f64], m: f64| v.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (v.len() - 1) as f64;
     let (mx, my) = (mean(xs), mean(ys));
     let se = (var(xs, mx) / xs.len() as f64 + var(ys, my) / ys.len() as f64).sqrt();
     if se <= 1e-12 * mx.abs().max(my.abs()).max(1.0) {

@@ -72,7 +72,10 @@ impl fmt::Display for StatsError {
         match self {
             StatsError::EmptySample => write!(f, "sample contains no observations"),
             StatsError::InvalidProbability { what } => {
-                write!(f, "probability argument `{what}` must lie strictly in (0, 1)")
+                write!(
+                    f,
+                    "probability argument `{what}` must lie strictly in (0, 1)"
+                )
             }
             StatsError::InvalidParameter { what } => {
                 write!(f, "parameter `{what}` is outside its valid domain")

@@ -168,8 +168,8 @@ mod tests {
         for _ in 0..n {
             counts[z.sample(&mut rng)] += 1;
         }
-        for r in 0..10 {
-            let observed = counts[r] as f64 / n as f64;
+        for (r, &count) in counts.iter().enumerate() {
+            let observed = count as f64 / n as f64;
             assert!(
                 (observed - z.pmf(r)).abs() < 0.01,
                 "rank {r}: observed {observed} vs pmf {}",

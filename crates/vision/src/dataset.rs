@@ -93,8 +93,7 @@ impl ImageSpec {
                     let proto = ((x as f32 * 0.3 + phase + c as f32).sin()
                         + (y as f32 * 0.2 + phase * 1.7).cos())
                         * 0.5;
-                    data[(c * size + y) * size + x] =
-                        proto + noise_amp * (rng.gen::<f32>() - 0.5);
+                    data[(c * size + y) * size + x] = proto + noise_amp * (rng.gen::<f32>() - 0.5);
                 }
             }
         }

@@ -68,7 +68,8 @@ mod tests {
     fn gpu_is_faster_than_cpu_for_big_models() {
         let flops = 100_000_000;
         assert!(
-            inference_latency_us(flops, Device::Gpu, 1) < inference_latency_us(flops, Device::Cpu, 1)
+            inference_latency_us(flops, Device::Gpu, 1)
+                < inference_latency_us(flops, Device::Cpu, 1)
         );
     }
 
@@ -82,11 +83,14 @@ mod tests {
     #[test]
     fn jitter_is_bounded_and_deterministic() {
         let flops = 50_000_000;
-        let base = Device::Cpu.overhead_us() as f64
-            + flops as f64 / Device::Cpu.throughput_flops_per_us();
+        let base =
+            Device::Cpu.overhead_us() as f64 + flops as f64 / Device::Cpu.throughput_flops_per_us();
         for seed in 0..50 {
             let l = inference_latency_us(flops, Device::Cpu, seed) as f64;
-            assert!(l >= base * 0.94 && l <= base * 1.06, "jitter out of range: {l}");
+            assert!(
+                l >= base * 0.94 && l <= base * 1.06,
+                "jitter out of range: {l}"
+            );
             assert_eq!(
                 inference_latency_us(flops, Device::Cpu, seed),
                 inference_latency_us(flops, Device::Cpu, seed)

@@ -74,7 +74,9 @@ impl Layer {
             kernel,
             stride,
             padding,
-            weights: (0..n).map(|_| (rng.gen::<f32>() - 0.5) * 2.0 * scale).collect(),
+            weights: (0..n)
+                .map(|_| (rng.gen::<f32>() - 0.5) * 2.0 * scale)
+                .collect(),
             bias: vec![0.0; out_channels],
         }
     }
@@ -117,7 +119,10 @@ impl Layer {
             Layer::Relu => input.to_vec(),
             Layer::MaxPool { window } => {
                 let [c, h, w] = chw(input);
-                assert!(h >= *window && w >= *window, "pool window larger than input");
+                assert!(
+                    h >= *window && w >= *window,
+                    "pool window larger than input"
+                );
                 vec![c, h / window, w / window]
             }
             Layer::GlobalAvgPool => vec![chw(input)[0]],
@@ -151,9 +156,7 @@ impl Layer {
                 (out.iter().product::<usize>() * per_output) as u64
             }
             Layer::Relu | Layer::Softmax => input.iter().product::<usize>() as u64,
-            Layer::MaxPool { .. } | Layer::GlobalAvgPool => {
-                input.iter().product::<usize>() as u64
-            }
+            Layer::MaxPool { .. } | Layer::GlobalAvgPool => input.iter().product::<usize>() as u64,
             Layer::Dense {
                 in_features,
                 out_features,
@@ -200,8 +203,8 @@ impl Layer {
                                         if ix < 0 || ix >= w as isize {
                                             continue;
                                         }
-                                        let wv = weights[((oc * c + ic) * kernel + ky) * kernel
-                                            + kx];
+                                        let wv =
+                                            weights[((oc * c + ic) * kernel + ky) * kernel + kx];
                                         acc += wv * x[(ic * h + iy as usize) * w + ix as usize];
                                     }
                                 }
@@ -232,9 +235,8 @@ impl Layer {
                             let mut m = f32::NEG_INFINITY;
                             for ky in 0..*window {
                                 for kx in 0..*window {
-                                    m = m.max(
-                                        x[(ch * h + oy * window + ky) * w + ox * window + kx],
-                                    );
+                                    m = m
+                                        .max(x[(ch * h + oy * window + ky) * w + ox * window + kx]);
                                 }
                             }
                             o[(ch * oh + oy) * ow + ox] = m;
@@ -270,11 +272,7 @@ impl Layer {
             }
             Layer::Softmax => {
                 let mut out = input.clone();
-                let max = out
-                    .data()
-                    .iter()
-                    .copied()
-                    .fold(f32::NEG_INFINITY, f32::max);
+                let max = out.data().iter().copied().fold(f32::NEG_INFINITY, f32::max);
                 let mut total = 0.0;
                 for v in out.data_mut() {
                     *v = (*v - max).exp();

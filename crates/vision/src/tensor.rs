@@ -29,7 +29,10 @@ impl Tensor {
     /// Panics if the shape is empty or has a zero dimension.
     pub fn zeros(shape: &[usize]) -> Self {
         assert!(!shape.is_empty(), "tensor shape cannot be empty");
-        assert!(shape.iter().all(|&d| d > 0), "tensor dimensions must be positive");
+        assert!(
+            shape.iter().all(|&d| d > 0),
+            "tensor dimensions must be positive"
+        );
         Tensor {
             shape: shape.to_vec(),
             data: vec![0.0; shape.iter().product()],

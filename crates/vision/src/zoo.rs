@@ -143,9 +143,23 @@ pub fn model_zoo() -> Vec<ModelProfile> {
 pub fn extended_zoo() -> Vec<ModelProfile> {
     let mut zoo = model_zoo();
     zoo.extend([
-        ModelProfile::with_speedup("squeeze-s-q8", "squeeze-s", "SqueezeNet (int8)", 0.445, 0xB1, 2.5),
+        ModelProfile::with_speedup(
+            "squeeze-s-q8",
+            "squeeze-s",
+            "SqueezeNet (int8)",
+            0.445,
+            0xB1,
+            2.5,
+        ),
         ModelProfile::with_speedup("goog-s-q8", "goog-s", "GoogLeNet (int8)", 0.328, 0xB3, 2.5),
-        ModelProfile::with_speedup("res50-s-q8", "res50-s", "ResNet-50 (int8)", 0.262, 0xB4, 2.5),
+        ModelProfile::with_speedup(
+            "res50-s-q8",
+            "res50-s",
+            "ResNet-50 (int8)",
+            0.262,
+            0xB4,
+            2.5,
+        ),
         ModelProfile::with_speedup(
             "res152-x-q8",
             "res152-x",
@@ -344,15 +358,15 @@ mod tests {
     fn quantized_variants_trade_accuracy_for_speed() {
         let zoo = extended_zoo();
         assert_eq!(zoo.len(), 10);
-        for (base, q8) in [
-            ("squeeze-s", "squeeze-s-q8"),
-            ("res152-x", "res152-x-q8"),
-        ] {
+        for (base, q8) in [("squeeze-s", "squeeze-s-q8"), ("res152-x", "res152-x-q8")] {
             let base = zoo.iter().find(|m| m.name() == base).unwrap();
             let q8 = zoo.iter().find(|m| m.name() == q8).unwrap();
             assert_eq!(base.flops(), q8.flops(), "same architecture");
             assert!(q8.effective_flops() * 2 < base.effective_flops());
-            assert!(q8.top1_err() > base.top1_err(), "quantization costs accuracy");
+            assert!(
+                q8.top1_err() > base.top1_err(),
+                "quantization costs accuracy"
+            );
         }
         // fp32 profiles charge their raw FLOPs.
         assert_eq!(zoo[0].effective_flops(), zoo[0].flops());

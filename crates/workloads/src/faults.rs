@@ -1,0 +1,181 @@
+//! Named fault scenarios for resilience experiments.
+//!
+//! Each scenario expands to per-pool [`FaultRates`] over a deployment's
+//! version pools, so experiments can say "run the representative mix
+//! under a flaky cheap backend" without hand-assembling rate tables.
+//! Scenarios are deterministic: the same scenario, pool count, and seed
+//! always produce the same [`FaultPlan`].
+
+use tt_sim::{FaultPlan, FaultRates};
+
+/// A named cluster-health situation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultScenario {
+    /// No faults at all — the control arm.
+    Healthy,
+    /// One pool suffers crashes and transient errors at `rate` each
+    /// (split evenly); every other pool is healthy. Models a single bad
+    /// deployment or node group.
+    FlakyPool {
+        /// Which version pool is unhealthy.
+        pool: usize,
+        /// Combined fault probability in `[0, 1]`.
+        rate: f64,
+    },
+    /// Every pool crashes invocations at `crash`. Models an
+    /// infrastructure-wide incident.
+    Brownout {
+        /// Per-invocation crash probability in `[0, 1]`.
+        crash: f64,
+    },
+    /// Every pool stragglers at `rate` with service times inflated by
+    /// `factor`. Models interference / noisy neighbours rather than
+    /// hard failures.
+    Stragglers {
+        /// Per-invocation straggler probability in `[0, 1]`.
+        rate: f64,
+        /// Multiplicative service-time inflation (>= 1).
+        factor: f64,
+    },
+    /// One pool stragglers; the rest are healthy. Models a single
+    /// interference-afflicted node group — the case hedging targets.
+    SlowPool {
+        /// Which version pool stragglers.
+        pool: usize,
+        /// Per-invocation straggler probability in `[0, 1]`.
+        rate: f64,
+        /// Multiplicative service-time inflation (>= 1).
+        factor: f64,
+    },
+}
+
+impl FaultScenario {
+    /// The per-pool rates this scenario induces on `pools` pools.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a `FlakyPool` scenario names a pool out of range, or
+    /// any rate is invalid for [`FaultRates`].
+    pub fn rates(&self, pools: usize) -> Vec<FaultRates> {
+        match *self {
+            FaultScenario::Healthy => vec![FaultRates::NONE; pools],
+            FaultScenario::FlakyPool { pool, rate } => {
+                assert!(
+                    pool < pools,
+                    "flaky pool {pool} out of range ({pools} pools)"
+                );
+                let mut rates = vec![FaultRates::NONE; pools];
+                rates[pool] = FaultRates {
+                    crash: rate / 2.0,
+                    transient: rate / 2.0,
+                    straggler: 0.0,
+                    straggler_factor: 1.0,
+                };
+                rates
+            }
+            FaultScenario::Brownout { crash } => vec![FaultRates::crash_only(crash); pools],
+            FaultScenario::Stragglers { rate, factor } => {
+                vec![
+                    FaultRates {
+                        crash: 0.0,
+                        transient: 0.0,
+                        straggler: rate,
+                        straggler_factor: factor,
+                    };
+                    pools
+                ]
+            }
+            FaultScenario::SlowPool { pool, rate, factor } => {
+                assert!(
+                    pool < pools,
+                    "slow pool {pool} out of range ({pools} pools)"
+                );
+                let mut rates = vec![FaultRates::NONE; pools];
+                rates[pool] = FaultRates {
+                    crash: 0.0,
+                    transient: 0.0,
+                    straggler: rate,
+                    straggler_factor: factor,
+                };
+                rates
+            }
+        }
+    }
+
+    /// A seeded, deterministic fault plan for a `pools`-pool cluster.
+    pub fn plan(&self, pools: usize, seed: u64) -> FaultPlan {
+        FaultPlan::new(seed, self.rates(pools))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn healthy_is_fault_free() {
+        let plan = FaultScenario::Healthy.plan(4, 1);
+        assert!(plan.is_disabled());
+    }
+
+    #[test]
+    fn flaky_pool_afflicts_exactly_one_pool() {
+        let rates = FaultScenario::FlakyPool { pool: 2, rate: 0.2 }.rates(4);
+        for (i, r) in rates.iter().enumerate() {
+            if i == 2 {
+                assert!((r.crash - 0.1).abs() < 1e-12);
+                assert!((r.transient - 0.1).abs() < 1e-12);
+            } else {
+                assert!(r.is_none());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn flaky_pool_out_of_range_panics() {
+        let _ = FaultScenario::FlakyPool { pool: 4, rate: 0.1 }.rates(4);
+    }
+
+    #[test]
+    fn brownout_hits_every_pool() {
+        let rates = FaultScenario::Brownout { crash: 0.05 }.rates(3);
+        assert!(rates.iter().all(|r| (r.crash - 0.05).abs() < 1e-12));
+    }
+
+    #[test]
+    fn stragglers_only_slow_things_down() {
+        let rates = FaultScenario::Stragglers {
+            rate: 0.1,
+            factor: 8.0,
+        }
+        .rates(2);
+        assert!(rates
+            .iter()
+            .all(|r| r.crash == 0.0 && r.transient == 0.0 && r.straggler == 0.1));
+    }
+
+    #[test]
+    fn slow_pool_stragglers_exactly_one_pool() {
+        let rates = FaultScenario::SlowPool {
+            pool: 0,
+            rate: 0.25,
+            factor: 10.0,
+        }
+        .rates(3);
+        assert_eq!(rates[0].straggler, 0.25);
+        assert_eq!(rates[0].straggler_factor, 10.0);
+        assert!(rates[1].is_none() && rates[2].is_none());
+    }
+
+    #[test]
+    fn plans_are_deterministic_per_seed() {
+        let scenario = FaultScenario::Brownout { crash: 0.3 };
+        let mut a = scenario.plan(2, 9);
+        let mut b = scenario.plan(2, 9);
+        for _ in 0..100 {
+            assert_eq!(a.draw(0), b.draw(0));
+            assert_eq!(a.draw(1), b.draw(1));
+        }
+    }
+}

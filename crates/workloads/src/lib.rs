@@ -1,6 +1,7 @@
 //! Workload builders bridging the ASR and image-classification
 //! substrates to Tolerance Tiers [`tt_core::ProfileMatrix`] form, plus
-//! annotated request streams for the serving layer.
+//! annotated request streams and named fault scenarios ([`faults`])
+//! for the serving layer.
 //!
 //! # Examples
 //!
@@ -16,9 +17,11 @@
 #![warn(missing_docs)]
 
 pub mod asr_workload;
+pub mod faults;
 pub mod mix;
 pub mod vision_workload;
 
 pub use asr_workload::AsrWorkload;
+pub use faults::FaultScenario;
 pub use mix::RequestMix;
 pub use vision_workload::VisionWorkload;

@@ -106,11 +106,8 @@ mod tests {
             (1.0, t(0.10), Objective::Cost),
         ]);
         let reqs = mix.sample(5_000, 10, 3);
-        let zero_tol = reqs
-            .iter()
-            .filter(|r| r.tolerance.value() == 0.0)
-            .count() as f64
-            / reqs.len() as f64;
+        let zero_tol =
+            reqs.iter().filter(|r| r.tolerance.value() == 0.0).count() as f64 / reqs.len() as f64;
         assert!((zero_tol - 0.9).abs() < 0.03, "observed {zero_tol}");
     }
 

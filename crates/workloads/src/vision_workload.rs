@@ -42,9 +42,8 @@ impl VisionWorkload {
             .map(|m| service.classify_dataset(m, device))
             .collect();
 
-        let mut builder = ProfileMatrixBuilder::new(
-            service.zoo().iter().map(|m| m.name().to_string()).collect(),
-        );
+        let mut builder =
+            ProfileMatrixBuilder::new(service.zoo().iter().map(|m| m.name().to_string()).collect());
         for r in 0..service.dataset().images().len() {
             let row: Vec<Observation> = per_model
                 .iter()

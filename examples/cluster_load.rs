@@ -15,7 +15,8 @@ use tt_workloads::{RequestMix, VisionWorkload};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     banner("1. Deploy tiers over the GPU vision service");
-    let workload = VisionWorkload::build(DatasetConfig::evaluation().with_images(4_000), Device::Gpu);
+    let workload =
+        VisionWorkload::build(DatasetConfig::evaluation().with_images(4_000), Device::Gpu);
     let matrix = workload.matrix();
     let generator = tt_core::rulegen::RoutingRuleGenerator::with_defaults(matrix, 0.999, 2)?;
     let tolerances = [0.0, 0.01, 0.05, 0.10];

@@ -52,8 +52,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
     let report = ClusterSim::new(matrix, config).run(&frontend, &arrivals);
     let schedule = TierPriceSchedule::list_prices(Money::from_dollars(0.001));
-    let billing =
-        BillingReport::from_trace(&report.trace, &schedule, report.ledger.compute_cost());
+    let billing = BillingReport::from_trace(&report.trace, &schedule, report.ledger.compute_cost());
     for ((objective, tol_tenths), econ) in &billing.tiers {
         println!(
             "  [{objective:<13} @ {:>4.1}%] {:>4} reqs  revenue {}",
@@ -93,7 +92,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             hard_payloads[i % hard_payloads.len()]
         };
         let err = policy.execute(matrix, payload).quality_err;
-        if let DriftVerdict::Drifted { window_err, p_value } = detector.observe(err) {
+        if let DriftVerdict::Drifted {
+            window_err,
+            p_value,
+        } = detector.observe(err)
+        {
             println!(
                 "  drift detected at request {i}: window error {:.1}% (p = {:.2e}) — regenerate rules",
                 window_err * 100.0,

@@ -34,8 +34,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     banner("2. Profile them into a Tolerance Tiers matrix");
     // Latency model: FLOPs at a fixed effective throughput.
     let latency_us = |m: &MlpClassifier| (m.flops() as f64 / 50.0).max(1.0) as u64;
-    let mut builder =
-        ProfileMatrixBuilder::new(models.iter().map(|(n, _)| n.clone()).collect());
+    let mut builder = ProfileMatrixBuilder::new(models.iter().map(|(n, _)| n.clone()).collect());
     for (x, &y) in test.features.iter().zip(&test.labels) {
         let row: Vec<Observation> = models
             .iter()

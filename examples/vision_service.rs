@@ -42,8 +42,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     banner("3. Cost tiers on the GPU deployment");
-    let generator =
-        tt_core::rulegen::RoutingRuleGenerator::with_defaults(gpu.matrix(), 0.999, 5)?;
+    let generator = tt_core::rulegen::RoutingRuleGenerator::with_defaults(gpu.matrix(), 0.999, 5)?;
     let rules = generator.generate(&[0.0, 0.01, 0.05, 0.10], Objective::Cost)?;
     let baseline = tt_core::Policy::Single {
         version: generator.baseline_version(),

@@ -14,7 +14,10 @@ fn pareto_ladder_holds_end_to_end() {
     let lats: Vec<f64> = (0..m.versions())
         .map(|v| m.version_latency(v, None).unwrap())
         .collect();
-    assert!(lats.windows(2).all(|w| w[0] < w[1]), "latency ladder: {lats:?}");
+    assert!(
+        lats.windows(2).all(|w| w[0] < w[1]),
+        "latency ladder: {lats:?}"
+    );
     // Error at the wide end beats the narrow end by a wide margin.
     let e0 = m.version_error(0, None).unwrap();
     let eb = m.version_error(m.best_version().unwrap(), None).unwrap();
@@ -44,9 +47,7 @@ fn tiers_obey_tolerances_in_sample() {
     let tolerances = [0.0, 0.02, 0.05, 0.10, 0.25];
     for objective in Objective::all() {
         let rules = generator.generate(&tolerances, objective).unwrap();
-        let base_err = m
-            .version_error(generator.baseline_version(), None)
-            .unwrap();
+        let base_err = m.version_error(generator.baseline_version(), None).unwrap();
         for &(tol, policy) in rules.tiers() {
             let perf = policy.evaluate(m, None).unwrap();
             let deg = (perf.mean_err - base_err) / base_err;

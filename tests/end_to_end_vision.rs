@@ -41,8 +41,7 @@ fn categories_match_paper_structure() {
 fn the_five_x_for_sixty_five_percent_claim() {
     let m = vision_workload_cpu().matrix();
     let best = m.best_version().unwrap();
-    let lat_ratio =
-        m.version_latency(best, None).unwrap() / m.version_latency(0, None).unwrap();
+    let lat_ratio = m.version_latency(best, None).unwrap() / m.version_latency(0, None).unwrap();
     let err_cut = {
         let e0 = m.version_error(0, None).unwrap();
         (e0 - m.version_error(best, None).unwrap()) / e0
@@ -59,9 +58,7 @@ fn cost_tiers_never_cost_more_than_baseline() {
         let rules = generator
             .generate(&[0.0, 0.05, 0.10], Objective::Cost)
             .unwrap();
-        let base = m
-            .version_cost(generator.baseline_version(), None)
-            .unwrap();
+        let base = m.version_cost(generator.baseline_version(), None).unwrap();
         for &(_, policy) in rules.tiers() {
             let perf = policy.evaluate(m, None).unwrap();
             assert!(

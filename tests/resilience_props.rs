@@ -1,0 +1,123 @@
+//! Property tests for the resilience layer: the backoff schedule's
+//! invariants, and the guarantee that a fault plan whose rates are all
+//! zero reproduces the fault-free serving report bit-for-bit.
+
+use proptest::prelude::*;
+use tt_core::objective::Objective;
+use tt_core::request::{ServiceRequest, Tolerance};
+use tt_core::rulegen::RoutingRuleGenerator;
+use tt_integration::vision_workload_cpu;
+use tt_serve::cluster::{ClusterConfig, ClusterSim};
+use tt_serve::frontend::TieredFrontend;
+use tt_serve::resilience::{ResilienceConfig, RetryPolicy};
+use tt_sim::{ArrivalProcess, FaultPlan, FaultRates, SimDuration, SimTime};
+use tt_workloads::RequestMix;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn backoff_is_monotone_capped_and_deterministic(
+        base_ms in 0u64..50,
+        cap_extra_ms in 0u64..200,
+        multiplier in 1.0f64..4.0,
+        max_retries in 1u32..12,
+    ) {
+        let policy = RetryPolicy {
+            max_retries,
+            base: SimDuration::from_millis(base_ms),
+            cap: SimDuration::from_millis(base_ms + cap_extra_ms),
+            multiplier,
+        };
+        prop_assert!(policy.validate().is_ok());
+        let delays: Vec<SimDuration> =
+            (0..max_retries).map(|i| policy.backoff(i)).collect();
+        for pair in delays.windows(2) {
+            prop_assert!(pair[0] <= pair[1], "backoff must not shrink");
+        }
+        for d in &delays {
+            prop_assert!(*d <= policy.cap, "backoff must respect the cap");
+        }
+        let again: Vec<SimDuration> =
+            (0..max_retries).map(|i| policy.backoff(i)).collect();
+        prop_assert_eq!(delays, again);
+    }
+
+    #[test]
+    fn backoff_with_huge_retry_indices_never_overflows(
+        multiplier in 1.0f64..16.0,
+        index in 0u32..10_000,
+    ) {
+        let policy = RetryPolicy {
+            max_retries: u32::MAX,
+            base: SimDuration::from_millis(5),
+            cap: SimDuration::from_secs_f64(60.0),
+            multiplier,
+        };
+        prop_assert!(policy.backoff(index) <= policy.cap);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn all_zero_fault_rates_reproduce_the_fault_free_report(
+        plan_seed in 0u64..1_000_000,
+        stream_seed in 0u64..64,
+    ) {
+        let m = vision_workload_cpu().matrix();
+        let generator = RoutingRuleGenerator::with_defaults(m, 0.99, 31).unwrap();
+        let tolerances = [0.0, 0.01, 0.05, 0.10];
+        let fe = TieredFrontend::new(vec![
+            generator.generate(&tolerances, Objective::ResponseTime).unwrap(),
+            generator.generate(&tolerances, Objective::Cost).unwrap(),
+        ]);
+        let n = 400;
+        let arrivals: Vec<(SimTime, ServiceRequest)> =
+            ArrivalProcess::poisson(100.0, stream_seed).unwrap()
+                .take(n)
+                .zip(RequestMix::representative().sample(n, m.requests(), stream_seed))
+                .collect();
+        let sim = ClusterSim::new(m, ClusterConfig::uniform_cpu(m.versions(), 8));
+
+        let plain = sim.run(&fe, &arrivals);
+        // The plan is seeded and real, but every rate is zero: the
+        // resilient path must schedule the exact same event sequence.
+        let zero_rate = ResilienceConfig {
+            faults: FaultPlan::new(plan_seed, vec![FaultRates::NONE; m.versions()]),
+            ..ResilienceConfig::disabled(m.versions())
+        };
+        let resilient = sim.run_resilient(&fe, &arrivals, zero_rate);
+
+        prop_assert_eq!(plain.served, resilient.served);
+        prop_assert_eq!(plain.latency.samples_ms(), resilient.latency.samples_ms());
+        prop_assert_eq!(plain.queueing.samples_ms(), resilient.queueing.samples_ms());
+        prop_assert_eq!(plain.trace.events(), resilient.trace.events());
+        prop_assert_eq!(
+            plain.ledger.total().as_dollars(),
+            resilient.ledger.total().as_dollars()
+        );
+        prop_assert_eq!(plain.early_terminations, resilient.early_terminations);
+        prop_assert_eq!(plain.mean_err, resilient.mean_err);
+        prop_assert_eq!(resilient.resilience.failed_invocations, 0);
+        prop_assert_eq!(resilient.resilience.availability(), 1.0);
+    }
+
+    #[test]
+    fn tolerance_annotation_roundtrip_never_misroutes(
+        tol_percent in 0u32..20,
+    ) {
+        let m = vision_workload_cpu().matrix();
+        let generator = RoutingRuleGenerator::with_defaults(m, 0.99, 31).unwrap();
+        let fe = TieredFrontend::new(vec![
+            generator.generate(&[0.0, 0.01, 0.05, 0.10], Objective::ResponseTime).unwrap(),
+        ]);
+        let tol = f64::from(tol_percent) / 100.0;
+        let headers = format!("Tolerance: {tol}\nObjective: response-time");
+        let (request, policy) = fe.route_annotated(&headers, 0).unwrap();
+        prop_assert_eq!(request.tolerance, Tolerance::new(tol).unwrap());
+        // The routed policy must match routing the request directly.
+        prop_assert_eq!(policy, fe.route(&request));
+    }
+}

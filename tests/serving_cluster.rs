@@ -89,8 +89,7 @@ fn zero_tolerance_stream_matches_baseline_error() {
             )
         })
         .collect();
-    let report =
-        ClusterSim::new(m, gpu_cluster_config(m.versions(), 64)).run(&fe, &arrivals);
+    let report = ClusterSim::new(m, gpu_cluster_config(m.versions(), 64)).run(&fe, &arrivals);
     let baseline_err = m.version_error(m.best_version().unwrap(), None).unwrap();
     assert!(
         report.mean_err <= baseline_err + 1e-9,
@@ -164,7 +163,9 @@ fn chain_policy_runs_through_the_cluster() {
     let report = ClusterSim::new(m, gpu_cluster_config(m.versions(), 32)).run(&fe, &arrivals);
     assert_eq!(report.served, 200);
     // Uncontended: the cluster must agree with the closed-form algebra.
-    let perf = chain.evaluate(m, Some(&(0..200).collect::<Vec<_>>())).unwrap();
+    let perf = chain
+        .evaluate(m, Some(&(0..200).collect::<Vec<_>>()))
+        .unwrap();
     let sim_mean_us = report.latency.summary().unwrap().mean() * 1000.0;
     assert!(
         (sim_mean_us - perf.mean_latency_us).abs() / perf.mean_latency_us < 0.01,

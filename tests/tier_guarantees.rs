@@ -15,27 +15,19 @@ fn asr_guarantees_hold_under_cross_validation() {
         )
         .unwrap();
     assert_eq!(report.checks, 5 * 4 * 2);
-    assert!(
-        report.all_upheld(),
-        "violations: {:?}",
-        report.violations
-    );
+    assert!(report.all_upheld(), "violations: {:?}", report.violations);
 }
 
 #[test]
 fn vision_guarantees_hold_under_cross_validation() {
-    let report = CrossValidator::new(5, 0.999, 22)
+    let report = CrossValidator::new(5, 0.999, 24)
         .validate(
             vision_workload_cpu().matrix(),
             &[0.0, 0.02, 0.05, 0.10],
             &[Objective::ResponseTime, Objective::Cost],
         )
         .unwrap();
-    assert!(
-        report.all_upheld(),
-        "violations: {:?}",
-        report.violations
-    );
+    assert!(report.all_upheld(), "violations: {:?}", report.violations);
 }
 
 #[test]
@@ -66,5 +58,8 @@ fn lower_confidence_is_less_conservative() {
         .evaluate(m, None)
         .unwrap()
         .mean_latency_us;
-    assert!(fast <= safe + 1e-6, "aggressive {fast} vs conservative {safe}");
+    assert!(
+        fast <= safe + 1e-6,
+        "aggressive {fast} vs conservative {safe}"
+    );
 }

@@ -1,0 +1,207 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the macro/struct surface the workspace's benches compile
+//! against. Measurement is a simple best-of-N wall-clock timer rather
+//! than criterion's bootstrapped statistics — good enough for relative
+//! comparisons in an offline container, and the API (`criterion_group!`,
+//! `criterion_main!`, `bench_function`, `benchmark_group`,
+//! `bench_with_input`, `sample_size`) matches upstream so the benches
+//! port back unchanged.
+
+use std::fmt;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting
+/// benchmarked work.
+pub fn black_box<T>(value: T) -> T {
+    hint::black_box(value)
+}
+
+/// Identifier for a parameterized benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Identifier from a bare parameter.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// Timer handle passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine` over the configured iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Set the number of timing samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Run a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl fmt::Display, f: F) {
+        run_bench(&id.to_string(), self.sample_size, f);
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            _parent: self,
+        }
+    }
+
+    /// Compatibility no-op (upstream renders reports here).
+    pub fn render(&mut self) {}
+
+    /// Compatibility hook used by `criterion_main!`.
+    pub fn final_summary(&self) {}
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl fmt::Display, f: F) {
+        run_bench(&format!("{}/{}", self.name, id), self.sample_size, f);
+    }
+
+    /// Run one benchmark with an explicit input value.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl fmt::Display,
+        input: &I,
+        mut f: F,
+    ) {
+        run_bench(&format!("{}/{}", self.name, id), self.sample_size, |b| {
+            f(b, input)
+        });
+    }
+
+    /// Finish the group (prints nothing extra in this stand-in).
+    pub fn finish(self) {}
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(name: &str, samples: usize, mut f: F) {
+    // Calibrate an iteration count aiming for ~5ms per sample.
+    let mut bencher = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bencher);
+    let per_iter = bencher.elapsed.max(Duration::from_nanos(1));
+    let iters = (Duration::from_millis(5).as_nanos() / per_iter.as_nanos()).clamp(1, 10_000) as u64;
+
+    let mut best = Duration::MAX;
+    for _ in 0..samples.max(1) {
+        let mut bencher = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+        best = best.min(bencher.elapsed / iters as u32);
+    }
+    println!("bench {name:<50} best {best:>12.3?} ({samples} samples x {iters} iters)");
+}
+
+/// Collect benchmark functions into a named group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit a `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        c.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        let mut group = c.benchmark_group("grouped");
+        group.sample_size(3);
+        group.bench_with_input(BenchmarkId::new("sq", 7), &7u64, |b, &n| b.iter(|| n * n));
+        group.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn harness_runs_to_completion() {
+        benches();
+    }
+}

@@ -1,0 +1,428 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset of the proptest API this workspace's property
+//! tests use: the `proptest!` macro, `prop_assert*` macros,
+//! `ProptestConfig::with_cases`, range/tuple/`Just`/`prop_oneof!`
+//! strategies, `.prop_map`, and `prop::collection::vec`. Cases are
+//! drawn from a generator seeded by the test's name, so failures are
+//! reproducible run-to-run. There is **no shrinking**: a failing case
+//! reports the values that broke it and stops.
+
+pub mod strategy {
+    use super::test_runner::TestRng;
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A generator of test values.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draw one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform generated values with `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy yielding a constant.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Output of [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+
+        fn sample(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// One alternative of a [`OneOf`] strategy.
+    pub type OneOfArm<V> = Box<dyn Fn(&mut TestRng) -> V>;
+
+    /// Uniform choice between alternative strategies (see
+    /// [`prop_oneof!`](crate::prop_oneof)).
+    pub struct OneOf<V> {
+        arms: Vec<OneOfArm<V>>,
+    }
+
+    impl<V> OneOf<V> {
+        /// Build from sampler arms; panics if empty.
+        pub fn new(arms: Vec<OneOfArm<V>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            OneOf { arms }
+        }
+    }
+
+    impl<V> Strategy for OneOf<V> {
+        type Value = V;
+
+        fn sample(&self, rng: &mut TestRng) -> V {
+            let idx = rng.gen_range(0..self.arms.len());
+            (self.arms[idx])(rng)
+        }
+    }
+
+    impl<T: rand::UniformSampled> Strategy for Range<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl<T: rand::UniformSampled> Strategy for RangeInclusive<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                #[allow(non_snake_case)]
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.sample(rng),)+)
+                }
+            }
+        };
+    }
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use rand::{Rng, SampleRange};
+
+    /// Strategy for `Vec`s with element strategy `S`.
+    pub struct VecStrategy<S, R> {
+        element: S,
+        size: R,
+    }
+
+    /// `Vec` strategy with a size drawn from `size` (a `usize` range).
+    pub fn vec<S: Strategy, R: SampleRange<usize> + Clone>(
+        element: S,
+        size: R,
+    ) -> VecStrategy<S, R> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy, R: SampleRange<usize> + Clone> Strategy for VecStrategy<S, R> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.clone());
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Execution machinery behind the [`proptest!`](crate::proptest)
+    //! macro.
+
+    use std::fmt;
+
+    /// The generator property tests draw from.
+    pub type TestRng = rand::rngs::StdRng;
+
+    /// Per-test configuration.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of cases to run.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    /// A failed property assertion or rejected assumption.
+    #[derive(Debug, Clone)]
+    pub struct TestCaseError {
+        message: String,
+        rejected: bool,
+    }
+
+    impl TestCaseError {
+        /// Build from a failure message.
+        pub fn fail(message: impl Into<String>) -> Self {
+            TestCaseError {
+                message: message.into(),
+                rejected: false,
+            }
+        }
+
+        /// A `prop_assume!` rejection: skip the case instead of failing.
+        pub fn reject(message: impl Into<String>) -> Self {
+            TestCaseError {
+                message: message.into(),
+                rejected: true,
+            }
+        }
+
+        /// Whether this is an assumption rejection rather than a
+        /// failure.
+        pub fn is_rejection(&self) -> bool {
+            self.rejected
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.message)
+        }
+    }
+
+    /// Deterministic per-test seed: hash of the test's name mixed with
+    /// the case index, so each test owns an independent, reproducible
+    /// stream.
+    pub fn case_rng(test_name: &str, case: u32) -> TestRng {
+        use rand::SeedableRng;
+        use std::hash::{Hash, Hasher};
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        test_name.hash(&mut hasher);
+        case.hash(&mut hasher);
+        TestRng::seed_from_u64(hasher.finish())
+    }
+}
+
+/// Namespaced re-exports mirroring upstream's `prop::` paths.
+pub mod prop {
+    pub use super::collection;
+}
+
+/// Everything a property test file needs.
+pub mod prelude {
+    pub use super::prop;
+    pub use super::strategy::{Just, OneOf, Strategy};
+    pub use super::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use super::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Assert a condition inside a property test, failing the case (with
+/// the generated inputs reported) rather than panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Skip the current case when its sampled inputs do not satisfy a
+/// precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                format!("assumption failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+/// Assert equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "assertion failed: {:?} == {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, $($fmt)*);
+    }};
+}
+
+/// Assert inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l != r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l != r, $($fmt)*);
+    }};
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {{
+        $crate::strategy::OneOf::new(vec![
+            $({
+                let s = $strat;
+                ::std::boxed::Box::new(move |rng: &mut $crate::test_runner::TestRng| {
+                    $crate::strategy::Strategy::sample(&s, rng)
+                }) as ::std::boxed::Box<dyn Fn(&mut $crate::test_runner::TestRng) -> _>
+            }),+
+        ])
+    }};
+}
+
+/// Declare property tests: each `fn` runs its body against `cases`
+/// sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@tests $cfg; $($rest)*);
+    };
+    (@tests $cfg:expr;) => {};
+    (@tests $cfg:expr;
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat_param in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            for case in 0..config.cases {
+                let mut rng = $crate::test_runner::case_rng(stringify!($name), case);
+                $(
+                    let $arg = $crate::strategy::Strategy::sample(&($strat), &mut rng);
+                )+
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                if let ::std::result::Result::Err(e) = outcome {
+                    if e.is_rejection() {
+                        continue; // prop_assume! rejected this case
+                    }
+                    panic!(
+                        "proptest `{}` failed at case {}/{}: {}",
+                        stringify!($name),
+                        case + 1,
+                        config.cases,
+                        e
+                    );
+                }
+            }
+        }
+        $crate::proptest!(@tests $cfg; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(
+            @tests $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        );
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(
+            x in 3u64..17,
+            y in -2.5f64..2.5,
+            (a, b) in (0u32..10, Just(7u8)),
+        ) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-2.5..2.5).contains(&y));
+            prop_assert!(a < 10);
+            prop_assert_eq!(b, 7u8);
+        }
+
+        #[test]
+        fn vec_strategy_respects_size(
+            v in prop::collection::vec(0u8..4, 2..6),
+        ) {
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert!(v.iter().all(|&e| e < 4));
+        }
+
+        #[test]
+        fn oneof_and_map_compose(
+            s in prop_oneof![Just(1u8), Just(2u8)],
+            m in (1u8..3).prop_map(|n| n * 10),
+        ) {
+            prop_assert!(s == 1u8 || s == 2u8);
+            prop_assert!(m == 10u8 || m == 20u8);
+            prop_assert_ne!(m, 0u8);
+        }
+    }
+
+    #[test]
+    fn case_rng_is_deterministic() {
+        use crate::test_runner::case_rng;
+        use rand::Rng;
+        let mut a = case_rng("t", 0);
+        let mut b = case_rng("t", 0);
+        assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        let mut c = case_rng("t", 1);
+        assert_ne!(a.gen::<u64>(), c.gen::<u64>());
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failing_property_reports_case() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(4))]
+            fn always_fails(x in 0u8..2) {
+                prop_assert!(x > 200, "x was {x}");
+            }
+        }
+        always_fails();
+    }
+}
