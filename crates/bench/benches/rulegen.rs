@@ -17,6 +17,12 @@ fn bench_rulegen(c: &mut Criterion) {
     group.bench_function("bootstrap_all_candidates_1000_requests", |b| {
         b.iter(|| RoutingRuleGenerator::with_defaults(matrix, 0.999, 3).unwrap())
     });
+    group.bench_function("bootstrap_sequential_1_thread", |b| {
+        b.iter(|| RoutingRuleGenerator::with_defaults_threaded(matrix, 0.999, 3, 1).unwrap())
+    });
+    group.bench_function("bootstrap_parallel_all_threads", |b| {
+        b.iter(|| RoutingRuleGenerator::with_defaults_threaded(matrix, 0.999, 3, 0).unwrap())
+    });
 
     let generator = RoutingRuleGenerator::with_defaults(matrix, 0.999, 3).unwrap();
     let grid: Vec<f64> = (0..=100).map(|i| i as f64 / 1000.0).collect();

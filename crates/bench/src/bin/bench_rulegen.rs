@@ -1,0 +1,196 @@
+//! Perf-trajectory point for the routing-rule generator and the policy
+//! evaluation hot path: times sequential (1-thread) versus parallel
+//! (all-hardware-threads) rule generation on the ASR and IC deployment
+//! matrices, verifies the outputs are bit-identical, micro-times
+//! `Policy::evaluate`, and writes the results as `BENCH_rulegen.json`.
+//!
+//! Usage: `bench_rulegen [--quick|--standard] [--runs N] [--out PATH]`
+//!
+//! `--quick` (the CI smoke configuration) trims the workload sizes and
+//! bootstrap trial caps so the whole run finishes in seconds; the
+//! default `--standard` scale uses the evaluation-size corpora and the
+//! generator's default limits.
+
+use std::time::Instant;
+
+use tt_asr::CorpusConfig;
+use tt_bench::perfjson::{Json, JsonObject};
+use tt_bench::{millis, time_best_of};
+use tt_core::policy::{Policy, Scheduling, Termination};
+use tt_core::profile::ProfileMatrix;
+use tt_core::rulegen::RoutingRuleGenerator;
+use tt_core::{available_threads, CandidateRecord};
+use tt_stats::TrialLimits;
+use tt_vision::dataset::DatasetConfig;
+use tt_vision::Device;
+use tt_workloads::{AsrWorkload, VisionWorkload};
+
+struct Config {
+    quick: bool,
+    runs: usize,
+    out: String,
+}
+
+fn parse_args() -> Config {
+    let args: Vec<String> = std::env::args().collect();
+    let mut config = Config {
+        quick: false,
+        runs: 3,
+        out: "BENCH_rulegen.json".to_string(),
+    };
+    let mut it = args.iter().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => config.quick = true,
+            "--standard" => config.quick = false,
+            "--runs" => {
+                config.runs = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--runs needs a positive integer");
+            }
+            "--out" => {
+                config.out = it.next().expect("--out needs a path").clone();
+            }
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+    config
+}
+
+/// Time rule generation on one matrix at a thread count; returns
+/// `(best wall ms, records)`.
+fn time_rulegen(
+    matrix: &ProfileMatrix,
+    limits: TrialLimits,
+    threads: usize,
+    runs: usize,
+) -> (f64, Vec<CandidateRecord>) {
+    let candidates = RoutingRuleGenerator::default_candidates(matrix).unwrap();
+    let (best, generator) = time_best_of(runs, || {
+        RoutingRuleGenerator::new_threaded(matrix, candidates.clone(), 0.999, 3, limits, threads)
+            .unwrap()
+    });
+    (millis(best), generator.records().to_vec())
+}
+
+/// One deployment's generation entry: sequential vs parallel, with a
+/// parity check baked in.
+fn deployment_entry(
+    label: &str,
+    matrix: &ProfileMatrix,
+    limits: TrialLimits,
+    threads: usize,
+    runs: usize,
+) -> (JsonObject, f64) {
+    eprintln!("[bench_rulegen] {label}: sequential pass");
+    let (seq_ms, seq_records) = time_rulegen(matrix, limits, 1, runs);
+    eprintln!("[bench_rulegen] {label}: parallel pass ({threads} threads)");
+    let (par_ms, par_records) = time_rulegen(matrix, limits, threads, runs);
+    assert_eq!(
+        seq_records, par_records,
+        "{label}: parallel records diverged from sequential"
+    );
+    let trials: usize = seq_records.iter().map(|r| r.trials).sum();
+    let speedup = seq_ms / par_ms;
+    let entry = JsonObject::new()
+        .with_str("deployment", label)
+        .with_int("requests", matrix.requests() as i64)
+        .with_int("versions", matrix.versions() as i64)
+        .with_int("candidates", seq_records.len() as i64)
+        .with_int("bootstrap_trials_total", trials as i64)
+        .with_num("sequential_ms", seq_ms)
+        .with_num("parallel_ms", par_ms)
+        .with_int("parallel_threads", threads as i64)
+        .with_num("speedup", speedup)
+        .with("parallel_output_bit_identical", Json::Bool(true));
+    (entry, speedup)
+}
+
+/// Micro-time the policy-evaluation hot path (full-matrix Conc+ET
+/// cascade) and report nanoseconds per request.
+fn policy_eval_entry(label: &str, matrix: &ProfileMatrix) -> JsonObject {
+    let best = matrix.best_version().unwrap();
+    let policy = Policy::Cascade {
+        cheap: 0,
+        accurate: best,
+        threshold: 0.9,
+        scheduling: Scheduling::Concurrent,
+        termination: Termination::EarlyTerminate,
+    };
+    // Enough iterations to get over timer resolution.
+    let iters = 2_000usize;
+    let start = Instant::now();
+    let mut sink = 0.0;
+    for _ in 0..iters {
+        sink += std::hint::black_box(policy.evaluate(matrix, None).unwrap()).mean_latency_us;
+    }
+    let elapsed = start.elapsed();
+    std::hint::black_box(sink);
+    let ns_per_request = elapsed.as_nanos() as f64 / (iters * matrix.requests()) as f64;
+    JsonObject::new()
+        .with_str("deployment", label)
+        .with_int("requests", matrix.requests() as i64)
+        .with_int("evaluate_iterations", iters as i64)
+        .with_num("ns_per_request", ns_per_request)
+        .with_num("requests_per_second", 1e9 / ns_per_request)
+}
+
+fn main() {
+    let config = parse_args();
+    let threads = available_threads();
+    let limits = if config.quick {
+        TrialLimits {
+            min_trials: 10,
+            max_trials: 40,
+        }
+    } else {
+        TrialLimits::default()
+    };
+    let (utterances, images) = if config.quick {
+        (300, 600)
+    } else {
+        (400, 1_000)
+    };
+
+    eprintln!(
+        "[bench_rulegen] building workloads ({} scale)",
+        if config.quick { "quick" } else { "standard" }
+    );
+    let asr = AsrWorkload::build(CorpusConfig::evaluation().with_utterances(utterances));
+    let ic = VisionWorkload::build(DatasetConfig::evaluation().with_images(images), Device::Cpu);
+
+    let mut generation = Vec::new();
+    let mut speedups = Vec::new();
+    for (label, matrix) in [("ASR (CPU)", asr.matrix()), ("IC (CPU)", ic.matrix())] {
+        let (entry, speedup) = deployment_entry(label, matrix, limits, threads, config.runs);
+        generation.push(Json::Object(entry));
+        speedups.push(speedup);
+    }
+
+    let evaluation = [("ASR (CPU)", asr.matrix()), ("IC (CPU)", ic.matrix())]
+        .into_iter()
+        .map(|(label, matrix)| Json::Object(policy_eval_entry(label, matrix)))
+        .collect();
+
+    let min_speedup = speedups.iter().copied().fold(f64::INFINITY, f64::min);
+    let doc = JsonObject::new()
+        .with_str("bench", "rulegen")
+        .with_str(
+            "methodology",
+            "best-of-N wall clock; sequential = 1 worker thread, parallel = all \
+             hardware threads; identical seeds; parity asserted on every run",
+        )
+        .with_str("scale", if config.quick { "quick" } else { "standard" })
+        .with_int("runs_per_measurement", config.runs as i64)
+        .with_int("host_hardware_threads", threads as i64)
+        .with_num("min_generation_speedup", min_speedup)
+        .with("generation", Json::Array(generation))
+        .with("policy_evaluation", Json::Array(evaluation));
+
+    std::fs::write(&config.out, doc.render()).expect("write BENCH json");
+    eprintln!(
+        "[bench_rulegen] wrote {} (min generation speedup {:.2}x on {} threads)",
+        config.out, min_speedup, threads
+    );
+}

@@ -1,1 +1,60 @@
-//! Criterion benchmarks for the toltiers workspace (see benches/).
+//! Criterion benchmarks for the toltiers workspace (see benches/) plus
+//! the perf-trajectory machinery: a wall-clock timing harness and a
+//! dependency-free JSON emitter used by the `bench_rulegen` binary to
+//! record `BENCH_<name>.json` data points (the registry has no
+//! `serde_json`, so the emitter is hand-rolled).
+
+use std::time::{Duration, Instant};
+
+pub mod perfjson;
+
+/// Time one execution of `f`.
+pub fn time_once<R>(f: impl FnOnce() -> R) -> (Duration, R) {
+    let start = Instant::now();
+    let result = f();
+    (start.elapsed(), result)
+}
+
+/// Run `f` `runs` times (at least once) and report the best wall-clock
+/// time with the last result — the usual best-of-N noise filter.
+pub fn time_best_of<R>(runs: usize, mut f: impl FnMut() -> R) -> (Duration, R) {
+    let (mut best, mut result) = time_once(&mut f);
+    for _ in 1..runs.max(1) {
+        let (elapsed, r) = time_once(&mut f);
+        if elapsed < best {
+            best = elapsed;
+        }
+        result = r;
+    }
+    (best, result)
+}
+
+/// Duration in fractional milliseconds (the unit `BENCH_*.json` uses).
+pub fn millis(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn best_of_returns_min_and_runs_at_least_once() {
+        let mut calls = 0;
+        let (best, out) = time_best_of(0, || {
+            calls += 1;
+            42
+        });
+        assert_eq!((calls, out), (1, 42));
+        assert!(best >= Duration::ZERO);
+
+        let mut calls = 0;
+        let _ = time_best_of(3, || calls += 1);
+        assert_eq!(calls, 3);
+    }
+
+    #[test]
+    fn millis_converts() {
+        assert_eq!(millis(Duration::from_millis(1500)), 1500.0);
+    }
+}

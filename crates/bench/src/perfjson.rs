@@ -1,0 +1,212 @@
+//! A minimal JSON document builder for perf-trajectory artifacts.
+//!
+//! The build environment vendors `serde` but not `serde_json`, and the
+//! bench reports only need objects, arrays, strings, and finite
+//! numbers, so this hand-rolled emitter keeps the artifact format
+//! stable without a new dependency. Insertion order is preserved —
+//! reports diff cleanly across runs.
+
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// A string (escaped on render).
+    Str(String),
+    /// An integer, rendered without a fraction.
+    Int(i64),
+    /// A finite float, rendered via Rust's shortest-roundtrip `Display`.
+    Num(f64),
+    /// A boolean.
+    Bool(bool),
+    /// An ordered key/value object.
+    Object(JsonObject),
+    /// An array.
+    Array(Vec<Json>),
+}
+
+/// An insertion-ordered JSON object.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct JsonObject {
+    entries: Vec<(String, Json)>,
+}
+
+impl JsonObject {
+    /// An empty object.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert a value (builder style).
+    #[must_use]
+    pub fn with(mut self, key: &str, value: Json) -> Self {
+        self.set(key, value);
+        self
+    }
+
+    /// Insert a string.
+    #[must_use]
+    pub fn with_str(self, key: &str, value: &str) -> Self {
+        self.with(key, Json::Str(value.to_string()))
+    }
+
+    /// Insert an integer.
+    #[must_use]
+    pub fn with_int(self, key: &str, value: i64) -> Self {
+        self.with(key, Json::Int(value))
+    }
+
+    /// Insert a float.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-finite values — JSON has no representation for
+    /// them and a perf artifact containing one is a bug.
+    #[must_use]
+    pub fn with_num(self, key: &str, value: f64) -> Self {
+        assert!(value.is_finite(), "non-finite value for key {key:?}");
+        self.with(key, Json::Num(value))
+    }
+
+    /// Insert a value by reference.
+    pub fn set(&mut self, key: &str, value: Json) {
+        self.entries.push((key.to_string(), value));
+    }
+
+    /// Render the object as a pretty-printed JSON document with a
+    /// trailing newline, ready to write to disk.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        render_object(self, 0, &mut out);
+        out.push('\n');
+        out
+    }
+}
+
+fn indent(depth: usize, out: &mut String) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn render_value(value: &Json, depth: usize, out: &mut String) {
+    match value {
+        Json::Str(s) => render_string(s, out),
+        Json::Int(i) => {
+            let _ = write!(out, "{i}");
+        }
+        Json::Num(n) => {
+            assert!(n.is_finite(), "non-finite JSON number");
+            // `Display` for f64 always produces a valid JSON number for
+            // finite values (shortest roundtrip form).
+            let _ = write!(out, "{n}");
+        }
+        Json::Bool(b) => {
+            let _ = write!(out, "{b}");
+        }
+        Json::Object(o) => render_object(o, depth, out),
+        Json::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                indent(depth + 1, out);
+                render_value(item, depth + 1, out);
+                if i + 1 < items.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            indent(depth, out);
+            out.push(']');
+        }
+    }
+}
+
+fn render_object(object: &JsonObject, depth: usize, out: &mut String) {
+    if object.entries.is_empty() {
+        out.push_str("{}");
+        return;
+    }
+    out.push_str("{\n");
+    for (i, (key, value)) in object.entries.iter().enumerate() {
+        indent(depth + 1, out);
+        render_string(key, out);
+        out.push_str(": ");
+        render_value(value, depth + 1, out);
+        if i + 1 < object.entries.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    indent(depth, out);
+    out.push('}');
+}
+
+fn render_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nested_document() {
+        let doc = JsonObject::new()
+            .with_str("bench", "rulegen")
+            .with_int("threads", 8)
+            .with_num("speedup", 3.5)
+            .with(
+                "entries",
+                Json::Array(vec![Json::Object(
+                    JsonObject::new()
+                        .with_str("name", "seq")
+                        .with_num("wall_ms", 12.25),
+                )]),
+            );
+        let rendered = doc.render();
+        assert!(rendered.starts_with("{\n"));
+        assert!(rendered.contains("\"bench\": \"rulegen\""));
+        assert!(rendered.contains("\"speedup\": 3.5"));
+        assert!(rendered.contains("\"wall_ms\": 12.25"));
+        assert!(rendered.ends_with("}\n"));
+    }
+
+    #[test]
+    fn escapes_strings() {
+        let doc = JsonObject::new().with_str("k", "a\"b\\c\nd\u{1}");
+        assert!(doc.render().contains("\"a\\\"b\\\\c\\nd\\u0001\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn rejects_nan() {
+        let _ = JsonObject::new().with_num("x", f64::NAN);
+    }
+
+    #[test]
+    fn empty_containers() {
+        let doc = JsonObject::new()
+            .with("o", Json::Object(JsonObject::new()))
+            .with("a", Json::Array(vec![]));
+        assert!(doc.render().contains("\"o\": {}"));
+        assert!(doc.render().contains("\"a\": []"));
+    }
+}

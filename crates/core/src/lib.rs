@@ -55,6 +55,7 @@ pub mod drift;
 pub mod error;
 pub mod guarantee;
 pub mod objective;
+pub mod parallel;
 pub mod policy;
 pub mod profile;
 pub mod request;
@@ -67,8 +68,9 @@ pub use drift::{DriftDetector, DriftVerdict};
 pub use error::CoreError;
 pub use guarantee::{CrossValidator, ViolationReport};
 pub use objective::Objective;
-pub use policy::{Policy, PolicyOutcome, Scheduling, Termination};
-pub use profile::{Observation, ProfileMatrix, ProfileMatrixBuilder};
+pub use parallel::{available_threads, mix_seed, parallel_map};
+pub use policy::{Policy, PolicyEvaluator, PolicyOutcome, Scheduling, Termination};
+pub use profile::{Observation, ProfileMatrix, ProfileMatrixBuilder, VersionColumns};
 pub use request::{ServiceRequest, Tolerance};
 pub use router::BucketRouter;
 pub use rulegen::{CandidateRecord, RoutingRuleGenerator, RoutingRules};

@@ -22,7 +22,7 @@
 //! | Conc       | ET          | conf? c.lat : max(c.lat,a.lat) | conf? c.cost + a.cost·min(1, c/a) : both |
 //! | Conc       | FO          | conf? c.lat : max(c.lat,a.lat) | c.cost + a.cost                       |
 
-use crate::profile::ProfileMatrix;
+use crate::profile::{ProfileMatrix, VersionColumns};
 use crate::{CoreError, Result};
 
 /// When the ensemble launches each version.
@@ -268,6 +268,12 @@ impl Policy {
 
     /// Evaluate over all (or a subset of) requests and aggregate.
     ///
+    /// The full-matrix path (`indices: None`) iterates the request
+    /// range directly and performs **zero heap allocations**: the
+    /// policy is compiled once into a [`PolicyEvaluator`] borrowing the
+    /// matrix's per-version SoA columns, then the aggregation streams
+    /// through them.
+    ///
     /// # Errors
     ///
     /// Returns an error on an empty or out-of-range index set.
@@ -276,43 +282,222 @@ impl Policy {
         matrix: &ProfileMatrix,
         indices: Option<&[usize]>,
     ) -> Result<PolicyPerformance> {
+        let evaluator = self.evaluator(matrix)?;
+        match indices {
+            Some(idx) => evaluator.evaluate_indices(idx),
+            None => Ok(evaluator.evaluate_all()),
+        }
+    }
+
+    /// Compile the policy against a matrix into a reusable evaluator:
+    /// version columns are resolved and per-version constants hoisted
+    /// once, so callers evaluating the same policy over many index sets
+    /// (the bootstrap trial loop) pay the validation and set-up cost a
+    /// single time.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the policy is invalid for the matrix.
+    pub fn evaluator<'m>(&self, matrix: &'m ProfileMatrix) -> Result<PolicyEvaluator<'m>> {
         self.validate(matrix.versions())?;
-        let all: Vec<usize>;
-        let idx: &[usize] = match indices {
-            Some([]) => return Err(CoreError::Stats(tt_stats::StatsError::EmptySample)),
-            Some(i) => i,
-            None => {
-                all = (0..matrix.requests()).collect();
-                &all
-            }
+        let kernel = match *self {
+            Policy::Single { version } => EvalKernel::Single {
+                cols: matrix.columns(version),
+            },
+            Policy::Cascade {
+                cheap,
+                accurate,
+                threshold,
+                scheduling,
+                termination,
+            } => EvalKernel::Cascade {
+                cheap: matrix.columns(cheap),
+                accurate: matrix.columns(accurate),
+                threshold,
+                sequential: scheduling == Scheduling::Sequential,
+                early_terminate: termination == Termination::EarlyTerminate,
+            },
+            Policy::Chain3 {
+                first,
+                second,
+                third,
+                threshold_first,
+                threshold_second,
+            } => EvalKernel::Chain3 {
+                first: matrix.columns(first),
+                second: matrix.columns(second),
+                third: matrix.columns(third),
+                threshold_first,
+                threshold_second,
+            },
         };
-        let mut err = 0.0;
-        let mut lat = 0.0;
-        let mut cost = 0.0;
-        let mut cheap_answers = 0usize;
-        for &r in idx {
-            if r >= matrix.requests() {
+        Ok(PolicyEvaluator {
+            kernel,
+            requests: matrix.requests(),
+        })
+    }
+}
+
+/// A policy compiled against one matrix: borrowed SoA columns plus the
+/// policy constants, ready for repeated allocation-free aggregation.
+#[derive(Debug, Clone, Copy)]
+pub struct PolicyEvaluator<'m> {
+    kernel: EvalKernel<'m>,
+    requests: usize,
+}
+
+/// The per-flavour evaluation kernel. Scheduling/termination are
+/// pre-resolved to booleans and each referenced version's columns are
+/// captured as contiguous slices.
+#[derive(Debug, Clone, Copy)]
+enum EvalKernel<'m> {
+    Single {
+        cols: VersionColumns<'m>,
+    },
+    Cascade {
+        cheap: VersionColumns<'m>,
+        accurate: VersionColumns<'m>,
+        threshold: f64,
+        sequential: bool,
+        early_terminate: bool,
+    },
+    Chain3 {
+        first: VersionColumns<'m>,
+        second: VersionColumns<'m>,
+        third: VersionColumns<'m>,
+        threshold_first: f64,
+        threshold_second: f64,
+    },
+}
+
+impl EvalKernel<'_> {
+    /// One request: `(quality_err, latency_us, cost, cheap_answered)`.
+    #[inline]
+    fn step(&self, r: usize) -> (f64, u64, f64, bool) {
+        match *self {
+            EvalKernel::Single { cols } => {
+                (cols.quality_err[r], cols.latency_us[r], cols.cost[r], false)
+            }
+            EvalKernel::Cascade {
+                cheap,
+                accurate,
+                threshold,
+                sequential,
+                early_terminate,
+            } => {
+                let confident = cheap.confidence[r] >= threshold;
+                let c_lat = cheap.latency_us[r];
+                let a_lat = accurate.latency_us[r];
+                let latency_us = if confident {
+                    c_lat
+                } else if sequential {
+                    c_lat + a_lat
+                } else {
+                    c_lat.max(a_lat)
+                };
+                let c_cost = cheap.cost[r];
+                let a_cost = accurate.cost[r];
+                let cost = if !early_terminate || !confident {
+                    // Finish-out, and every non-confident flavour, pays
+                    // both versions in full.
+                    c_cost + a_cost
+                } else if sequential {
+                    // Sequential + confident + ET: the accurate version
+                    // was never launched.
+                    c_cost
+                } else {
+                    // Concurrent + confident + ET: the accurate version
+                    // ran until the cheap answer landed.
+                    let fraction = (c_lat as f64 / a_lat.max(1) as f64).min(1.0);
+                    c_cost + a_cost * fraction
+                };
+                let quality_err = if confident {
+                    cheap.quality_err[r]
+                } else {
+                    accurate.quality_err[r]
+                };
+                (quality_err, latency_us, cost, confident)
+            }
+            EvalKernel::Chain3 {
+                first,
+                second,
+                third,
+                threshold_first,
+                threshold_second,
+            } => {
+                if first.confidence[r] >= threshold_first {
+                    return (
+                        first.quality_err[r],
+                        first.latency_us[r],
+                        first.cost[r],
+                        true,
+                    );
+                }
+                if second.confidence[r] >= threshold_second {
+                    return (
+                        second.quality_err[r],
+                        first.latency_us[r] + second.latency_us[r],
+                        first.cost[r] + second.cost[r],
+                        false,
+                    );
+                }
+                (
+                    third.quality_err[r],
+                    first.latency_us[r] + second.latency_us[r] + third.latency_us[r],
+                    first.cost[r] + second.cost[r] + third.cost[r],
+                    false,
+                )
+            }
+        }
+    }
+}
+
+impl PolicyEvaluator<'_> {
+    /// Aggregate over every request of the matrix. Allocation-free.
+    pub fn evaluate_all(&self) -> PolicyPerformance {
+        self.accumulate(0..self.requests, self.requests)
+    }
+
+    /// Aggregate over an explicit index set (repeats allowed — the
+    /// bootstrap resamples with replacement). Allocation-free on the
+    /// success path.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on an empty or out-of-range index set.
+    pub fn evaluate_indices(&self, indices: &[usize]) -> Result<PolicyPerformance> {
+        if indices.is_empty() {
+            return Err(CoreError::Stats(tt_stats::StatsError::EmptySample));
+        }
+        for &r in indices {
+            if r >= self.requests {
                 return Err(CoreError::MalformedProfile {
                     detail: format!("index {r} out of range"),
                 });
             }
-            let o = self.execute(matrix, r);
-            err += o.quality_err;
-            lat += o.latency_us as f64;
-            cost += o.cost;
-            match self {
-                Policy::Cascade { cheap, .. } if o.answered_by == *cheap => cheap_answers += 1,
-                Policy::Chain3 { first, .. } if o.answered_by == *first => cheap_answers += 1,
-                _ => {}
-            }
         }
-        let n = idx.len() as f64;
-        Ok(PolicyPerformance {
+        Ok(self.accumulate(indices.iter().copied(), indices.len()))
+    }
+
+    fn accumulate<I: Iterator<Item = usize>>(&self, requests: I, n: usize) -> PolicyPerformance {
+        let mut err = 0.0;
+        let mut lat = 0.0;
+        let mut cost = 0.0;
+        let mut cheap_answers = 0usize;
+        for r in requests {
+            let (e, l, c, cheap_hit) = self.kernel.step(r);
+            err += e;
+            lat += l as f64;
+            cost += c;
+            cheap_answers += usize::from(cheap_hit);
+        }
+        let n = n as f64;
+        PolicyPerformance {
             mean_err: err / n,
             mean_latency_us: lat / n,
             mean_cost: cost / n,
             cheap_answer_fraction: cheap_answers as f64 / n,
-        })
+        }
     }
 }
 
@@ -573,6 +758,63 @@ mod tests {
     }
 
     use crate::profile::Observation;
+
+    #[test]
+    fn kernel_matches_scalar_execute_on_every_flavour() {
+        let m = toy_matrix();
+        let mut policies = vec![Policy::Single { version: 0 }, Policy::Single { version: 1 }];
+        for scheduling in [Scheduling::Sequential, Scheduling::Concurrent] {
+            for termination in [Termination::EarlyTerminate, Termination::FinishOut] {
+                for threshold in [0.0, 0.25, 0.5, 0.93, 1.0] {
+                    policies.push(Policy::Cascade {
+                        cheap: 0,
+                        accurate: 1,
+                        threshold,
+                        scheduling,
+                        termination,
+                    });
+                }
+            }
+        }
+        let idx = [3, 0, 0, 2, 1];
+        for p in policies {
+            let reference = |set: &[usize]| {
+                let (mut err, mut lat, mut cost) = (0.0, 0.0, 0.0);
+                for &r in set {
+                    let o = p.execute(&m, r);
+                    err += o.quality_err;
+                    lat += o.latency_us as f64;
+                    cost += o.cost;
+                }
+                let n = set.len() as f64;
+                (err / n, lat / n, cost / n)
+            };
+            let all: Vec<usize> = (0..m.requests()).collect();
+            for (perf, set) in [
+                (p.evaluate(&m, None).unwrap(), &all[..]),
+                (p.evaluate(&m, Some(&idx)).unwrap(), &idx[..]),
+            ] {
+                let (err, lat, cost) = reference(set);
+                assert_eq!(perf.mean_err, err, "{p}");
+                assert_eq!(perf.mean_latency_us, lat, "{p}");
+                assert_eq!(perf.mean_cost, cost, "{p}");
+            }
+        }
+    }
+
+    #[test]
+    fn reusable_evaluator_agrees_with_evaluate() {
+        let m = toy_matrix();
+        let p = cascade(Scheduling::Concurrent, Termination::EarlyTerminate);
+        let ev = p.evaluator(&m).unwrap();
+        assert_eq!(ev.evaluate_all(), p.evaluate(&m, None).unwrap());
+        assert_eq!(
+            ev.evaluate_indices(&[1, 1, 2]).unwrap(),
+            p.evaluate(&m, Some(&[1, 1, 2])).unwrap()
+        );
+        assert!(ev.evaluate_indices(&[]).is_err());
+        assert!(ev.evaluate_indices(&[99]).is_err());
+    }
 
     #[test]
     fn display_formats() {

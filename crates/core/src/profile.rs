@@ -51,9 +51,76 @@ pub struct ProfileMatrix {
     requests: usize,
     /// Row-major: `obs[request * versions + version]`.
     obs: Vec<Observation>,
+    /// Version-major structure-of-arrays mirror of `obs`: metric `m` of
+    /// version `v` for request `r` lives at `m_col[v * requests + r]`.
+    /// Policy evaluation walks one or two versions over thousands of
+    /// requests, so per-version contiguous columns turn its memory
+    /// traffic from a strided AoS walk into linear streams.
+    quality_err_col: Vec<f64>,
+    latency_us_col: Vec<u64>,
+    cost_col: Vec<f64>,
+    confidence_col: Vec<f64>,
+}
+
+/// Borrowed per-version metric columns (see [`ProfileMatrix::columns`]),
+/// each `requests` long and contiguous.
+#[derive(Debug, Clone, Copy)]
+pub struct VersionColumns<'a> {
+    /// Per-request quality error of the version.
+    pub quality_err: &'a [f64],
+    /// Per-request latency (µs) of the version.
+    pub latency_us: &'a [u64],
+    /// Per-request invocation cost of the version.
+    pub cost: &'a [f64],
+    /// Per-request result confidence of the version.
+    pub confidence: &'a [f64],
 }
 
 impl ProfileMatrix {
+    /// Assemble a matrix from validated parts, deriving the SoA columns.
+    fn from_parts(version_names: Vec<String>, requests: usize, obs: Vec<Observation>) -> Self {
+        let versions = version_names.len();
+        let mut quality_err_col = vec![0.0; versions * requests];
+        let mut latency_us_col = vec![0u64; versions * requests];
+        let mut cost_col = vec![0.0; versions * requests];
+        let mut confidence_col = vec![0.0; versions * requests];
+        for r in 0..requests {
+            for v in 0..versions {
+                let o = &obs[r * versions + v];
+                let at = v * requests + r;
+                quality_err_col[at] = o.quality_err;
+                latency_us_col[at] = o.latency_us;
+                cost_col[at] = o.cost;
+                confidence_col[at] = o.confidence;
+            }
+        }
+        ProfileMatrix {
+            version_names,
+            requests,
+            obs,
+            quality_err_col,
+            latency_us_col,
+            cost_col,
+            confidence_col,
+        }
+    }
+
+    /// The contiguous metric columns of one version — the policy
+    /// evaluation fast path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `version` is out of range.
+    pub fn columns(&self, version: usize) -> VersionColumns<'_> {
+        assert!(version < self.versions(), "version {version} out of range");
+        let span = version * self.requests..(version + 1) * self.requests;
+        VersionColumns {
+            quality_err: &self.quality_err_col[span.clone()],
+            latency_us: &self.latency_us_col[span.clone()],
+            cost: &self.cost_col[span.clone()],
+            confidence: &self.confidence_col[span],
+        }
+    }
     /// Number of versions.
     pub fn versions(&self) -> usize {
         self.version_names.len()
@@ -160,11 +227,11 @@ impl ProfileMatrix {
             }
             obs.extend_from_slice(self.request_row(r));
         }
-        Ok(ProfileMatrix {
-            version_names: self.version_names.clone(),
-            requests: indices.len(),
+        Ok(ProfileMatrix::from_parts(
+            self.version_names.clone(),
+            indices.len(),
             obs,
-        })
+        ))
     }
 
     fn check_version(&self, version: usize) -> Result<()> {
@@ -253,11 +320,11 @@ impl ProfileMatrixBuilder {
                 detail: "no requests".into(),
             });
         }
-        Ok(ProfileMatrix {
-            version_names: self.version_names,
-            requests: self.requests,
-            obs: self.obs,
-        })
+        Ok(ProfileMatrix::from_parts(
+            self.version_names,
+            self.requests,
+            self.obs,
+        ))
     }
 }
 
@@ -383,6 +450,37 @@ mod tests {
             cost: 0.0,
             confidence: 0.5,
         }]);
+    }
+
+    #[test]
+    fn columns_mirror_observations() {
+        let m = toy_matrix();
+        for v in 0..m.versions() {
+            let cols = m.columns(v);
+            assert_eq!(cols.quality_err.len(), m.requests());
+            for r in 0..m.requests() {
+                let o = m.get(r, v);
+                assert_eq!(cols.quality_err[r], o.quality_err);
+                assert_eq!(cols.latency_us[r], o.latency_us);
+                assert_eq!(cols.cost[r], o.cost);
+                assert_eq!(cols.confidence[r], o.confidence);
+            }
+        }
+    }
+
+    #[test]
+    fn subset_rebuilds_columns() {
+        let m = toy_matrix();
+        let s = m.subset(&[2, 0]).unwrap();
+        let cols = s.columns(0);
+        assert_eq!(cols.quality_err, &[1.0, 0.0]);
+        assert_eq!(cols.confidence, &[0.20, 0.95]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn columns_panics_on_bad_version() {
+        toy_matrix().columns(9);
     }
 
     #[test]

@@ -14,8 +14,19 @@
 //! Error degradation is *relative to the most accurate single version*,
 //! measured on the same trial sample, matching the paper's "less than
 //! 1% worse than the most accurate tier" phrasing.
+//!
+//! # Parallelism and determinism
+//!
+//! Candidates are bootstrapped independently, so construction fans them
+//! out across a [`crate::parallel`] worker pool. Every candidate `i`
+//! derives its RNG stream by hashing the base seed with its index
+//! ([`crate::parallel::mix_seed`]); no random state is shared between
+//! candidates, and records are collected back in candidate order —
+//! which makes the generator's output **bit-identical at any thread
+//! count**, including the sequential `threads = 1` path.
 
 use crate::objective::Objective;
+use crate::parallel;
 use crate::policy::{Policy, Scheduling, Termination};
 use crate::profile::ProfileMatrix;
 use crate::request::Tolerance;
@@ -138,11 +149,35 @@ impl<'a> RoutingRuleGenerator<'a> {
     ///
     /// Propagates invalid confidence levels and degenerate matrices.
     pub fn with_defaults(matrix: &'a ProfileMatrix, confidence: f64, seed: u64) -> Result<Self> {
-        let candidates = Self::default_candidates(matrix)?;
-        Self::new(matrix, candidates, confidence, seed, TrialLimits::default())
+        Self::with_defaults_threaded(matrix, confidence, seed, 0)
     }
 
-    /// Bootstrap an explicit candidate set.
+    /// [`Self::with_defaults`] with an explicit worker-thread count
+    /// (`0` means one worker per available hardware thread). The output
+    /// is bit-identical for every `threads` value.
+    ///
+    /// # Errors
+    ///
+    /// Propagates invalid confidence levels and degenerate matrices.
+    pub fn with_defaults_threaded(
+        matrix: &'a ProfileMatrix,
+        confidence: f64,
+        seed: u64,
+        threads: usize,
+    ) -> Result<Self> {
+        let candidates = Self::default_candidates(matrix)?;
+        Self::new_threaded(
+            matrix,
+            candidates,
+            confidence,
+            seed,
+            TrialLimits::default(),
+            threads,
+        )
+    }
+
+    /// Bootstrap an explicit candidate set across all available
+    /// hardware threads.
     ///
     /// # Errors
     ///
@@ -155,54 +190,108 @@ impl<'a> RoutingRuleGenerator<'a> {
         seed: u64,
         limits: TrialLimits,
     ) -> Result<Self> {
+        Self::new_threaded(matrix, candidates, confidence, seed, limits, 0)
+    }
+
+    /// [`Self::new`] with an explicit worker-thread count (`0` means
+    /// one worker per available hardware thread). The output is
+    /// bit-identical for every `threads` value: each candidate's
+    /// bootstrap runs on its own RNG stream derived by hashing the base
+    /// seed with the candidate index, and records are collected in
+    /// candidate order.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any candidate is invalid for the matrix, the
+    /// confidence is outside `(0, 1)`, or the candidate set is empty.
+    pub fn new_threaded(
+        matrix: &'a ProfileMatrix,
+        candidates: Vec<Policy>,
+        confidence: f64,
+        seed: u64,
+        limits: TrialLimits,
+        threads: usize,
+    ) -> Result<Self> {
         if candidates.is_empty() {
             return Err(CoreError::InvalidParameter { what: "candidates" });
         }
         for c in &candidates {
             c.validate(matrix.versions())?;
         }
+        // Validate the confidence level once, up front, rather than on
+        // every worker.
+        Bootstrap::new(confidence, 0)?;
         let baseline_version = matrix.best_version()?;
-        let requests: Vec<usize> = (0..matrix.requests()).collect();
 
-        let mut records = Vec::with_capacity(candidates.len());
-        for (i, policy) in candidates.into_iter().enumerate() {
-            let boot = Bootstrap::new(confidence, seed.wrapping_add(i as u64))?.with_limits(limits);
-            let outcome = boot.run(&requests, 3, |sample| {
-                let idx: Vec<usize> = sample.iter().map(|&&r| r).collect();
-                let perf = policy
-                    .evaluate(matrix, Some(&idx))
-                    .expect("validated policy over validated indices");
-                let baseline_err = matrix
-                    .version_error(baseline_version, Some(&idx))
-                    .expect("baseline version is valid");
-                let degradation = if baseline_err == 0.0 {
-                    if perf.mean_err == 0.0 {
-                        0.0
-                    } else {
-                        ZERO_BASELINE_PENALTY
-                    }
-                } else {
-                    (perf.mean_err - baseline_err) / baseline_err
-                };
-                vec![degradation, perf.mean_latency_us, perf.mean_cost]
-            })?;
-            records.push(CandidateRecord {
-                policy,
-                worst_err_degradation: outcome.worst_case[0],
-                worst_latency_us: outcome.worst_case[1],
-                worst_cost: outcome.worst_case[2],
-                mean_err_degradation: outcome.trial_mean[0],
-                mean_latency_us: outcome.trial_mean[1],
-                mean_cost: outcome.trial_mean[2],
-                trials: outcome.trials,
-                converged: outcome.converged,
-            });
-        }
+        let records = parallel::parallel_map(threads, &candidates, |i, policy| {
+            Self::bootstrap_candidate(
+                matrix,
+                baseline_version,
+                *policy,
+                confidence,
+                parallel::mix_seed(seed, i as u64),
+                limits,
+            )
+        })
+        .into_iter()
+        .collect::<Result<Vec<CandidateRecord>>>()?;
         Ok(RoutingRuleGenerator {
             matrix,
             records,
             baseline_version,
             confidence,
+        })
+    }
+
+    /// Bootstrap one candidate on its own seeded RNG stream. The trial
+    /// loop is allocation-free: the candidate is compiled once into a
+    /// [`crate::policy::PolicyEvaluator`], the baseline error comes
+    /// from the matrix's SoA column, and the resample buffer is reused
+    /// across trials by [`Bootstrap::run_indices`].
+    fn bootstrap_candidate(
+        matrix: &ProfileMatrix,
+        baseline_version: usize,
+        policy: Policy,
+        confidence: f64,
+        seed: u64,
+        limits: TrialLimits,
+    ) -> Result<CandidateRecord> {
+        let boot = Bootstrap::new(confidence, seed)?.with_limits(limits);
+        let evaluator = policy.evaluator(matrix)?;
+        let baseline_err_col = matrix.columns(baseline_version).quality_err;
+        let outcome = boot.run_indices(matrix.requests(), 3, |idx, out| {
+            let perf = evaluator
+                .evaluate_indices(idx)
+                .expect("validated policy over validated indices");
+            let mut baseline_sum = 0.0;
+            for &r in idx {
+                baseline_sum += baseline_err_col[r];
+            }
+            let baseline_err = baseline_sum / idx.len() as f64;
+            let degradation = if baseline_err == 0.0 {
+                if perf.mean_err == 0.0 {
+                    0.0
+                } else {
+                    ZERO_BASELINE_PENALTY
+                }
+            } else {
+                (perf.mean_err - baseline_err) / baseline_err
+            };
+            out[0] = degradation;
+            out[1] = perf.mean_latency_us;
+            out[2] = perf.mean_cost;
+            Ok(())
+        })?;
+        Ok(CandidateRecord {
+            policy,
+            worst_err_degradation: outcome.worst_case[0],
+            worst_latency_us: outcome.worst_case[1],
+            worst_cost: outcome.worst_case[2],
+            mean_err_degradation: outcome.trial_mean[0],
+            mean_latency_us: outcome.trial_mean[1],
+            mean_cost: outcome.trial_mean[2],
+            trials: outcome.trials,
+            converged: outcome.converged,
         })
     }
 
@@ -448,6 +537,29 @@ mod tests {
         assert_eq!(at_5pct, rules.tiers()[0].1);
         let at_20pct = rules.lookup(Tolerance::new(0.20).unwrap());
         assert_eq!(at_20pct, rules.tiers()[1].1);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_records() {
+        let m = toy_matrix();
+        let sequential = RoutingRuleGenerator::with_defaults_threaded(&m, 0.9, 7, 1).unwrap();
+        for threads in [2, 4, 8] {
+            let parallel =
+                RoutingRuleGenerator::with_defaults_threaded(&m, 0.9, 7, threads).unwrap();
+            assert_eq!(
+                sequential.records(),
+                parallel.records(),
+                "threads={threads}"
+            );
+            assert_eq!(
+                sequential
+                    .generate(&[0.0, 0.05, 0.5], Objective::Cost)
+                    .unwrap(),
+                parallel
+                    .generate(&[0.0, 0.05, 0.5], Objective::Cost)
+                    .unwrap(),
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,137 @@
+//! Heap-allocation accounting for the policy-evaluation hot path.
+//!
+//! The routing-rule generator calls `Policy::evaluate` millions of
+//! times (candidates × trials); an allocation per call would dominate
+//! its profile. These tests install a counting global allocator and
+//! assert the full-matrix and index-set paths perform **zero** heap
+//! allocations per evaluation.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::hint::black_box;
+
+use tt_core::policy::{Policy, Scheduling, Termination};
+use tt_core::profile::{Observation, ProfileMatrix, ProfileMatrixBuilder};
+
+/// Counts allocations made by the current thread. The counter is a
+/// `const`-initialized non-`Drop` thread-local, so reading it from
+/// inside the allocator cannot itself allocate or recurse.
+struct CountingAllocator;
+
+thread_local! {
+    static ALLOCATIONS: Cell<u64> = const { Cell::new(0) };
+}
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.with(|c| c.set(c.get() + 1));
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.with(|c| c.set(c.get() + 1));
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+/// Allocations made by the current thread while running `f`.
+fn allocations_during<R>(f: impl FnOnce() -> R) -> (u64, R) {
+    let before = ALLOCATIONS.with(Cell::get);
+    let result = f();
+    (ALLOCATIONS.with(Cell::get) - before, result)
+}
+
+fn matrix(requests: usize) -> ProfileMatrix {
+    let mut b = ProfileMatrixBuilder::new(vec!["fast".into(), "mid".into(), "acc".into()]);
+    for r in 0..requests {
+        let hard = r % 7 == 0;
+        b.push_request(vec![
+            Observation {
+                quality_err: if hard { 1.0 } else { 0.0 },
+                latency_us: 100 + (r % 13) as u64,
+                cost: 1.0,
+                confidence: if hard { 0.2 } else { 0.9 },
+            },
+            Observation {
+                quality_err: if r % 11 == 0 { 1.0 } else { 0.0 },
+                latency_us: 250,
+                cost: 2.5,
+                confidence: 0.8,
+            },
+            Observation {
+                quality_err: 0.0,
+                latency_us: 400 + (r % 5) as u64,
+                cost: 4.0,
+                confidence: 0.97,
+            },
+        ]);
+    }
+    b.build().unwrap()
+}
+
+fn policies() -> Vec<Policy> {
+    vec![
+        Policy::Single { version: 2 },
+        Policy::Cascade {
+            cheap: 0,
+            accurate: 2,
+            threshold: 0.5,
+            scheduling: Scheduling::Sequential,
+            termination: Termination::EarlyTerminate,
+        },
+        Policy::Cascade {
+            cheap: 0,
+            accurate: 2,
+            threshold: 0.5,
+            scheduling: Scheduling::Concurrent,
+            termination: Termination::FinishOut,
+        },
+        Policy::Chain3 {
+            first: 0,
+            second: 1,
+            third: 2,
+            threshold_first: 0.5,
+            threshold_second: 0.5,
+        },
+    ]
+}
+
+#[test]
+fn full_matrix_evaluate_performs_zero_allocations() {
+    let m = matrix(1024);
+    for policy in policies() {
+        // Warm up once (first call may touch lazily-initialized
+        // runtime structures outside the evaluation itself).
+        black_box(policy.evaluate(&m, None).unwrap());
+        let (allocs, perf) = allocations_during(|| policy.evaluate(&m, None).unwrap());
+        black_box(perf);
+        assert_eq!(
+            allocs, 0,
+            "policy {policy} allocated on the full-matrix path"
+        );
+    }
+}
+
+#[test]
+fn compiled_evaluator_index_path_performs_zero_allocations() {
+    let m = matrix(1024);
+    let indices: Vec<usize> = (0..m.requests()).rev().collect();
+    for policy in policies() {
+        let evaluator = policy.evaluator(&m).unwrap();
+        black_box(evaluator.evaluate_indices(&indices).unwrap());
+        let (allocs, perf) = allocations_during(|| {
+            let all = evaluator.evaluate_all();
+            let subset = evaluator.evaluate_indices(&indices).unwrap();
+            (all, subset)
+        });
+        black_box(perf);
+        assert_eq!(allocs, 0, "policy {policy} allocated on the index path");
+    }
+}

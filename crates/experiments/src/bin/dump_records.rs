@@ -17,7 +17,13 @@ fn main() {
                 matrix.version_cost(v, None).unwrap(),
             );
         }
-        let gen = RoutingRuleGenerator::with_defaults(matrix, 0.999, 8).unwrap();
+        let gen = RoutingRuleGenerator::with_defaults_threaded(
+            matrix,
+            0.999,
+            8,
+            tt_experiments::threads_from_args(),
+        )
+        .unwrap();
         let mut records = gen.records().to_vec();
         records.sort_by(|a, b| a.worst_latency_us.partial_cmp(&b.worst_latency_us).unwrap());
         println!("  fastest 25 candidates by worst-case latency:");

@@ -17,7 +17,7 @@ use tt_core::profile::ProfileMatrix;
 use tt_core::request::{ServiceRequest, Tolerance};
 use tt_core::rulegen::RoutingRuleGenerator;
 use tt_experiments::report::pct;
-use tt_experiments::{ExperimentContext, Table};
+use tt_experiments::{threads_from_args, ExperimentContext, Table};
 use tt_serve::cluster::{ClusterConfig, ClusterSim, ServingReport};
 use tt_serve::frontend::TieredFrontend;
 use tt_serve::resilience::{BreakerPolicy, ResilienceConfig, RetryPolicy};
@@ -126,7 +126,9 @@ fn main() {
     let matrix = ctx.asr.matrix();
     let versions = matrix.versions();
 
-    let generator = RoutingRuleGenerator::with_defaults(matrix, 0.99, 31).unwrap();
+    let generator =
+        RoutingRuleGenerator::with_defaults_threaded(matrix, 0.99, 31, threads_from_args())
+            .unwrap();
     let tolerances = [0.0, 0.01, 0.05, 0.10];
     let frontend = TieredFrontend::new(vec![
         generator

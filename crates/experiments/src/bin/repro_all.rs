@@ -8,14 +8,20 @@ use tt_core::guarantee::CrossValidator;
 use tt_core::objective::Objective;
 use tt_core::policy::{Policy, Scheduling, Termination};
 use tt_experiments::report::pct;
-use tt_experiments::sweep::{point_at, sweep_tiers};
-use tt_experiments::{ExperimentContext, Table};
+use tt_experiments::sweep::{point_at, sweep_tiers_threaded};
+use tt_experiments::{threads_from_args, ExperimentContext, Table};
 
 fn main() {
     let ctx = ExperimentContext::from_args();
+    let threads = threads_from_args();
     println!(
-        "== toltiers: one-shot reproduction report ({:?} scale) ==\n",
-        ctx.scale
+        "== toltiers: one-shot reproduction report ({:?} scale, {} rule-generation workers) ==\n",
+        ctx.scale,
+        if threads == 0 {
+            tt_core::available_threads()
+        } else {
+            threads
+        }
     );
 
     let mut summary = Table::new(vec!["experiment", "deployment", "paper", "measured"]);
@@ -92,8 +98,11 @@ fn main() {
     // Figs. 8/9 headline tiers.
     let headline_tols = [0.01, 0.05, 0.10];
     for (label, matrix) in ctx.deployments() {
-        let lat_points = sweep_tiers(matrix, &headline_tols, Objective::ResponseTime, 8).unwrap();
-        let cost_points = sweep_tiers(matrix, &headline_tols, Objective::Cost, 9).unwrap();
+        let lat_points =
+            sweep_tiers_threaded(matrix, &headline_tols, Objective::ResponseTime, 8, threads)
+                .unwrap();
+        let cost_points =
+            sweep_tiers_threaded(matrix, &headline_tols, Objective::Cost, 9, threads).unwrap();
         let lat: Vec<String> = headline_tols
             .iter()
             .map(|&t| pct(point_at(&lat_points, t).unwrap().latency_reduction))

@@ -31,7 +31,22 @@ impl Scale {
             Scale::Standard
         }
     }
+}
 
+/// Worker threads requested on the command line (`--threads N`).
+/// `0` — the default when the flag is absent or malformed — means one
+/// worker per available hardware thread; `1` forces the sequential
+/// path (bit-identical output either way).
+pub fn threads_from_args() -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
+
+impl Scale {
     /// The ASR corpus configuration at this scale.
     pub fn asr_config(self) -> CorpusConfig {
         match self {

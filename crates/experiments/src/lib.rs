@@ -13,6 +13,6 @@ pub mod context;
 pub mod report;
 pub mod sweep;
 
-pub use context::ExperimentContext;
+pub use context::{threads_from_args, ExperimentContext};
 pub use report::Table;
-pub use sweep::{sweep_tiers, TierPoint};
+pub use sweep::{sweep_tiers, sweep_tiers_threaded, TierPoint};

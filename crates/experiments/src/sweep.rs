@@ -38,7 +38,24 @@ pub fn sweep_tiers(
     objective: Objective,
     seed: u64,
 ) -> Result<Vec<TierPoint>> {
-    let generator = RoutingRuleGenerator::with_defaults(matrix, 0.999, seed)?;
+    sweep_tiers_threaded(matrix, tolerances, objective, seed, 0)
+}
+
+/// [`sweep_tiers`] with an explicit rule-generation worker-thread count
+/// (`0` means all hardware threads). Sweep points are bit-identical for
+/// every thread count.
+///
+/// # Errors
+///
+/// Propagates generator and evaluation failures.
+pub fn sweep_tiers_threaded(
+    matrix: &ProfileMatrix,
+    tolerances: &[f64],
+    objective: Objective,
+    seed: u64,
+    threads: usize,
+) -> Result<Vec<TierPoint>> {
+    let generator = RoutingRuleGenerator::with_defaults_threaded(matrix, 0.999, seed, threads)?;
     let rules = generator.generate(tolerances, objective)?;
     let baseline = Policy::Single {
         version: generator.baseline_version(),

@@ -19,9 +19,10 @@
 
 use crate::descriptive::z_scores;
 use crate::normal::ppf;
+use crate::sampling::indices_with_replacement_into;
 use crate::{Result, StatsError};
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::SeedableRng;
 
 /// Bounds on the number of bootstrap trials.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -148,30 +149,73 @@ impl Bootstrap {
     where
         F: FnMut(&[&T]) -> Vec<f64>,
     {
-        if data.is_empty() {
+        let mut sample_refs: Vec<&T> = Vec::new();
+        self.run_indices(data.len(), metrics, |idx, out| {
+            sample_refs.clear();
+            sample_refs.extend(idx.iter().map(|&i| &data[i]));
+            let observed = simulate(&sample_refs);
+            if observed.len() != out.len() {
+                return Err(StatsError::InvalidParameter { what: "simulate" });
+            }
+            out.copy_from_slice(&observed);
+            Ok(())
+        })
+    }
+
+    /// Allocation-free core of [`Bootstrap::run`]: resample index sets
+    /// over a domain of `n` items rather than materializing reference
+    /// slices. The trial-sample buffer and the per-trial metric buffer
+    /// are each allocated once up front and reused for every trial, so
+    /// the hot loop performs no per-trial heap allocation beyond the
+    /// metric history it must keep for the stopping rule.
+    ///
+    /// `simulate` receives the resampled indices (into the caller's
+    /// data) and writes exactly one value per metric into `out`. For the
+    /// same seed and domain size this draws the identical trial-sample
+    /// sequence as [`Bootstrap::run`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::EmptySample`] if `n == 0`,
+    /// [`StatsError::InvalidParameter`] if `metrics` is zero, and
+    /// propagates errors returned by `simulate`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `simulate` writes NaN (the stopping rule is undefined
+    /// on NaN).
+    pub fn run_indices<F>(
+        &self,
+        n: usize,
+        metrics: usize,
+        mut simulate: F,
+    ) -> Result<BootstrapOutcome>
+    where
+        F: FnMut(&[usize], &mut [f64]) -> Result<()>,
+    {
+        if n == 0 {
             return Err(StatsError::EmptySample);
         }
         if metrics == 0 {
             return Err(StatsError::InvalidParameter { what: "metrics" });
         }
         let z_bound = ppf(self.confidence)?;
-        let k = ((data.len() as f64 * self.sample_fraction).ceil() as usize).max(1);
+        let k = ((n as f64 * self.sample_fraction).ceil() as usize).max(1);
         let mut rng = StdRng::seed_from_u64(self.seed);
 
+        // Reused across trials: the resampled index set and the metric
+        // values the simulation writes.
+        let mut sample = vec![0usize; k];
+        let mut observed = vec![0.0f64; metrics];
         // trial_values[m] collects metric m across trials.
         let mut trial_values: Vec<Vec<f64>> = vec![Vec::new(); metrics];
         let mut trials = 0usize;
         let mut converged = false;
 
         while trials < self.limits.max_trials {
-            let sample: Vec<&T> = (0..k)
-                .map(|_| &data[rng.gen_range(0..data.len())])
-                .collect();
-            let observed = simulate(&sample);
-            if observed.len() != metrics {
-                return Err(StatsError::InvalidParameter { what: "simulate" });
-            }
-            for (m, v) in observed.into_iter().enumerate() {
+            indices_with_replacement_into(&mut rng, n, &mut sample)?;
+            simulate(&sample, &mut observed)?;
+            for (m, &v) in observed.iter().enumerate() {
                 assert!(!v.is_nan(), "simulate returned NaN for metric {m}");
                 trial_values[m].push(v);
             }
@@ -283,6 +327,34 @@ mod tests {
         assert_eq!(run(5), run(5));
         // Different seeds should (almost surely) differ.
         assert_ne!(run(5).worst_case, run(6).worst_case);
+    }
+
+    #[test]
+    fn run_indices_matches_run_for_same_seed() {
+        let data: Vec<f64> = (0..120).map(f64::from).collect();
+        let boot = Bootstrap::new(0.99, 17).unwrap();
+        let via_refs = boot
+            .run(&data, 2, |s| {
+                let mean = s.iter().copied().sum::<f64>() / s.len() as f64;
+                vec![mean, -mean]
+            })
+            .unwrap();
+        let via_indices = boot
+            .run_indices(data.len(), 2, |idx, out| {
+                let mean = idx.iter().map(|&i| data[i]).sum::<f64>() / idx.len() as f64;
+                out[0] = mean;
+                out[1] = -mean;
+                Ok(())
+            })
+            .unwrap();
+        assert_eq!(via_refs, via_indices);
+    }
+
+    #[test]
+    fn run_indices_propagates_simulate_errors() {
+        let boot = Bootstrap::new(0.9, 1).unwrap();
+        let out = boot.run_indices(10, 1, |_, _| Err(StatsError::EmptySample));
+        assert!(out.is_err());
     }
 
     #[test]

@@ -19,6 +19,31 @@ pub fn indices_with_replacement<R: Rng>(rng: &mut R, n: usize, k: usize) -> Resu
     Ok((0..k).map(|_| rng.gen_range(0..n)).collect())
 }
 
+/// Allocation-free variant of [`indices_with_replacement`]: fill `buf`
+/// with `buf.len()` indices drawn uniformly from `0..n` with
+/// replacement. Callers sizing `buf` once and reusing it across draws
+/// (the bootstrap trial loop) pay zero heap traffic per draw.
+///
+/// Draws the same index sequence as [`indices_with_replacement`] for
+/// the same RNG state and `k = buf.len()`.
+///
+/// # Errors
+///
+/// Returns [`StatsError::InvalidParameter`] if `n == 0`.
+pub fn indices_with_replacement_into<R: Rng>(
+    rng: &mut R,
+    n: usize,
+    buf: &mut [usize],
+) -> Result<()> {
+    if n == 0 {
+        return Err(StatsError::InvalidParameter { what: "n" });
+    }
+    for slot in buf.iter_mut() {
+        *slot = rng.gen_range(0..n);
+    }
+    Ok(())
+}
+
 /// A discrete sampler over `0..n` with probabilities proportional to
 /// `1 / (rank + 1)^exponent` — the Zipf distribution.
 ///
@@ -128,6 +153,23 @@ mod tests {
         let draws = indices_with_replacement(&mut rng, 7, 100).unwrap();
         assert_eq!(draws.len(), 100);
         assert!(draws.iter().all(|&i| i < 7));
+    }
+
+    #[test]
+    fn into_variant_matches_allocating_variant() {
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        let allocated = indices_with_replacement(&mut a, 13, 64).unwrap();
+        let mut buf = vec![0usize; 64];
+        indices_with_replacement_into(&mut b, 13, &mut buf).unwrap();
+        assert_eq!(allocated, buf);
+    }
+
+    #[test]
+    fn into_variant_rejects_empty_domain() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut buf = [0usize; 4];
+        assert!(indices_with_replacement_into(&mut rng, 0, &mut buf).is_err());
     }
 
     #[test]

@@ -1,0 +1,76 @@
+//! Parallel/sequential parity for the routing-rule generator.
+//!
+//! The generator fans candidate bootstraps out across a worker pool
+//! with per-candidate hashed RNG streams; its contract is that the
+//! resulting `CandidateRecord` set — and therefore every routing rule
+//! derived from it — is **bit-identical to the sequential path at any
+//! thread count**. These tests pin that contract on the two seeded
+//! deployment matrices the paper reproduces (ASR and image
+//! classification) at 1, 2, and 8 worker threads.
+
+use tt_asr::CorpusConfig;
+use tt_core::objective::Objective;
+use tt_core::rulegen::RoutingRuleGenerator;
+use tt_core::ProfileMatrix;
+use tt_stats::TrialLimits;
+use tt_vision::dataset::DatasetConfig;
+use tt_vision::Device;
+use tt_workloads::{AsrWorkload, VisionWorkload};
+
+/// Trial limits trimmed for test runtime; parity must hold for any
+/// limits, so exercising reduced ones loses no coverage.
+const LIMITS: TrialLimits = TrialLimits {
+    min_trials: 10,
+    max_trials: 40,
+};
+
+fn assert_parity(label: &str, matrix: &ProfileMatrix, seed: u64) {
+    let candidates = RoutingRuleGenerator::default_candidates(matrix).unwrap();
+    assert!(
+        candidates.len() > 100,
+        "{label}: expected a substantial candidate set, got {}",
+        candidates.len()
+    );
+    let sequential =
+        RoutingRuleGenerator::new_threaded(matrix, candidates.clone(), 0.95, seed, LIMITS, 1)
+            .unwrap();
+    for threads in [2, 8] {
+        let parallel = RoutingRuleGenerator::new_threaded(
+            matrix,
+            candidates.clone(),
+            0.95,
+            seed,
+            LIMITS,
+            threads,
+        )
+        .unwrap();
+        // Bit-identical bootstrap records (worst cases, means, trial
+        // counts, convergence flags) ...
+        assert_eq!(
+            sequential.records(),
+            parallel.records(),
+            "{label}: records diverged at {threads} threads"
+        );
+        // ... and therefore identical deployed rules per objective.
+        let tolerances = [0.0, 0.01, 0.05, 0.10];
+        for objective in [Objective::ResponseTime, Objective::Cost] {
+            assert_eq!(
+                sequential.generate(&tolerances, objective).unwrap(),
+                parallel.generate(&tolerances, objective).unwrap(),
+                "{label}: rules diverged at {threads} threads ({objective:?})"
+            );
+        }
+    }
+}
+
+#[test]
+fn asr_matrix_parallel_rulegen_is_bit_identical() {
+    let workload = AsrWorkload::build(CorpusConfig::evaluation().with_utterances(300));
+    assert_parity("ASR (CPU)", workload.matrix(), 17);
+}
+
+#[test]
+fn vision_matrix_parallel_rulegen_is_bit_identical() {
+    let workload = VisionWorkload::build(DatasetConfig::evaluation().with_images(600), Device::Cpu);
+    assert_parity("IC (CPU)", workload.matrix(), 23);
+}
