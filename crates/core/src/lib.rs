@@ -68,7 +68,7 @@ pub use drift::{DriftDetector, DriftVerdict};
 pub use error::CoreError;
 pub use guarantee::{CrossValidator, ViolationReport};
 pub use objective::Objective;
-pub use parallel::{available_threads, mix_seed, parallel_map};
+pub use parallel::{available_threads, mix_seed, parallel_map, PoolSaturated, TaskPool};
 pub use policy::{Policy, PolicyEvaluator, PolicyOutcome, Scheduling, Termination};
 pub use profile::{Observation, ProfileMatrix, ProfileMatrixBuilder, VersionColumns};
 pub use request::{ServiceRequest, Tolerance};

@@ -1,0 +1,194 @@
+//! End-to-end serving benchmark: boots the wire-protocol stack on a
+//! loopback socket, drives it with the load generator in both
+//! disciplines, checks the operational endpoints, and emits
+//! `BENCH_serve.json`.
+//!
+//! Usage: `bench_serve [--quick] [--out PATH]`
+//!
+//! `--quick` shrinks request counts for CI smoke runs; the artifact
+//! shape is identical in both modes.
+
+use std::io::{BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+use tt_bench::perfjson::{Json, JsonObject};
+use tt_net::http::{read_response, Limits};
+use tt_net::loadgen::{run_load, LoadConfig, LoadReport};
+use tt_net::server::{Server, ServerConfig};
+use tt_net::service::ServiceConfig;
+
+struct BenchParams {
+    label: &'static str,
+    payloads: usize,
+    requests: usize,
+    concurrency: usize,
+    open_rate: f64,
+    latency_scale: f64,
+}
+
+const QUICK: BenchParams = BenchParams {
+    label: "quick",
+    payloads: 80,
+    requests: 240,
+    concurrency: 4,
+    open_rate: 600.0,
+    latency_scale: 0.02,
+};
+
+const STANDARD: BenchParams = BenchParams {
+    label: "standard",
+    payloads: 300,
+    requests: 2_000,
+    concurrency: 8,
+    open_rate: 900.0,
+    latency_scale: 0.05,
+};
+
+const SEED: u64 = 42;
+
+fn report_json(report: &LoadReport) -> JsonObject {
+    let latency = |q: f64| report.latency_ms(q).unwrap_or(0.0);
+    let tiers: Vec<Json> = report
+        .per_tier
+        .iter()
+        .map(|((objective, tol_milli), tier)| {
+            Json::Object(
+                JsonObject::new()
+                    .with_str("objective", objective)
+                    .with_num("tolerance", f64::from(*tol_milli) / 1000.0)
+                    .with_int("ok", tier.ok as i64)
+                    .with_num("p50_ms", tier.latency_ms(0.50).unwrap_or(0.0))
+                    .with_num("p99_ms", tier.latency_ms(0.99).unwrap_or(0.0))
+                    .with_num("p999_ms", tier.latency_ms(0.999).unwrap_or(0.0)),
+            )
+        })
+        .collect();
+    JsonObject::new()
+        .with_int("sent", report.sent as i64)
+        .with_int("ok", report.ok as i64)
+        .with_int("rejected", report.rejected as i64)
+        .with_int("transport_errors", report.transport_errors as i64)
+        .with_num("wall_ms", report.wall.as_secs_f64() * 1e3)
+        .with_num("throughput_rps", report.throughput_rps())
+        .with_num("p50_ms", latency(0.50))
+        .with_num("p99_ms", latency(0.99))
+        .with_num("p999_ms", latency(0.999))
+        .with("tiers", Json::Array(tiers))
+}
+
+fn fetch_stats(addr: std::net::SocketAddr) -> String {
+    let mut stream = TcpStream::connect(addr).expect("stats connection");
+    stream
+        .write_all(b"GET /stats HTTP/1.1\r\nConnection: close\r\n\r\n")
+        .expect("stats request");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let response = read_response(&mut reader, &Limits::default()).expect("stats response");
+    assert_eq!(response.status, 200, "GET /stats must answer 200");
+    response.text()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_serve.json".to_string());
+    let params = if quick { QUICK } else { STANDARD };
+
+    eprintln!(
+        "bench_serve[{}]: {} payloads, {} requests per discipline",
+        params.label, params.payloads, params.requests
+    );
+
+    let service = Arc::new(tt_net::demo::demo_service(
+        params.payloads,
+        SEED,
+        ServiceConfig {
+            latency_scale: params.latency_scale,
+            model_workers: 8,
+            ..ServiceConfig::defaults()
+        },
+    ));
+    let server = Server::bind(
+        "127.0.0.1:0",
+        Arc::clone(&service),
+        ServerConfig {
+            http_workers: 8,
+            backlog: 256,
+            keep_alive_timeout: Duration::from_secs(2),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind loopback");
+    let addr = server.local_addr();
+    let running = server.spawn();
+    eprintln!("bench_serve[{}]: serving on {addr}", params.label);
+
+    let closed = run_load(
+        addr,
+        &LoadConfig::closed(params.requests, params.concurrency, params.payloads, SEED),
+    )
+    .expect("closed-loop run");
+    eprintln!(
+        "bench_serve[{}]: closed loop {} ok / {} sent, {:.0} rps, p99 {:.2} ms",
+        params.label,
+        closed.ok,
+        closed.sent,
+        closed.throughput_rps(),
+        closed.latency_ms(0.99).unwrap_or(0.0),
+    );
+
+    let open = run_load(
+        addr,
+        &LoadConfig::open(params.requests, params.open_rate, params.payloads, SEED + 1),
+    )
+    .expect("open-loop run");
+    eprintln!(
+        "bench_serve[{}]: open loop {} ok / {} sent at {:.0} rps offered, p99 {:.2} ms",
+        params.label,
+        open.ok,
+        open.sent,
+        params.open_rate,
+        open.latency_ms(0.99).unwrap_or(0.0),
+    );
+
+    let stats_body = fetch_stats(addr);
+    assert!(
+        stats_body.contains("\"service\": \"toltiers\""),
+        "stats document malformed: {stats_body}"
+    );
+    let snapshot = service.snapshot();
+    assert_eq!(
+        snapshot.resilience.dropped_requests, 0,
+        "fault-free bench must not drop requests"
+    );
+
+    running.stop().expect("graceful stop");
+
+    let doc = JsonObject::new()
+        .with_str("bench", "serve")
+        .with_str("mode", params.label)
+        .with(
+            "config",
+            Json::Object(
+                JsonObject::new()
+                    .with_int("payloads", params.payloads as i64)
+                    .with_int("requests", params.requests as i64)
+                    .with_int("concurrency", params.concurrency as i64)
+                    .with_num("open_rate_rps", params.open_rate)
+                    .with_num("latency_scale", params.latency_scale)
+                    .with_int("seed", SEED as i64),
+            ),
+        )
+        .with("closed_loop", Json::Object(report_json(&closed)))
+        .with("open_loop", Json::Object(report_json(&open)))
+        .with_int("served_total", snapshot.served as i64)
+        .with_num("revenue_usd", snapshot.billing.revenue.as_dollars())
+        .with("stats_endpoint_ok", Json::Bool(true));
+    std::fs::write(&out_path, doc.render()).expect("write artifact");
+    eprintln!("bench_serve[{}]: wrote {out_path}", params.label);
+}

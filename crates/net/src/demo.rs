@@ -1,0 +1,123 @@
+//! A deterministic synthetic deployment for examples, benchmarks, and
+//! tests.
+//!
+//! Three model versions with the classic tolerance-tiers shape — a
+//! fast/inaccurate version, a balanced middle, and a slow baseline —
+//! profiled over a seeded synthetic request population, with routing
+//! rules generated for both objectives at the paper's headline tiers
+//! (0%, 1%, 5%, 10%). Everything is a pure function of `(payloads,
+//! seed)`, so two processes building the same demo serve identical
+//! answers.
+
+use crate::service::{ComputeService, ServiceConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+use tt_core::objective::Objective;
+use tt_core::profile::{Observation, ProfileMatrix, ProfileMatrixBuilder};
+use tt_core::rulegen::RoutingRuleGenerator;
+use tt_serve::frontend::TieredFrontend;
+
+/// The tolerance tiers the demo deployment advertises.
+pub const DEMO_TIERS: [f64; 4] = [0.0, 0.01, 0.05, 0.10];
+
+/// Build the demo profile matrix: `payloads` requests profiled against
+/// versions `fast`, `balanced`, and `accurate`.
+///
+/// # Panics
+///
+/// Panics if `payloads == 0`.
+pub fn demo_matrix(payloads: usize, seed: u64) -> ProfileMatrix {
+    assert!(payloads > 0, "demo needs at least one payload");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut builder = ProfileMatrixBuilder::new(vec![
+        "fast".to_string(),
+        "balanced".to_string(),
+        "accurate".to_string(),
+    ]);
+    for _ in 0..payloads {
+        // Request difficulty drives who gets it right: easy requests
+        // are right everywhere, the hardest defeat even the baseline.
+        let difficulty: f64 = rng.gen();
+        let row = [
+            // (error threshold, latency range µs, base confidence)
+            (0.70, 2_000..4_000u64, 0.92),
+            (0.85, 8_000..12_000u64, 0.90),
+            (0.96, 24_000..36_000u64, 0.88),
+        ]
+        .into_iter()
+        .map(|(threshold, latency_range, confident)| {
+            let wrong = difficulty > threshold;
+            Observation {
+                quality_err: if wrong { 1.0 } else { 0.0 },
+                latency_us: rng.gen_range(latency_range),
+                cost: 0.0,
+                confidence: if wrong {
+                    rng.gen_range(0.05..0.45)
+                } else {
+                    confident + rng.gen_range(0.0..0.08)
+                },
+            }
+        })
+        .collect();
+        builder.push_request(row);
+    }
+    builder.build().expect("demo observations are valid")
+}
+
+/// Generate routing rules for both objectives over [`DEMO_TIERS`] and
+/// deploy them as a frontend.
+pub fn demo_frontend(matrix: &ProfileMatrix, seed: u64) -> TieredFrontend {
+    let gen = RoutingRuleGenerator::with_defaults(matrix, 0.95, seed)
+        .expect("demo matrix supports rule generation");
+    TieredFrontend::new(vec![
+        gen.generate(&DEMO_TIERS, Objective::ResponseTime)
+            .expect("response-time rules generate"),
+        gen.generate(&DEMO_TIERS, Objective::Cost)
+            .expect("cost rules generate"),
+    ])
+}
+
+/// The full demo service: matrix, frontend, and executor in one call.
+pub fn demo_service(payloads: usize, seed: u64, config: ServiceConfig) -> ComputeService {
+    let matrix = Arc::new(demo_matrix(payloads, seed));
+    let frontend = demo_frontend(&matrix, seed);
+    ComputeService::new(matrix, frontend, config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn demo_matrix_is_deterministic_per_seed() {
+        let a = demo_matrix(50, 7);
+        let b = demo_matrix(50, 7);
+        for r in 0..50 {
+            for v in 0..3 {
+                assert_eq!(a.get(r, v), b.get(r, v));
+            }
+        }
+        let c = demo_matrix(50, 8);
+        let same = (0..50).all(|r| a.get(r, 0) == c.get(r, 0));
+        assert!(!same, "different seeds must differ");
+    }
+
+    #[test]
+    fn demo_frontend_tiers_loosen_toward_cheaper_policies() {
+        let matrix = demo_matrix(400, 3);
+        let frontend = demo_frontend(&matrix, 3);
+        assert_eq!(frontend.rules().count(), 2);
+        // The demo service must actually tier: at least one objective
+        // serves its loosest tolerance with something other than the
+        // strict baseline policy.
+        let strict = tt_core::request::Tolerance::ZERO;
+        let loose = tt_core::request::Tolerance::new(0.10).unwrap();
+        let differs = [Objective::ResponseTime, Objective::Cost].iter().any(|&o| {
+            let s = tt_core::request::ServiceRequest::new(0, strict, o);
+            let l = tt_core::request::ServiceRequest::new(0, loose, o);
+            frontend.route(&s) != frontend.route(&l)
+        });
+        assert!(differs, "demo tiers collapsed to one policy");
+    }
+}

@@ -1,0 +1,579 @@
+//! A minimal, bounded HTTP/1.1 wire layer over `std::io`.
+//!
+//! This is deliberately not a general HTTP implementation: it parses
+//! exactly the subset the Tolerance Tiers API needs (request line,
+//! headers, `Content-Length` bodies, keep-alive) with **hard limits on
+//! every dimension** — header count, header block size, body size —
+//! so malformed, truncated, or hostile input produces a typed
+//! [`HttpError`] (mapped to `400`/`413`/`431`/`501`/`505` responses),
+//! never a panic and never unbounded allocation. The fuzz suite in
+//! `tests/http_fuzz.rs` holds the parser to that contract.
+
+use std::io::{BufRead, Write};
+
+/// Upper bounds the reader enforces while parsing one request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Limits {
+    /// Maximum bytes in the request line plus all header lines.
+    pub max_head_bytes: usize,
+    /// Maximum number of header lines.
+    pub max_headers: usize,
+    /// Maximum body bytes (`Content-Length` above this is refused).
+    pub max_body_bytes: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits {
+            max_head_bytes: 16 * 1024,
+            max_headers: 64,
+            max_body_bytes: 1024 * 1024,
+        }
+    }
+}
+
+/// Why a request could not be read. Each variant carries the HTTP
+/// status the server answers with; `Truncated` means the peer went away
+/// mid-request and there is nobody left to answer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HttpError {
+    /// Not parseable as HTTP (bad request line, bad header shape, bad
+    /// `Content-Length`, stray control bytes).
+    BadRequest(String),
+    /// Header block exceeded [`Limits::max_head_bytes`] or
+    /// [`Limits::max_headers`].
+    HeadersTooLarge,
+    /// Declared `Content-Length` exceeded [`Limits::max_body_bytes`].
+    PayloadTooLarge,
+    /// A well-formed method this server does not implement.
+    MethodNotImplemented(String),
+    /// An HTTP version other than 1.0/1.1.
+    VersionNotSupported(String),
+    /// The connection closed (or errored) before a full request landed.
+    Truncated,
+}
+
+impl HttpError {
+    /// The status line this error maps to (`None` for `Truncated`:
+    /// no response can be delivered to a vanished peer).
+    pub fn status(&self) -> Option<(u16, &'static str)> {
+        match self {
+            HttpError::BadRequest(_) => Some((400, "Bad Request")),
+            HttpError::HeadersTooLarge => Some((431, "Request Header Fields Too Large")),
+            HttpError::PayloadTooLarge => Some((413, "Payload Too Large")),
+            HttpError::MethodNotImplemented(_) => Some((501, "Not Implemented")),
+            HttpError::VersionNotSupported(_) => Some((505, "HTTP Version Not Supported")),
+            HttpError::Truncated => None,
+        }
+    }
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::BadRequest(why) => write!(f, "bad request: {why}"),
+            HttpError::HeadersTooLarge => write!(f, "header block exceeds limits"),
+            HttpError::PayloadTooLarge => write!(f, "declared body exceeds limits"),
+            HttpError::MethodNotImplemented(m) => write!(f, "method {m} not implemented"),
+            HttpError::VersionNotSupported(v) => write!(f, "http version {v} not supported"),
+            HttpError::Truncated => write!(f, "connection closed mid-request"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+/// One parsed request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Upper-cased method (`GET`, `POST`, ...).
+    pub method: String,
+    /// The request target as sent (path plus optional query).
+    pub target: String,
+    /// Headers in wire order, names as sent.
+    pub headers: Vec<(String, String)>,
+    /// The body (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+    /// Whether the client asked to keep the connection open.
+    pub keep_alive: bool,
+}
+
+impl Request {
+    /// First header value whose name matches case-insensitively.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The request path with any query string stripped.
+    pub fn path(&self) -> &str {
+        self.target
+            .split_once('?')
+            .map_or(self.target.as_str(), |(path, _)| path)
+    }
+}
+
+/// Methods this server understands at the wire level (routing decides
+/// which are allowed per path).
+const KNOWN_METHODS: [&str; 5] = ["GET", "POST", "HEAD", "PUT", "DELETE"];
+
+/// Read one line terminated by `\n`, bounded by what remains of
+/// `budget`. Returns `Ok(None)` on clean EOF before any byte.
+fn read_line_bounded(
+    reader: &mut impl BufRead,
+    budget: &mut usize,
+) -> Result<Option<String>, HttpError> {
+    let mut line = Vec::new();
+    let mut byte = [0u8; 1];
+    loop {
+        match reader.read(&mut byte) {
+            Ok(0) => {
+                if line.is_empty() {
+                    return Ok(None);
+                }
+                return Err(HttpError::Truncated);
+            }
+            Ok(_) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => return Err(HttpError::Truncated),
+        }
+        if *budget == 0 {
+            return Err(HttpError::HeadersTooLarge);
+        }
+        *budget -= 1;
+        if byte[0] == b'\n' {
+            if line.last() == Some(&b'\r') {
+                line.pop();
+            }
+            return match String::from_utf8(line) {
+                Ok(s) => Ok(Some(s)),
+                Err(_) => Err(HttpError::BadRequest("non-utf8 header bytes".into())),
+            };
+        }
+        line.push(byte[0]);
+    }
+}
+
+/// Read one request off `reader` under `limits`.
+///
+/// Returns `Ok(None)` when the connection closed cleanly before a new
+/// request started (the keep-alive end-of-stream case).
+///
+/// # Errors
+///
+/// A typed [`HttpError`] for anything else — malformed, oversized, or
+/// truncated input. This function never panics on any byte sequence.
+pub fn read_request(
+    reader: &mut impl BufRead,
+    limits: &Limits,
+) -> Result<Option<Request>, HttpError> {
+    let mut head_budget = limits.max_head_bytes;
+
+    // Request line. Tolerate (bounded) leading blank lines, as RFC 7230
+    // suggests for robustness.
+    let request_line = loop {
+        match read_line_bounded(reader, &mut head_budget)? {
+            None => return Ok(None),
+            Some(line) if line.is_empty() => continue,
+            Some(line) => break line,
+        }
+    };
+    let mut parts = request_line.split(' ').filter(|p| !p.is_empty());
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) => (m, t, v),
+        _ => {
+            return Err(HttpError::BadRequest(format!(
+                "malformed request line `{}`",
+                request_line.chars().take(80).collect::<String>()
+            )))
+        }
+    };
+    let method = method.to_ascii_uppercase();
+    if !KNOWN_METHODS.contains(&method.as_str()) {
+        return Err(HttpError::MethodNotImplemented(method));
+    }
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Err(HttpError::VersionNotSupported(version.to_string()));
+    }
+    if !target.starts_with('/') {
+        return Err(HttpError::BadRequest(format!(
+            "request target `{}` is not origin-form",
+            target.chars().take(80).collect::<String>()
+        )));
+    }
+
+    // Header block.
+    let mut headers: Vec<(String, String)> = Vec::new();
+    loop {
+        let line = match read_line_bounded(reader, &mut head_budget)? {
+            None => return Err(HttpError::Truncated),
+            Some(line) => line,
+        };
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= limits.max_headers {
+            return Err(HttpError::HeadersTooLarge);
+        }
+        let (name, value) = line.split_once(':').ok_or_else(|| {
+            HttpError::BadRequest(format!(
+                "malformed header line `{}`",
+                line.chars().take(80).collect::<String>()
+            ))
+        })?;
+        if name.is_empty() || name.contains(' ') || name.contains('\t') {
+            return Err(HttpError::BadRequest(format!(
+                "malformed header name `{}`",
+                name.chars().take(80).collect::<String>()
+            )));
+        }
+        headers.push((name.to_string(), value.trim().to_string()));
+    }
+
+    // Body, gated on a sane Content-Length.
+    let content_length = match headers
+        .iter()
+        .find(|(n, _)| n.eq_ignore_ascii_case("content-length"))
+    {
+        Some((_, v)) => v
+            .parse::<usize>()
+            .map_err(|_| HttpError::BadRequest(format!("bad content-length `{v}`")))?,
+        None => 0,
+    };
+    if content_length > limits.max_body_bytes {
+        return Err(HttpError::PayloadTooLarge);
+    }
+    let mut body = vec![0u8; content_length];
+    if content_length > 0 {
+        let mut filled = 0;
+        while filled < content_length {
+            match reader.read(&mut body[filled..]) {
+                Ok(0) => return Err(HttpError::Truncated),
+                Ok(n) => filled += n,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => return Err(HttpError::Truncated),
+            }
+        }
+    }
+
+    let keep_alive = {
+        let connection = headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case("connection"))
+            .map(|(_, v)| v.to_ascii_lowercase());
+        match connection.as_deref() {
+            Some("close") => false,
+            Some("keep-alive") => true,
+            _ => version == "HTTP/1.1",
+        }
+    };
+
+    Ok(Some(Request {
+        method,
+        target: target.to_string(),
+        headers,
+        body,
+        keep_alive,
+    }))
+}
+
+/// Serialize and send one response. `content_type` is omitted when the
+/// body is empty.
+///
+/// # Errors
+///
+/// Propagates socket write failures.
+pub fn write_response(
+    writer: &mut impl Write,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    body: &[u8],
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    let mut head = format!("HTTP/1.1 {status} {reason}\r\n");
+    if !body.is_empty() {
+        head.push_str(&format!("Content-Type: {content_type}\r\n"));
+    }
+    head.push_str(&format!("Content-Length: {}\r\n", body.len()));
+    head.push_str(if keep_alive {
+        "Connection: keep-alive\r\n"
+    } else {
+        "Connection: close\r\n"
+    });
+    head.push_str("\r\n");
+    writer.write_all(head.as_bytes())?;
+    writer.write_all(body)?;
+    writer.flush()
+}
+
+/// A response as the load-generator client sees it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// Headers in wire order.
+    pub headers: Vec<(String, String)>,
+    /// Body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// First header value whose name matches case-insensitively.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8 (lossy).
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// Read one response off `reader` (client side), bounded by `limits`.
+///
+/// # Errors
+///
+/// A typed [`HttpError`] for malformed, oversized, or truncated input.
+pub fn read_response(reader: &mut impl BufRead, limits: &Limits) -> Result<Response, HttpError> {
+    let mut head_budget = limits.max_head_bytes;
+    let status_line = match read_line_bounded(reader, &mut head_budget)? {
+        None => return Err(HttpError::Truncated),
+        Some(line) => line,
+    };
+    let mut parts = status_line.splitn(3, ' ');
+    let (version, code) = match (parts.next(), parts.next()) {
+        (Some(v), Some(c)) => (v, c),
+        _ => {
+            return Err(HttpError::BadRequest(format!(
+                "malformed status line `{}`",
+                status_line.chars().take(80).collect::<String>()
+            )))
+        }
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::VersionNotSupported(version.to_string()));
+    }
+    let status: u16 = code
+        .parse()
+        .map_err(|_| HttpError::BadRequest(format!("bad status code `{code}`")))?;
+
+    let mut headers = Vec::new();
+    loop {
+        let line = match read_line_bounded(reader, &mut head_budget)? {
+            None => return Err(HttpError::Truncated),
+            Some(line) => line,
+        };
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= limits.max_headers {
+            return Err(HttpError::HeadersTooLarge);
+        }
+        let (name, value) = line.split_once(':').ok_or_else(|| {
+            HttpError::BadRequest(format!(
+                "malformed header line `{}`",
+                line.chars().take(80).collect::<String>()
+            ))
+        })?;
+        headers.push((name.to_string(), value.trim().to_string()));
+    }
+
+    let content_length = match headers
+        .iter()
+        .find(|(n, _)| n.eq_ignore_ascii_case("content-length"))
+    {
+        Some((_, v)) => v
+            .parse::<usize>()
+            .map_err(|_| HttpError::BadRequest(format!("bad content-length `{v}`")))?,
+        None => 0,
+    };
+    if content_length > limits.max_body_bytes {
+        return Err(HttpError::PayloadTooLarge);
+    }
+    let mut body = vec![0u8; content_length];
+    let mut filled = 0;
+    while filled < content_length {
+        match reader.read(&mut body[filled..]) {
+            Ok(0) => return Err(HttpError::Truncated),
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => return Err(HttpError::Truncated),
+        }
+    }
+
+    Ok(Response {
+        status,
+        headers,
+        body,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn parse(bytes: &[u8]) -> Result<Option<Request>, HttpError> {
+        read_request(&mut Cursor::new(bytes.to_vec()), &Limits::default())
+    }
+
+    #[test]
+    fn parses_a_full_post() {
+        let req = parse(
+            b"POST /compute HTTP/1.1\r\nTolerance: 0.01\r\nObjective: response-time\r\n\
+              Content-Length: 5\r\n\r\nhello",
+        )
+        .unwrap()
+        .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path(), "/compute");
+        assert_eq!(req.header("tolerance"), Some("0.01"));
+        assert_eq!(req.header("OBJECTIVE"), Some("response-time"));
+        assert_eq!(req.body, b"hello");
+        assert!(req.keep_alive, "HTTP/1.1 defaults to keep-alive");
+    }
+
+    #[test]
+    fn parses_get_without_body_and_query_strings() {
+        let req = parse(b"GET /stats?pretty=1 HTTP/1.1\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.target, "/stats?pretty=1");
+        assert_eq!(req.path(), "/stats");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn clean_eof_is_none_truncation_is_an_error() {
+        assert_eq!(parse(b""), Ok(None));
+        assert_eq!(parse(b"POST /compute HT"), Err(HttpError::Truncated));
+        assert_eq!(
+            parse(b"POST /compute HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort"),
+            Err(HttpError::Truncated)
+        );
+    }
+
+    #[test]
+    fn connection_close_and_http10_disable_keep_alive() {
+        let req = parse(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert!(!req.keep_alive);
+        let req = parse(b"GET / HTTP/1.0\r\n\r\n").unwrap().unwrap();
+        assert!(!req.keep_alive);
+        let req = parse(b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert!(req.keep_alive);
+    }
+
+    #[test]
+    fn bounded_header_count_maps_to_431() {
+        let limits = Limits {
+            max_headers: 4,
+            ..Limits::default()
+        };
+        let mut raw = b"GET / HTTP/1.1\r\n".to_vec();
+        for i in 0..8 {
+            raw.extend_from_slice(format!("H{i}: v\r\n").as_bytes());
+        }
+        raw.extend_from_slice(b"\r\n");
+        let err = read_request(&mut Cursor::new(raw), &limits).unwrap_err();
+        assert_eq!(err, HttpError::HeadersTooLarge);
+        assert_eq!(err.status(), Some((431, "Request Header Fields Too Large")));
+    }
+
+    #[test]
+    fn bounded_head_bytes_maps_to_431() {
+        let limits = Limits {
+            max_head_bytes: 64,
+            ..Limits::default()
+        };
+        let mut raw = b"GET / HTTP/1.1\r\nLong: ".to_vec();
+        raw.extend_from_slice(&vec![b'x'; 4096]);
+        raw.extend_from_slice(b"\r\n\r\n");
+        assert_eq!(
+            read_request(&mut Cursor::new(raw), &limits).unwrap_err(),
+            HttpError::HeadersTooLarge
+        );
+    }
+
+    #[test]
+    fn oversized_declared_body_maps_to_413_without_allocating() {
+        let limits = Limits {
+            max_body_bytes: 16,
+            ..Limits::default()
+        };
+        // The body itself never needs to arrive: the declaration is
+        // enough to refuse.
+        let raw = b"POST /compute HTTP/1.1\r\nContent-Length: 999999999\r\n\r\n".to_vec();
+        let err = read_request(&mut Cursor::new(raw), &limits).unwrap_err();
+        assert_eq!(err, HttpError::PayloadTooLarge);
+        assert_eq!(err.status(), Some((413, "Payload Too Large")));
+    }
+
+    #[test]
+    fn malformed_inputs_map_to_400() {
+        for raw in [
+            b"NONSENSE\r\n\r\n".to_vec(),
+            b"GET / HTTP/1.1\r\nNoColonHere\r\n\r\n".to_vec(),
+            b"GET / HTTP/1.1\r\n: empty-name\r\n\r\n".to_vec(),
+            b"GET / HTTP/1.1\r\nBad Name: v\r\n\r\n".to_vec(),
+            b"POST / HTTP/1.1\r\nContent-Length: banana\r\n\r\n".to_vec(),
+            b"GET noslash HTTP/1.1\r\n\r\n".to_vec(),
+        ] {
+            let err = read_request(&mut Cursor::new(raw), &Limits::default()).unwrap_err();
+            assert!(
+                matches!(err, HttpError::BadRequest(_)),
+                "expected 400, got {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_method_and_version_get_distinct_statuses() {
+        assert_eq!(
+            parse(b"BREW /pot HTTP/1.1\r\n\r\n"),
+            Err(HttpError::MethodNotImplemented("BREW".into()))
+        );
+        assert_eq!(
+            parse(b"GET / HTTP/2.0\r\n\r\n"),
+            Err(HttpError::VersionNotSupported("HTTP/2.0".into()))
+        );
+    }
+
+    #[test]
+    fn response_round_trips_through_the_client_reader() {
+        let mut wire = Vec::new();
+        write_response(
+            &mut wire,
+            200,
+            "OK",
+            "application/json",
+            b"{\"ok\":true}",
+            true,
+        )
+        .unwrap();
+        let resp = read_response(&mut Cursor::new(wire), &Limits::default()).unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.header("content-type"), Some("application/json"));
+        assert_eq!(resp.text(), "{\"ok\":true}");
+    }
+
+    #[test]
+    fn empty_body_omits_content_type() {
+        let mut wire = Vec::new();
+        write_response(&mut wire, 204, "No Content", "text/plain", b"", false).unwrap();
+        let text = String::from_utf8(wire).unwrap();
+        assert!(!text.contains("Content-Type"));
+        assert!(text.contains("Content-Length: 0"));
+        assert!(text.contains("Connection: close"));
+    }
+}

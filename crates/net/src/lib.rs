@@ -1,0 +1,44 @@
+//! A real wire-protocol serving stack for Tolerance Tiers.
+//!
+//! The workspace simulates the paper's tiered cloud service in virtual
+//! time; this crate puts the same stack behind an actual socket. A
+//! hand-rolled, bounded HTTP/1.1 layer ([`http`]) carries the paper's
+//! API:
+//!
+//! ```text
+//! curl --header "Tolerance: 0.01" \
+//!      --header "Objective: response-time" \
+//!      --data-binary @input-file \
+//!      -X POST http://127.0.0.1:8737/compute
+//! ```
+//!
+//! A request traverses annotation parsing
+//! ([`tt_serve::frontend::parse_annotations`]), tier routing
+//! ([`tt_serve::frontend::TieredFrontend`]), resilient execution on a
+//! live worker pool (retries, circuit breakers, degradation — the
+//! [`service`] module), and billing — end to end over the wire. The
+//! [`server`] module adds the operational surface (`/healthz`,
+//! `/stats`, `/drain`, load shedding, graceful drain) and [`loadgen`]
+//! drives it all in closed- or open-loop mode for the
+//! `BENCH_serve.json` artifact ([`crate::demo`] supplies the
+//! deterministic synthetic deployment they share).
+//!
+//! No HTTP framework is involved: the build environment is offline, so
+//! the wire layer sits directly on `std::net` with hard input bounds,
+//! and the dispatch pool is [`tt_core::TaskPool`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod demo;
+pub mod http;
+pub mod loadgen;
+pub mod server;
+pub mod service;
+pub mod stats;
+
+pub use http::{read_request, read_response, write_response, HttpError, Limits, Request, Response};
+pub use loadgen::{run_load, LoadConfig, LoadMode, LoadReport, TierLoad};
+pub use server::{RunningServer, Server, ServerConfig, ShutdownHandle};
+pub use service::{ComputeOutcome, ComputeService, ServiceConfig, ServiceError, ServiceSnapshot};
+pub use stats::stats_document;

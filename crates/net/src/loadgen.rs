@@ -1,0 +1,430 @@
+//! A load generator for the wire-protocol serving stack.
+//!
+//! Two driving disciplines, both over real sockets:
+//!
+//! * **Closed loop** — `concurrency` clients, each with one persistent
+//!   keep-alive connection, firing its next request the moment the
+//!   previous response lands. Measures the server's capacity.
+//! * **Open loop** — requests fire on a schedule drawn from a seeded
+//!   [`ArrivalProcess`], independent of response times (one
+//!   connection per request). Measures behaviour under offered load,
+//!   including coordinated-omission-free tail latency: each latency is
+//!   measured from the request's *scheduled* send time.
+//!
+//! The request multiset is deterministic: payloads, tolerances, and
+//! objectives come from [`RequestMix::sample`] under a fixed seed, and
+//! each request carries its payload index in a `Payload` header, so
+//! two runs against deterministic services produce identical per-tier
+//! billed totals (wall-clock latencies of course vary).
+
+use crate::http::{read_response, HttpError, Limits};
+use std::collections::BTreeMap;
+use std::io::{self, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+use tt_core::request::ServiceRequest;
+use tt_sim::ArrivalProcess;
+use tt_stats::descriptive::percentile;
+use tt_workloads::RequestMix;
+
+/// How the generator paces requests.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LoadMode {
+    /// `concurrency` clients in lock-step with their own responses.
+    Closed {
+        /// Number of concurrent client connections.
+        concurrency: usize,
+    },
+    /// Seeded Poisson arrivals at `rate_per_sec`, response-independent.
+    Open {
+        /// Mean arrival rate, requests per second.
+        rate_per_sec: f64,
+    },
+}
+
+/// Load-generation parameters.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Total requests to issue.
+    pub requests: usize,
+    /// Pacing discipline.
+    pub mode: LoadMode,
+    /// Tolerance/objective mix requests are drawn from.
+    pub mix: RequestMix,
+    /// Number of profiled payloads on the target service.
+    pub payloads: usize,
+    /// Seed for the request sample (and the open-loop schedule).
+    pub seed: u64,
+    /// Client-side response parsing limits.
+    pub limits: Limits,
+}
+
+impl LoadConfig {
+    /// A small closed-loop config against a service with `payloads`
+    /// payloads.
+    pub fn closed(requests: usize, concurrency: usize, payloads: usize, seed: u64) -> Self {
+        LoadConfig {
+            requests,
+            mode: LoadMode::Closed { concurrency },
+            mix: RequestMix::representative(),
+            payloads,
+            seed,
+            limits: Limits::default(),
+        }
+    }
+
+    /// An open-loop config at `rate_per_sec`.
+    pub fn open(requests: usize, rate_per_sec: f64, payloads: usize, seed: u64) -> Self {
+        LoadConfig {
+            requests,
+            mode: LoadMode::Open { rate_per_sec },
+            mix: RequestMix::representative(),
+            payloads,
+            seed,
+            limits: Limits::default(),
+        }
+    }
+}
+
+/// Latency distribution and counts for one tier, client-observed.
+#[derive(Debug, Clone, Default)]
+pub struct TierLoad {
+    /// Requests that completed with HTTP 200.
+    pub ok: usize,
+    /// Client-observed latencies, milliseconds.
+    pub latencies_ms: Vec<f64>,
+}
+
+impl TierLoad {
+    /// Percentile of this tier's latency sample (ms); `None` if empty.
+    pub fn latency_ms(&self, q: f64) -> Option<f64> {
+        percentile(&self.latencies_ms, q).ok()
+    }
+}
+
+/// What one load run observed.
+#[derive(Debug, Clone, Default)]
+pub struct LoadReport {
+    /// Requests sent.
+    pub sent: usize,
+    /// HTTP 200 responses.
+    pub ok: usize,
+    /// Non-200 responses (shed, unavailable).
+    pub rejected: usize,
+    /// Requests that died on transport errors.
+    pub transport_errors: usize,
+    /// Wall-clock duration of the run.
+    pub wall: Duration,
+    /// All successful latencies, milliseconds.
+    pub latencies_ms: Vec<f64>,
+    /// Per (objective, tolerance-in-tenths-of-percent) tier breakdown.
+    pub per_tier: BTreeMap<(String, u32), TierLoad>,
+}
+
+impl LoadReport {
+    /// Achieved throughput over the whole run.
+    pub fn throughput_rps(&self) -> f64 {
+        if self.wall.is_zero() {
+            0.0
+        } else {
+            self.ok as f64 / self.wall.as_secs_f64()
+        }
+    }
+
+    /// Overall latency percentile (ms); `None` if nothing succeeded.
+    pub fn latency_ms(&self, q: f64) -> Option<f64> {
+        percentile(&self.latencies_ms, q).ok()
+    }
+
+    fn absorb(&mut self, outcome: &RequestOutcome) {
+        self.sent += 1;
+        match outcome.status {
+            Some(200) => {
+                self.ok += 1;
+                let ms = outcome.latency.as_secs_f64() * 1e3;
+                self.latencies_ms.push(ms);
+                let slot = self.per_tier.entry(outcome.tier.clone()).or_default();
+                slot.ok += 1;
+                slot.latencies_ms.push(ms);
+            }
+            Some(_) => self.rejected += 1,
+            None => self.transport_errors += 1,
+        }
+    }
+}
+
+/// One request's fate, as the client saw it.
+struct RequestOutcome {
+    tier: (String, u32),
+    status: Option<u16>,
+    latency: Duration,
+}
+
+fn tier_key(request: &ServiceRequest) -> (String, u32) {
+    (
+        request.objective.to_string(),
+        (request.tolerance.value() * 1000.0).round() as u32,
+    )
+}
+
+fn render_request(request: &ServiceRequest, close: bool) -> String {
+    let body = format!("payload-{}", request.payload);
+    format!(
+        "POST /compute HTTP/1.1\r\nTolerance: {}\r\nObjective: {}\r\nPayload: {}\r\n\
+         Content-Length: {}\r\nConnection: {}\r\n\r\n{}",
+        request.tolerance.value(),
+        request.objective,
+        request.payload,
+        body.len(),
+        if close { "close" } else { "keep-alive" },
+        body,
+    )
+}
+
+/// A persistent client connection.
+struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+    limits: Limits,
+}
+
+impl Client {
+    fn connect(addr: SocketAddr, limits: Limits) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client {
+            writer: stream,
+            reader,
+            limits,
+        })
+    }
+
+    fn roundtrip(&mut self, request: &ServiceRequest, close: bool) -> Result<u16, HttpError> {
+        self.writer
+            .write_all(render_request(request, close).as_bytes())
+            .map_err(|_| HttpError::Truncated)?;
+        read_response(&mut self.reader, &self.limits).map(|r| r.status)
+    }
+}
+
+/// Issue one request on a fresh connection (open-loop discipline).
+fn one_shot(addr: SocketAddr, limits: Limits, request: &ServiceRequest) -> Option<u16> {
+    let mut client = Client::connect(addr, limits).ok()?;
+    client.roundtrip(request, true).ok()
+}
+
+/// Drive `addr` per `config` and collect the report.
+///
+/// # Errors
+///
+/// Fails only on setup errors (no connection at all); per-request
+/// transport failures are counted, not fatal.
+///
+/// # Panics
+///
+/// Panics if `config.requests == 0`, `payloads == 0`, a closed-loop
+/// concurrency of 0, or a non-positive open-loop rate.
+pub fn run_load(addr: SocketAddr, config: &LoadConfig) -> io::Result<LoadReport> {
+    assert!(config.requests > 0, "load needs at least one request");
+    assert!(config.payloads > 0, "load needs a payload population");
+    let requests = config
+        .mix
+        .sample(config.requests, config.payloads, config.seed);
+    // Fail fast if the server is not there at all.
+    drop(TcpStream::connect(addr)?);
+
+    let started = Instant::now();
+    let outcomes = match config.mode {
+        LoadMode::Closed { concurrency } => {
+            assert!(concurrency > 0, "closed loop needs at least one client");
+            run_closed(addr, config.limits, &requests, concurrency)
+        }
+        LoadMode::Open { rate_per_sec } => {
+            assert!(
+                rate_per_sec > 0.0 && rate_per_sec.is_finite(),
+                "open loop needs a positive rate"
+            );
+            run_open(addr, config.limits, &requests, rate_per_sec, config.seed)
+        }
+    };
+    let mut report = LoadReport {
+        wall: started.elapsed(),
+        ..LoadReport::default()
+    };
+    for outcome in &outcomes {
+        report.absorb(outcome);
+    }
+    Ok(report)
+}
+
+/// Closed loop: split the request list round-robin across `concurrency`
+/// clients; each fires as fast as its own responses return.
+fn run_closed(
+    addr: SocketAddr,
+    limits: Limits,
+    requests: &[ServiceRequest],
+    concurrency: usize,
+) -> Vec<RequestOutcome> {
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..concurrency)
+            .map(|lane| {
+                let slice: Vec<ServiceRequest> = requests
+                    .iter()
+                    .skip(lane)
+                    .step_by(concurrency)
+                    .cloned()
+                    .collect();
+                scope.spawn(move || {
+                    let mut outcomes = Vec::with_capacity(slice.len());
+                    let mut client = Client::connect(addr, limits).ok();
+                    for (i, request) in slice.iter().enumerate() {
+                        let close = i + 1 == slice.len();
+                        let fired = Instant::now();
+                        let status = match &mut client {
+                            Some(c) => match c.roundtrip(request, close) {
+                                Ok(status) => Some(status),
+                                Err(_) => {
+                                    // One reconnect per failure: the
+                                    // server may have reaped an idle
+                                    // keep-alive connection.
+                                    client = Client::connect(addr, limits).ok();
+                                    client
+                                        .as_mut()
+                                        .and_then(|c| c.roundtrip(request, close).ok())
+                                }
+                            },
+                            None => {
+                                client = Client::connect(addr, limits).ok();
+                                client
+                                    .as_mut()
+                                    .and_then(|c| c.roundtrip(request, close).ok())
+                            }
+                        };
+                        outcomes.push(RequestOutcome {
+                            tier: tier_key(request),
+                            status,
+                            latency: fired.elapsed(),
+                        });
+                    }
+                    outcomes
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("load lane panicked"))
+            .collect()
+    })
+}
+
+/// Open loop: a seeded arrival schedule assigns each request a send
+/// time; worker threads sleep until their request is due, then fire it
+/// on a fresh connection. Latency runs from the *scheduled* time, so
+/// server-side queueing is charged to the server, not hidden by the
+/// client (no coordinated omission).
+fn run_open(
+    addr: SocketAddr,
+    limits: Limits,
+    requests: &[ServiceRequest],
+    rate_per_sec: f64,
+    seed: u64,
+) -> Vec<RequestOutcome> {
+    let arrivals = ArrivalProcess::poisson(rate_per_sec, seed)
+        .expect("positive rate")
+        .take(requests.len());
+    let schedule: Vec<(Duration, &ServiceRequest)> = arrivals
+        .zip(requests.iter())
+        .map(|(at, request)| (Duration::from_micros(at.as_micros()), request))
+        .collect();
+    // Enough lanes that a straggling response does not delay later
+    // scheduled sends (bounded, to stay a polite loopback citizen).
+    let lanes = requests.len().clamp(1, 32);
+    let epoch = Instant::now();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..lanes)
+            .map(|lane| {
+                let slice: Vec<(Duration, &ServiceRequest)> =
+                    schedule.iter().skip(lane).step_by(lanes).copied().collect();
+                scope.spawn(move || {
+                    let mut outcomes = Vec::with_capacity(slice.len());
+                    for (due, request) in slice {
+                        if let Some(wait) = due.checked_sub(epoch.elapsed()) {
+                            std::thread::sleep(wait);
+                        }
+                        let status = one_shot(addr, limits, request);
+                        outcomes.push(RequestOutcome {
+                            tier: tier_key(request),
+                            status,
+                            latency: epoch.elapsed().saturating_sub(due),
+                        });
+                    }
+                    outcomes
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("load lane panicked"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tt_core::objective::Objective;
+    use tt_core::request::Tolerance;
+
+    #[test]
+    fn rendered_requests_follow_the_paper_shape() {
+        let request = ServiceRequest::new(7, Tolerance::new(0.05).unwrap(), Objective::Cost);
+        let wire = render_request(&request, false);
+        assert!(wire.starts_with("POST /compute HTTP/1.1\r\n"));
+        assert!(wire.contains("Tolerance: 0.05\r\n"));
+        assert!(wire.contains("Objective: cost\r\n"));
+        assert!(wire.contains("Payload: 7\r\n"));
+        assert!(wire.contains("Connection: keep-alive\r\n"));
+        assert!(wire.ends_with("\r\n\r\npayload-7"));
+    }
+
+    #[test]
+    fn report_folds_outcomes_by_tier() {
+        let mut report = LoadReport {
+            wall: Duration::from_secs(2),
+            ..LoadReport::default()
+        };
+        for (status, ms) in [
+            (Some(200), 4.0),
+            (Some(200), 8.0),
+            (Some(503), 0.0),
+            (None, 0.0),
+        ] {
+            report.absorb(&RequestOutcome {
+                tier: ("cost".to_string(), 50),
+                status,
+                latency: Duration::from_secs_f64(ms / 1e3),
+            });
+        }
+        assert_eq!(report.sent, 4);
+        assert_eq!(report.ok, 2);
+        assert_eq!(report.rejected, 1);
+        assert_eq!(report.transport_errors, 1);
+        assert_eq!(report.throughput_rps(), 1.0);
+        assert_eq!(report.latency_ms(0.5), Some(6.0));
+        assert_eq!(report.per_tier[&("cost".to_string(), 50)].ok, 2);
+    }
+
+    #[test]
+    fn request_sample_is_deterministic() {
+        let config = LoadConfig::closed(64, 4, 20, 123);
+        let a = config
+            .mix
+            .sample(config.requests, config.payloads, config.seed);
+        let b = config
+            .mix
+            .sample(config.requests, config.payloads, config.seed);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,598 @@
+//! The HTTP server: bounded accept/dispatch, routing, and graceful
+//! shutdown.
+//!
+//! Architecture:
+//!
+//! * The accept loop runs on one thread with a non-blocking listener,
+//!   polling a shutdown flag between accepts.
+//! * Each accepted connection is dispatched to a bounded
+//!   [`tt_core::TaskPool`]; when the pool's queue is full the server
+//!   answers `503` inline instead of queueing unboundedly — load
+//!   shedding at the front door, mirroring what the circuit breakers
+//!   do per model pool behind it.
+//! * Connections are persistent (HTTP/1.1 keep-alive) with an idle
+//!   timeout; one task owns one connection for its lifetime.
+//! * Graceful shutdown ([`ShutdownHandle::initiate`], or `POST
+//!   /drain`): the accept loop stops taking new connections, every
+//!   response switches to `Connection: close`, idle connections are
+//!   reaped by the keep-alive timeout, and [`Server::run`] returns
+//!   only after the task pool has drained — in-flight requests always
+//!   get their answer.
+//!
+//! Routes: `POST /compute` (the paper's API), `GET /healthz`,
+//! `GET /stats`, `POST /drain`.
+
+use crate::http::{read_request, write_response, Limits, Request};
+use crate::service::{ComputeService, ServiceError};
+use crate::stats::stats_document;
+use parking_lot::Mutex;
+use std::io::{self, BufReader};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use tt_bench::perfjson::JsonObject;
+use tt_core::TaskPool;
+use tt_serve::frontend::parse_annotations;
+
+/// Server tuning.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Wire-parsing limits (header/body bounds).
+    pub limits: Limits,
+    /// Connection-handling worker threads.
+    pub http_workers: usize,
+    /// Accepted connections that may wait for a worker before the
+    /// server starts shedding with `503`.
+    pub backlog: usize,
+    /// Idle keep-alive connections are closed after this long.
+    pub keep_alive_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            limits: Limits::default(),
+            http_workers: 4,
+            backlog: 64,
+            keep_alive_timeout: Duration::from_secs(2),
+        }
+    }
+}
+
+/// Remote control for a running server: flip the flag and the accept
+/// loop begins a graceful drain.
+#[derive(Debug, Clone)]
+pub struct ShutdownHandle(Arc<AtomicBool>);
+
+impl ShutdownHandle {
+    /// Begin graceful shutdown (idempotent).
+    pub fn initiate(&self) {
+        self.0.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether a drain has been requested.
+    pub fn is_draining(&self) -> bool {
+        self.0.load(Ordering::SeqCst)
+    }
+}
+
+/// A bound-but-not-yet-running server.
+#[derive(Debug)]
+pub struct Server {
+    listener: TcpListener,
+    addr: SocketAddr,
+    service: Arc<ComputeService>,
+    config: ServerConfig,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// Bind `addr` (use port 0 for an ephemeral loopback port).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        service: Arc<ComputeService>,
+        config: ServerConfig,
+    ) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        Ok(Server {
+            listener,
+            addr,
+            service,
+            config,
+            shutdown: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A handle that can initiate graceful shutdown from any thread.
+    pub fn shutdown_handle(&self) -> ShutdownHandle {
+        ShutdownHandle(Arc::clone(&self.shutdown))
+    }
+
+    /// Serve until shutdown is initiated, then drain in-flight
+    /// connections and return. Blocking; see [`Server::spawn`] for the
+    /// background variant.
+    ///
+    /// # Errors
+    ///
+    /// Propagates fatal listener errors (per-connection errors are
+    /// contained).
+    pub fn run(self) -> io::Result<()> {
+        self.listener.set_nonblocking(true)?;
+        let mut pool = TaskPool::new(self.config.http_workers, self.config.backlog);
+        while !self.shutdown.load(Ordering::SeqCst) {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => self.dispatch(&pool, stream),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        // Drain: joining the pool first waits out queued and running
+        // connection tasks; their responses already advertise
+        // `Connection: close` because the flag is up.
+        pool.join();
+        Ok(())
+    }
+
+    /// Run on a background thread; the returned handle stops and joins
+    /// the server (also on drop).
+    pub fn spawn(self) -> RunningServer {
+        let addr = self.addr;
+        let handle = self.shutdown_handle();
+        let thread = std::thread::spawn(move || self.run());
+        RunningServer {
+            addr,
+            handle,
+            thread: Some(thread),
+        }
+    }
+
+    /// Hand one accepted connection to the task pool, or shed it.
+    fn dispatch(&self, pool: &TaskPool, stream: TcpStream) {
+        // Accepted sockets go back to blocking mode with a read
+        // timeout: the handler thread blocks per connection, and idle
+        // keep-alive peers are reaped by the timeout.
+        let _ = stream.set_nonblocking(false);
+        let _ = stream.set_nodelay(true);
+        let _ = stream.set_read_timeout(Some(self.config.keep_alive_timeout));
+
+        // The connection rides to the worker inside a shared slot so
+        // that, if the pool refuses the task, the accept loop can take
+        // the stream back and answer 503 itself.
+        let slot = Arc::new(Mutex::new(Some(stream)));
+        let task = {
+            let slot = Arc::clone(&slot);
+            let service = Arc::clone(&self.service);
+            let shutdown = Arc::clone(&self.shutdown);
+            let limits = self.config.limits;
+            move || {
+                if let Some(stream) = slot.lock().take() {
+                    handle_connection(&service, &limits, &shutdown, stream);
+                }
+            }
+        };
+        if let Err(refused) = pool.try_execute(task) {
+            drop(refused);
+            if let Some(mut stream) = slot.lock().take() {
+                let body = error_body("server saturated, retry later");
+                let _ = write_response(
+                    &mut stream,
+                    503,
+                    "Service Unavailable",
+                    "application/json",
+                    body.as_bytes(),
+                    false,
+                );
+            }
+        }
+    }
+}
+
+/// A server running on a background thread.
+#[derive(Debug)]
+pub struct RunningServer {
+    addr: SocketAddr,
+    handle: ShutdownHandle,
+    thread: Option<std::thread::JoinHandle<io::Result<()>>>,
+}
+
+impl RunningServer {
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A shutdown handle for this server.
+    pub fn handle(&self) -> ShutdownHandle {
+        self.handle.clone()
+    }
+
+    /// Initiate shutdown, wait for the drain, and return the server
+    /// thread's result.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the server loop's fatal error, if any.
+    pub fn stop(mut self) -> io::Result<()> {
+        self.handle.initiate();
+        match self.thread.take() {
+            Some(t) => t.join().unwrap_or(Ok(())),
+            None => Ok(()),
+        }
+    }
+}
+
+impl Drop for RunningServer {
+    fn drop(&mut self) {
+        self.handle.initiate();
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// One response, pre-serialization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct Reply {
+    pub status: u16,
+    pub reason: &'static str,
+    pub content_type: &'static str,
+    pub body: String,
+}
+
+impl Reply {
+    fn json(status: u16, reason: &'static str, body: String) -> Reply {
+        Reply {
+            status,
+            reason,
+            content_type: "application/json",
+            body,
+        }
+    }
+}
+
+pub(crate) fn error_body(message: &str) -> String {
+    JsonObject::new().with_str("error", message).render()
+}
+
+/// Serve requests off one connection until it closes, errors, times
+/// out idle, or the server begins draining.
+fn handle_connection(
+    service: &ComputeService,
+    limits: &Limits,
+    shutdown: &AtomicBool,
+    stream: TcpStream,
+) {
+    let mut reader = match stream.try_clone() {
+        Ok(clone) => BufReader::new(clone),
+        Err(_) => return,
+    };
+    let mut writer = stream;
+    loop {
+        match read_request(&mut reader, limits) {
+            Ok(None) => return,
+            Ok(Some(request)) => {
+                let reply = route(service, shutdown, &request);
+                let keep_alive = request.keep_alive && !shutdown.load(Ordering::SeqCst);
+                let body = if request.method == "HEAD" {
+                    &[][..]
+                } else {
+                    reply.body.as_bytes()
+                };
+                if write_response(
+                    &mut writer,
+                    reply.status,
+                    reply.reason,
+                    reply.content_type,
+                    body,
+                    keep_alive,
+                )
+                .is_err()
+                    || !keep_alive
+                {
+                    return;
+                }
+            }
+            Err(err) => {
+                // Parse errors map to their status when the peer is
+                // still there to hear it; truncation (including the
+                // idle keep-alive timeout) just closes.
+                if let Some((status, reason)) = err.status() {
+                    let body = error_body(&err.to_string());
+                    let _ = write_response(
+                        &mut writer,
+                        status,
+                        reason,
+                        "application/json",
+                        body.as_bytes(),
+                        false,
+                    );
+                }
+                return;
+            }
+        }
+    }
+}
+
+/// Route one parsed request to a handler.
+pub(crate) fn route(service: &ComputeService, shutdown: &AtomicBool, request: &Request) -> Reply {
+    match (request.method.as_str(), request.path()) {
+        ("POST", "/compute") => compute(service, request),
+        ("GET", "/healthz") | ("HEAD", "/healthz") => Reply {
+            status: 200,
+            reason: "OK",
+            content_type: "text/plain",
+            body: "ok\n".to_string(),
+        },
+        ("GET", "/stats") | ("HEAD", "/stats") => {
+            let uptime_ms = service.started().elapsed().as_millis() as u64;
+            Reply::json(
+                200,
+                "OK",
+                stats_document(&service.snapshot(), uptime_ms).render(),
+            )
+        }
+        ("POST", "/drain") => {
+            shutdown.store(true, Ordering::SeqCst);
+            Reply::json(
+                202,
+                "Accepted",
+                JsonObject::new()
+                    .with("draining", tt_bench::perfjson::Json::Bool(true))
+                    .render(),
+            )
+        }
+        (_, "/compute") | (_, "/healthz") | (_, "/stats") | (_, "/drain") => Reply::json(
+            405,
+            "Method Not Allowed",
+            error_body(&format!(
+                "method {} not allowed for {}",
+                request.method,
+                request.path()
+            )),
+        ),
+        (_, path) => Reply::json(
+            404,
+            "Not Found",
+            error_body(&format!("no route for {path}")),
+        ),
+    }
+}
+
+/// FNV-1a over the body bytes: payload selection for clients that send
+/// opaque data without a `Payload` header.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Which profiled payload a request maps to: an explicit `Payload`
+/// header (index, used by the load generator for determinism), else a
+/// stable hash of the body.
+fn payload_for(request: &Request, payloads: usize) -> Result<usize, String> {
+    match request.header("payload") {
+        Some(value) => value
+            .trim()
+            .parse::<usize>()
+            .map(|p| p % payloads.max(1))
+            .map_err(|_| format!("bad Payload header `{value}` (want an index)")),
+        None => Ok((fnv1a(&request.body) % payloads.max(1) as u64) as usize),
+    }
+}
+
+/// `POST /compute`: the paper's API over a real wire.
+fn compute(service: &ComputeService, request: &Request) -> Reply {
+    // Only the API's own annotation headers are forwarded to the
+    // annotation parser; transport headers (Host, Content-Length, ...)
+    // belong to HTTP, not to the Tolerance Tiers API. Duplicates are
+    // preserved so the parser's DuplicateHeader error still fires.
+    let mut annotations = String::new();
+    for (name, value) in &request.headers {
+        if name.eq_ignore_ascii_case("tolerance") || name.eq_ignore_ascii_case("objective") {
+            annotations.push_str(name);
+            annotations.push_str(": ");
+            annotations.push_str(value);
+            annotations.push_str("\r\n");
+        }
+    }
+    let (tolerance, objective) = match parse_annotations(&annotations) {
+        Ok(parsed) => parsed,
+        Err(err) => return Reply::json(400, "Bad Request", error_body(&err.to_string())),
+    };
+    let payload = match payload_for(request, service.matrix().requests()) {
+        Ok(p) => p,
+        Err(why) => return Reply::json(400, "Bad Request", error_body(&why)),
+    };
+    let service_request = tt_core::request::ServiceRequest::new(payload, tolerance, objective);
+    match service.execute(&service_request) {
+        Ok(outcome) => {
+            let body = JsonObject::new()
+                .with_str("answered_by", &outcome.version_name)
+                .with_int("version", outcome.answered_by as i64)
+                .with_int("payload", payload as i64)
+                .with_num("tolerance", tolerance.value())
+                .with_str("objective", &objective.to_string())
+                .with_num("quality_err", outcome.quality_err)
+                .with_num("confidence", outcome.confidence)
+                .with_int("latency_us", outcome.simulated_latency_us as i64)
+                .with_num("price_usd", outcome.price.as_dollars())
+                .with("degraded", tt_bench::perfjson::Json::Bool(outcome.degraded))
+                .render();
+            Reply::json(200, "OK", body)
+        }
+        Err(ServiceError::Unavailable) => Reply::json(
+            503,
+            "Service Unavailable",
+            error_body(&ServiceError::Unavailable.to_string()),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::demo::demo_service;
+    use crate::http::{read_response, Limits};
+    use crate::service::ServiceConfig;
+    use std::io::Write;
+
+    fn svc() -> Arc<ComputeService> {
+        Arc::new(demo_service(60, 9, ServiceConfig::defaults()))
+    }
+
+    fn req(method: &str, target: &str, headers: &[(&str, &str)], body: &[u8]) -> Request {
+        Request {
+            method: method.to_string(),
+            target: target.to_string(),
+            headers: headers
+                .iter()
+                .map(|(n, v)| (n.to_string(), v.to_string()))
+                .collect(),
+            body: body.to_vec(),
+            keep_alive: true,
+        }
+    }
+
+    #[test]
+    fn routes_cover_the_api_surface() {
+        let service = svc();
+        let off = AtomicBool::new(false);
+        let ok = route(
+            &service,
+            &off,
+            &req(
+                "POST",
+                "/compute",
+                &[
+                    ("Tolerance", "0.05"),
+                    ("Objective", "cost"),
+                    ("Payload", "3"),
+                ],
+                b"",
+            ),
+        );
+        assert_eq!(ok.status, 200);
+        assert!(ok.body.contains("\"answered_by\""));
+        assert!(ok.body.contains("\"price_usd\""));
+
+        assert_eq!(
+            route(&service, &off, &req("GET", "/healthz", &[], b"")).status,
+            200
+        );
+        let stats = route(&service, &off, &req("GET", "/stats?x=1", &[], b""));
+        assert_eq!(stats.status, 200);
+        assert!(stats.body.contains("\"service\": \"toltiers\""));
+        assert_eq!(
+            route(&service, &off, &req("GET", "/compute", &[], b"")).status,
+            405
+        );
+        assert_eq!(
+            route(&service, &off, &req("POST", "/nope", &[], b"")).status,
+            404
+        );
+    }
+
+    #[test]
+    fn bad_annotations_become_400_bodies() {
+        let service = svc();
+        let off = AtomicBool::new(false);
+        for (headers, needle) in [
+            (vec![("Tolerance", "lots")], "invalid tolerance"),
+            (vec![("Tolerance", "-1")], "out of range"),
+            (vec![("Objective", "teleport")], "invalid objective"),
+            (
+                vec![("Tolerance", "0.01"), ("Tolerance", "0.05")],
+                "duplicate",
+            ),
+            (vec![("Payload", "banana")], "bad Payload header"),
+        ] {
+            let reply = route(&service, &off, &req("POST", "/compute", &headers, b""));
+            assert_eq!(reply.status, 400, "headers {headers:?}");
+            assert!(reply.body.contains(needle), "{} !~ {needle}", reply.body);
+        }
+    }
+
+    #[test]
+    fn unannotated_requests_get_the_strict_default_tier() {
+        let service = svc();
+        let off = AtomicBool::new(false);
+        let reply = route(
+            &service,
+            &off,
+            &req("POST", "/compute", &[], b"opaque-bytes"),
+        );
+        assert_eq!(reply.status, 200);
+        assert!(reply.body.contains("\"tolerance\": 0"));
+        assert!(reply.body.contains("\"objective\": \"response-time\""));
+    }
+
+    #[test]
+    fn drain_endpoint_flips_the_shutdown_flag() {
+        let service = svc();
+        let flag = AtomicBool::new(false);
+        let reply = route(&service, &flag, &req("POST", "/drain", &[], b""));
+        assert_eq!(reply.status, 202);
+        assert!(flag.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn body_hash_payloads_are_stable_and_in_range() {
+        let r = req("POST", "/compute", &[], b"some payload bytes");
+        assert_eq!(payload_for(&r, 17), payload_for(&r, 17));
+        assert!(payload_for(&r, 17).unwrap() < 17);
+        let explicit = req("POST", "/compute", &[("Payload", "41")], b"");
+        assert_eq!(payload_for(&explicit, 7).unwrap(), 41 % 7);
+    }
+
+    #[test]
+    fn loopback_round_trip_and_graceful_stop() {
+        let server = Server::bind(
+            "127.0.0.1:0",
+            svc(),
+            ServerConfig {
+                keep_alive_timeout: Duration::from_millis(300),
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let addr = server.local_addr();
+        let running = server.spawn();
+
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .write_all(
+                b"POST /compute HTTP/1.1\r\nTolerance: 0.10\r\nObjective: response-time\r\n\
+                  Payload: 5\r\nContent-Length: 0\r\n\r\n",
+            )
+            .unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let response = read_response(&mut reader, &Limits::default()).unwrap();
+        assert_eq!(response.status, 200);
+        assert!(response.text().contains("\"answered_by\""));
+
+        // Keep-alive: a second request rides the same connection.
+        stream.write_all(b"GET /healthz HTTP/1.1\r\n\r\n").unwrap();
+        let response = read_response(&mut reader, &Limits::default()).unwrap();
+        assert_eq!(response.status, 200);
+
+        drop(stream);
+        running.stop().unwrap();
+    }
+}

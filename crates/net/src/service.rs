@@ -1,0 +1,804 @@
+//! The compute service behind `POST /compute`: tier routing, resilient
+//! wall-clock execution, and billing.
+//!
+//! A request that reaches [`ComputeService::execute`] has already been
+//! parsed off the wire; from here it traverses the same stations the
+//! paper's Fig. 4 architecture describes — [`TieredFrontend`] policy
+//! resolution, execution on the [`tt_serve::live::WorkerPool`] thread
+//! pool under the PR-1 resilience policies (retry with capped backoff,
+//! per-version circuit breakers, optional seeded fault injection,
+//! graceful degradation), then the billing ledger.
+//!
+//! Time is two-layered, like the rest of the workspace: *wall-clock*
+//! concurrency is real (worker threads, optional scaled sleeps), but
+//! the *accounted* latency, quality error, and money all come from the
+//! profiled virtual-cost model, so a fixed request set produces
+//! identical per-tier billed totals on every run regardless of thread
+//! scheduling.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+use tt_core::policy::{Policy, Scheduling, Termination};
+use tt_core::profile::ProfileMatrix;
+use tt_core::request::ServiceRequest;
+use tt_serve::billing::{BillingReport, TierPriceSchedule};
+use tt_serve::frontend::TieredFrontend;
+use tt_serve::live::{ModelCall, WorkerPool};
+use tt_serve::resilience::{BreakerPolicy, CircuitBreaker, ResilienceStats, RetryPolicy};
+use tt_serve::trace::{TraceEvent, TraceRecorder};
+use tt_sim::{CostLedger, FaultOutcome, FaultPlan, InstanceType, Money, SimDuration, SimTime};
+
+/// Tuning for a [`ComputeService`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Per-invocation prices by tolerance tier.
+    pub schedule: TierPriceSchedule,
+    /// Retry budget for failed model invocations.
+    pub retry: RetryPolicy,
+    /// Per-version circuit breakers; `None` disables them.
+    pub breaker: Option<BreakerPolicy>,
+    /// Answer from a cheaper version when a stage exhausts its options
+    /// (off: such requests get `503`).
+    pub degrade: bool,
+    /// Seeded per-version fault injection; `None` runs fault-free.
+    pub faults: Option<FaultPlan>,
+    /// Wall-clock sleep per model call, as a fraction of the profiled
+    /// latency (`0.0` = no sleep; `1.0` = real-time replay).
+    pub latency_scale: f64,
+    /// Model-execution worker threads.
+    pub model_workers: usize,
+}
+
+impl ServiceConfig {
+    /// Fault-free defaults: list prices, two immediate retries,
+    /// breakers on, degradation on, no sleeps, four model workers.
+    pub fn defaults() -> Self {
+        ServiceConfig {
+            schedule: TierPriceSchedule::list_prices(Money::from_dollars(0.001)),
+            retry: RetryPolicy::immediate(2),
+            breaker: Some(BreakerPolicy {
+                failure_threshold: 5,
+                cooldown: SimDuration::from_secs_f64(1.0),
+            }),
+            degrade: true,
+            faults: None,
+            latency_scale: 0.0,
+            model_workers: 4,
+        }
+    }
+}
+
+/// Why a request could not be answered.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServiceError {
+    /// Every execution avenue (retries, siblings, degradation) failed.
+    Unavailable,
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::Unavailable => write!(f, "no version could answer the request"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+/// One answered request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComputeOutcome {
+    /// The version whose answer was returned.
+    pub answered_by: usize,
+    /// Its display name.
+    pub version_name: String,
+    /// Quality error of the returned answer (virtual-cost model).
+    pub quality_err: f64,
+    /// Confidence the answering version reported.
+    pub confidence: f64,
+    /// Accounted latency under the virtual-cost model, µs.
+    pub simulated_latency_us: u64,
+    /// What this invocation was billed.
+    pub price: Money,
+    /// The tier policy that served the request.
+    pub policy: Policy,
+    /// Whether faults/sheds forced an answer the policy did not intend.
+    pub degraded: bool,
+}
+
+/// Aggregate view for `/stats` and tests.
+#[derive(Debug, Clone)]
+pub struct ServiceSnapshot {
+    /// Requests answered.
+    pub served: usize,
+    /// Per-request trace (per-tier sliceable).
+    pub trace: TraceRecorder,
+    /// Resilience counters.
+    pub resilience: ResilienceStats,
+    /// Tier economics folded from the trace.
+    pub billing: BillingReport,
+}
+
+/// Mutable run state behind one lock: the trace and the money.
+#[derive(Debug, Default)]
+struct Ledgered {
+    trace: TraceRecorder,
+    ledger: CostLedger,
+}
+
+/// The outcome of executing one policy on the worker pool.
+struct StageOutcome {
+    answered_by: usize,
+    degraded: bool,
+    /// Accounted latency of the path actually taken, µs.
+    sim_latency_us: u64,
+    /// Accounted busy time across all launched invocations, µs.
+    busy_us: u64,
+    /// Model invocations launched (for per-invocation billing).
+    invocations: u64,
+}
+
+type StageCall = ModelCall<Result<usize, ()>>;
+
+/// The tiered compute service.
+pub struct ComputeService {
+    matrix: Arc<ProfileMatrix>,
+    frontend: TieredFrontend,
+    config: ServiceConfig,
+    pool: WorkerPool<Result<usize, ()>>,
+    breakers: Arc<Mutex<Vec<CircuitBreaker>>>,
+    faults: Option<Arc<Mutex<FaultPlan>>>,
+    stats: Arc<Mutex<ResilienceStats>>,
+    state: Mutex<Ledgered>,
+    served: AtomicUsize,
+    started: Instant,
+    /// Versions by ascending mean profiled latency ("cheaper" first).
+    version_order: Vec<usize>,
+    instance: InstanceType,
+}
+
+impl std::fmt::Debug for ComputeService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ComputeService")
+            .field("versions", &self.matrix.versions())
+            .field("payloads", &self.matrix.requests())
+            .finish_non_exhaustive()
+    }
+}
+
+impl ComputeService {
+    /// Assemble a service over a profiled deployment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a configured fault plan does not cover every version,
+    /// or the retry policy is invalid.
+    pub fn new(
+        matrix: Arc<ProfileMatrix>,
+        frontend: TieredFrontend,
+        config: ServiceConfig,
+    ) -> Self {
+        if let Some(plan) = &config.faults {
+            assert_eq!(
+                plan.pools(),
+                matrix.versions(),
+                "fault plan must cover every version pool"
+            );
+        }
+        config.retry.validate().expect("retry policy must be valid");
+        let versions = matrix.versions();
+        let mean_latency: Vec<f64> = (0..versions)
+            .map(|v| {
+                (0..matrix.requests())
+                    .map(|r| matrix.get(r, v).latency_us as f64)
+                    .sum::<f64>()
+                    / matrix.requests().max(1) as f64
+            })
+            .collect();
+        let mut version_order: Vec<usize> = (0..versions).collect();
+        version_order.sort_by(|&a, &b| {
+            mean_latency[a]
+                .partial_cmp(&mean_latency[b])
+                .expect("finite latencies")
+                .then(a.cmp(&b))
+        });
+        let breakers = match config.breaker {
+            Some(policy) => (0..versions).map(|_| CircuitBreaker::new(policy)).collect(),
+            None => Vec::new(),
+        };
+        ComputeService {
+            pool: WorkerPool::new(config.model_workers.max(1)),
+            breakers: Arc::new(Mutex::new(breakers)),
+            faults: config.faults.clone().map(|p| Arc::new(Mutex::new(p))),
+            stats: Arc::new(Mutex::new(ResilienceStats::default())),
+            state: Mutex::new(Ledgered::default()),
+            served: AtomicUsize::new(0),
+            started: Instant::now(),
+            version_order,
+            instance: InstanceType::cpu_node(),
+            matrix,
+            frontend,
+            config,
+        }
+    }
+
+    /// The profiled deployment this service answers from.
+    pub fn matrix(&self) -> &ProfileMatrix {
+        &self.matrix
+    }
+
+    /// The deployed frontend.
+    pub fn frontend(&self) -> &TieredFrontend {
+        &self.frontend
+    }
+
+    /// The price schedule requests are billed against.
+    pub fn schedule(&self) -> &TierPriceSchedule {
+        &self.config.schedule
+    }
+
+    /// Wall-clock instant the service started.
+    pub fn started(&self) -> Instant {
+        self.started
+    }
+
+    fn now(&self) -> SimTime {
+        SimTime::from_micros(self.started.elapsed().as_micros() as u64)
+    }
+
+    fn allows(&self, version: usize) -> bool {
+        let mut breakers = self.breakers.lock();
+        match breakers.get_mut(version) {
+            Some(b) => b.allows(self.now()),
+            None => true,
+        }
+    }
+
+    /// Build one model invocation: an optionally-slept table lookup
+    /// whose failure behaviour comes from the seeded fault plan, with
+    /// breaker bookkeeping folded in.
+    fn make_call(&self, version: usize, payload: usize) -> StageCall {
+        let obs = *self.matrix.get(payload, version);
+        let scale = self.config.latency_scale;
+        let faults = self.faults.clone();
+        let breakers = Arc::clone(&self.breakers);
+        let stats = Arc::clone(&self.stats);
+        let started = self.started;
+        Box::new(move || {
+            let fault = match &faults {
+                Some(plan) => plan.lock().draw(version),
+                None => FaultOutcome::None,
+            };
+            let nominal_secs = obs.latency_us as f64 * 1e-6 * scale;
+            let sleep = |factor: f64| {
+                if nominal_secs > 0.0 {
+                    std::thread::sleep(std::time::Duration::from_secs_f64(nominal_secs * factor));
+                }
+            };
+            let now = SimTime::from_micros(started.elapsed().as_micros() as u64);
+            let record = |success: bool| {
+                if let Some(b) = breakers.lock().get_mut(version) {
+                    b.record(success, now);
+                }
+            };
+            match fault {
+                FaultOutcome::None => {
+                    sleep(1.0);
+                    record(true);
+                    (Ok(version), obs.confidence)
+                }
+                FaultOutcome::Straggler { factor } => {
+                    sleep(factor);
+                    record(true);
+                    stats.lock().slow_invocations += 1;
+                    (Ok(version), obs.confidence)
+                }
+                FaultOutcome::Crash { at_fraction } => {
+                    sleep(at_fraction);
+                    record(false);
+                    stats.lock().failed_invocations += 1;
+                    (Err(()), 0.0)
+                }
+                FaultOutcome::Transient => {
+                    sleep(1.0);
+                    record(false);
+                    stats.lock().failed_invocations += 1;
+                    (Err(()), 0.0)
+                }
+            }
+        })
+    }
+
+    /// Run one stage through `call_with_retry`, charging every attempt
+    /// to the outcome's invocation/busy tallies.
+    fn run_stage(&self, version: usize, payload: usize, out: &mut StageOutcome) -> Result<f64, ()> {
+        let attempts = Arc::new(AtomicU32::new(0));
+        let counter = Arc::clone(&attempts);
+        let result = self.pool.call_with_retry(
+            || {
+                counter.fetch_add(1, Ordering::SeqCst);
+                self.make_call(version, payload)
+            },
+            &self.config.retry,
+        );
+        let attempts = attempts.load(Ordering::SeqCst) as u64;
+        let latency = self.matrix.get(payload, version).latency_us;
+        out.invocations += attempts;
+        out.busy_us += latency * attempts;
+        if attempts > 1 {
+            self.stats.lock().retries += (attempts - 1) as usize;
+        }
+        match result {
+            Ok((_, confidence)) => Ok(confidence),
+            Err(()) => Err(()),
+        }
+    }
+
+    /// The nearest strictly-cheaper version whose breaker accepts work.
+    fn degrade_target(&self, from: usize) -> Option<usize> {
+        let pos = self.version_order.iter().position(|&v| v == from)?;
+        self.version_order[..pos]
+            .iter()
+            .rev()
+            .copied()
+            .find(|&v| self.allows(v))
+    }
+
+    /// Last resort: answer from a cheaper sibling (single un-retried
+    /// invocation), or give up.
+    fn degrade_or_fail(
+        &self,
+        failed: usize,
+        payload: usize,
+        mut out: StageOutcome,
+    ) -> Result<StageOutcome, ServiceError> {
+        if self.config.degrade {
+            if let Some(alt) = self.degrade_target(failed) {
+                if self.run_stage(alt, payload, &mut out).is_ok() {
+                    out.answered_by = alt;
+                    out.degraded = true;
+                    out.sim_latency_us += self.matrix.get(payload, alt).latency_us;
+                    return Ok(out);
+                }
+            }
+        }
+        Err(ServiceError::Unavailable)
+    }
+
+    /// Execute `policy` for `payload` on the worker pool.
+    fn run_policy(&self, policy: Policy, payload: usize) -> Result<StageOutcome, ServiceError> {
+        let mut out = StageOutcome {
+            answered_by: 0,
+            degraded: false,
+            sim_latency_us: 0,
+            busy_us: 0,
+            invocations: 0,
+        };
+        match policy {
+            Policy::Single { version } => {
+                if !self.allows(version) {
+                    self.stats.lock().breaker_sheds += 1;
+                    return self.degrade_or_fail(version, payload, out);
+                }
+                match self.run_stage(version, payload, &mut out) {
+                    Ok(_) => {
+                        out.answered_by = version;
+                        out.sim_latency_us = self.matrix.get(payload, version).latency_us;
+                        Ok(out)
+                    }
+                    Err(()) => self.degrade_or_fail(version, payload, out),
+                }
+            }
+            Policy::Cascade {
+                cheap,
+                accurate,
+                threshold,
+                scheduling,
+                termination,
+            } => self.run_cascade(
+                cheap,
+                accurate,
+                threshold,
+                scheduling,
+                termination,
+                payload,
+                out,
+            ),
+            Policy::Chain3 {
+                first,
+                second,
+                third,
+                threshold_first,
+                threshold_second,
+            } => {
+                let stages = [
+                    (first, Some(threshold_first)),
+                    (second, Some(threshold_second)),
+                    (third, None),
+                ];
+                let mut fallback: Option<usize> = None;
+                let mut last = third;
+                for (version, gate) in stages {
+                    last = version;
+                    if !self.allows(version) {
+                        self.stats.lock().breaker_sheds += 1;
+                        continue;
+                    }
+                    if let Ok(confidence) = self.run_stage(version, payload, &mut out) {
+                        out.sim_latency_us += self.matrix.get(payload, version).latency_us;
+                        match gate {
+                            Some(threshold) if confidence < threshold => {
+                                fallback = Some(version);
+                            }
+                            _ => {
+                                out.answered_by = version;
+                                return Ok(out);
+                            }
+                        }
+                    }
+                }
+                if let Some(version) = fallback {
+                    out.answered_by = version;
+                    out.degraded = true;
+                    return Ok(out);
+                }
+                self.degrade_or_fail(last, payload, out)
+            }
+        }
+    }
+
+    /// Two-version cascades, both schedulings, with the live-pool
+    /// analogue of early termination for the concurrent case.
+    #[allow(clippy::too_many_arguments)]
+    fn run_cascade(
+        &self,
+        cheap: usize,
+        accurate: usize,
+        threshold: f64,
+        scheduling: Scheduling,
+        termination: Termination,
+        payload: usize,
+        mut out: StageOutcome,
+    ) -> Result<StageOutcome, ServiceError> {
+        let cheap_obs = *self.matrix.get(payload, cheap);
+        let accurate_lat = self.matrix.get(payload, accurate).latency_us;
+        let cheap_allowed = self.allows(cheap);
+        if !cheap_allowed {
+            self.stats.lock().breaker_sheds += 1;
+        }
+
+        if scheduling == Scheduling::Concurrent && cheap_allowed && self.allows(accurate) {
+            // Launch both; answer with a confident cheap result and
+            // cancel the accurate call (the ET refund), otherwise wait
+            // for the accurate answer.
+            out.invocations += 2;
+            let (acc_rx, acc_cancel) = self
+                .pool
+                .submit_cancellable(self.make_call(accurate, payload));
+            let cheap_rx = self.pool.submit(self.make_call(cheap, payload));
+            let cheap_result = cheap_rx.recv().ok();
+            match cheap_result {
+                Some((Ok(_), confidence)) if confidence >= threshold => {
+                    if termination == Termination::EarlyTerminate {
+                        acc_cancel.store(true, Ordering::Relaxed);
+                        // Busy time for a cancelled launch is charged in
+                        // full only under FinishOut; ET refunds it.
+                        out.busy_us += cheap_obs.latency_us;
+                    } else {
+                        out.busy_us += cheap_obs.latency_us + accurate_lat;
+                    }
+                    out.answered_by = cheap;
+                    out.sim_latency_us = cheap_obs.latency_us;
+                    return Ok(out);
+                }
+                _ => {
+                    out.busy_us += cheap_obs.latency_us + accurate_lat;
+                    match acc_rx.recv().ok() {
+                        Some((Ok(_), _)) => {
+                            out.answered_by = accurate;
+                            out.sim_latency_us = cheap_obs.latency_us.max(accurate_lat);
+                            return Ok(out);
+                        }
+                        _ => {
+                            // Accurate failed; an unconfident cheap
+                            // answer is still an answer.
+                            if matches!(cheap_result, Some((Ok(_), _))) {
+                                out.answered_by = cheap;
+                                out.degraded = true;
+                                out.sim_latency_us = cheap_obs.latency_us;
+                                return Ok(out);
+                            }
+                            return self.degrade_or_fail(accurate, payload, out);
+                        }
+                    }
+                }
+            }
+        }
+
+        // Sequential (or breaker-constrained concurrent): cheap first.
+        let cheap_confidence = if cheap_allowed {
+            self.run_stage(cheap, payload, &mut out).ok()
+        } else {
+            None
+        };
+        if let Some(confidence) = cheap_confidence {
+            out.sim_latency_us += cheap_obs.latency_us;
+            if confidence >= threshold {
+                out.answered_by = cheap;
+                if termination == Termination::FinishOut && self.allows(accurate) {
+                    // FO semantics: the accurate version computes
+                    // regardless — cost, no latency.
+                    let _ = self.run_stage(accurate, payload, &mut out);
+                }
+                return Ok(out);
+            }
+        }
+        if !self.allows(accurate) {
+            self.stats.lock().breaker_sheds += 1;
+        } else if self.run_stage(accurate, payload, &mut out).is_ok() {
+            // Escalation to the accurate version is the policy's own
+            // intended path, never a degradation.
+            out.answered_by = accurate;
+            out.sim_latency_us += accurate_lat;
+            return Ok(out);
+        }
+        // Accurate unavailable: fall back to the unconfident cheap
+        // answer if one landed.
+        if cheap_confidence.is_some() {
+            out.answered_by = cheap;
+            out.degraded = true;
+            return Ok(out);
+        }
+        self.degrade_or_fail(accurate, payload, out)
+    }
+
+    /// Serve one annotated request end to end: route, execute
+    /// resiliently, bill, trace.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Unavailable`] when no version could answer.
+    pub fn execute(&self, request: &ServiceRequest) -> Result<ComputeOutcome, ServiceError> {
+        let arrival = self.now();
+        {
+            let mut stats = self.stats.lock();
+            stats.total_requests += 1;
+        }
+        let policy = self.frontend.route(request);
+        policy
+            .validate(self.matrix.versions())
+            .expect("frontend produced a valid policy");
+        let payload = request.payload % self.matrix.requests().max(1);
+
+        let stage = match self.run_policy(policy, payload) {
+            Ok(stage) => stage,
+            Err(e) => {
+                self.stats.lock().dropped_requests += 1;
+                return Err(e);
+            }
+        };
+
+        let obs = self.matrix.get(payload, stage.answered_by);
+        let quality_err = obs.quality_err;
+        let confidence = obs.confidence;
+        if stage.degraded {
+            let mut stats = self.stats.lock();
+            stats.degraded_responses += 1;
+            let intended = policy.execute(&self.matrix, payload).quality_err;
+            if quality_err - intended > request.tolerance.value() + 1e-12 {
+                stats.tolerance_violations_under_fault += 1;
+            }
+        }
+
+        let price = self.config.schedule.price_for(request.tolerance.value());
+        let responded = arrival + SimDuration::from_micros(stage.sim_latency_us);
+        {
+            let mut state = self.state.lock();
+            for _ in 0..stage.invocations {
+                state.ledger.charge_invocation(price);
+            }
+            state
+                .ledger
+                .charge_compute(&self.instance, SimDuration::from_micros(stage.busy_us));
+            state.trace.record(TraceEvent {
+                arrival,
+                responded,
+                tolerance: request.tolerance.value(),
+                objective: request.objective,
+                answered_by: stage.answered_by,
+                quality_err,
+            });
+        }
+        self.served.fetch_add(1, Ordering::SeqCst);
+
+        Ok(ComputeOutcome {
+            answered_by: stage.answered_by,
+            version_name: self.matrix.version_names()[stage.answered_by].clone(),
+            quality_err,
+            confidence,
+            simulated_latency_us: stage.sim_latency_us,
+            price,
+            policy,
+            degraded: stage.degraded,
+        })
+    }
+
+    /// Requests answered so far.
+    pub fn served(&self) -> usize {
+        self.served.load(Ordering::SeqCst)
+    }
+
+    /// A consistent snapshot of the trace, resilience counters, and
+    /// billing.
+    pub fn snapshot(&self) -> ServiceSnapshot {
+        let state = self.state.lock();
+        let billing = BillingReport::from_trace(
+            &state.trace,
+            &self.config.schedule,
+            state.ledger.compute_cost(),
+        );
+        ServiceSnapshot {
+            served: self.served(),
+            trace: state.trace.clone(),
+            resilience: self.stats.lock().clone(),
+            billing,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tt_core::objective::Objective;
+    use tt_core::profile::{Observation, ProfileMatrixBuilder};
+    use tt_core::request::Tolerance;
+    use tt_core::rulegen::RoutingRuleGenerator;
+    use tt_sim::FaultRates;
+
+    fn matrix() -> Arc<ProfileMatrix> {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let mut b = ProfileMatrixBuilder::new(vec!["fast".into(), "accurate".into()]);
+        for _ in 0..120 {
+            let hard: f64 = rng.gen();
+            let fast_wrong = hard > 0.7;
+            b.push_request(vec![
+                Observation {
+                    quality_err: if fast_wrong { 1.0 } else { 0.0 },
+                    latency_us: 8_000,
+                    cost: 0.0,
+                    confidence: if fast_wrong { 0.2 } else { 0.9 },
+                },
+                Observation {
+                    quality_err: if hard > 0.93 { 1.0 } else { 0.0 },
+                    latency_us: 30_000,
+                    cost: 0.0,
+                    confidence: 0.9,
+                },
+            ]);
+        }
+        Arc::new(b.build().unwrap())
+    }
+
+    fn frontend(matrix: &ProfileMatrix) -> TieredFrontend {
+        let gen = RoutingRuleGenerator::with_defaults(matrix, 0.99, 3).unwrap();
+        TieredFrontend::new(vec![
+            gen.generate(&[0.0, 0.05, 0.10, 0.5], Objective::ResponseTime)
+                .unwrap(),
+            gen.generate(&[0.0, 0.05, 0.10, 0.5], Objective::Cost)
+                .unwrap(),
+        ])
+    }
+
+    fn service(config: ServiceConfig) -> ComputeService {
+        let m = matrix();
+        let fe = frontend(&m);
+        ComputeService::new(m, fe, config)
+    }
+
+    #[test]
+    fn fault_free_answers_match_the_virtual_cost_model() {
+        let svc = service(ServiceConfig::defaults());
+        for payload in 0..svc.matrix().requests() {
+            for tol in [0.0, 0.05, 0.5] {
+                let req = ServiceRequest::new(
+                    payload,
+                    Tolerance::new(tol).unwrap(),
+                    Objective::ResponseTime,
+                );
+                let out = svc.execute(&req).unwrap();
+                let intended = out.policy.execute(svc.matrix(), payload);
+                assert_eq!(out.answered_by, intended.answered_by);
+                assert_eq!(out.quality_err, intended.quality_err);
+                assert_eq!(out.simulated_latency_us, intended.latency_us);
+                assert!(!out.degraded);
+            }
+        }
+        let snap = svc.snapshot();
+        assert_eq!(snap.served, svc.matrix().requests() * 3);
+        assert_eq!(snap.resilience.dropped_requests, 0);
+        assert!(snap.billing.revenue > Money::ZERO);
+    }
+
+    #[test]
+    fn billing_is_deterministic_for_a_fixed_request_set() {
+        let run = || {
+            let svc = service(ServiceConfig::defaults());
+            let mix = tt_workloads::RequestMix::representative();
+            for req in mix.sample(300, svc.matrix().requests(), 42) {
+                svc.execute(&req).unwrap();
+            }
+            let snap = svc.snapshot();
+            (
+                snap.billing.revenue.as_dollars(),
+                snap.billing.compute_cost.as_dollars(),
+                snap.billing
+                    .tiers
+                    .iter()
+                    .map(|(k, v)| (k.clone(), v.requests, v.revenue.as_dollars()))
+                    .collect::<Vec<_>>(),
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn crashes_degrade_to_a_cheaper_version_and_count_violations() {
+        let m = matrix();
+        let fe = frontend(&m);
+        let svc = ComputeService::new(
+            Arc::clone(&m),
+            fe,
+            ServiceConfig {
+                faults: Some(FaultPlan::new(
+                    5,
+                    vec![FaultRates::NONE, FaultRates::crash_only(1.0)],
+                )),
+                retry: RetryPolicy::immediate(1),
+                breaker: None,
+                ..ServiceConfig::defaults()
+            },
+        );
+        // Tolerance 0 routes to the accurate baseline, which always
+        // crashes; degradation answers from the fast version.
+        let mut degraded = 0;
+        for payload in 0..40 {
+            let req = ServiceRequest::new(payload, Tolerance::ZERO, Objective::ResponseTime);
+            let out = svc.execute(&req).unwrap();
+            if out.degraded {
+                degraded += 1;
+                assert_eq!(out.answered_by, 0);
+            }
+        }
+        assert!(degraded > 0, "universal crashes must force degradation");
+        let snap = svc.snapshot();
+        assert_eq!(snap.resilience.degraded_responses, degraded);
+        assert!(snap.resilience.retries > 0);
+        assert!(snap.resilience.failed_invocations > 0);
+    }
+
+    #[test]
+    fn no_degradation_means_unavailable() {
+        let m = matrix();
+        let fe = frontend(&m);
+        let svc = ComputeService::new(
+            Arc::clone(&m),
+            fe,
+            ServiceConfig {
+                faults: Some(FaultPlan::new(
+                    5,
+                    vec![FaultRates::crash_only(1.0), FaultRates::crash_only(1.0)],
+                )),
+                retry: RetryPolicy::NONE,
+                breaker: None,
+                degrade: false,
+                ..ServiceConfig::defaults()
+            },
+        );
+        let req = ServiceRequest::new(0, Tolerance::ZERO, Objective::ResponseTime);
+        assert_eq!(svc.execute(&req), Err(ServiceError::Unavailable));
+        assert_eq!(svc.snapshot().resilience.dropped_requests, 1);
+    }
+}

@@ -1,0 +1,144 @@
+//! Rendering a [`ServiceSnapshot`] as the `/stats` JSON document.
+//!
+//! The document reuses [`tt_bench::perfjson`] (the workspace's
+//! hand-rolled emitter — `serde_json` is not vendored) so `/stats`
+//! and the `BENCH_serve.json` artifact share one JSON dialect:
+//! insertion-ordered keys, finite numbers only, stable diffs.
+
+use crate::service::ServiceSnapshot;
+use tt_bench::perfjson::{Json, JsonObject};
+use tt_stats::descriptive::percentile;
+
+/// Percentiles of a latency sample in milliseconds, as a JSON object.
+/// Empty samples render as an empty object rather than lying with
+/// zeros.
+fn latency_object(samples_ms: &[f64]) -> JsonObject {
+    if samples_ms.is_empty() {
+        return JsonObject::new();
+    }
+    let p = |q: f64| percentile(samples_ms, q).expect("non-empty sample");
+    JsonObject::new()
+        .with_num("p50_ms", p(0.50))
+        .with_num("p99_ms", p(0.99))
+        .with_num("p999_ms", p(0.999))
+        .with_num("max_ms", p(1.0))
+}
+
+/// Fold a snapshot into the `/stats` document.
+pub fn stats_document(snapshot: &ServiceSnapshot, uptime_ms: u64) -> JsonObject {
+    let tier_bills = &snapshot.billing.tiers;
+    let tiers: Vec<Json> = snapshot
+        .trace
+        .by_tier()
+        .iter()
+        .map(|(key, tier)| {
+            let (objective, tol_milli) = key;
+            let mut obj = JsonObject::new()
+                .with_str("objective", objective)
+                .with_num("tolerance", f64::from(*tol_milli) / 1000.0)
+                .with_int("requests", tier.requests as i64)
+                .with_num("mean_quality_err", tier.mean_err)
+                .with(
+                    "latency",
+                    Json::Object(latency_object(tier.latency.samples_ms())),
+                );
+            if let Some(bill) = tier_bills.get(key) {
+                obj = obj.with_num("revenue_usd", bill.revenue.as_dollars());
+            }
+            Json::Object(obj)
+        })
+        .collect();
+
+    let r = &snapshot.resilience;
+    let resilience = JsonObject::new()
+        .with_int("total_requests", r.total_requests as i64)
+        .with_int("failed_invocations", r.failed_invocations as i64)
+        .with_int("slow_invocations", r.slow_invocations as i64)
+        .with_int("retries", r.retries as i64)
+        .with_int("hedges", r.hedges as i64)
+        .with_int("breaker_sheds", r.breaker_sheds as i64)
+        .with_int("degraded_responses", r.degraded_responses as i64)
+        .with_int(
+            "tolerance_violations_under_fault",
+            r.tolerance_violations_under_fault as i64,
+        )
+        .with_int("dropped_requests", r.dropped_requests as i64)
+        .with_num("availability", r.availability());
+
+    let billing = JsonObject::new()
+        .with_num("revenue_usd", snapshot.billing.revenue.as_dollars())
+        .with_num(
+            "compute_cost_usd",
+            snapshot.billing.compute_cost.as_dollars(),
+        )
+        .with_num("margin_usd", snapshot.billing.margin().as_dollars());
+
+    JsonObject::new()
+        .with_str("service", "toltiers")
+        .with_int("uptime_ms", uptime_ms as i64)
+        .with_int("served", snapshot.served as i64)
+        .with("tiers", Json::Array(tiers))
+        .with("billing", Json::Object(billing))
+        .with("resilience", Json::Object(resilience))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tt_serve::billing::{BillingReport, TierPriceSchedule};
+    use tt_serve::resilience::ResilienceStats;
+    use tt_serve::trace::{TraceEvent, TraceRecorder};
+    use tt_sim::{Money, SimTime};
+
+    #[test]
+    fn renders_tiers_billing_and_resilience() {
+        let mut trace = TraceRecorder::new();
+        for (i, tol) in [(0u64, 0.0), (1, 0.05), (2, 0.05)] {
+            trace.record(TraceEvent {
+                arrival: SimTime::from_micros(i * 100),
+                responded: SimTime::from_micros(i * 100 + 2_000),
+                tolerance: tol,
+                objective: tt_core::objective::Objective::Cost,
+                answered_by: 0,
+                quality_err: 0.25,
+            });
+        }
+        let schedule = TierPriceSchedule::list_prices(Money::from_dollars(0.001));
+        let snapshot = ServiceSnapshot {
+            served: 3,
+            billing: BillingReport::from_trace(&trace, &schedule, Money::from_dollars(0.0001)),
+            trace,
+            resilience: ResilienceStats {
+                total_requests: 3,
+                retries: 1,
+                ..ResilienceStats::default()
+            },
+        };
+        let doc = stats_document(&snapshot, 1234).render();
+        assert!(doc.contains("\"service\": \"toltiers\""));
+        assert!(doc.contains("\"served\": 3"));
+        assert!(doc.contains("\"tolerance\": 0.05"));
+        assert!(doc.contains("\"p999_ms\": 2"));
+        assert!(doc.contains("\"retries\": 1"));
+        assert!(doc.contains("\"availability\": 1"));
+        assert!(doc.contains("\"revenue_usd\""));
+        assert!(doc.contains("\"margin_usd\""));
+    }
+
+    #[test]
+    fn empty_snapshot_renders_without_panicking() {
+        let snapshot = ServiceSnapshot {
+            served: 0,
+            trace: TraceRecorder::new(),
+            resilience: ResilienceStats::default(),
+            billing: BillingReport::from_trace(
+                &TraceRecorder::new(),
+                &TierPriceSchedule::list_prices(Money::from_dollars(0.001)),
+                Money::ZERO,
+            ),
+        };
+        let doc = stats_document(&snapshot, 0).render();
+        assert!(doc.contains("\"tiers\": []"));
+        assert!(doc.contains("\"served\": 0"));
+    }
+}

@@ -1,0 +1,148 @@
+//! Property/fuzz tests for the HTTP wire layer: the parser must never
+//! panic on any byte sequence — malformed, truncated, hostile, or
+//! oversized — and its limits must map to the documented typed errors
+//! (431 for header floods, 413 for oversized bodies).
+
+use proptest::prelude::*;
+use std::io::Cursor;
+use tt_net::http::{read_request, read_response, HttpError, Limits};
+
+fn parse(bytes: &[u8], limits: &Limits) -> Result<Option<tt_net::http::Request>, HttpError> {
+    read_request(&mut Cursor::new(bytes.to_vec()), limits)
+}
+
+/// A syntactically valid `/compute` request, as the load generator
+/// would send it.
+fn valid_wire(tolerance: f64, objective: &str, payload: usize, body_len: usize) -> Vec<u8> {
+    let body = "x".repeat(body_len);
+    format!(
+        "POST /compute HTTP/1.1\r\nTolerance: {tolerance}\r\nObjective: {objective}\r\n\
+         Payload: {payload}\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .into_bytes()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in prop::collection::vec(0u8..=255u8, 0..1024)) {
+        // Any outcome is acceptable; panicking or hanging is not.
+        let _ = parse(&bytes, &Limits::default());
+    }
+
+    #[test]
+    fn http_shaped_garbage_never_panics(
+        tail in prop::collection::vec(0u8..=255u8, 0..512),
+    ) {
+        // A plausible request line followed by garbage exercises the
+        // header and body paths rather than dying on the first line.
+        let mut bytes = b"POST /compute HTTP/1.1\r\n".to_vec();
+        bytes.extend_from_slice(&tail);
+        let _ = parse(&bytes, &Limits::default());
+    }
+
+    #[test]
+    fn truncating_a_valid_request_never_panics(
+        tolerance in 0.0f64..0.5,
+        objective_pick in 0usize..2,
+        payload in 0usize..500,
+        body_len in 0usize..64,
+        cut_permille in 0u32..1000,
+    ) {
+        let objective = ["response-time", "cost"][objective_pick];
+        let wire = valid_wire(tolerance, objective, payload, body_len);
+        // The full request parses.
+        let full = parse(&wire, &Limits::default());
+        prop_assert!(matches!(full, Ok(Some(_))), "full request failed: {full:?}");
+        // Every prefix either parses, reports clean EOF, or reports a
+        // typed error — truncation mid-request must be `Truncated`.
+        let cut = (wire.len() as u64 * u64::from(cut_permille) / 1000) as usize;
+        match parse(&wire[..cut], &Limits::default()) {
+            Ok(None) => prop_assert_eq!(cut, 0, "clean EOF only on the empty prefix"),
+            Ok(Some(_)) => {
+                // A prefix that still contains the whole head and a
+                // consistent body is a complete request; that can only
+                // happen at full length here.
+                prop_assert_eq!(cut, wire.len());
+            }
+            Err(HttpError::Truncated) => {}
+            Err(other) => {
+                // Typed errors are acceptable (a cut can land inside a
+                // number, say), panics are not. They must carry a
+                // status for the error path.
+                prop_assert!(other.status().is_some(), "unreportable error {other:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn header_floods_map_to_431(extra in 0usize..40) {
+        let limits = Limits::default();
+        let mut wire = b"GET /healthz HTTP/1.1\r\n".to_vec();
+        for i in 0..(limits.max_headers + 1 + extra) {
+            wire.extend_from_slice(format!("H{i}: v\r\n").as_bytes());
+        }
+        wire.extend_from_slice(b"\r\n");
+        prop_assert_eq!(parse(&wire, &limits), Err(HttpError::HeadersTooLarge));
+    }
+
+    #[test]
+    fn unbounded_header_lines_map_to_431(line_len in 0usize..100_000) {
+        let limits = Limits { max_head_bytes: 4096, ..Limits::default() };
+        let mut wire = b"GET / HTTP/1.1\r\nLong: ".to_vec();
+        wire.extend(std::iter::repeat_n(b'a', line_len));
+        wire.extend_from_slice(b"\r\n\r\n");
+        let result = parse(&wire, &limits);
+        if wire.len() > limits.max_head_bytes {
+            prop_assert_eq!(result, Err(HttpError::HeadersTooLarge));
+        } else {
+            prop_assert!(matches!(result, Ok(Some(_))), "under-limit failed: {result:?}");
+        }
+    }
+
+    #[test]
+    fn oversized_declared_bodies_map_to_413_without_arrival(
+        declared in 1u64..u64::from(u32::MAX),
+    ) {
+        let limits = Limits { max_body_bytes: 1024, ..Limits::default() };
+        // The declaration alone must be enough to refuse: no body bytes
+        // follow at all, so an implementation that allocated or waited
+        // for them would hang or blow up here.
+        let wire = format!("POST /compute HTTP/1.1\r\nContent-Length: {declared}\r\n\r\n");
+        let result = parse(wire.as_bytes(), &limits);
+        if declared as usize > limits.max_body_bytes {
+            prop_assert_eq!(result, Err(HttpError::PayloadTooLarge));
+        } else {
+            prop_assert_eq!(result, Err(HttpError::Truncated));
+        }
+    }
+
+    #[test]
+    fn response_reader_never_panics(bytes in prop::collection::vec(0u8..=255u8, 0..1024)) {
+        let _ = read_response(&mut Cursor::new(bytes), &Limits::default());
+    }
+
+    #[test]
+    fn valid_requests_round_trip_their_annotations(
+        tolerance_milli in 0u32..500,
+        objective_pick in 0usize..2,
+        payload in 0usize..10_000,
+        body_len in 0usize..128,
+    ) {
+        let tolerance = f64::from(tolerance_milli) / 1000.0;
+        let objective = ["response-time", "cost"][objective_pick];
+        let wire = valid_wire(tolerance, objective, payload, body_len);
+        let request = parse(&wire, &Limits::default()).unwrap().unwrap();
+        prop_assert_eq!(request.method.as_str(), "POST");
+        prop_assert_eq!(request.path(), "/compute");
+        prop_assert_eq!(request.header("objective"), Some(objective));
+        let payload_text = payload.to_string();
+        prop_assert_eq!(request.header("payload"), Some(payload_text.as_str()));
+        prop_assert_eq!(request.body.len(), body_len);
+        prop_assert!(request.keep_alive);
+        let parsed_tolerance: f64 = request.header("tolerance").unwrap().parse().unwrap();
+        prop_assert!((parsed_tolerance - tolerance).abs() < 1e-12);
+    }
+}

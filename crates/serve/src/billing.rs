@@ -108,10 +108,8 @@ impl BillingReport {
         compute_cost: Money,
     ) -> Self {
         let mut tiers: BTreeMap<(String, u32), TierEconomics> = BTreeMap::new();
-        let mut revenue = Money::ZERO;
         for e in trace.events() {
             let price = schedule.price_for(e.tolerance);
-            revenue += price;
             let key = (
                 e.objective.to_string(),
                 (e.tolerance * 1000.0).round() as u32,
@@ -122,6 +120,13 @@ impl BillingReport {
             });
             slot.requests += 1;
             slot.revenue += price;
+        }
+        // Total the tiers in key order, not trace order: live traces
+        // record events in thread-completion order, and summing f64
+        // prices in a varying order varies the total by an ulp.
+        let mut revenue = Money::ZERO;
+        for econ in tiers.values() {
+            revenue += econ.revenue;
         }
         BillingReport {
             tiers,

@@ -71,6 +71,9 @@ impl std::error::Error for AnnotationError {}
 /// line, case-insensitive names, missing objective defaults to
 /// response-time, missing tolerance to zero).
 ///
+/// The block may come straight off a wire: lines ending in `\r\n` (the
+/// HTTP line terminator) are handled identically to bare `\n`.
+///
 /// # Errors
 ///
 /// Returns an [`AnnotationError`] describing the first malformed,
@@ -79,7 +82,10 @@ pub fn parse_annotations(headers: &str) -> Result<(Tolerance, Objective), Annota
     let mut tolerance: Option<Tolerance> = None;
     let mut objective: Option<Objective> = None;
     for line in headers.lines() {
-        let line = line.trim();
+        // `str::lines` splits on `\n` only; shed the `\r` of a CRLF
+        // terminator explicitly before the whitespace trim so the
+        // behaviour is wire-exact rather than incidental.
+        let line = line.strip_suffix('\r').unwrap_or(line).trim();
         if line.is_empty() {
             continue;
         }
@@ -219,6 +225,55 @@ mod tests {
         assert_eq!(
             parse_annotations("Objective: teleport"),
             Err(AnnotationError::InvalidObjective("teleport".into()))
+        );
+    }
+
+    #[test]
+    fn tolerates_crlf_line_endings_from_the_wire() {
+        // The full paper example as an HTTP/1.1 client would send it.
+        let (tol, obj) =
+            parse_annotations("Tolerance: 0.01\r\nObjective: response-time\r\n").unwrap();
+        assert_eq!(tol.value(), 0.01);
+        assert_eq!(obj, Objective::ResponseTime);
+        // A lone CR-terminated final line and mixed endings both parse.
+        let (tol, obj) = parse_annotations("tolerance: 0.05\r\nOBJECTIVE: cost\r").unwrap();
+        assert_eq!(tol.value(), 0.05);
+        assert_eq!(obj, Objective::Cost);
+        // CRLF must not mask a malformed value: the error's payload is
+        // the clean value, CR excluded.
+        assert_eq!(
+            parse_annotations("Tolerance: lots\r\n"),
+            Err(AnnotationError::InvalidTolerance("lots".into()))
+        );
+    }
+
+    #[test]
+    fn every_error_variant_is_reachable_with_crlf_endings() {
+        // One case per variant, all wire-framed, pinning the typed
+        // errors the HTTP layer maps to 400 bodies.
+        assert_eq!(
+            parse_annotations("Tolerance 0.01\r\n"),
+            Err(AnnotationError::MalformedLine("Tolerance 0.01".into()))
+        );
+        assert_eq!(
+            parse_annotations("Tolerance: abc\r\n"),
+            Err(AnnotationError::InvalidTolerance("abc".into()))
+        );
+        assert_eq!(
+            parse_annotations("Tolerance: -1\r\n"),
+            Err(AnnotationError::ToleranceOutOfRange("-1".into()))
+        );
+        assert_eq!(
+            parse_annotations("Objective: accuracy\r\n"),
+            Err(AnnotationError::InvalidObjective("accuracy".into()))
+        );
+        assert_eq!(
+            parse_annotations("Priority: high\r\n"),
+            Err(AnnotationError::UnknownHeader("priority".into()))
+        );
+        assert_eq!(
+            parse_annotations("Tolerance: 0.01\r\nTolerance: 0.05\r\n"),
+            Err(AnnotationError::DuplicateHeader("Tolerance".into()))
         );
     }
 

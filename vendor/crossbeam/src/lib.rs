@@ -1,11 +1,14 @@
 //! Offline stand-in for `crossbeam`, providing the `channel` module's
-//! unbounded MPMC channel on top of `std::sync` primitives.
+//! unbounded and bounded MPMC channels on top of `std::sync`
+//! primitives.
 //!
 //! Both `Sender` and `Receiver` are cloneable (the property `std::sync::
 //! mpsc` lacks and the reason the workspace uses crossbeam at all): the
 //! worker pool hands one receiver to every worker thread. Disconnect
 //! semantics mirror upstream: `send` fails once every receiver is gone,
 //! `recv` fails once every sender is gone and the queue has drained.
+//! Bounded channels block `send` at capacity and expose `try_send` for
+//! callers that want a backpressure signal instead of a wait.
 
 pub mod channel {
     use std::collections::VecDeque;
@@ -17,6 +20,10 @@ pub mod channel {
     struct Shared<T> {
         queue: Mutex<VecDeque<T>>,
         ready: Condvar,
+        /// Signalled when a bounded queue frees a slot.
+        space: Condvar,
+        /// `None` = unbounded.
+        capacity: Option<usize>,
         senders: AtomicUsize,
         receivers: AtomicUsize,
     }
@@ -29,6 +36,24 @@ pub mod channel {
         // Like upstream: no `T: Debug` bound, the payload is elided.
         fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
             f.write_str("SendError(..)")
+        }
+    }
+
+    /// Error returned by [`Sender::try_send`].
+    #[derive(PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// Bounded channel at capacity; the payload comes back.
+        Full(T),
+        /// All receivers gone; the payload comes back.
+        Disconnected(T),
+    }
+
+    impl<T> fmt::Debug for TrySendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TrySendError::Full(_) => f.write_str("Full(..)"),
+                TrySendError::Disconnected(_) => f.write_str("Disconnected(..)"),
+            }
         }
     }
 
@@ -55,21 +80,22 @@ pub mod channel {
         Disconnected,
     }
 
-    /// The sending half of an unbounded channel.
+    /// The sending half of a channel.
     pub struct Sender<T> {
         shared: Arc<Shared<T>>,
     }
 
-    /// The receiving half of an unbounded channel.
+    /// The receiving half of a channel.
     pub struct Receiver<T> {
         shared: Arc<Shared<T>>,
     }
 
-    /// Create an unbounded MPMC channel.
-    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    fn channel_with_capacity<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
         let shared = Arc::new(Shared {
             queue: Mutex::new(VecDeque::new()),
             ready: Condvar::new(),
+            space: Condvar::new(),
+            capacity,
             senders: AtomicUsize::new(1),
             receivers: AtomicUsize::new(1),
         });
@@ -81,13 +107,56 @@ pub mod channel {
         )
     }
 
+    /// Create an unbounded MPMC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        channel_with_capacity(None)
+    }
+
+    /// Create a bounded MPMC channel holding at most `cap` queued
+    /// messages (`cap == 0` is normalized to 1; the upstream rendezvous
+    /// channel is not part of this stub's surface).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        channel_with_capacity(Some(cap.max(1)))
+    }
+
     impl<T> Sender<T> {
-        /// Enqueue a message, waking one blocked receiver.
+        /// Enqueue a message, waking one blocked receiver. On a bounded
+        /// channel at capacity this blocks until a slot frees.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
             if self.shared.receivers.load(Ordering::Acquire) == 0 {
                 return Err(SendError(value));
             }
             let mut queue = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(cap) = self.shared.capacity {
+                while queue.len() >= cap {
+                    if self.shared.receivers.load(Ordering::Acquire) == 0 {
+                        return Err(SendError(value));
+                    }
+                    queue = self
+                        .shared
+                        .space
+                        .wait(queue)
+                        .unwrap_or_else(|e| e.into_inner());
+                }
+            }
+            queue.push_back(value);
+            drop(queue);
+            self.shared.ready.notify_one();
+            Ok(())
+        }
+
+        /// Enqueue without blocking: a bounded channel at capacity
+        /// returns [`TrySendError::Full`] with the payload.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            if self.shared.receivers.load(Ordering::Acquire) == 0 {
+                return Err(TrySendError::Disconnected(value));
+            }
+            let mut queue = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(cap) = self.shared.capacity {
+                if queue.len() >= cap {
+                    return Err(TrySendError::Full(value));
+                }
+            }
             queue.push_back(value);
             drop(queue);
             self.shared.ready.notify_one();
@@ -96,11 +165,19 @@ pub mod channel {
     }
 
     impl<T> Receiver<T> {
+        fn took_one(&self) {
+            if self.shared.capacity.is_some() {
+                self.shared.space.notify_one();
+            }
+        }
+
         /// Block until a message arrives or all senders disconnect.
         pub fn recv(&self) -> Result<T, RecvError> {
             let mut queue = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
             loop {
                 if let Some(value) = queue.pop_front() {
+                    drop(queue);
+                    self.took_one();
                     return Ok(value);
                 }
                 if self.shared.senders.load(Ordering::Acquire) == 0 {
@@ -121,6 +198,8 @@ pub mod channel {
             let mut queue = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
             loop {
                 if let Some(value) = queue.pop_front() {
+                    drop(queue);
+                    self.took_one();
                     return Ok(value);
                 }
                 if self.shared.senders.load(Ordering::Acquire) == 0 {
@@ -143,7 +222,11 @@ pub mod channel {
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
             let mut queue = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
             match queue.pop_front() {
-                Some(value) => Ok(value),
+                Some(value) => {
+                    drop(queue);
+                    self.took_one();
+                    Ok(value)
+                }
                 None if self.shared.senders.load(Ordering::Acquire) == 0 => {
                     Err(TryRecvError::Disconnected)
                 }
@@ -182,7 +265,11 @@ pub mod channel {
 
     impl<T> Drop for Receiver<T> {
         fn drop(&mut self) {
-            self.shared.receivers.fetch_sub(1, Ordering::AcqRel);
+            if self.shared.receivers.fetch_sub(1, Ordering::AcqRel) == 1 {
+                // Last receiver gone: wake senders blocked on a full
+                // bounded queue so they can observe the disconnect.
+                self.shared.space.notify_all();
+            }
         }
     }
 
@@ -263,5 +350,43 @@ mod tests {
         std::thread::sleep(Duration::from_millis(20));
         tx.send(42).unwrap();
         assert_eq!(waiter.join().unwrap(), Ok(42));
+    }
+
+    #[test]
+    fn bounded_try_send_reports_full() {
+        let (tx, rx) = bounded(2);
+        assert!(tx.try_send(1).is_ok());
+        assert!(tx.try_send(2).is_ok());
+        assert!(matches!(tx.try_send(3), Err(TrySendError::Full(3))));
+        assert_eq!(rx.recv(), Ok(1));
+        assert!(tx.try_send(3).is_ok());
+    }
+
+    #[test]
+    fn bounded_send_blocks_until_slot_frees() {
+        let (tx, rx) = bounded(1);
+        tx.send(1).unwrap();
+        let sender = std::thread::spawn(move || tx.send(2));
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(sender.join().unwrap(), Ok(()));
+        assert_eq!(rx.recv(), Ok(2));
+    }
+
+    #[test]
+    fn bounded_try_send_reports_disconnect() {
+        let (tx, rx) = bounded(1);
+        drop(rx);
+        assert!(matches!(tx.try_send(5), Err(TrySendError::Disconnected(5))));
+    }
+
+    #[test]
+    fn dropping_last_receiver_wakes_blocked_bounded_sender() {
+        let (tx, rx) = bounded(1);
+        tx.send(1).unwrap();
+        let sender = std::thread::spawn(move || tx.send(2));
+        std::thread::sleep(Duration::from_millis(20));
+        drop(rx);
+        assert_eq!(sender.join().unwrap(), Err(SendError(2)));
     }
 }
