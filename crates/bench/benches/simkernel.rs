@@ -65,6 +65,7 @@ fn bench_cluster(c: &mut Criterion) {
                 slots_per_pool: 8,
                 devices: vec![PoolDevice::Gpu; matrix.versions()],
                 pricing: PricingCatalog::list_prices(),
+                trace_retention: None,
             };
             ClusterSim::new(matrix, config).run(&frontend, &arrivals)
         })

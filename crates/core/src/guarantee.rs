@@ -7,10 +7,11 @@
 //! violations across the whole tolerance sweep.
 
 use crate::objective::Objective;
+use crate::policy::Policy;
 use crate::profile::ProfileMatrix;
-use crate::rulegen::RoutingRuleGenerator;
-use crate::Result;
-use tt_stats::KFold;
+use crate::rulegen::{RoutingRuleGenerator, RoutingRules};
+use crate::{CoreError, Result};
+use tt_stats::{KFold, StatsError};
 
 /// One observed guarantee violation.
 #[derive(Debug, Clone, PartialEq)]
@@ -61,6 +62,90 @@ impl std::fmt::Display for ViolationReport {
             self.violations.len(),
             self.violation_rate() * 100.0
         )
+    }
+}
+
+/// One tier's *advertised* guarantee, extracted from deployed routing
+/// rules against the profile they were generated from: the quality
+/// contract (tolerance ε vs. the baseline) plus a latency prediction
+/// at a chosen quantile. This is what a runtime SLO monitor holds live
+/// traffic against.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct TierGuarantee {
+    /// The objective the rules optimize.
+    pub objective: Objective,
+    /// Advertised tolerance ε (0.0 for the baseline tier).
+    pub tolerance: f64,
+    /// The policy deployed for this tier.
+    pub policy: Policy,
+    /// Mean quality error the policy achieves on the profiling data.
+    pub predicted_mean_err: f64,
+    /// Quantile at which the latency prediction is taken.
+    pub latency_quantile: f64,
+    /// Predicted per-request latency at that quantile, microseconds
+    /// (nearest-rank over the profiled payloads).
+    pub predicted_latency_us: u64,
+    /// The baseline (most accurate single) version index.
+    pub baseline_version: usize,
+    /// The baseline's mean quality error on the same data.
+    pub baseline_mean_err: f64,
+}
+
+impl RoutingRules {
+    /// Extract each deployed tier's advertised guarantee by replaying
+    /// its policy over the profiling matrix. If the rules deploy no
+    /// explicit 0.0 tier, a baseline pseudo-tier (the single most
+    /// accurate version, which `lookup` falls back to below the
+    /// smallest deployed tolerance) is prepended so monitors always
+    /// have a premium-tier contract to compare against.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `latency_quantile` is not in `[0, 1]` or a
+    /// policy cannot be evaluated against `matrix`.
+    pub fn guarantees(
+        &self,
+        matrix: &ProfileMatrix,
+        latency_quantile: f64,
+    ) -> Result<Vec<TierGuarantee>> {
+        if !(0.0..=1.0).contains(&latency_quantile) {
+            return Err(CoreError::Stats(StatsError::InvalidProbability {
+                what: "latency_quantile",
+            }));
+        }
+        let baseline = Policy::Single {
+            version: self.baseline_version(),
+        };
+        let baseline_mean_err = baseline.evaluate(matrix, None)?.mean_err;
+
+        let mut tiers: Vec<(f64, Policy)> = Vec::with_capacity(self.tiers().len() + 1);
+        if self.tiers().first().is_none_or(|&(tol, _)| tol > 0.0) {
+            tiers.push((0.0, baseline));
+        }
+        tiers.extend_from_slice(self.tiers());
+
+        tiers
+            .into_iter()
+            .map(|(tolerance, policy)| {
+                let perf = policy.evaluate(matrix, None)?;
+                let mut latencies: Vec<u64> = (0..matrix.requests())
+                    .map(|r| policy.execute(matrix, r).latency_us)
+                    .collect();
+                latencies.sort_unstable();
+                let rank = (latency_quantile * (latencies.len() - 1) as f64).round() as usize;
+                Ok(TierGuarantee {
+                    objective: self.objective(),
+                    tolerance,
+                    policy,
+                    predicted_mean_err: perf.mean_err,
+                    latency_quantile,
+                    predicted_latency_us: latencies[rank],
+                    baseline_version: self.baseline_version(),
+                    baseline_mean_err,
+                })
+            })
+            .collect()
     }
 }
 
@@ -231,6 +316,49 @@ mod tests {
         assert!(!report.all_upheld());
         assert!((report.violation_rate() - 0.1).abs() < 1e-12);
         assert!(report.to_string().contains("1 violations"));
+    }
+
+    #[test]
+    fn guarantees_cover_every_tier_with_baseline() {
+        let m = synthetic_matrix(400, 7);
+        let generator = RoutingRuleGenerator::with_defaults(&m, 0.95, 11).unwrap();
+        let rules = generator
+            .generate(&[0.05, 0.10], Objective::ResponseTime)
+            .unwrap();
+        let guarantees = rules.guarantees(&m, 0.99).unwrap();
+        // Rules for non-zero tolerances get the baseline pseudo-tier
+        // prepended at 0.0.
+        assert_eq!(guarantees.len(), rules.tiers().len() + 1);
+        assert_eq!(guarantees[0].tolerance, 0.0);
+        assert_eq!(
+            guarantees[0].policy,
+            Policy::Single {
+                version: rules.baseline_version()
+            }
+        );
+        assert!(
+            (guarantees[0].predicted_mean_err - guarantees[0].baseline_mean_err).abs() < 1e-12,
+            "the baseline tier's prediction is the baseline error"
+        );
+        for g in &guarantees {
+            assert_eq!(g.objective, Objective::ResponseTime);
+            assert_eq!(g.latency_quantile, 0.99);
+            assert!(g.predicted_latency_us > 0);
+            assert_eq!(g.baseline_version, rules.baseline_version());
+            // Advertised degradation respects the tolerance the rule
+            // generator accepted the policy under.
+            if g.baseline_mean_err > 0.0 {
+                let degradation =
+                    (g.predicted_mean_err - g.baseline_mean_err) / g.baseline_mean_err;
+                assert!(degradation <= g.tolerance + 1e-9);
+            }
+        }
+        // Tolerances ascend.
+        for w in guarantees.windows(2) {
+            assert!(w[0].tolerance < w[1].tolerance);
+        }
+        // Bad quantile errors.
+        assert!(rules.guarantees(&m, 1.5).is_err());
     }
 
     #[test]

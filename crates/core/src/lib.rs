@@ -66,7 +66,7 @@ pub mod tier;
 pub use category::{categorize, Category, CategoryBreakdown};
 pub use drift::{DriftDetector, DriftVerdict};
 pub use error::CoreError;
-pub use guarantee::{CrossValidator, ViolationReport};
+pub use guarantee::{CrossValidator, TierGuarantee, ViolationReport};
 pub use objective::Objective;
 pub use parallel::{available_threads, mix_seed, parallel_map, PoolSaturated, TaskPool};
 pub use policy::{Policy, PolicyEvaluator, PolicyOutcome, Scheduling, Termination};

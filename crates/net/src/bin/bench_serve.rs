@@ -7,6 +7,14 @@
 //!
 //! `--quick` shrinks request counts for CI smoke runs; the artifact
 //! shape is identical in both modes.
+//!
+//! The benchmark runs the closed-loop discipline twice: once against a
+//! service built with [`ObsConfig::disabled`] and once with full
+//! instrumentation (metrics registry, tracing, SLO sentinel). The gap
+//! between the two throughputs is the observability tax, reported as
+//! `instrumentation_overhead_pct`. In `--quick` mode the process exits
+//! non-zero if that tax exceeds 10%, so CI catches hot-path
+//! regressions in the instrumentation itself.
 
 use std::io::{BufReader, Write};
 use std::net::TcpStream;
@@ -15,8 +23,9 @@ use std::time::Duration;
 use tt_bench::perfjson::{Json, JsonObject};
 use tt_net::http::{read_response, Limits};
 use tt_net::loadgen::{run_load, LoadConfig, LoadReport};
-use tt_net::server::{Server, ServerConfig};
-use tt_net::service::ServiceConfig;
+use tt_net::obs::ObsConfig;
+use tt_net::server::{RunningServer, Server, ServerConfig};
+use tt_net::service::{ComputeService, ServiceConfig};
 
 struct BenchParams {
     label: &'static str,
@@ -46,6 +55,13 @@ const STANDARD: BenchParams = BenchParams {
 };
 
 const SEED: u64 = 42;
+
+/// Maximum tolerated closed-loop throughput loss from instrumentation
+/// before `--quick` mode fails the run.
+const MAX_OVERHEAD_PCT: f64 = 10.0;
+
+/// Measured closed-loop passes per arm; the best is kept.
+const CAPACITY_PASSES: usize = 3;
 
 fn report_json(report: &LoadReport) -> JsonObject {
     let latency = |q: f64| report.latency_ms(q).unwrap_or(0.0);
@@ -77,15 +93,91 @@ fn report_json(report: &LoadReport) -> JsonObject {
         .with("tiers", Json::Array(tiers))
 }
 
-fn fetch_stats(addr: std::net::SocketAddr) -> String {
-    let mut stream = TcpStream::connect(addr).expect("stats connection");
+fn fetch(addr: std::net::SocketAddr, path: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("ops connection");
     stream
-        .write_all(b"GET /stats HTTP/1.1\r\nConnection: close\r\n\r\n")
-        .expect("stats request");
+        .write_all(format!("GET {path} HTTP/1.1\r\nConnection: close\r\n\r\n").as_bytes())
+        .expect("ops request");
     let mut reader = BufReader::new(stream.try_clone().expect("clone"));
-    let response = read_response(&mut reader, &Limits::default()).expect("stats response");
-    assert_eq!(response.status, 200, "GET /stats must answer 200");
-    response.text()
+    let response = read_response(&mut reader, &Limits::default()).expect("ops response");
+    (response.status, response.text())
+}
+
+fn warmup(addr: std::net::SocketAddr, params: &BenchParams) {
+    run_load(
+        addr,
+        &LoadConfig::closed(
+            (params.requests / 4).max(1),
+            params.concurrency,
+            params.payloads,
+            SEED,
+        ),
+    )
+    .expect("warm-up run");
+}
+
+fn closed_pass(addr: std::net::SocketAddr, params: &BenchParams) -> LoadReport {
+    // Capacity passes use a floor on request count even in quick mode:
+    // a 240-request pass finishes in ~100 ms, short enough that one
+    // scheduler hiccup swings the measured throughput by 2x.
+    let requests = params.requests.max(960);
+    run_load(
+        addr,
+        &LoadConfig::closed(requests, params.concurrency, params.payloads, SEED),
+    )
+    .expect("closed-loop run")
+}
+
+fn best_of(passes: &[LoadReport]) -> &LoadReport {
+    passes
+        .iter()
+        .max_by(|a, b| a.throughput_rps().total_cmp(&b.throughput_rps()))
+        .expect("at least one pass")
+}
+
+/// Instrumentation overhead as the *minimum* over paired passes of
+/// `(bare - instrumented) / bare`. Passes in a pair run back to back,
+/// so machine-level drift (a noisy neighbour, a frequency step) hits
+/// both arms; taking the best pair asks "could the instrumented stack
+/// match the bare one under like conditions at least once", which a
+/// one-sided interference spike cannot answer falsely.
+fn overhead_pct(bare: &[LoadReport], instrumented: &[LoadReport]) -> f64 {
+    bare.iter()
+        .zip(instrumented)
+        .map(|(b, i)| {
+            let bare_rps = b.throughput_rps();
+            if bare_rps > 0.0 {
+                (bare_rps - i.throughput_rps()) / bare_rps * 100.0
+            } else {
+                0.0
+            }
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+fn boot(params: &BenchParams, obs: ObsConfig) -> (Arc<ComputeService>, RunningServer) {
+    let service = Arc::new(tt_net::demo::demo_service(
+        params.payloads,
+        SEED,
+        ServiceConfig {
+            latency_scale: params.latency_scale,
+            model_workers: 8,
+            obs,
+            ..ServiceConfig::defaults()
+        },
+    ));
+    let server = Server::bind(
+        "127.0.0.1:0",
+        Arc::clone(&service),
+        ServerConfig {
+            http_workers: 8,
+            backlog: 256,
+            keep_alive_timeout: Duration::from_secs(2),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind loopback");
+    (service, server.spawn())
 }
 
 fn main() {
@@ -104,35 +196,37 @@ fn main() {
         params.label, params.payloads, params.requests
     );
 
-    let service = Arc::new(tt_net::demo::demo_service(
-        params.payloads,
-        SEED,
-        ServiceConfig {
-            latency_scale: params.latency_scale,
-            model_workers: 8,
-            ..ServiceConfig::defaults()
-        },
-    ));
-    let server = Server::bind(
-        "127.0.0.1:0",
-        Arc::clone(&service),
-        ServerConfig {
-            http_workers: 8,
-            backlog: 256,
-            keep_alive_timeout: Duration::from_secs(2),
-            ..ServerConfig::default()
-        },
-    )
-    .expect("bind loopback");
-    let addr = server.local_addr();
-    let running = server.spawn();
-    eprintln!("bench_serve[{}]: serving on {addr}", params.label);
-
-    let closed = run_load(
-        addr,
-        &LoadConfig::closed(params.requests, params.concurrency, params.payloads, SEED),
-    )
-    .expect("closed-loop run");
+    // Two deployments of the same demo, one with observability
+    // compiled out of the request path. Closed-loop passes alternate
+    // between them (warm-up first, best of `CAPACITY_PASSES` each) so
+    // slow-machine drift hits both arms equally instead of whichever
+    // ran second.
+    let (_bare_service, bare_running) = boot(&params, ObsConfig::disabled());
+    let (service, running) = boot(&params, ObsConfig::defaults());
+    let bare_addr = bare_running.addr();
+    let addr = running.addr();
+    eprintln!(
+        "bench_serve[{}]: serving on {addr} (uninstrumented twin on {bare_addr})",
+        params.label
+    );
+    warmup(bare_addr, &params);
+    warmup(addr, &params);
+    let (mut bare_passes, mut instrumented_passes) = (Vec::new(), Vec::new());
+    for _ in 0..CAPACITY_PASSES {
+        bare_passes.push(closed_pass(bare_addr, &params));
+        instrumented_passes.push(closed_pass(addr, &params));
+    }
+    let overhead_pct = overhead_pct(&bare_passes, &instrumented_passes);
+    let uninstrumented = best_of(&bare_passes).clone();
+    let closed = best_of(&instrumented_passes).clone();
+    bare_running.stop().expect("graceful baseline stop");
+    eprintln!(
+        "bench_serve[{}]: uninstrumented closed loop {} ok / {} sent, {:.0} rps",
+        params.label,
+        uninstrumented.ok,
+        uninstrumented.sent,
+        uninstrumented.throughput_rps(),
+    );
     eprintln!(
         "bench_serve[{}]: closed loop {} ok / {} sent, {:.0} rps, p99 {:.2} ms",
         params.label,
@@ -156,10 +250,17 @@ fn main() {
         open.latency_ms(0.99).unwrap_or(0.0),
     );
 
-    let stats_body = fetch_stats(addr);
+    let (stats_status, stats_body) = fetch(addr, "/stats");
+    assert_eq!(stats_status, 200, "GET /stats must answer 200");
     assert!(
         stats_body.contains("\"service\": \"toltiers\""),
         "stats document malformed: {stats_body}"
+    );
+    let (metrics_status, metrics_body) = fetch(addr, "/metrics");
+    assert_eq!(metrics_status, 200, "GET /metrics must answer 200");
+    assert!(
+        metrics_body.contains("\"totals\"") && metrics_body.contains("\"slo\""),
+        "metrics document malformed: {metrics_body}"
     );
     let snapshot = service.snapshot();
     assert_eq!(
@@ -168,6 +269,14 @@ fn main() {
     );
 
     running.stop().expect("graceful stop");
+
+    let uninstr_rps = uninstrumented.throughput_rps();
+    eprintln!(
+        "bench_serve[{}]: instrumentation overhead {overhead_pct:.2}% \
+         (best of {CAPACITY_PASSES} paired passes; {uninstr_rps:.0} rps bare vs {:.0} rps instrumented)",
+        params.label,
+        closed.throughput_rps(),
+    );
 
     let doc = JsonObject::new()
         .with_str("bench", "serve")
@@ -186,9 +295,21 @@ fn main() {
         )
         .with("closed_loop", Json::Object(report_json(&closed)))
         .with("open_loop", Json::Object(report_json(&open)))
+        .with_num("uninstrumented_closed_rps", uninstr_rps)
+        .with_num("instrumentation_overhead_pct", overhead_pct)
         .with_int("served_total", snapshot.served as i64)
         .with_num("revenue_usd", snapshot.billing.revenue.as_dollars())
-        .with("stats_endpoint_ok", Json::Bool(true));
+        .with("stats_endpoint_ok", Json::Bool(true))
+        .with("metrics_endpoint_ok", Json::Bool(true));
     std::fs::write(&out_path, doc.render()).expect("write artifact");
     eprintln!("bench_serve[{}]: wrote {out_path}", params.label);
+
+    if quick && overhead_pct > MAX_OVERHEAD_PCT {
+        eprintln!(
+            "bench_serve[{}]: FAIL — instrumentation overhead {overhead_pct:.2}% \
+             exceeds {MAX_OVERHEAD_PCT:.0}% budget",
+            params.label
+        );
+        std::process::exit(1);
+    }
 }

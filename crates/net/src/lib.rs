@@ -18,7 +18,8 @@
 //! live worker pool (retries, circuit breakers, degradation — the
 //! [`service`] module), and billing — end to end over the wire. The
 //! [`server`] module adds the operational surface (`/healthz`,
-//! `/stats`, `/drain`, load shedding, graceful drain) and [`loadgen`]
+//! `/stats`, `/metrics`, `/trace/recent`, `/drain`, load shedding,
+//! graceful drain) and [`loadgen`]
 //! drives it all in closed- or open-loop mode for the
 //! `BENCH_serve.json` artifact ([`crate::demo`] supplies the
 //! deterministic synthetic deployment they share).
@@ -33,12 +34,16 @@
 pub mod demo;
 pub mod http;
 pub mod loadgen;
+pub mod metrics;
+pub mod obs;
 pub mod server;
 pub mod service;
 pub mod stats;
 
 pub use http::{read_request, read_response, write_response, HttpError, Limits, Request, Response};
-pub use loadgen::{run_load, LoadConfig, LoadMode, LoadReport, TierLoad};
+pub use loadgen::{run_load, LoadConfig, LoadMode, LoadReport, SlowRequest, TierLoad};
+pub use metrics::metrics_document;
+pub use obs::{tier_key, ObsConfig, Observability, ServedSample};
 pub use server::{RunningServer, Server, ServerConfig, ShutdownHandle};
 pub use service::{ComputeOutcome, ComputeService, ServiceConfig, ServiceError, ServiceSnapshot};
 pub use stats::stats_document;

@@ -102,6 +102,19 @@ impl TierLoad {
     }
 }
 
+/// A slow request the client can correlate with the server's trace
+/// ring: the server's `request_id` from the response body links the
+/// client-observed latency to the span tree on `GET /trace/recent`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlowRequest {
+    /// Client-observed latency, milliseconds.
+    pub latency_ms: f64,
+    /// The server-assigned request ID, when tracing was on.
+    pub request_id: Option<u64>,
+    /// `(objective, tolerance-in-tenths-of-percent)` tier key.
+    pub tier: (String, u32),
+}
+
 /// What one load run observed.
 #[derive(Debug, Clone, Default)]
 pub struct LoadReport {
@@ -119,7 +132,14 @@ pub struct LoadReport {
     pub latencies_ms: Vec<f64>,
     /// Per (objective, tolerance-in-tenths-of-percent) tier breakdown.
     pub per_tier: BTreeMap<(String, u32), TierLoad>,
+    /// The slowest successful requests (worst first, at most
+    /// [`SLOWEST_RETAINED`]), with server request IDs for trace
+    /// correlation.
+    pub slowest: Vec<SlowRequest>,
 }
+
+/// How many of the slowest requests a [`LoadReport`] retains.
+pub const SLOWEST_RETAINED: usize = 16;
 
 impl LoadReport {
     /// Achieved throughput over the whole run.
@@ -146,10 +166,25 @@ impl LoadReport {
                 let slot = self.per_tier.entry(outcome.tier.clone()).or_default();
                 slot.ok += 1;
                 slot.latencies_ms.push(ms);
+                self.slowest.push(SlowRequest {
+                    latency_ms: ms,
+                    request_id: outcome.request_id,
+                    tier: outcome.tier.clone(),
+                });
             }
             Some(_) => self.rejected += 1,
             None => self.transport_errors += 1,
         }
+    }
+
+    /// Keep only the worst [`SLOWEST_RETAINED`] latencies, worst first.
+    fn trim_slowest(&mut self) {
+        self.slowest.sort_by(|a, b| {
+            b.latency_ms
+                .partial_cmp(&a.latency_ms)
+                .expect("finite latencies")
+        });
+        self.slowest.truncate(SLOWEST_RETAINED);
     }
 }
 
@@ -157,7 +192,21 @@ impl LoadReport {
 struct RequestOutcome {
     tier: (String, u32),
     status: Option<u16>,
+    request_id: Option<u64>,
     latency: Duration,
+}
+
+/// Extract `"request_id": N` from a response body without a JSON
+/// parser (the value is a bare integer in the service's own dialect).
+fn parse_request_id(body: &[u8]) -> Option<u64> {
+    let text = std::str::from_utf8(body).ok()?;
+    let at = text.find("\"request_id\":")?;
+    let digits: String = text[at + "\"request_id\":".len()..]
+        .chars()
+        .skip_while(|c| c.is_whitespace())
+        .take_while(char::is_ascii_digit)
+        .collect();
+    digits.parse().ok()
 }
 
 fn tier_key(request: &ServiceRequest) -> (String, u32) {
@@ -201,16 +250,24 @@ impl Client {
         })
     }
 
-    fn roundtrip(&mut self, request: &ServiceRequest, close: bool) -> Result<u16, HttpError> {
+    fn roundtrip(
+        &mut self,
+        request: &ServiceRequest,
+        close: bool,
+    ) -> Result<(u16, Option<u64>), HttpError> {
         self.writer
             .write_all(render_request(request, close).as_bytes())
             .map_err(|_| HttpError::Truncated)?;
-        read_response(&mut self.reader, &self.limits).map(|r| r.status)
+        read_response(&mut self.reader, &self.limits).map(|r| (r.status, parse_request_id(&r.body)))
     }
 }
 
 /// Issue one request on a fresh connection (open-loop discipline).
-fn one_shot(addr: SocketAddr, limits: Limits, request: &ServiceRequest) -> Option<u16> {
+fn one_shot(
+    addr: SocketAddr,
+    limits: Limits,
+    request: &ServiceRequest,
+) -> Option<(u16, Option<u64>)> {
     let mut client = Client::connect(addr, limits).ok()?;
     client.roundtrip(request, true).ok()
 }
@@ -256,6 +313,7 @@ pub fn run_load(addr: SocketAddr, config: &LoadConfig) -> io::Result<LoadReport>
     for outcome in &outcomes {
         report.absorb(outcome);
     }
+    report.trim_slowest();
     Ok(report)
 }
 
@@ -282,9 +340,9 @@ fn run_closed(
                     for (i, request) in slice.iter().enumerate() {
                         let close = i + 1 == slice.len();
                         let fired = Instant::now();
-                        let status = match &mut client {
+                        let reply = match &mut client {
                             Some(c) => match c.roundtrip(request, close) {
-                                Ok(status) => Some(status),
+                                Ok(reply) => Some(reply),
                                 Err(_) => {
                                     // One reconnect per failure: the
                                     // server may have reaped an idle
@@ -304,7 +362,8 @@ fn run_closed(
                         };
                         outcomes.push(RequestOutcome {
                             tier: tier_key(request),
-                            status,
+                            status: reply.map(|(status, _)| status),
+                            request_id: reply.and_then(|(_, id)| id),
                             latency: fired.elapsed(),
                         });
                     }
@@ -353,10 +412,11 @@ fn run_open(
                         if let Some(wait) = due.checked_sub(epoch.elapsed()) {
                             std::thread::sleep(wait);
                         }
-                        let status = one_shot(addr, limits, request);
+                        let reply = one_shot(addr, limits, request);
                         outcomes.push(RequestOutcome {
                             tier: tier_key(request),
-                            status,
+                            status: reply.map(|(status, _)| status),
+                            request_id: reply.and_then(|(_, id)| id),
                             latency: epoch.elapsed().saturating_sub(due),
                         });
                     }
@@ -395,18 +455,20 @@ mod tests {
             wall: Duration::from_secs(2),
             ..LoadReport::default()
         };
-        for (status, ms) in [
-            (Some(200), 4.0),
-            (Some(200), 8.0),
-            (Some(503), 0.0),
-            (None, 0.0),
+        for (status, id, ms) in [
+            (Some(200), Some(11), 4.0),
+            (Some(200), Some(12), 8.0),
+            (Some(503), None, 0.0),
+            (None, None, 0.0),
         ] {
             report.absorb(&RequestOutcome {
                 tier: ("cost".to_string(), 50),
                 status,
+                request_id: id,
                 latency: Duration::from_secs_f64(ms / 1e3),
             });
         }
+        report.trim_slowest();
         assert_eq!(report.sent, 4);
         assert_eq!(report.ok, 2);
         assert_eq!(report.rejected, 1);
@@ -414,6 +476,41 @@ mod tests {
         assert_eq!(report.throughput_rps(), 1.0);
         assert_eq!(report.latency_ms(0.5), Some(6.0));
         assert_eq!(report.per_tier[&("cost".to_string(), 50)].ok, 2);
+        // Slowest first, carrying the server's request ID.
+        assert_eq!(report.slowest.len(), 2);
+        assert_eq!(report.slowest[0].latency_ms, 8.0);
+        assert_eq!(report.slowest[0].request_id, Some(12));
+    }
+
+    #[test]
+    fn slowest_retention_is_bounded_and_worst_first() {
+        let mut report = LoadReport::default();
+        for i in 0..40u64 {
+            report.absorb(&RequestOutcome {
+                tier: ("cost".to_string(), 0),
+                status: Some(200),
+                request_id: Some(i),
+                latency: Duration::from_millis(i),
+            });
+        }
+        report.trim_slowest();
+        assert_eq!(report.slowest.len(), SLOWEST_RETAINED);
+        assert_eq!(report.slowest[0].request_id, Some(39));
+        assert!(report
+            .slowest
+            .windows(2)
+            .all(|w| w[0].latency_ms >= w[1].latency_ms));
+    }
+
+    #[test]
+    fn request_ids_parse_out_of_response_bodies() {
+        assert_eq!(
+            parse_request_id(b"{\"answered_by\": \"fast\", \"request_id\": 42}"),
+            Some(42)
+        );
+        assert_eq!(parse_request_id(b"{\"request_id\":7}"), Some(7));
+        assert_eq!(parse_request_id(b"{\"answered_by\": \"fast\"}"), None);
+        assert_eq!(parse_request_id(b"\xff\xfe"), None);
     }
 
     #[test]

@@ -1,0 +1,191 @@
+//! The `/metrics` document: live registry totals, per-tier telemetry,
+//! and the SLO sentinel's latest verdicts, rendered in the workspace's
+//! perfjson dialect.
+//!
+//! Layout contract: everything under `"totals"` derives from integer
+//! accumulators (counters, fixed-point error sums, histogram bucket
+//! counts), so a fixed request set renders a byte-identical `"totals"`
+//! object regardless of thread interleaving. Wall-clock facts
+//! (`uptime_ms`) and sentinel cadence (`windows_evaluated`, which
+//! depends on accept-loop timing) deliberately live *outside* it.
+
+use crate::obs::Observability;
+use tt_bench::perfjson::{Json, JsonObject};
+use tt_obs::{Histogram, SloVerdict};
+
+/// Render one histogram's integer summary. Quantiles are nearest-rank
+/// over bucket counts — integers, not interpolations.
+fn histogram_object(hist: &Histogram) -> JsonObject {
+    let mut obj = JsonObject::new()
+        .with_int("count", hist.count() as i64)
+        .with_int("sum", hist.sum() as i64);
+    for (key, value) in [
+        ("min", hist.min()),
+        ("max", hist.max()),
+        ("p50", hist.quantile(0.5)),
+        ("p99", hist.quantile(0.99)),
+        ("p999", hist.quantile(0.999)),
+    ] {
+        if let Some(v) = value {
+            obj = obj.with_int(key, v as i64);
+        }
+    }
+    obj
+}
+
+fn verdict_object(v: &SloVerdict) -> JsonObject {
+    JsonObject::new()
+        .with_str("tier", &v.key)
+        .with("in_contract", Json::Bool(v.in_contract))
+        .with("evaluated", Json::Bool(v.evaluated))
+        .with_str("reason", &v.reason)
+        .with_int("window_requests", v.window_requests as i64)
+        .with_int("window_degraded", v.window_degraded as i64)
+        .with_num("observed_degradation", v.observed_degradation)
+        .with_int("latency_us_at_quantile", v.latency_us_at_quantile as i64)
+}
+
+/// Build the `/metrics` document for a service's observability.
+pub fn metrics_document(obs: &Observability, uptime_ms: u64) -> JsonObject {
+    let snap = obs.registry().snapshot();
+
+    let mut counters = JsonObject::new();
+    for (name, value) in &snap.counters {
+        counters = counters.with_int(name, *value as i64);
+    }
+    let mut gauges = JsonObject::new();
+    for (name, value) in &snap.gauges {
+        gauges = gauges.with_int(name, *value);
+    }
+    let mut histograms = JsonObject::new();
+    for (name, hist) in &snap.histograms {
+        histograms = histograms.with(name, Json::Object(histogram_object(hist)));
+    }
+
+    let mut tiers = JsonObject::new();
+    for (key, telemetry) in obs.tier_telemetry() {
+        let mut tier = JsonObject::new()
+            .with_int("requests", telemetry.requests() as i64)
+            .with_int("degraded", telemetry.degraded() as i64);
+        if let Some(mean_err) = telemetry.mean_err() {
+            tier = tier.with_num("mean_quality_err", mean_err);
+        }
+        tier = tier.with(
+            "latency_us",
+            Json::Object(histogram_object(&telemetry.latency().snapshot())),
+        );
+        tiers = tiers.with(&key, Json::Object(tier));
+    }
+
+    let totals = JsonObject::new()
+        .with("counters", Json::Object(counters))
+        .with("gauges", Json::Object(gauges))
+        .with("histograms", Json::Object(histograms))
+        .with("tiers", Json::Object(tiers))
+        .with_int("dropped_series", snap.dropped_series as i64);
+
+    let sentinel = obs.sentinel();
+    let verdicts: Vec<Json> = sentinel
+        .verdicts()
+        .iter()
+        .map(|v| Json::Object(verdict_object(v)))
+        .collect();
+    let slo = JsonObject::new()
+        .with_int("window_ms", (sentinel.window_us() / 1_000) as i64)
+        .with_int("windows_evaluated", sentinel.windows_evaluated() as i64)
+        .with("tiers", Json::Array(verdicts));
+
+    JsonObject::new()
+        .with_str("service", "toltiers")
+        .with_int("uptime_ms", uptime_ms as i64)
+        .with("totals", Json::Object(totals))
+        .with("slo", Json::Object(slo))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::demo::{demo_frontend, demo_matrix};
+    use crate::obs::{ObsConfig, Observability};
+    use std::time::Instant;
+    use tt_core::objective::Objective;
+
+    fn obs() -> Observability {
+        let matrix = demo_matrix(80, 9);
+        let frontend = demo_frontend(&matrix, 9);
+        Observability::new(&matrix, &frontend, &ObsConfig::defaults(), Instant::now())
+    }
+
+    #[test]
+    fn document_has_the_advertised_shape() {
+        let obs = obs();
+        obs.record_served(&crate::obs::ServedSample {
+            objective: Objective::Cost,
+            tolerance: 0.05,
+            sim_latency_us: 9_000,
+            quality_err: 0.1,
+            baseline_err: 0.1,
+            degraded: false,
+            invocations: 1,
+        });
+        obs.sentinel().force_tick(1_000_000);
+        let body = metrics_document(&obs, 1_234).render();
+        assert!(body.contains("\"service\": \"toltiers\""));
+        assert!(body.contains("\"uptime_ms\": 1234"));
+        assert!(body.contains("\"requests_total\": 1"));
+        assert!(body.contains("\"cost/0.050\""));
+        assert!(body.contains("\"in_contract\": true"));
+        assert!(body.contains("\"window_ms\": 250"));
+        assert!(body.contains("\"windows_evaluated\": 1"));
+    }
+
+    #[test]
+    fn totals_are_identical_for_identical_traffic() {
+        let extract = |body: &str| {
+            let start = body.find("\"totals\": {").expect("totals present");
+            let mut depth = 0usize;
+            for (i, ch) in body[start..].char_indices() {
+                match ch {
+                    '{' => depth += 1,
+                    '}' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            return body[start..start + i + 1].to_string();
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            panic!("unbalanced totals object");
+        };
+        let run = || {
+            let obs = obs();
+            for i in 0..50 {
+                obs.record_served(&crate::obs::ServedSample {
+                    objective: Objective::ResponseTime,
+                    tolerance: 0.01,
+                    sim_latency_us: 2_000 + i * 13,
+                    quality_err: 0.02,
+                    baseline_err: 0.02,
+                    degraded: i % 7 == 0,
+                    invocations: 1 + (i % 2),
+                });
+            }
+            extract(&metrics_document(&obs, 999).render())
+        };
+        // uptime differs between renders; totals must not.
+        let a = run();
+        let b = run();
+        assert_eq!(a, b);
+        assert!(a.contains("\"requests_total\": 50"));
+    }
+
+    #[test]
+    fn empty_histograms_render_without_quantiles() {
+        let obs = obs();
+        let body = metrics_document(&obs, 0).render();
+        // No traffic: count/sum present, no p50 keys invented.
+        assert!(body.contains("\"count\": 0"));
+        assert!(body.contains("\"awaiting first window\""));
+    }
+}

@@ -1,0 +1,387 @@
+//! Live observability for the wire service: a bounded metrics
+//! registry, request-scoped tracing, and the tier-guarantee SLO
+//! sentinel, assembled from [`tt_obs`] and wired to the deployment's
+//! *advertised* guarantees.
+//!
+//! The interesting part is the wiring, not the plumbing: at service
+//! construction the frontend's routing rules are replayed through
+//! [`RoutingRules::guarantees`] to extract, per tier, the tolerance ε
+//! and the predicted latency at a chosen quantile. Those predictions
+//! become [`SloTarget`]s, so the sentinel holds live traffic against
+//! exactly what the rule generator promised — the paper's contract
+//! ("this tier degrades accuracy at most ε versus the premium tier")
+//! made observable at runtime.
+//!
+//! Everything the hot path records is integer-accumulated (fixed-point
+//! quality errors, histogram bucket counts), so a fixed request set
+//! produces bit-identical `/metrics` totals regardless of thread
+//! interleaving.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use tt_core::objective::Objective;
+use tt_core::profile::ProfileMatrix;
+use tt_core::rulegen::RoutingRules;
+use tt_obs::{
+    BucketScheme, Counter, HistogramHandle, MetricsRegistry, SloSentinel, SloTarget, TierTelemetry,
+    Tracer,
+};
+use tt_serve::frontend::TieredFrontend;
+
+/// Observability tuning for a [`crate::service::ComputeService`].
+#[derive(Debug, Clone)]
+pub struct ObsConfig {
+    /// Master switch; `false` removes the registry, tracer, and
+    /// sentinel entirely (the uninstrumented baseline the overhead
+    /// benchmark compares against).
+    pub enabled: bool,
+    /// Finished request traces retained in the tracer's ring.
+    pub trace_capacity: usize,
+    /// Optional JSONL file sink mirroring every finished trace.
+    pub trace_file: Option<PathBuf>,
+    /// Sliding-window length for SLO verdicts.
+    pub slo_window: Duration,
+    /// Minimum window requests per tier before a verdict is rendered.
+    pub slo_min_requests: u64,
+    /// Quantile at which tier latency is predicted and checked.
+    pub latency_quantile: f64,
+    /// Live latency may exceed the prediction by this factor before
+    /// the tier is ruled out of contract (live serving pays queueing
+    /// and scheduling costs the profile does not model).
+    pub latency_headroom: f64,
+    /// `Some(n)`: the service's event trace keeps only the newest `n`
+    /// events (per-tier aggregates still cover the whole stream).
+    /// `None`: retain everything, as the simulation recorders do.
+    pub trace_retention: Option<usize>,
+}
+
+impl ObsConfig {
+    /// Instrumentation on, with bounded retention everywhere.
+    pub fn defaults() -> Self {
+        ObsConfig {
+            enabled: true,
+            trace_capacity: 256,
+            trace_file: None,
+            slo_window: Duration::from_millis(250),
+            slo_min_requests: 20,
+            latency_quantile: 0.99,
+            latency_headroom: 2.0,
+            trace_retention: Some(4096),
+        }
+    }
+
+    /// Instrumentation fully off (unbounded trace, no registry).
+    pub fn disabled() -> Self {
+        ObsConfig {
+            enabled: false,
+            trace_retention: None,
+            ..ObsConfig::defaults()
+        }
+    }
+}
+
+/// Everything [`Observability::record_served`] needs to know about
+/// one served request.
+#[derive(Debug, Clone, Copy)]
+pub struct ServedSample {
+    /// The request's objective annotation.
+    pub objective: Objective,
+    /// The request's tolerance annotation.
+    pub tolerance: f64,
+    /// Simulated (accounted) latency of the serving policy.
+    pub sim_latency_us: u64,
+    /// Quality error of the version that answered.
+    pub quality_err: f64,
+    /// The baseline (premium-tier) version's error on the same
+    /// payload.
+    pub baseline_err: f64,
+    /// Whether resilience degraded the request to a cheaper version.
+    pub degraded: bool,
+    /// Model invocations the request consumed (retries, hedges).
+    pub invocations: u64,
+}
+
+/// The stable tier key used across `/metrics`, SLO verdicts, and
+/// `/healthz` degradation reasons: `"{objective}/{tolerance:.3}"`,
+/// e.g. `"cost/0.050"`.
+pub fn tier_key(objective: Objective, tolerance: f64) -> String {
+    format!("{objective}/{tolerance:.3}")
+}
+
+/// One objective's deployed tiers: ascending tolerances with their
+/// telemetry sinks, plus the baseline (premium) version index.
+struct ObjectiveTiers {
+    objective: Objective,
+    /// `(tolerance, telemetry)` ascending by tolerance.
+    slots: Vec<(f64, Arc<TierTelemetry>)>,
+    baseline_version: usize,
+}
+
+/// The service's live observability: registry, tracer, sentinel, and
+/// the per-tier telemetry the hot path feeds.
+pub struct Observability {
+    registry: MetricsRegistry,
+    tracer: Tracer,
+    sentinel: SloSentinel,
+    tiers: Vec<ObjectiveTiers>,
+    started: Instant,
+    // Pre-resolved hot-path handles: record without touching the
+    // registry's shard locks.
+    requests_total: Arc<Counter>,
+    requests_degraded: Arc<Counter>,
+    requests_dropped: Arc<Counter>,
+    model_invocations: Arc<Counter>,
+    sim_latency: HistogramHandle,
+}
+
+impl Observability {
+    /// Wire observability to a deployment: one [`SloTarget`] and one
+    /// [`TierTelemetry`] per advertised tier, targets taken from the
+    /// routing rules' own predictions.
+    ///
+    /// `started` is the monotonic anchor all span timestamps and
+    /// sentinel windows are measured from (share the service's so one
+    /// clock rules the whole request path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a deployed policy cannot be evaluated against
+    /// `matrix` (the frontend would have panicked serving it anyway).
+    pub fn new(
+        matrix: &ProfileMatrix,
+        frontend: &TieredFrontend,
+        config: &ObsConfig,
+        started: Instant,
+    ) -> Self {
+        let registry = MetricsRegistry::default();
+        let tracer = match &config.trace_file {
+            Some(path) => Tracer::new(config.trace_capacity)
+                .with_file_sink(path)
+                .unwrap_or_else(|_| Tracer::new(config.trace_capacity)),
+            None => Tracer::new(config.trace_capacity),
+        };
+        let mut targets = Vec::new();
+        let mut tiers = Vec::new();
+        // The frontend stores rules per objective in a hash map;
+        // sort so sentinel registration (and thus verdict order on
+        // `/metrics`) is identical across runs.
+        let mut rule_sets: Vec<&RoutingRules> = frontend.rules().collect();
+        rule_sets.sort_by_key(|r| r.objective().to_string());
+        for rules in rule_sets {
+            let guarantees = rules
+                .guarantees(matrix, config.latency_quantile)
+                .expect("deployed rules must evaluate against their own matrix");
+            let mut slots = Vec::with_capacity(guarantees.len());
+            for g in &guarantees {
+                let telemetry = Arc::new(TierTelemetry::new(BucketScheme::DEFAULT));
+                let max_latency_us = (g.predicted_latency_us as f64
+                    * config.latency_headroom.max(1.0))
+                .ceil() as u64;
+                targets.push((
+                    SloTarget {
+                        key: tier_key(g.objective, g.tolerance),
+                        max_degradation: g.tolerance,
+                        latency_quantile: g.latency_quantile,
+                        max_latency_us,
+                        min_requests: config.slo_min_requests,
+                    },
+                    Arc::clone(&telemetry),
+                ));
+                slots.push((g.tolerance, telemetry));
+            }
+            slots.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite tolerances"));
+            tiers.push(ObjectiveTiers {
+                objective: rules.objective(),
+                slots,
+                baseline_version: rules.baseline_version(),
+            });
+        }
+        let sentinel = SloSentinel::new(config.slo_window.as_micros().max(1) as u64, targets);
+        Observability {
+            requests_total: registry.counter("requests_total"),
+            requests_degraded: registry.counter("requests_degraded"),
+            requests_dropped: registry.counter("requests_dropped"),
+            model_invocations: registry.counter("model_invocations"),
+            sim_latency: registry.histogram("sim_latency_us"),
+            registry,
+            tracer,
+            sentinel,
+            tiers,
+            started,
+        }
+    }
+
+    /// The metrics registry (for `/metrics` and ad-hoc series).
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    /// The request tracer (for `/trace/recent`).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// The SLO sentinel (for `/metrics` verdicts and `/healthz`).
+    pub fn sentinel(&self) -> &SloSentinel {
+        &self.sentinel
+    }
+
+    /// Microseconds since the service's monotonic anchor — the
+    /// timestamp base for spans and sentinel windows.
+    pub fn now_us(&self) -> u64 {
+        self.started.elapsed().as_micros() as u64
+    }
+
+    /// Advance the sentinel; evaluates a window when one has elapsed.
+    /// Called from the server's accept loop between accepts.
+    pub fn tick(&self) -> bool {
+        self.sentinel.tick(self.now_us())
+    }
+
+    /// The baseline (premium) version for an objective's tiers.
+    pub fn baseline_version(&self, objective: Objective) -> Option<usize> {
+        self.tiers
+            .iter()
+            .find(|t| t.objective == objective)
+            .map(|t| t.baseline_version)
+    }
+
+    /// The telemetry sink serving a consumer-requested tolerance: the
+    /// *largest* deployed tolerance not exceeding the request's (the
+    /// routing tables' downward-compatibility rule).
+    pub fn telemetry(&self, objective: Objective, tolerance: f64) -> Option<&Arc<TierTelemetry>> {
+        let tiers = self.tiers.iter().find(|t| t.objective == objective)?;
+        let mut hit = None;
+        for (tol, telemetry) in &tiers.slots {
+            if *tol <= tolerance + 1e-12 {
+                hit = Some(telemetry);
+            } else {
+                break;
+            }
+        }
+        hit
+    }
+
+    /// Per-tier lifetime telemetry as `(key, telemetry)` pairs sorted
+    /// by key — the deterministic iteration `/metrics` renders from.
+    pub fn tier_telemetry(&self) -> Vec<(String, Arc<TierTelemetry>)> {
+        let mut out = Vec::new();
+        for tiers in &self.tiers {
+            for (tol, telemetry) in &tiers.slots {
+                out.push((tier_key(tiers.objective, *tol), Arc::clone(telemetry)));
+            }
+        }
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    /// Record one served request into the registry and its tier's
+    /// telemetry. All hot-path operations are atomics.
+    pub fn record_served(&self, sample: &ServedSample) {
+        self.requests_total.inc();
+        if sample.degraded {
+            self.requests_degraded.inc();
+        }
+        self.model_invocations.add(sample.invocations);
+        self.sim_latency.record(sample.sim_latency_us);
+        if let Some(telemetry) = self.telemetry(sample.objective, sample.tolerance) {
+            telemetry.record(
+                sample.sim_latency_us,
+                sample.quality_err,
+                sample.baseline_err,
+                sample.degraded,
+            );
+        }
+    }
+
+    /// Record one request no version could answer.
+    pub fn record_dropped(&self) {
+        self.requests_total.inc();
+        self.requests_dropped.inc();
+    }
+}
+
+impl std::fmt::Debug for Observability {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Observability")
+            .field("registry", &self.registry)
+            .field("tracer", &self.tracer)
+            .field("sentinel", &self.sentinel)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::demo::{demo_frontend, demo_matrix, DEMO_TIERS};
+
+    fn obs() -> Observability {
+        let matrix = demo_matrix(120, 5);
+        let frontend = demo_frontend(&matrix, 5);
+        Observability::new(&matrix, &frontend, &ObsConfig::defaults(), Instant::now())
+    }
+
+    #[test]
+    fn targets_cover_every_advertised_tier() {
+        let obs = obs();
+        let keys: Vec<String> = obs.sentinel().targets().map(|t| t.key.clone()).collect();
+        for objective in [Objective::ResponseTime, Objective::Cost] {
+            for &tol in &DEMO_TIERS {
+                let key = tier_key(objective, tol);
+                assert!(keys.contains(&key), "missing target {key}");
+            }
+        }
+        // Latency bounds come from predictions, scaled by headroom.
+        assert!(obs.sentinel().targets().all(|t| t.max_latency_us > 0));
+    }
+
+    #[test]
+    fn telemetry_lookup_uses_downward_compatibility() {
+        let obs = obs();
+        // 3% tolerance is served (and watched) as the 1% tier.
+        let at_1pct = obs.telemetry(Objective::Cost, 0.01).expect("1% tier");
+        let at_3pct = obs.telemetry(Objective::Cost, 0.03).expect("3% lookup");
+        assert!(Arc::ptr_eq(at_1pct, at_3pct));
+        at_3pct.record(1_000, 0.1, 0.1, false);
+        assert_eq!(at_1pct.requests(), 1);
+    }
+
+    #[test]
+    fn record_served_feeds_registry_and_tier() {
+        let obs = obs();
+        obs.record_served(&ServedSample {
+            objective: Objective::Cost,
+            tolerance: 0.05,
+            sim_latency_us: 9_000,
+            quality_err: 0.2,
+            baseline_err: 0.1,
+            degraded: true,
+            invocations: 2,
+        });
+        obs.record_dropped();
+        let snap = obs.registry().snapshot();
+        assert_eq!(snap.counters["requests_total"], 2);
+        assert_eq!(snap.counters["requests_degraded"], 1);
+        assert_eq!(snap.counters["requests_dropped"], 1);
+        assert_eq!(snap.counters["model_invocations"], 2);
+        assert_eq!(snap.histograms["sim_latency_us"].count(), 1);
+        let tier = obs.telemetry(Objective::Cost, 0.05).unwrap();
+        assert_eq!(tier.requests(), 1);
+        assert_eq!(tier.degraded(), 1);
+    }
+
+    #[test]
+    fn tier_keys_are_stable_and_sorted() {
+        let obs = obs();
+        let tiers = obs.tier_telemetry();
+        assert_eq!(tiers.len(), 8);
+        assert!(tiers.windows(2).all(|w| w[0].0 < w[1].0));
+        assert_eq!(tier_key(Objective::Cost, 0.05), "cost/0.050");
+        assert_eq!(
+            tier_key(Objective::ResponseTime, 0.0),
+            "response-time/0.000"
+        );
+    }
+}

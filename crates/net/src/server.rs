@@ -19,10 +19,14 @@
 //!   only after the task pool has drained — in-flight requests always
 //!   get their answer.
 //!
-//! Routes: `POST /compute` (the paper's API), `GET /healthz`,
-//! `GET /stats`, `POST /drain`.
+//! Routes: `POST /compute` (the paper's API), `GET /healthz` (which
+//! degrades to `503` naming the tiers the SLO sentinel rules out of
+//! contract), `GET /stats`, `GET /metrics`, `GET /trace/recent`,
+//! `POST /drain`. The accept loop doubles as the sentinel's heartbeat:
+//! idle polls tick the sliding SLO window.
 
 use crate::http::{read_request, write_response, Limits, Request};
+use crate::metrics::metrics_document;
 use crate::service::{ComputeService, ServiceError};
 use crate::stats::stats_document;
 use parking_lot::Mutex;
@@ -134,6 +138,10 @@ impl Server {
             match self.listener.accept() {
                 Ok((stream, _peer)) => self.dispatch(&pool, stream),
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    // Idle: advance the SLO sentinel's sliding window.
+                    if let Some(obs) = self.service.observability() {
+                        obs.tick();
+                    }
                     std::thread::sleep(Duration::from_millis(2));
                 }
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
@@ -331,12 +339,7 @@ fn handle_connection(
 pub(crate) fn route(service: &ComputeService, shutdown: &AtomicBool, request: &Request) -> Reply {
     match (request.method.as_str(), request.path()) {
         ("POST", "/compute") => compute(service, request),
-        ("GET", "/healthz") | ("HEAD", "/healthz") => Reply {
-            status: 200,
-            reason: "OK",
-            content_type: "text/plain",
-            body: "ok\n".to_string(),
-        },
+        ("GET", "/healthz") | ("HEAD", "/healthz") => healthz(service),
         ("GET", "/stats") | ("HEAD", "/stats") => {
             let uptime_ms = service.started().elapsed().as_millis() as u64;
             Reply::json(
@@ -345,6 +348,8 @@ pub(crate) fn route(service: &ComputeService, shutdown: &AtomicBool, request: &R
                 stats_document(&service.snapshot(), uptime_ms).render(),
             )
         }
+        ("GET", "/metrics") | ("HEAD", "/metrics") => metrics(service),
+        ("GET", "/trace/recent") | ("HEAD", "/trace/recent") => trace_recent(service),
         ("POST", "/drain") => {
             shutdown.store(true, Ordering::SeqCst);
             Reply::json(
@@ -355,7 +360,12 @@ pub(crate) fn route(service: &ComputeService, shutdown: &AtomicBool, request: &R
                     .render(),
             )
         }
-        (_, "/compute") | (_, "/healthz") | (_, "/stats") | (_, "/drain") => Reply::json(
+        (_, "/compute")
+        | (_, "/healthz")
+        | (_, "/stats")
+        | (_, "/metrics")
+        | (_, "/trace/recent")
+        | (_, "/drain") => Reply::json(
             405,
             "Method Not Allowed",
             error_body(&format!(
@@ -370,6 +380,74 @@ pub(crate) fn route(service: &ComputeService, shutdown: &AtomicBool, request: &R
             error_body(&format!("no route for {path}")),
         ),
     }
+}
+
+/// `GET /healthz`: `200 ok` while every tier honors its guarantee;
+/// `503` naming the out-of-contract tiers once the SLO sentinel rules
+/// otherwise.
+fn healthz(service: &ComputeService) -> Reply {
+    let violations = service
+        .observability()
+        .map(|obs| obs.sentinel().violations())
+        .unwrap_or_default();
+    if violations.is_empty() {
+        return Reply {
+            status: 200,
+            reason: "OK",
+            content_type: "text/plain",
+            body: "ok\n".to_string(),
+        };
+    }
+    let tiers: Vec<tt_bench::perfjson::Json> = violations
+        .into_iter()
+        .map(tt_bench::perfjson::Json::Str)
+        .collect();
+    Reply::json(
+        503,
+        "Service Unavailable",
+        JsonObject::new()
+            .with_str("status", "degraded")
+            .with("violations", tt_bench::perfjson::Json::Array(tiers))
+            .render(),
+    )
+}
+
+/// `GET /metrics`: registry totals, per-tier telemetry, and SLO
+/// verdicts in the perfjson dialect.
+fn metrics(service: &ComputeService) -> Reply {
+    let uptime_ms = service.started().elapsed().as_millis() as u64;
+    match service.observability() {
+        Some(obs) => Reply::json(200, "OK", metrics_document(obs, uptime_ms).render()),
+        None => Reply::json(
+            200,
+            "OK",
+            JsonObject::new()
+                .with_str("service", "toltiers")
+                .with("observability", tt_bench::perfjson::Json::Bool(false))
+                .render(),
+        ),
+    }
+}
+
+/// `GET /trace/recent`: the tracer's ring of finished request traces,
+/// newest last.
+fn trace_recent(service: &ComputeService) -> Reply {
+    let Some(obs) = service.observability() else {
+        return Reply::json(404, "Not Found", error_body("tracing disabled"));
+    };
+    let traces = obs.tracer().recent(obs.tracer().capacity());
+    let mut body = String::with_capacity(64 + traces.len() * 256);
+    body.push_str("{\"count\": ");
+    body.push_str(&traces.len().to_string());
+    body.push_str(", \"traces\": [");
+    for (i, trace) in traces.iter().enumerate() {
+        if i > 0 {
+            body.push_str(", ");
+        }
+        body.push_str(&trace.to_json_line());
+    }
+    body.push_str("]}");
+    Reply::json(200, "OK", body)
 }
 
 /// FNV-1a over the body bytes: payload selection for clients that send
@@ -399,6 +477,21 @@ fn payload_for(request: &Request, payloads: usize) -> Result<usize, String> {
 
 /// `POST /compute`: the paper's API over a real wire.
 fn compute(service: &ComputeService, request: &Request) -> Reply {
+    // When observability is on, the whole handler runs under a traced
+    // request: parsing gets its own span, and the handle rides into
+    // the service (and across its worker pool) for the rest.
+    let obs = service.observability();
+    let handle = obs.map(|o| o.tracer().begin());
+    let finish = |reply: Reply| {
+        if let (Some(o), Some(h)) = (obs, handle.as_ref()) {
+            o.tracer().finish(h);
+        }
+        reply
+    };
+    let parse_span = handle
+        .as_ref()
+        .map(|h| h.open("parse", None, service.wall_us()));
+
     // Only the API's own annotation headers are forwarded to the
     // annotation parser; transport headers (Host, Content-Length, ...)
     // belong to HTTP, not to the Tolerance Tiers API. Duplicates are
@@ -412,18 +505,43 @@ fn compute(service: &ComputeService, request: &Request) -> Reply {
             annotations.push_str("\r\n");
         }
     }
+    let close_parse = |error: Option<&str>| {
+        if let (Some(h), Some(id)) = (handle.as_ref(), parse_span) {
+            if let Some(why) = error {
+                h.attr_str(id, "error", why);
+            }
+            h.close(id, service.wall_us());
+        }
+    };
     let (tolerance, objective) = match parse_annotations(&annotations) {
         Ok(parsed) => parsed,
-        Err(err) => return Reply::json(400, "Bad Request", error_body(&err.to_string())),
+        Err(err) => {
+            let why = err.to_string();
+            close_parse(Some(&why));
+            return finish(Reply::json(400, "Bad Request", error_body(&why)));
+        }
     };
     let payload = match payload_for(request, service.matrix().requests()) {
         Ok(p) => p,
-        Err(why) => return Reply::json(400, "Bad Request", error_body(&why)),
+        Err(why) => {
+            close_parse(Some(&why));
+            return finish(Reply::json(400, "Bad Request", error_body(&why)));
+        }
     };
+    if let (Some(h), Some(id)) = (handle.as_ref(), parse_span) {
+        h.attr_int(
+            id,
+            "tolerance_milli",
+            (tolerance.value() * 1000.0).round() as i64,
+        );
+        h.attr_int(id, "payload", payload as i64);
+    }
+    close_parse(None);
+
     let service_request = tt_core::request::ServiceRequest::new(payload, tolerance, objective);
-    match service.execute(&service_request) {
+    match service.execute_traced(&service_request, handle.as_ref()) {
         Ok(outcome) => {
-            let body = JsonObject::new()
+            let mut body = JsonObject::new()
                 .with_str("answered_by", &outcome.version_name)
                 .with_int("version", outcome.answered_by as i64)
                 .with_int("payload", payload as i64)
@@ -433,15 +551,20 @@ fn compute(service: &ComputeService, request: &Request) -> Reply {
                 .with_num("confidence", outcome.confidence)
                 .with_int("latency_us", outcome.simulated_latency_us as i64)
                 .with_num("price_usd", outcome.price.as_dollars())
-                .with("degraded", tt_bench::perfjson::Json::Bool(outcome.degraded))
-                .render();
-            Reply::json(200, "OK", body)
+                .with("degraded", tt_bench::perfjson::Json::Bool(outcome.degraded));
+            if let Some(h) = handle.as_ref() {
+                body = body.with_int("request_id", h.request_id() as i64);
+            }
+            finish(Reply::json(200, "OK", body.render()))
         }
-        Err(ServiceError::Unavailable) => Reply::json(
-            503,
-            "Service Unavailable",
-            error_body(&ServiceError::Unavailable.to_string()),
-        ),
+        Err(ServiceError::Unavailable) => {
+            let mut body =
+                JsonObject::new().with_str("error", &ServiceError::Unavailable.to_string());
+            if let Some(h) = handle.as_ref() {
+                body = body.with_int("request_id", h.request_id() as i64);
+            }
+            finish(Reply::json(503, "Service Unavailable", body.render()))
+        }
     }
 }
 
@@ -541,6 +664,119 @@ mod tests {
         assert_eq!(reply.status, 200);
         assert!(reply.body.contains("\"tolerance\": 0"));
         assert!(reply.body.contains("\"objective\": \"response-time\""));
+    }
+
+    #[test]
+    fn metrics_and_trace_endpoints_expose_the_request_journey() {
+        let service = svc();
+        let off = AtomicBool::new(false);
+        let ok = route(
+            &service,
+            &off,
+            &req(
+                "POST",
+                "/compute",
+                &[
+                    ("Tolerance", "0.05"),
+                    ("Objective", "cost"),
+                    ("Payload", "3"),
+                ],
+                b"",
+            ),
+        );
+        assert_eq!(ok.status, 200);
+        assert!(ok.body.contains("\"request_id\": 1"));
+
+        let metrics = route(&service, &off, &req("GET", "/metrics", &[], b""));
+        assert_eq!(metrics.status, 200);
+        assert!(metrics.body.contains("\"totals\""));
+        assert!(metrics.body.contains("\"requests_total\": 1"));
+        assert!(metrics.body.contains("\"cost/0.050\""));
+        assert!(metrics.body.contains("\"slo\""));
+
+        let traces = route(&service, &off, &req("GET", "/trace/recent", &[], b""));
+        assert_eq!(traces.status, 200);
+        assert!(traces.body.contains("\"count\": 1"));
+        assert!(traces.body.contains("\"request_id\": 1"));
+        for span in ["parse", "execute", "route", "model_call", "bill"] {
+            assert!(
+                traces.body.contains(&format!("\"name\": \"{span}\"")),
+                "missing span {span} in {}",
+                traces.body
+            );
+        }
+
+        assert_eq!(
+            route(&service, &off, &req("POST", "/metrics", &[], b"")).status,
+            405
+        );
+        assert_eq!(
+            route(&service, &off, &req("POST", "/trace/recent", &[], b"")).status,
+            405
+        );
+    }
+
+    #[test]
+    fn disabled_observability_degrades_the_endpoints_gracefully() {
+        let service = Arc::new(demo_service(
+            60,
+            9,
+            ServiceConfig {
+                obs: crate::obs::ObsConfig::disabled(),
+                ..ServiceConfig::defaults()
+            },
+        ));
+        let off = AtomicBool::new(false);
+        let metrics = route(&service, &off, &req("GET", "/metrics", &[], b""));
+        assert_eq!(metrics.status, 200);
+        assert!(metrics.body.contains("\"observability\": false"));
+        assert_eq!(
+            route(&service, &off, &req("GET", "/trace/recent", &[], b"")).status,
+            404
+        );
+        // Compute still serves, without a request_id.
+        let ok = route(
+            &service,
+            &off,
+            &req("POST", "/compute", &[("Payload", "1")], b""),
+        );
+        assert_eq!(ok.status, 200);
+        assert!(!ok.body.contains("request_id"));
+        assert_eq!(
+            route(&service, &off, &req("GET", "/healthz", &[], b"")).status,
+            200
+        );
+    }
+
+    #[test]
+    fn healthz_degrades_naming_the_violating_tier() {
+        let service = svc();
+        let off = AtomicBool::new(false);
+        assert_eq!(
+            route(&service, &off, &req("GET", "/healthz", &[], b"")).status,
+            200
+        );
+        let obs = service.observability().unwrap();
+        // Inject a window of traffic violating the 5% cost tier, then
+        // close the window.
+        for _ in 0..30 {
+            obs.record_served(&crate::obs::ServedSample {
+                objective: tt_core::objective::Objective::Cost,
+                tolerance: 0.05,
+                sim_latency_us: 5_000,
+                quality_err: 0.5,
+                baseline_err: 0.1,
+                degraded: false,
+                invocations: 1,
+            });
+        }
+        obs.sentinel().force_tick(obs.now_us());
+        let reply = route(&service, &off, &req("GET", "/healthz", &[], b""));
+        assert_eq!(reply.status, 503);
+        assert!(reply.body.contains("\"status\": \"degraded\""));
+        assert!(reply.body.contains("cost/0.050"), "{}", reply.body);
+        let metrics = route(&service, &off, &req("GET", "/metrics", &[], b""));
+        assert!(metrics.body.contains("\"in_contract\": false"));
     }
 
     #[test]

@@ -16,14 +16,17 @@
 //! identical per-tier billed totals on every run regardless of thread
 //! scheduling.
 
+use crate::obs::{ObsConfig, Observability};
 use parking_lot::Mutex;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 use tt_core::policy::{Policy, Scheduling, Termination};
 use tt_core::profile::ProfileMatrix;
 use tt_core::request::ServiceRequest;
-use tt_serve::billing::{BillingReport, TierPriceSchedule};
+use tt_obs::TraceHandle;
+use tt_serve::billing::{BillingReport, TierEconomics, TierPriceSchedule};
 use tt_serve::frontend::TieredFrontend;
 use tt_serve::live::{ModelCall, WorkerPool};
 use tt_serve::resilience::{BreakerPolicy, CircuitBreaker, ResilienceStats, RetryPolicy};
@@ -49,6 +52,8 @@ pub struct ServiceConfig {
     pub latency_scale: f64,
     /// Model-execution worker threads.
     pub model_workers: usize,
+    /// Observability wiring: metrics registry, tracer, SLO sentinel.
+    pub obs: ObsConfig,
 }
 
 impl ServiceConfig {
@@ -66,6 +71,7 @@ impl ServiceConfig {
             faults: None,
             latency_scale: 0.0,
             model_workers: 4,
+            obs: ObsConfig::defaults(),
         }
     }
 }
@@ -126,6 +132,9 @@ pub struct ServiceSnapshot {
 struct Ledgered {
     trace: TraceRecorder,
     ledger: CostLedger,
+    /// Tier economics accumulated per request, so billing stays exact
+    /// even when the event trace is bounded and evicting.
+    tiers: BTreeMap<(String, u32), TierEconomics>,
 }
 
 /// The outcome of executing one policy on the worker pool.
@@ -152,6 +161,7 @@ pub struct ComputeService {
     faults: Option<Arc<Mutex<FaultPlan>>>,
     stats: Arc<Mutex<ResilienceStats>>,
     state: Mutex<Ledgered>,
+    obs: Option<Arc<Observability>>,
     served: AtomicUsize,
     started: Instant,
     /// Versions by ascending mean profiled latency ("cheaper" first).
@@ -208,14 +218,29 @@ impl ComputeService {
             Some(policy) => (0..versions).map(|_| CircuitBreaker::new(policy)).collect(),
             None => Vec::new(),
         };
+        // One monotonic anchor rules the breakers, the spans, and the
+        // sentinel windows.
+        let started = Instant::now();
+        let obs = config
+            .obs
+            .enabled
+            .then(|| Arc::new(Observability::new(&matrix, &frontend, &config.obs, started)));
+        let trace = match config.obs.trace_retention {
+            Some(retain) => TraceRecorder::bounded(retain),
+            None => TraceRecorder::new(),
+        };
         ComputeService {
             pool: WorkerPool::new(config.model_workers.max(1)),
             breakers: Arc::new(Mutex::new(breakers)),
             faults: config.faults.clone().map(|p| Arc::new(Mutex::new(p))),
             stats: Arc::new(Mutex::new(ResilienceStats::default())),
-            state: Mutex::new(Ledgered::default()),
+            state: Mutex::new(Ledgered {
+                trace,
+                ..Ledgered::default()
+            }),
+            obs,
             served: AtomicUsize::new(0),
-            started: Instant::now(),
+            started,
             version_order,
             instance: InstanceType::cpu_node(),
             matrix,
@@ -244,6 +269,17 @@ impl ComputeService {
         self.started
     }
 
+    /// Live observability, when `config.obs.enabled`.
+    pub fn observability(&self) -> Option<&Arc<Observability>> {
+        self.obs.as_ref()
+    }
+
+    /// Microseconds since the service started — the span timestamp
+    /// base.
+    pub(crate) fn wall_us(&self) -> u64 {
+        self.started.elapsed().as_micros() as u64
+    }
+
     fn now(&self) -> SimTime {
         SimTime::from_micros(self.started.elapsed().as_micros() as u64)
     }
@@ -259,7 +295,16 @@ impl ComputeService {
     /// Build one model invocation: an optionally-slept table lookup
     /// whose failure behaviour comes from the seeded fault plan, with
     /// breaker bookkeeping folded in.
-    fn make_call(&self, version: usize, payload: usize) -> StageCall {
+    ///
+    /// `span` carries the request's trace across the pool hand-off:
+    /// the worker thread that executes the call opens a `model_call`
+    /// child span on the HTTP worker's handle.
+    fn make_call(
+        &self,
+        version: usize,
+        payload: usize,
+        span: Option<(TraceHandle, u32, u32)>,
+    ) -> StageCall {
         let obs = *self.matrix.get(payload, version);
         let scale = self.config.latency_scale;
         let faults = self.faults.clone();
@@ -267,6 +312,13 @@ impl ComputeService {
         let stats = Arc::clone(&self.stats);
         let started = self.started;
         Box::new(move || {
+            let call_span = span.as_ref().map(|(handle, parent, attempt)| {
+                let wall_us = started.elapsed().as_micros() as u64;
+                let id = handle.open("model_call", Some(*parent), wall_us);
+                handle.attr_int(id, "version", version as i64);
+                handle.attr_int(id, "attempt", i64::from(*attempt));
+                id
+            });
             let fault = match &faults {
                 Some(plan) => plan.lock().draw(version),
                 None => FaultOutcome::None,
@@ -283,43 +335,58 @@ impl ComputeService {
                     b.record(success, now);
                 }
             };
-            match fault {
+            let (result, outcome) = match fault {
                 FaultOutcome::None => {
                     sleep(1.0);
                     record(true);
-                    (Ok(version), obs.confidence)
+                    ((Ok(version), obs.confidence), "ok")
                 }
                 FaultOutcome::Straggler { factor } => {
                     sleep(factor);
                     record(true);
                     stats.lock().slow_invocations += 1;
-                    (Ok(version), obs.confidence)
+                    ((Ok(version), obs.confidence), "straggler")
                 }
                 FaultOutcome::Crash { at_fraction } => {
                     sleep(at_fraction);
                     record(false);
                     stats.lock().failed_invocations += 1;
-                    (Err(()), 0.0)
+                    ((Err(()), 0.0), "crash")
                 }
                 FaultOutcome::Transient => {
                     sleep(1.0);
                     record(false);
                     stats.lock().failed_invocations += 1;
-                    (Err(()), 0.0)
+                    ((Err(()), 0.0), "transient")
                 }
+            };
+            if let (Some(id), Some((handle, _, _))) = (call_span, span.as_ref()) {
+                handle.attr_str(id, "outcome", outcome);
+                handle.close(id, started.elapsed().as_micros() as u64);
             }
+            result
         })
     }
 
     /// Run one stage through `call_with_retry`, charging every attempt
     /// to the outcome's invocation/busy tallies.
-    fn run_stage(&self, version: usize, payload: usize, out: &mut StageOutcome) -> Result<f64, ()> {
+    fn run_stage(
+        &self,
+        version: usize,
+        payload: usize,
+        out: &mut StageOutcome,
+        span: Option<(&TraceHandle, u32)>,
+    ) -> Result<f64, ()> {
         let attempts = Arc::new(AtomicU32::new(0));
         let counter = Arc::clone(&attempts);
         let result = self.pool.call_with_retry(
             || {
-                counter.fetch_add(1, Ordering::SeqCst);
-                self.make_call(version, payload)
+                let attempt = counter.fetch_add(1, Ordering::SeqCst) + 1;
+                self.make_call(
+                    version,
+                    payload,
+                    span.map(|(handle, parent)| (handle.clone(), parent, attempt)),
+                )
             },
             &self.config.retry,
         );
@@ -329,6 +396,9 @@ impl ComputeService {
         out.busy_us += latency * attempts;
         if attempts > 1 {
             self.stats.lock().retries += (attempts - 1) as usize;
+            if let Some((handle, parent)) = span {
+                handle.attr_int(parent, "retries", (attempts - 1) as i64);
+            }
         }
         match result {
             Ok((_, confidence)) => Ok(confidence),
@@ -353,10 +423,22 @@ impl ComputeService {
         failed: usize,
         payload: usize,
         mut out: StageOutcome,
+        span: Option<(&TraceHandle, u32)>,
     ) -> Result<StageOutcome, ServiceError> {
         if self.config.degrade {
             if let Some(alt) = self.degrade_target(failed) {
-                if self.run_stage(alt, payload, &mut out).is_ok() {
+                let degrade_span = span.map(|(handle, parent)| {
+                    let id = handle.open("degrade", Some(parent), self.wall_us());
+                    handle.attr_int(id, "from", failed as i64);
+                    handle.attr_int(id, "to", alt as i64);
+                    (handle, id)
+                });
+                let served = self.run_stage(alt, payload, &mut out, degrade_span).is_ok();
+                if let Some((handle, id)) = degrade_span {
+                    handle.attr_str(id, "outcome", if served { "served" } else { "failed" });
+                    handle.close(id, self.wall_us());
+                }
+                if served {
                     out.answered_by = alt;
                     out.degraded = true;
                     out.sim_latency_us += self.matrix.get(payload, alt).latency_us;
@@ -368,7 +450,12 @@ impl ComputeService {
     }
 
     /// Execute `policy` for `payload` on the worker pool.
-    fn run_policy(&self, policy: Policy, payload: usize) -> Result<StageOutcome, ServiceError> {
+    fn run_policy(
+        &self,
+        policy: Policy,
+        payload: usize,
+        span: Option<(&TraceHandle, u32)>,
+    ) -> Result<StageOutcome, ServiceError> {
         let mut out = StageOutcome {
             answered_by: 0,
             degraded: false,
@@ -380,15 +467,18 @@ impl ComputeService {
             Policy::Single { version } => {
                 if !self.allows(version) {
                     self.stats.lock().breaker_sheds += 1;
-                    return self.degrade_or_fail(version, payload, out);
+                    if let Some((handle, parent)) = span {
+                        handle.attr_str(parent, "breaker", "shed");
+                    }
+                    return self.degrade_or_fail(version, payload, out, span);
                 }
-                match self.run_stage(version, payload, &mut out) {
+                match self.run_stage(version, payload, &mut out, span) {
                     Ok(_) => {
                         out.answered_by = version;
                         out.sim_latency_us = self.matrix.get(payload, version).latency_us;
                         Ok(out)
                     }
-                    Err(()) => self.degrade_or_fail(version, payload, out),
+                    Err(()) => self.degrade_or_fail(version, payload, out, span),
                 }
             }
             Policy::Cascade {
@@ -405,6 +495,7 @@ impl ComputeService {
                 termination,
                 payload,
                 out,
+                span,
             ),
             Policy::Chain3 {
                 first,
@@ -426,7 +517,7 @@ impl ComputeService {
                         self.stats.lock().breaker_sheds += 1;
                         continue;
                     }
-                    if let Ok(confidence) = self.run_stage(version, payload, &mut out) {
+                    if let Ok(confidence) = self.run_stage(version, payload, &mut out, span) {
                         out.sim_latency_us += self.matrix.get(payload, version).latency_us;
                         match gate {
                             Some(threshold) if confidence < threshold => {
@@ -444,7 +535,7 @@ impl ComputeService {
                     out.degraded = true;
                     return Ok(out);
                 }
-                self.degrade_or_fail(last, payload, out)
+                self.degrade_or_fail(last, payload, out, span)
             }
         }
     }
@@ -461,6 +552,7 @@ impl ComputeService {
         termination: Termination,
         payload: usize,
         mut out: StageOutcome,
+        span: Option<(&TraceHandle, u32)>,
     ) -> Result<StageOutcome, ServiceError> {
         let cheap_obs = *self.matrix.get(payload, cheap);
         let accurate_lat = self.matrix.get(payload, accurate).latency_us;
@@ -474,10 +566,11 @@ impl ComputeService {
             // cancel the accurate call (the ET refund), otherwise wait
             // for the accurate answer.
             out.invocations += 2;
-            let (acc_rx, acc_cancel) = self
-                .pool
-                .submit_cancellable(self.make_call(accurate, payload));
-            let cheap_rx = self.pool.submit(self.make_call(cheap, payload));
+            let hedge_span = span.map(|(handle, parent)| (handle.clone(), parent, 1));
+            let (acc_rx, acc_cancel) =
+                self.pool
+                    .submit_cancellable(self.make_call(accurate, payload, hedge_span.clone()));
+            let cheap_rx = self.pool.submit(self.make_call(cheap, payload, hedge_span));
             let cheap_result = cheap_rx.recv().ok();
             match cheap_result {
                 Some((Ok(_), confidence)) if confidence >= threshold => {
@@ -510,7 +603,7 @@ impl ComputeService {
                                 out.sim_latency_us = cheap_obs.latency_us;
                                 return Ok(out);
                             }
-                            return self.degrade_or_fail(accurate, payload, out);
+                            return self.degrade_or_fail(accurate, payload, out, span);
                         }
                     }
                 }
@@ -519,7 +612,7 @@ impl ComputeService {
 
         // Sequential (or breaker-constrained concurrent): cheap first.
         let cheap_confidence = if cheap_allowed {
-            self.run_stage(cheap, payload, &mut out).ok()
+            self.run_stage(cheap, payload, &mut out, span).ok()
         } else {
             None
         };
@@ -530,14 +623,14 @@ impl ComputeService {
                 if termination == Termination::FinishOut && self.allows(accurate) {
                     // FO semantics: the accurate version computes
                     // regardless — cost, no latency.
-                    let _ = self.run_stage(accurate, payload, &mut out);
+                    let _ = self.run_stage(accurate, payload, &mut out, span);
                 }
                 return Ok(out);
             }
         }
         if !self.allows(accurate) {
             self.stats.lock().breaker_sheds += 1;
-        } else if self.run_stage(accurate, payload, &mut out).is_ok() {
+        } else if self.run_stage(accurate, payload, &mut out, span).is_ok() {
             // Escalation to the accurate version is the policy's own
             // intended path, never a degradation.
             out.answered_by = accurate;
@@ -551,7 +644,7 @@ impl ComputeService {
             out.degraded = true;
             return Ok(out);
         }
-        self.degrade_or_fail(accurate, payload, out)
+        self.degrade_or_fail(accurate, payload, out, span)
     }
 
     /// Serve one annotated request end to end: route, execute
@@ -561,21 +654,64 @@ impl ComputeService {
     ///
     /// [`ServiceError::Unavailable`] when no version could answer.
     pub fn execute(&self, request: &ServiceRequest) -> Result<ComputeOutcome, ServiceError> {
+        self.execute_traced(request, None)
+    }
+
+    /// [`ComputeService::execute`] with request-scoped tracing: when a
+    /// [`TraceHandle`] is supplied, the request's journey — routing,
+    /// every model invocation (across the worker-pool hand-off),
+    /// retries, degradation, billing — is recorded as timed child
+    /// spans on it.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Unavailable`] when no version could answer.
+    pub fn execute_traced(
+        &self,
+        request: &ServiceRequest,
+        trace: Option<&TraceHandle>,
+    ) -> Result<ComputeOutcome, ServiceError> {
         let arrival = self.now();
         {
             let mut stats = self.stats.lock();
             stats.total_requests += 1;
         }
+        let payload = request.payload % self.matrix.requests().max(1);
+        let root = trace.map(|handle| {
+            let id = handle.open("execute", None, self.wall_us());
+            handle.attr_str(id, "objective", request.objective.to_string());
+            handle.attr_int(
+                id,
+                "tolerance_milli",
+                (request.tolerance.value() * 1000.0).round() as i64,
+            );
+            handle.attr_int(id, "payload", payload as i64);
+            id
+        });
+        let span = trace.zip(root);
+
+        let route_span = span
+            .map(|(handle, parent)| (handle, handle.open("route", Some(parent), self.wall_us())));
         let policy = self.frontend.route(request);
         policy
             .validate(self.matrix.versions())
             .expect("frontend produced a valid policy");
-        let payload = request.payload % self.matrix.requests().max(1);
+        if let Some((handle, id)) = route_span {
+            handle.attr_str(id, "policy", format!("{policy:?}"));
+            handle.close(id, self.wall_us());
+        }
 
-        let stage = match self.run_policy(policy, payload) {
+        let stage = match self.run_policy(policy, payload, span) {
             Ok(stage) => stage,
             Err(e) => {
                 self.stats.lock().dropped_requests += 1;
+                if let Some(obs) = &self.obs {
+                    obs.record_dropped();
+                }
+                if let Some((handle, id)) = span {
+                    handle.attr_str(id, "outcome", "unavailable");
+                    handle.close(id, self.wall_us());
+                }
                 return Err(e);
             }
         };
@@ -594,6 +730,16 @@ impl ComputeService {
 
         let price = self.config.schedule.price_for(request.tolerance.value());
         let responded = arrival + SimDuration::from_micros(stage.sim_latency_us);
+        let bill_span = span.map(|(handle, parent)| {
+            let id = handle.open("bill", Some(parent), self.wall_us());
+            handle.attr_int(
+                id,
+                "price_microusd",
+                (price.as_dollars() * 1e6).round() as i64,
+            );
+            handle.attr_int(id, "invocations", stage.invocations as i64);
+            (handle, id)
+        });
         {
             let mut state = self.state.lock();
             for _ in 0..stage.invocations {
@@ -610,8 +756,44 @@ impl ComputeService {
                 answered_by: stage.answered_by,
                 quality_err,
             });
+            let key = (
+                request.objective.to_string(),
+                (request.tolerance.value() * 1000.0).round() as u32,
+            );
+            let slot = state.tiers.entry(key).or_insert(TierEconomics {
+                requests: 0,
+                revenue: Money::ZERO,
+            });
+            slot.requests += 1;
+            slot.revenue += price;
+        }
+        if let Some((handle, id)) = bill_span {
+            handle.close(id, self.wall_us());
+        }
+        if let Some(live) = &self.obs {
+            let baseline_err = live
+                .baseline_version(request.objective)
+                .map(|v| self.matrix.get(payload, v).quality_err)
+                .unwrap_or(quality_err);
+            live.record_served(&crate::obs::ServedSample {
+                objective: request.objective,
+                tolerance: request.tolerance.value(),
+                sim_latency_us: stage.sim_latency_us,
+                quality_err,
+                baseline_err,
+                degraded: stage.degraded,
+                invocations: stage.invocations,
+            });
         }
         self.served.fetch_add(1, Ordering::SeqCst);
+        if let Some((handle, id)) = span {
+            handle.attr_int(id, "answered_by", stage.answered_by as i64);
+            handle.attr_int(id, "sim_latency_us", stage.sim_latency_us as i64);
+            if stage.degraded {
+                handle.attr_str(id, "outcome", "degraded");
+            }
+            handle.close(id, self.wall_us());
+        }
 
         Ok(ComputeOutcome {
             answered_by: stage.answered_by,
@@ -634,11 +816,10 @@ impl ComputeService {
     /// billing.
     pub fn snapshot(&self) -> ServiceSnapshot {
         let state = self.state.lock();
-        let billing = BillingReport::from_trace(
-            &state.trace,
-            &self.config.schedule,
-            state.ledger.compute_cost(),
-        );
+        // Fold from the incrementally-accumulated tier economics, not
+        // the event trace: a bounded trace evicts events, the
+        // accumulator never loses a billed request.
+        let billing = BillingReport::from_parts(state.tiers.clone(), state.ledger.compute_cost());
         ServiceSnapshot {
             served: self.served(),
             trace: state.trace.clone(),
@@ -777,6 +958,104 @@ mod tests {
         assert_eq!(snap.resilience.degraded_responses, degraded);
         assert!(snap.resilience.retries > 0);
         assert!(snap.resilience.failed_invocations > 0);
+    }
+
+    #[test]
+    fn traced_execution_builds_a_span_tree_across_the_pool() {
+        let svc = service(ServiceConfig::defaults());
+        let handle = TraceHandle::detached(77);
+        let req = ServiceRequest::new(3, Tolerance::ZERO, Objective::ResponseTime);
+        svc.execute_traced(&req, Some(&handle)).unwrap();
+        // Wait for any FinishOut stragglers, then finish via a tracer.
+        let tracer = tt_obs::Tracer::new(4);
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        tracer.finish(&handle);
+        let traces = tracer.recent(1);
+        let trace = &traces[0];
+        assert_eq!(trace.request_id, 77);
+        let root = trace.span("execute").expect("root span");
+        assert_eq!(root.parent, None);
+        assert!(root.closed());
+        let route = trace.span("route").expect("route span");
+        assert_eq!(route.parent, Some(root.id));
+        let call = trace.span("model_call").expect("model call span");
+        assert!(call.closed());
+        let bill = trace.span("bill").expect("bill span");
+        assert_eq!(bill.parent, Some(root.id));
+        // Model calls hang off the request root (or a degrade span),
+        // and carry version/attempt/outcome attributes.
+        assert!(call.attrs.iter().any(|(k, _)| *k == "version"));
+        assert!(call.attrs.iter().any(|(k, _)| *k == "outcome"));
+    }
+
+    #[test]
+    fn degraded_requests_trace_the_degrade_hop() {
+        let m = matrix();
+        let fe = frontend(&m);
+        let svc = ComputeService::new(
+            Arc::clone(&m),
+            fe,
+            ServiceConfig {
+                faults: Some(FaultPlan::new(
+                    5,
+                    vec![FaultRates::NONE, FaultRates::crash_only(1.0)],
+                )),
+                retry: RetryPolicy::immediate(1),
+                breaker: None,
+                ..ServiceConfig::defaults()
+            },
+        );
+        let tracer = tt_obs::Tracer::new(8);
+        let mut saw_degrade = false;
+        for payload in 0..20 {
+            let handle = tracer.begin();
+            let req = ServiceRequest::new(payload, Tolerance::ZERO, Objective::ResponseTime);
+            let out = svc.execute_traced(&req, Some(&handle)).unwrap();
+            tracer.finish(&handle);
+            if out.degraded {
+                let trace = tracer.recent(1).pop().unwrap();
+                let degrade = trace.span("degrade").expect("degrade span");
+                let root = trace.span("execute").unwrap();
+                assert_eq!(degrade.parent, Some(root.id));
+                // The recovery call is parented under the degrade hop.
+                assert!(trace
+                    .spans_named("model_call")
+                    .any(|s| s.parent == Some(degrade.id)));
+                saw_degrade = true;
+                break;
+            }
+        }
+        assert!(saw_degrade, "universal crashes must degrade some request");
+    }
+
+    #[test]
+    fn observability_telemetry_counts_served_requests() {
+        let svc = service(ServiceConfig::defaults());
+        for payload in 0..30 {
+            let req = ServiceRequest::new(payload, Tolerance::new(0.05).unwrap(), Objective::Cost);
+            svc.execute(&req).unwrap();
+        }
+        let obs = svc.observability().expect("defaults enable obs");
+        let snap = obs.registry().snapshot();
+        assert_eq!(snap.counters["requests_total"], 30);
+        assert_eq!(snap.counters["requests_dropped"], 0);
+        assert!(snap.counters["model_invocations"] >= 30);
+        let telemetry = obs
+            .telemetry(Objective::Cost, 0.05)
+            .expect("deployed tier watched");
+        assert_eq!(telemetry.requests(), 30);
+    }
+
+    #[test]
+    fn disabled_observability_serves_without_instrumentation() {
+        let svc = service(ServiceConfig {
+            obs: crate::obs::ObsConfig::disabled(),
+            ..ServiceConfig::defaults()
+        });
+        assert!(svc.observability().is_none());
+        let req = ServiceRequest::new(0, Tolerance::ZERO, Objective::Cost);
+        svc.execute(&req).unwrap();
+        assert_eq!(svc.served(), 1);
     }
 
     #[test]

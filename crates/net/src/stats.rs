@@ -7,21 +7,24 @@
 
 use crate::service::ServiceSnapshot;
 use tt_bench::perfjson::{Json, JsonObject};
-use tt_stats::descriptive::percentile;
+use tt_sim::LatencyRecorder;
 
-/// Percentiles of a latency sample in milliseconds, as a JSON object.
-/// Empty samples render as an empty object rather than lying with
+/// Percentiles of a tier's latency in milliseconds, as a JSON object.
+/// Empty recorders render as an empty object rather than lying with
 /// zeros.
-fn latency_object(samples_ms: &[f64]) -> JsonObject {
-    if samples_ms.is_empty() {
+///
+/// One [`LatencyRecorder::quantiles`] batch serves all four keys: the
+/// recorder sorts its samples once per scrape instead of once per
+/// percentile, and never mutates the samples it renders from.
+fn latency_object(latency: &LatencyRecorder) -> JsonObject {
+    let Some(quantiles) = latency.quantiles(&[0.50, 0.99, 0.999, 1.0]) else {
         return JsonObject::new();
-    }
-    let p = |q: f64| percentile(samples_ms, q).expect("non-empty sample");
+    };
     JsonObject::new()
-        .with_num("p50_ms", p(0.50))
-        .with_num("p99_ms", p(0.99))
-        .with_num("p999_ms", p(0.999))
-        .with_num("max_ms", p(1.0))
+        .with_num("p50_ms", quantiles[0])
+        .with_num("p99_ms", quantiles[1])
+        .with_num("p999_ms", quantiles[2])
+        .with_num("max_ms", quantiles[3])
 }
 
 /// Fold a snapshot into the `/stats` document.
@@ -38,10 +41,7 @@ pub fn stats_document(snapshot: &ServiceSnapshot, uptime_ms: u64) -> JsonObject 
                 .with_num("tolerance", f64::from(*tol_milli) / 1000.0)
                 .with_int("requests", tier.requests as i64)
                 .with_num("mean_quality_err", tier.mean_err)
-                .with(
-                    "latency",
-                    Json::Object(latency_object(tier.latency.samples_ms())),
-                );
+                .with("latency", Json::Object(latency_object(&tier.latency)));
             if let Some(bill) = tier_bills.get(key) {
                 obj = obj.with_num("revenue_usd", bill.revenue.as_dollars());
             }
@@ -123,6 +123,38 @@ mod tests {
         assert!(doc.contains("\"availability\": 1"));
         assert!(doc.contains("\"revenue_usd\""));
         assert!(doc.contains("\"margin_usd\""));
+    }
+
+    #[test]
+    fn scraping_does_not_mutate_or_reorder_the_samples() {
+        let mut recorder = tt_sim::LatencyRecorder::new();
+        // Deliberately unsorted arrival order.
+        for us in [9_000, 1_000, 7_000, 3_000, 5_000] {
+            recorder.record(tt_sim::SimDuration::from_micros(us));
+        }
+        let before: Vec<f64> = recorder.samples_ms().to_vec();
+        let first = latency_object(&recorder).render();
+        let second = latency_object(&recorder).render();
+        assert_eq!(first, second, "scrapes must be idempotent");
+        assert_eq!(
+            recorder.samples_ms(),
+            &before[..],
+            "scraping must not sort or mutate the recorder's samples"
+        );
+        // The batched quantiles agree with the one-at-a-time
+        // percentile the old implementation computed.
+        for (key, q) in [
+            ("p50_ms", 0.50),
+            ("p99_ms", 0.99),
+            ("p999_ms", 0.999),
+            ("max_ms", 1.0),
+        ] {
+            let expected = tt_stats::descriptive::percentile(recorder.samples_ms(), q).unwrap();
+            assert!(
+                first.contains(&format!("\"{key}\": {expected}")),
+                "{key}: expected {expected} in {first}"
+            );
+        }
     }
 
     #[test]

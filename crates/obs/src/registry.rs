@@ -1,0 +1,308 @@
+//! A sharded, bounded metrics registry.
+//!
+//! Lookups take a shard lock keyed by the metric name's hash; the
+//! returned handles ([`Counter`], [`Gauge`], [`HistogramHandle`]) are
+//! `Arc`s whose hot-path operations are plain atomics — callers
+//! resolve a handle once at wiring time and record lock-free
+//! thereafter.
+//!
+//! The registry enforces a global series cap. Registration beyond the
+//! cap returns a shared *overflow* metric (one per kind) and bumps a
+//! drop counter, so a label-cardinality bug degrades metrics fidelity
+//! instead of memory — the same stance the bounded trace and latency
+//! recorders take.
+
+use crate::hist::{AtomicHistogram, BucketScheme, Histogram};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+const SHARDS: usize = 16;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Add one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a signed value that can move in both directions.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// Set the value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Add `delta` (may be negative).
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Shared handle to a registered histogram.
+pub type HistogramHandle = Arc<AtomicHistogram>;
+
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(HistogramHandle),
+}
+
+/// A deterministic snapshot of every registered series, sorted by
+/// name.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histogram copies by name.
+    pub histograms: BTreeMap<String, Histogram>,
+    /// Registrations refused because the series cap was hit.
+    pub dropped_series: u64,
+}
+
+/// The sharded registry.
+pub struct MetricsRegistry {
+    shards: [Mutex<BTreeMap<String, Metric>>; SHARDS],
+    scheme: BucketScheme,
+    max_series: usize,
+    series: AtomicU64,
+    dropped: Arc<Counter>,
+    overflow_counter: Arc<Counter>,
+    overflow_gauge: Arc<Gauge>,
+    overflow_histogram: HistogramHandle,
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        MetricsRegistry::new(1024, BucketScheme::DEFAULT)
+    }
+}
+
+impl MetricsRegistry {
+    /// A registry holding at most `max_series` named series, with
+    /// `scheme` as the layout for every histogram it vends.
+    pub fn new(max_series: usize, scheme: BucketScheme) -> Self {
+        MetricsRegistry {
+            shards: std::array::from_fn(|_| Mutex::new(BTreeMap::new())),
+            scheme,
+            max_series,
+            series: AtomicU64::new(0),
+            dropped: Arc::new(Counter::default()),
+            overflow_counter: Arc::new(Counter::default()),
+            overflow_gauge: Arc::new(Gauge::default()),
+            overflow_histogram: Arc::new(AtomicHistogram::new(scheme)),
+        }
+    }
+
+    fn shard(&self, name: &str) -> &Mutex<BTreeMap<String, Metric>> {
+        &self.shards[(fnv1a(name) as usize) % SHARDS]
+    }
+
+    fn admit(&self) -> bool {
+        // Optimistically claim a slot; release it if over the cap.
+        let claimed = self.series.fetch_add(1, Ordering::Relaxed);
+        if claimed as usize >= self.max_series {
+            self.series.fetch_sub(1, Ordering::Relaxed);
+            self.dropped.inc();
+            false
+        } else {
+            true
+        }
+    }
+
+    /// Get or register the counter `name`. Returns the shared
+    /// overflow counter when the series cap is exhausted.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut shard = self.shard(name).lock().expect("registry shard poisoned");
+        if let Some(Metric::Counter(c)) = shard.get(name) {
+            return Arc::clone(c);
+        }
+        if shard.contains_key(name) {
+            // Name registered as a different kind: treat as overflow
+            // rather than silently shadowing.
+            self.dropped.inc();
+            return Arc::clone(&self.overflow_counter);
+        }
+        if !self.admit() {
+            return Arc::clone(&self.overflow_counter);
+        }
+        let c = Arc::new(Counter::default());
+        shard.insert(name.to_string(), Metric::Counter(Arc::clone(&c)));
+        c
+    }
+
+    /// Get or register the gauge `name`. Returns the shared overflow
+    /// gauge when the series cap is exhausted.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut shard = self.shard(name).lock().expect("registry shard poisoned");
+        if let Some(Metric::Gauge(g)) = shard.get(name) {
+            return Arc::clone(g);
+        }
+        if shard.contains_key(name) {
+            self.dropped.inc();
+            return Arc::clone(&self.overflow_gauge);
+        }
+        if !self.admit() {
+            return Arc::clone(&self.overflow_gauge);
+        }
+        let g = Arc::new(Gauge::default());
+        shard.insert(name.to_string(), Metric::Gauge(Arc::clone(&g)));
+        g
+    }
+
+    /// Get or register the histogram `name`. Returns the shared
+    /// overflow histogram when the series cap is exhausted.
+    pub fn histogram(&self, name: &str) -> HistogramHandle {
+        let mut shard = self.shard(name).lock().expect("registry shard poisoned");
+        if let Some(Metric::Histogram(h)) = shard.get(name) {
+            return Arc::clone(h);
+        }
+        if shard.contains_key(name) {
+            self.dropped.inc();
+            return Arc::clone(&self.overflow_histogram);
+        }
+        if !self.admit() {
+            return Arc::clone(&self.overflow_histogram);
+        }
+        let h = Arc::new(AtomicHistogram::new(self.scheme));
+        shard.insert(name.to_string(), Metric::Histogram(Arc::clone(&h)));
+        h
+    }
+
+    /// Number of live named series.
+    pub fn series_count(&self) -> usize {
+        self.series.load(Ordering::Relaxed) as usize
+    }
+
+    /// Registrations refused (cap hit or kind mismatch) so far.
+    pub fn dropped_series(&self) -> u64 {
+        self.dropped.get()
+    }
+
+    /// A name-sorted snapshot of every series. Deterministic for a
+    /// quiescent registry regardless of registration or shard order.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut snap = MetricsSnapshot {
+            dropped_series: self.dropped.get(),
+            ..MetricsSnapshot::default()
+        };
+        for shard in &self.shards {
+            let shard = shard.lock().expect("registry shard poisoned");
+            for (name, metric) in shard.iter() {
+                match metric {
+                    Metric::Counter(c) => {
+                        snap.counters.insert(name.clone(), c.get());
+                    }
+                    Metric::Gauge(g) => {
+                        snap.gauges.insert(name.clone(), g.get());
+                    }
+                    Metric::Histogram(h) => {
+                        snap.histograms.insert(name.clone(), h.snapshot());
+                    }
+                }
+            }
+        }
+        snap
+    }
+}
+
+impl std::fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetricsRegistry")
+            .field("series", &self.series_count())
+            .field("max_series", &self.max_series)
+            .field("dropped", &self.dropped.get())
+            .finish()
+    }
+}
+
+/// FNV-1a — the same tiny stable hash the payload hasher uses, so
+/// shard assignment is identical across platforms and runs.
+fn fnv1a(s: &str) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.as_bytes() {
+        hash ^= u64::from(*b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_are_shared_per_name() {
+        let reg = MetricsRegistry::default();
+        let a = reg.counter("requests_total");
+        let b = reg.counter("requests_total");
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3);
+        assert_eq!(reg.series_count(), 1);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_complete() {
+        let reg = MetricsRegistry::default();
+        reg.counter("b_counter").add(5);
+        reg.gauge("a_gauge").set(-7);
+        reg.histogram("c_hist").record(42);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters.get("b_counter"), Some(&5));
+        assert_eq!(snap.gauges.get("a_gauge"), Some(&-7));
+        assert_eq!(snap.histograms["c_hist"].count(), 1);
+        assert_eq!(snap.dropped_series, 0);
+    }
+
+    #[test]
+    fn series_cap_degrades_to_overflow_metrics() {
+        let reg = MetricsRegistry::new(2, BucketScheme::DEFAULT);
+        let a = reg.counter("a");
+        let b = reg.counter("b");
+        let c = reg.counter("c"); // over cap -> overflow handle
+        let d = reg.counter("d"); // same overflow handle
+        c.inc();
+        d.inc();
+        assert_eq!(a.get() + b.get(), 0);
+        assert_eq!(c.get(), 2, "overflow counters share one cell");
+        assert_eq!(reg.series_count(), 2);
+        assert_eq!(reg.dropped_series(), 2);
+        // Existing names still resolve to their real metric.
+        assert!(Arc::ptr_eq(&a, &reg.counter("a")));
+    }
+
+    #[test]
+    fn kind_mismatch_is_not_shadowed() {
+        let reg = MetricsRegistry::default();
+        reg.counter("latency");
+        let g = reg.gauge("latency");
+        g.set(9);
+        assert_eq!(reg.snapshot().counters["latency"], 0);
+        assert_eq!(reg.dropped_series(), 1);
+    }
+}

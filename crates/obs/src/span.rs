@@ -1,0 +1,441 @@
+//! Request-scoped tracing: timed spans with propagated request IDs,
+//! retained in a bounded ring buffer and optionally mirrored to a
+//! JSONL file sink.
+//!
+//! A [`Tracer`] mints one [`TraceHandle`] per request. The handle is a
+//! cheap `Arc` clone, so it survives arbitrary hand-offs between
+//! thread pools (HTTP worker → model-call worker): any clone can open
+//! child spans or attach attributes, and the request's span tree is
+//! assembled no matter which thread closed which span. Timestamps are
+//! injected by the caller (simulation clock or a monotonic anchor) —
+//! the tracer itself never reads a clock, which keeps simulated traces
+//! deterministic.
+//!
+//! Finished traces land in a ring buffer of bounded capacity (oldest
+//! evicted first), readable via [`Tracer::recent`]; each finished
+//! trace can also be appended as one JSON line to a file sink for
+//! offline correlation with load-generator logs.
+
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// An attribute value on a span.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum AttrValue {
+    /// An integer attribute (counts, versions, microseconds).
+    Int(i64),
+    /// A string attribute (names, outcomes).
+    Str(String),
+}
+
+/// One timed span inside a request trace.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct SpanEvent {
+    /// Span ID, unique within the request.
+    pub id: u32,
+    /// Parent span ID; `None` for the root.
+    pub parent: Option<u32>,
+    /// Span name (static, from the instrumentation site).
+    pub name: &'static str,
+    /// Start timestamp in caller-defined microseconds.
+    pub start_us: u64,
+    /// End timestamp; `u64::MAX` until closed.
+    pub end_us: u64,
+    /// Attributes in attachment order.
+    pub attrs: Vec<(&'static str, AttrValue)>,
+}
+
+impl SpanEvent {
+    /// Whether the span was closed before the trace finished.
+    pub fn closed(&self) -> bool {
+        self.end_us != u64::MAX
+    }
+}
+
+/// A finished request trace: the request ID plus its spans in open
+/// order.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct RequestTrace {
+    /// The propagated request ID.
+    pub request_id: u64,
+    /// Spans in the order they were opened.
+    pub spans: Vec<SpanEvent>,
+}
+
+impl RequestTrace {
+    /// The first span with `name`, if any.
+    pub fn span(&self, name: &str) -> Option<&SpanEvent> {
+        self.spans.iter().find(|s| s.name == name)
+    }
+
+    /// All spans with `name`.
+    pub fn spans_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a SpanEvent> + 'a {
+        self.spans.iter().filter(move |s| s.name == name)
+    }
+
+    /// Render as a single JSON line (hand-rolled: IDs and integer
+    /// microseconds need no float formatting).
+    pub fn to_json_line(&self) -> String {
+        let mut out = String::with_capacity(64 + self.spans.len() * 96);
+        let _ = write!(out, "{{\"request_id\": {}, \"spans\": [", self.request_id);
+        for (i, s) in self.spans.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "{{\"id\": {}, \"parent\": ", s.id);
+            match s.parent {
+                Some(p) => {
+                    let _ = write!(out, "{p}");
+                }
+                None => out.push_str("null"),
+            }
+            let _ = write!(
+                out,
+                ", \"name\": \"{}\", \"start_us\": {}",
+                s.name, s.start_us
+            );
+            if s.closed() {
+                let _ = write!(out, ", \"end_us\": {}", s.end_us);
+            } else {
+                out.push_str(", \"end_us\": null");
+            }
+            if !s.attrs.is_empty() {
+                out.push_str(", \"attrs\": {");
+                for (j, (k, v)) in s.attrs.iter().enumerate() {
+                    if j > 0 {
+                        out.push_str(", ");
+                    }
+                    let _ = write!(out, "\"{k}\": ");
+                    match v {
+                        AttrValue::Int(n) => {
+                            let _ = write!(out, "{n}");
+                        }
+                        AttrValue::Str(text) => {
+                            out.push('"');
+                            for ch in text.chars() {
+                                match ch {
+                                    '"' => out.push_str("\\\""),
+                                    '\\' => out.push_str("\\\\"),
+                                    '\n' => out.push_str("\\n"),
+                                    '\r' => out.push_str("\\r"),
+                                    '\t' => out.push_str("\\t"),
+                                    c if (c as u32) < 0x20 => {
+                                        let _ = write!(out, "\\u{:04x}", c as u32);
+                                    }
+                                    c => out.push(c),
+                                }
+                            }
+                            out.push('"');
+                        }
+                    }
+                }
+                out.push('}');
+            }
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+#[derive(Debug, Default)]
+struct HandleState {
+    spans: Vec<SpanEvent>,
+}
+
+#[derive(Debug)]
+struct HandleInner {
+    request_id: u64,
+    state: Mutex<HandleState>,
+}
+
+/// A per-request tracing handle. Clone freely across threads; all
+/// clones append to the same span tree.
+#[derive(Debug, Clone)]
+pub struct TraceHandle {
+    inner: Arc<HandleInner>,
+}
+
+impl TraceHandle {
+    /// A standalone handle (not attached to a [`Tracer`]) — useful in
+    /// tests and simulations that only want the span tree.
+    pub fn detached(request_id: u64) -> Self {
+        TraceHandle {
+            inner: Arc::new(HandleInner {
+                request_id,
+                state: Mutex::new(HandleState::default()),
+            }),
+        }
+    }
+
+    /// The propagated request ID.
+    pub fn request_id(&self) -> u64 {
+        self.inner.request_id
+    }
+
+    /// Open a span; returns its ID for closing and parenting.
+    pub fn open(&self, name: &'static str, parent: Option<u32>, start_us: u64) -> u32 {
+        let mut state = self.inner.state.lock().expect("trace handle poisoned");
+        let id = state.spans.len() as u32;
+        state.spans.push(SpanEvent {
+            id,
+            parent,
+            name,
+            start_us,
+            end_us: u64::MAX,
+            attrs: Vec::new(),
+        });
+        id
+    }
+
+    /// Close a span at `end_us`. Unknown IDs and double-closes are
+    /// ignored (a cancelled hedge call may race the trace finishing).
+    pub fn close(&self, id: u32, end_us: u64) {
+        let mut state = self.inner.state.lock().expect("trace handle poisoned");
+        if let Some(span) = state.spans.get_mut(id as usize) {
+            if !span.closed() {
+                span.end_us = end_us;
+            }
+        }
+    }
+
+    /// Attach an integer attribute to a span.
+    pub fn attr_int(&self, id: u32, key: &'static str, value: i64) {
+        let mut state = self.inner.state.lock().expect("trace handle poisoned");
+        if let Some(span) = state.spans.get_mut(id as usize) {
+            span.attrs.push((key, AttrValue::Int(value)));
+        }
+    }
+
+    /// Attach a string attribute to a span.
+    pub fn attr_str(&self, id: u32, key: &'static str, value: impl Into<String>) {
+        let mut state = self.inner.state.lock().expect("trace handle poisoned");
+        if let Some(span) = state.spans.get_mut(id as usize) {
+            span.attrs.push((key, AttrValue::Str(value.into())));
+        }
+    }
+
+    /// Record an already-timed span in one call.
+    pub fn span(&self, name: &'static str, parent: Option<u32>, start_us: u64, end_us: u64) -> u32 {
+        let id = self.open(name, parent, start_us);
+        self.close(id, end_us);
+        id
+    }
+
+    fn take_trace(&self) -> RequestTrace {
+        let mut state = self.inner.state.lock().expect("trace handle poisoned");
+        RequestTrace {
+            request_id: self.inner.request_id,
+            spans: std::mem::take(&mut state.spans),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct TracerState {
+    ring: VecDeque<RequestTrace>,
+    sink_error: bool,
+}
+
+/// The per-process trace collector: mints request IDs, retains the
+/// last `capacity` finished traces, and optionally appends each as a
+/// JSON line to `file_sink`.
+pub struct Tracer {
+    capacity: usize,
+    next_id: AtomicU64,
+    finished: AtomicU64,
+    state: Mutex<TracerState>,
+    sink: Option<Mutex<std::fs::File>>,
+    sink_path: Option<PathBuf>,
+}
+
+impl Tracer {
+    /// A tracer retaining the last `capacity` traces in memory.
+    pub fn new(capacity: usize) -> Self {
+        Tracer {
+            capacity: capacity.max(1),
+            next_id: AtomicU64::new(1),
+            finished: AtomicU64::new(0),
+            state: Mutex::new(TracerState {
+                ring: VecDeque::new(),
+                sink_error: false,
+            }),
+            sink: None,
+            sink_path: None,
+        }
+    }
+
+    /// Attach a JSONL file sink: every finished trace is appended as
+    /// one line. Sink I/O errors are recorded (see
+    /// [`Tracer::sink_healthy`]) but never fail the request path.
+    pub fn with_file_sink(mut self, path: impl Into<PathBuf>) -> std::io::Result<Self> {
+        let path = path.into();
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)?;
+        self.sink = Some(Mutex::new(file));
+        self.sink_path = Some(path);
+        Ok(self)
+    }
+
+    /// Begin a trace for a new request, minting the next request ID.
+    pub fn begin(&self) -> TraceHandle {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        TraceHandle::detached(id)
+    }
+
+    /// Finish a trace: move its spans into the ring (evicting the
+    /// oldest past capacity) and mirror to the file sink if attached.
+    /// Spans opened on surviving handle clones *after* this call are
+    /// dropped silently — a cancelled hedge call that loses the race
+    /// cannot resurrect the request's trace.
+    pub fn finish(&self, handle: &TraceHandle) {
+        let trace = handle.take_trace();
+        let line = self.sink.is_some().then(|| trace.to_json_line());
+        {
+            let mut state = self.state.lock().expect("tracer poisoned");
+            state.ring.push_back(trace);
+            while state.ring.len() > self.capacity {
+                state.ring.pop_front();
+            }
+        }
+        self.finished.fetch_add(1, Ordering::Relaxed);
+        if let (Some(sink), Some(line)) = (&self.sink, line) {
+            let mut file = sink.lock().expect("trace sink poisoned");
+            if writeln!(file, "{line}").is_err() {
+                self.state.lock().expect("tracer poisoned").sink_error = true;
+            }
+        }
+    }
+
+    /// The most recent finished traces, newest last, at most `limit`.
+    pub fn recent(&self, limit: usize) -> Vec<RequestTrace> {
+        let state = self.state.lock().expect("tracer poisoned");
+        let skip = state.ring.len().saturating_sub(limit);
+        state.ring.iter().skip(skip).cloned().collect()
+    }
+
+    /// Total traces finished (including evicted ones).
+    pub fn finished_count(&self) -> u64 {
+        self.finished.load(Ordering::Relaxed)
+    }
+
+    /// In-memory retention capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Whether the file sink (if any) has seen no write errors.
+    pub fn sink_healthy(&self) -> bool {
+        !self.state.lock().expect("tracer poisoned").sink_error
+    }
+
+    /// Path of the attached file sink, if any.
+    pub fn sink_path(&self) -> Option<&std::path::Path> {
+        self.sink_path.as_deref()
+    }
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tracer")
+            .field("capacity", &self.capacity)
+            .field("finished", &self.finished_count())
+            .field("sink", &self.sink_path)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_form_a_tree_across_clones() {
+        let tracer = Tracer::new(8);
+        let handle = tracer.begin();
+        let root = handle.open("request", None, 0);
+        let clone = handle.clone();
+        let worker = std::thread::spawn(move || {
+            let call = clone.open("model_call", Some(root), 10);
+            clone.attr_str(call, "version", "fast");
+            clone.attr_int(call, "attempt", 1);
+            clone.close(call, 30);
+        });
+        worker.join().unwrap();
+        handle.close(root, 40);
+        tracer.finish(&handle);
+
+        let recent = tracer.recent(10);
+        assert_eq!(recent.len(), 1);
+        let trace = &recent[0];
+        assert_eq!(trace.request_id, 1);
+        let call = trace.span("model_call").unwrap();
+        assert_eq!(call.parent, Some(0));
+        assert_eq!(call.attrs[0], ("version", AttrValue::Str("fast".into())));
+        assert!(trace.span("request").unwrap().closed());
+    }
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let tracer = Tracer::new(2);
+        for _ in 0..5 {
+            let h = tracer.begin();
+            h.span("request", None, 0, 1);
+            tracer.finish(&h);
+        }
+        let recent = tracer.recent(10);
+        assert_eq!(recent.len(), 2);
+        assert_eq!(recent[0].request_id, 4);
+        assert_eq!(recent[1].request_id, 5);
+        assert_eq!(tracer.finished_count(), 5);
+    }
+
+    #[test]
+    fn late_spans_after_finish_are_dropped() {
+        let tracer = Tracer::new(4);
+        let h = tracer.begin();
+        h.span("request", None, 0, 5);
+        tracer.finish(&h);
+        h.open("straggler", None, 6); // cancelled hedge, lost the race
+        assert_eq!(tracer.recent(10)[0].spans.len(), 1);
+    }
+
+    #[test]
+    fn json_line_escapes_strings() {
+        let h = TraceHandle::detached(7);
+        let s = h.span("request", None, 1, 2);
+        h.attr_str(s, "note", "quo\"te\nline");
+        let line = h.take_trace().to_json_line();
+        assert!(line.contains("\"request_id\": 7"));
+        assert!(line.contains("quo\\\"te\\nline"));
+        assert!(line.contains("\"parent\": null"));
+    }
+
+    #[test]
+    fn file_sink_appends_one_line_per_trace() {
+        let dir = std::env::temp_dir().join("tt-obs-span-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("sink-{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let tracer = Tracer::new(4).with_file_sink(&path).unwrap();
+        for _ in 0..3 {
+            let h = tracer.begin();
+            h.span("request", None, 0, 1);
+            tracer.finish(&h);
+        }
+        assert!(tracer.sink_healthy());
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(body.lines().count(), 3);
+        assert!(body.lines().all(|l| l.starts_with("{\"request_id\": ")));
+        let _ = std::fs::remove_file(&path);
+    }
+}

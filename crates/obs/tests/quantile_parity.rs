@@ -1,0 +1,124 @@
+//! Quantile parity: the log-linear histogram's p50/p99/p999 must sit
+//! within the scheme's documented relative-error bound of the exact
+//! sample percentile (`tt_stats::descriptive::percentile`) on seeded
+//! latency-shaped distributions — uniform, lognormal-ish, and the
+//! bimodal mixture a cascade policy produces (fast-path hits plus
+//! slow-path escalations).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tt_obs::Histogram;
+use tt_stats::descriptive::percentile;
+
+const QUANTILES: [f64; 3] = [0.50, 0.99, 0.999];
+const SAMPLES: usize = 20_000;
+
+/// Exact-vs-estimate check: the histogram reports the midpoint of the
+/// bucket holding the nearest-rank sample, while `percentile`
+/// interpolates between bracketing order statistics — so the estimate
+/// must land within the relative-error bound of the *bracketing*
+/// exact values (± one unit for integer truncation).
+fn assert_parity(label: &str, values_us: &[u64]) {
+    let mut hist = Histogram::default();
+    for &v in values_us {
+        hist.record(v);
+    }
+    let floats: Vec<f64> = values_us.iter().map(|&v| v as f64).collect();
+    let mut sorted = values_us.to_vec();
+    sorted.sort_unstable();
+    let err = hist.scheme().relative_error();
+
+    for q in QUANTILES {
+        let est = hist.quantile(q).expect("non-empty") as f64;
+        let exact = percentile(&floats, q).expect("valid percentile");
+        // Bracketing order statistics around both the interpolated
+        // position and the nearest rank the histogram targets.
+        let pos = q * (sorted.len() - 1) as f64;
+        let lo = sorted[pos.floor() as usize] as f64;
+        let hi = sorted[(pos.ceil() as usize).min(sorted.len() - 1)] as f64;
+        let rank = pos.round() as usize;
+        let nearest = sorted[rank] as f64;
+        let lower_ok = est >= lo.min(nearest) * (1.0 - err) - 1.0;
+        let upper_ok = est <= hi.max(nearest) * (1.0 + err) + 1.0;
+        assert!(
+            lower_ok && upper_ok,
+            "{label} q={q}: estimate {est} outside error band of exact {exact} \
+             (bracket [{lo}, {hi}], nearest {nearest}, rel err {err})"
+        );
+        // And the headline form of the bound: within rel-err of the
+        // nearest-rank sample the histogram actually targets.
+        assert!(
+            (est - nearest).abs() <= nearest * err + 1.0,
+            "{label} q={q}: estimate {est} vs nearest-rank {nearest} exceeds {err}"
+        );
+    }
+}
+
+#[test]
+fn uniform_latencies_match_exact_percentiles() {
+    let mut rng = StdRng::seed_from_u64(42);
+    let values: Vec<u64> = (0..SAMPLES)
+        .map(|_| rng.gen_range(500u64..50_000))
+        .collect();
+    assert_parity("uniform", &values);
+}
+
+#[test]
+fn lognormalish_latencies_match_exact_percentiles() {
+    // Heavy right tail without a `ln`/`exp` sampler: multiply a few
+    // uniform factors (a log-scale random walk), which skews exactly
+    // the way real service latencies do.
+    let mut rng = StdRng::seed_from_u64(7);
+    let values: Vec<u64> = (0..SAMPLES)
+        .map(|_| {
+            let mut v = 1_000.0f64;
+            for _ in 0..4 {
+                v *= rng.gen_range(0.6f64..2.2);
+            }
+            v as u64
+        })
+        .collect();
+    assert_parity("lognormal-ish", &values);
+}
+
+#[test]
+fn bimodal_cascade_latencies_match_exact_percentiles() {
+    // A cascade policy answers most requests from the fast version
+    // (~2-4 ms) and escalates the rest to the accurate one
+    // (~24-36 ms) — the histogram must track both modes and the gap.
+    let mut rng = StdRng::seed_from_u64(1234);
+    let values: Vec<u64> = (0..SAMPLES)
+        .map(|_| {
+            if rng.gen_bool(0.8) {
+                rng.gen_range(2_000u64..4_000)
+            } else {
+                rng.gen_range(24_000u64..36_000)
+            }
+        })
+        .collect();
+    assert_parity("bimodal-cascade", &values);
+}
+
+#[test]
+fn merged_shards_preserve_parity() {
+    // Recording through several shard-local histograms and merging
+    // gives the same quantiles as one histogram over everything.
+    let mut rng = StdRng::seed_from_u64(99);
+    let values: Vec<u64> = (0..SAMPLES)
+        .map(|_| rng.gen_range(100u64..1_000_000))
+        .collect();
+    let mut whole = Histogram::default();
+    let mut shards = vec![Histogram::default(); 4];
+    for (i, &v) in values.iter().enumerate() {
+        whole.record(v);
+        shards[i % 4].record(v);
+    }
+    let mut merged = shards.remove(0);
+    for s in &shards {
+        merged.merge(s);
+    }
+    assert_eq!(whole, merged);
+    for q in QUANTILES {
+        assert_eq!(whole.quantile(q), merged.quantile(q));
+    }
+}

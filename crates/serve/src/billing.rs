@@ -135,6 +135,23 @@ impl BillingReport {
         }
     }
 
+    /// Build from pre-accumulated per-tier economics — the shape a
+    /// live server keeps incrementally so billing stays exact even
+    /// when its trace ring has evicted old events. Revenue totals in
+    /// key order for the same ulp-determinism as
+    /// [`BillingReport::from_trace`].
+    pub fn from_parts(tiers: BTreeMap<(String, u32), TierEconomics>, compute_cost: Money) -> Self {
+        let mut revenue = Money::ZERO;
+        for econ in tiers.values() {
+            revenue += econ.revenue;
+        }
+        BillingReport {
+            tiers,
+            revenue,
+            compute_cost,
+        }
+    }
+
     /// Gross margin: revenue minus compute cost.
     pub fn margin(&self) -> Money {
         self.revenue + self.compute_cost.scaled(-1.0)

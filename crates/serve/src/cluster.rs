@@ -53,6 +53,11 @@ pub struct ClusterConfig {
     pub devices: Vec<PoolDevice>,
     /// Price catalog.
     pub pricing: PricingCatalog,
+    /// When `Some(n)`, the run's [`TraceRecorder`] keeps only the most
+    /// recent `n` events (per-tier aggregates still cover the whole
+    /// stream); `None` retains every event — the simulation default,
+    /// preserving exact CSV export and replay comparison.
+    pub trace_retention: Option<usize>,
 }
 
 impl ClusterConfig {
@@ -62,6 +67,7 @@ impl ClusterConfig {
             slots_per_pool,
             devices: vec![PoolDevice::Cpu; versions],
             pricing: PricingCatalog::list_prices(),
+            trace_retention: None,
         }
     }
 }
@@ -830,7 +836,10 @@ impl<'a> ClusterSim<'a> {
             queueing: LatencyRecorder::new(),
             total_err: 0.0,
             early_terminations: 0,
-            trace: TraceRecorder::new(),
+            trace: match self.config.trace_retention {
+                Some(retain) => TraceRecorder::bounded(retain),
+                None => TraceRecorder::new(),
+            },
             stats: ResilienceStats {
                 total_requests: arrivals.len(),
                 ..ResilienceStats::default()

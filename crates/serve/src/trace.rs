@@ -4,10 +4,23 @@
 //! the 1%-tolerance tier actually get the latency it pays for? A
 //! [`TraceRecorder`] collects one [`TraceEvent`] per served request and
 //! slices the stream by (tolerance, objective) tier.
+//!
+//! The default recorder retains every event — simulations want the
+//! full stream for CSV export and exact replay comparison. A live
+//! server does not: [`TraceRecorder::bounded`] keeps only the last `N`
+//! events in a ring buffer while folding *every* event into running
+//! per-tier aggregates (request counts, a fixed-point quality-error
+//! sum, and a bounded latency histogram), so [`TraceRecorder::by_tier`]
+//! stays accurate over the whole stream at O(1) memory.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use tt_core::objective::Objective;
 use tt_sim::{LatencyRecorder, SimDuration, SimTime};
+
+/// Fixed-point scale for quality-error sums (1e9 units per 1.0 of
+/// error): integer addition keeps aggregate means independent of the
+/// order threads complete requests in.
+const ERR_NANOS: f64 = 1e9;
 
 /// One served request.
 #[derive(Debug, Clone, PartialEq)]
@@ -32,6 +45,13 @@ impl TraceEvent {
     pub fn response_time(&self) -> SimDuration {
         self.responded.saturating_since(self.arrival)
     }
+
+    fn tier_key(&self) -> (String, u32) {
+        (
+            self.objective.to_string(),
+            (self.tolerance * 1000.0).round() as u32,
+        )
+    }
 }
 
 /// Per-tier aggregate view of a trace.
@@ -45,37 +65,115 @@ pub struct TierStats {
     pub mean_err: f64,
 }
 
+/// Running per-tier aggregate for the bounded recorder.
+#[derive(Debug, Clone)]
+struct TierAgg {
+    requests: usize,
+    err_nanos: u128,
+    latency: LatencyRecorder,
+}
+
+impl TierAgg {
+    fn new() -> Self {
+        TierAgg {
+            requests: 0,
+            err_nanos: 0,
+            latency: LatencyRecorder::bounded(),
+        }
+    }
+}
+
 /// Collects trace events and slices them by tier.
 #[derive(Debug, Clone, Default)]
 pub struct TraceRecorder {
-    events: Vec<TraceEvent>,
+    events: VecDeque<TraceEvent>,
+    /// `Some(retain)` in bounded mode: the ring keeps at most `retain`
+    /// events while `aggs` folds every event ever recorded.
+    retention: Option<usize>,
+    aggs: BTreeMap<(String, u32), TierAgg>,
+    total: usize,
 }
 
 impl TraceRecorder {
-    /// An empty recorder.
+    /// An unbounded recorder retaining every event (the simulation
+    /// default).
     pub fn new() -> Self {
         TraceRecorder::default()
     }
 
-    /// Record one served request.
-    pub fn record(&mut self, event: TraceEvent) {
-        self.events.push(event);
+    /// A bounded recorder: the ring keeps the most recent `retain`
+    /// events (for CSV export and spot inspection) while per-tier
+    /// aggregates cover the entire stream.
+    pub fn bounded(retain: usize) -> Self {
+        TraceRecorder {
+            events: VecDeque::new(),
+            retention: Some(retain.max(1)),
+            aggs: BTreeMap::new(),
+            total: 0,
+        }
     }
 
-    /// All events in recording order.
-    pub fn events(&self) -> &[TraceEvent] {
+    /// Whether this recorder evicts old events.
+    pub fn is_bounded(&self) -> bool {
+        self.retention.is_some()
+    }
+
+    /// Record one served request.
+    pub fn record(&mut self, event: TraceEvent) {
+        self.total += 1;
+        if let Some(retain) = self.retention {
+            let agg = self
+                .aggs
+                .entry(event.tier_key())
+                .or_insert_with(TierAgg::new);
+            agg.requests += 1;
+            agg.err_nanos += (event.quality_err.max(0.0) * ERR_NANOS).round() as u128;
+            agg.latency.record(event.response_time());
+            self.events.push_back(event);
+            while self.events.len() > retain {
+                self.events.pop_front();
+            }
+        } else {
+            self.events.push_back(event);
+        }
+    }
+
+    /// Retained events in recording order — the complete stream for an
+    /// unbounded recorder, the most recent window for a bounded one
+    /// (see [`TraceRecorder::total_recorded`] for the stream length).
+    pub fn events(&self) -> &VecDeque<TraceEvent> {
         &self.events
     }
 
+    /// Total events ever recorded, including any evicted from a
+    /// bounded ring.
+    pub fn total_recorded(&self) -> usize {
+        self.total
+    }
+
     /// Aggregate by (objective, tolerance-in-tenths-of-percent) tier.
+    /// Covers the complete stream in both modes: the bounded recorder
+    /// serves this from its running aggregates, not the retained ring.
     pub fn by_tier(&self) -> BTreeMap<(String, u32), TierStats> {
+        if self.retention.is_some() {
+            return self
+                .aggs
+                .iter()
+                .map(|(k, agg)| {
+                    (
+                        k.clone(),
+                        TierStats {
+                            requests: agg.requests,
+                            latency: agg.latency.clone(),
+                            mean_err: agg.err_nanos as f64 / ERR_NANOS / agg.requests as f64,
+                        },
+                    )
+                })
+                .collect();
+        }
         let mut map: BTreeMap<(String, u32), (LatencyRecorder, f64, usize)> = BTreeMap::new();
         for e in &self.events {
-            let key = (
-                e.objective.to_string(),
-                (e.tolerance * 1000.0).round() as u32,
-            );
-            let slot = map.entry(key).or_default();
+            let slot = map.entry(e.tier_key()).or_default();
             slot.0.record(e.response_time());
             slot.1 += e.quality_err;
             slot.2 += 1;
@@ -94,8 +192,9 @@ impl TraceRecorder {
             .collect()
     }
 
-    /// Render as a CSV string (`arrival_us,responded_us,tolerance,
-    /// objective,answered_by,quality_err`), for offline analysis.
+    /// Render the retained events as a CSV string (`arrival_us,
+    /// responded_us,tolerance,objective,answered_by,quality_err`), for
+    /// offline analysis.
     pub fn to_csv(&self) -> String {
         let mut out =
             String::from("arrival_us,responded_us,tolerance,objective,answered_by,quality_err\n");
@@ -175,6 +274,28 @@ mod tests {
         assert_eq!(csv.lines().count(), 2);
         assert!(csv.starts_with("arrival_us"));
         assert!(csv.contains("cost"));
+    }
+
+    #[test]
+    fn bounded_ring_evicts_but_aggregates_everything() {
+        let mut rec = TraceRecorder::bounded(4);
+        assert!(rec.is_bounded());
+        for i in 0..20u64 {
+            rec.record(event(0.05, Objective::Cost, i * 10, 100 + i, 0.1));
+        }
+        assert_eq!(rec.events().len(), 4, "ring holds only the newest events");
+        assert_eq!(rec.total_recorded(), 20);
+        assert_eq!(
+            rec.events().front().unwrap().arrival,
+            SimTime::from_micros(160)
+        );
+        let tiers = rec.by_tier();
+        let tier = &tiers[&("cost".to_string(), 50)];
+        assert_eq!(tier.requests, 20, "aggregates cover evicted events too");
+        assert!((tier.mean_err - 0.1).abs() < 1e-9);
+        assert_eq!(tier.latency.len(), 20);
+        // CSV exports just the retained window.
+        assert_eq!(rec.to_csv().lines().count(), 5);
     }
 
     #[test]

@@ -1,0 +1,85 @@
+//! Property: a bounded [`TraceRecorder`] fed the same event stream as
+//! an unbounded one reports identical per-tier request counts, mean
+//! errors within fixed-point rounding, and latency quantiles within
+//! the bounded histogram's relative-error bound — while retaining only
+//! its ring's worth of raw events.
+
+use proptest::prelude::*;
+use tt_core::objective::Objective;
+use tt_serve::trace::{TraceEvent, TraceRecorder};
+use tt_sim::SimTime;
+
+fn event(seed: (u8, u8, u32, u32)) -> TraceEvent {
+    let (tol_pick, obj_pick, at_us, took_us) = seed;
+    TraceEvent {
+        arrival: SimTime::from_micros(u64::from(at_us)),
+        responded: SimTime::from_micros(u64::from(at_us) + u64::from(took_us)),
+        tolerance: [0.0, 0.01, 0.05, 0.10][usize::from(tol_pick) % 4],
+        objective: if obj_pick % 2 == 0 {
+            Objective::ResponseTime
+        } else {
+            Objective::Cost
+        },
+        answered_by: usize::from(obj_pick % 3),
+        quality_err: f64::from(took_us % 100) / 100.0,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn bounded_aggregates_match_unbounded(
+        seeds in prop::collection::vec(
+            (0u8..4, 0u8..6, 0u32..1_000_000, 1u32..200_000),
+            1..120,
+        ),
+        retain in 1usize..16,
+    ) {
+        let mut unbounded = TraceRecorder::new();
+        let mut bounded = TraceRecorder::bounded(retain);
+        for seed in &seeds {
+            unbounded.record(event(*seed));
+            bounded.record(event(*seed));
+        }
+
+        prop_assert_eq!(bounded.total_recorded(), seeds.len());
+        prop_assert_eq!(bounded.events().len(), seeds.len().min(retain));
+        // The ring holds exactly the newest events, in order.
+        let tail: Vec<TraceEvent> = seeds
+            .iter()
+            .skip(seeds.len().saturating_sub(retain))
+            .map(|s| event(*s))
+            .collect();
+        let ring: Vec<TraceEvent> = bounded.events().iter().cloned().collect();
+        prop_assert_eq!(ring, tail);
+
+        let full = unbounded.by_tier();
+        let agg = bounded.by_tier();
+        prop_assert_eq!(full.len(), agg.len());
+        for (key, exact) in &full {
+            let approx = &agg[key];
+            prop_assert_eq!(exact.requests, approx.requests);
+            prop_assert!(
+                (exact.mean_err - approx.mean_err).abs() < 1e-6,
+                "mean_err {} vs {}", exact.mean_err, approx.mean_err
+            );
+            prop_assert_eq!(exact.latency.len(), approx.latency.len());
+            // Quantiles agree with the nearest-rank order statistic
+            // (the sample the histogram targets) within its
+            // relative-error bound, plus the microsecond the integer
+            // conversion may shave off.
+            let mut sorted = exact.latency.samples_ms().to_vec();
+            sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite latency"));
+            for q in [0.5, 0.99, 1.0] {
+                let rank = (q * (sorted.len() - 1) as f64).round() as usize;
+                let nearest = sorted[rank];
+                let approx_q = approx.latency.quantiles(&[q]).expect("non-empty tier")[0];
+                prop_assert!(
+                    (approx_q - nearest).abs() <= nearest * 0.02 + 2e-3,
+                    "q={}: bounded {} vs nearest-rank {}", q, approx_q, nearest
+                );
+            }
+        }
+    }
+}

@@ -1,8 +1,22 @@
 //! Latency recording and summarization.
 
 use crate::time::SimDuration;
+use tt_obs::{BucketScheme, Histogram};
 use tt_stats::descriptive::Summary;
-use tt_stats::Result;
+use tt_stats::{Result, StatsError};
+
+/// How a [`LatencyRecorder`] stores its observations.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+enum Storage {
+    /// Every sample kept, in recording order (the default — exact
+    /// statistics, memory grows with traffic).
+    Exact(Vec<f64>),
+    /// Log-linear histogram over integer microseconds: O(1) record,
+    /// bounded memory, quantiles within the scheme's relative-error
+    /// bound. The storage a live server wants.
+    Bounded(Histogram),
+}
 
 /// Records per-request latencies and produces summaries.
 ///
@@ -16,50 +30,154 @@ use tt_stats::Result;
 /// let s = rec.summary().unwrap();
 /// assert!((s.mean() - 20.0).abs() < 1e-9); // milliseconds
 /// ```
-#[derive(Debug, Clone, Default, PartialEq)]
+///
+/// The default (exact) mode keeps every sample. For unbounded request
+/// streams — the live HTTP server, long fault sweeps — construct with
+/// [`LatencyRecorder::bounded`] to trade exact order statistics for
+/// O(1) memory:
+///
+/// ```
+/// use tt_sim::{LatencyRecorder, SimDuration};
+///
+/// let mut rec = LatencyRecorder::bounded();
+/// for ms in [10u64, 20, 30] {
+///     rec.record(SimDuration::from_millis(ms));
+/// }
+/// let q = rec.quantiles(&[0.5]).unwrap();
+/// assert!((q[0] - 20.0).abs() / 20.0 < 0.02);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct LatencyRecorder {
-    samples_ms: Vec<f64>,
+    storage: Storage,
+}
+
+impl Default for LatencyRecorder {
+    fn default() -> Self {
+        LatencyRecorder {
+            storage: Storage::Exact(Vec::new()),
+        }
+    }
 }
 
 impl LatencyRecorder {
-    /// An empty recorder.
+    /// An empty exact-mode recorder (keeps every sample).
     pub fn new() -> Self {
         LatencyRecorder::default()
     }
 
+    /// An empty bounded-mode recorder: samples land in a log-linear
+    /// histogram ([`tt_obs::BucketScheme::DEFAULT`]) over integer
+    /// microseconds — constant memory, quantiles within the scheme's
+    /// documented relative-error bound.
+    pub fn bounded() -> Self {
+        LatencyRecorder {
+            storage: Storage::Bounded(Histogram::new(BucketScheme::DEFAULT)),
+        }
+    }
+
+    /// Whether this recorder uses bounded (histogram) storage.
+    pub fn is_bounded(&self) -> bool {
+        matches!(self.storage, Storage::Bounded(_))
+    }
+
     /// Record one latency observation.
     pub fn record(&mut self, latency: SimDuration) {
-        self.samples_ms.push(latency.as_millis_f64());
+        match &mut self.storage {
+            Storage::Exact(samples) => samples.push(latency.as_millis_f64()),
+            Storage::Bounded(hist) => hist.record(latency.as_micros()),
+        }
     }
 
     /// Number of observations.
     pub fn len(&self) -> usize {
-        self.samples_ms.len()
+        match &self.storage {
+            Storage::Exact(samples) => samples.len(),
+            Storage::Bounded(hist) => hist.count() as usize,
+        }
     }
 
     /// Whether no observations were recorded.
     pub fn is_empty(&self) -> bool {
-        self.samples_ms.is_empty()
+        self.len() == 0
     }
 
-    /// Raw samples in milliseconds, in recording order.
+    /// Raw samples in milliseconds, in recording order. Bounded-mode
+    /// recorders do not retain individual samples and return an empty
+    /// slice — use [`LatencyRecorder::quantiles`] there.
     pub fn samples_ms(&self) -> &[f64] {
-        &self.samples_ms
+        match &self.storage {
+            Storage::Exact(samples) => samples,
+            Storage::Bounded(_) => &[],
+        }
+    }
+
+    /// Quantile estimates in milliseconds, one per requested `q`.
+    ///
+    /// Exact mode sorts the samples *once* for the whole batch and
+    /// interpolates linearly (numpy's `linear`, matching
+    /// `tt_stats::descriptive::percentile`); bounded mode reads the
+    /// histogram, within its relative-error bound. Returns `None` when
+    /// empty or any `q` is not a probability.
+    pub fn quantiles(&self, qs: &[f64]) -> Option<Vec<f64>> {
+        if self.is_empty() || qs.iter().any(|q| !(0.0..=1.0).contains(q)) {
+            return None;
+        }
+        match &self.storage {
+            Storage::Exact(samples) => {
+                let mut sorted = samples.clone();
+                sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN latency sample"));
+                Some(
+                    qs.iter()
+                        .map(|&q| {
+                            let pos = q * (sorted.len() - 1) as f64;
+                            let lo = pos.floor() as usize;
+                            let hi = pos.ceil() as usize;
+                            sorted[lo] + (sorted[hi] - sorted[lo]) * (pos - lo as f64)
+                        })
+                        .collect(),
+                )
+            }
+            Storage::Bounded(hist) => Some(
+                qs.iter()
+                    .map(|&q| hist.quantile(q).expect("non-empty histogram") as f64 / 1e3)
+                    .collect(),
+            ),
+        }
+    }
+
+    /// Mean latency in milliseconds; `None` when empty. Exact in both
+    /// modes (the histogram keeps an exact integer sum).
+    pub fn mean_ms(&self) -> Option<f64> {
+        match &self.storage {
+            Storage::Exact(samples) => {
+                (!samples.is_empty()).then(|| samples.iter().sum::<f64>() / samples.len() as f64)
+            }
+            Storage::Bounded(hist) => hist.mean().map(|us| us / 1e3),
+        }
     }
 
     /// Summary statistics over the recorded latencies, in milliseconds.
     ///
     /// # Errors
     ///
-    /// Returns an error if nothing was recorded.
+    /// Returns an error if nothing was recorded, or if the recorder is
+    /// in bounded mode (a summary needs the raw samples; bounded
+    /// callers should use [`LatencyRecorder::quantiles`] and
+    /// [`LatencyRecorder::mean_ms`]).
     pub fn summary(&self) -> Result<Summary> {
-        Summary::from_slice(&self.samples_ms)
+        match &self.storage {
+            Storage::Exact(samples) => Summary::from_slice(samples),
+            Storage::Bounded(_) => Err(StatsError::InvalidParameter {
+                what: "bounded-mode recorder",
+            }),
+        }
     }
 
     /// A fixed-width-bucket histogram with `buckets` bins spanning
     /// `[0, max]`. Returns bucket counts; observations above `max` land
-    /// in the final bucket.
+    /// in the final bucket. In bounded mode each log-linear bucket's
+    /// count is attributed to the bin holding its midpoint.
     ///
     /// # Panics
     ///
@@ -69,17 +187,64 @@ impl LatencyRecorder {
         assert!(max_ms > 0.0, "histogram span must be positive");
         let mut counts = vec![0usize; buckets];
         let width = max_ms / buckets as f64;
-        for &s in &self.samples_ms {
-            let idx = ((s / width) as usize).min(buckets - 1);
-            counts[idx] += 1;
+        match &self.storage {
+            Storage::Exact(samples) => {
+                for &s in samples {
+                    let idx = ((s / width) as usize).min(buckets - 1);
+                    counts[idx] += 1;
+                }
+            }
+            Storage::Bounded(hist) => {
+                for (lower, bucket_width, count) in hist.nonzero_buckets() {
+                    let mid_ms = (lower + bucket_width / 2) as f64 / 1e3;
+                    let idx = ((mid_ms / width) as usize).min(buckets - 1);
+                    counts[idx] += count as usize;
+                }
+            }
         }
         counts
     }
 
-    /// Merge another recorder's samples into this one.
+    /// Merge another recorder's observations into this one. Merging a
+    /// bounded recorder into an exact one converts this recorder to
+    /// bounded first (individual samples cannot be resurrected), so
+    /// bounded-ness is contagious in the conservative direction.
     pub fn merge(&mut self, other: &LatencyRecorder) {
-        self.samples_ms.extend_from_slice(&other.samples_ms);
+        if !self.is_bounded() && other.is_bounded() {
+            self.convert_to_bounded(other.scheme().expect("bounded recorder has a scheme"));
+        }
+        match (&mut self.storage, &other.storage) {
+            (Storage::Exact(mine), Storage::Exact(theirs)) => mine.extend_from_slice(theirs),
+            (Storage::Bounded(mine), Storage::Bounded(theirs)) => mine.merge(theirs),
+            (Storage::Bounded(mine), Storage::Exact(theirs)) => {
+                for &ms in theirs {
+                    mine.record(ms_to_us(ms));
+                }
+            }
+            (Storage::Exact(_), Storage::Bounded(_)) => unreachable!("converted above"),
+        }
     }
+
+    fn scheme(&self) -> Option<BucketScheme> {
+        match &self.storage {
+            Storage::Exact(_) => None,
+            Storage::Bounded(hist) => Some(hist.scheme()),
+        }
+    }
+
+    fn convert_to_bounded(&mut self, scheme: BucketScheme) {
+        if let Storage::Exact(samples) = &self.storage {
+            let mut hist = Histogram::new(scheme);
+            for &ms in samples {
+                hist.record(ms_to_us(ms));
+            }
+            self.storage = Storage::Bounded(hist);
+        }
+    }
+}
+
+fn ms_to_us(ms: f64) -> u64 {
+    (ms.max(0.0) * 1e3).round() as u64
 }
 
 impl Extend<SimDuration> for LatencyRecorder {
@@ -130,5 +295,74 @@ mod tests {
         let b: LatencyRecorder = std::iter::once(SimDuration::from_millis(2)).collect();
         a.merge(&b);
         assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn quantiles_sort_once_and_match_percentile() {
+        let rec: LatencyRecorder = [30u64, 10, 20, 40, 50]
+            .iter()
+            .map(|&ms| SimDuration::from_millis(ms))
+            .collect();
+        let qs = rec.quantiles(&[0.0, 0.5, 1.0]).unwrap();
+        assert_eq!(qs, vec![10.0, 30.0, 50.0]);
+        for (q, want) in [(0.0, 10.0), (0.5, 30.0), (1.0, 50.0)] {
+            let exact = tt_stats::descriptive::percentile(rec.samples_ms(), q).unwrap();
+            assert_eq!(exact, want);
+        }
+        // Interpolated position between order statistics.
+        let q25 = rec.quantiles(&[0.25]).unwrap()[0];
+        assert!((q25 - 20.0).abs() < 1e-12);
+        assert!(rec.quantiles(&[1.5]).is_none());
+        assert!(LatencyRecorder::new().quantiles(&[0.5]).is_none());
+    }
+
+    #[test]
+    fn bounded_mode_tracks_quantiles_within_bound() {
+        let mut rec = LatencyRecorder::bounded();
+        assert!(rec.is_bounded());
+        for i in 0..1_000u64 {
+            rec.record(SimDuration::from_micros(1_000 + i * 97));
+        }
+        assert_eq!(rec.len(), 1_000);
+        assert!(rec.samples_ms().is_empty());
+        assert!(rec.summary().is_err());
+        let q = rec.quantiles(&[0.5]).unwrap()[0];
+        let exact_ms = (1_000.0 + 500.0 * 97.0) / 1e3;
+        assert!(
+            (q - exact_ms).abs() / exact_ms < 0.02,
+            "p50 {q} vs exact {exact_ms}"
+        );
+        let mean = rec.mean_ms().unwrap();
+        let exact_mean = (1_000.0 + (999.0 * 97.0) / 2.0) / 1e3;
+        assert!((mean - exact_mean).abs() < 1e-9, "histogram sum is exact");
+    }
+
+    #[test]
+    fn merging_bounded_into_exact_converts() {
+        let mut exact: LatencyRecorder = [1u64, 2]
+            .iter()
+            .map(|&ms| SimDuration::from_millis(ms))
+            .collect();
+        let mut bounded = LatencyRecorder::bounded();
+        bounded.record(SimDuration::from_millis(3));
+        exact.merge(&bounded);
+        assert!(exact.is_bounded());
+        assert_eq!(exact.len(), 3);
+        // And the other direction: exact samples feed the histogram.
+        let mut b2 = LatencyRecorder::bounded();
+        let e2: LatencyRecorder = std::iter::once(SimDuration::from_millis(5)).collect();
+        b2.merge(&e2);
+        assert_eq!(b2.len(), 1);
+    }
+
+    #[test]
+    fn bounded_histogram_render_approximates_fixed_buckets() {
+        let mut rec = LatencyRecorder::bounded();
+        for &ms in &[1u64, 5, 9, 15, 100] {
+            rec.record(SimDuration::from_millis(ms));
+        }
+        let h = rec.histogram(2, 20.0);
+        assert_eq!(h.iter().sum::<usize>(), 5);
+        assert!(h[1] >= 2, "slow samples land in the tail bucket");
     }
 }

@@ -38,6 +38,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             slots_per_pool: 8,
             devices: vec![tt_serve::cluster::PoolDevice::Gpu; matrix.versions()],
             pricing: tt_serve::PricingCatalog::list_prices(),
+            trace_retention: None,
         };
         let report = ClusterSim::new(matrix, config).run(&frontend, &arrivals);
         let lat = report.latency.summary()?;
@@ -65,6 +66,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         slots_per_pool: 8,
         devices: vec![tt_serve::cluster::PoolDevice::Gpu; matrix.versions()],
         pricing: tt_serve::PricingCatalog::list_prices(),
+        trace_retention: None,
     };
     let report = ClusterSim::new(matrix, config).run(&frontend, &arrivals);
     for ((objective, tol_tenths), stats) in report.trace.by_tier() {

@@ -135,8 +135,30 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("    {line}");
     }
     println!("    ...");
+    let metrics = get(addr, "/metrics")?;
+    println!(
+        "  GET /metrics -> {} ({} bytes of JSON)",
+        metrics.status,
+        metrics.body.len()
+    );
+    let traces = get(addr, "/trace/recent")?;
+    println!(
+        "  GET /trace/recent -> {} ({} bytes of JSON)",
+        traces.status,
+        traces.body.len()
+    );
 
-    banner("7. Graceful drain");
+    banner("7. The SLO sentinel's verdict per advertised tier");
+    let obs = service.observability().expect("demo observability is on");
+    obs.sentinel().force_tick(obs.now_us());
+    for verdict in obs.sentinel().verdicts() {
+        println!(
+            "  [slo {}] in_contract={} ({} requests: {})",
+            verdict.key, verdict.in_contract, verdict.window_requests, verdict.reason
+        );
+    }
+
+    banner("8. Graceful drain");
     let snapshot = service.snapshot();
     println!(
         "  served {} requests, billed {} across {} tiers, availability {:.3}",

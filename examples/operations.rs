@@ -49,6 +49,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         slots_per_pool: slots,
         devices: vec![PoolDevice::Gpu; matrix.versions()],
         pricing: tt_serve::PricingCatalog::list_prices(),
+        trace_retention: None,
     };
     let report = ClusterSim::new(matrix, config).run(&frontend, &arrivals);
     let schedule = TierPriceSchedule::list_prices(Money::from_dollars(0.001));

@@ -32,6 +32,7 @@ fn serving_revenue_exceeds_compute_cost_at_list_prices() {
         slots_per_pool: 16,
         devices: vec![PoolDevice::Gpu; m.versions()],
         pricing: tt_serve::PricingCatalog::list_prices(),
+        trace_retention: None,
     };
     let report = ClusterSim::new(m, config).run(&frontend, &arrivals);
     let schedule = TierPriceSchedule::list_prices(Money::from_dollars(0.001));

@@ -28,6 +28,7 @@ fn gpu_cluster_config(versions: usize, slots: usize) -> ClusterConfig {
         slots_per_pool: slots,
         devices: vec![PoolDevice::Gpu; versions],
         pricing: PricingCatalog::list_prices(),
+        trace_retention: None,
     }
 }
 
