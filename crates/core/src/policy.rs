@@ -101,6 +101,46 @@ pub struct PolicyOutcome {
 }
 
 impl Policy {
+    /// The same policy with every version index passed through `map`.
+    ///
+    /// Used to translate policies generated over a sub-matrix (see
+    /// [`crate::profile::ProfileMatrix::without_versions`]) back into
+    /// the indices of the full deployment.
+    #[must_use]
+    pub fn map_versions<F: Fn(usize) -> usize>(self, map: F) -> Policy {
+        match self {
+            Policy::Single { version } => Policy::Single {
+                version: map(version),
+            },
+            Policy::Cascade {
+                cheap,
+                accurate,
+                threshold,
+                scheduling,
+                termination,
+            } => Policy::Cascade {
+                cheap: map(cheap),
+                accurate: map(accurate),
+                threshold,
+                scheduling,
+                termination,
+            },
+            Policy::Chain3 {
+                first,
+                second,
+                third,
+                threshold_first,
+                threshold_second,
+            } => Policy::Chain3 {
+                first: map(first),
+                second: map(second),
+                third: map(third),
+                threshold_first,
+                threshold_second,
+            },
+        }
+    }
+
     /// Validate the policy against a matrix's version count.
     ///
     /// # Errors
@@ -593,6 +633,50 @@ mod tests {
         assert_eq!(o.cost, 5.0);
         assert_eq!(o.quality_err, 0.0);
         assert_eq!(o.answered_by, 1);
+    }
+
+    #[test]
+    fn map_versions_remaps_every_index_and_nothing_else() {
+        let p = Policy::Single { version: 1 }.map_versions(|v| v + 3);
+        assert_eq!(p, Policy::Single { version: 4 });
+
+        let p = Policy::Cascade {
+            cheap: 0,
+            accurate: 1,
+            threshold: 0.7,
+            scheduling: Scheduling::Concurrent,
+            termination: Termination::EarlyTerminate,
+        }
+        .map_versions(|v| [2, 5][v]);
+        assert_eq!(
+            p,
+            Policy::Cascade {
+                cheap: 2,
+                accurate: 5,
+                threshold: 0.7,
+                scheduling: Scheduling::Concurrent,
+                termination: Termination::EarlyTerminate,
+            }
+        );
+
+        let p = Policy::Chain3 {
+            first: 0,
+            second: 1,
+            third: 2,
+            threshold_first: 0.6,
+            threshold_second: 0.8,
+        }
+        .map_versions(|v| v * 2);
+        assert_eq!(
+            p,
+            Policy::Chain3 {
+                first: 0,
+                second: 2,
+                third: 4,
+                threshold_first: 0.6,
+                threshold_second: 0.8,
+            }
+        );
     }
 
     #[test]

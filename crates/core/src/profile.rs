@@ -234,6 +234,44 @@ impl ProfileMatrix {
         ))
     }
 
+    /// A matrix with the listed version columns removed, plus the map
+    /// from surviving (new) version indices back to their indices in
+    /// `self`. Requests are untouched — this is the column-wise dual of
+    /// [`ProfileMatrix::subset`], used when a deployment quarantines a
+    /// failing version and routing rules must be regenerated over the
+    /// survivors.
+    ///
+    /// Duplicate entries in `excluded` are tolerated; unknown versions
+    /// and exclusions that would leave no survivors are errors.
+    pub fn without_versions(&self, excluded: &[usize]) -> Result<(ProfileMatrix, Vec<usize>)> {
+        for &v in excluded {
+            self.check_version(v)?;
+        }
+        let survivors: Vec<usize> = (0..self.versions())
+            .filter(|v| !excluded.contains(v))
+            .collect();
+        if survivors.is_empty() {
+            return Err(CoreError::MalformedProfile {
+                detail: "excluding every version leaves an empty matrix".into(),
+            });
+        }
+        let names = survivors
+            .iter()
+            .map(|&v| self.version_names[v].clone())
+            .collect();
+        let mut obs = Vec::with_capacity(self.requests * survivors.len());
+        for r in 0..self.requests {
+            let row = self.request_row(r);
+            for &v in &survivors {
+                obs.push(row[v]);
+            }
+        }
+        Ok((
+            ProfileMatrix::from_parts(names, self.requests, obs),
+            survivors,
+        ))
+    }
+
     fn check_version(&self, version: usize) -> Result<()> {
         if version >= self.versions() {
             return Err(CoreError::UnknownVersion {
@@ -414,6 +452,33 @@ mod tests {
         assert!(m.version_error(0, Some(&[])).is_err());
         assert!(m.subset(&[]).is_err());
         assert!(m.subset(&[99]).is_err());
+    }
+
+    #[test]
+    fn without_versions_drops_columns_and_maps_back() {
+        let m = toy_matrix();
+        let (sub, map) = m.without_versions(&[1]).unwrap();
+        assert_eq!(sub.versions(), 1);
+        assert_eq!(sub.requests(), m.requests());
+        assert_eq!(sub.version_names(), &["fast".to_string()]);
+        assert_eq!(map, vec![0]);
+        for r in 0..m.requests() {
+            assert_eq!(sub.get(r, 0), m.get(r, 0));
+        }
+        // Columns stay coherent with the AoS view after exclusion.
+        let cols = sub.columns(0);
+        assert_eq!(cols.quality_err[1], m.get(1, 0).quality_err);
+
+        let (sub, map) = m.without_versions(&[0, 0]).unwrap();
+        assert_eq!(map, vec![1]);
+        assert_eq!(sub.get(2, 0).quality_err, 1.0);
+    }
+
+    #[test]
+    fn without_versions_rejects_unknown_and_total_exclusion() {
+        let m = toy_matrix();
+        assert!(m.without_versions(&[7]).is_err());
+        assert!(m.without_versions(&[0, 1]).is_err());
     }
 
     #[test]

@@ -127,6 +127,29 @@ impl RoutingRules {
         }
         chosen
     }
+
+    /// Translate every version index through `map` (new index → old
+    /// index): rules generated over a quarantine sub-matrix (see
+    /// [`ProfileMatrix::without_versions`]) become valid against the
+    /// full deployment again. Tolerances, thresholds, and ordering are
+    /// untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a policy references a version at or beyond
+    /// `map.len()`.
+    #[must_use]
+    pub fn map_versions(&self, map: &[usize]) -> RoutingRules {
+        RoutingRules {
+            objective: self.objective,
+            baseline_version: map[self.baseline_version],
+            tiers: self
+                .tiers
+                .iter()
+                .map(|&(tol, policy)| (tol, policy.map_versions(|v| map[v])))
+                .collect(),
+        }
+    }
 }
 
 /// The generator: bootstrapped candidate records over a training
@@ -574,6 +597,27 @@ mod tests {
             .generate(&[0.05], Objective::Cost)
             .unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn map_versions_round_trips_rules_from_a_sub_matrix() {
+        let m = toy_matrix();
+        let rules = generator(&m)
+            .generate(&[0.0, 0.10, 0.5], Objective::Cost)
+            .unwrap();
+        // Pretend these rules came from a sub-matrix whose version i is
+        // the full deployment's version i+2.
+        let map = vec![2, 3];
+        let shifted = rules.map_versions(&map);
+        assert_eq!(shifted.objective(), rules.objective());
+        assert_eq!(shifted.baseline_version(), rules.baseline_version() + 2);
+        assert_eq!(shifted.tiers().len(), rules.tiers().len());
+        for ((tol_a, pol_a), (tol_b, pol_b)) in rules.tiers().iter().zip(shifted.tiers()) {
+            assert_eq!(tol_a, tol_b);
+            assert_eq!(pol_a.map_versions(|v| v + 2), *pol_b);
+        }
+        // Identity map is a no-op.
+        assert_eq!(rules.map_versions(&[0, 1]), rules);
     }
 
     #[test]

@@ -293,11 +293,33 @@ pub fn write_response(
     body: &[u8],
     keep_alive: bool,
 ) -> std::io::Result<()> {
+    write_response_with(writer, status, reason, content_type, &[], body, keep_alive)
+}
+
+/// [`write_response`] with extra response headers (`Retry-After`,
+/// `Brownout`, ...). Header names and values must already be
+/// wire-safe; this layer does no escaping.
+///
+/// # Errors
+///
+/// Propagates socket write failures.
+pub fn write_response_with(
+    writer: &mut impl Write,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    extra_headers: &[(&str, String)],
+    body: &[u8],
+    keep_alive: bool,
+) -> std::io::Result<()> {
     let mut head = format!("HTTP/1.1 {status} {reason}\r\n");
     if !body.is_empty() {
         head.push_str(&format!("Content-Type: {content_type}\r\n"));
     }
     head.push_str(&format!("Content-Length: {}\r\n", body.len()));
+    for (name, value) in extra_headers {
+        head.push_str(&format!("{name}: {value}\r\n"));
+    }
     head.push_str(if keep_alive {
         "Connection: keep-alive\r\n"
     } else {
@@ -565,6 +587,24 @@ mod tests {
         assert_eq!(resp.status, 200);
         assert_eq!(resp.header("content-type"), Some("application/json"));
         assert_eq!(resp.text(), "{\"ok\":true}");
+    }
+
+    #[test]
+    fn extra_headers_ride_the_status_line() {
+        let mut wire = Vec::new();
+        write_response_with(
+            &mut wire,
+            429,
+            "Too Many Requests",
+            "application/json",
+            &[("Retry-After", "2".to_string())],
+            b"{}",
+            true,
+        )
+        .unwrap();
+        let resp = read_response(&mut Cursor::new(wire), &Limits::default()).unwrap();
+        assert_eq!(resp.status, 429);
+        assert_eq!(resp.header("retry-after"), Some("2"));
     }
 
     #[test]

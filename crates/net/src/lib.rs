@@ -31,6 +31,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod demo;
 pub mod http;
 pub mod loadgen;
@@ -40,10 +41,19 @@ pub mod server;
 pub mod service;
 pub mod stats;
 
-pub use http::{read_request, read_response, write_response, HttpError, Limits, Request, Response};
+pub use admission::{
+    AdmissionConfig, AdmissionController, AdmissionDecision, BrownoutLevel, TierAdmission,
+};
+pub use http::{
+    read_request, read_response, write_response, write_response_with, HttpError, Limits, Request,
+    Response,
+};
 pub use loadgen::{run_load, LoadConfig, LoadMode, LoadReport, SlowRequest, TierLoad};
-pub use metrics::metrics_document;
+pub use metrics::{admission_object, metrics_document, supervisor_object};
 pub use obs::{tier_key, ObsConfig, Observability, ServedSample};
 pub use server::{RunningServer, Server, ServerConfig, ShutdownHandle};
-pub use service::{ComputeOutcome, ComputeService, ServiceConfig, ServiceError, ServiceSnapshot};
+pub use service::{
+    ComputeOutcome, ComputeService, ServiceConfig, ServiceError, ServiceSnapshot, SupervisorSetup,
+    SupervisorStatus,
+};
 pub use stats::stats_document;

@@ -23,6 +23,7 @@ use std::io::{self, BufReader, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::time::{Duration, Instant};
 use tt_core::request::ServiceRequest;
+use tt_sim::fault::{WireFaultOutcome, WireFaultPlan};
 use tt_sim::ArrivalProcess;
 use tt_stats::descriptive::percentile;
 use tt_workloads::RequestMix;
@@ -57,6 +58,16 @@ pub struct LoadConfig {
     pub seed: u64,
     /// Client-side response parsing limits.
     pub limits: Limits,
+    /// Seeded client-side wire chaos: per-request draws may reset the
+    /// connection before sending, abandon the request after a partial
+    /// write, or trickle it out slowly (slow loris). One independent
+    /// stream per client lane keeps runs deterministic.
+    pub wire_faults: Option<WireFaultPlan>,
+    /// Closed-loop lanes honor `Retry-After` on `429`/`503` responses,
+    /// sleeping `min(server hint, this cap)` before their next request
+    /// (capped so experiments stay fast; open loop records the hint
+    /// but never stalls its schedule).
+    pub retry_after_cap: Duration,
 }
 
 impl LoadConfig {
@@ -70,6 +81,8 @@ impl LoadConfig {
             payloads,
             seed,
             limits: Limits::default(),
+            wire_faults: None,
+            retry_after_cap: Duration::from_millis(100),
         }
     }
 
@@ -82,6 +95,8 @@ impl LoadConfig {
             payloads,
             seed,
             limits: Limits::default(),
+            wire_faults: None,
+            retry_after_cap: Duration::from_millis(100),
         }
     }
 }
@@ -91,6 +106,14 @@ impl LoadConfig {
 pub struct TierLoad {
     /// Requests that completed with HTTP 200.
     pub ok: usize,
+    /// Of the `ok` responses, how many carried a `Brownout` header —
+    /// served within tolerance from a cheaper plan.
+    pub browned_out: usize,
+    /// `503` responses: shed by the saturated front door or the
+    /// resilience layer.
+    pub shed: usize,
+    /// `429` responses: rejected by the admission controller.
+    pub rejected: usize,
     /// Client-observed latencies, milliseconds.
     pub latencies_ms: Vec<f64>,
 }
@@ -122,10 +145,22 @@ pub struct LoadReport {
     pub sent: usize,
     /// HTTP 200 responses.
     pub ok: usize,
-    /// Non-200 responses (shed, unavailable).
+    /// Of the `ok` responses, how many were browned out (served within
+    /// tolerance from a cheaper plan, flagged by the `Brownout`
+    /// header).
+    pub browned_out: usize,
+    /// Non-200 responses (any status: shed, rejected, unavailable).
     pub rejected: usize,
-    /// Requests that died on transport errors.
+    /// Of the non-200 responses, `429`s from the admission controller.
+    pub rejected_429: usize,
+    /// Requests that died on transport errors (including injected wire
+    /// faults).
     pub transport_errors: usize,
+    /// Client-side wire faults injected by the configured
+    /// [`WireFaultPlan`].
+    pub wire_faults_injected: usize,
+    /// Times a closed-loop lane slept on a `Retry-After` hint.
+    pub retry_waits: usize,
     /// Wall-clock duration of the run.
     pub wall: Duration,
     /// All successful latencies, milliseconds.
@@ -158,21 +193,39 @@ impl LoadReport {
 
     fn absorb(&mut self, outcome: &RequestOutcome) {
         self.sent += 1;
+        if outcome.wire_fault {
+            self.wire_faults_injected += 1;
+        }
+        if outcome.retry_waited {
+            self.retry_waits += 1;
+        }
+        let slot = self.per_tier.entry(outcome.tier.clone()).or_default();
         match outcome.status {
             Some(200) => {
                 self.ok += 1;
                 let ms = outcome.latency.as_secs_f64() * 1e3;
                 self.latencies_ms.push(ms);
-                let slot = self.per_tier.entry(outcome.tier.clone()).or_default();
                 slot.ok += 1;
                 slot.latencies_ms.push(ms);
+                if outcome.brownout {
+                    self.browned_out += 1;
+                    slot.browned_out += 1;
+                }
                 self.slowest.push(SlowRequest {
                     latency_ms: ms,
                     request_id: outcome.request_id,
                     tier: outcome.tier.clone(),
                 });
             }
-            Some(_) => self.rejected += 1,
+            Some(status) => {
+                self.rejected += 1;
+                if status == 429 {
+                    self.rejected_429 += 1;
+                    slot.rejected += 1;
+                } else if status == 503 {
+                    slot.shed += 1;
+                }
+            }
             None => self.transport_errors += 1,
         }
     }
@@ -194,6 +247,18 @@ struct RequestOutcome {
     status: Option<u16>,
     request_id: Option<u64>,
     latency: Duration,
+    brownout: bool,
+    wire_fault: bool,
+    retry_waited: bool,
+}
+
+/// The parts of a response the report cares about.
+#[derive(Clone, Copy, Default)]
+struct ReplyFacts {
+    status: u16,
+    request_id: Option<u64>,
+    brownout: bool,
+    retry_after_secs: Option<u64>,
 }
 
 /// Extract `"request_id": N` from a response body without a JSON
@@ -254,11 +319,57 @@ impl Client {
         &mut self,
         request: &ServiceRequest,
         close: bool,
-    ) -> Result<(u16, Option<u64>), HttpError> {
-        self.writer
-            .write_all(render_request(request, close).as_bytes())
-            .map_err(|_| HttpError::Truncated)?;
-        read_response(&mut self.reader, &self.limits).map(|r| (r.status, parse_request_id(&r.body)))
+    ) -> Result<ReplyFacts, HttpError> {
+        self.shaped_roundtrip(request, close, WireFaultOutcome::None)
+    }
+
+    /// Round-trip with the request write shaped by a wire fault:
+    /// `Reset` sends nothing, `PartialWrite` abandons the request after
+    /// a prefix, `SlowWrite` trickles it out byte by byte (slow loris).
+    /// Faulted writes that cannot yield a response return `Truncated`.
+    fn shaped_roundtrip(
+        &mut self,
+        request: &ServiceRequest,
+        close: bool,
+        fault: WireFaultOutcome,
+    ) -> Result<ReplyFacts, HttpError> {
+        let wire = render_request(request, close);
+        let bytes = wire.as_bytes();
+        match fault {
+            WireFaultOutcome::None => self
+                .writer
+                .write_all(bytes)
+                .map_err(|_| HttpError::Truncated)?,
+            WireFaultOutcome::Reset => {
+                // Abandon before the first byte; the server sees a
+                // connection that opened and died.
+                let _ = self.writer.shutdown(std::net::Shutdown::Both);
+                return Err(HttpError::Truncated);
+            }
+            WireFaultOutcome::PartialWrite { fraction } => {
+                let n = ((bytes.len() as f64) * fraction).floor() as usize;
+                let n = n.clamp(1, bytes.len().saturating_sub(1));
+                let _ = self.writer.write_all(&bytes[..n]);
+                let _ = self.writer.shutdown(std::net::Shutdown::Both);
+                return Err(HttpError::Truncated);
+            }
+            WireFaultOutcome::SlowWrite { pause_us } => {
+                for chunk in bytes.chunks(1) {
+                    self.writer
+                        .write_all(chunk)
+                        .map_err(|_| HttpError::Truncated)?;
+                    std::thread::sleep(Duration::from_micros(pause_us));
+                }
+            }
+        }
+        read_response(&mut self.reader, &self.limits).map(|r| ReplyFacts {
+            status: r.status,
+            request_id: parse_request_id(&r.body),
+            brownout: r.header("brownout").is_some(),
+            retry_after_secs: r
+                .header("retry-after")
+                .and_then(|v| v.trim().parse::<u64>().ok()),
+        })
     }
 }
 
@@ -267,9 +378,10 @@ fn one_shot(
     addr: SocketAddr,
     limits: Limits,
     request: &ServiceRequest,
-) -> Option<(u16, Option<u64>)> {
+    fault: WireFaultOutcome,
+) -> Option<ReplyFacts> {
     let mut client = Client::connect(addr, limits).ok()?;
-    client.roundtrip(request, true).ok()
+    client.shaped_roundtrip(request, true, fault).ok()
 }
 
 /// Drive `addr` per `config` and collect the report.
@@ -296,14 +408,14 @@ pub fn run_load(addr: SocketAddr, config: &LoadConfig) -> io::Result<LoadReport>
     let outcomes = match config.mode {
         LoadMode::Closed { concurrency } => {
             assert!(concurrency > 0, "closed loop needs at least one client");
-            run_closed(addr, config.limits, &requests, concurrency)
+            run_closed(addr, config, &requests, concurrency)
         }
         LoadMode::Open { rate_per_sec } => {
             assert!(
                 rate_per_sec > 0.0 && rate_per_sec.is_finite(),
                 "open loop needs a positive rate"
             );
-            run_open(addr, config.limits, &requests, rate_per_sec, config.seed)
+            run_open(addr, config, &requests, rate_per_sec)
         }
     };
     let mut report = LoadReport {
@@ -318,13 +430,17 @@ pub fn run_load(addr: SocketAddr, config: &LoadConfig) -> io::Result<LoadReport>
 }
 
 /// Closed loop: split the request list round-robin across `concurrency`
-/// clients; each fires as fast as its own responses return.
+/// clients; each fires as fast as its own responses return, honoring
+/// `Retry-After` hints (capped) and injecting any configured wire
+/// faults from its own seeded stream.
 fn run_closed(
     addr: SocketAddr,
-    limits: Limits,
+    config: &LoadConfig,
     requests: &[ServiceRequest],
     concurrency: usize,
 ) -> Vec<RequestOutcome> {
+    let limits = config.limits;
+    let retry_cap = config.retry_after_cap;
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..concurrency)
             .map(|lane| {
@@ -334,37 +450,73 @@ fn run_closed(
                     .step_by(concurrency)
                     .cloned()
                     .collect();
+                // Each lane draws from its own stream of the shared
+                // plan, so cloning keeps lanes independent and
+                // deterministic regardless of interleaving.
+                let mut faults = config.wire_faults.clone();
                 scope.spawn(move || {
                     let mut outcomes = Vec::with_capacity(slice.len());
                     let mut client = Client::connect(addr, limits).ok();
                     for (i, request) in slice.iter().enumerate() {
                         let close = i + 1 == slice.len();
+                        let fault = faults
+                            .as_mut()
+                            .map_or(WireFaultOutcome::None, |plan| plan.draw(lane));
+                        let injected = fault != WireFaultOutcome::None;
                         let fired = Instant::now();
-                        let reply = match &mut client {
-                            Some(c) => match c.roundtrip(request, close) {
-                                Ok(reply) => Some(reply),
-                                Err(_) => {
-                                    // One reconnect per failure: the
-                                    // server may have reaped an idle
-                                    // keep-alive connection.
+                        let reply = if injected {
+                            // An injected fault is the experiment, not
+                            // an accident: no reconnect-and-retry. The
+                            // connection is assumed dead afterwards
+                            // unless the fault still delivers.
+                            let attempt = match &mut client {
+                                Some(c) => c.shaped_roundtrip(request, close, fault).ok(),
+                                None => None,
+                            };
+                            if attempt.is_none() {
+                                client = None;
+                            }
+                            attempt
+                        } else {
+                            match &mut client {
+                                Some(c) => match c.roundtrip(request, close) {
+                                    Ok(reply) => Some(reply),
+                                    Err(_) => {
+                                        // One reconnect per failure: the
+                                        // server may have reaped an idle
+                                        // keep-alive connection.
+                                        client = Client::connect(addr, limits).ok();
+                                        client
+                                            .as_mut()
+                                            .and_then(|c| c.roundtrip(request, close).ok())
+                                    }
+                                },
+                                None => {
                                     client = Client::connect(addr, limits).ok();
                                     client
                                         .as_mut()
                                         .and_then(|c| c.roundtrip(request, close).ok())
                                 }
-                            },
-                            None => {
-                                client = Client::connect(addr, limits).ok();
-                                client
-                                    .as_mut()
-                                    .and_then(|c| c.roundtrip(request, close).ok())
                             }
                         };
+                        let latency = fired.elapsed();
+                        let mut retry_waited = false;
+                        if let Some(facts) = reply {
+                            if matches!(facts.status, 429 | 503) {
+                                if let Some(secs) = facts.retry_after_secs {
+                                    retry_waited = true;
+                                    std::thread::sleep(Duration::from_secs(secs).min(retry_cap));
+                                }
+                            }
+                        }
                         outcomes.push(RequestOutcome {
                             tier: tier_key(request),
-                            status: reply.map(|(status, _)| status),
-                            request_id: reply.and_then(|(_, id)| id),
-                            latency: fired.elapsed(),
+                            status: reply.map(|facts| facts.status),
+                            request_id: reply.and_then(|facts| facts.request_id),
+                            latency,
+                            brownout: reply.is_some_and(|facts| facts.brownout),
+                            wire_fault: injected,
+                            retry_waited,
                         });
                     }
                     outcomes
@@ -385,12 +537,12 @@ fn run_closed(
 /// client (no coordinated omission).
 fn run_open(
     addr: SocketAddr,
-    limits: Limits,
+    config: &LoadConfig,
     requests: &[ServiceRequest],
     rate_per_sec: f64,
-    seed: u64,
 ) -> Vec<RequestOutcome> {
-    let arrivals = ArrivalProcess::poisson(rate_per_sec, seed)
+    let limits = config.limits;
+    let arrivals = ArrivalProcess::poisson(rate_per_sec, config.seed)
         .expect("positive rate")
         .take(requests.len());
     let schedule: Vec<(Duration, &ServiceRequest)> = arrivals
@@ -406,18 +558,28 @@ fn run_open(
             .map(|lane| {
                 let slice: Vec<(Duration, &ServiceRequest)> =
                     schedule.iter().skip(lane).step_by(lanes).copied().collect();
+                let mut faults = config.wire_faults.clone();
                 scope.spawn(move || {
                     let mut outcomes = Vec::with_capacity(slice.len());
                     for (due, request) in slice {
                         if let Some(wait) = due.checked_sub(epoch.elapsed()) {
                             std::thread::sleep(wait);
                         }
-                        let reply = one_shot(addr, limits, request);
+                        let fault = faults
+                            .as_mut()
+                            .map_or(WireFaultOutcome::None, |plan| plan.draw(lane));
+                        let reply = one_shot(addr, limits, request, fault);
+                        // Open loop never stalls for Retry-After — the
+                        // schedule is the experiment; the hint still
+                        // lands in the report via the status split.
                         outcomes.push(RequestOutcome {
                             tier: tier_key(request),
-                            status: reply.map(|(status, _)| status),
-                            request_id: reply.and_then(|(_, id)| id),
+                            status: reply.map(|facts| facts.status),
+                            request_id: reply.and_then(|facts| facts.request_id),
                             latency: epoch.elapsed().saturating_sub(due),
+                            brownout: reply.is_some_and(|facts| facts.brownout),
+                            wire_fault: fault != WireFaultOutcome::None,
+                            retry_waited: false,
                         });
                     }
                     outcomes
@@ -455,24 +617,36 @@ mod tests {
             wall: Duration::from_secs(2),
             ..LoadReport::default()
         };
-        for (status, id, ms) in [
-            (Some(200), Some(11), 4.0),
-            (Some(200), Some(12), 8.0),
-            (Some(503), None, 0.0),
-            (None, None, 0.0),
+        for (status, id, ms, brownout) in [
+            (Some(200), Some(11), 4.0, false),
+            (Some(200), Some(12), 8.0, true),
+            (Some(503), None, 0.0, false),
+            (Some(429), None, 0.0, false),
+            (None, None, 0.0, false),
         ] {
             report.absorb(&RequestOutcome {
                 tier: ("cost".to_string(), 50),
                 status,
                 request_id: id,
                 latency: Duration::from_secs_f64(ms / 1e3),
+                brownout,
+                wire_fault: status.is_none(),
+                retry_waited: status == Some(429),
             });
         }
         report.trim_slowest();
-        assert_eq!(report.sent, 4);
+        assert_eq!(report.sent, 5);
         assert_eq!(report.ok, 2);
-        assert_eq!(report.rejected, 1);
+        assert_eq!(report.browned_out, 1);
+        assert_eq!(report.rejected, 2);
+        assert_eq!(report.rejected_429, 1);
         assert_eq!(report.transport_errors, 1);
+        assert_eq!(report.wire_faults_injected, 1);
+        assert_eq!(report.retry_waits, 1);
+        let tier = &report.per_tier[&("cost".to_string(), 50)];
+        assert_eq!(tier.browned_out, 1);
+        assert_eq!(tier.shed, 1);
+        assert_eq!(tier.rejected, 1);
         assert_eq!(report.throughput_rps(), 1.0);
         assert_eq!(report.latency_ms(0.5), Some(6.0));
         assert_eq!(report.per_tier[&("cost".to_string(), 50)].ok, 2);
@@ -491,6 +665,9 @@ mod tests {
                 status: Some(200),
                 request_id: Some(i),
                 latency: Duration::from_millis(i),
+                brownout: false,
+                wire_fault: false,
+                retry_waited: false,
             });
         }
         report.trim_slowest();

@@ -9,7 +9,9 @@
 //! (`uptime_ms`) and sentinel cadence (`windows_evaluated`, which
 //! depends on accept-loop timing) deliberately live *outside* it.
 
+use crate::admission::AdmissionController;
 use crate::obs::Observability;
+use crate::service::SupervisorStatus;
 use tt_bench::perfjson::{Json, JsonObject};
 use tt_obs::{Histogram, SloVerdict};
 
@@ -92,7 +94,7 @@ pub fn metrics_document(obs: &Observability, uptime_ms: u64) -> JsonObject {
         .collect();
     let slo = JsonObject::new()
         .with_int("window_ms", (sentinel.window_us() / 1_000) as i64)
-        .with_int("windows_evaluated", sentinel.windows_evaluated() as i64)
+        .with_int("windows_evaluated", obs.windows_evaluated() as i64)
         .with("tiers", Json::Array(verdicts));
 
     JsonObject::new()
@@ -100,6 +102,58 @@ pub fn metrics_document(obs: &Observability, uptime_ms: u64) -> JsonObject {
         .with_int("uptime_ms", uptime_ms as i64)
         .with("totals", Json::Object(totals))
         .with("slo", Json::Object(slo))
+}
+
+/// Render the admission controller's state: the live AIMD limit,
+/// current pressure, shed/brownout/reject totals, and the same split
+/// per tier.
+pub fn admission_object(admission: &AdmissionController) -> JsonObject {
+    let (admitted, browned_out, rejected) = admission.totals();
+    let mut tiers = JsonObject::new();
+    for (key, tier) in admission.tier_admissions() {
+        tiers = tiers.with(
+            &key,
+            Json::Object(
+                JsonObject::new()
+                    .with_int("admitted", tier.admitted as i64)
+                    .with_int("browned_out", tier.browned_out as i64)
+                    .with_int("rejected", tier.rejected as i64),
+            ),
+        );
+    }
+    JsonObject::new()
+        .with_int("limit", admission.limit() as i64)
+        .with_int("in_flight", admission.pressure() as i64)
+        .with_int("admitted", admitted as i64)
+        .with_int("browned_out", browned_out as i64)
+        .with_int("rejected", rejected as i64)
+        .with_int("congestion_events", admission.congestion_events() as i64)
+        .with_int("limit_decreases", admission.limit_decreases() as i64)
+        .with_int("retry_after_secs", admission.retry_after_secs() as i64)
+        .with("tiers", Json::Object(tiers))
+}
+
+/// Render the rule supervisor's state: rules revision, canary flag,
+/// quarantined versions, lifetime transition counts, and the ordered
+/// transition log.
+pub fn supervisor_object(status: &SupervisorStatus) -> JsonObject {
+    let quarantined: Vec<Json> = status
+        .quarantined
+        .iter()
+        .map(|&v| Json::Int(v as i64))
+        .collect();
+    let transitions: Vec<Json> = status.log.iter().cloned().map(Json::Str).collect();
+    JsonObject::new()
+        .with_int("rules_revision", status.rules_revision as i64)
+        .with("in_canary", Json::Bool(status.in_canary))
+        .with("quarantined", Json::Array(quarantined))
+        .with_int("quarantines", status.quarantines as i64)
+        .with_int("swaps", status.swaps as i64)
+        .with_int("rollbacks", status.rollbacks as i64)
+        .with_int("commits", status.commits as i64)
+        .with_int("regen_failures", status.regen_failures as i64)
+        .with_int("windows_observed", status.windows_observed as i64)
+        .with("transitions", Json::Array(transitions))
 }
 
 #[cfg(test)]

@@ -17,7 +17,9 @@
 //! produces bit-identical `/metrics` totals regardless of thread
 //! interleaving.
 
+use parking_lot::RwLock;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use tt_core::objective::Objective;
@@ -111,6 +113,7 @@ pub fn tier_key(objective: Objective, tolerance: f64) -> String {
 
 /// One objective's deployed tiers: ascending tolerances with their
 /// telemetry sinks, plus the baseline (premium) version index.
+#[derive(Clone)]
 struct ObjectiveTiers {
     objective: Objective,
     /// `(tolerance, telemetry)` ascending by tolerance.
@@ -118,13 +121,77 @@ struct ObjectiveTiers {
     baseline_version: usize,
 }
 
+/// Build sentinel targets and tier wiring for a deployment, reusing
+/// telemetry sinks from `reuse` (matched by objective + tolerance) so
+/// a rebind keeps lifetime series continuous.
+fn build_tiers(
+    matrix: &ProfileMatrix,
+    frontend: &TieredFrontend,
+    config: &ObsConfig,
+    reuse: &[ObjectiveTiers],
+) -> (Vec<(SloTarget, Arc<TierTelemetry>)>, Vec<ObjectiveTiers>) {
+    let recycled = |objective: Objective, tolerance: f64| -> Option<Arc<TierTelemetry>> {
+        let tiers = reuse.iter().find(|t| t.objective == objective)?;
+        tiers
+            .slots
+            .iter()
+            .find(|(tol, _)| (tol - tolerance).abs() < 1e-12)
+            .map(|(_, tel)| Arc::clone(tel))
+    };
+    let mut targets = Vec::new();
+    let mut tiers = Vec::new();
+    // The frontend stores rules per objective in a hash map;
+    // sort so sentinel registration (and thus verdict order on
+    // `/metrics`) is identical across runs.
+    let mut rule_sets: Vec<&RoutingRules> = frontend.rules().collect();
+    rule_sets.sort_by_key(|r| r.objective().to_string());
+    for rules in rule_sets {
+        let guarantees = rules
+            .guarantees(matrix, config.latency_quantile)
+            .expect("deployed rules must evaluate against their own matrix");
+        let mut slots = Vec::with_capacity(guarantees.len());
+        for g in &guarantees {
+            let telemetry = recycled(g.objective, g.tolerance)
+                .unwrap_or_else(|| Arc::new(TierTelemetry::new(BucketScheme::DEFAULT)));
+            let max_latency_us =
+                (g.predicted_latency_us as f64 * config.latency_headroom.max(1.0)).ceil() as u64;
+            targets.push((
+                SloTarget {
+                    key: tier_key(g.objective, g.tolerance),
+                    max_degradation: g.tolerance,
+                    latency_quantile: g.latency_quantile,
+                    max_latency_us,
+                    min_requests: config.slo_min_requests,
+                },
+                Arc::clone(&telemetry),
+            ));
+            slots.push((g.tolerance, telemetry));
+        }
+        slots.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite tolerances"));
+        tiers.push(ObjectiveTiers {
+            objective: rules.objective(),
+            slots,
+            baseline_version: rules.baseline_version(),
+        });
+    }
+    (targets, tiers)
+}
+
 /// The service's live observability: registry, tracer, sentinel, and
 /// the per-tier telemetry the hot path feeds.
+///
+/// The sentinel and tier wiring sit behind a lock so a routing-rules
+/// hot-swap can [`Observability::rebind`] them to the new deployment's
+/// guarantees; telemetry sinks are *reused* across rebinds (matched by
+/// tier key), so lifetime series on `/metrics` never reset.
 pub struct Observability {
     registry: MetricsRegistry,
     tracer: Tracer,
-    sentinel: SloSentinel,
-    tiers: Vec<ObjectiveTiers>,
+    sentinel: RwLock<Arc<SloSentinel>>,
+    tiers: RwLock<Vec<ObjectiveTiers>>,
+    /// Windows evaluated by sentinels retired in earlier rebinds.
+    windows_carried: AtomicU64,
+    config: ObsConfig,
     started: Instant,
     // Pre-resolved hot-path handles: record without touching the
     // registry's shard locks.
@@ -161,42 +228,7 @@ impl Observability {
                 .unwrap_or_else(|_| Tracer::new(config.trace_capacity)),
             None => Tracer::new(config.trace_capacity),
         };
-        let mut targets = Vec::new();
-        let mut tiers = Vec::new();
-        // The frontend stores rules per objective in a hash map;
-        // sort so sentinel registration (and thus verdict order on
-        // `/metrics`) is identical across runs.
-        let mut rule_sets: Vec<&RoutingRules> = frontend.rules().collect();
-        rule_sets.sort_by_key(|r| r.objective().to_string());
-        for rules in rule_sets {
-            let guarantees = rules
-                .guarantees(matrix, config.latency_quantile)
-                .expect("deployed rules must evaluate against their own matrix");
-            let mut slots = Vec::with_capacity(guarantees.len());
-            for g in &guarantees {
-                let telemetry = Arc::new(TierTelemetry::new(BucketScheme::DEFAULT));
-                let max_latency_us = (g.predicted_latency_us as f64
-                    * config.latency_headroom.max(1.0))
-                .ceil() as u64;
-                targets.push((
-                    SloTarget {
-                        key: tier_key(g.objective, g.tolerance),
-                        max_degradation: g.tolerance,
-                        latency_quantile: g.latency_quantile,
-                        max_latency_us,
-                        min_requests: config.slo_min_requests,
-                    },
-                    Arc::clone(&telemetry),
-                ));
-                slots.push((g.tolerance, telemetry));
-            }
-            slots.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite tolerances"));
-            tiers.push(ObjectiveTiers {
-                objective: rules.objective(),
-                slots,
-                baseline_version: rules.baseline_version(),
-            });
-        }
+        let (targets, tiers) = build_tiers(matrix, frontend, config, &[]);
         let sentinel = SloSentinel::new(config.slo_window.as_micros().max(1) as u64, targets);
         Observability {
             requests_total: registry.counter("requests_total"),
@@ -206,10 +238,32 @@ impl Observability {
             sim_latency: registry.histogram("sim_latency_us"),
             registry,
             tracer,
-            sentinel,
-            tiers,
+            sentinel: RwLock::new(Arc::new(sentinel)),
+            tiers: RwLock::new(tiers),
+            windows_carried: AtomicU64::new(0),
+            config: config.clone(),
             started,
         }
+    }
+
+    /// Re-wire the sentinel and tier telemetry to a *new* deployment
+    /// (a routing-rules hot-swap): fresh [`SloTarget`]s from the new
+    /// rules' own guarantees, telemetry sinks reused by tier key so
+    /// lifetime `/metrics` series stay continuous, and the new
+    /// sentinel rebased to the present instant so its first window
+    /// judges only post-swap traffic.
+    pub fn rebind(&self, matrix: &ProfileMatrix, frontend: &TieredFrontend) {
+        let old_tiers = self.tiers.read().clone();
+        let (targets, tiers) = build_tiers(matrix, frontend, &self.config, &old_tiers);
+        let sentinel = SloSentinel::new(self.config.slo_window.as_micros().max(1) as u64, targets);
+        sentinel.rebase(self.now_us());
+        let carried = self.sentinel.read().windows_evaluated();
+        self.windows_carried.fetch_add(carried, Ordering::SeqCst);
+        // Publish tiers first, then the sentinel: a racing reader sees
+        // a coherent (new tiers, old sentinel) or (new, new) pairing,
+        // never a sentinel watching tiers that no longer exist.
+        *self.tiers.write() = tiers;
+        *self.sentinel.write() = Arc::new(sentinel);
     }
 
     /// The metrics registry (for `/metrics` and ad-hoc series).
@@ -223,8 +277,17 @@ impl Observability {
     }
 
     /// The SLO sentinel (for `/metrics` verdicts and `/healthz`).
-    pub fn sentinel(&self) -> &SloSentinel {
-        &self.sentinel
+    /// Returned by handle: a rules hot-swap replaces the sentinel, and
+    /// a caller holding the old handle keeps a coherent (if stale)
+    /// view instead of a dangling one.
+    pub fn sentinel(&self) -> Arc<SloSentinel> {
+        Arc::clone(&self.sentinel.read())
+    }
+
+    /// Windows evaluated across the whole service lifetime, including
+    /// sentinels retired by rules hot-swaps.
+    pub fn windows_evaluated(&self) -> u64 {
+        self.windows_carried.load(Ordering::SeqCst) + self.sentinel.read().windows_evaluated()
     }
 
     /// Microseconds since the service's monotonic anchor — the
@@ -236,12 +299,14 @@ impl Observability {
     /// Advance the sentinel; evaluates a window when one has elapsed.
     /// Called from the server's accept loop between accepts.
     pub fn tick(&self) -> bool {
-        self.sentinel.tick(self.now_us())
+        let sentinel = self.sentinel();
+        sentinel.tick(self.now_us())
     }
 
     /// The baseline (premium) version for an objective's tiers.
     pub fn baseline_version(&self, objective: Objective) -> Option<usize> {
         self.tiers
+            .read()
             .iter()
             .find(|t| t.objective == objective)
             .map(|t| t.baseline_version)
@@ -250,8 +315,9 @@ impl Observability {
     /// The telemetry sink serving a consumer-requested tolerance: the
     /// *largest* deployed tolerance not exceeding the request's (the
     /// routing tables' downward-compatibility rule).
-    pub fn telemetry(&self, objective: Objective, tolerance: f64) -> Option<&Arc<TierTelemetry>> {
-        let tiers = self.tiers.iter().find(|t| t.objective == objective)?;
+    pub fn telemetry(&self, objective: Objective, tolerance: f64) -> Option<Arc<TierTelemetry>> {
+        let tiers = self.tiers.read();
+        let tiers = tiers.iter().find(|t| t.objective == objective)?;
         let mut hit = None;
         for (tol, telemetry) in &tiers.slots {
             if *tol <= tolerance + 1e-12 {
@@ -260,14 +326,14 @@ impl Observability {
                 break;
             }
         }
-        hit
+        hit.map(Arc::clone)
     }
 
     /// Per-tier lifetime telemetry as `(key, telemetry)` pairs sorted
     /// by key — the deterministic iteration `/metrics` renders from.
     pub fn tier_telemetry(&self) -> Vec<(String, Arc<TierTelemetry>)> {
         let mut out = Vec::new();
-        for tiers in &self.tiers {
+        for tiers in self.tiers.read().iter() {
             for (tol, telemetry) in &tiers.slots {
                 out.push((tier_key(tiers.objective, *tol), Arc::clone(telemetry)));
             }
@@ -343,7 +409,7 @@ mod tests {
         // 3% tolerance is served (and watched) as the 1% tier.
         let at_1pct = obs.telemetry(Objective::Cost, 0.01).expect("1% tier");
         let at_3pct = obs.telemetry(Objective::Cost, 0.03).expect("3% lookup");
-        assert!(Arc::ptr_eq(at_1pct, at_3pct));
+        assert!(Arc::ptr_eq(&at_1pct, &at_3pct));
         at_3pct.record(1_000, 0.1, 0.1, false);
         assert_eq!(at_1pct.requests(), 1);
     }
@@ -370,6 +436,32 @@ mod tests {
         let tier = obs.telemetry(Objective::Cost, 0.05).unwrap();
         assert_eq!(tier.requests(), 1);
         assert_eq!(tier.degraded(), 1);
+    }
+
+    #[test]
+    fn rebind_reuses_telemetry_and_carries_window_counts() {
+        let matrix = demo_matrix(120, 5);
+        let frontend = demo_frontend(&matrix, 5);
+        let obs = Observability::new(&matrix, &frontend, &ObsConfig::defaults(), Instant::now());
+        let before = obs.telemetry(Objective::Cost, 0.05).unwrap();
+        before.record(1_000, 0.1, 0.1, false);
+        obs.sentinel().force_tick(obs.now_us());
+        obs.sentinel().force_tick(obs.now_us());
+        assert_eq!(obs.windows_evaluated(), 2);
+
+        obs.rebind(&matrix, &frontend);
+        // Same tier key → same sink: lifetime series continue.
+        let after = obs.telemetry(Objective::Cost, 0.05).unwrap();
+        assert!(Arc::ptr_eq(&before, &after));
+        assert_eq!(after.requests(), 1);
+        // The retired sentinel's windows are carried, the new sentinel
+        // starts unevaluated and judges only post-rebind traffic.
+        assert_eq!(obs.windows_evaluated(), 2);
+        assert!(obs.sentinel().verdicts().iter().all(|v| !v.evaluated));
+        obs.sentinel().force_tick(obs.now_us());
+        assert_eq!(obs.windows_evaluated(), 3);
+        let verdicts = obs.sentinel().verdicts();
+        assert!(verdicts.iter().all(|v| v.window_requests == 0));
     }
 
     #[test]

@@ -25,17 +25,18 @@
 //! `POST /drain`. The accept loop doubles as the sentinel's heartbeat:
 //! idle polls tick the sliding SLO window.
 
-use crate::http::{read_request, write_response, Limits, Request};
-use crate::metrics::metrics_document;
+use crate::admission::AdmissionDecision;
+use crate::http::{read_request, write_response, write_response_with, Limits, Request};
+use crate::metrics::{admission_object, metrics_document, supervisor_object};
 use crate::service::{ComputeService, ServiceError};
 use crate::stats::stats_document;
 use parking_lot::Mutex;
-use std::io::{self, BufReader};
+use std::io::{self, BufReader, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
-use tt_bench::perfjson::JsonObject;
+use std::time::{Duration, Instant};
+use tt_bench::perfjson::{Json, JsonObject};
 use tt_core::TaskPool;
 use tt_serve::frontend::parse_annotations;
 
@@ -51,6 +52,11 @@ pub struct ServerConfig {
     pub backlog: usize,
     /// Idle keep-alive connections are closed after this long.
     pub keep_alive_timeout: Duration,
+    /// Hard ceiling on reading a single request. A peer may idle
+    /// between requests (bounded by `keep_alive_timeout`), but once
+    /// bytes of a request start arriving the whole head+body must
+    /// complete within this window — the slow-loris defense.
+    pub request_deadline: Duration,
 }
 
 impl Default for ServerConfig {
@@ -60,6 +66,7 @@ impl Default for ServerConfig {
             http_workers: 4,
             backlog: 64,
             keep_alive_timeout: Duration::from_secs(2),
+            request_deadline: Duration::from_secs(10),
         }
     }
 }
@@ -139,8 +146,14 @@ impl Server {
                 Ok((stream, _peer)) => self.dispatch(&pool, stream),
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                     // Idle: advance the SLO sentinel's sliding window.
+                    // A window roll is also the control-loop heartbeat:
+                    // the admission limiter ticks its AIMD epoch and
+                    // the supervisor judges the window that just
+                    // closed.
                     if let Some(obs) = self.service.observability() {
-                        obs.tick();
+                        if obs.tick() {
+                            self.service.on_window();
+                        }
                     }
                     std::thread::sleep(Duration::from_millis(2));
                 }
@@ -176,6 +189,9 @@ impl Server {
         let _ = stream.set_nonblocking(false);
         let _ = stream.set_nodelay(true);
         let _ = stream.set_read_timeout(Some(self.config.keep_alive_timeout));
+        // Writes are bounded too: a peer that stops draining its
+        // receive window cannot pin a worker forever.
+        let _ = stream.set_write_timeout(Some(self.config.keep_alive_timeout));
 
         // The connection rides to the worker inside a shared slot so
         // that, if the pool refuses the task, the accept loop can take
@@ -186,21 +202,29 @@ impl Server {
             let service = Arc::clone(&self.service);
             let shutdown = Arc::clone(&self.shutdown);
             let limits = self.config.limits;
+            let keep_alive = self.config.keep_alive_timeout;
+            let deadline = self.config.request_deadline;
             move || {
                 if let Some(stream) = slot.lock().take() {
-                    handle_connection(&service, &limits, &shutdown, stream);
+                    handle_connection(&service, &limits, &shutdown, stream, keep_alive, deadline);
                 }
             }
         };
         if let Err(refused) = pool.try_execute(task) {
             drop(refused);
+            // Front-door saturation is a congestion signal for the
+            // AIMD admission limiter, and the shed carries the same
+            // Retry-After hint as an admission 429.
+            self.service.admission().on_congestion();
             if let Some(mut stream) = slot.lock().take() {
                 let body = error_body("server saturated, retry later");
-                let _ = write_response(
+                let retry_after = self.service.admission().retry_after_secs().to_string();
+                let _ = write_response_with(
                     &mut stream,
                     503,
                     "Service Unavailable",
                     "application/json",
+                    &[("Retry-After", retry_after)],
                     body.as_bytes(),
                     false,
                 );
@@ -259,6 +283,7 @@ pub(crate) struct Reply {
     pub reason: &'static str,
     pub content_type: &'static str,
     pub body: String,
+    pub headers: Vec<(&'static str, String)>,
 }
 
 impl Reply {
@@ -268,7 +293,50 @@ impl Reply {
             reason,
             content_type: "application/json",
             body,
+            headers: Vec::new(),
         }
+    }
+
+    fn with_header(mut self, name: &'static str, value: String) -> Reply {
+        self.headers.push((name, value));
+        self
+    }
+
+    #[cfg(test)]
+    pub(crate) fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// A [`Read`] adapter enforcing a wall-clock deadline on top of a
+/// [`TcpStream`]: before each read the socket timeout is clamped to
+/// whatever remains of the deadline, so a peer trickling one byte at a
+/// time (slow loris) cannot hold a worker past
+/// [`ServerConfig::request_deadline`]. The deadline is re-armed after
+/// every completed request, so long-lived keep-alive connections are
+/// bounded per request, not per connection.
+struct DeadlineStream {
+    inner: TcpStream,
+    deadline: Instant,
+    keep_alive: Duration,
+}
+
+impl Read for DeadlineStream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let remaining = self.deadline.saturating_duration_since(Instant::now());
+        if remaining.is_zero() {
+            return Err(io::Error::new(
+                io::ErrorKind::TimedOut,
+                "request deadline exceeded",
+            ));
+        }
+        let _ = self
+            .inner
+            .set_read_timeout(Some(remaining.min(self.keep_alive)));
+        self.inner.read(buf)
     }
 }
 
@@ -283,9 +351,15 @@ fn handle_connection(
     limits: &Limits,
     shutdown: &AtomicBool,
     stream: TcpStream,
+    keep_alive_timeout: Duration,
+    request_deadline: Duration,
 ) {
     let mut reader = match stream.try_clone() {
-        Ok(clone) => BufReader::new(clone),
+        Ok(clone) => BufReader::new(DeadlineStream {
+            inner: clone,
+            deadline: Instant::now() + request_deadline,
+            keep_alive: keep_alive_timeout,
+        }),
         Err(_) => return,
     };
     let mut writer = stream;
@@ -300,11 +374,12 @@ fn handle_connection(
                 } else {
                     reply.body.as_bytes()
                 };
-                if write_response(
+                if write_response_with(
                     &mut writer,
                     reply.status,
                     reply.reason,
                     reply.content_type,
+                    &reply.headers,
                     body,
                     keep_alive,
                 )
@@ -313,6 +388,8 @@ fn handle_connection(
                 {
                     return;
                 }
+                // The next request gets a fresh deadline.
+                reader.get_mut().deadline = Instant::now() + request_deadline;
             }
             Err(err) => {
                 // Parse errors map to their status when the peer is
@@ -386,6 +463,9 @@ pub(crate) fn route(service: &ComputeService, shutdown: &AtomicBool, request: &R
 /// `503` naming the out-of-contract tiers once the SLO sentinel rules
 /// otherwise.
 fn healthz(service: &ComputeService) -> Reply {
+    let canary = service
+        .supervisor_status()
+        .is_some_and(|status| status.in_canary);
     let violations = service
         .observability()
         .map(|obs| obs.sentinel().violations())
@@ -395,19 +475,22 @@ fn healthz(service: &ComputeService) -> Reply {
             status: 200,
             reason: "OK",
             content_type: "text/plain",
-            body: "ok\n".to_string(),
+            body: if canary {
+                "ok (canary rules active)\n".to_string()
+            } else {
+                "ok\n".to_string()
+            },
+            headers: Vec::new(),
         };
     }
-    let tiers: Vec<tt_bench::perfjson::Json> = violations
-        .into_iter()
-        .map(tt_bench::perfjson::Json::Str)
-        .collect();
+    let tiers: Vec<Json> = violations.into_iter().map(Json::Str).collect();
     Reply::json(
         503,
         "Service Unavailable",
         JsonObject::new()
             .with_str("status", "degraded")
-            .with("violations", tt_bench::perfjson::Json::Array(tiers))
+            .with("violations", Json::Array(tiers))
+            .with("canary", Json::Bool(canary))
             .render(),
     )
 }
@@ -416,17 +499,23 @@ fn healthz(service: &ComputeService) -> Reply {
 /// verdicts in the perfjson dialect.
 fn metrics(service: &ComputeService) -> Reply {
     let uptime_ms = service.started().elapsed().as_millis() as u64;
-    match service.observability() {
-        Some(obs) => Reply::json(200, "OK", metrics_document(obs, uptime_ms).render()),
-        None => Reply::json(
-            200,
-            "OK",
-            JsonObject::new()
-                .with_str("service", "toltiers")
-                .with("observability", tt_bench::perfjson::Json::Bool(false))
-                .render(),
-        ),
+    let base = match service.observability() {
+        Some(obs) => metrics_document(obs, uptime_ms),
+        None => JsonObject::new()
+            .with_str("service", "toltiers")
+            .with("observability", Json::Bool(false)),
+    };
+    // The control loops report regardless of observability: admission
+    // always runs, and the supervisor subtree appears whenever a
+    // supervisor is configured.
+    let mut doc = base.with(
+        "admission",
+        Json::Object(admission_object(service.admission())),
+    );
+    if let Some(status) = service.supervisor_status() {
+        doc = doc.with("supervisor", Json::Object(supervisor_object(&status)));
     }
+    Reply::json(200, "OK", doc.render())
 }
 
 /// `GET /trace/recent`: the tracer's ring of finished request traces,
@@ -539,23 +628,57 @@ fn compute(service: &ComputeService, request: &Request) -> Reply {
     close_parse(None);
 
     let service_request = tt_core::request::ServiceRequest::new(payload, tolerance, objective);
-    match service.execute_traced(&service_request, handle.as_ref()) {
+
+    // Admission runs before execution: under pressure, high-tolerance
+    // requests are first browned out onto a cheaper plan and only then
+    // rejected; strict tiers are always admitted. The decision comes
+    // first so a rejected request never counts against the limit, then
+    // the in-flight guard covers the whole execution.
+    let decision = service.admit(&service_request);
+    if let AdmissionDecision::Reject { retry_after_secs } = decision {
+        let mut body = JsonObject::new().with_str("error", "overloaded, retry later");
+        if let Some(h) = handle.as_ref() {
+            body = body.with_int("request_id", h.request_id() as i64);
+        }
+        return finish(
+            Reply::json(429, "Too Many Requests", body.render())
+                .with_header("Retry-After", retry_after_secs.to_string()),
+        );
+    }
+    let brownout = match decision {
+        AdmissionDecision::Brownout {
+            policy,
+            billed_tolerance,
+            level,
+        } => Some((policy, billed_tolerance, level)),
+        _ => None,
+    };
+    let _in_flight = service.admission().begin();
+    match service.execute_shaped(&service_request, brownout, handle.as_ref()) {
         Ok(outcome) => {
             let mut body = JsonObject::new()
                 .with_str("answered_by", &outcome.version_name)
                 .with_int("version", outcome.answered_by as i64)
                 .with_int("payload", payload as i64)
                 .with_num("tolerance", tolerance.value())
+                .with_num("billed_tolerance", outcome.billed_tolerance)
                 .with_str("objective", &objective.to_string())
                 .with_num("quality_err", outcome.quality_err)
                 .with_num("confidence", outcome.confidence)
                 .with_int("latency_us", outcome.simulated_latency_us as i64)
                 .with_num("price_usd", outcome.price.as_dollars())
-                .with("degraded", tt_bench::perfjson::Json::Bool(outcome.degraded));
+                .with("degraded", Json::Bool(outcome.degraded));
+            if let Some(level) = outcome.brownout {
+                body = body.with_str("brownout", level.label());
+            }
             if let Some(h) = handle.as_ref() {
                 body = body.with_int("request_id", h.request_id() as i64);
             }
-            finish(Reply::json(200, "OK", body.render()))
+            let mut reply = Reply::json(200, "OK", body.render());
+            if let Some(level) = outcome.brownout {
+                reply = reply.with_header("Brownout", level.label().to_string());
+            }
+            finish(reply)
         }
         Err(ServiceError::Unavailable) => {
             let mut body =
@@ -563,7 +686,12 @@ fn compute(service: &ComputeService, request: &Request) -> Reply {
             if let Some(h) = handle.as_ref() {
                 body = body.with_int("request_id", h.request_id() as i64);
             }
-            finish(Reply::json(503, "Service Unavailable", body.render()))
+            finish(
+                Reply::json(503, "Service Unavailable", body.render()).with_header(
+                    "Retry-After",
+                    service.admission().retry_after_secs().to_string(),
+                ),
+            )
         }
     }
 }
@@ -777,6 +905,78 @@ mod tests {
         assert!(reply.body.contains("cost/0.050"), "{}", reply.body);
         let metrics = route(&service, &off, &req("GET", "/metrics", &[], b""));
         assert!(metrics.body.contains("\"in_contract\": false"));
+    }
+
+    #[test]
+    fn overload_rejects_tolerant_tiers_with_retry_after_but_admits_strict() {
+        use crate::admission::AdmissionConfig;
+        let service = Arc::new(demo_service(
+            60,
+            9,
+            ServiceConfig {
+                admission: AdmissionConfig {
+                    initial_limit: 1,
+                    min_limit: 1,
+                    ..AdmissionConfig::defaults()
+                },
+                ..ServiceConfig::defaults()
+            },
+        ));
+        let off = AtomicBool::new(false);
+        // Saturate: hold enough in-flight guards that pressure clears
+        // limit * reject_factor.
+        let _held: Vec<_> = (0..4).map(|_| service.admission().begin()).collect();
+        let rejected = route(
+            &service,
+            &off,
+            &req(
+                "POST",
+                "/compute",
+                &[
+                    ("Tolerance", "0.10"),
+                    ("Objective", "cost"),
+                    ("Payload", "2"),
+                ],
+                b"",
+            ),
+        );
+        assert_eq!(rejected.status, 429, "{}", rejected.body);
+        assert!(rejected.header("Retry-After").is_some());
+        assert!(rejected.body.contains("overloaded"));
+        // The strict default tier is protected: same pressure, served.
+        let strict = route(
+            &service,
+            &off,
+            &req("POST", "/compute", &[("Payload", "2")], b""),
+        );
+        assert_eq!(strict.status, 200, "{}", strict.body);
+        let (_admitted, _browned, rejected_total) = service.admission().totals();
+        assert_eq!(rejected_total, 1);
+    }
+
+    #[test]
+    fn metrics_include_the_control_loop_subtrees() {
+        let service = svc();
+        let off = AtomicBool::new(false);
+        let reply = route(&service, &off, &req("GET", "/metrics", &[], b""));
+        assert_eq!(reply.status, 200);
+        assert!(reply.body.contains("\"admission\""), "{}", reply.body);
+        assert!(reply.body.contains("\"limit\""));
+        assert!(reply.body.contains("\"supervisor\""));
+        assert!(reply.body.contains("\"rules_revision\": 1"));
+        // Disabled observability still reports the control loops.
+        let bare = Arc::new(demo_service(
+            60,
+            9,
+            ServiceConfig {
+                obs: crate::obs::ObsConfig::disabled(),
+                ..ServiceConfig::defaults()
+            },
+        ));
+        let reply = route(&bare, &off, &req("GET", "/metrics", &[], b""));
+        assert!(reply.body.contains("\"observability\": false"));
+        assert!(reply.body.contains("\"admission\""));
+        assert!(reply.body.contains("\"supervisor\""));
     }
 
     #[test]

@@ -16,20 +16,25 @@
 //! identical per-tier billed totals on every run regardless of thread
 //! scheduling.
 
+use crate::admission::{AdmissionConfig, AdmissionController, AdmissionDecision, BrownoutLevel};
 use crate::obs::{ObsConfig, Observability};
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 use tt_core::policy::{Policy, Scheduling, Termination};
 use tt_core::profile::ProfileMatrix;
 use tt_core::request::ServiceRequest;
+use tt_core::rulegen::{RoutingRuleGenerator, RoutingRules};
 use tt_obs::TraceHandle;
 use tt_serve::billing::{BillingReport, TierEconomics, TierPriceSchedule};
 use tt_serve::frontend::TieredFrontend;
 use tt_serve::live::{ModelCall, WorkerPool};
 use tt_serve::resilience::{BreakerPolicy, CircuitBreaker, ResilienceStats, RetryPolicy};
+use tt_serve::supervisor::{
+    Supervisor, SupervisorAction, SupervisorConfig, VersionWindow, WindowObservation,
+};
 use tt_serve::trace::{TraceEvent, TraceRecorder};
 use tt_sim::{CostLedger, FaultOutcome, FaultPlan, InstanceType, Money, SimDuration, SimTime};
 
@@ -54,6 +59,12 @@ pub struct ServiceConfig {
     pub model_workers: usize,
     /// Observability wiring: metrics registry, tracer, SLO sentinel.
     pub obs: ObsConfig,
+    /// Tier-aware adaptive admission: AIMD concurrency limiter plus
+    /// the brownout plan table.
+    pub admission: AdmissionConfig,
+    /// The self-healing rule supervisor; `None` disables closed-loop
+    /// quarantine / rule-swap / rollback.
+    pub supervisor: Option<SupervisorSetup>,
 }
 
 impl ServiceConfig {
@@ -72,6 +83,38 @@ impl ServiceConfig {
             latency_scale: 0.0,
             model_workers: 4,
             obs: ObsConfig::defaults(),
+            admission: AdmissionConfig::defaults(),
+            supervisor: Some(SupervisorSetup::defaults()),
+        }
+    }
+}
+
+/// How the service turns a [`SupervisorAction`] into new routing
+/// rules: the automaton's thresholds plus the rule-regeneration knobs.
+#[derive(Debug, Clone)]
+pub struct SupervisorSetup {
+    /// The automaton's thresholds and horizons.
+    pub policy: SupervisorConfig,
+    /// Confidence handed to [`RoutingRuleGenerator`] when regenerating
+    /// rules over the surviving versions.
+    pub rulegen_confidence: f64,
+    /// Base seed for regeneration; with a fixed seed the regenerated
+    /// rules are bit-identical at every thread count.
+    pub rulegen_seed: u64,
+    /// Worker threads for regeneration (`0` = one per hardware
+    /// thread).
+    pub rulegen_threads: usize,
+}
+
+impl SupervisorSetup {
+    /// Conservative defaults: the automaton's defaults, 0.95 bootstrap
+    /// confidence, a fixed seed, all available threads.
+    pub fn defaults() -> Self {
+        SupervisorSetup {
+            policy: SupervisorConfig::defaults(),
+            rulegen_confidence: 0.95,
+            rulegen_seed: 17,
+            rulegen_threads: 0,
         }
     }
 }
@@ -112,6 +155,12 @@ pub struct ComputeOutcome {
     pub policy: Policy,
     /// Whether faults/sheds forced an answer the policy did not intend.
     pub degraded: bool,
+    /// The tolerance tier the request was billed at — differs from the
+    /// declared tolerance only under a looser-tier brownout.
+    pub billed_tolerance: f64,
+    /// The brownout rung that produced the serving plan, when the
+    /// request was browned out under pressure.
+    pub brownout: Option<BrownoutLevel>,
 }
 
 /// Aggregate view for `/stats` and tests.
@@ -151,10 +200,78 @@ struct StageOutcome {
 
 type StageCall = ModelCall<Result<usize, ()>>;
 
+/// Lock-free per-version health: lifetime counters the supervisor
+/// differences into per-window readings, plus the quarantine flags the
+/// execution path consults before every invocation.
+#[derive(Debug)]
+struct VersionHealth {
+    quarantined: Vec<AtomicBool>,
+    attempts: Vec<AtomicU64>,
+    failures: Vec<AtomicU64>,
+    sheds: Vec<AtomicU64>,
+}
+
+impl VersionHealth {
+    fn new(versions: usize) -> Self {
+        VersionHealth {
+            quarantined: (0..versions).map(|_| AtomicBool::new(false)).collect(),
+            attempts: (0..versions).map(|_| AtomicU64::new(0)).collect(),
+            failures: (0..versions).map(|_| AtomicU64::new(0)).collect(),
+            sheds: (0..versions).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+}
+
+/// Mutable supervisor state behind one lock: the automaton, the rules
+/// a rollback restores, last-seen health counters (for per-window
+/// deltas), and the decision log.
+struct SupervisorRuntime {
+    automaton: Supervisor,
+    setup: SupervisorSetup,
+    /// The rules that were live before the current canary's swap.
+    saved_rules: Option<Vec<RoutingRules>>,
+    last_attempts: Vec<u64>,
+    last_failures: Vec<u64>,
+    last_sheds: Vec<u64>,
+    quarantines: u64,
+    swaps: u64,
+    rollbacks: u64,
+    commits: u64,
+    regen_failures: u64,
+    log: Vec<String>,
+}
+
+/// Live supervisor facts for `/metrics` and tests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SupervisorStatus {
+    /// Monotonic revision of the live routing rules (1 at startup,
+    /// bumped by every hot-swap).
+    pub rules_revision: u64,
+    /// Whether a canary swap is being judged right now.
+    pub in_canary: bool,
+    /// Versions currently quarantined, ascending.
+    pub quarantined: Vec<usize>,
+    /// Quarantine decisions executed (rules regenerated and swapped).
+    pub quarantines: u64,
+    /// Successful rule hot-swaps (quarantine canaries installed).
+    pub swaps: u64,
+    /// Canaries rolled back because SLO violations worsened.
+    pub rollbacks: u64,
+    /// Canaries committed.
+    pub commits: u64,
+    /// Quarantines abandoned because rule regeneration failed.
+    pub regen_failures: u64,
+    /// Sentinel windows the automaton has judged.
+    pub windows_observed: u64,
+    /// Human-readable transition log, oldest first.
+    pub log: Vec<String>,
+}
+
 /// The tiered compute service.
 pub struct ComputeService {
     matrix: Arc<ProfileMatrix>,
-    frontend: TieredFrontend,
+    /// The live routing rules; the supervisor hot-swaps them.
+    frontend: RwLock<TieredFrontend>,
     config: ServiceConfig,
     pool: WorkerPool<Result<usize, ()>>,
     breakers: Arc<Mutex<Vec<CircuitBreaker>>>,
@@ -162,6 +279,10 @@ pub struct ComputeService {
     stats: Arc<Mutex<ResilienceStats>>,
     state: Mutex<Ledgered>,
     obs: Option<Arc<Observability>>,
+    admission: Arc<AdmissionController>,
+    health: Arc<VersionHealth>,
+    supervisor: Option<Mutex<SupervisorRuntime>>,
+    rules_revision: AtomicU64,
     served: AtomicUsize,
     started: Instant,
     /// Versions by ascending mean profiled latency ("cheaper" first).
@@ -184,7 +305,7 @@ impl ComputeService {
     /// # Panics
     ///
     /// Panics if a configured fault plan does not cover every version,
-    /// or the retry policy is invalid.
+    /// or the retry, admission, or supervisor policies are invalid.
     pub fn new(
         matrix: Arc<ProfileMatrix>,
         frontend: TieredFrontend,
@@ -229,6 +350,24 @@ impl ComputeService {
             Some(retain) => TraceRecorder::bounded(retain),
             None => TraceRecorder::new(),
         };
+        let admission = Arc::new(AdmissionController::new(config.admission));
+        admission.rebuild_plans(&matrix, frontend.rules(), config.obs.latency_quantile);
+        let supervisor = config.supervisor.clone().map(|setup| {
+            Mutex::new(SupervisorRuntime {
+                automaton: Supervisor::new(setup.policy, versions),
+                setup,
+                saved_rules: None,
+                last_attempts: vec![0; versions],
+                last_failures: vec![0; versions],
+                last_sheds: vec![0; versions],
+                quarantines: 0,
+                swaps: 0,
+                rollbacks: 0,
+                commits: 0,
+                regen_failures: 0,
+                log: Vec::new(),
+            })
+        });
         ComputeService {
             pool: WorkerPool::new(config.model_workers.max(1)),
             breakers: Arc::new(Mutex::new(breakers)),
@@ -239,12 +378,16 @@ impl ComputeService {
                 ..Ledgered::default()
             }),
             obs,
+            admission,
+            health: Arc::new(VersionHealth::new(versions)),
+            supervisor,
+            rules_revision: AtomicU64::new(1),
             served: AtomicUsize::new(0),
             started,
             version_order,
             instance: InstanceType::cpu_node(),
             matrix,
-            frontend,
+            frontend: RwLock::new(frontend),
             config,
         }
     }
@@ -254,9 +397,22 @@ impl ComputeService {
         &self.matrix
     }
 
-    /// The deployed frontend.
-    pub fn frontend(&self) -> &TieredFrontend {
-        &self.frontend
+    /// A clone of the live routing frontend. The supervisor may
+    /// hot-swap the rules; the clone reflects the state at call time.
+    pub fn frontend(&self) -> TieredFrontend {
+        self.frontend.read().clone()
+    }
+
+    /// The adaptive admission controller: pressure guard, AIMD window
+    /// ticks, shed/brownout tallies.
+    pub fn admission(&self) -> &Arc<AdmissionController> {
+        &self.admission
+    }
+
+    /// Monotonic revision of the live routing rules (1 at startup,
+    /// bumped by every supervisor hot-swap).
+    pub fn rules_revision(&self) -> u64 {
+        self.rules_revision.load(Ordering::SeqCst)
     }
 
     /// The price schedule requests are billed against.
@@ -285,11 +441,21 @@ impl ComputeService {
     }
 
     fn allows(&self, version: usize) -> bool {
+        if self.health.quarantined[version].load(Ordering::SeqCst) {
+            return false;
+        }
         let mut breakers = self.breakers.lock();
         match breakers.get_mut(version) {
             Some(b) => b.allows(self.now()),
             None => true,
         }
+    }
+
+    /// Account one shed: demand a version's breaker (or quarantine)
+    /// turned away — the supervisor's failure-by-proxy signal.
+    fn shed(&self, version: usize) {
+        self.stats.lock().breaker_sheds += 1;
+        self.health.sheds[version].fetch_add(1, Ordering::SeqCst);
     }
 
     /// Build one model invocation: an optionally-slept table lookup
@@ -310,8 +476,10 @@ impl ComputeService {
         let faults = self.faults.clone();
         let breakers = Arc::clone(&self.breakers);
         let stats = Arc::clone(&self.stats);
+        let health = Arc::clone(&self.health);
         let started = self.started;
         Box::new(move || {
+            health.attempts[version].fetch_add(1, Ordering::SeqCst);
             let call_span = span.as_ref().map(|(handle, parent, attempt)| {
                 let wall_us = started.elapsed().as_micros() as u64;
                 let id = handle.open("model_call", Some(*parent), wall_us);
@@ -351,12 +519,14 @@ impl ComputeService {
                     sleep(at_fraction);
                     record(false);
                     stats.lock().failed_invocations += 1;
+                    health.failures[version].fetch_add(1, Ordering::SeqCst);
                     ((Err(()), 0.0), "crash")
                 }
                 FaultOutcome::Transient => {
                     sleep(1.0);
                     record(false);
                     stats.lock().failed_invocations += 1;
+                    health.failures[version].fetch_add(1, Ordering::SeqCst);
                     ((Err(()), 0.0), "transient")
                 }
             };
@@ -466,7 +636,7 @@ impl ComputeService {
         match policy {
             Policy::Single { version } => {
                 if !self.allows(version) {
-                    self.stats.lock().breaker_sheds += 1;
+                    self.shed(version);
                     if let Some((handle, parent)) = span {
                         handle.attr_str(parent, "breaker", "shed");
                     }
@@ -514,7 +684,7 @@ impl ComputeService {
                 for (version, gate) in stages {
                     last = version;
                     if !self.allows(version) {
-                        self.stats.lock().breaker_sheds += 1;
+                        self.shed(version);
                         continue;
                     }
                     if let Ok(confidence) = self.run_stage(version, payload, &mut out, span) {
@@ -558,7 +728,7 @@ impl ComputeService {
         let accurate_lat = self.matrix.get(payload, accurate).latency_us;
         let cheap_allowed = self.allows(cheap);
         if !cheap_allowed {
-            self.stats.lock().breaker_sheds += 1;
+            self.shed(cheap);
         }
 
         if scheduling == Scheduling::Concurrent && cheap_allowed && self.allows(accurate) {
@@ -629,7 +799,7 @@ impl ComputeService {
             }
         }
         if !self.allows(accurate) {
-            self.stats.lock().breaker_sheds += 1;
+            self.shed(accurate);
         } else if self.run_stage(accurate, payload, &mut out, span).is_ok() {
             // Escalation to the accurate version is the policy's own
             // intended path, never a degradation.
@@ -671,6 +841,27 @@ impl ComputeService {
         request: &ServiceRequest,
         trace: Option<&TraceHandle>,
     ) -> Result<ComputeOutcome, ServiceError> {
+        self.execute_shaped(request, None, trace)
+    }
+
+    /// [`ComputeService::execute_traced`] under an admission verdict:
+    /// when `brownout` is `Some((policy, billed_tolerance, level))`,
+    /// the request is served on that substitute plan instead of the
+    /// frontend's route, and billed — in the ledger, the per-tier
+    /// economics, and the per-tier telemetry — at the tier actually
+    /// served. The declared tolerance still governs the
+    /// degradation-violation check: a brownout never loosens the
+    /// customer's contract, only the plan used to honor it.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Unavailable`] when no version could answer.
+    pub fn execute_shaped(
+        &self,
+        request: &ServiceRequest,
+        brownout: Option<(Policy, f64, BrownoutLevel)>,
+        trace: Option<&TraceHandle>,
+    ) -> Result<ComputeOutcome, ServiceError> {
         let arrival = self.now();
         {
             let mut stats = self.stats.lock();
@@ -692,12 +883,21 @@ impl ComputeService {
 
         let route_span = span
             .map(|(handle, parent)| (handle, handle.open("route", Some(parent), self.wall_us())));
-        let policy = self.frontend.route(request);
+        let (policy, billed_tolerance) = match brownout {
+            Some((policy, billed, _)) => (policy, billed),
+            None => (
+                self.frontend.read().route(request),
+                request.tolerance.value(),
+            ),
+        };
         policy
             .validate(self.matrix.versions())
             .expect("frontend produced a valid policy");
         if let Some((handle, id)) = route_span {
             handle.attr_str(id, "policy", format!("{policy:?}"));
+            if let Some((_, _, level)) = brownout {
+                handle.attr_str(id, "brownout", level.label());
+            }
             handle.close(id, self.wall_us());
         }
 
@@ -728,7 +928,7 @@ impl ComputeService {
             }
         }
 
-        let price = self.config.schedule.price_for(request.tolerance.value());
+        let price = self.config.schedule.price_for(billed_tolerance);
         let responded = arrival + SimDuration::from_micros(stage.sim_latency_us);
         let bill_span = span.map(|(handle, parent)| {
             let id = handle.open("bill", Some(parent), self.wall_us());
@@ -751,14 +951,14 @@ impl ComputeService {
             state.trace.record(TraceEvent {
                 arrival,
                 responded,
-                tolerance: request.tolerance.value(),
+                tolerance: billed_tolerance,
                 objective: request.objective,
                 answered_by: stage.answered_by,
                 quality_err,
             });
             let key = (
                 request.objective.to_string(),
-                (request.tolerance.value() * 1000.0).round() as u32,
+                (billed_tolerance * 1000.0).round() as u32,
             );
             let slot = state.tiers.entry(key).or_insert(TierEconomics {
                 requests: 0,
@@ -777,7 +977,7 @@ impl ComputeService {
                 .unwrap_or(quality_err);
             live.record_served(&crate::obs::ServedSample {
                 objective: request.objective,
-                tolerance: request.tolerance.value(),
+                tolerance: billed_tolerance,
                 sim_latency_us: stage.sim_latency_us,
                 quality_err,
                 baseline_err,
@@ -789,6 +989,9 @@ impl ComputeService {
         if let Some((handle, id)) = span {
             handle.attr_int(id, "answered_by", stage.answered_by as i64);
             handle.attr_int(id, "sim_latency_us", stage.sim_latency_us as i64);
+            if let Some((_, _, level)) = brownout {
+                handle.attr_str(id, "brownout", level.label());
+            }
             if stage.degraded {
                 handle.attr_str(id, "outcome", "degraded");
             }
@@ -804,6 +1007,201 @@ impl ComputeService {
             price,
             policy,
             degraded: stage.degraded,
+            billed_tolerance,
+            brownout: brownout.map(|(_, _, level)| level),
+        })
+    }
+
+    /// Decide a request's fate at the current pressure reading. The
+    /// caller turns `Reject` into `429 Retry-After` and hands
+    /// `Brownout` plans to [`ComputeService::execute_shaped`].
+    pub fn admit(&self, request: &ServiceRequest) -> AdmissionDecision {
+        self.admission
+            .decide(request.objective, request.tolerance.value())
+    }
+
+    /// Close one sentinel window for both control loops: the AIMD
+    /// limit update and one supervisor judgement. The server's accept
+    /// loop calls this when the sentinel window rolls; deterministic
+    /// tests drive it directly.
+    pub fn on_window(&self) {
+        self.admission.on_window_tick();
+        self.supervise();
+    }
+
+    /// Feed the supervisor one window of evidence and execute whatever
+    /// action comes back.
+    fn supervise(&self) {
+        let Some(runtime) = &self.supervisor else {
+            return;
+        };
+        let mut rt = runtime.lock();
+        let versions = self.matrix.versions();
+        let mut windows = Vec::with_capacity(versions);
+        for v in 0..versions {
+            let attempts = self.health.attempts[v].load(Ordering::SeqCst);
+            let failures = self.health.failures[v].load(Ordering::SeqCst);
+            let sheds = self.health.sheds[v].load(Ordering::SeqCst);
+            windows.push(VersionWindow {
+                attempts: attempts - rt.last_attempts[v],
+                failures: failures - rt.last_failures[v],
+                sheds: sheds - rt.last_sheds[v],
+            });
+            rt.last_attempts[v] = attempts;
+            rt.last_failures[v] = failures;
+            rt.last_sheds[v] = sheds;
+        }
+        let violations = self.obs.as_ref().map_or(0, |o| {
+            o.sentinel()
+                .verdicts()
+                .iter()
+                .filter(|v| v.evaluated && !v.in_contract)
+                .count() as u32
+        });
+        let action = rt.automaton.observe(&WindowObservation {
+            violations,
+            versions: windows,
+        });
+        match action {
+            SupervisorAction::None => {}
+            SupervisorAction::Quarantine { version } => self.execute_quarantine(&mut rt, version),
+            SupervisorAction::Commit => {
+                rt.saved_rules = None;
+                rt.commits += 1;
+                self.note_transition(&mut rt, "commit", None);
+            }
+            SupervisorAction::Rollback { version } => self.execute_rollback(&mut rt, version),
+        }
+    }
+
+    /// Execute a quarantine decision: regenerate routing rules over
+    /// the surviving versions, remap them to full-deployment indices,
+    /// and hot-swap them in as a canary. A regeneration failure aborts
+    /// the quarantine (the automaton withdraws it and cools down) —
+    /// the service keeps serving on the unchanged rules.
+    fn execute_quarantine(&self, rt: &mut SupervisorRuntime, version: usize) {
+        let excluded: Vec<usize> = rt.automaton.quarantined().collect();
+        let current: Vec<RoutingRules> = {
+            let fe = self.frontend.read();
+            let mut rules: Vec<RoutingRules> = fe.rules().cloned().collect();
+            rules.sort_by_key(|r| r.objective().to_string());
+            rules
+        };
+        match self.regenerate(rt, &excluded, &current) {
+            Some(rules) => {
+                self.health.quarantined[version].store(true, Ordering::SeqCst);
+                rt.saved_rules = Some(current);
+                self.install(TieredFrontend::new(rules));
+                rt.quarantines += 1;
+                rt.swaps += 1;
+                self.note_transition(rt, "quarantine", Some(version));
+            }
+            None => {
+                rt.automaton.abort_canary();
+                rt.regen_failures += 1;
+                let window = rt.automaton.windows_observed();
+                rt.log
+                    .push(format!("window {window} regen-failed v{version}"));
+            }
+        }
+    }
+
+    /// Regenerate rules over the non-excluded versions, preserving
+    /// each objective's tier tolerances, remapped back to
+    /// full-deployment version indices.
+    fn regenerate(
+        &self,
+        rt: &SupervisorRuntime,
+        excluded: &[usize],
+        current: &[RoutingRules],
+    ) -> Option<Vec<RoutingRules>> {
+        let (sub, map) = self.matrix.without_versions(excluded).ok()?;
+        let generator = RoutingRuleGenerator::with_defaults_threaded(
+            &sub,
+            rt.setup.rulegen_confidence,
+            rt.setup.rulegen_seed,
+            rt.setup.rulegen_threads,
+        )
+        .ok()?;
+        let mut out = Vec::with_capacity(current.len());
+        for rules in current {
+            let tolerances: Vec<f64> = rules.tiers().iter().map(|&(t, _)| t).collect();
+            let fresh = generator.generate(&tolerances, rules.objective()).ok()?;
+            out.push(fresh.map_versions(&map));
+        }
+        Some(out)
+    }
+
+    /// Restore the pre-canary rules and lift the quarantine.
+    fn execute_rollback(&self, rt: &mut SupervisorRuntime, version: usize) {
+        self.health.quarantined[version].store(false, Ordering::SeqCst);
+        if let Some(saved) = rt.saved_rules.take() {
+            self.install(TieredFrontend::new(saved));
+        }
+        rt.rollbacks += 1;
+        self.note_transition(rt, "rollback", Some(version));
+    }
+
+    /// Make `frontend` the live routing state: rebind observability
+    /// (fresh sentinel baseline, telemetry continuity), rebuild the
+    /// admission brownout table, then swap the rules in and bump the
+    /// revision — by the time a request routes on the new rules, every
+    /// observer is already consistent with them.
+    fn install(&self, frontend: TieredFrontend) {
+        if let Some(obs) = &self.obs {
+            obs.rebind(&self.matrix, &frontend);
+        }
+        self.admission.rebuild_plans(
+            &self.matrix,
+            frontend.rules(),
+            self.config.obs.latency_quantile,
+        );
+        *self.frontend.write() = frontend;
+        self.rules_revision.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Record one executed transition: a `supervisor` span on the
+    /// tracer (kind, version, rules revision, window) and a rendered
+    /// line in the decision log.
+    fn note_transition(&self, rt: &mut SupervisorRuntime, kind: &str, version: Option<usize>) {
+        let window = rt.automaton.windows_observed();
+        let revision = self.rules_revision.load(Ordering::SeqCst);
+        if let Some(obs) = &self.obs {
+            let tracer = obs.tracer();
+            let handle = tracer.begin();
+            let id = handle.open("supervisor", None, self.wall_us());
+            handle.attr_str(id, "kind", kind);
+            if let Some(v) = version {
+                handle.attr_int(id, "version", v as i64);
+            }
+            handle.attr_int(id, "rules_revision", revision as i64);
+            handle.attr_int(id, "window", window as i64);
+            handle.close(id, self.wall_us());
+            tracer.finish(&handle);
+        }
+        let line = match version {
+            Some(v) => format!("window {window} {kind} v{v} (rules rev {revision})"),
+            None => format!("window {window} {kind} (rules rev {revision})"),
+        };
+        rt.log.push(line);
+    }
+
+    /// Supervisor state for `/metrics` and tests; `None` when the
+    /// supervisor is disabled.
+    pub fn supervisor_status(&self) -> Option<SupervisorStatus> {
+        let runtime = self.supervisor.as_ref()?;
+        let rt = runtime.lock();
+        Some(SupervisorStatus {
+            rules_revision: self.rules_revision(),
+            in_canary: rt.automaton.in_canary(),
+            quarantined: rt.automaton.quarantined().collect(),
+            quarantines: rt.quarantines,
+            swaps: rt.swaps,
+            rollbacks: rt.rollbacks,
+            commits: rt.commits,
+            regen_failures: rt.regen_failures,
+            windows_observed: rt.automaton.windows_observed(),
+            log: rt.log.clone(),
         })
     }
 
@@ -1056,6 +1454,203 @@ mod tests {
         let req = ServiceRequest::new(0, Tolerance::ZERO, Objective::Cost);
         svc.execute(&req).unwrap();
         assert_eq!(svc.served(), 1);
+    }
+
+    /// Three versions so the default `min_survivors = 2` still lets
+    /// the supervisor quarantine one.
+    fn matrix3() -> Arc<ProfileMatrix> {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(23);
+        let mut b = ProfileMatrixBuilder::new(vec!["fast".into(), "mid".into(), "accurate".into()]);
+        for _ in 0..120 {
+            let hard: f64 = rng.gen();
+            b.push_request(vec![
+                Observation {
+                    quality_err: if hard > 0.6 { 1.0 } else { 0.0 },
+                    latency_us: 5_000,
+                    cost: 0.0,
+                    confidence: if hard > 0.6 { 0.2 } else { 0.9 },
+                },
+                Observation {
+                    quality_err: if hard > 0.85 { 1.0 } else { 0.0 },
+                    latency_us: 12_000,
+                    cost: 0.0,
+                    confidence: 0.8,
+                },
+                Observation {
+                    quality_err: if hard > 0.97 { 1.0 } else { 0.0 },
+                    latency_us: 40_000,
+                    cost: 0.0,
+                    confidence: 0.9,
+                },
+            ]);
+        }
+        Arc::new(b.build().unwrap())
+    }
+
+    fn frontend3(matrix: &ProfileMatrix) -> TieredFrontend {
+        let gen = RoutingRuleGenerator::with_defaults(matrix, 0.95, 7).unwrap();
+        TieredFrontend::new(vec![
+            gen.generate(&[0.0, 0.05, 0.10], Objective::ResponseTime)
+                .unwrap(),
+            gen.generate(&[0.0, 0.05, 0.10], Objective::Cost).unwrap(),
+        ])
+    }
+
+    #[test]
+    fn supervisor_quarantines_a_crashing_version_and_commits_the_canary() {
+        let m = matrix3();
+        let fe = frontend3(&m);
+        let setup = SupervisorSetup {
+            policy: tt_serve::supervisor::SupervisorConfig {
+                min_demand: 4,
+                ..tt_serve::supervisor::SupervisorConfig::defaults()
+            },
+            ..SupervisorSetup::defaults()
+        };
+        let svc = ComputeService::new(
+            Arc::clone(&m),
+            fe,
+            ServiceConfig {
+                // Only the most accurate (and most expensive) version
+                // crashes — always.
+                faults: Some(FaultPlan::new(
+                    5,
+                    vec![
+                        FaultRates::NONE,
+                        FaultRates::NONE,
+                        FaultRates::crash_only(1.0),
+                    ],
+                )),
+                retry: RetryPolicy::NONE,
+                breaker: None,
+                supervisor: Some(setup),
+                ..ServiceConfig::defaults()
+            },
+        );
+        assert_eq!(svc.rules_revision(), 1);
+        // Strict requests route to the crashing baseline; two unhealthy
+        // windows trigger the quarantine.
+        let drive = |n: usize| {
+            for payload in 0..n {
+                let req = ServiceRequest::new(payload, Tolerance::ZERO, Objective::ResponseTime);
+                let _ = svc.execute(&req);
+            }
+        };
+        drive(12);
+        svc.on_window();
+        assert_eq!(svc.supervisor_status().unwrap().quarantines, 0);
+        drive(12);
+        svc.on_window();
+        let status = svc.supervisor_status().unwrap();
+        assert_eq!(status.quarantines, 1, "log: {:?}", status.log);
+        assert_eq!(status.quarantined, vec![2]);
+        assert!(status.in_canary);
+        assert_eq!(status.rules_revision, 2);
+        // The regenerated rules avoid the quarantined version: strict
+        // requests now get clean answers from a survivor.
+        for payload in 0..20 {
+            let req = ServiceRequest::new(payload, Tolerance::ZERO, Objective::ResponseTime);
+            let out = svc.execute(&req).unwrap();
+            assert_ne!(out.answered_by, 2);
+            assert!(!out.degraded);
+        }
+        // Three quiet canary windows commit the swap.
+        for _ in 0..3 {
+            drive(12);
+            svc.on_window();
+        }
+        let status = svc.supervisor_status().unwrap();
+        assert_eq!(status.commits, 1, "log: {:?}", status.log);
+        assert!(!status.in_canary);
+        assert_eq!(status.quarantined, vec![2]);
+        assert_eq!(status.rollbacks, 0);
+        // The transition log names both executed transitions.
+        assert!(status.log[0].contains("quarantine v2"));
+        assert!(status.log[1].contains("commit"));
+    }
+
+    #[test]
+    fn supervisor_transitions_are_identical_across_thread_counts() {
+        let run = |model_workers: usize, rulegen_threads: usize| {
+            let m = matrix3();
+            let fe = frontend3(&m);
+            let setup = SupervisorSetup {
+                policy: tt_serve::supervisor::SupervisorConfig {
+                    min_demand: 4,
+                    ..tt_serve::supervisor::SupervisorConfig::defaults()
+                },
+                rulegen_threads,
+                ..SupervisorSetup::defaults()
+            };
+            let svc = ComputeService::new(
+                Arc::clone(&m),
+                fe,
+                ServiceConfig {
+                    faults: Some(FaultPlan::new(
+                        5,
+                        vec![
+                            FaultRates::NONE,
+                            FaultRates::NONE,
+                            FaultRates::crash_only(1.0),
+                        ],
+                    )),
+                    retry: RetryPolicy::NONE,
+                    breaker: None,
+                    model_workers,
+                    supervisor: Some(setup),
+                    ..ServiceConfig::defaults()
+                },
+            );
+            for _ in 0..6 {
+                for payload in 0..12 {
+                    let req =
+                        ServiceRequest::new(payload, Tolerance::ZERO, Objective::ResponseTime);
+                    let _ = svc.execute(&req);
+                }
+                svc.on_window();
+            }
+            let status = svc.supervisor_status().unwrap();
+            (status.log.clone(), svc.frontend().rules().count())
+        };
+        assert_eq!(run(1, 1), run(4, 4));
+    }
+
+    #[test]
+    fn brownout_bills_the_tier_actually_served() {
+        let svc = service(ServiceConfig::defaults());
+        let declared = Tolerance::new(0.05).unwrap();
+        let req = ServiceRequest::new(7, declared, Objective::Cost);
+        // A looser-tier brownout: serve the 0.10 tier's plan, bill at
+        // 0.10.
+        let fe = svc.frontend();
+        let plan = fe
+            .rules()
+            .find(|r| r.objective() == Objective::Cost)
+            .unwrap()
+            .lookup(Tolerance::new(0.10).unwrap());
+        let out = svc
+            .execute_shaped(&req, Some((plan, 0.10, BrownoutLevel::LooserTier)), None)
+            .unwrap();
+        assert_eq!(out.billed_tolerance, 0.10);
+        assert_eq!(out.brownout, Some(BrownoutLevel::LooserTier));
+        assert_eq!(out.price, svc.schedule().price_for(0.10));
+        assert!(out.price <= svc.schedule().price_for(0.05));
+        // The billing ledger records the served tier, not the declared
+        // one.
+        let snap = svc.snapshot();
+        let billed: Vec<_> = snap.billing.tiers.keys().cloned().collect();
+        assert!(billed.iter().any(|(_, milli)| *milli == 100), "{billed:?}");
+        assert!(!billed.iter().any(|(_, milli)| *milli == 50), "{billed:?}");
+    }
+
+    #[test]
+    fn admission_defaults_admit_normal_traffic() {
+        let svc = service(ServiceConfig::defaults());
+        let req = ServiceRequest::new(0, Tolerance::new(0.05).unwrap(), Objective::Cost);
+        assert_eq!(svc.admit(&req), AdmissionDecision::Admit);
+        let (admitted, browned, rejected) = svc.admission().totals();
+        assert_eq!((admitted, browned, rejected), (1, 0, 0));
     }
 
     #[test]

@@ -146,3 +146,81 @@ proptest! {
         prop_assert!((parsed_tolerance - tolerance).abs() < 1e-12);
     }
 }
+
+/// Slow-loris regression: a client trickling a request one byte at a
+/// time must not pin an HTTP worker past the per-request deadline, and
+/// the worker must be free to serve well-behaved clients afterwards.
+#[test]
+fn slow_loris_cannot_pin_a_worker_past_the_request_deadline() {
+    use std::io::{BufReader, Read, Write};
+    use std::net::TcpStream;
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+    use tt_net::demo::demo_service;
+    use tt_net::server::{Server, ServerConfig};
+    use tt_net::service::ServiceConfig;
+
+    let service = Arc::new(demo_service(40, 9, ServiceConfig::defaults()));
+    let server = Server::bind(
+        "127.0.0.1:0",
+        service,
+        ServerConfig {
+            // One worker: if the loris pinned it, the probe below
+            // could never be served.
+            http_workers: 1,
+            keep_alive_timeout: Duration::from_millis(400),
+            request_deadline: Duration::from_millis(400),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr();
+    let running = server.spawn();
+
+    // The loris: drip a valid-looking request far slower than the
+    // deadline allows.
+    let mut loris = TcpStream::connect(addr).unwrap();
+    let started = Instant::now();
+    let wire = b"POST /compute HTTP/1.1\r\nTolerance: 0.05\r\n";
+    let mut dripped = 0usize;
+    for &byte in wire.iter().cycle() {
+        if loris.write_all(&[byte]).is_err() {
+            break; // server hung up on us — the defense worked
+        }
+        dripped += 1;
+        std::thread::sleep(Duration::from_millis(30));
+        if started.elapsed() > Duration::from_secs(3) {
+            break;
+        }
+    }
+    // Whether or not the write side noticed the hang-up, the read side
+    // must see EOF: the server reaped the connection near the deadline,
+    // not after our 3-second patience budget.
+    loris
+        .set_read_timeout(Some(Duration::from_secs(2)))
+        .unwrap();
+    let mut sink = [0u8; 64];
+    let eof_at = Instant::now();
+    while let Ok(n) = loris.read(&mut sink) {
+        if n == 0 {
+            break;
+        }
+    }
+    assert!(
+        eof_at.elapsed() < Duration::from_secs(2),
+        "server never closed the loris connection (dripped {dripped} bytes)"
+    );
+
+    // The single worker is free again: a normal request round-trips.
+    let mut probe = TcpStream::connect(addr).unwrap();
+    probe
+        .write_all(
+            b"POST /compute HTTP/1.1\r\nTolerance: 0.05\r\nObjective: cost\r\n\
+              Payload: 3\r\nContent-Length: 0\r\nConnection: close\r\n\r\n",
+        )
+        .unwrap();
+    let mut reader = BufReader::new(probe.try_clone().unwrap());
+    let response = tt_net::http::read_response(&mut reader, &Limits::default()).unwrap();
+    assert_eq!(response.status, 200);
+    running.stop().unwrap();
+}

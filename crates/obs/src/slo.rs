@@ -244,6 +244,18 @@ impl SloSentinel {
         true
     }
 
+    /// Restart the window origin at `now_us`: snapshot the telemetry
+    /// as the new baseline *without* publishing verdicts. Used when a
+    /// sentinel is wired over [`TierTelemetry`] sinks that already
+    /// carry history (a routing-rules hot-swap reuses the sinks so
+    /// `/metrics` lifetime series stay continuous) — without the
+    /// rebase, the first window would judge the entire backlog.
+    pub fn rebase(&self, now_us: u64) {
+        let mut state = self.state.lock().expect("sentinel poisoned");
+        state.prior = self.tiers.iter().map(|(_, tel)| tel.snap()).collect();
+        state.window_started_us = now_us;
+    }
+
     /// Close the current window immediately regardless of elapsed
     /// time (tests, drain paths).
     pub fn force_tick(&self, now_us: u64) {
@@ -451,6 +463,27 @@ mod tests {
         let v = &sentinel.verdicts()[0];
         assert!(!v.in_contract);
         assert!(v.reason.contains("latency"), "{}", v.reason);
+    }
+
+    #[test]
+    fn rebase_discards_backlog_without_publishing() {
+        let tel = Arc::new(TierTelemetry::new(BucketScheme::DEFAULT));
+        // Backlog recorded before this sentinel existed: way out of
+        // contract.
+        feed(&tel, 50, 50_000, 0.90, 0.10);
+        let sentinel = SloSentinel::new(1_000, vec![(target("t", 0.05, 10_000), Arc::clone(&tel))]);
+        sentinel.rebase(5_000);
+        // No verdict was published by the rebase itself.
+        assert!(!sentinel.verdicts()[0].evaluated);
+        assert_eq!(sentinel.windows_evaluated(), 0);
+        // The window clock restarted at the rebase instant.
+        assert!(!sentinel.tick(5_500));
+        // Only post-rebase traffic is judged.
+        feed(&tel, 20, 2_000, 0.10, 0.10);
+        assert!(sentinel.tick(6_000));
+        let v = &sentinel.verdicts()[0];
+        assert!(v.in_contract, "{}", v.reason);
+        assert_eq!(v.window_requests, 20);
     }
 
     #[test]

@@ -38,6 +38,7 @@ pub mod frontend;
 pub mod live;
 pub mod pricing;
 pub mod resilience;
+pub mod supervisor;
 pub mod trace;
 
 pub use billing::{BillingReport, TierPriceSchedule};
@@ -46,5 +47,9 @@ pub use frontend::{parse_annotations, AnnotationError, TieredFrontend};
 pub use pricing::PricingCatalog;
 pub use resilience::{
     BreakerPolicy, BreakerState, CircuitBreaker, ResilienceConfig, ResilienceStats, RetryPolicy,
+};
+pub use supervisor::{
+    Supervisor, SupervisorAction, SupervisorConfig, SupervisorPhase, Transition, TransitionKind,
+    VersionWindow, WindowObservation,
 };
 pub use trace::{TraceEvent, TraceRecorder};

@@ -1,0 +1,641 @@
+//! The self-healing rule supervisor: a deterministic automaton that
+//! closes the loop between *detection* (the SLO sentinel's per-window
+//! verdicts, per-version health counters) and *action* (quarantining a
+//! persistently failing version, swapping regenerated routing rules,
+//! and rolling the swap back if it made things worse).
+//!
+//! The automaton is deliberately pure: it owns no clocks, sockets, or
+//! RNGs. The serving layer feeds it one [`WindowObservation`] per
+//! sentinel window and executes whatever [`SupervisorAction`] comes
+//! back (regenerate + hot-swap rules on `Quarantine`, restore the
+//! saved rules on `Rollback`). Given the same observation sequence it
+//! produces the same transition sequence — the property the chaos
+//! tests pin down across thread counts.
+//!
+//! ```text
+//!            unhealthy streak ≥ N          violations worsen
+//! Steady ───────────────────────▶ Canary ───────────────────▶ Steady (rolled back, cooldown)
+//!    ▲                              │
+//!    └──────────────────────────────┘
+//!         canary window survives (commit)
+//! ```
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Tuning for the supervisor automaton. All horizons are measured in
+/// sentinel windows, the only clock the supervisor knows about.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SupervisorConfig {
+    /// Consecutive unhealthy windows before a version is quarantined.
+    pub unhealthy_windows: u32,
+    /// Windows the regenerated rules run as a canary before the swap
+    /// is committed (or rolled back, if SLO violations worsen).
+    pub canary_windows: u32,
+    /// Minimum per-window demand (attempts + sheds) a version must see
+    /// before its health is judged at all — protects idle versions
+    /// from noise verdicts.
+    pub min_demand: u64,
+    /// Fraction of a version's demand that must fail (or be shed by
+    /// its breaker) for the window to count as unhealthy.
+    pub failure_ratio: f64,
+    /// Never quarantine below this many surviving versions.
+    pub min_survivors: usize,
+    /// Windows after a rollback during which no new quarantine is
+    /// attempted (lets the restored rules re-establish a baseline).
+    pub cooldown_windows: u32,
+}
+
+impl SupervisorConfig {
+    /// Conservative defaults: two bad windows to act, a three-window
+    /// canary, and a four-window cooldown after any rollback.
+    pub fn defaults() -> Self {
+        SupervisorConfig {
+            unhealthy_windows: 2,
+            canary_windows: 3,
+            min_demand: 8,
+            failure_ratio: 0.5,
+            min_survivors: 2,
+            cooldown_windows: 4,
+        }
+    }
+
+    /// Validate the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first nonsensical field: zero
+    /// horizons, a failure ratio outside `(0, 1]`, or zero survivors.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.unhealthy_windows == 0 {
+            return Err("unhealthy_windows must be >= 1".into());
+        }
+        if self.canary_windows == 0 {
+            return Err("canary_windows must be >= 1".into());
+        }
+        if !(self.failure_ratio > 0.0 && self.failure_ratio <= 1.0) {
+            return Err(format!(
+                "failure_ratio {} outside (0, 1]",
+                self.failure_ratio
+            ));
+        }
+        if self.min_survivors == 0 {
+            return Err("min_survivors must be >= 1".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        SupervisorConfig::defaults()
+    }
+}
+
+/// One version's health counters over a single sentinel window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct VersionWindow {
+    /// Invocations attempted against the version this window.
+    pub attempts: u64,
+    /// Attempts that failed (crash or error outcome).
+    pub failures: u64,
+    /// Requests the version's breaker (or an existing quarantine)
+    /// turned away — demand the version could not serve.
+    pub sheds: u64,
+}
+
+impl VersionWindow {
+    /// Total demand the version saw this window.
+    pub fn demand(&self) -> u64 {
+        self.attempts + self.sheds
+    }
+}
+
+/// Everything the supervisor learns about one sentinel window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowObservation {
+    /// Number of tiers the sentinel judged out of contract.
+    pub violations: u32,
+    /// Per-version health counters, indexed by version.
+    pub versions: Vec<VersionWindow>,
+}
+
+/// What the serving layer must do after a window observation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SupervisorAction {
+    /// Nothing — keep serving with the current rules.
+    None,
+    /// Quarantine `version`: regenerate routing rules over the
+    /// survivors and hot-swap them in. The swap runs as a canary.
+    Quarantine {
+        /// Version index to quarantine.
+        version: usize,
+    },
+    /// The canary survived: keep the swapped rules.
+    Commit,
+    /// The canary worsened SLO violations: restore the saved rules and
+    /// lift the quarantine.
+    Rollback {
+        /// Version whose quarantine is lifted.
+        version: usize,
+    },
+}
+
+/// What kind of transition happened (for logs and `/metrics`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransitionKind {
+    /// A version entered quarantine and regenerated rules were swapped
+    /// in as a canary.
+    Quarantine,
+    /// A canary was committed.
+    Commit,
+    /// A canary was rolled back.
+    Rollback,
+}
+
+impl fmt::Display for TransitionKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransitionKind::Quarantine => write!(f, "quarantine"),
+            TransitionKind::Commit => write!(f, "commit"),
+            TransitionKind::Rollback => write!(f, "rollback"),
+        }
+    }
+}
+
+/// One recorded supervisor transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Transition {
+    /// Sentinel window index (1-based, counted by the supervisor) at
+    /// which the transition fired.
+    pub window: u64,
+    /// What happened.
+    pub kind: TransitionKind,
+    /// The version involved (quarantined or un-quarantined); `None`
+    /// for commits.
+    pub version: Option<usize>,
+}
+
+impl fmt::Display for Transition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.version {
+            Some(v) => write!(f, "window {} {} v{}", self.window, self.kind, v),
+            None => write!(f, "window {} {}", self.window, self.kind),
+        }
+    }
+}
+
+/// Which mode the automaton is in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SupervisorPhase {
+    /// Watching version health; may quarantine.
+    Steady,
+    /// A swap is live and being judged against pre-swap violations.
+    Canary,
+}
+
+/// The supervisor automaton. See the module docs for the state
+/// machine; drive it with [`Supervisor::observe`] once per sentinel
+/// window.
+#[derive(Debug, Clone)]
+pub struct Supervisor {
+    config: SupervisorConfig,
+    versions: usize,
+    phase: SupervisorPhase,
+    window: u64,
+    /// Consecutive unhealthy windows per version.
+    streaks: Vec<u32>,
+    quarantined: BTreeSet<usize>,
+    /// The version quarantined by the live canary (rollback target).
+    canary_version: usize,
+    canary_remaining: u32,
+    violations_at_swap: u32,
+    cooldown_remaining: u32,
+    transitions: Vec<Transition>,
+}
+
+impl Supervisor {
+    /// A supervisor over a deployment of `versions` versions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`SupervisorConfig::validate`]
+    /// or `versions == 0`.
+    pub fn new(config: SupervisorConfig, versions: usize) -> Self {
+        if let Err(e) = config.validate() {
+            panic!("supervisor config: {e}");
+        }
+        assert!(versions > 0, "supervisor over zero versions");
+        Supervisor {
+            config,
+            versions,
+            phase: SupervisorPhase::Steady,
+            window: 0,
+            streaks: vec![0; versions],
+            quarantined: BTreeSet::new(),
+            canary_version: 0,
+            canary_remaining: 0,
+            violations_at_swap: 0,
+            cooldown_remaining: 0,
+            transitions: Vec::new(),
+        }
+    }
+
+    /// Current phase.
+    pub fn phase(&self) -> SupervisorPhase {
+        self.phase
+    }
+
+    /// Whether a canary swap is currently being judged.
+    pub fn in_canary(&self) -> bool {
+        self.phase == SupervisorPhase::Canary
+    }
+
+    /// Versions currently quarantined, ascending.
+    pub fn quarantined(&self) -> impl Iterator<Item = usize> + '_ {
+        self.quarantined.iter().copied()
+    }
+
+    /// Every transition recorded so far, in order.
+    pub fn transitions(&self) -> &[Transition] {
+        &self.transitions
+    }
+
+    /// Windows observed so far.
+    pub fn windows_observed(&self) -> u64 {
+        self.window
+    }
+
+    /// Whether `version` counted as unhealthy this window: enough
+    /// demand to judge, and a failure-or-shed fraction of that demand
+    /// at or above the configured ratio. Sheds count as failures by
+    /// proxy — a fully-open breaker serves nothing, which is exactly
+    /// the persistent failure the supervisor exists to route around.
+    fn unhealthy(&self, w: &VersionWindow) -> bool {
+        let demand = w.demand();
+        demand >= self.config.min_demand
+            && (w.failures + w.sheds) as f64 >= self.config.failure_ratio * demand as f64
+    }
+
+    /// The quarantine candidate this window: the version with the
+    /// longest unhealthy streak at or past the threshold, ties broken
+    /// by higher shed-or-fail volume, then by lower index — a total
+    /// order, so the choice is deterministic.
+    fn candidate(&self, obs: &WindowObservation) -> Option<usize> {
+        (0..self.versions)
+            .filter(|v| !self.quarantined.contains(v))
+            .filter(|&v| self.streaks[v] >= self.config.unhealthy_windows)
+            .max_by_key(|&v| {
+                let w = obs.versions.get(v).copied().unwrap_or_default();
+                (self.streaks[v], w.failures + w.sheds, std::cmp::Reverse(v))
+            })
+    }
+
+    /// Feed one sentinel window; returns the action to execute.
+    ///
+    /// The caller must execute the action before the next `observe`
+    /// call — the automaton assumes a returned `Quarantine` means the
+    /// regenerated rules are live for the following window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the observation does not cover every version.
+    pub fn observe(&mut self, obs: &WindowObservation) -> SupervisorAction {
+        assert!(
+            obs.versions.len() >= self.versions,
+            "observation covers {} of {} versions",
+            obs.versions.len(),
+            self.versions
+        );
+        self.window += 1;
+
+        if self.phase == SupervisorPhase::Canary {
+            return self.judge_canary(obs);
+        }
+
+        // Steady: track per-version unhealthy streaks.
+        for v in 0..self.versions {
+            if self.quarantined.contains(&v) {
+                self.streaks[v] = 0;
+                continue;
+            }
+            if self.unhealthy(&obs.versions[v]) {
+                self.streaks[v] += 1;
+            } else {
+                self.streaks[v] = 0;
+            }
+        }
+
+        if self.cooldown_remaining > 0 {
+            self.cooldown_remaining -= 1;
+            return SupervisorAction::None;
+        }
+
+        let Some(version) = self.candidate(obs) else {
+            return SupervisorAction::None;
+        };
+        let survivors = self.versions - self.quarantined.len() - 1;
+        if survivors < self.config.min_survivors {
+            return SupervisorAction::None;
+        }
+
+        self.quarantined.insert(version);
+        self.streaks[version] = 0;
+        self.phase = SupervisorPhase::Canary;
+        self.canary_version = version;
+        self.canary_remaining = self.config.canary_windows;
+        self.violations_at_swap = obs.violations;
+        self.transitions.push(Transition {
+            window: self.window,
+            kind: TransitionKind::Quarantine,
+            version: Some(version),
+        });
+        SupervisorAction::Quarantine { version }
+    }
+
+    /// Abandon a quarantine the serving layer could not execute (rule
+    /// regeneration over the survivors failed): lift the quarantine,
+    /// return to `Steady`, and start a cooldown so the same evidence
+    /// does not immediately re-trigger a doomed swap. The quarantine
+    /// transition recorded by the triggering `observe` is withdrawn —
+    /// nothing was actually swapped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no canary is live.
+    pub fn abort_canary(&mut self) {
+        assert!(self.phase == SupervisorPhase::Canary, "no canary to abort");
+        self.quarantined.remove(&self.canary_version);
+        self.phase = SupervisorPhase::Steady;
+        self.cooldown_remaining = self.config.cooldown_windows;
+        self.streaks.iter_mut().for_each(|s| *s = 0);
+        self.transitions.pop();
+    }
+
+    fn judge_canary(&mut self, obs: &WindowObservation) -> SupervisorAction {
+        if obs.violations > self.violations_at_swap {
+            // The swap made things worse: restore.
+            let version = self.canary_version;
+            self.quarantined.remove(&version);
+            self.phase = SupervisorPhase::Steady;
+            self.cooldown_remaining = self.config.cooldown_windows;
+            self.streaks.iter_mut().for_each(|s| *s = 0);
+            self.transitions.push(Transition {
+                window: self.window,
+                kind: TransitionKind::Rollback,
+                version: Some(version),
+            });
+            return SupervisorAction::Rollback { version };
+        }
+        self.canary_remaining -= 1;
+        if self.canary_remaining == 0 {
+            self.phase = SupervisorPhase::Steady;
+            self.streaks.iter_mut().for_each(|s| *s = 0);
+            self.transitions.push(Transition {
+                window: self.window,
+                kind: TransitionKind::Commit,
+                version: None,
+            });
+            return SupervisorAction::Commit;
+        }
+        SupervisorAction::None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> SupervisorConfig {
+        SupervisorConfig {
+            unhealthy_windows: 2,
+            canary_windows: 3,
+            min_demand: 8,
+            failure_ratio: 0.5,
+            min_survivors: 2,
+            cooldown_windows: 4,
+        }
+    }
+
+    fn healthy() -> VersionWindow {
+        VersionWindow {
+            attempts: 20,
+            failures: 0,
+            sheds: 0,
+        }
+    }
+
+    fn crashing() -> VersionWindow {
+        VersionWindow {
+            attempts: 20,
+            failures: 20,
+            sheds: 0,
+        }
+    }
+
+    fn obs(violations: u32, versions: Vec<VersionWindow>) -> WindowObservation {
+        WindowObservation {
+            violations,
+            versions,
+        }
+    }
+
+    #[test]
+    fn quarantines_after_streak_then_commits_a_quiet_canary() {
+        let mut s = Supervisor::new(cfg(), 3);
+        // Window 1: first unhealthy window — streak 1, no action.
+        assert_eq!(
+            s.observe(&obs(1, vec![healthy(), healthy(), crashing()])),
+            SupervisorAction::None
+        );
+        // Window 2: streak 2 — quarantine fires.
+        assert_eq!(
+            s.observe(&obs(1, vec![healthy(), healthy(), crashing()])),
+            SupervisorAction::Quarantine { version: 2 }
+        );
+        assert!(s.in_canary());
+        assert_eq!(s.quarantined().collect::<Vec<_>>(), vec![2]);
+        // Canary windows 3–5: violations recover (0 ≤ 1), so commit at
+        // the end of the horizon.
+        assert_eq!(
+            s.observe(&obs(0, vec![healthy(), healthy(), healthy()])),
+            SupervisorAction::None
+        );
+        assert_eq!(
+            s.observe(&obs(0, vec![healthy(), healthy(), healthy()])),
+            SupervisorAction::None
+        );
+        assert_eq!(
+            s.observe(&obs(0, vec![healthy(), healthy(), healthy()])),
+            SupervisorAction::Commit
+        );
+        assert!(!s.in_canary());
+        assert_eq!(s.quarantined().collect::<Vec<_>>(), vec![2]);
+        let kinds: Vec<_> = s.transitions().iter().map(|t| t.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![TransitionKind::Quarantine, TransitionKind::Commit]
+        );
+    }
+
+    #[test]
+    fn rolls_back_when_violations_worsen_and_cools_down() {
+        let mut s = Supervisor::new(cfg(), 3);
+        let sick = || obs(1, vec![healthy(), healthy(), crashing()]);
+        assert_eq!(s.observe(&sick()), SupervisorAction::None);
+        assert_eq!(
+            s.observe(&sick()),
+            SupervisorAction::Quarantine { version: 2 }
+        );
+        // Canary window: violations jump 1 → 3 — rollback.
+        assert_eq!(
+            s.observe(&obs(3, vec![healthy(), healthy(), healthy()])),
+            SupervisorAction::Rollback { version: 2 }
+        );
+        assert_eq!(s.quarantined().count(), 0);
+        assert!(!s.in_canary());
+        // Cooldown: the same unhealthy evidence cannot re-trigger for
+        // cooldown_windows observations, even with a full streak.
+        for _ in 0..4 {
+            assert_eq!(s.observe(&sick()), SupervisorAction::None);
+        }
+        // Streak was already rebuilt during cooldown, so the first
+        // post-cooldown window acts.
+        assert_eq!(
+            s.observe(&sick()),
+            SupervisorAction::Quarantine { version: 2 }
+        );
+    }
+
+    #[test]
+    fn never_drops_below_min_survivors() {
+        let mut s = Supervisor::new(cfg(), 2); // min_survivors = 2
+        let both_sick = || obs(2, vec![crashing(), crashing()]);
+        for _ in 0..6 {
+            assert_eq!(s.observe(&both_sick()), SupervisorAction::None);
+        }
+        assert_eq!(s.quarantined().count(), 0);
+    }
+
+    #[test]
+    fn idle_versions_are_never_judged() {
+        let mut s = Supervisor::new(cfg(), 3);
+        let idle_fail = VersionWindow {
+            attempts: 2,
+            failures: 2,
+            sheds: 0,
+        }; // demand 2 < min_demand 8
+        for _ in 0..6 {
+            assert_eq!(
+                s.observe(&obs(0, vec![healthy(), healthy(), idle_fail])),
+                SupervisorAction::None
+            );
+        }
+    }
+
+    #[test]
+    fn breaker_sheds_count_as_failure_by_proxy() {
+        let mut s = Supervisor::new(cfg(), 3);
+        // Breaker fully open: zero attempts, all demand shed.
+        let shed_out = VersionWindow {
+            attempts: 0,
+            failures: 0,
+            sheds: 12,
+        };
+        assert_eq!(
+            s.observe(&obs(1, vec![healthy(), healthy(), shed_out])),
+            SupervisorAction::None
+        );
+        assert_eq!(
+            s.observe(&obs(1, vec![healthy(), healthy(), shed_out])),
+            SupervisorAction::Quarantine { version: 2 }
+        );
+    }
+
+    #[test]
+    fn candidate_choice_is_deterministic_under_ties() {
+        let mut a = Supervisor::new(cfg(), 3);
+        let mut b = Supervisor::new(cfg(), 3);
+        let tie = || obs(2, vec![healthy(), crashing(), crashing()]);
+        let seq_a: Vec<_> = (0..4).map(|_| a.observe(&tie())).collect();
+        let seq_b: Vec<_> = (0..4).map(|_| b.observe(&tie())).collect();
+        assert_eq!(seq_a, seq_b);
+        // Equal streaks and volumes: the lower index wins.
+        assert!(seq_a.contains(&SupervisorAction::Quarantine { version: 1 }));
+    }
+
+    #[test]
+    fn aborted_canary_withdraws_the_quarantine_and_cools_down() {
+        let mut s = Supervisor::new(cfg(), 3);
+        let sick = || obs(1, vec![healthy(), healthy(), crashing()]);
+        assert_eq!(s.observe(&sick()), SupervisorAction::None);
+        assert_eq!(
+            s.observe(&sick()),
+            SupervisorAction::Quarantine { version: 2 }
+        );
+        // The serving layer fails to regenerate rules and aborts.
+        s.abort_canary();
+        assert!(!s.in_canary());
+        assert_eq!(s.quarantined().count(), 0);
+        assert!(s.transitions().is_empty(), "no swap actually happened");
+        // Cooldown holds, then the evidence can act again.
+        for _ in 0..4 {
+            assert_eq!(s.observe(&sick()), SupervisorAction::None);
+        }
+        assert_eq!(
+            s.observe(&sick()),
+            SupervisorAction::Quarantine { version: 2 }
+        );
+    }
+
+    #[test]
+    fn config_validation_catches_nonsense() {
+        assert!(SupervisorConfig::defaults().validate().is_ok());
+        assert!(SupervisorConfig {
+            unhealthy_windows: 0,
+            ..cfg()
+        }
+        .validate()
+        .is_err());
+        assert!(SupervisorConfig {
+            canary_windows: 0,
+            ..cfg()
+        }
+        .validate()
+        .is_err());
+        assert!(SupervisorConfig {
+            failure_ratio: 0.0,
+            ..cfg()
+        }
+        .validate()
+        .is_err());
+        assert!(SupervisorConfig {
+            failure_ratio: 1.5,
+            ..cfg()
+        }
+        .validate()
+        .is_err());
+        assert!(SupervisorConfig {
+            min_survivors: 0,
+            ..cfg()
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn transitions_render_for_logs() {
+        let t = Transition {
+            window: 7,
+            kind: TransitionKind::Quarantine,
+            version: Some(2),
+        };
+        assert_eq!(t.to_string(), "window 7 quarantine v2");
+        let t = Transition {
+            window: 9,
+            kind: TransitionKind::Commit,
+            version: None,
+        };
+        assert_eq!(t.to_string(), "window 9 commit");
+    }
+}

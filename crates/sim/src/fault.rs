@@ -240,6 +240,197 @@ impl FaultPlan {
     }
 }
 
+/// Per-connection wire fault rates. These model the *network* between
+/// the service and its clients, the layer [`FaultRates`] deliberately
+/// ignores: a response can be lost or mangled even when every model
+/// invocation behind it succeeded. All probabilities are
+/// per-response and independent draws; their sum must not exceed 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WireFaultRates {
+    /// Probability the connection is reset before any response byte is
+    /// written (client sees ECONNRESET / EOF).
+    pub reset: f64,
+    /// Probability only a prefix of the response is written before the
+    /// connection closes.
+    pub partial_write: f64,
+    /// Probability the response is written in small chunks with a
+    /// pause between them (a slow, but complete, write).
+    pub slow_write: f64,
+    /// Per-chunk pause applied to slow writes, in microseconds.
+    pub slow_write_pause_us: u64,
+}
+
+impl WireFaultRates {
+    /// A wire that never faults.
+    pub const NONE: WireFaultRates = WireFaultRates {
+        reset: 0.0,
+        partial_write: 0.0,
+        slow_write: 0.0,
+        slow_write_pause_us: 0,
+    };
+
+    /// Validate rates: each in `[0, 1]` and summing to at most 1.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, p) in [
+            ("reset", self.reset),
+            ("partial_write", self.partial_write),
+            ("slow_write", self.slow_write),
+        ] {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(format!("{name} rate {p} outside [0, 1]"));
+            }
+        }
+        let total = self.reset + self.partial_write + self.slow_write;
+        if total > 1.0 + 1e-12 {
+            return Err(format!("wire fault rates sum to {total} > 1"));
+        }
+        Ok(())
+    }
+
+    /// Whether every wire fault mode is disabled.
+    pub fn is_none(&self) -> bool {
+        self.reset == 0.0 && self.partial_write == 0.0 && self.slow_write == 0.0
+    }
+}
+
+impl Default for WireFaultRates {
+    fn default() -> Self {
+        WireFaultRates::NONE
+    }
+}
+
+/// What wire fault (if any) afflicts one response.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WireFaultOutcome {
+    /// The response is delivered intact.
+    None,
+    /// The connection is reset before any byte is written.
+    Reset,
+    /// Only `fraction` of the response bytes are written, then the
+    /// connection closes.
+    PartialWrite {
+        /// Fraction of the response delivered, in `(0, 1)`.
+        fraction: f64,
+    },
+    /// The full response is written in chunks with `pause_us` between
+    /// them.
+    SlowWrite {
+        /// Pause between chunks, in microseconds.
+        pause_us: u64,
+    },
+}
+
+impl WireFaultOutcome {
+    /// Whether the client can possibly parse a complete response.
+    pub fn delivers_response(&self) -> bool {
+        matches!(
+            self,
+            WireFaultOutcome::None | WireFaultOutcome::SlowWrite { .. }
+        )
+    }
+}
+
+/// A deterministic schedule of wire faults, one independent RNG stream
+/// per listener/lane — the network-layer sibling of [`FaultPlan`], with
+/// the same determinism contract: zero-rate lanes never consume
+/// randomness, and one lane's draw cadence never perturbs another's.
+///
+/// ```
+/// use tt_sim::fault::{WireFaultOutcome, WireFaultPlan, WireFaultRates};
+///
+/// let mut plan = WireFaultPlan::new(3, vec![
+///     WireFaultRates { reset: 1.0, ..WireFaultRates::NONE },
+///     WireFaultRates::NONE,
+/// ]);
+/// assert_eq!(plan.draw(0), WireFaultOutcome::Reset);
+/// assert_eq!(plan.draw(1), WireFaultOutcome::None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct WireFaultPlan {
+    rates: Vec<WireFaultRates>,
+    streams: Vec<StdRng>,
+}
+
+impl WireFaultPlan {
+    /// Build a plan with one entry per lane, each with an independent
+    /// RNG stream derived from `seed` and the lane index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any lane's rates fail [`WireFaultRates::validate`].
+    pub fn new(seed: u64, rates: Vec<WireFaultRates>) -> Self {
+        for (lane, r) in rates.iter().enumerate() {
+            if let Err(e) = r.validate() {
+                panic!("lane {lane}: {e}");
+            }
+        }
+        let streams = (0..rates.len())
+            .map(|lane| {
+                // Same stream-splitting scheme as FaultPlan, offset so a
+                // wire plan sharing a seed with a pool plan still gets
+                // distinct streams.
+                StdRng::seed_from_u64(
+                    seed ^ (0xD1B5_4A32_D192_ED03u64.wrapping_mul(lane as u64 + 1)),
+                )
+            })
+            .collect();
+        WireFaultPlan { rates, streams }
+    }
+
+    /// A uniform plan: every one of `lanes` lanes uses `rates`.
+    pub fn uniform(seed: u64, lanes: usize, rates: WireFaultRates) -> Self {
+        WireFaultPlan::new(seed, vec![rates; lanes])
+    }
+
+    /// A plan injecting no wire faults into any of `lanes` lanes.
+    pub fn disabled(lanes: usize) -> Self {
+        WireFaultPlan::new(0, vec![WireFaultRates::NONE; lanes])
+    }
+
+    /// Number of lanes covered by the plan.
+    pub fn lanes(&self) -> usize {
+        self.rates.len()
+    }
+
+    /// The rates configured for `lane`.
+    pub fn rates(&self, lane: usize) -> &WireFaultRates {
+        &self.rates[lane]
+    }
+
+    /// Whether no lane can ever fault.
+    pub fn is_disabled(&self) -> bool {
+        self.rates.iter().all(WireFaultRates::is_none)
+    }
+
+    /// Draw the wire fault outcome for the next response on `lane`.
+    /// Lanes beyond the plan wrap around, so a fixed-size plan can
+    /// cover an unbounded worker pool deterministically.
+    ///
+    /// Lanes with all-zero rates never consume randomness.
+    pub fn draw(&mut self, lane: usize) -> WireFaultOutcome {
+        let lane = lane % self.rates.len().max(1);
+        let rates = self.rates[lane];
+        if rates.is_none() {
+            return WireFaultOutcome::None;
+        }
+        let rng = &mut self.streams[lane];
+        let u: f64 = rng.gen();
+        if u < rates.reset {
+            WireFaultOutcome::Reset
+        } else if u < rates.reset + rates.partial_write {
+            // Deliver at least one byte, never the full response.
+            let fraction = rng.gen_range(f64::MIN_POSITIVE..1.0);
+            WireFaultOutcome::PartialWrite { fraction }
+        } else if u < rates.reset + rates.partial_write + rates.slow_write {
+            WireFaultOutcome::SlowWrite {
+                pause_us: rates.slow_write_pause_us,
+            }
+        } else {
+            WireFaultOutcome::None
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -397,5 +588,101 @@ mod tests {
     #[should_panic(expected = "pool 0")]
     fn plan_panics_on_invalid_rates() {
         let _ = FaultPlan::new(1, vec![FaultRates::crash_only(2.0)]);
+    }
+
+    #[test]
+    fn wire_plan_is_deterministic_and_lane_independent() {
+        let rates = WireFaultRates {
+            reset: 0.2,
+            partial_write: 0.2,
+            slow_write: 0.2,
+            slow_write_pause_us: 500,
+        };
+        let mut a = WireFaultPlan::uniform(9, 2, rates);
+        let mut b = WireFaultPlan::uniform(9, 2, rates);
+        let seq_a: Vec<_> = (0..60).map(|i| a.draw(i % 2)).collect();
+        let seq_b: Vec<_> = (0..60).map(|i| b.draw(i % 2)).collect();
+        assert_eq!(seq_a, seq_b);
+
+        // Lane 1 must see the same stream whether or not lane 0 draws.
+        let mut interleaved = WireFaultPlan::uniform(5, 2, rates);
+        let mut solo = WireFaultPlan::uniform(5, 2, rates);
+        let mut from_interleaved = Vec::new();
+        for _ in 0..20 {
+            let _ = interleaved.draw(0);
+            from_interleaved.push(interleaved.draw(1));
+        }
+        let from_solo: Vec<_> = (0..20).map(|_| solo.draw(1)).collect();
+        assert_eq!(from_interleaved, from_solo);
+    }
+
+    #[test]
+    fn wire_lane_indices_wrap_around() {
+        let mut plan = WireFaultPlan::new(
+            3,
+            vec![
+                WireFaultRates {
+                    reset: 1.0,
+                    ..WireFaultRates::NONE
+                },
+                WireFaultRates::NONE,
+            ],
+        );
+        assert_eq!(plan.draw(2), WireFaultOutcome::Reset); // 2 % 2 == 0
+        assert_eq!(plan.draw(3), WireFaultOutcome::None);
+    }
+
+    #[test]
+    fn wire_outcomes_have_sane_shapes() {
+        let mut plan = WireFaultPlan::uniform(
+            42,
+            1,
+            WireFaultRates {
+                reset: 0.2,
+                partial_write: 0.3,
+                slow_write: 0.3,
+                slow_write_pause_us: 250,
+            },
+        );
+        let mut seen = [false; 4];
+        for _ in 0..2_000 {
+            match plan.draw(0) {
+                WireFaultOutcome::None => seen[0] = true,
+                WireFaultOutcome::Reset => {
+                    assert!(!WireFaultOutcome::Reset.delivers_response());
+                    seen[1] = true;
+                }
+                WireFaultOutcome::PartialWrite { fraction } => {
+                    assert!(fraction > 0.0 && fraction < 1.0);
+                    seen[2] = true;
+                }
+                WireFaultOutcome::SlowWrite { pause_us } => {
+                    assert_eq!(pause_us, 250);
+                    assert!(WireFaultOutcome::SlowWrite { pause_us }.delivers_response());
+                    seen[3] = true;
+                }
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "not all outcomes drawn: {seen:?}");
+    }
+
+    #[test]
+    fn wire_validation_rejects_bad_rates() {
+        assert!(WireFaultRates {
+            reset: 1.5,
+            ..WireFaultRates::NONE
+        }
+        .validate()
+        .is_err());
+        assert!(WireFaultRates {
+            reset: 0.6,
+            partial_write: 0.6,
+            slow_write: 0.0,
+            slow_write_pause_us: 0,
+        }
+        .validate()
+        .is_err());
+        assert!(WireFaultRates::NONE.validate().is_ok());
+        assert!(WireFaultPlan::disabled(2).is_disabled());
     }
 }

@@ -44,7 +44,10 @@ pub mod time;
 pub use arrivals::ArrivalProcess;
 pub use cost::{CostLedger, InstanceType, Money};
 pub use engine::EventQueue;
-pub use fault::{FaultOutcome, FaultPlan, FaultRates, JobCompletion};
+pub use fault::{
+    FaultOutcome, FaultPlan, FaultRates, JobCompletion, WireFaultOutcome, WireFaultPlan,
+    WireFaultRates,
+};
 pub use metrics::LatencyRecorder;
 pub use node::{JobTiming, ServiceNode};
 pub use time::{SimDuration, SimTime};

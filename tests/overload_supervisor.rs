@@ -1,0 +1,245 @@
+//! End-to-end closed-loop overload test (the PR-5 acceptance
+//! scenario): under sustained overload plus a fault plan crashing the
+//! most expensive version, the supervisor quarantines it and swaps
+//! regenerated rules; strict tiers return to SLO contract within a
+//! bounded number of sentinel windows; high-tolerance tiers show
+//! brownout downgrades but never tolerance violations; and the whole
+//! transition sequence is bit-identical across thread counts 1 vs 4.
+//!
+//! Everything is driven in-process with forced sentinel window rolls,
+//! so the test is deterministic: no wall-clock windows, no socket
+//! timing.
+
+use tt_core::objective::Objective;
+use tt_core::request::{ServiceRequest, Tolerance};
+use tt_net::admission::{AdmissionConfig, AdmissionDecision};
+use tt_net::demo::demo_service;
+use tt_net::obs::ObsConfig;
+use tt_net::service::{ServiceConfig, SupervisorSetup};
+use tt_serve::resilience::RetryPolicy;
+use tt_serve::supervisor::SupervisorConfig;
+use tt_sim::fault::{FaultPlan, FaultRates};
+
+/// The demo's most expensive version (`accurate`).
+const EXPENSIVE: usize = 2;
+const PAYLOADS: usize = 60;
+
+/// What one full scenario run observed — everything that must be
+/// identical across thread counts.
+#[derive(Debug, PartialEq)]
+struct ScenarioTrace {
+    supervisor_log: Vec<String>,
+    rules_revision: u64,
+    quarantined: Vec<usize>,
+    commits: u64,
+    rollbacks: u64,
+    strict_answers: Vec<usize>,
+    brownout_decisions: usize,
+    strict_windows_to_contract: usize,
+    violations: usize,
+}
+
+fn scenario(model_workers: usize, rulegen_threads: usize) -> ScenarioTrace {
+    let service = demo_service(
+        PAYLOADS,
+        9,
+        ServiceConfig {
+            faults: Some(FaultPlan::new(
+                5,
+                vec![
+                    FaultRates::NONE,
+                    FaultRates::NONE,
+                    FaultRates::crash_only(1.0),
+                ],
+            )),
+            retry: RetryPolicy::NONE,
+            breaker: None,
+            model_workers,
+            admission: AdmissionConfig {
+                initial_limit: 2,
+                min_limit: 2,
+                ..AdmissionConfig::defaults()
+            },
+            supervisor: Some(SupervisorSetup {
+                policy: SupervisorConfig {
+                    min_demand: 4,
+                    ..SupervisorConfig::defaults()
+                },
+                rulegen_threads,
+                ..SupervisorSetup::defaults()
+            }),
+            obs: ObsConfig {
+                slo_min_requests: 8,
+                ..ObsConfig::defaults()
+            },
+            ..ServiceConfig::defaults()
+        },
+    );
+    let obs = std::sync::Arc::clone(service.observability().expect("obs enabled"));
+    let roll_window = || {
+        obs.sentinel().force_tick(obs.now_us());
+        service.on_window();
+    };
+
+    // Overload phase: strict traffic hammers the crashing baseline
+    // while held in-flight guards put the admission controller in its
+    // brownout band for tolerant traffic.
+    let mut brownout_decisions = 0usize;
+    for _ in 0..2 {
+        for payload in 0..12 {
+            let request = ServiceRequest::new(payload, Tolerance::ZERO, Objective::ResponseTime);
+            let _ = service.execute(&request);
+        }
+        let held: Vec<_> = (0..3).map(|_| service.admission().begin()).collect();
+        for payload in 0..8 {
+            for (tolerance, objective) in [
+                (0.01, Objective::ResponseTime),
+                (0.05, Objective::Cost),
+                (0.05, Objective::ResponseTime),
+            ] {
+                let request =
+                    ServiceRequest::new(payload, Tolerance::new(tolerance).unwrap(), objective);
+                match service.admit(&request) {
+                    AdmissionDecision::Brownout {
+                        policy,
+                        billed_tolerance,
+                        level,
+                    } => {
+                        brownout_decisions += 1;
+                        // A looser-tier downgrade bills looser; a
+                        // rewrite bills the declared tier.
+                        assert!(billed_tolerance + 1e-12 >= tolerance);
+                        let violations_before = service
+                            .snapshot()
+                            .resilience
+                            .tolerance_violations_under_fault;
+                        let mut fault_degraded = false;
+                        if let Ok(outcome) = service.execute_shaped(
+                            &request,
+                            Some((policy, billed_tolerance, level)),
+                            None,
+                        ) {
+                            assert_eq!(outcome.brownout, Some(level));
+                            assert_eq!(outcome.billed_tolerance, billed_tolerance);
+                            fault_degraded = outcome.degraded;
+                        }
+                        // Brownouts are downgrades, never violations:
+                        // the cheaper plan by itself must not trip the
+                        // resilience layer's violation counter. Only a
+                        // *fault* degrading the browned plan mid-flight
+                        // (its cascade can still touch the crashing
+                        // version) may — that is fault damage, charged
+                        // to the fault layer like any other plan's.
+                        if !fault_degraded {
+                            assert_eq!(
+                                service
+                                    .snapshot()
+                                    .resilience
+                                    .tolerance_violations_under_fault,
+                                violations_before,
+                                "a clean brownout must never violate its tolerance"
+                            );
+                        }
+                    }
+                    AdmissionDecision::Admit => {
+                        let _ = service.execute(&request);
+                    }
+                    AdmissionDecision::Reject { retry_after_secs } => {
+                        assert!(retry_after_secs >= 1);
+                    }
+                }
+            }
+        }
+        drop(held);
+        roll_window();
+    }
+
+    let status = service.supervisor_status().expect("supervisor configured");
+    assert_eq!(
+        status.quarantined,
+        vec![EXPENSIVE],
+        "supervisor must quarantine the crashing expensive version; log: {:?}",
+        status.log
+    );
+    assert!(status.in_canary);
+    assert_eq!(status.rules_revision, 2, "rules must have been hot-swapped");
+
+    // Recovery phase: strict traffic over the regenerated rules. The
+    // sentinel must report the strict tier back in contract within a
+    // bounded number of windows, and the canary must commit.
+    let mut strict_answers = Vec::new();
+    let mut strict_windows_to_contract = usize::MAX;
+    for window in 0..4 {
+        for payload in 0..12 {
+            let request = ServiceRequest::new(payload, Tolerance::ZERO, Objective::ResponseTime);
+            let outcome = service
+                .execute(&request)
+                .expect("survivors serve strict traffic");
+            assert_ne!(outcome.answered_by, EXPENSIVE);
+            assert!(!outcome.degraded);
+            strict_answers.push(outcome.answered_by);
+        }
+        roll_window();
+        let strict_in_contract = obs
+            .sentinel()
+            .verdicts()
+            .iter()
+            .filter(|v| v.key.ends_with("/0.000"))
+            .all(|v| !v.evaluated || v.in_contract);
+        if strict_in_contract && strict_windows_to_contract == usize::MAX {
+            strict_windows_to_contract = window;
+        }
+    }
+    assert!(
+        strict_windows_to_contract <= 1,
+        "strict tier must return to SLO contract within two post-swap windows"
+    );
+
+    let status = service.supervisor_status().expect("supervisor configured");
+    assert!(
+        status.commits >= 1,
+        "canary must commit; log: {:?}",
+        status.log
+    );
+    assert_eq!(status.rollbacks, 0);
+    assert!(
+        brownout_decisions > 0,
+        "overload pressure must produce brownout downgrades"
+    );
+    // Any tolerance violations on record came from fault-degraded
+    // full-plan answers during the crash phase (checked per brownout
+    // above that brownouts contributed none); the recovered deployment
+    // must not accumulate more.
+    let violations = service
+        .snapshot()
+        .resilience
+        .tolerance_violations_under_fault;
+
+    ScenarioTrace {
+        violations,
+        supervisor_log: status.log,
+        rules_revision: status.rules_revision,
+        quarantined: status.quarantined,
+        commits: status.commits,
+        rollbacks: status.rollbacks,
+        strict_answers,
+        brownout_decisions,
+        strict_windows_to_contract,
+    }
+}
+
+#[test]
+fn closed_loop_recovers_and_is_identical_across_thread_counts() {
+    let serial = scenario(1, 1);
+    let threaded = scenario(4, 4);
+    assert_eq!(
+        serial, threaded,
+        "transition sequence and outcomes must be bit-identical at 1 vs 4 threads"
+    );
+    // The log names the executed transitions in order.
+    assert!(serial.supervisor_log[0].contains("quarantine v2"));
+    assert!(serial
+        .supervisor_log
+        .iter()
+        .any(|line| line.contains("commit")));
+}
