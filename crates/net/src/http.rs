@@ -113,6 +113,44 @@ impl Request {
             .split_once('?')
             .map_or(self.target.as_str(), |(path, _)| path)
     }
+
+    /// The `Rules-Epoch` stamp on this request, if any.
+    ///
+    /// The front tier stamps proxied requests with the fleet's current
+    /// rules epoch; a node compares it against its own epoch to detect
+    /// that it has missed a broadcast. `Ok(None)` means unstamped
+    /// (direct clients never stamp).
+    ///
+    /// # Errors
+    ///
+    /// [`HttpError::BadRequest`] when the stamp is present but not a
+    /// decimal `u64` — a malformed epoch is a protocol error, not a
+    /// missing one.
+    pub fn rules_epoch(&self) -> Result<Option<u64>, HttpError> {
+        parse_rules_epoch(self.header(RULES_EPOCH_HEADER))
+    }
+}
+
+/// Wire header carrying the rules epoch, both directions: the front
+/// tier stamps proxied requests with the epoch it expects, nodes stamp
+/// every response with the epoch they actually served under.
+pub const RULES_EPOCH_HEADER: &str = "Rules-Epoch";
+
+/// Parse an optional `Rules-Epoch` header value.
+///
+/// # Errors
+///
+/// [`HttpError::BadRequest`] when present but not a decimal `u64`
+/// (empty, signed, hex, overflowing, or trailing garbage all count).
+pub fn parse_rules_epoch(value: Option<&str>) -> Result<Option<u64>, HttpError> {
+    match value {
+        None => Ok(None),
+        Some(raw) => raw
+            .trim()
+            .parse::<u64>()
+            .map(Some)
+            .map_err(|_| HttpError::BadRequest(format!("bad rules epoch `{raw}`"))),
+    }
 }
 
 /// Methods this server understands at the wire level (routing decides
@@ -459,6 +497,68 @@ mod tests {
         assert_eq!(req.header("OBJECTIVE"), Some("response-time"));
         assert_eq!(req.body, b"hello");
         assert!(req.keep_alive, "HTTP/1.1 defaults to keep-alive");
+    }
+
+    #[test]
+    fn rules_epoch_round_trips_through_request_and_response() {
+        // Request direction: a stamped proxy request parses back to
+        // the same epoch.
+        let req = parse(
+            b"POST /compute HTTP/1.1\r\nRules-Epoch: 42\r\nTolerance: 0\r\n\
+              Content-Length: 0\r\n\r\n",
+        )
+        .unwrap()
+        .unwrap();
+        assert_eq!(req.rules_epoch(), Ok(Some(42)));
+
+        // Response direction: a node-stamped reply survives emit+parse.
+        let mut wire = Vec::new();
+        write_response_with(
+            &mut wire,
+            200,
+            "OK",
+            "application/json",
+            &[(RULES_EPOCH_HEADER, "42".to_string())],
+            b"{}",
+            false,
+        )
+        .unwrap();
+        let response = read_response(&mut Cursor::new(wire), &Limits::default()).unwrap();
+        assert_eq!(
+            parse_rules_epoch(response.header("rules-epoch")),
+            Ok(Some(42))
+        );
+    }
+
+    #[test]
+    fn unstamped_requests_have_no_epoch() {
+        let req = parse(b"GET /healthz HTTP/1.1\r\n\r\n").unwrap().unwrap();
+        assert_eq!(req.rules_epoch(), Ok(None));
+        assert_eq!(parse_rules_epoch(None), Ok(None));
+    }
+
+    #[test]
+    fn malformed_epochs_are_bad_requests() {
+        for bad in [
+            "",
+            "  ",
+            "-1",
+            "1.5",
+            "0x10",
+            "18446744073709551616",
+            "7 up",
+        ] {
+            let err = parse_rules_epoch(Some(bad)).unwrap_err();
+            assert!(
+                matches!(&err, HttpError::BadRequest(_)),
+                "`{bad}` must be a 400, got {err:?}"
+            );
+            assert_eq!(err.status(), Some((400, "Bad Request")));
+        }
+        // Benign surrounding whitespace is tolerated, like other
+        // header values.
+        assert_eq!(parse_rules_epoch(Some(" 7 ")), Ok(Some(7)));
+        assert_eq!(parse_rules_epoch(Some("0")), Ok(Some(0)));
     }
 
     #[test]

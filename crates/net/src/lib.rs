@@ -32,6 +32,7 @@
 #![warn(missing_docs)]
 
 pub mod admission;
+pub mod cluster;
 pub mod demo;
 pub mod http;
 pub mod loadgen;
@@ -41,6 +42,8 @@ pub mod server;
 pub mod service;
 pub mod stats;
 
+pub use cluster::{Fleet, FleetConfig, FrontTier, NodeState, RouteStrategy};
+
 pub use admission::{
     AdmissionConfig, AdmissionController, AdmissionDecision, BrownoutLevel, TierAdmission,
 };
@@ -48,7 +51,10 @@ pub use http::{
     read_request, read_response, write_response, write_response_with, HttpError, Limits, Request,
     Response,
 };
-pub use loadgen::{run_load, LoadConfig, LoadMode, LoadReport, SlowRequest, TierLoad};
+pub use loadgen::{
+    post_drain, run_load, DrainAck, DrainedBy, LoadConfig, LoadMode, LoadReport, SlowRequest,
+    TierLoad,
+};
 pub use metrics::{admission_object, metrics_document, supervisor_object};
 pub use obs::{tier_key, ObsConfig, Observability, ServedSample};
 pub use server::{RunningServer, Server, ServerConfig, ShutdownHandle};

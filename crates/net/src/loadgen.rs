@@ -143,6 +143,10 @@ pub struct SlowRequest {
 pub struct LoadReport {
     /// Requests sent.
     pub sent: usize,
+    /// Per-node serve counts, from the front tier's `Served-By`
+    /// response header (empty against a single node, which does not
+    /// stamp one).
+    pub served_by: BTreeMap<u32, usize>,
     /// HTTP 200 responses.
     pub ok: usize,
     /// Of the `ok` responses, how many were browned out (served within
@@ -211,6 +215,9 @@ impl LoadReport {
                     self.browned_out += 1;
                     slot.browned_out += 1;
                 }
+                if let Some(node) = outcome.served_by {
+                    *self.served_by.entry(node).or_insert(0) += 1;
+                }
                 self.slowest.push(SlowRequest {
                     latency_ms: ms,
                     request_id: outcome.request_id,
@@ -250,6 +257,7 @@ struct RequestOutcome {
     brownout: bool,
     wire_fault: bool,
     retry_waited: bool,
+    served_by: Option<u32>,
 }
 
 /// The parts of a response the report cares about.
@@ -259,6 +267,7 @@ struct ReplyFacts {
     request_id: Option<u64>,
     brownout: bool,
     retry_after_secs: Option<u64>,
+    served_by: Option<u32>,
 }
 
 /// Extract `"request_id": N` from a response body without a JSON
@@ -369,8 +378,114 @@ impl Client {
             retry_after_secs: r
                 .header("retry-after")
                 .and_then(|v| v.trim().parse::<u64>().ok()),
+            served_by: r
+                .header("served-by")
+                .and_then(|v| v.trim().strip_prefix("node-"))
+                .and_then(|n| n.parse::<u32>().ok()),
         })
     }
+}
+
+/// The structured body of a `202 Accepted` drain acknowledgement,
+/// from a node's (or the front tier's) `POST /drain`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DrainAck {
+    /// Always `true` on a 202.
+    pub draining: bool,
+    /// Requests still in flight on the draining server at ack time.
+    pub in_flight: i64,
+    /// The rules epoch the server was on when it accepted the drain.
+    pub epoch: u64,
+    /// Who acked: a node index, or the front tier itself.
+    pub node: DrainedBy,
+}
+
+/// Which server acknowledged a drain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DrainedBy {
+    /// The fleet's front tier.
+    Front,
+    /// Node `i` of the fleet (or a standalone server's `node_id`).
+    Node(u32),
+}
+
+/// Pull a scalar field's raw token out of a flat JSON object without a
+/// JSON parser (the drain ack is in the service's own perfjson
+/// dialect: flat, no nesting, no escaped quotes in values).
+fn field_token<'a>(text: &'a str, key: &str) -> Option<&'a str> {
+    let pattern = format!("\"{key}\":");
+    let at = text.find(&pattern)? + pattern.len();
+    let rest = text[at..].trim_start();
+    let end = rest
+        .char_indices()
+        .scan(false, |in_str, (i, c)| {
+            if c == '"' {
+                *in_str = !*in_str;
+            }
+            if !*in_str && (c == ',' || c == '}') {
+                None
+            } else {
+                Some(i + c.len_utf8())
+            }
+        })
+        .last()
+        .unwrap_or(0);
+    Some(rest[..end].trim())
+}
+
+impl DrainAck {
+    /// Parse a drain ack body; `None` when the expected fields are
+    /// missing or malformed.
+    pub fn parse(body: &[u8]) -> Option<DrainAck> {
+        let text = std::str::from_utf8(body).ok()?;
+        let draining = field_token(text, "draining")? == "true";
+        let in_flight = field_token(text, "in_flight")?.parse::<i64>().ok()?;
+        let epoch = field_token(text, "epoch")?.parse::<u64>().ok()?;
+        let node = match field_token(text, "node")? {
+            "\"front\"" => DrainedBy::Front,
+            raw => DrainedBy::Node(raw.parse::<u32>().ok()?),
+        };
+        Some(DrainAck {
+            draining,
+            in_flight,
+            epoch,
+            node,
+        })
+    }
+}
+
+/// Send `POST /drain` (optionally `?node=i` against a fleet front
+/// tier) and return the parsed structured acknowledgement.
+///
+/// # Errors
+///
+/// Fails on connection errors, a non-202 status, or an ack body
+/// missing the documented fields.
+pub fn post_drain(addr: SocketAddr, limits: &Limits, node: Option<usize>) -> io::Result<DrainAck> {
+    let target = match node {
+        Some(id) => format!("/drain?node={id}"),
+        None => "/drain".to_string(),
+    };
+    let stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    writer.write_all(format!("POST {target} HTTP/1.1\r\nConnection: close\r\n\r\n").as_bytes())?;
+    let response = read_response(&mut reader, limits)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    if response.status != 202 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("drain answered {} not 202", response.status),
+        ));
+    }
+    DrainAck::parse(&response.body).ok_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unparseable drain ack: {}", response.text()),
+        )
+    })
 }
 
 /// Issue one request on a fresh connection (open-loop discipline).
@@ -517,6 +632,7 @@ fn run_closed(
                             brownout: reply.is_some_and(|facts| facts.brownout),
                             wire_fault: injected,
                             retry_waited,
+                            served_by: reply.and_then(|facts| facts.served_by),
                         });
                     }
                     outcomes
@@ -580,6 +696,7 @@ fn run_open(
                             brownout: reply.is_some_and(|facts| facts.brownout),
                             wire_fault: fault != WireFaultOutcome::None,
                             retry_waited: false,
+                            served_by: reply.and_then(|facts| facts.served_by),
                         });
                     }
                     outcomes
@@ -632,6 +749,7 @@ mod tests {
                 brownout,
                 wire_fault: status.is_none(),
                 retry_waited: status == Some(429),
+                served_by: if status == Some(200) { Some(1) } else { None },
             });
         }
         report.trim_slowest();
@@ -654,6 +772,30 @@ mod tests {
         assert_eq!(report.slowest.len(), 2);
         assert_eq!(report.slowest[0].latency_ms, 8.0);
         assert_eq!(report.slowest[0].request_id, Some(12));
+        // Served-By folds per node, 200s only.
+        assert_eq!(report.served_by.get(&1), Some(&2));
+        assert_eq!(report.served_by.values().sum::<usize>(), report.ok);
+    }
+
+    #[test]
+    fn drain_acks_parse_node_and_front_bodies() {
+        let node = DrainAck::parse(br#"{"draining": true, "in_flight": 3, "epoch": 7, "node": 2}"#)
+            .unwrap();
+        assert_eq!(
+            node,
+            DrainAck {
+                draining: true,
+                in_flight: 3,
+                epoch: 7,
+                node: DrainedBy::Node(2),
+            }
+        );
+        let front =
+            DrainAck::parse(br#"{"draining": true, "in_flight": 0, "epoch": 1, "node": "front"}"#)
+                .unwrap();
+        assert_eq!(front.node, DrainedBy::Front);
+        assert!(DrainAck::parse(b"{\"draining\": true}").is_none());
+        assert!(DrainAck::parse(b"\xff\xfe").is_none());
     }
 
     #[test]
@@ -668,6 +810,7 @@ mod tests {
                 brownout: false,
                 wire_fault: false,
                 retry_waited: false,
+                served_by: Some((i % 3) as u32),
             });
         }
         report.trim_slowest();

@@ -26,7 +26,9 @@
 //! idle polls tick the sliding SLO window.
 
 use crate::admission::AdmissionDecision;
-use crate::http::{read_request, write_response, write_response_with, Limits, Request};
+use crate::http::{
+    read_request, write_response, write_response_with, Limits, Request, RULES_EPOCH_HEADER,
+};
 use crate::metrics::{admission_object, metrics_document, supervisor_object};
 use crate::service::{ComputeService, ServiceError};
 use crate::stats::stats_document;
@@ -88,17 +90,41 @@ impl ShutdownHandle {
     }
 }
 
-/// A bound-but-not-yet-running server.
+/// What a [`Server`] serves. The accept/dispatch/keep-alive machinery
+/// is identical for a compute node and for a fleet's front-tier
+/// router; only the three hooks below differ.
+pub trait HttpHandler: Send + Sync + 'static {
+    /// Answer one parsed request. `shutdown` is the server's drain
+    /// flag; a handler may raise it (`POST /drain`).
+    fn handle(&self, request: &Request, shutdown: &AtomicBool) -> Reply;
+
+    /// Heartbeat from the idle accept loop (~every 2ms while no
+    /// connection is pending). Control loops live here.
+    fn on_idle(&self) {}
+
+    /// The reply written inline when the connection pool refuses a
+    /// new connection — front-door load shedding.
+    fn shed(&self) -> Reply {
+        Reply::json(
+            503,
+            "Service Unavailable",
+            error_body("server saturated, retry later"),
+        )
+    }
+}
+
+/// A bound-but-not-yet-running server over any [`HttpHandler`] — a
+/// single compute node by default, or a fleet front tier.
 #[derive(Debug)]
-pub struct Server {
+pub struct Server<H: HttpHandler = ComputeService> {
     listener: TcpListener,
     addr: SocketAddr,
-    service: Arc<ComputeService>,
+    service: Arc<H>,
     config: ServerConfig,
     shutdown: Arc<AtomicBool>,
 }
 
-impl Server {
+impl<H: HttpHandler> Server<H> {
     /// Bind `addr` (use port 0 for an ephemeral loopback port).
     ///
     /// # Errors
@@ -106,9 +132,9 @@ impl Server {
     /// Propagates socket errors.
     pub fn bind(
         addr: impl ToSocketAddrs,
-        service: Arc<ComputeService>,
+        service: Arc<H>,
         config: ServerConfig,
-    ) -> io::Result<Server> {
+    ) -> io::Result<Server<H>> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         Ok(Server {
@@ -145,16 +171,11 @@ impl Server {
             match self.listener.accept() {
                 Ok((stream, _peer)) => self.dispatch(&pool, stream),
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                    // Idle: advance the SLO sentinel's sliding window.
-                    // A window roll is also the control-loop heartbeat:
-                    // the admission limiter ticks its AIMD epoch and
-                    // the supervisor judges the window that just
-                    // closed.
-                    if let Some(obs) = self.service.observability() {
-                        if obs.tick() {
-                            self.service.on_window();
-                        }
-                    }
+                    // Idle: the handler's heartbeat. For a compute
+                    // node this advances the SLO sentinel's sliding
+                    // window and runs the control loops; for a front
+                    // tier it probes node health and epochs.
+                    self.service.on_idle();
                     std::thread::sleep(Duration::from_millis(2));
                 }
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
@@ -206,26 +227,21 @@ impl Server {
             let deadline = self.config.request_deadline;
             move || {
                 if let Some(stream) = slot.lock().take() {
-                    handle_connection(&service, &limits, &shutdown, stream, keep_alive, deadline);
+                    handle_connection(&*service, &limits, &shutdown, stream, keep_alive, deadline);
                 }
             }
         };
         if let Err(refused) = pool.try_execute(task) {
             drop(refused);
-            // Front-door saturation is a congestion signal for the
-            // AIMD admission limiter, and the shed carries the same
-            // Retry-After hint as an admission 429.
-            self.service.admission().on_congestion();
             if let Some(mut stream) = slot.lock().take() {
-                let body = error_body("server saturated, retry later");
-                let retry_after = self.service.admission().retry_after_secs().to_string();
+                let reply = self.service.shed();
                 let _ = write_response_with(
                     &mut stream,
-                    503,
-                    "Service Unavailable",
-                    "application/json",
-                    &[("Retry-After", retry_after)],
-                    body.as_bytes(),
+                    reply.status,
+                    reply.reason,
+                    reply.content_type,
+                    &reply.headers,
+                    reply.body.as_bytes(),
                     false,
                 );
             }
@@ -276,18 +292,24 @@ impl Drop for RunningServer {
     }
 }
 
-/// One response, pre-serialization.
+/// One response, pre-serialization — what an [`HttpHandler`] returns.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub(crate) struct Reply {
+pub struct Reply {
+    /// HTTP status code.
     pub status: u16,
+    /// Reason phrase for the status line.
     pub reason: &'static str,
+    /// `Content-Type` value.
     pub content_type: &'static str,
+    /// Response body.
     pub body: String,
+    /// Extra headers beyond the ones the writer always emits.
     pub headers: Vec<(&'static str, String)>,
 }
 
 impl Reply {
-    fn json(status: u16, reason: &'static str, body: String) -> Reply {
+    /// A JSON reply with no extra headers.
+    pub fn json(status: u16, reason: &'static str, body: String) -> Reply {
         Reply {
             status,
             reason,
@@ -297,17 +319,72 @@ impl Reply {
         }
     }
 
-    fn with_header(mut self, name: &'static str, value: String) -> Reply {
+    /// Append one extra header.
+    #[must_use]
+    pub fn with_header(mut self, name: &'static str, value: String) -> Reply {
         self.headers.push((name, value));
         self
     }
 
-    #[cfg(test)]
-    pub(crate) fn header(&self, name: &str) -> Option<&str> {
+    /// First extra header matching `name` case-insensitively.
+    pub fn header(&self, name: &str) -> Option<&str> {
         self.headers
             .iter()
             .find(|(n, _)| n.eq_ignore_ascii_case(name))
             .map(|(_, v)| v.as_str())
+    }
+}
+
+impl HttpHandler for ComputeService {
+    /// Route a request through this node, enforcing the rules-epoch
+    /// protocol at the door: a malformed stamp is a 400, a stamp ahead
+    /// of this node's epoch means the node missed a broadcast and must
+    /// refuse rather than serve stale rules (409), and every reply
+    /// carries the epoch it was served under.
+    fn handle(&self, request: &Request, shutdown: &AtomicBool) -> Reply {
+        let epoch = self.rules_epoch();
+        let reply = match request.rules_epoch() {
+            Err(err) => Reply::json(400, "Bad Request", error_body(&err.to_string())),
+            Ok(Some(expected)) if expected > epoch => Reply::json(
+                409,
+                "Conflict",
+                JsonObject::new()
+                    .with_str("error", "stale rules epoch")
+                    .with_int("node", self.node_id() as i64)
+                    .with_int("node_epoch", epoch as i64)
+                    .with_int("expected_epoch", expected as i64)
+                    .render(),
+            ),
+            Ok(_) => route(self, shutdown, request),
+        };
+        reply.with_header(RULES_EPOCH_HEADER, epoch.to_string())
+    }
+
+    /// Advance the SLO sentinel's sliding window; a window roll is the
+    /// control-loop heartbeat (AIMD admission tick, supervisor
+    /// judgement of the closed window).
+    fn on_idle(&self) {
+        if let Some(obs) = self.observability() {
+            if obs.tick() {
+                self.on_window();
+            }
+        }
+    }
+
+    /// Front-door saturation is a congestion signal for the AIMD
+    /// admission limiter, and the shed carries the same Retry-After
+    /// hint as an admission 429.
+    fn shed(&self) -> Reply {
+        self.admission().on_congestion();
+        Reply::json(
+            503,
+            "Service Unavailable",
+            error_body("server saturated, retry later"),
+        )
+        .with_header(
+            "Retry-After",
+            self.admission().retry_after_secs().to_string(),
+        )
     }
 }
 
@@ -346,8 +423,8 @@ pub(crate) fn error_body(message: &str) -> String {
 
 /// Serve requests off one connection until it closes, errors, times
 /// out idle, or the server begins draining.
-fn handle_connection(
-    service: &ComputeService,
+fn handle_connection<H: HttpHandler>(
+    service: &H,
     limits: &Limits,
     shutdown: &AtomicBool,
     stream: TcpStream,
@@ -367,7 +444,7 @@ fn handle_connection(
         match read_request(&mut reader, limits) {
             Ok(None) => return,
             Ok(Some(request)) => {
-                let reply = route(service, shutdown, &request);
+                let reply = service.handle(&request, shutdown);
                 let keep_alive = request.keep_alive && !shutdown.load(Ordering::SeqCst);
                 let body = if request.method == "HEAD" {
                     &[][..]
@@ -429,11 +506,17 @@ pub(crate) fn route(service: &ComputeService, shutdown: &AtomicBool, request: &R
         ("GET", "/trace/recent") | ("HEAD", "/trace/recent") => trace_recent(service),
         ("POST", "/drain") => {
             shutdown.store(true, Ordering::SeqCst);
+            // The acknowledgement tells the operator what they are
+            // draining and how much work is still in flight, so a
+            // rolling restart can wait for zero instead of sleeping.
             Reply::json(
                 202,
                 "Accepted",
                 JsonObject::new()
-                    .with("draining", tt_bench::perfjson::Json::Bool(true))
+                    .with("draining", Json::Bool(true))
+                    .with_int("in_flight", service.admission().pressure() as i64)
+                    .with_int("epoch", service.rules_epoch() as i64)
+                    .with_int("node", service.node_id() as i64)
                     .render(),
             )
         }
@@ -508,10 +591,13 @@ fn metrics(service: &ComputeService) -> Reply {
     // The control loops report regardless of observability: admission
     // always runs, and the supervisor subtree appears whenever a
     // supervisor is configured.
-    let mut doc = base.with(
-        "admission",
-        Json::Object(admission_object(service.admission())),
-    );
+    let mut doc = base
+        .with_int("node", service.node_id() as i64)
+        .with_int("rules_epoch", service.rules_epoch() as i64)
+        .with(
+            "admission",
+            Json::Object(admission_object(service.admission())),
+        );
     if let Some(status) = service.supervisor_status() {
         doc = doc.with("supervisor", Json::Object(supervisor_object(&status)));
     }

@@ -65,6 +65,10 @@ pub struct ServiceConfig {
     /// The self-healing rule supervisor; `None` disables closed-loop
     /// quarantine / rule-swap / rollback.
     pub supervisor: Option<SupervisorSetup>,
+    /// This service's node id within a fleet (`0` for a standalone
+    /// server). Stamped into the `/drain` acknowledgement, stale-epoch
+    /// rejections, and metrics so operators can tell replicas apart.
+    pub node_id: usize,
 }
 
 impl ServiceConfig {
@@ -85,6 +89,7 @@ impl ServiceConfig {
             obs: ObsConfig::defaults(),
             admission: AdmissionConfig::defaults(),
             supervisor: Some(SupervisorSetup::defaults()),
+            node_id: 0,
         }
     }
 }
@@ -283,6 +288,11 @@ pub struct ComputeService {
     health: Arc<VersionHealth>,
     supervisor: Option<Mutex<SupervisorRuntime>>,
     rules_revision: AtomicU64,
+    /// Fleet-wide rules-epoch stamp this node last adopted. Standalone
+    /// servers track `rules_revision`; fleet nodes are set by the
+    /// control plane's broadcast, and a node whose epoch falls behind
+    /// the fleet's is serving stale rules.
+    rules_epoch: AtomicU64,
     served: AtomicUsize,
     started: Instant,
     /// Versions by ascending mean profiled latency ("cheaper" first).
@@ -382,6 +392,7 @@ impl ComputeService {
             health: Arc::new(VersionHealth::new(versions)),
             supervisor,
             rules_revision: AtomicU64::new(1),
+            rules_epoch: AtomicU64::new(1),
             served: AtomicUsize::new(0),
             started,
             version_order,
@@ -413,6 +424,37 @@ impl ComputeService {
     /// bumped by every supervisor hot-swap).
     pub fn rules_revision(&self) -> u64 {
         self.rules_revision.load(Ordering::SeqCst)
+    }
+
+    /// The rules epoch this node currently serves under. Every
+    /// response is stamped with it; a front tier fences nodes whose
+    /// stamp trails the fleet epoch.
+    pub fn rules_epoch(&self) -> u64 {
+        self.rules_epoch.load(Ordering::SeqCst)
+    }
+
+    /// This node's id within its fleet (0 standalone).
+    pub fn node_id(&self) -> usize {
+        self.config.node_id
+    }
+
+    /// Adopt control-plane routing rules under an explicit fleet
+    /// epoch: the node rebinds observability, rebuilds admission
+    /// plans, swaps the rules, and from now on stamps responses with
+    /// `epoch`. This is the broadcast path a fleet's control plane
+    /// uses; local supervisor hot-swaps go through the same
+    /// installation but derive the epoch themselves.
+    pub fn adopt_rules(&self, frontend: TieredFrontend, epoch: u64) {
+        self.install(frontend);
+        self.rules_epoch.store(epoch, Ordering::SeqCst);
+    }
+
+    /// Re-stamp this node to `epoch` without touching the live rules
+    /// (used when a broadcast carries an epoch bump but the rules the
+    /// node already serves are current, e.g. after a control-path
+    /// partition heals and the fleet re-asserts its epoch).
+    pub fn set_rules_epoch(&self, epoch: u64) {
+        self.rules_epoch.store(epoch, Ordering::SeqCst);
     }
 
     /// The price schedule requests are billed against.
@@ -1158,6 +1200,10 @@ impl ComputeService {
         );
         *self.frontend.write() = frontend;
         self.rules_revision.fetch_add(1, Ordering::SeqCst);
+        // A local hot-swap is a new rules generation for this node; in
+        // a fleet the control plane overwrites this stamp when it
+        // rebroadcasts the swap cluster-wide.
+        self.rules_epoch.fetch_add(1, Ordering::SeqCst);
     }
 
     /// Record one executed transition: a `supervisor` span on the

@@ -33,6 +33,36 @@ proptest! {
     }
 
     #[test]
+    fn rules_epoch_parsing_never_panics_and_matches_a_model(
+        raw in prop::collection::vec(32u8..=126u8, 0..24),
+    ) {
+        let value = String::from_utf8(raw).expect("printable ASCII");
+        // Any printable header value either parses as a decimal u64
+        // (modulo surrounding whitespace) or maps to the 400 class —
+        // never a panic, never a silent None for a present stamp.
+        let got = tt_net::http::parse_rules_epoch(Some(&value));
+        match value.trim().parse::<u64>() {
+            Ok(epoch) => prop_assert_eq!(got, Ok(Some(epoch))),
+            Err(_) => {
+                let err = got.unwrap_err();
+                prop_assert_eq!(err.status(), Some((400, "Bad Request")));
+            }
+        }
+        // And a stamped wire request agrees with direct parsing.
+        let wire = format!(
+            "POST /compute HTTP/1.1\r\nRules-Epoch: {value}\r\nContent-Length: 0\r\n\r\n"
+        );
+        if let Ok(Some(request)) = parse(wire.as_bytes(), &Limits::default()) {
+            // Header parsing may normalize surrounding whitespace, so
+            // compare the epoch/status outcome, not error text.
+            prop_assert_eq!(
+                request.rules_epoch().map_err(|e| e.status()),
+                tt_net::http::parse_rules_epoch(Some(&value)).map_err(|e| e.status())
+            );
+        }
+    }
+
+    #[test]
     fn http_shaped_garbage_never_panics(
         tail in prop::collection::vec(0u8..=255u8, 0..512),
     ) {

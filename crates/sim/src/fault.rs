@@ -431,6 +431,152 @@ impl WireFaultPlan {
     }
 }
 
+/// A node-level fault in a serving fleet: whole replicas, not single
+/// invocations. These extend the per-invocation vocabulary above to
+/// the granularity a multi-node front tier routes around.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeFault {
+    /// The node process dies abruptly: the listener closes and every
+    /// pooled connection to it breaks.
+    Crash,
+    /// A crashed node comes back (fresh listener, same identity).
+    Restart,
+    /// The data path between front tier and node drops: proxied
+    /// requests fail as if the network ate them. The node itself keeps
+    /// running.
+    PartitionData,
+    /// The data path heals.
+    HealData,
+    /// The control path drops: the node stops hearing rules-epoch
+    /// broadcasts and silently serves stale rules.
+    PartitionControl,
+    /// The control path heals.
+    HealControl,
+}
+
+/// One scheduled node-level event: after `at_request` requests have
+/// completed at the front tier, apply `fault` to `node`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeFaultEvent {
+    /// Completed-request count that triggers the event.
+    pub at_request: usize,
+    /// Target node index.
+    pub node: usize,
+    /// What happens to it.
+    pub fault: NodeFault,
+}
+
+/// A deterministic script of node-level faults, replayed against a
+/// running fleet by whoever drives the load (the cluster load
+/// generator, a bench binary, a chaos test).
+///
+/// The script is ordered by trigger position; [`NodeFaultScript::due`]
+/// drains every event whose position has been reached, so a driver
+/// only needs a completed-request counter. Same script, same counter
+/// sequence → same fault timeline, which is what makes node-crash
+/// benchmarks reproducible.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeFaultScript {
+    events: Vec<NodeFaultEvent>,
+    cursor: usize,
+}
+
+impl NodeFaultScript {
+    /// Build a script from events in any order; they are stably sorted
+    /// by trigger position.
+    pub fn new(mut events: Vec<NodeFaultEvent>) -> Self {
+        events.sort_by_key(|e| e.at_request);
+        NodeFaultScript { events, cursor: 0 }
+    }
+
+    /// A script with no events.
+    pub fn disabled() -> Self {
+        NodeFaultScript::new(Vec::new())
+    }
+
+    /// Kill `node` after `at_request` completed requests, never to
+    /// return.
+    pub fn crash_at(node: usize, at_request: usize) -> Self {
+        NodeFaultScript::new(vec![NodeFaultEvent {
+            at_request,
+            node,
+            fault: NodeFault::Crash,
+        }])
+    }
+
+    /// Kill `node` after `at_request` completed requests and bring it
+    /// back after `restart_at`.
+    pub fn crash_restart(node: usize, at_request: usize, restart_at: usize) -> Self {
+        NodeFaultScript::new(vec![
+            NodeFaultEvent {
+                at_request,
+                node,
+                fault: NodeFault::Crash,
+            },
+            NodeFaultEvent {
+                at_request: restart_at,
+                node,
+                fault: NodeFault::Restart,
+            },
+        ])
+    }
+
+    /// A seeded script of `crashes` crash→restart pairs over a fleet
+    /// of `nodes` nodes and a horizon of `horizon` requests. Positions
+    /// and victims are drawn from the script's own RNG stream (the
+    /// seed is decorrelated from pool- and lane-level streams), so the
+    /// node-fault timeline never perturbs invocation- or wire-level
+    /// draws.
+    pub fn seeded(seed: u64, nodes: usize, horizon: usize, crashes: usize) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xA076_1D64_78BD_642F);
+        let mut events = Vec::with_capacity(crashes * 2);
+        if nodes == 0 || horizon < 2 {
+            return NodeFaultScript::new(events);
+        }
+        for _ in 0..crashes {
+            let node = rng.gen_range(0..nodes);
+            let at_request = rng.gen_range(1..horizon);
+            let restart_at = rng.gen_range(at_request..horizon.max(at_request + 1));
+            events.push(NodeFaultEvent {
+                at_request,
+                node,
+                fault: NodeFault::Crash,
+            });
+            events.push(NodeFaultEvent {
+                at_request: restart_at,
+                node,
+                fault: NodeFault::Restart,
+            });
+        }
+        NodeFaultScript::new(events)
+    }
+
+    /// Drain every event whose trigger position is `<= completed`.
+    /// Events fire exactly once, in script order.
+    pub fn due(&mut self, completed: usize) -> &[NodeFaultEvent] {
+        let start = self.cursor;
+        while self.cursor < self.events.len() && self.events[self.cursor].at_request <= completed {
+            self.cursor += 1;
+        }
+        &self.events[start..self.cursor]
+    }
+
+    /// Events not yet fired.
+    pub fn remaining(&self) -> usize {
+        self.events.len() - self.cursor
+    }
+
+    /// Whether the script has no events at all.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Every event in the script, fired or not, in trigger order.
+    pub fn events(&self) -> &[NodeFaultEvent] {
+        &self.events
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -684,5 +830,66 @@ mod tests {
         .is_err());
         assert!(WireFaultRates::NONE.validate().is_ok());
         assert!(WireFaultPlan::disabled(2).is_disabled());
+    }
+
+    #[test]
+    fn node_fault_script_fires_in_order_exactly_once() {
+        let mut script = NodeFaultScript::new(vec![
+            NodeFaultEvent {
+                at_request: 40,
+                node: 1,
+                fault: NodeFault::Restart,
+            },
+            NodeFaultEvent {
+                at_request: 10,
+                node: 1,
+                fault: NodeFault::Crash,
+            },
+        ]);
+        assert!(script.due(9).is_empty());
+        let first = script.due(10);
+        assert_eq!(first.len(), 1);
+        assert_eq!(first[0].fault, NodeFault::Crash);
+        assert!(script.due(10).is_empty(), "events fire once");
+        assert_eq!(script.due(100)[0].fault, NodeFault::Restart);
+        assert_eq!(script.remaining(), 0);
+    }
+
+    #[test]
+    fn seeded_node_scripts_are_reproducible_and_ordered() {
+        let a = NodeFaultScript::seeded(9, 4, 500, 3);
+        let b = NodeFaultScript::seeded(9, 4, 500, 3);
+        let c = NodeFaultScript::seeded(10, 4, 500, 3);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.events().len(), 6);
+        assert!(a
+            .events()
+            .windows(2)
+            .all(|w| w[0].at_request <= w[1].at_request));
+        assert!(a.events().iter().all(|e| e.node < 4 && e.at_request < 500));
+        assert!(NodeFaultScript::seeded(1, 0, 500, 3).is_empty());
+    }
+
+    #[test]
+    fn crash_restart_helper_pairs_up() {
+        let script = NodeFaultScript::crash_restart(2, 50, 80);
+        assert_eq!(
+            script.events(),
+            &[
+                NodeFaultEvent {
+                    at_request: 50,
+                    node: 2,
+                    fault: NodeFault::Crash
+                },
+                NodeFaultEvent {
+                    at_request: 80,
+                    node: 2,
+                    fault: NodeFault::Restart
+                },
+            ]
+        );
+        assert!(NodeFaultScript::crash_at(0, 5).events().len() == 1);
+        assert!(NodeFaultScript::disabled().is_empty());
     }
 }

@@ -45,8 +45,8 @@ pub use arrivals::ArrivalProcess;
 pub use cost::{CostLedger, InstanceType, Money};
 pub use engine::EventQueue;
 pub use fault::{
-    FaultOutcome, FaultPlan, FaultRates, JobCompletion, WireFaultOutcome, WireFaultPlan,
-    WireFaultRates,
+    FaultOutcome, FaultPlan, FaultRates, JobCompletion, NodeFault, NodeFaultEvent, NodeFaultScript,
+    WireFaultOutcome, WireFaultPlan, WireFaultRates,
 };
 pub use metrics::LatencyRecorder;
 pub use node::{JobTiming, ServiceNode};

@@ -124,20 +124,7 @@ impl LatencyRecorder {
             return None;
         }
         match &self.storage {
-            Storage::Exact(samples) => {
-                let mut sorted = samples.clone();
-                sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN latency sample"));
-                Some(
-                    qs.iter()
-                        .map(|&q| {
-                            let pos = q * (sorted.len() - 1) as f64;
-                            let lo = pos.floor() as usize;
-                            let hi = pos.ceil() as usize;
-                            sorted[lo] + (sorted[hi] - sorted[lo]) * (pos - lo as f64)
-                        })
-                        .collect(),
-                )
-            }
+            Storage::Exact(samples) => tt_stats::descriptive::quantiles(samples, qs).ok(),
             Storage::Bounded(hist) => Some(
                 qs.iter()
                     .map(|&q| hist.quantile(q).expect("non-empty histogram") as f64 / 1e3)

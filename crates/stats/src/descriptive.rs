@@ -57,28 +57,71 @@ pub fn z_scores(xs: &[f64]) -> Result<Vec<f64>> {
     Ok(xs.iter().map(|x| (x - m) / sd).collect())
 }
 
+/// Linear-interpolation quantile over an already-sorted sample (the
+/// numpy `linear` method). This is the single quantile kernel for the
+/// whole workspace: [`percentile`], [`Summary`], and the serving
+/// stack's latency recorders all delegate here so every scrape path
+/// interpolates identically.
+///
+/// # Errors
+///
+/// Returns [`StatsError::EmptySample`] if `sorted` is empty and
+/// [`StatsError::InvalidProbability`] if any `q` is outside `[0, 1]`
+/// or NaN.
+pub fn quantiles_sorted(sorted: &[f64], qs: &[f64]) -> Result<Vec<f64>> {
+    if sorted.is_empty() {
+        return Err(StatsError::EmptySample);
+    }
+    if qs.iter().any(|q| !(0.0..=1.0).contains(q)) {
+        return Err(StatsError::InvalidProbability { what: "q" });
+    }
+    Ok(qs
+        .iter()
+        .map(|&q| {
+            let pos = q * (sorted.len() - 1) as f64;
+            let lo = pos.floor() as usize;
+            let hi = pos.ceil() as usize;
+            let frac = pos - lo as f64;
+            sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+        })
+        .collect())
+}
+
+/// Batch linear-interpolation quantiles: sorts the sample **once** and
+/// answers every `q`, unlike repeated [`percentile`] calls which
+/// re-sort per call.
+///
+/// ```
+/// let qs = tt_stats::descriptive::quantiles(&[30.0, 10.0, 20.0, 40.0], &[0.0, 0.5]).unwrap();
+/// assert_eq!(qs, vec![10.0, 25.0]);
+/// ```
+///
+/// # Errors
+///
+/// Returns [`StatsError::EmptySample`] if `xs` is empty and
+/// [`StatsError::InvalidProbability`] if any `q` is outside `[0, 1]`
+/// or NaN.
+pub fn quantiles(xs: &[f64], qs: &[f64]) -> Result<Vec<f64>> {
+    if xs.is_empty() {
+        return Err(StatsError::EmptySample);
+    }
+    let mut sorted: Vec<f64> = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample"));
+    quantiles_sorted(&sorted, qs)
+}
+
 /// Linear-interpolation percentile (the numpy `linear` method).
 ///
-/// `q` is a fraction in `[0, 1]`; `q = 0.5` is the median.
+/// `q` is a fraction in `[0, 1]`; `q = 0.5` is the median. Sorts per
+/// call — prefer [`quantiles`] when asking for several quantiles of
+/// the same sample.
 ///
 /// # Errors
 ///
 /// Returns [`StatsError::EmptySample`] if `xs` is empty and
 /// [`StatsError::InvalidProbability`] if `q` is outside `[0, 1]` or NaN.
 pub fn percentile(xs: &[f64], q: f64) -> Result<f64> {
-    if xs.is_empty() {
-        return Err(StatsError::EmptySample);
-    }
-    if !(0.0..=1.0).contains(&q) {
-        return Err(StatsError::InvalidProbability { what: "q" });
-    }
-    let mut sorted: Vec<f64> = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample"));
-    let pos = q * (sorted.len() - 1) as f64;
-    let lo = pos.floor() as usize;
-    let hi = pos.ceil() as usize;
-    let frac = pos - lo as f64;
-    Ok(sorted[lo] + (sorted[hi] - sorted[lo]) * frac)
+    Ok(quantiles(xs, &[q])?[0])
 }
 
 /// Geometric mean of a sample of positive values.
@@ -130,15 +173,16 @@ impl Summary {
         if xs.is_empty() {
             return Err(StatsError::EmptySample);
         }
+        let ps = quantiles(xs, &[0.50, 0.95, 0.99])?;
         Ok(Summary {
             count: xs.len(),
             mean: mean(xs)?,
             std_dev: std_dev(xs)?,
             min: xs.iter().copied().fold(f64::INFINITY, f64::min),
             max: xs.iter().copied().fold(f64::NEG_INFINITY, f64::max),
-            p50: percentile(xs, 0.50)?,
-            p95: percentile(xs, 0.95)?,
-            p99: percentile(xs, 0.99)?,
+            p50: ps[0],
+            p95: ps[1],
+            p99: ps[2],
         })
     }
 
@@ -240,6 +284,34 @@ mod tests {
     fn percentile_rejects_bad_q() {
         assert!(percentile(&[1.0], 1.5).is_err());
         assert!(percentile(&[1.0], -0.1).is_err());
+    }
+
+    #[test]
+    fn batch_quantiles_match_per_call_percentiles_bitwise() {
+        // Regression for the dedup of the three hand-rolled percentile
+        // helpers (loadgen, bench bins, latency recorder scrape path):
+        // the single batch kernel must reproduce the per-call results
+        // exactly, including on awkward sample sizes.
+        let mut xs = Vec::new();
+        let mut x = 0.5_f64;
+        for _ in 0..103 {
+            // Deterministic, unsorted, irregular sample.
+            x = (x * 997.0 + 0.137).rem_euclid(37.0);
+            xs.push(x);
+        }
+        let qs = [0.0, 0.01, 0.25, 0.5, 0.9, 0.95, 0.99, 0.999, 1.0];
+        let batch = quantiles(&xs, &qs).unwrap();
+        for (q, got) in qs.iter().zip(&batch) {
+            let single = percentile(&xs, *q).unwrap();
+            assert_eq!(got.to_bits(), single.to_bits(), "q={q}");
+        }
+    }
+
+    #[test]
+    fn quantiles_reject_bad_input() {
+        assert_eq!(quantiles(&[], &[0.5]), Err(StatsError::EmptySample));
+        assert!(quantiles(&[1.0], &[0.5, 1.5]).is_err());
+        assert!(quantiles_sorted(&[1.0], &[f64::NAN]).is_err());
     }
 
     #[test]
