@@ -8,14 +8,22 @@
 //! `--quick` shrinks request counts for CI smoke runs; the artifact
 //! shape is identical in both modes.
 //!
-//! The benchmark runs the closed-loop discipline twice: once against a
-//! service built with [`ObsConfig::disabled`] and once with full
-//! instrumentation (metrics registry, tracing, SLO sentinel). The gap
-//! between the two throughputs is the observability tax, reported as
-//! `instrumentation_overhead_pct`. In `--quick` mode the process exits
-//! non-zero if that tax exceeds 10%, so CI catches hot-path
-//! regressions in the instrumentation itself.
+//! The closed-loop discipline runs as a *paired engine* comparison:
+//! the same demo deployment served once by the legacy threaded engine
+//! (one blocking worker per connection, no batching) and once by the
+//! epoll reactor with deadline-bounded request coalescing. Passes
+//! alternate between the two so machine-level drift hits both arms
+//! equally; the headline `closed_loop` object is the reactor arm and
+//! `engine_speedup` records reactor ÷ threaded throughput. In
+//! `--quick` mode the process exits non-zero if the reactor arm is
+//! slower than the threaded one, so CI catches reactor regressions.
+//!
+//! The artifact also records `billing_parity`: seeded mixed-tier runs
+//! at 1 and 4 HTTP workers where per-tier billed totals must be
+//! bit-identical between the two engines — batching may move work in
+//! time, never move a billed cent.
 
+use std::collections::BTreeMap;
 use std::io::{BufReader, Write};
 use std::net::TcpStream;
 use std::sync::Arc;
@@ -23,14 +31,17 @@ use std::time::Duration;
 use tt_bench::perfjson::{Json, JsonObject};
 use tt_net::http::{read_response, Limits};
 use tt_net::loadgen::{run_load, LoadConfig, LoadReport};
-use tt_net::obs::ObsConfig;
-use tt_net::server::{RunningServer, Server, ServerConfig};
+use tt_net::server::{Engine, RunningServer, Server, ServerConfig};
 use tt_net::service::{ComputeService, ServiceConfig};
+use tt_net::BatchConfig;
 
 struct BenchParams {
     label: &'static str,
     payloads: usize,
     requests: usize,
+    /// Request count for the measured closed-loop capacity passes —
+    /// large enough that one scheduler hiccup cannot swing a pass.
+    capacity_requests: usize,
     concurrency: usize,
     open_rate: f64,
     latency_scale: f64,
@@ -40,7 +51,8 @@ const QUICK: BenchParams = BenchParams {
     label: "quick",
     payloads: 80,
     requests: 240,
-    concurrency: 4,
+    capacity_requests: 960,
+    concurrency: 16,
     open_rate: 600.0,
     latency_scale: 0.02,
 };
@@ -49,16 +61,28 @@ const STANDARD: BenchParams = BenchParams {
     label: "standard",
     payloads: 300,
     requests: 2_000,
-    concurrency: 8,
+    capacity_requests: 12_000,
+    concurrency: 36,
     open_rate: 900.0,
     latency_scale: 0.05,
 };
 
 const SEED: u64 = 42;
 
-/// Maximum tolerated closed-loop throughput loss from instrumentation
-/// before `--quick` mode fails the run.
-const MAX_OVERHEAD_PCT: f64 = 10.0;
+/// Model-pool width shared by both engine arms: the scarce resource
+/// the reactor's batching is meant to exploit, held equal so the
+/// comparison is engine-vs-engine, not capacity-vs-capacity.
+const MODEL_WORKERS: usize = 16;
+
+/// Dispatch workers for the reactor arm (the reactor multiplexes all
+/// connections over these; the threaded arm gets one per connection).
+const REACTOR_WORKERS: usize = 16;
+
+/// Vectorized-evaluator lanes for the reactor arm's batcher. On a
+/// small host a lean crew beats a wide one: each extra lane is another
+/// thread contending for the flush wake, and eight already keeps every
+/// coalescing group's deadline serviced at these concurrencies.
+const BATCH_WORKERS: usize = 8;
 
 /// Measured closed-loop passes per arm; the best is kept.
 const CAPACITY_PASSES: usize = 3;
@@ -117,13 +141,14 @@ fn warmup(addr: std::net::SocketAddr, params: &BenchParams) {
 }
 
 fn closed_pass(addr: std::net::SocketAddr, params: &BenchParams) -> LoadReport {
-    // Capacity passes use a floor on request count even in quick mode:
-    // a 240-request pass finishes in ~100 ms, short enough that one
-    // scheduler hiccup swings the measured throughput by 2x.
-    let requests = params.requests.max(960);
     run_load(
         addr,
-        &LoadConfig::closed(requests, params.concurrency, params.payloads, SEED),
+        &LoadConfig::closed(
+            params.capacity_requests,
+            params.concurrency,
+            params.payloads,
+            SEED,
+        ),
     )
     .expect("closed-loop run")
 }
@@ -135,34 +160,23 @@ fn best_of(passes: &[LoadReport]) -> &LoadReport {
         .expect("at least one pass")
 }
 
-/// Instrumentation overhead as the *minimum* over paired passes of
-/// `(bare - instrumented) / bare`. Passes in a pair run back to back,
-/// so machine-level drift (a noisy neighbour, a frequency step) hits
-/// both arms; taking the best pair asks "could the instrumented stack
-/// match the bare one under like conditions at least once", which a
-/// one-sided interference spike cannot answer falsely.
-fn overhead_pct(bare: &[LoadReport], instrumented: &[LoadReport]) -> f64 {
-    bare.iter()
-        .zip(instrumented)
-        .map(|(b, i)| {
-            let bare_rps = b.throughput_rps();
-            if bare_rps > 0.0 {
-                (bare_rps - i.throughput_rps()) / bare_rps * 100.0
-            } else {
-                0.0
-            }
-        })
-        .fold(f64::INFINITY, f64::min)
-}
-
-fn boot(params: &BenchParams, obs: ObsConfig) -> (Arc<ComputeService>, RunningServer) {
+fn boot(
+    params: &BenchParams,
+    engine: Engine,
+    http_workers: usize,
+    batching: bool,
+) -> (Arc<ComputeService>, RunningServer) {
     let service = Arc::new(tt_net::demo::demo_service(
         params.payloads,
         SEED,
         ServiceConfig {
             latency_scale: params.latency_scale,
-            model_workers: 8,
-            obs,
+            model_workers: MODEL_WORKERS,
+            batch: BatchConfig {
+                enabled: batching,
+                workers: BATCH_WORKERS,
+                ..BatchConfig::defaults()
+            },
             ..ServiceConfig::defaults()
         },
     ));
@@ -170,7 +184,8 @@ fn boot(params: &BenchParams, obs: ObsConfig) -> (Arc<ComputeService>, RunningSe
         "127.0.0.1:0",
         Arc::clone(&service),
         ServerConfig {
-            http_workers: 8,
+            engine,
+            http_workers,
             backlog: 256,
             keep_alive_timeout: Duration::from_secs(2),
             ..ServerConfig::default()
@@ -178,6 +193,44 @@ fn boot(params: &BenchParams, obs: ObsConfig) -> (Arc<ComputeService>, RunningSe
     )
     .expect("bind loopback");
     (service, server.spawn())
+}
+
+/// Per-(objective, tolerance-milli) billed totals, bitwise.
+fn billed_tiers(service: &ComputeService) -> BTreeMap<(String, u32), (usize, u64)> {
+    service
+        .snapshot()
+        .billing
+        .tiers
+        .iter()
+        .map(|(k, v)| (k.clone(), (v.requests, v.revenue.as_dollars().to_bits())))
+        .collect()
+}
+
+/// Serve one seeded mixed-tier run per engine at `http_workers` and
+/// demand bit-identical per-tier billing. Aborts the bench on
+/// divergence: a batcher that moves a billed cent is a correctness
+/// bug, not a performance result.
+fn billing_parity(params: &BenchParams, http_workers: usize) -> bool {
+    let run = |engine: Engine, batching: bool| {
+        let (service, running) = boot(params, engine, http_workers, batching);
+        let report = run_load(
+            running.addr(),
+            &LoadConfig::closed(400, 6, params.payloads, SEED + 2),
+        )
+        .expect("parity run");
+        assert_eq!(report.ok, 400, "parity runs must answer every request");
+        let tiers = billed_tiers(&service);
+        let revenue = service.snapshot().billing.revenue.as_dollars().to_bits();
+        running.stop().expect("parity stop");
+        (tiers, revenue)
+    };
+    let threaded = run(Engine::Threaded, false);
+    let reactor = run(Engine::Reactor, true);
+    assert_eq!(
+        threaded, reactor,
+        "billing diverged between engines at {http_workers} workers"
+    );
+    threaded == reactor
 }
 
 fn main() {
@@ -192,43 +245,48 @@ fn main() {
     let params = if quick { QUICK } else { STANDARD };
 
     eprintln!(
-        "bench_serve[{}]: {} payloads, {} requests per discipline",
-        params.label, params.payloads, params.requests
+        "bench_serve[{}]: {} payloads, {} capacity requests per pass, concurrency {}",
+        params.label, params.payloads, params.capacity_requests, params.concurrency
     );
 
-    // Two deployments of the same demo, one with observability
-    // compiled out of the request path. Closed-loop passes alternate
-    // between them (warm-up first, best of `CAPACITY_PASSES` each) so
-    // slow-machine drift hits both arms equally instead of whichever
-    // ran second.
-    let (_bare_service, bare_running) = boot(&params, ObsConfig::disabled());
-    let (service, running) = boot(&params, ObsConfig::defaults());
-    let bare_addr = bare_running.addr();
+    // The same demo deployment behind both engines. Closed-loop passes
+    // alternate between them (warm-up first, best of `CAPACITY_PASSES`
+    // each) so slow-machine drift hits both arms equally instead of
+    // whichever ran second.
+    let (_threaded_service, threaded_running) =
+        boot(&params, Engine::Threaded, params.concurrency, false);
+    let (service, running) = boot(&params, Engine::Reactor, REACTOR_WORKERS, true);
+    let threaded_addr = threaded_running.addr();
     let addr = running.addr();
     eprintln!(
-        "bench_serve[{}]: serving on {addr} (uninstrumented twin on {bare_addr})",
+        "bench_serve[{}]: reactor on {addr} (threaded twin on {threaded_addr})",
         params.label
     );
-    warmup(bare_addr, &params);
+    warmup(threaded_addr, &params);
     warmup(addr, &params);
-    let (mut bare_passes, mut instrumented_passes) = (Vec::new(), Vec::new());
+    let (mut threaded_passes, mut reactor_passes) = (Vec::new(), Vec::new());
     for _ in 0..CAPACITY_PASSES {
-        bare_passes.push(closed_pass(bare_addr, &params));
-        instrumented_passes.push(closed_pass(addr, &params));
+        threaded_passes.push(closed_pass(threaded_addr, &params));
+        reactor_passes.push(closed_pass(addr, &params));
     }
-    let overhead_pct = overhead_pct(&bare_passes, &instrumented_passes);
-    let uninstrumented = best_of(&bare_passes).clone();
-    let closed = best_of(&instrumented_passes).clone();
-    bare_running.stop().expect("graceful baseline stop");
+    let threaded = best_of(&threaded_passes).clone();
+    let closed = best_of(&reactor_passes).clone();
+    threaded_running.stop().expect("graceful threaded stop");
+    let speedup = if threaded.throughput_rps() > 0.0 {
+        closed.throughput_rps() / threaded.throughput_rps()
+    } else {
+        0.0
+    };
     eprintln!(
-        "bench_serve[{}]: uninstrumented closed loop {} ok / {} sent, {:.0} rps",
+        "bench_serve[{}]: threaded closed loop {} ok / {} sent, {:.0} rps, p99 {:.2} ms",
         params.label,
-        uninstrumented.ok,
-        uninstrumented.sent,
-        uninstrumented.throughput_rps(),
+        threaded.ok,
+        threaded.sent,
+        threaded.throughput_rps(),
+        threaded.latency_ms(0.99).unwrap_or(0.0),
     );
     eprintln!(
-        "bench_serve[{}]: closed loop {} ok / {} sent, {:.0} rps, p99 {:.2} ms",
+        "bench_serve[{}]: reactor  closed loop {} ok / {} sent, {:.0} rps, p99 {:.2} ms ({speedup:.2}x)",
         params.label,
         closed.ok,
         closed.sent,
@@ -236,6 +294,19 @@ fn main() {
         closed.latency_ms(0.99).unwrap_or(0.0),
     );
 
+    // Warm the open-loop path too: the first connect-per-request burst
+    // after the keep-alive closed passes eats a transient (fresh-socket
+    // churn, scheduler warm-up) that hits whichever arm runs first and
+    // has nothing to do with the engine under test.
+    let _ = run_load(
+        addr,
+        &LoadConfig::open(
+            params.requests / 4,
+            params.open_rate,
+            params.payloads,
+            SEED + 3,
+        ),
+    );
     let open = run_load(
         addr,
         &LoadConfig::open(params.requests, params.open_rate, params.payloads, SEED + 1),
@@ -270,12 +341,13 @@ fn main() {
 
     running.stop().expect("graceful stop");
 
-    let uninstr_rps = uninstrumented.throughput_rps();
+    // Billing parity: the determinism half of the acceptance bar,
+    // exercised at both thread counts the e2e suite pins.
+    let parity_1 = billing_parity(&params, 1);
+    let parity_4 = billing_parity(&params, 4);
     eprintln!(
-        "bench_serve[{}]: instrumentation overhead {overhead_pct:.2}% \
-         (best of {CAPACITY_PASSES} paired passes; {uninstr_rps:.0} rps bare vs {:.0} rps instrumented)",
-        params.label,
-        closed.throughput_rps(),
+        "bench_serve[{}]: billing parity threaded==reactor at 1 worker: {parity_1}, 4 workers: {parity_4}",
+        params.label
     );
 
     let doc = JsonObject::new()
@@ -287,16 +359,29 @@ fn main() {
                 JsonObject::new()
                     .with_int("payloads", params.payloads as i64)
                     .with_int("requests", params.requests as i64)
+                    .with_int("capacity_requests", params.capacity_requests as i64)
                     .with_int("concurrency", params.concurrency as i64)
                     .with_num("open_rate_rps", params.open_rate)
                     .with_num("latency_scale", params.latency_scale)
-                    .with_int("seed", SEED as i64),
+                    .with_int("seed", SEED as i64)
+                    .with_int("model_workers", MODEL_WORKERS as i64)
+                    .with_int("reactor_workers", REACTOR_WORKERS as i64)
+                    .with_int("batch_workers", BATCH_WORKERS as i64),
             ),
         )
+        .with_str("closed_loop_engine", "reactor+batching")
         .with("closed_loop", Json::Object(report_json(&closed)))
+        .with("threaded_closed_loop", Json::Object(report_json(&threaded)))
+        .with_num("engine_speedup", speedup)
         .with("open_loop", Json::Object(report_json(&open)))
-        .with_num("uninstrumented_closed_rps", uninstr_rps)
-        .with_num("instrumentation_overhead_pct", overhead_pct)
+        .with(
+            "billing_parity",
+            Json::Object(
+                JsonObject::new()
+                    .with("workers_1", Json::Bool(parity_1))
+                    .with("workers_4", Json::Bool(parity_4)),
+            ),
+        )
         .with_int("served_total", snapshot.served as i64)
         .with_num("revenue_usd", snapshot.billing.revenue.as_dollars())
         .with("stats_endpoint_ok", Json::Bool(true))
@@ -304,11 +389,12 @@ fn main() {
     std::fs::write(&out_path, doc.render()).expect("write artifact");
     eprintln!("bench_serve[{}]: wrote {out_path}", params.label);
 
-    if quick && overhead_pct > MAX_OVERHEAD_PCT {
+    if quick && speedup < 1.0 {
         eprintln!(
-            "bench_serve[{}]: FAIL — instrumentation overhead {overhead_pct:.2}% \
-             exceeds {MAX_OVERHEAD_PCT:.0}% budget",
-            params.label
+            "bench_serve[{}]: FAIL — reactor engine ({:.0} rps) slower than threaded ({:.0} rps)",
+            params.label,
+            closed.throughput_rps(),
+            threaded.throughput_rps(),
         );
         std::process::exit(1);
     }

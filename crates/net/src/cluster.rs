@@ -152,11 +152,11 @@ struct ProxyConn {
 }
 
 impl ProxyConn {
-    fn open(addr: SocketAddr) -> io::Result<ProxyConn> {
+    fn open(addr: SocketAddr, peer_timeout: Duration) -> io::Result<ProxyConn> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
-        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
-        stream.set_write_timeout(Some(Duration::from_secs(30)))?;
+        stream.set_read_timeout(Some(peer_timeout))?;
+        stream.set_write_timeout(Some(peer_timeout))?;
         let reader = BufReader::new(stream.try_clone()?);
         Ok(ProxyConn {
             writer: stream,
@@ -230,6 +230,10 @@ pub struct FrontTier {
     strategy: RouteStrategy,
     epoch: Arc<AtomicU64>,
     limits: Limits,
+    /// How long proxied node reads/writes may stall before the node is
+    /// declared hung — [`ServerConfig::peer_read_timeout`], so the
+    /// whole stack detects a dead peer on one clock.
+    peer_timeout: Duration,
     rr_cursor: AtomicUsize,
     /// Smooth weighted round-robin state (`current` weights).
     wrr: Mutex<Vec<i64>>,
@@ -383,7 +387,7 @@ impl FrontTier {
             // node's keep-alive timeout; only a fresh socket failing
             // proves the node unreachable.
         }
-        let mut conn = ProxyConn::open(addr)?;
+        let mut conn = ProxyConn::open(addr, self.peer_timeout)?;
         let response = conn.exchange(&wire, &self.limits)?;
         if slot.pool.lock().len() < 8 {
             slot.pool.lock().push(conn);
@@ -573,8 +577,8 @@ impl FrontTier {
                 let slot = &self.slots[id];
                 let wire = b"POST /drain HTTP/1.1\r\nConnection: close\r\n\r\n";
                 let addr = *slot.addr.read();
-                let relayed =
-                    ProxyConn::open(addr).and_then(|mut conn| conn.exchange(wire, &self.limits));
+                let relayed = ProxyConn::open(addr, self.peer_timeout)
+                    .and_then(|mut conn| conn.exchange(wire, &self.limits));
                 match relayed {
                     Ok(response) => {
                         slot.draining.store(true, Ordering::SeqCst);
@@ -772,6 +776,7 @@ impl Fleet {
             strategy: config.strategy,
             epoch: Arc::clone(&epoch),
             limits: config.front_server.limits,
+            peer_timeout: config.front_server.peer_read_timeout,
             rr_cursor: AtomicUsize::new(0),
             proxied: AtomicU64::new(0),
             failovers: AtomicU64::new(0),

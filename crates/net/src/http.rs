@@ -317,6 +317,277 @@ pub fn read_request(
     }))
 }
 
+/// What one parse attempt over a buffered prefix concluded.
+enum Assembled {
+    /// A full request starts at byte 0 and spans `consumed` bytes.
+    Complete { request: Request, consumed: usize },
+    /// The prefix is valid so far but incomplete. `required` is the
+    /// total byte count needed once the head has fully parsed (head
+    /// plus declared body), `None` while the head itself is unfinished.
+    NeedMore { required: Option<usize> },
+}
+
+/// Find the next line in `buf[*pos..]` under the remaining head
+/// `budget`, mirroring [`read_line_bounded`]'s accounting exactly: every
+/// consumed byte (including `\r` and `\n`) costs one budget unit, and
+/// the error fires on the byte that would arrive with zero budget left.
+///
+/// `Ok(None)` means the line's terminator has not arrived yet.
+fn take_line<'b>(
+    buf: &'b [u8],
+    pos: &mut usize,
+    budget: &mut usize,
+) -> Result<Option<&'b str>, HttpError> {
+    let rest = &buf[*pos..];
+    match rest.iter().position(|&b| b == b'\n') {
+        Some(i) => {
+            if i >= *budget {
+                return Err(HttpError::HeadersTooLarge);
+            }
+            *budget -= i + 1;
+            *pos += i + 1;
+            let mut line = &rest[..i];
+            if line.last() == Some(&b'\r') {
+                line = &line[..line.len() - 1];
+            }
+            match std::str::from_utf8(line) {
+                Ok(s) => Ok(Some(s)),
+                Err(_) => Err(HttpError::BadRequest("non-utf8 header bytes".into())),
+            }
+        }
+        None => {
+            if rest.len() > *budget {
+                return Err(HttpError::HeadersTooLarge);
+            }
+            Ok(None)
+        }
+    }
+}
+
+/// Parse one request from the front of `buf`, or report how much more
+/// input is needed. Pure over the slice: nothing is consumed until the
+/// caller acts on `Assembled::Complete::consumed`.
+///
+/// This is the incremental twin of [`read_request`] and must agree with
+/// it verdict-for-verdict on every complete input (the fuzz suite
+/// enforces the parity); `NeedMore` corresponds to the prefix states
+/// where `read_request` would still be blocked on the socket.
+fn assemble(buf: &[u8], limits: &Limits) -> Result<Assembled, HttpError> {
+    let mut budget = limits.max_head_bytes;
+    let mut pos = 0usize;
+
+    // Request line, tolerating (bounded) leading blank lines.
+    let request_line = loop {
+        match take_line(buf, &mut pos, &mut budget)? {
+            None => return Ok(Assembled::NeedMore { required: None }),
+            Some("") => continue,
+            Some(line) => break line,
+        }
+    };
+    let mut parts = request_line.split(' ').filter(|p| !p.is_empty());
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) => (m, t, v),
+        _ => {
+            return Err(HttpError::BadRequest(format!(
+                "malformed request line `{}`",
+                request_line.chars().take(80).collect::<String>()
+            )))
+        }
+    };
+    let method = method.to_ascii_uppercase();
+    if !KNOWN_METHODS.contains(&method.as_str()) {
+        return Err(HttpError::MethodNotImplemented(method));
+    }
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Err(HttpError::VersionNotSupported(version.to_string()));
+    }
+    if !target.starts_with('/') {
+        return Err(HttpError::BadRequest(format!(
+            "request target `{}` is not origin-form",
+            target.chars().take(80).collect::<String>()
+        )));
+    }
+
+    // Header block.
+    let mut headers: Vec<(String, String)> = Vec::new();
+    loop {
+        let line = match take_line(buf, &mut pos, &mut budget)? {
+            None => return Ok(Assembled::NeedMore { required: None }),
+            Some(line) => line,
+        };
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= limits.max_headers {
+            return Err(HttpError::HeadersTooLarge);
+        }
+        let (name, value) = line.split_once(':').ok_or_else(|| {
+            HttpError::BadRequest(format!(
+                "malformed header line `{}`",
+                line.chars().take(80).collect::<String>()
+            ))
+        })?;
+        if name.is_empty() || name.contains(' ') || name.contains('\t') {
+            return Err(HttpError::BadRequest(format!(
+                "malformed header name `{}`",
+                name.chars().take(80).collect::<String>()
+            )));
+        }
+        headers.push((name.to_string(), value.trim().to_string()));
+    }
+    let head_end = pos;
+
+    // Body, gated on a sane Content-Length. The declaration alone is
+    // enough to refuse an oversized body — no body byte need arrive.
+    let content_length = match headers
+        .iter()
+        .find(|(n, _)| n.eq_ignore_ascii_case("content-length"))
+    {
+        Some((_, v)) => v
+            .parse::<usize>()
+            .map_err(|_| HttpError::BadRequest(format!("bad content-length `{v}`")))?,
+        None => 0,
+    };
+    if content_length > limits.max_body_bytes {
+        return Err(HttpError::PayloadTooLarge);
+    }
+    let required = head_end + content_length;
+    if buf.len() < required {
+        return Ok(Assembled::NeedMore {
+            required: Some(required),
+        });
+    }
+    let body = buf[head_end..required].to_vec();
+
+    let keep_alive = {
+        let connection = headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case("connection"))
+            .map(|(_, v)| v.to_ascii_lowercase());
+        match connection.as_deref() {
+            Some("close") => false,
+            Some("keep-alive") => true,
+            _ => version == "HTTP/1.1",
+        }
+    };
+
+    Ok(Assembled::Complete {
+        request: Request {
+            method,
+            target: target.to_string(),
+            headers,
+            body,
+            keep_alive,
+        },
+        consumed: required,
+    })
+}
+
+/// Incremental request parser for readiness-driven (non-blocking) I/O.
+///
+/// Where [`read_request`] pulls bytes off a blocking reader, the
+/// assembler is fed whatever a non-blocking read produced and parses
+/// straight out of its internal buffer — headers are sliced in place
+/// and only the final owned [`Request`] allocates. It enforces the same
+/// [`Limits`] with the same accounting as `read_request` and yields the
+/// same verdict for every complete input; pipelined requests queue up
+/// in the buffer and pop out one [`next_request`] call at a time.
+///
+/// Parse attempts are gated so byte-at-a-time input stays cheap: the
+/// head is only re-parsed when a new line terminator has arrived (or
+/// the head budget is exhausted), and once the head is complete the
+/// body phase is a plain length check until enough bytes are buffered.
+///
+/// After an `Err` the connection is unrecoverable — the caller must
+/// answer with the error's status (if any) and close, exactly as with
+/// `read_request`.
+///
+/// [`next_request`]: RequestAssembler::next_request
+#[derive(Debug)]
+pub struct RequestAssembler {
+    limits: Limits,
+    buf: Vec<u8>,
+    /// Complete lines buffered but not yet consumed by a parse attempt.
+    pending_newlines: usize,
+    /// Total bytes the in-progress request needs, once its head parsed.
+    required: Option<usize>,
+}
+
+impl RequestAssembler {
+    /// A fresh assembler enforcing `limits` per request.
+    pub fn new(limits: Limits) -> Self {
+        RequestAssembler {
+            limits,
+            buf: Vec::new(),
+            pending_newlines: 0,
+            required: None,
+        }
+    }
+
+    /// Feed bytes read off the socket.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.pending_newlines += bytes.iter().filter(|&&b| b == b'\n').count();
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet consumed as a request.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing is buffered — EOF here is a clean close, EOF
+    /// with buffered bytes is a mid-request truncation.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// True once the current request's head has fully parsed and only
+    /// body bytes are outstanding.
+    pub fn awaiting_body(&self) -> bool {
+        self.required.is_some()
+    }
+
+    fn should_attempt(&self) -> bool {
+        if self.buf.is_empty() {
+            return false;
+        }
+        match self.required {
+            Some(n) => self.buf.len() >= n,
+            None => self.pending_newlines > 0 || self.buf.len() > self.limits.max_head_bytes,
+        }
+    }
+
+    /// Pop the next complete request, if one is fully buffered.
+    ///
+    /// `Ok(None)` means more input is needed. Call in a loop after each
+    /// feed: pipelined input yields one request per call.
+    ///
+    /// # Errors
+    ///
+    /// The same typed [`HttpError`]s as [`read_request`]; the
+    /// connection must be closed afterwards.
+    pub fn next_request(&mut self) -> Result<Option<Request>, HttpError> {
+        if !self.should_attempt() {
+            return Ok(None);
+        }
+        self.pending_newlines = 0;
+        match assemble(&self.buf, &self.limits)? {
+            Assembled::Complete { request, consumed } => {
+                self.buf.drain(..consumed);
+                self.required = None;
+                // Leftover pipelined bytes may already hold the next
+                // head; re-arm the gate from what remains.
+                self.pending_newlines = self.buf.iter().filter(|&&b| b == b'\n').count();
+                Ok(Some(request))
+            }
+            Assembled::NeedMore { required } => {
+                self.required = required;
+                Ok(None)
+            }
+        }
+    }
+}
+
 /// Serialize and send one response. `content_type` is omitted when the
 /// body is empty.
 ///
@@ -705,6 +976,106 @@ mod tests {
         let resp = read_response(&mut Cursor::new(wire), &Limits::default()).unwrap();
         assert_eq!(resp.status, 429);
         assert_eq!(resp.header("retry-after"), Some("2"));
+    }
+
+    #[test]
+    fn assembler_pops_pipelined_requests_one_at_a_time() {
+        let mut asm = RequestAssembler::new(Limits::default());
+        asm.push(
+            b"POST /compute HTTP/1.1\r\nContent-Length: 3\r\n\r\nabc\
+              GET /stats HTTP/1.1\r\n\r\nGET /healthz",
+        );
+        let first = asm.next_request().unwrap().unwrap();
+        assert_eq!(first.method, "POST");
+        assert_eq!(first.body, b"abc");
+        let second = asm.next_request().unwrap().unwrap();
+        assert_eq!(second.method, "GET");
+        assert_eq!(second.path(), "/stats");
+        // Third request's head is incomplete: not ready, bytes retained.
+        assert_eq!(asm.next_request().unwrap(), None);
+        assert!(!asm.is_empty());
+        asm.push(b" HTTP/1.1\r\n\r\n");
+        let third = asm.next_request().unwrap().unwrap();
+        assert_eq!(third.path(), "/healthz");
+        assert!(asm.is_empty());
+    }
+
+    #[test]
+    fn assembler_handles_byte_dribble() {
+        let wire = b"POST /compute HTTP/1.1\r\nTolerance: 0.05\r\nContent-Length: 5\r\n\r\nhello";
+        let mut asm = RequestAssembler::new(Limits::default());
+        for (i, byte) in wire.iter().enumerate() {
+            asm.push(std::slice::from_ref(byte));
+            let popped = asm.next_request().unwrap();
+            if i + 1 < wire.len() {
+                assert_eq!(popped, None, "complete at byte {i} of {}", wire.len());
+            } else {
+                let req = popped.expect("last byte completes the request");
+                assert_eq!(req.body, b"hello");
+                assert_eq!(req.header("tolerance"), Some("0.05"));
+            }
+        }
+    }
+
+    #[test]
+    fn assembler_matches_blocking_reader_verdicts() {
+        // A complete-input cross-check of the two parsers; the fuzz
+        // suite extends this to arbitrary bytes.
+        for raw in [
+            b"\r\n\r\nGET / HTTP/1.1\r\n\r\n".to_vec(),
+            b"NONSENSE\r\n\r\n".to_vec(),
+            b"BREW /pot HTTP/1.1\r\n\r\n".to_vec(),
+            b"GET / HTTP/2.0\r\n\r\n".to_vec(),
+            b"GET noslash HTTP/1.1\r\n\r\n".to_vec(),
+            b"POST / HTTP/1.1\r\nContent-Length: banana\r\n\r\n".to_vec(),
+            b"GET / HTTP/1.1\r\nBad Name: v\r\n\r\n".to_vec(),
+        ] {
+            let blocking = read_request(&mut Cursor::new(raw.clone()), &Limits::default());
+            let mut asm = RequestAssembler::new(Limits::default());
+            asm.push(&raw);
+            let incremental = asm.next_request();
+            match (&blocking, &incremental) {
+                (Ok(a), Ok(b)) => assert_eq!(a, b),
+                (Err(a), Err(b)) => assert_eq!(a, b),
+                other => panic!("verdicts diverge on {raw:?}: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn assembler_enforces_head_budget_without_a_terminator() {
+        let limits = Limits {
+            max_head_bytes: 64,
+            ..Limits::default()
+        };
+        let mut asm = RequestAssembler::new(limits);
+        // 65 bytes of request line with no newline: the 65th byte would
+        // arrive with zero budget, exactly like the blocking reader.
+        asm.push(&[b'G'; 65]);
+        assert_eq!(asm.next_request(), Err(HttpError::HeadersTooLarge));
+    }
+
+    #[test]
+    fn assembler_refuses_oversized_declared_body_before_it_arrives() {
+        let limits = Limits {
+            max_body_bytes: 16,
+            ..Limits::default()
+        };
+        let mut asm = RequestAssembler::new(limits);
+        asm.push(b"POST /compute HTTP/1.1\r\nContent-Length: 999999999\r\n\r\n");
+        assert_eq!(asm.next_request(), Err(HttpError::PayloadTooLarge));
+    }
+
+    #[test]
+    fn assembler_tracks_body_phase() {
+        let mut asm = RequestAssembler::new(Limits::default());
+        asm.push(b"POST / HTTP/1.1\r\nContent-Length: 4\r\n\r\n");
+        assert_eq!(asm.next_request().unwrap(), None);
+        assert!(asm.awaiting_body());
+        asm.push(b"body");
+        let req = asm.next_request().unwrap().unwrap();
+        assert_eq!(req.body, b"body");
+        assert!(!asm.awaiting_body());
     }
 
     #[test]

@@ -32,12 +32,15 @@
 #![warn(missing_docs)]
 
 pub mod admission;
+pub mod batch;
 pub mod cluster;
 pub mod demo;
 pub mod http;
 pub mod loadgen;
 pub mod metrics;
 pub mod obs;
+#[cfg(target_os = "linux")]
+pub mod reactor;
 pub mod server;
 pub mod service;
 pub mod stats;
@@ -47,9 +50,10 @@ pub use cluster::{Fleet, FleetConfig, FrontTier, NodeState, RouteStrategy};
 pub use admission::{
     AdmissionConfig, AdmissionController, AdmissionDecision, BrownoutLevel, TierAdmission,
 };
+pub use batch::BatchConfig;
 pub use http::{
     read_request, read_response, write_response, write_response_with, HttpError, Limits, Request,
-    Response,
+    RequestAssembler, Response,
 };
 pub use loadgen::{
     post_drain, run_load, DrainAck, DrainedBy, LoadConfig, LoadMode, LoadReport, SlowRequest,
@@ -57,9 +61,12 @@ pub use loadgen::{
 };
 pub use metrics::{admission_object, metrics_document, supervisor_object};
 pub use obs::{tier_key, ObsConfig, Observability, ServedSample};
-pub use server::{RunningServer, Server, ServerConfig, ShutdownHandle};
+pub use server::{
+    socket_config_failures, Engine, RunningServer, Server, ServerConfig, ShutdownHandle,
+    PEER_READ_TIMEOUT,
+};
 pub use service::{
-    ComputeOutcome, ComputeService, ServiceConfig, ServiceError, ServiceSnapshot, SupervisorSetup,
-    SupervisorStatus,
+    ComputeOutcome, ComputeService, OutcomeSink, ServiceConfig, ServiceError, ServiceSnapshot,
+    SupervisorSetup, SupervisorStatus,
 };
 pub use stats::stats_document;

@@ -18,6 +18,7 @@
 //! billed totals (wall-clock latencies of course vary).
 
 use crate::http::{read_response, HttpError, Limits};
+use crate::server::PEER_READ_TIMEOUT;
 use std::collections::BTreeMap;
 use std::io::{self, BufReader, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -309,19 +310,105 @@ struct Client {
     writer: TcpStream,
     reader: BufReader<TcpStream>,
     limits: Limits,
+    /// Scratch for one header line, reused across responses.
+    line: Vec<u8>,
+    /// Scratch for one response body, reused across responses.
+    body: Vec<u8>,
 }
 
 impl Client {
     fn connect(addr: SocketAddr, limits: Limits) -> io::Result<Client> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
-        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        stream.set_read_timeout(Some(PEER_READ_TIMEOUT))?;
         let reader = BufReader::new(stream.try_clone()?);
         Ok(Client {
             writer: stream,
             reader,
             limits,
+            line: Vec::new(),
+            body: Vec::new(),
         })
+    }
+
+    /// Parse one response into the facts the report needs, without
+    /// materializing the header map [`read_response`] builds — at
+    /// bench concurrencies the per-line string allocations are
+    /// measurable on the driving core, and the client only ever looks
+    /// at four headers. Enforces the same head/header-count/body
+    /// limits as the full parser.
+    fn read_facts(&mut self) -> Result<ReplyFacts, HttpError> {
+        fn next_line<'a>(
+            reader: &mut BufReader<TcpStream>,
+            line: &'a mut Vec<u8>,
+            budget: &mut usize,
+        ) -> Result<&'a [u8], HttpError> {
+            line.clear();
+            let n =
+                io::BufRead::read_until(reader, b'\n', line).map_err(|_| HttpError::Truncated)?;
+            if n == 0 {
+                return Err(HttpError::Truncated);
+            }
+            if n > *budget {
+                return Err(HttpError::HeadersTooLarge);
+            }
+            *budget -= n;
+            while matches!(line.last(), Some(b'\n' | b'\r')) {
+                line.pop();
+            }
+            Ok(line.as_slice())
+        }
+
+        let mut budget = self.limits.max_head_bytes;
+        let status = {
+            let line = next_line(&mut self.reader, &mut self.line, &mut budget)?;
+            line.split(|&b| b == b' ')
+                .nth(1)
+                .and_then(|code| std::str::from_utf8(code).ok())
+                .and_then(|code| code.parse::<u16>().ok())
+                .ok_or_else(|| HttpError::BadRequest("bad status line".to_string()))?
+        };
+        let mut facts = ReplyFacts {
+            status,
+            ..ReplyFacts::default()
+        };
+        let mut content_length = 0usize;
+        let mut headers = 0usize;
+        loop {
+            let line = next_line(&mut self.reader, &mut self.line, &mut budget)?;
+            if line.is_empty() {
+                break;
+            }
+            headers += 1;
+            if headers > self.limits.max_headers {
+                return Err(HttpError::HeadersTooLarge);
+            }
+            let Some(colon) = line.iter().position(|&b| b == b':') else {
+                continue;
+            };
+            let (name, value) = line.split_at(colon);
+            let value = std::str::from_utf8(&value[1..])
+                .map(str::trim)
+                .unwrap_or("");
+            if name.eq_ignore_ascii_case(b"content-length") {
+                content_length = value
+                    .parse()
+                    .map_err(|_| HttpError::BadRequest("bad content-length".to_string()))?;
+            } else if name.eq_ignore_ascii_case(b"brownout") {
+                facts.brownout = true;
+            } else if name.eq_ignore_ascii_case(b"retry-after") {
+                facts.retry_after_secs = value.parse().ok();
+            } else if name.eq_ignore_ascii_case(b"served-by") {
+                facts.served_by = value.strip_prefix("node-").and_then(|n| n.parse().ok());
+            }
+        }
+        if content_length > self.limits.max_body_bytes {
+            return Err(HttpError::PayloadTooLarge);
+        }
+        self.body.resize(content_length, 0);
+        io::Read::read_exact(&mut self.reader, &mut self.body).map_err(|_| HttpError::Truncated)?;
+        facts.request_id = parse_request_id(&self.body);
+        Ok(facts)
     }
 
     fn roundtrip(
@@ -371,18 +458,7 @@ impl Client {
                 }
             }
         }
-        read_response(&mut self.reader, &self.limits).map(|r| ReplyFacts {
-            status: r.status,
-            request_id: parse_request_id(&r.body),
-            brownout: r.header("brownout").is_some(),
-            retry_after_secs: r
-                .header("retry-after")
-                .and_then(|v| v.trim().parse::<u64>().ok()),
-            served_by: r
-                .header("served-by")
-                .and_then(|v| v.trim().strip_prefix("node-"))
-                .and_then(|n| n.parse::<u32>().ok()),
-        })
+        self.read_facts()
     }
 }
 
@@ -468,7 +544,7 @@ pub fn post_drain(addr: SocketAddr, limits: &Limits, node: Option<usize>) -> io:
     };
     let stream = TcpStream::connect(addr)?;
     stream.set_nodelay(true)?;
-    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+    stream.set_read_timeout(Some(PEER_READ_TIMEOUT))?;
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = stream;
     writer.write_all(format!("POST {target} HTTP/1.1\r\nConnection: close\r\n\r\n").as_bytes())?;

@@ -25,22 +25,46 @@
 //! `POST /drain`. The accept loop doubles as the sentinel's heartbeat:
 //! idle polls tick the sliding SLO window.
 
-use crate::admission::AdmissionDecision;
+use crate::admission::{AdmissionController, AdmissionDecision, BrownoutLevel};
 use crate::http::{
     read_request, write_response, write_response_with, Limits, Request, RULES_EPOCH_HEADER,
 };
 use crate::metrics::{admission_object, metrics_document, supervisor_object};
-use crate::service::{ComputeService, ServiceError};
+use crate::service::{ComputeOutcome, ComputeService, ServiceError};
 use crate::stats::stats_document;
 use parking_lot::Mutex;
 use std::io::{self, BufReader, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use tt_bench::perfjson::{Json, JsonObject};
+use tt_core::policy::Policy;
+use tt_core::request::ServiceRequest;
 use tt_core::TaskPool;
+use tt_obs::TraceHandle;
 use tt_serve::frontend::parse_annotations;
+
+/// How long any component of the stack waits on a peer's response
+/// before giving up on the connection: the proxy tier reading from a
+/// node, the load generator reading from a server. One shared bound so
+/// a hung peer is detected on the same clock everywhere.
+pub const PEER_READ_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Which connection-handling engine [`Server::run`] drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// Thread-per-connection over a bounded task pool: one worker owns
+    /// one connection for its lifetime. The default, and the only
+    /// engine on non-Linux targets.
+    #[default]
+    Threaded,
+    /// Readiness-driven epoll reactor (`crate::reactor`): one thread
+    /// multiplexes every connection, workers only ever see complete
+    /// requests. Linux only — elsewhere this silently falls back to
+    /// `Threaded` so configs stay portable.
+    Reactor,
+}
 
 /// Server tuning.
 #[derive(Debug, Clone)]
@@ -59,6 +83,17 @@ pub struct ServerConfig {
     /// bytes of a request start arriving the whole head+body must
     /// complete within this window — the slow-loris defense.
     pub request_deadline: Duration,
+    /// Connection-handling engine (threaded vs epoll reactor).
+    pub engine: Engine,
+    /// Reactor only: open connections the reactor holds before it
+    /// stops accepting (the listener's read interest is deregistered —
+    /// backpressure — until a slot frees up). The threaded engine's
+    /// equivalent bound is `http_workers + backlog`.
+    pub max_connections: usize,
+    /// How long outbound client-side reads (proxy tier → node) wait
+    /// before declaring the peer hung. Defaults to
+    /// [`PEER_READ_TIMEOUT`].
+    pub peer_read_timeout: Duration,
 }
 
 impl Default for ServerConfig {
@@ -69,8 +104,30 @@ impl Default for ServerConfig {
             backlog: 64,
             keep_alive_timeout: Duration::from_secs(2),
             request_deadline: Duration::from_secs(10),
+            engine: Engine::Threaded,
+            max_connections: 1024,
+            peer_read_timeout: PEER_READ_TIMEOUT,
         }
     }
+}
+
+/// Process-wide count of connections dropped because a just-accepted
+/// socket refused its configuration (`set_nodelay`, timeouts, …).
+/// Surfaced in `/metrics` as `socket_config_failures`; normally zero,
+/// and any non-zero value means connections were closed at the door
+/// rather than served with unbounded blocking reads.
+static SOCKET_CONFIG_FAILURES: AtomicU64 = AtomicU64::new(0);
+
+/// Total connections dropped at accept time over this process's life
+/// because socket configuration failed.
+pub fn socket_config_failures() -> u64 {
+    SOCKET_CONFIG_FAILURES.load(Ordering::Relaxed)
+}
+
+/// Count one dropped-at-the-door connection (reactor and threaded
+/// engines both report here).
+pub(crate) fn record_socket_config_failure() {
+    SOCKET_CONFIG_FAILURES.fetch_add(1, Ordering::Relaxed);
 }
 
 /// Remote control for a running server: flip the flag and the accept
@@ -90,6 +147,11 @@ impl ShutdownHandle {
     }
 }
 
+/// Completion callback for [`HttpHandler::handle_async`]: invoked
+/// exactly once with the finished reply, possibly from a different
+/// thread after `handle_async` itself has returned.
+pub type ReplySink = Box<dyn FnOnce(Reply) + Send + 'static>;
+
 /// What a [`Server`] serves. The accept/dispatch/keep-alive machinery
 /// is identical for a compute node and for a fleet's front-tier
 /// router; only the three hooks below differ.
@@ -97,6 +159,26 @@ pub trait HttpHandler: Send + Sync + 'static {
     /// Answer one parsed request. `shutdown` is the server's drain
     /// flag; a handler may raise it (`POST /drain`).
     fn handle(&self, request: &Request, shutdown: &AtomicBool) -> Reply;
+
+    /// Answer one request through a completion callback instead of a
+    /// return value, freeing the calling worker while the reply is
+    /// deferred (the batching compute path parks requests here until a
+    /// batch forms). The default implementation completes synchronously
+    /// via [`HttpHandler::handle`]; the reactor engine drives this
+    /// entry point for every request.
+    fn handle_async(&self, request: &Request, shutdown: &AtomicBool, done: ReplySink) {
+        done(self.handle(request, shutdown));
+    }
+
+    /// Whether [`HttpHandler::handle_async`] for this request returns
+    /// without blocking the calling thread — any wait deferred to a
+    /// background executor. The reactor runs such requests inline on
+    /// its event loop, skipping the worker hand-off (and its context
+    /// switch); a handler must answer `false` for anything that may
+    /// sleep, so the conservative default is that nothing is prompt.
+    fn completes_promptly(&self, _request: &Request) -> bool {
+        false
+    }
 
     /// Heartbeat from the idle accept loop (~every 2ms while no
     /// connection is pending). Control loops live here.
@@ -165,6 +247,15 @@ impl<H: HttpHandler> Server<H> {
     /// Propagates fatal listener errors (per-connection errors are
     /// contained).
     pub fn run(self) -> io::Result<()> {
+        #[cfg(target_os = "linux")]
+        if self.config.engine == Engine::Reactor {
+            return crate::reactor::run_reactor(
+                self.listener,
+                self.service,
+                self.config,
+                self.shutdown,
+            );
+        }
         self.listener.set_nonblocking(true)?;
         let mut pool = TaskPool::new(self.config.http_workers, self.config.backlog);
         while !self.shutdown.load(Ordering::SeqCst) {
@@ -206,13 +297,20 @@ impl<H: HttpHandler> Server<H> {
     fn dispatch(&self, pool: &TaskPool, stream: TcpStream) {
         // Accepted sockets go back to blocking mode with a read
         // timeout: the handler thread blocks per connection, and idle
-        // keep-alive peers are reaped by the timeout.
-        let _ = stream.set_nonblocking(false);
-        let _ = stream.set_nodelay(true);
-        let _ = stream.set_read_timeout(Some(self.config.keep_alive_timeout));
-        // Writes are bounded too: a peer that stops draining its
-        // receive window cannot pin a worker forever.
-        let _ = stream.set_write_timeout(Some(self.config.keep_alive_timeout));
+        // keep-alive peers are reaped by the timeout. A socket that
+        // refuses its configuration is closed on the spot — serving it
+        // anyway would mean unbounded blocking reads on a worker.
+        let configured = stream
+            .set_nonblocking(false)
+            .and_then(|()| stream.set_nodelay(true))
+            .and_then(|()| stream.set_read_timeout(Some(self.config.keep_alive_timeout)))
+            // Writes are bounded too: a peer that stops draining its
+            // receive window cannot pin a worker forever.
+            .and_then(|()| stream.set_write_timeout(Some(self.config.keep_alive_timeout)));
+        if configured.is_err() {
+            record_socket_config_failure();
+            return;
+        }
 
         // The connection rides to the worker inside a shared slot so
         // that, if the pool refuses the task, the accept loop can take
@@ -358,6 +456,46 @@ impl HttpHandler for ComputeService {
             Ok(_) => route(self, shutdown, request),
         };
         reply.with_header(RULES_EPOCH_HEADER, epoch.to_string())
+    }
+
+    /// The reactor's entry point: `POST /compute` goes through the
+    /// async execution path (so batched requests park in the
+    /// coalescing queue instead of pinning a worker), every other
+    /// route — and the epoch-protocol error paths, which never
+    /// execute — answers synchronously through [`HttpHandler::handle`].
+    fn handle_async(&self, request: &Request, shutdown: &AtomicBool, done: ReplySink) {
+        if request.method != "POST" || request.path() != "/compute" {
+            return done(self.handle(request, shutdown));
+        }
+        let epoch = self.rules_epoch();
+        match request.rules_epoch() {
+            Ok(Some(expected)) if expected > epoch => done(self.handle(request, shutdown)),
+            Err(_) => done(self.handle(request, shutdown)),
+            Ok(_) => compute_async(
+                self,
+                request,
+                Box::new(move |reply| {
+                    done(reply.with_header(RULES_EPOCH_HEADER, epoch.to_string()))
+                }),
+            ),
+        }
+    }
+
+    /// A `POST /compute` that will park in the batcher never blocks
+    /// `handle_async`: its only wait happens on a batch executor. The
+    /// cheap header peek here over-approximates nothing — malformed
+    /// annotations and epoch-protocol violations answer synchronously
+    /// without sleeping, so they are prompt too.
+    fn completes_promptly(&self, request: &Request) -> bool {
+        if request.method != "POST" || request.path() != "/compute" {
+            return false;
+        }
+        request
+            .headers
+            .iter()
+            .find(|(name, _)| name.eq_ignore_ascii_case("tolerance"))
+            .and_then(|(_, value)| value.trim().parse::<f64>().ok())
+            .is_some_and(|tolerance| self.batching_prompt(tolerance))
     }
 
     /// Advance the SLO sentinel's sliding window; a window roll is the
@@ -594,6 +732,9 @@ fn metrics(service: &ComputeService) -> Reply {
     let mut doc = base
         .with_int("node", service.node_id() as i64)
         .with_int("rules_epoch", service.rules_epoch() as i64)
+        // Process-wide accept-time drops; deliberately outside
+        // "totals", which only holds per-request deterministic series.
+        .with_int("socket_config_failures", socket_config_failures() as i64)
         .with(
             "admission",
             Json::Object(admission_object(service.admission())),
@@ -650,22 +791,103 @@ fn payload_for(request: &Request, payloads: usize) -> Result<usize, String> {
     }
 }
 
-/// `POST /compute`: the paper's API over a real wire.
+/// What the shared front half of `POST /compute` decided: answer
+/// immediately (parse error, admission rejection), or execute under
+/// the given brownout plan.
+enum Prepared {
+    Reply(Reply),
+    Execute {
+        service_request: ServiceRequest,
+        brownout: Option<(Policy, f64, BrownoutLevel)>,
+    },
+}
+
+/// `POST /compute`: the paper's API over a real wire (the synchronous
+/// path — the threaded engine, and every error path of the reactor).
 fn compute(service: &ComputeService, request: &Request) -> Reply {
     // When observability is on, the whole handler runs under a traced
     // request: parsing gets its own span, and the handle rides into
     // the service (and across its worker pool) for the rest.
     let obs = service.observability();
     let handle = obs.map(|o| o.tracer().begin());
-    let finish = |reply: Reply| {
-        if let (Some(o), Some(h)) = (obs, handle.as_ref()) {
-            o.tracer().finish(h);
+    let reply = match prepare_compute(service, request, handle.as_ref()) {
+        Prepared::Reply(reply) => reply,
+        Prepared::Execute {
+            service_request,
+            brownout,
+        } => {
+            let _in_flight = service.admission().begin();
+            render_outcome(
+                &service_request,
+                handle.as_ref(),
+                service.admission(),
+                service.execute_shaped(&service_request, brownout, handle.as_ref()),
+            )
         }
-        reply
     };
-    let parse_span = handle
-        .as_ref()
-        .map(|h| h.open("parse", None, service.wall_us()));
+    if let (Some(o), Some(h)) = (obs, handle.as_ref()) {
+        o.tracer().finish(h);
+    }
+    reply
+}
+
+/// `POST /compute` in continuation-passing style for the reactor
+/// engine: the front half (parse, admission) runs synchronously on the
+/// calling worker, execution goes through
+/// [`ComputeService::execute_shaped_async`] — so a batched request
+/// parks in the coalescing queue without pinning the worker — and
+/// `done` fires with the finished reply wherever settlement happens.
+/// The admission in-flight guard rides inside the continuation: the
+/// request counts against the limit until its reply is built.
+fn compute_async(service: &ComputeService, request: &Request, done: ReplySink) {
+    let obs = service.observability().cloned();
+    let handle = obs.as_ref().map(|o| o.tracer().begin());
+    match prepare_compute(service, request, handle.as_ref()) {
+        Prepared::Reply(reply) => {
+            if let (Some(o), Some(h)) = (&obs, handle.as_ref()) {
+                o.tracer().finish(h);
+            }
+            done(reply);
+        }
+        Prepared::Execute {
+            service_request,
+            brownout,
+        } => {
+            let in_flight = service.admission().begin();
+            let admission = Arc::clone(service.admission());
+            let continuation_handle = handle.clone();
+            let executed = service_request.clone();
+            service.execute_shaped_async(
+                &executed,
+                brownout,
+                handle.as_ref(),
+                Box::new(move |result| {
+                    let _in_flight = in_flight;
+                    let reply = render_outcome(
+                        &service_request,
+                        continuation_handle.as_ref(),
+                        &admission,
+                        result,
+                    );
+                    if let (Some(o), Some(h)) = (&obs, continuation_handle.as_ref()) {
+                        o.tracer().finish(h);
+                    }
+                    done(reply);
+                }),
+            );
+        }
+    }
+}
+
+/// Parse annotations and payload, stamp the parse span, and run
+/// admission — everything before execution, shared verbatim by the
+/// synchronous and async compute paths.
+fn prepare_compute(
+    service: &ComputeService,
+    request: &Request,
+    handle: Option<&TraceHandle>,
+) -> Prepared {
+    let parse_span = handle.map(|h| h.open("parse", None, service.wall_us()));
 
     // Only the API's own annotation headers are forwarded to the
     // annotation parser; transport headers (Host, Content-Length, ...)
@@ -681,7 +903,7 @@ fn compute(service: &ComputeService, request: &Request) -> Reply {
         }
     }
     let close_parse = |error: Option<&str>| {
-        if let (Some(h), Some(id)) = (handle.as_ref(), parse_span) {
+        if let (Some(h), Some(id)) = (handle, parse_span) {
             if let Some(why) = error {
                 h.attr_str(id, "error", why);
             }
@@ -693,17 +915,17 @@ fn compute(service: &ComputeService, request: &Request) -> Reply {
         Err(err) => {
             let why = err.to_string();
             close_parse(Some(&why));
-            return finish(Reply::json(400, "Bad Request", error_body(&why)));
+            return Prepared::Reply(Reply::json(400, "Bad Request", error_body(&why)));
         }
     };
     let payload = match payload_for(request, service.matrix().requests()) {
         Ok(p) => p,
         Err(why) => {
             close_parse(Some(&why));
-            return finish(Reply::json(400, "Bad Request", error_body(&why)));
+            return Prepared::Reply(Reply::json(400, "Bad Request", error_body(&why)));
         }
     };
-    if let (Some(h), Some(id)) = (handle.as_ref(), parse_span) {
+    if let (Some(h), Some(id)) = (handle, parse_span) {
         h.attr_int(
             id,
             "tolerance_milli",
@@ -723,10 +945,10 @@ fn compute(service: &ComputeService, request: &Request) -> Reply {
     let decision = service.admit(&service_request);
     if let AdmissionDecision::Reject { retry_after_secs } = decision {
         let mut body = JsonObject::new().with_str("error", "overloaded, retry later");
-        if let Some(h) = handle.as_ref() {
+        if let Some(h) = handle {
             body = body.with_int("request_id", h.request_id() as i64);
         }
-        return finish(
+        return Prepared::Reply(
             Reply::json(429, "Too Many Requests", body.render())
                 .with_header("Retry-After", retry_after_secs.to_string()),
         );
@@ -739,16 +961,30 @@ fn compute(service: &ComputeService, request: &Request) -> Reply {
         } => Some((policy, billed_tolerance, level)),
         _ => None,
     };
-    let _in_flight = service.admission().begin();
-    match service.execute_shaped(&service_request, brownout, handle.as_ref()) {
+    Prepared::Execute {
+        service_request,
+        brownout,
+    }
+}
+
+/// Render an execution result into the `POST /compute` reply — one
+/// body-building path for both engines, so a batched request's bytes
+/// cannot differ from an unbatched one's.
+fn render_outcome(
+    service_request: &ServiceRequest,
+    handle: Option<&TraceHandle>,
+    admission: &AdmissionController,
+    result: Result<ComputeOutcome, ServiceError>,
+) -> Reply {
+    match result {
         Ok(outcome) => {
             let mut body = JsonObject::new()
                 .with_str("answered_by", &outcome.version_name)
                 .with_int("version", outcome.answered_by as i64)
-                .with_int("payload", payload as i64)
-                .with_num("tolerance", tolerance.value())
+                .with_int("payload", service_request.payload as i64)
+                .with_num("tolerance", service_request.tolerance.value())
                 .with_num("billed_tolerance", outcome.billed_tolerance)
-                .with_str("objective", &objective.to_string())
+                .with_str("objective", &service_request.objective.to_string())
                 .with_num("quality_err", outcome.quality_err)
                 .with_num("confidence", outcome.confidence)
                 .with_int("latency_us", outcome.simulated_latency_us as i64)
@@ -757,27 +993,23 @@ fn compute(service: &ComputeService, request: &Request) -> Reply {
             if let Some(level) = outcome.brownout {
                 body = body.with_str("brownout", level.label());
             }
-            if let Some(h) = handle.as_ref() {
+            if let Some(h) = handle {
                 body = body.with_int("request_id", h.request_id() as i64);
             }
             let mut reply = Reply::json(200, "OK", body.render());
             if let Some(level) = outcome.brownout {
                 reply = reply.with_header("Brownout", level.label().to_string());
             }
-            finish(reply)
+            reply
         }
         Err(ServiceError::Unavailable) => {
             let mut body =
                 JsonObject::new().with_str("error", &ServiceError::Unavailable.to_string());
-            if let Some(h) = handle.as_ref() {
+            if let Some(h) = handle {
                 body = body.with_int("request_id", h.request_id() as i64);
             }
-            finish(
-                Reply::json(503, "Service Unavailable", body.render()).with_header(
-                    "Retry-After",
-                    service.admission().retry_after_secs().to_string(),
-                ),
-            )
+            Reply::json(503, "Service Unavailable", body.render())
+                .with_header("Retry-After", admission.retry_after_secs().to_string())
         }
     }
 }

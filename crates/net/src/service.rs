@@ -17,12 +17,14 @@
 //! scheduling.
 
 use crate::admission::{AdmissionConfig, AdmissionController, AdmissionDecision, BrownoutLevel};
+use crate::batch::{BatchConfig, BatchItem, Batcher};
 use crate::obs::{ObsConfig, Observability};
 use parking_lot::{Mutex, RwLock};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
+use tt_core::objective::Objective;
 use tt_core::policy::{Policy, Scheduling, Termination};
 use tt_core::profile::ProfileMatrix;
 use tt_core::request::ServiceRequest;
@@ -69,6 +71,11 @@ pub struct ServiceConfig {
     /// server). Stamped into the `/drain` acknowledgement, stale-epoch
     /// rejections, and metrics so operators can tell replicas apart.
     pub node_id: usize,
+    /// Request coalescing for the async execution path: compatible
+    /// tolerant requests share one vectorized evaluator pass. Off by
+    /// default; only [`ComputeService::execute_shaped_async`] (the
+    /// reactor engine's path) consults it.
+    pub batch: BatchConfig,
 }
 
 impl ServiceConfig {
@@ -90,6 +97,7 @@ impl ServiceConfig {
             admission: AdmissionConfig::defaults(),
             supervisor: Some(SupervisorSetup::defaults()),
             node_id: 0,
+            batch: BatchConfig::defaults(),
         }
     }
 }
@@ -205,6 +213,159 @@ struct StageOutcome {
 
 type StageCall = ModelCall<Result<usize, ()>>;
 
+/// Continuation receiving a request's outcome on the async execution
+/// path. Runs on the caller's thread when the request executed
+/// synchronously, or on a batch-executor thread after a group flush.
+pub type OutcomeSink = Box<dyn FnOnce(Result<ComputeOutcome, ServiceError>) + Send>;
+
+/// Everything one settled request needs from the execution phase.
+struct SettleCtx {
+    objective: Objective,
+    /// The tolerance the customer declared (governs the
+    /// degradation-violation check).
+    declared_tolerance: f64,
+    /// The tier actually billed (differs only under brownout).
+    billed_tolerance: f64,
+    brownout: Option<BrownoutLevel>,
+    policy: Policy,
+    payload: usize,
+    arrival: SimTime,
+    stage: StageOutcome,
+}
+
+/// The settlement half of the service, detached from `&self`: billing,
+/// tier economics, telemetry, and the serve counter behind cheap `Arc`
+/// clones. Both the synchronous path ([`ComputeService::execute_shaped`])
+/// and the batched path settle through [`Accounts::settle`], so the two
+/// cannot drift — bit-identical per-tier billing is structural, not
+/// coincidental.
+struct Accounts {
+    matrix: Arc<ProfileMatrix>,
+    stats: Arc<Mutex<ResilienceStats>>,
+    state: Arc<Mutex<Ledgered>>,
+    obs: Option<Arc<Observability>>,
+    served: Arc<AtomicUsize>,
+    schedule: TierPriceSchedule,
+    instance: InstanceType,
+    started: Instant,
+}
+
+impl Accounts {
+    fn wall_us(&self) -> u64 {
+        self.started.elapsed().as_micros() as u64
+    }
+
+    /// Bill, trace, and count one executed request, closing its
+    /// `execute` span. This is the single settlement path for every
+    /// answered request, whatever engine or batch carried it.
+    fn settle(&self, ctx: SettleCtx, span: Option<(&TraceHandle, u32)>) -> ComputeOutcome {
+        let SettleCtx {
+            objective,
+            declared_tolerance,
+            billed_tolerance,
+            brownout,
+            policy,
+            payload,
+            arrival,
+            stage,
+        } = ctx;
+        let obs = self.matrix.get(payload, stage.answered_by);
+        let quality_err = obs.quality_err;
+        let confidence = obs.confidence;
+        if stage.degraded {
+            let mut stats = self.stats.lock();
+            stats.degraded_responses += 1;
+            let intended = policy.execute(&self.matrix, payload).quality_err;
+            if quality_err - intended > declared_tolerance + 1e-12 {
+                stats.tolerance_violations_under_fault += 1;
+            }
+        }
+
+        let price = self.schedule.price_for(billed_tolerance);
+        let responded = arrival + SimDuration::from_micros(stage.sim_latency_us);
+        let bill_span = span.map(|(handle, parent)| {
+            let id = handle.open("bill", Some(parent), self.wall_us());
+            handle.attr_int(
+                id,
+                "price_microusd",
+                (price.as_dollars() * 1e6).round() as i64,
+            );
+            handle.attr_int(id, "invocations", stage.invocations as i64);
+            (handle, id)
+        });
+        {
+            let mut state = self.state.lock();
+            for _ in 0..stage.invocations {
+                state.ledger.charge_invocation(price);
+            }
+            state
+                .ledger
+                .charge_compute(&self.instance, SimDuration::from_micros(stage.busy_us));
+            state.trace.record(TraceEvent {
+                arrival,
+                responded,
+                tolerance: billed_tolerance,
+                objective,
+                answered_by: stage.answered_by,
+                quality_err,
+            });
+            let key = (
+                objective.to_string(),
+                (billed_tolerance * 1000.0).round() as u32,
+            );
+            let slot = state.tiers.entry(key).or_insert(TierEconomics {
+                requests: 0,
+                revenue: Money::ZERO,
+            });
+            slot.requests += 1;
+            slot.revenue += price;
+        }
+        if let Some((handle, id)) = bill_span {
+            handle.close(id, self.wall_us());
+        }
+        if let Some(live) = &self.obs {
+            let baseline_err = live
+                .baseline_version(objective)
+                .map(|v| self.matrix.get(payload, v).quality_err)
+                .unwrap_or(quality_err);
+            live.record_served(&crate::obs::ServedSample {
+                objective,
+                tolerance: billed_tolerance,
+                sim_latency_us: stage.sim_latency_us,
+                quality_err,
+                baseline_err,
+                degraded: stage.degraded,
+                invocations: stage.invocations,
+            });
+        }
+        self.served.fetch_add(1, Ordering::SeqCst);
+        if let Some((handle, id)) = span {
+            handle.attr_int(id, "answered_by", stage.answered_by as i64);
+            handle.attr_int(id, "sim_latency_us", stage.sim_latency_us as i64);
+            if let Some(level) = brownout {
+                handle.attr_str(id, "brownout", level.label());
+            }
+            if stage.degraded {
+                handle.attr_str(id, "outcome", "degraded");
+            }
+            handle.close(id, self.wall_us());
+        }
+
+        ComputeOutcome {
+            answered_by: stage.answered_by,
+            version_name: self.matrix.version_names()[stage.answered_by].clone(),
+            quality_err,
+            confidence,
+            simulated_latency_us: stage.sim_latency_us,
+            price,
+            policy,
+            degraded: stage.degraded,
+            billed_tolerance,
+            brownout,
+        }
+    }
+}
+
 /// Lock-free per-version health: lifetime counters the supervisor
 /// differences into per-window readings, plus the quarantine flags the
 /// execution path consults before every invocation.
@@ -282,7 +443,7 @@ pub struct ComputeService {
     breakers: Arc<Mutex<Vec<CircuitBreaker>>>,
     faults: Option<Arc<Mutex<FaultPlan>>>,
     stats: Arc<Mutex<ResilienceStats>>,
-    state: Mutex<Ledgered>,
+    state: Arc<Mutex<Ledgered>>,
     obs: Option<Arc<Observability>>,
     admission: Arc<AdmissionController>,
     health: Arc<VersionHealth>,
@@ -293,11 +454,13 @@ pub struct ComputeService {
     /// control plane's broadcast, and a node whose epoch falls behind
     /// the fleet's is serving stale rules.
     rules_epoch: AtomicU64,
-    served: AtomicUsize,
+    served: Arc<AtomicUsize>,
     started: Instant,
     /// Versions by ascending mean profiled latency ("cheaper" first).
     version_order: Vec<usize>,
     instance: InstanceType,
+    /// The request-coalescing queue, when `config.batch.enabled`.
+    batcher: Option<Batcher>,
 }
 
 impl std::fmt::Debug for ComputeService {
@@ -383,20 +546,24 @@ impl ComputeService {
             breakers: Arc::new(Mutex::new(breakers)),
             faults: config.faults.clone().map(|p| Arc::new(Mutex::new(p))),
             stats: Arc::new(Mutex::new(ResilienceStats::default())),
-            state: Mutex::new(Ledgered {
+            state: Arc::new(Mutex::new(Ledgered {
                 trace,
                 ..Ledgered::default()
-            }),
+            })),
             obs,
             admission,
             health: Arc::new(VersionHealth::new(versions)),
             supervisor,
             rules_revision: AtomicU64::new(1),
             rules_epoch: AtomicU64::new(1),
-            served: AtomicUsize::new(0),
+            served: Arc::new(AtomicUsize::new(0)),
             started,
             version_order,
             instance: InstanceType::cpu_node(),
+            batcher: config
+                .batch
+                .enabled
+                .then(|| Batcher::new(&config.batch, config.latency_scale)),
             matrix,
             frontend: RwLock::new(frontend),
             config,
@@ -782,8 +949,10 @@ impl ComputeService {
             let (acc_rx, acc_cancel) =
                 self.pool
                     .submit_cancellable(self.make_call(accurate, payload, hedge_span.clone()));
-            let cheap_rx = self.pool.submit(self.make_call(cheap, payload, hedge_span));
-            let cheap_result = cheap_rx.recv().ok();
+            let cheap_result = Some(
+                self.pool
+                    .run_inline(self.make_call(cheap, payload, hedge_span)),
+            );
             match cheap_result {
                 Some((Ok(_), confidence)) if confidence >= threshold => {
                     if termination == Termination::EarlyTerminate {
@@ -958,100 +1127,297 @@ impl ComputeService {
             }
         };
 
-        let obs = self.matrix.get(payload, stage.answered_by);
-        let quality_err = obs.quality_err;
-        let confidence = obs.confidence;
-        if stage.degraded {
-            let mut stats = self.stats.lock();
-            stats.degraded_responses += 1;
-            let intended = policy.execute(&self.matrix, payload).quality_err;
-            if quality_err - intended > request.tolerance.value() + 1e-12 {
-                stats.tolerance_violations_under_fault += 1;
+        Ok(self.accounts().settle(
+            SettleCtx {
+                objective: request.objective,
+                declared_tolerance: request.tolerance.value(),
+                billed_tolerance,
+                brownout: brownout.map(|(_, _, level)| level),
+                policy,
+                payload,
+                arrival,
+                stage,
+            },
+            span,
+        ))
+    }
+
+    /// The clonable settlement bundle: every component billing and
+    /// telemetry need, detached from `&self` so deferred (batched)
+    /// settlements can run on executor threads after the handler
+    /// returned.
+    fn accounts(&self) -> Accounts {
+        Accounts {
+            matrix: Arc::clone(&self.matrix),
+            stats: Arc::clone(&self.stats),
+            state: Arc::clone(&self.state),
+            obs: self.obs.clone(),
+            served: Arc::clone(&self.served),
+            schedule: self.config.schedule.clone(),
+            instance: self.instance.clone(),
+            started: self.started,
+        }
+    }
+
+    /// The fault-free accounting twin of [`ComputeService::run_policy`]:
+    /// the same per-request invocation, busy-time, and latency math as
+    /// a pure function of `(policy, payload)`, plus the list of
+    /// versions the live path would have invoked (one entry per
+    /// invocation, for health bookkeeping). Valid only when every
+    /// version the policy names is allowed and no fault plan is
+    /// configured — exactly the batch-eligibility precondition.
+    fn accounted(&self, policy: Policy, payload: usize) -> (StageOutcome, Vec<usize>) {
+        let mut out = StageOutcome {
+            answered_by: 0,
+            degraded: false,
+            sim_latency_us: 0,
+            busy_us: 0,
+            invocations: 0,
+        };
+        let mut invoked = Vec::new();
+        match policy {
+            Policy::Single { version } => {
+                invoked.push(version);
+                out.invocations = 1;
+                let latency = self.matrix.get(payload, version).latency_us;
+                out.busy_us = latency;
+                out.sim_latency_us = latency;
+                out.answered_by = version;
             }
+            Policy::Cascade {
+                cheap,
+                accurate,
+                threshold,
+                scheduling,
+                termination,
+            } => {
+                let cheap_obs = *self.matrix.get(payload, cheap);
+                let accurate_lat = self.matrix.get(payload, accurate).latency_us;
+                let confident = cheap_obs.confidence >= threshold;
+                match scheduling {
+                    Scheduling::Concurrent => {
+                        out.invocations = 2;
+                        invoked.push(accurate);
+                        invoked.push(cheap);
+                        if confident {
+                            out.answered_by = cheap;
+                            out.sim_latency_us = cheap_obs.latency_us;
+                            out.busy_us = if termination == Termination::EarlyTerminate {
+                                cheap_obs.latency_us
+                            } else {
+                                cheap_obs.latency_us + accurate_lat
+                            };
+                        } else {
+                            out.answered_by = accurate;
+                            out.sim_latency_us = cheap_obs.latency_us.max(accurate_lat);
+                            out.busy_us = cheap_obs.latency_us + accurate_lat;
+                        }
+                    }
+                    Scheduling::Sequential => {
+                        invoked.push(cheap);
+                        out.invocations = 1;
+                        out.busy_us = cheap_obs.latency_us;
+                        out.sim_latency_us = cheap_obs.latency_us;
+                        if confident {
+                            out.answered_by = cheap;
+                            if termination == Termination::FinishOut {
+                                invoked.push(accurate);
+                                out.invocations += 1;
+                                out.busy_us += accurate_lat;
+                            }
+                        } else {
+                            invoked.push(accurate);
+                            out.invocations += 1;
+                            out.busy_us += accurate_lat;
+                            out.sim_latency_us += accurate_lat;
+                            out.answered_by = accurate;
+                        }
+                    }
+                }
+            }
+            Policy::Chain3 {
+                first,
+                second,
+                third,
+                threshold_first,
+                threshold_second,
+            } => {
+                let stages = [
+                    (first, Some(threshold_first)),
+                    (second, Some(threshold_second)),
+                    (third, None),
+                ];
+                for (version, gate) in stages {
+                    invoked.push(version);
+                    out.invocations += 1;
+                    let obs = *self.matrix.get(payload, version);
+                    out.busy_us += obs.latency_us;
+                    out.sim_latency_us += obs.latency_us;
+                    match gate {
+                        Some(threshold) if obs.confidence < threshold => {}
+                        _ => {
+                            out.answered_by = version;
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        (out, invoked)
+    }
+
+    /// Every version `policy` can invoke.
+    fn policy_versions(policy: Policy) -> Vec<usize> {
+        match policy {
+            Policy::Single { version } => vec![version],
+            Policy::Cascade {
+                cheap, accurate, ..
+            } => vec![cheap, accurate],
+            Policy::Chain3 {
+                first,
+                second,
+                third,
+                ..
+            } => vec![first, second, third],
+        }
+    }
+
+    /// [`ComputeService::execute_shaped`] in continuation-passing
+    /// style, with request coalescing: a tolerant, fault-free request
+    /// whose plan's versions are all healthy — the frontend's route,
+    /// or the substitute plan of a brownout, billed exactly as the
+    /// synchronous path bills it — is parked in the batcher to share
+    /// one vectorized evaluator pass with compatible in-flight
+    /// requests, and `done` runs on a batch executor after the group
+    /// flushes. Everything else — strict tiers below the tolerance
+    /// floor, configured faults, tripped breakers, or batching
+    /// disabled — executes synchronously and `done` runs before this
+    /// returns.
+    ///
+    /// Batch membership is invisible in the result: the batched path
+    /// settles through the same [`Accounts::settle`] as the
+    /// synchronous path, on outcomes computed by the fault-free
+    /// accounting twin of the live executor, so response fields and
+    /// billed totals are bit-identical either way.
+    pub fn execute_shaped_async(
+        &self,
+        request: &ServiceRequest,
+        brownout: Option<(Policy, f64, BrownoutLevel)>,
+        trace: Option<&TraceHandle>,
+        done: OutcomeSink,
+    ) {
+        let eligible = self.batcher.is_some() && self.faults.is_none();
+        let deadline_in = self
+            .config
+            .batch
+            .formation_deadline(request.tolerance.value());
+        let (Some(batcher), Some(deadline_in), true) = (&self.batcher, deadline_in, eligible)
+        else {
+            return done(self.execute_shaped(request, brownout, trace));
+        };
+        let (policy, billed_tolerance) = match brownout {
+            Some((policy, billed, _)) => (policy, billed),
+            None => (
+                self.frontend.read().route(request),
+                request.tolerance.value(),
+            ),
+        };
+        if !Self::policy_versions(policy)
+            .iter()
+            .all(|&v| self.allows(v))
+        {
+            return done(self.execute_shaped(request, brownout, trace));
         }
 
-        let price = self.config.schedule.price_for(billed_tolerance);
-        let responded = arrival + SimDuration::from_micros(stage.sim_latency_us);
-        let bill_span = span.map(|(handle, parent)| {
-            let id = handle.open("bill", Some(parent), self.wall_us());
+        // The batched fast path: the prologue mirrors
+        // `execute_shaped`, the settlement is deferred to the group
+        // flush.
+        let arrival = self.now();
+        self.stats.lock().total_requests += 1;
+        let payload = request.payload % self.matrix.requests().max(1);
+        let root = trace.map(|handle| {
+            let id = handle.open("execute", None, self.wall_us());
+            handle.attr_str(id, "objective", request.objective.to_string());
             handle.attr_int(
                 id,
-                "price_microusd",
-                (price.as_dollars() * 1e6).round() as i64,
+                "tolerance_milli",
+                (request.tolerance.value() * 1000.0).round() as i64,
             );
-            handle.attr_int(id, "invocations", stage.invocations as i64);
-            (handle, id)
+            handle.attr_int(id, "payload", payload as i64);
+            id
         });
-        {
-            let mut state = self.state.lock();
-            for _ in 0..stage.invocations {
-                state.ledger.charge_invocation(price);
-            }
-            state
-                .ledger
-                .charge_compute(&self.instance, SimDuration::from_micros(stage.busy_us));
-            state.trace.record(TraceEvent {
-                arrival,
-                responded,
-                tolerance: billed_tolerance,
-                objective: request.objective,
-                answered_by: stage.answered_by,
-                quality_err,
-            });
-            let key = (
-                request.objective.to_string(),
-                (billed_tolerance * 1000.0).round() as u32,
-            );
-            let slot = state.tiers.entry(key).or_insert(TierEconomics {
-                requests: 0,
-                revenue: Money::ZERO,
-            });
-            slot.requests += 1;
-            slot.revenue += price;
-        }
-        if let Some((handle, id)) = bill_span {
-            handle.close(id, self.wall_us());
-        }
-        if let Some(live) = &self.obs {
-            let baseline_err = live
-                .baseline_version(request.objective)
-                .map(|v| self.matrix.get(payload, v).quality_err)
-                .unwrap_or(quality_err);
-            live.record_served(&crate::obs::ServedSample {
-                objective: request.objective,
-                tolerance: billed_tolerance,
-                sim_latency_us: stage.sim_latency_us,
-                quality_err,
-                baseline_err,
-                degraded: stage.degraded,
-                invocations: stage.invocations,
-            });
-        }
-        self.served.fetch_add(1, Ordering::SeqCst);
-        if let Some((handle, id)) = span {
-            handle.attr_int(id, "answered_by", stage.answered_by as i64);
-            handle.attr_int(id, "sim_latency_us", stage.sim_latency_us as i64);
+        let span = trace.zip(root);
+        if let Some((handle, parent)) = span {
+            let id = handle.open("route", Some(parent), self.wall_us());
+            handle.attr_str(id, "policy", format!("{policy:?}"));
             if let Some((_, _, level)) = brownout {
                 handle.attr_str(id, "brownout", level.label());
             }
-            if stage.degraded {
-                handle.attr_str(id, "outcome", "degraded");
-            }
             handle.close(id, self.wall_us());
         }
+        policy
+            .validate(self.matrix.versions())
+            .expect("frontend produced a valid policy");
+        let (stage, invoked) = self.accounted(policy, payload);
+        // The batch span stays open across the hand-off; the executor
+        // stamps the group facts and closes it before settling.
+        let batch_span =
+            span.map(|(handle, parent)| handle.open("batch", Some(parent), self.wall_us()));
 
-        Ok(ComputeOutcome {
-            answered_by: stage.answered_by,
-            version_name: self.matrix.version_names()[stage.answered_by].clone(),
-            quality_err,
-            confidence,
-            simulated_latency_us: stage.sim_latency_us,
-            price,
-            policy,
-            degraded: stage.degraded,
+        let key = (request.objective.to_string(), format!("{policy:?}"));
+        let sim_latency_us = stage.sim_latency_us;
+        let ctx = SettleCtx {
+            objective: request.objective,
+            declared_tolerance: request.tolerance.value(),
             billed_tolerance,
             brownout: brownout.map(|(_, _, level)| level),
-        })
+            policy,
+            payload,
+            arrival,
+            stage,
+        };
+        let accounts = self.accounts();
+        let health = Arc::clone(&self.health);
+        let breakers = Arc::clone(&self.breakers);
+        let handle = trace.cloned();
+        let finish = Box::new(move |batch_size: u64, waited_us: u64| {
+            // The health/breaker bookkeeping the live path does per
+            // model call; fault-free, so every invocation succeeds.
+            let now = SimTime::from_micros(accounts.started.elapsed().as_micros() as u64);
+            for &version in &invoked {
+                health.attempts[version].fetch_add(1, Ordering::SeqCst);
+                if let Some(b) = breakers.lock().get_mut(version) {
+                    b.record(true, now);
+                }
+            }
+            let span = handle.as_ref().zip(root);
+            if let (Some((handle, _)), Some(id)) = (span, batch_span) {
+                handle.attr_int(id, "batch_size", batch_size as i64);
+                handle.attr_int(id, "waited_us", waited_us as i64);
+                handle.close(id, accounts.wall_us());
+            }
+            done(Ok(accounts.settle(ctx, span)));
+        });
+        batcher.enqueue(BatchItem {
+            key,
+            deadline_in,
+            sim_latency_us,
+            finish,
+        });
+    }
+
+    /// Whether a compute request at `tolerance` is guaranteed the
+    /// deferred (batched) path end to end — meaning
+    /// [`ComputeService::execute_shaped_async`] returns without ever
+    /// sleeping a simulated model call on the calling thread. True
+    /// only on a fault-free service (so breakers never trip and the
+    /// synchronous fallback is unreachable) with an active batcher and
+    /// a formation deadline for `tolerance`. The reactor uses this to
+    /// run such requests inline on its event loop.
+    pub(crate) fn batching_prompt(&self, tolerance: f64) -> bool {
+        self.batcher.is_some()
+            && self.faults.is_none()
+            && self.config.batch.formation_deadline(tolerance).is_some()
     }
 
     /// Decide a request's fate at the current pressure reading. The

@@ -5,7 +5,7 @@
 
 use proptest::prelude::*;
 use std::io::Cursor;
-use tt_net::http::{read_request, read_response, HttpError, Limits};
+use tt_net::http::{read_request, read_response, HttpError, Limits, RequestAssembler};
 
 fn parse(bytes: &[u8], limits: &Limits) -> Result<Option<tt_net::http::Request>, HttpError> {
     read_request(&mut Cursor::new(bytes.to_vec()), limits)
@@ -152,6 +152,144 @@ proptest! {
     #[test]
     fn response_reader_never_panics(bytes in prop::collection::vec(0u8..=255u8, 0..1024)) {
         let _ = read_response(&mut Cursor::new(bytes), &Limits::default());
+    }
+
+    /// The incremental assembler fed a valid request in arbitrary-sized
+    /// dribbles must agree byte-for-byte with the blocking reader: one
+    /// request, identical fields, nothing left buffered.
+    #[test]
+    fn dribbled_valid_request_matches_blocking_reader(
+        tolerance_milli in 0u32..500,
+        objective_pick in 0usize..2,
+        payload in 0usize..10_000,
+        body_len in 0usize..128,
+        chunk in 1usize..7,
+    ) {
+        let tolerance = f64::from(tolerance_milli) / 1000.0;
+        let objective = ["response-time", "cost"][objective_pick];
+        let wire = valid_wire(tolerance, objective, payload, body_len);
+        let blocking = parse(&wire, &Limits::default()).unwrap().unwrap();
+
+        let mut assembler = RequestAssembler::new(Limits::default());
+        let mut yielded = Vec::new();
+        for piece in wire.chunks(chunk) {
+            assembler.push(piece);
+            while let Some(request) = assembler.next_request().unwrap() {
+                yielded.push(request);
+            }
+        }
+        prop_assert_eq!(yielded.len(), 1, "dribbling split or dropped the request");
+        let incremental = &yielded[0];
+        prop_assert_eq!(&incremental.method, &blocking.method);
+        prop_assert_eq!(incremental.path(), blocking.path());
+        prop_assert_eq!(incremental.header("tolerance"), blocking.header("tolerance"));
+        prop_assert_eq!(incremental.header("objective"), blocking.header("objective"));
+        prop_assert_eq!(incremental.header("payload"), blocking.header("payload"));
+        prop_assert_eq!(&incremental.body, &blocking.body);
+        // Never over-read: a lone complete request leaves the buffer empty.
+        prop_assert!(assembler.is_empty(), "assembler kept {} stray bytes", assembler.buffered());
+        prop_assert!(!assembler.awaiting_body());
+    }
+
+    /// Pipelined requests pushed across arbitrary chunk boundaries come
+    /// back one per `next_request` call, in order, and a cut that lands
+    /// inside request N+1 leaves exactly that prefix buffered — the
+    /// parser must not consume bytes belonging to the next request.
+    #[test]
+    fn pipelined_requests_never_overread_or_reorder(
+        payloads in prop::collection::vec(0usize..10_000, 2..5),
+        cut_permille in 0u32..1000,
+        chunk in 1usize..64,
+    ) {
+        let wires: Vec<Vec<u8>> = payloads
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| valid_wire(0.01 * (i as f64 + 1.0), "cost", p, i % 9))
+            .collect();
+        let last = wires.last().unwrap();
+        let cut = (last.len() as u64 * u64::from(cut_permille) / 1000) as usize;
+
+        // Everything except a tail of the final request, in one stream.
+        let mut stream: Vec<u8> = wires[..wires.len() - 1].concat();
+        stream.extend_from_slice(&last[..cut]);
+
+        let mut assembler = RequestAssembler::new(Limits::default());
+        let mut yielded = Vec::new();
+        for piece in stream.chunks(chunk) {
+            assembler.push(piece);
+            while let Some(request) = assembler.next_request().unwrap() {
+                yielded.push(request);
+            }
+        }
+        prop_assert_eq!(yielded.len(), wires.len() - 1, "complete requests must all surface");
+        // The partial tail is exactly what remains buffered: no byte of
+        // it leaked into the previous request, none was discarded.
+        prop_assert_eq!(assembler.buffered(), cut);
+
+        // Feeding the rest completes the final request.
+        assembler.push(&last[cut..]);
+        while let Some(request) = assembler.next_request().unwrap() {
+            yielded.push(request);
+        }
+        prop_assert_eq!(yielded.len(), wires.len());
+        prop_assert!(assembler.is_empty());
+        for (i, request) in yielded.iter().enumerate() {
+            let expected = payloads[i].to_string();
+            prop_assert_eq!(request.header("payload"), Some(expected.as_str()), "order broke at {}", i);
+        }
+    }
+
+    /// Arbitrary bytes dribbled one at a time: the assembler must never
+    /// panic, and its verdict must match the blocking reader's on the
+    /// same bytes — same request out, or the same typed error. The only
+    /// allowed divergence is `Truncated`, which for the blocking reader
+    /// means EOF mid-request and for the assembler means "still waiting
+    /// with bytes buffered".
+    #[test]
+    fn dribbled_garbage_matches_blocking_verdict(
+        bytes in prop::collection::vec(0u8..=255u8, 0..768),
+    ) {
+        let blocking = parse(&bytes, &Limits::default());
+
+        let mut assembler = RequestAssembler::new(Limits::default());
+        let mut outcome: Result<Option<tt_net::http::Request>, HttpError> = Ok(None);
+        'feed: for &byte in &bytes {
+            assembler.push(&[byte]);
+            match assembler.next_request() {
+                Ok(Some(request)) => {
+                    outcome = Ok(Some(request));
+                    break 'feed; // compare first requests only
+                }
+                Ok(None) => {}
+                Err(e) => {
+                    outcome = Err(e);
+                    break 'feed;
+                }
+            }
+        }
+
+        match blocking {
+            Ok(Some(expected)) => {
+                let got = outcome.unwrap().expect("assembler missed a complete request");
+                prop_assert_eq!(got.method, expected.method);
+                prop_assert_eq!(got.target, expected.target);
+                prop_assert_eq!(got.body, expected.body);
+            }
+            Ok(None) => {
+                // Empty input: nothing fed, nothing out.
+                prop_assert!(matches!(outcome, Ok(None)));
+                prop_assert!(assembler.is_empty());
+            }
+            Err(HttpError::Truncated) => {
+                // EOF mid-request: the assembler is simply still waiting.
+                prop_assert!(matches!(outcome, Ok(None)), "assembler invented {outcome:?}");
+                prop_assert!(!assembler.is_empty());
+            }
+            Err(expected) => {
+                // Typed rejections must agree exactly.
+                prop_assert_eq!(outcome, Err(expected));
+            }
+        }
     }
 
     #[test]

@@ -23,6 +23,53 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+/// A counting semaphore bounding in-flight model calls.
+///
+/// Both execution paths — queued jobs picked up by pool workers and
+/// [`WorkerPool::run_inline`] calls on the caller's thread — hold one
+/// permit per running call, so the pool's concurrency bound is the
+/// number of permits regardless of which path a call takes. (Uses the
+/// std primitives directly: the vendored `parking_lot` shim has no
+/// `Condvar`.)
+#[derive(Debug)]
+struct Permits {
+    available: std::sync::Mutex<usize>,
+    freed: std::sync::Condvar,
+}
+
+impl Permits {
+    fn new(count: usize) -> Self {
+        Permits {
+            available: std::sync::Mutex::new(count),
+            freed: std::sync::Condvar::new(),
+        }
+    }
+
+    fn acquire(&self) {
+        let mut n = self
+            .available
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        while *n == 0 {
+            n = self
+                .freed
+                .wait(n)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+        *n -= 1;
+    }
+
+    fn release(&self) {
+        let mut n = self
+            .available
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        *n += 1;
+        drop(n);
+        self.freed.notify_one();
+    }
+}
+
 /// A unit of model work: returns `(result, confidence)`.
 pub type ModelCall<T> = Box<dyn FnOnce() -> (T, f64) + Send + 'static>;
 
@@ -49,6 +96,7 @@ enum Job<T> {
 pub struct WorkerPool<T: Send + 'static> {
     tx: Sender<Job<T>>,
     workers: Mutex<Vec<JoinHandle<()>>>,
+    permits: Arc<Permits>,
 }
 
 impl<T: Send + 'static> WorkerPool<T> {
@@ -60,9 +108,11 @@ impl<T: Send + 'static> WorkerPool<T> {
     pub fn new(workers: usize) -> Self {
         assert!(workers > 0, "pool needs at least one worker");
         let (tx, rx) = unbounded::<Job<T>>();
+        let permits = Arc::new(Permits::new(workers));
         let handles = (0..workers)
             .map(|_| {
                 let rx: Receiver<Job<T>> = rx.clone();
+                let permits = Arc::clone(&permits);
                 std::thread::spawn(move || {
                     while let Ok(job) = rx.recv() {
                         match job {
@@ -74,7 +124,9 @@ impl<T: Send + 'static> WorkerPool<T> {
                                 if cancelled.load(Ordering::Relaxed) {
                                     continue; // cancelled while queued
                                 }
+                                permits.acquire();
                                 let out = call();
+                                permits.release();
                                 let _ = reply.send(out);
                             }
                             Job::Shutdown => break,
@@ -86,6 +138,7 @@ impl<T: Send + 'static> WorkerPool<T> {
         WorkerPool {
             tx,
             workers: Mutex::new(handles),
+            permits,
         }
     }
 
@@ -100,6 +153,21 @@ impl<T: Send + 'static> WorkerPool<T> {
             })
             .expect("pool is alive");
         reply_rx
+    }
+
+    /// Run a call on the caller's thread under the pool's concurrency
+    /// bound.
+    ///
+    /// Holds one permit from the same pool the queued path draws on,
+    /// so capacity semantics are identical to [`WorkerPool::submit`] —
+    /// but the dispatch round trip (a reply channel and two context
+    /// switches) disappears, which matters when the call itself is a
+    /// sub-millisecond simulated model invocation.
+    pub fn run_inline(&self, call: ModelCall<T>) -> (T, f64) {
+        self.permits.acquire();
+        let out = call();
+        self.permits.release();
+        out
     }
 
     /// Submit a cancellable call: flipping the returned flag before a
@@ -123,13 +191,12 @@ impl<T: Send + 'static> WorkerPool<T> {
     /// wait for the accurate result.
     pub fn cascade(&self, cheap: ModelCall<T>, accurate: ModelCall<T>, threshold: f64) -> (T, f64) {
         let (acc_rx, acc_cancel) = self.submit_cancellable(accurate);
-        let cheap_rx = self.submit(cheap);
-        match cheap_rx.recv() {
-            Ok((result, confidence)) if confidence >= threshold => {
-                acc_cancel.store(true, Ordering::Relaxed);
-                (result, confidence)
-            }
-            _ => acc_rx.recv().expect("accurate call completes"),
+        let (result, confidence) = self.run_inline(cheap);
+        if confidence >= threshold {
+            acc_cancel.store(true, Ordering::Relaxed);
+            (result, confidence)
+        } else {
+            acc_rx.recv().expect("accurate call completes")
         }
     }
 
@@ -198,8 +265,7 @@ impl<R: Send + 'static, E: Send + 'static> WorkerPool<Result<R, E>> {
     {
         let mut used = 0u32;
         loop {
-            let rx = self.submit(attempt());
-            match rx.recv().expect("worker replies") {
+            match self.run_inline(attempt()) {
                 (Ok(result), confidence) => return Ok((result, confidence)),
                 (Err(e), _) => {
                     if used >= retry.max_retries {

@@ -63,15 +63,36 @@ fn one_line(response: &Response) -> String {
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     banner("1. Boot the wire-protocol serving stack on loopback");
-    let service = Arc::new(tt_net::demo::demo_service(
-        PAYLOADS,
-        SEED,
-        ServiceConfig::defaults(),
-    ));
-    let server = Server::bind("127.0.0.1:0", Arc::clone(&service), ServerConfig::default())?;
+    // `TT_ENGINE=reactor` boots the epoll reactor with request
+    // batching instead of the default thread-per-connection engine —
+    // same deployment, same bits billed (DESIGN.md §14); CI runs this
+    // example once per engine.
+    let reactor = std::env::var("TT_ENGINE").is_ok_and(|v| v.eq_ignore_ascii_case("reactor"));
+    let mut service_config = ServiceConfig::defaults();
+    if reactor {
+        service_config.batch = tt_net::BatchConfig {
+            enabled: true,
+            ..tt_net::BatchConfig::defaults()
+        };
+    }
+    let service = Arc::new(tt_net::demo::demo_service(PAYLOADS, SEED, service_config));
+    let server_config = ServerConfig {
+        engine: if reactor {
+            tt_net::server::Engine::Reactor
+        } else {
+            tt_net::server::Engine::Threaded
+        },
+        ..ServerConfig::default()
+    };
+    let server = Server::bind("127.0.0.1:0", Arc::clone(&service), server_config)?;
     let addr = server.local_addr();
     let running = server.spawn();
-    println!("  serving on http://{addr}");
+    let engine = if reactor {
+        "reactor+batching"
+    } else {
+        "threaded"
+    };
+    println!("  serving on http://{addr} (engine: {engine})");
     println!("  try: curl -X POST http://{addr}/compute \\");
     println!("            -H \"Tolerance: 0.01\" -H \"Objective: response-time\" -d \"payload-7\"");
 
