@@ -1,0 +1,617 @@
+//! `tt-cache` — a sharded, bounded, deterministic semantic result
+//! cache for tolerance-tier serving.
+//!
+//! The cache is keyed by a caller-computed *semantic key* (for the
+//! serving stack: objective + payload index) and stores, per key, the
+//! single best answer seen so far along with the input's bit-exact
+//! fingerprint, the answer's **achieved degradation** (quality error
+//! beyond the premium baseline, in milli-tolerance units), and the
+//! tier it was executed under. The admissibility rule is the paper's
+//! tolerance contract turned into a reuse rule:
+//!
+//! > a lookup hits iff `request.tolerance >= entry.achieved_degradation`,
+//! > and a strict (tolerance-0) request only hits an entry whose input
+//! > fingerprint is bit-equal **and** whose achieved degradation is 0.
+//!
+//! Everything is deterministic by construction — the repo's
+//! signature. There is no wall clock anywhere: recency is a per-shard
+//! logical access tick, TTL (when enabled) is measured in shard
+//! accesses, admission is a pure seeded hash of the semantic key, and
+//! the per-key replacement policy is *keep-best* — a join-semilattice
+//! min over `(achieved, rank, fingerprint)` — so the converged cache
+//! state is independent of insert order and thread interleaving.
+//!
+//! Invalidation is fenced by the cluster's versioned rules epoch:
+//! [`SemanticCache::purge_to_epoch`] advances the cache's epoch
+//! monotonically and clears every shard exactly once per new epoch.
+//! Lookups and inserts carry the caller's epoch and are refused when
+//! it differs from the cache's, and each entry is additionally stamped
+//! with its insert epoch, so even a racing stale insert can never be
+//! served after a purge.
+//!
+//! The crate is dependency-free (std only) and `forbid(unsafe_code)`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Tuning knobs for a [`SemanticCache`]. Every field is part of the
+/// deterministic contract: two caches with the same config and the
+/// same (serialized) operation sequence hold bit-identical state.
+#[derive(Debug, Clone)]
+pub struct CacheConfig {
+    /// Total entry budget across all shards.
+    pub capacity: usize,
+    /// Number of independent shards (each with its own lock, tick
+    /// counter, and `capacity / shards` slice of the budget).
+    pub shards: usize,
+    /// Seed for the admission hash. Changing it changes *which* keys
+    /// are cacheable, never how a cached key behaves.
+    pub seed: u64,
+    /// Per-mille of semantic keys admitted on insert (1000 = admit
+    /// everything). Admission is `hash(seed, key) % 1000 <
+    /// admit_permille` — a pure function of the key, so it is
+    /// order-independent.
+    pub admit_permille: u16,
+    /// Optional logical TTL: an entry expires once more than this
+    /// many *shard accesses* have happened since it was stored. `None`
+    /// disables expiry (entries live until evicted or purged).
+    pub ttl_accesses: Option<u64>,
+}
+
+impl CacheConfig {
+    /// Defaults sized for the demo services: 4096 entries over 8
+    /// shards, admit everything, no TTL.
+    pub fn defaults() -> Self {
+        CacheConfig {
+            capacity: 4096,
+            shards: 8,
+            seed: 42,
+            admit_permille: 1000,
+            ttl_accesses: None,
+        }
+    }
+}
+
+/// Outcome of a [`SemanticCache::lookup`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Lookup<V> {
+    /// Hit on a bit-equal input fingerprint.
+    Exact(V),
+    /// Hit on the semantic admissibility rule (tolerance covers the
+    /// entry's achieved degradation) with a *different* input.
+    Semantic(V),
+    /// No admissible entry.
+    Miss,
+    /// The caller's epoch does not match the cache's — the caller is
+    /// fenced (stale rules) and must not be served from cache.
+    Stale,
+}
+
+/// Outcome of a [`SemanticCache::insert`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Inserted {
+    /// The value was stored (fresh key, or it beat the incumbent).
+    Stored,
+    /// An incumbent entry was at least as good; the insert was folded
+    /// into a keep-best no-op (LRU recency still refreshed).
+    Kept,
+    /// The seeded admission filter excludes this key.
+    NotAdmitted,
+    /// The caller's epoch does not match the cache's.
+    StaleEpoch,
+}
+
+/// Counter snapshot for `/stats` and tests. All values are lifetime
+/// totals; `entries` and `epoch` are instantaneous.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Current rules epoch the cache is fenced to.
+    pub epoch: u64,
+    /// Live entries across all shards.
+    pub entries: u64,
+    /// Hits on a bit-equal fingerprint.
+    pub hits_exact: u64,
+    /// Hits via the semantic admissibility rule.
+    pub hits_semantic: u64,
+    /// Lookups that found no admissible entry.
+    pub misses: u64,
+    /// Lookups refused because the caller's epoch was stale.
+    pub stale_lookups: u64,
+    /// Entries dropped by the logical TTL.
+    pub expired: u64,
+    /// Inserts that stored a value.
+    pub inserts: u64,
+    /// Inserts folded into keep-best no-ops.
+    pub kept: u64,
+    /// Inserts refused by the admission filter.
+    pub rejected_admission: u64,
+    /// Inserts refused because the caller's epoch was stale.
+    pub rejected_stale: u64,
+    /// Entries evicted by per-shard LRU.
+    pub evictions: u64,
+    /// Epoch purges that actually cleared the cache.
+    pub purges: u64,
+}
+
+struct Entry<V> {
+    fingerprint: u64,
+    achieved_milli: u32,
+    executed_tier_milli: u32,
+    rank: u64,
+    epoch: u64,
+    inserted_tick: u64,
+    touched_tick: u64,
+    value: V,
+}
+
+struct Shard<V> {
+    entries: BTreeMap<u64, Entry<V>>,
+    tick: u64,
+}
+
+impl<V> Shard<V> {
+    fn new() -> Self {
+        Shard {
+            entries: BTreeMap::new(),
+            tick: 0,
+        }
+    }
+}
+
+/// The sharded, bounded, epoch-fenced semantic cache. `V` is the
+/// stored answer; it must be `Clone` because hits hand out copies.
+pub struct SemanticCache<V> {
+    config: CacheConfig,
+    shards: Vec<Mutex<Shard<V>>>,
+    per_shard: usize,
+    epoch: AtomicU64,
+    hits_exact: AtomicU64,
+    hits_semantic: AtomicU64,
+    misses: AtomicU64,
+    stale_lookups: AtomicU64,
+    expired: AtomicU64,
+    inserts: AtomicU64,
+    kept: AtomicU64,
+    rejected_admission: AtomicU64,
+    rejected_stale: AtomicU64,
+    evictions: AtomicU64,
+    purges: AtomicU64,
+}
+
+impl<V: Clone> SemanticCache<V> {
+    /// Build a cache starting at rules epoch 1 (the epoch every
+    /// freshly constructed service and fleet starts from).
+    pub fn new(config: CacheConfig) -> Self {
+        let shard_count = config.shards.max(1);
+        let per_shard = config.capacity.div_ceil(shard_count).max(1);
+        SemanticCache {
+            shards: (0..shard_count).map(|_| Mutex::new(Shard::new())).collect(),
+            per_shard,
+            config,
+            epoch: AtomicU64::new(1),
+            hits_exact: AtomicU64::new(0),
+            hits_semantic: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            stale_lookups: AtomicU64::new(0),
+            expired: AtomicU64::new(0),
+            inserts: AtomicU64::new(0),
+            kept: AtomicU64::new(0),
+            rejected_admission: AtomicU64::new(0),
+            rejected_stale: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            purges: AtomicU64::new(0),
+        }
+    }
+
+    /// The epoch this cache is currently fenced to.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::SeqCst)
+    }
+
+    /// Advance the fence to `epoch` and clear every shard. Monotonic
+    /// and idempotent: calls with an epoch at or below the current one
+    /// are no-ops, so every node in a fleet can purge on adopt and
+    /// only the first arrival clears. The epoch is published *before*
+    /// the shards are cleared; combined with the per-entry epoch
+    /// stamp, a concurrent old-epoch insert can land but can never be
+    /// served (its stamp no longer matches).
+    pub fn purge_to_epoch(&self, epoch: u64) {
+        let mut current = self.epoch.load(Ordering::SeqCst);
+        loop {
+            if epoch <= current {
+                return;
+            }
+            match self
+                .epoch
+                .compare_exchange(current, epoch, Ordering::SeqCst, Ordering::SeqCst)
+            {
+                Ok(_) => break,
+                Err(actual) => current = actual,
+            }
+        }
+        for shard in &self.shards {
+            let mut shard = shard.lock().expect("cache shard poisoned");
+            shard.entries.clear();
+        }
+        self.purges.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn shard_for(&self, key: u64) -> &Mutex<Shard<V>> {
+        &self.shards[(mix64(key) as usize) % self.shards.len()]
+    }
+
+    /// Does the seeded admission filter accept this key? Pure function
+    /// of `(seed, key)`, so the answer is identical on every node and
+    /// at any interleaving.
+    pub fn admits(&self, key: u64) -> bool {
+        u16::try_from(mix64(self.config.seed ^ key) % 1000).expect("mod 1000 fits u16")
+            < self.config.admit_permille
+    }
+
+    /// Look up `key` for a request at `tolerance_milli` (tolerance ×
+    /// 1000, rounded — the same fixed-point the billing matrix keys
+    /// use) whose input hashes to `fingerprint`, under the caller's
+    /// rules `epoch`.
+    pub fn lookup(
+        &self,
+        key: u64,
+        fingerprint: u64,
+        tolerance_milli: u32,
+        epoch: u64,
+    ) -> Lookup<V> {
+        if epoch != self.epoch.load(Ordering::SeqCst) {
+            self.stale_lookups.fetch_add(1, Ordering::Relaxed);
+            return Lookup::Stale;
+        }
+        let mut shard = self.shard_for(key).lock().expect("cache shard poisoned");
+        shard.tick += 1;
+        let tick = shard.tick;
+        let ttl = self.config.ttl_accesses;
+        let verdict = match shard.entries.get_mut(&key) {
+            None => Lookup::Miss,
+            Some(entry) if entry.epoch != epoch => {
+                // A pre-purge insert that raced the fence: drop it.
+                shard.entries.remove(&key);
+                Lookup::Miss
+            }
+            Some(entry)
+                if ttl.is_some_and(|ttl| tick.saturating_sub(entry.inserted_tick) > ttl) =>
+            {
+                shard.entries.remove(&key);
+                self.expired.fetch_add(1, Ordering::Relaxed);
+                Lookup::Miss
+            }
+            Some(entry) => {
+                let exact = entry.fingerprint == fingerprint;
+                let admissible = if tolerance_milli == 0 {
+                    // Strict contract: bit-equal input AND an answer
+                    // with zero achieved degradation.
+                    exact && entry.achieved_milli == 0
+                } else {
+                    entry.achieved_milli <= tolerance_milli
+                };
+                if admissible {
+                    entry.touched_tick = tick;
+                    if exact {
+                        Lookup::Exact(entry.value.clone())
+                    } else {
+                        Lookup::Semantic(entry.value.clone())
+                    }
+                } else {
+                    Lookup::Miss
+                }
+            }
+        };
+        match &verdict {
+            Lookup::Exact(_) => self.hits_exact.fetch_add(1, Ordering::Relaxed),
+            Lookup::Semantic(_) => self.hits_semantic.fetch_add(1, Ordering::Relaxed),
+            Lookup::Miss => self.misses.fetch_add(1, Ordering::Relaxed),
+            Lookup::Stale => unreachable!("stale handled before shard lock"),
+        };
+        verdict
+    }
+
+    /// Store an answer for `key`. `achieved_milli` is the answer's
+    /// degradation beyond the premium baseline, `executed_tier_milli`
+    /// the tier it was computed under, and `rank` a caller-supplied
+    /// deterministic total order used to break achieved-degradation
+    /// ties (lower wins), so permuted insert orders converge to the
+    /// same entry.
+    #[allow(clippy::too_many_arguments)]
+    pub fn insert(
+        &self,
+        key: u64,
+        fingerprint: u64,
+        achieved_milli: u32,
+        executed_tier_milli: u32,
+        rank: u64,
+        value: V,
+        epoch: u64,
+    ) -> Inserted {
+        if epoch != self.epoch.load(Ordering::SeqCst) {
+            self.rejected_stale.fetch_add(1, Ordering::Relaxed);
+            return Inserted::StaleEpoch;
+        }
+        if !self.admits(key) {
+            self.rejected_admission.fetch_add(1, Ordering::Relaxed);
+            return Inserted::NotAdmitted;
+        }
+        let mut shard = self.shard_for(key).lock().expect("cache shard poisoned");
+        shard.tick += 1;
+        let tick = shard.tick;
+        if let Some(entry) = shard.entries.get_mut(&key) {
+            let newer = (achieved_milli, rank, fingerprint);
+            let incumbent = (entry.achieved_milli, entry.rank, entry.fingerprint);
+            if newer < incumbent || entry.epoch != epoch {
+                entry.fingerprint = fingerprint;
+                entry.achieved_milli = achieved_milli;
+                entry.executed_tier_milli = executed_tier_milli;
+                entry.rank = rank;
+                entry.epoch = epoch;
+                entry.inserted_tick = tick;
+                entry.touched_tick = tick;
+                entry.value = value;
+                self.inserts.fetch_add(1, Ordering::Relaxed);
+                return Inserted::Stored;
+            }
+            entry.touched_tick = tick;
+            self.kept.fetch_add(1, Ordering::Relaxed);
+            return Inserted::Kept;
+        }
+        if shard.entries.len() >= self.per_shard {
+            // Per-shard ticks are unique, so the LRU victim is unique;
+            // key order breaks the (impossible) tie deterministically.
+            if let Some(victim) = shard
+                .entries
+                .iter()
+                .min_by_key(|(k, e)| (e.touched_tick, **k))
+                .map(|(k, _)| *k)
+            {
+                shard.entries.remove(&victim);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        shard.entries.insert(
+            key,
+            Entry {
+                fingerprint,
+                achieved_milli,
+                executed_tier_milli,
+                rank,
+                epoch,
+                inserted_tick: tick,
+                touched_tick: tick,
+                value,
+            },
+        );
+        self.inserts.fetch_add(1, Ordering::Relaxed);
+        Inserted::Stored
+    }
+
+    /// Live entries across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").entries.len())
+            .sum()
+    }
+
+    /// True when no shard holds an entry.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot every counter.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            epoch: self.epoch(),
+            entries: self.len() as u64,
+            hits_exact: self.hits_exact.load(Ordering::Relaxed),
+            hits_semantic: self.hits_semantic.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            stale_lookups: self.stale_lookups.load(Ordering::Relaxed),
+            expired: self.expired.load(Ordering::Relaxed),
+            inserts: self.inserts.load(Ordering::Relaxed),
+            kept: self.kept.load(Ordering::Relaxed),
+            rejected_admission: self.rejected_admission.load(Ordering::Relaxed),
+            rejected_stale: self.rejected_stale.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            purges: self.purges.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl<V> std::fmt::Debug for SemanticCache<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SemanticCache")
+            .field("shards", &self.shards.len())
+            .field("per_shard", &self.per_shard)
+            .field("epoch", &self.epoch.load(Ordering::SeqCst))
+            .finish()
+    }
+}
+
+/// FNV-1a over raw bytes — the workspace's stable input fingerprint
+/// (identical constants to the payload hasher in `tt-net`).
+pub fn fingerprint64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// SplitMix64 finalizer — used for shard selection and the admission
+/// hash so nearby keys don't collide into one shard.
+pub fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache(config: CacheConfig) -> SemanticCache<&'static str> {
+        SemanticCache::new(config)
+    }
+
+    fn one_shard(capacity: usize) -> CacheConfig {
+        CacheConfig {
+            capacity,
+            shards: 1,
+            ..CacheConfig::defaults()
+        }
+    }
+
+    #[test]
+    fn semantic_admissibility_follows_the_tolerance_rule() {
+        let c = cache(CacheConfig::defaults());
+        c.insert(7, 0xAAAA, 50, 100, 0, "balanced", 1);
+        // Tolerance covers achieved degradation: semantic hit for a
+        // different input, exact hit for the same one.
+        assert_eq!(c.lookup(7, 0xBBBB, 100, 1), Lookup::Semantic("balanced"));
+        assert_eq!(c.lookup(7, 0xBBBB, 50, 1), Lookup::Semantic("balanced"));
+        assert_eq!(c.lookup(7, 0xAAAA, 50, 1), Lookup::Exact("balanced"));
+        // Tolerance below achieved degradation: miss.
+        assert_eq!(c.lookup(7, 0xBBBB, 49, 1), Lookup::Miss);
+        let stats = c.stats();
+        assert_eq!(stats.hits_exact, 1);
+        assert_eq!(stats.hits_semantic, 2);
+        assert_eq!(stats.misses, 1);
+    }
+
+    #[test]
+    fn strict_requests_only_hit_bit_equal_zero_degradation_entries() {
+        let c = cache(CacheConfig::defaults());
+        c.insert(1, 0xAAAA, 0, 0, 0, "premium", 1);
+        c.insert(2, 0xCCCC, 1, 100, 0, "nearly", 1);
+        // Bit-equal input with achieved == 0: allowed.
+        assert_eq!(c.lookup(1, 0xAAAA, 0, 1), Lookup::Exact("premium"));
+        // Same semantic key, different input bytes: refused.
+        assert_eq!(c.lookup(1, 0xBBBB, 0, 1), Lookup::Miss);
+        // Bit-equal input but nonzero achieved degradation: refused.
+        assert_eq!(c.lookup(2, 0xCCCC, 0, 1), Lookup::Miss);
+    }
+
+    #[test]
+    fn keep_best_converges_regardless_of_insert_order() {
+        let answers: [(u32, u64, u64, &str); 3] = [
+            (120, 2, 0x1, "cheap"),
+            (0, 0, 0x2, "premium"),
+            (40, 1, 0x3, "balanced"),
+        ];
+        let orders: [[usize; 3]; 3] = [[0, 1, 2], [2, 1, 0], [1, 0, 2]];
+        let mut winners = Vec::new();
+        for order in orders {
+            let c = cache(CacheConfig::defaults());
+            for i in order {
+                let (achieved, rank, fp, v) = answers[i];
+                c.insert(9, fp, achieved, achieved, rank, v, 1);
+            }
+            winners.push(c.lookup(9, 0x2, 500, 1));
+        }
+        assert!(winners.iter().all(|w| *w == Lookup::Exact("premium")));
+    }
+
+    #[test]
+    fn lru_eviction_is_deterministic_with_logical_ticks() {
+        let c = cache(one_shard(2));
+        c.insert(1, 0x1, 0, 0, 0, "a", 1);
+        c.insert(2, 0x2, 0, 0, 0, "b", 1);
+        // Touch key 1 so key 2 is the LRU victim.
+        assert_eq!(c.lookup(1, 0x1, 100, 1), Lookup::Exact("a"));
+        c.insert(3, 0x3, 0, 0, 0, "c", 1);
+        assert_eq!(c.stats().evictions, 1);
+        assert_eq!(c.lookup(2, 0x2, 100, 1), Lookup::Miss);
+        assert_eq!(c.lookup(1, 0x1, 100, 1), Lookup::Exact("a"));
+        assert_eq!(c.lookup(3, 0x3, 100, 1), Lookup::Exact("c"));
+    }
+
+    #[test]
+    fn epoch_purge_fences_lookups_and_inserts() {
+        let c = cache(CacheConfig::defaults());
+        c.insert(5, 0x5, 0, 0, 0, "old", 1);
+        c.purge_to_epoch(2);
+        assert!(c.is_empty(), "purge clears every shard");
+        assert_eq!(c.epoch(), 2);
+        // Current-epoch callers miss (entry is gone), fenced callers
+        // are told they are stale, stale inserts are refused.
+        assert_eq!(c.lookup(5, 0x5, 100, 2), Lookup::Miss);
+        assert_eq!(c.lookup(5, 0x5, 100, 1), Lookup::Stale);
+        assert_eq!(c.insert(5, 0x5, 0, 0, 0, "late", 1), Inserted::StaleEpoch);
+        // Purge is monotonic and idempotent.
+        c.insert(6, 0x6, 0, 0, 0, "new", 2);
+        c.purge_to_epoch(2);
+        c.purge_to_epoch(1);
+        assert_eq!(c.lookup(6, 0x6, 100, 2), Lookup::Exact("new"));
+        assert_eq!(c.stats().purges, 1);
+    }
+
+    #[test]
+    fn logical_ttl_expires_entries_by_access_count() {
+        let c = cache(CacheConfig {
+            ttl_accesses: Some(2),
+            ..one_shard(8)
+        });
+        c.insert(1, 0x1, 0, 0, 0, "a", 1); // tick 1
+        assert_eq!(c.lookup(1, 0x1, 100, 1), Lookup::Exact("a")); // tick 2
+        assert_eq!(c.lookup(1, 0x1, 100, 1), Lookup::Exact("a")); // tick 3
+        assert_eq!(c.lookup(1, 0x1, 100, 1), Lookup::Miss); // tick 4 > ttl
+        assert_eq!(c.stats().expired, 1);
+    }
+
+    #[test]
+    fn admission_filter_is_a_pure_seeded_function_of_the_key() {
+        let closed = cache(CacheConfig {
+            admit_permille: 0,
+            ..CacheConfig::defaults()
+        });
+        assert_eq!(
+            closed.insert(1, 0x1, 0, 0, 0, "a", 1),
+            Inserted::NotAdmitted
+        );
+        assert_eq!(closed.stats().rejected_admission, 1);
+
+        let half = cache(CacheConfig {
+            admit_permille: 500,
+            ..CacheConfig::defaults()
+        });
+        let admitted = (0..1000u64).filter(|&k| half.admits(k)).count();
+        assert!(
+            (350..=650).contains(&admitted),
+            "seeded admission near the configured rate, got {admitted}"
+        );
+        // Same key, same verdict, every time.
+        for k in 0..100u64 {
+            assert_eq!(half.admits(k), half.admits(k));
+        }
+    }
+
+    #[test]
+    fn duplicate_insert_is_folded_into_keep_best() {
+        let c = cache(CacheConfig::defaults());
+        assert_eq!(c.insert(3, 0x3, 10, 50, 1, "first", 1), Inserted::Stored);
+        assert_eq!(c.insert(3, 0x3, 10, 50, 1, "same", 1), Inserted::Kept);
+        assert_eq!(c.insert(3, 0x3, 20, 100, 1, "worse", 1), Inserted::Kept);
+        assert_eq!(c.insert(3, 0x3, 0, 0, 0, "better", 1), Inserted::Stored);
+        assert_eq!(c.lookup(3, 0x3, 100, 1), Lookup::Exact("better"));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn fingerprint_matches_the_net_payload_hasher_constants() {
+        // Locked values so the wire-level fingerprint can never drift
+        // silently between crates.
+        assert_eq!(fingerprint64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fingerprint64(b"payload-7"), fingerprint64(b"payload-7"));
+        assert_ne!(fingerprint64(b"payload-7"), fingerprint64(b"payload-8"));
+    }
+}

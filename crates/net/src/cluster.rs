@@ -362,6 +362,7 @@ impl FrontTier {
             if name.eq_ignore_ascii_case("tolerance")
                 || name.eq_ignore_ascii_case("objective")
                 || name.eq_ignore_ascii_case("payload")
+                || name.eq_ignore_ascii_case("cache-control")
             {
                 wire.extend_from_slice(format!("{name}: {value}\r\n").as_bytes());
             }
@@ -613,7 +614,13 @@ fn relay(slot: &NodeSlot, response: &Response) -> Reply {
         body: response.text(),
         headers: Vec::new(),
     };
-    for known in [RULES_EPOCH_HEADER, "Retry-After", "Brownout"] {
+    for known in [
+        RULES_EPOCH_HEADER,
+        "Retry-After",
+        "Brownout",
+        "X-Cache",
+        "X-Cache-Match",
+    ] {
         if let Some(value) = response.header(known) {
             reply = reply.with_header(known, value.to_string());
         }
@@ -904,6 +911,14 @@ impl Fleet {
     pub fn broadcast_rules(&self) -> u64 {
         let epoch = self.epoch.load(Ordering::SeqCst) + 1;
         let frontend = demo_frontend(&self.matrix, self.config.seed);
+        // Fence the shared result cache first: the purge must land
+        // before any node installs (and starts serving under) the new
+        // rules, so no node can answer a post-epoch request with a
+        // pre-epoch cached entry. Skipped nodes are epoch-fenced by
+        // the same advance — their lookups go Stale until re-adopt.
+        if let Some(cache) = &self.config.service.cache {
+            cache.purge_to_epoch(epoch);
+        }
         for slot in &self.slots {
             if slot.part_control.load(Ordering::SeqCst) || slot.down.load(Ordering::SeqCst) {
                 continue;

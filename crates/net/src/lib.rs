@@ -56,17 +56,18 @@ pub use http::{
     RequestAssembler, Response,
 };
 pub use loadgen::{
-    post_drain, run_load, DrainAck, DrainedBy, LoadConfig, LoadMode, LoadReport, SlowRequest,
-    TierLoad,
+    post_drain, run_load, CacheFact, DrainAck, DrainedBy, LoadConfig, LoadMode, LoadReport,
+    SlowRequest, TierLoad,
 };
 pub use metrics::{admission_object, metrics_document, supervisor_object};
-pub use obs::{tier_key, ObsConfig, Observability, ServedSample};
+pub use obs::{tier_key, CacheEvent, ObsConfig, Observability, ServedSample};
 pub use server::{
     socket_config_failures, Engine, RunningServer, Server, ServerConfig, ShutdownHandle,
     PEER_READ_TIMEOUT,
 };
 pub use service::{
-    ComputeOutcome, ComputeService, OutcomeSink, ServiceConfig, ServiceError, ServiceSnapshot,
-    SupervisorSetup, SupervisorStatus,
+    semantic_key, CacheAdmitTicket, CacheServed, CachedAnswer, ComputeOutcome, ComputeService,
+    OutcomeSink, ResultCache, ServiceConfig, ServiceError, ServiceSnapshot, SupervisorSetup,
+    SupervisorStatus, CACHE_HIT_SIM_LATENCY_US,
 };
 pub use stats::stats_document;

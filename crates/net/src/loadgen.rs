@@ -27,7 +27,7 @@ use tt_core::request::ServiceRequest;
 use tt_sim::fault::{WireFaultOutcome, WireFaultPlan};
 use tt_sim::ArrivalProcess;
 use tt_stats::descriptive::percentile;
-use tt_workloads::RequestMix;
+use tt_workloads::{Keyspace, RequestMix};
 
 /// How the generator paces requests.
 #[derive(Debug, Clone, PartialEq)]
@@ -53,6 +53,10 @@ pub struct LoadConfig {
     pub mode: LoadMode,
     /// Tolerance/objective mix requests are drawn from.
     pub mix: RequestMix,
+    /// Payload-index distribution (`--keyspace`): uniform, sequential
+    /// (repeat-free), Zipf-skewed, or repeat-heavy — the knob that
+    /// decides how much the semantic cache can possibly hit.
+    pub keyspace: Keyspace,
     /// Number of profiled payloads on the target service.
     pub payloads: usize,
     /// Seed for the request sample (and the open-loop schedule).
@@ -79,6 +83,7 @@ impl LoadConfig {
             requests,
             mode: LoadMode::Closed { concurrency },
             mix: RequestMix::representative(),
+            keyspace: Keyspace::Uniform,
             payloads,
             seed,
             limits: Limits::default(),
@@ -93,6 +98,7 @@ impl LoadConfig {
             requests,
             mode: LoadMode::Open { rate_per_sec },
             mix: RequestMix::representative(),
+            keyspace: Keyspace::Uniform,
             payloads,
             seed,
             limits: Limits::default(),
@@ -100,6 +106,22 @@ impl LoadConfig {
             retry_after_cap: Duration::from_millis(100),
         }
     }
+}
+
+/// How the server's cache disposed of a request, from the `X-Cache`
+/// (and `X-Cache-Match`) response headers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheFact {
+    /// `X-Cache: hit` with a bit-exact fingerprint match.
+    HitExact,
+    /// `X-Cache: hit` under the semantic tolerance rule (different
+    /// fingerprint, admissible achieved degradation).
+    HitSemantic,
+    /// `X-Cache: miss` — consulted, executed, offered back.
+    Miss,
+    /// `X-Cache: bypass` — not consulted (brownout-shaped, client
+    /// `Cache-Control: no-cache`, or an epoch-fenced node).
+    Bypass,
 }
 
 /// Latency distribution and counts for one tier, client-observed.
@@ -115,6 +137,14 @@ pub struct TierLoad {
     pub shed: usize,
     /// `429` responses: rejected by the admission controller.
     pub rejected: usize,
+    /// `X-Cache: hit` responses with a bit-exact match.
+    pub cache_hits_exact: usize,
+    /// `X-Cache: hit` responses under the semantic tolerance rule.
+    pub cache_hits_semantic: usize,
+    /// `X-Cache: miss` responses.
+    pub cache_misses: usize,
+    /// `X-Cache: bypass` responses.
+    pub cache_bypass: usize,
     /// Client-observed latencies, milliseconds.
     pub latencies_ms: Vec<f64>,
 }
@@ -123,6 +153,14 @@ impl TierLoad {
     /// Percentile of this tier's latency sample (ms); `None` if empty.
     pub fn latency_ms(&self, q: f64) -> Option<f64> {
         percentile(&self.latencies_ms, q).ok()
+    }
+
+    /// Cache hit ratio over consults (hits + misses; bypasses never
+    /// consult the cache). `None` when the tier saw no consults.
+    pub fn cache_hit_ratio(&self) -> Option<f64> {
+        let hits = self.cache_hits_exact + self.cache_hits_semantic;
+        let consults = hits + self.cache_misses;
+        (consults > 0).then(|| hits as f64 / consults as f64)
     }
 }
 
@@ -166,6 +204,12 @@ pub struct LoadReport {
     pub wire_faults_injected: usize,
     /// Times a closed-loop lane slept on a `Retry-After` hint.
     pub retry_waits: usize,
+    /// `X-Cache: hit` responses (exact + semantic) across all tiers.
+    pub cache_hits: usize,
+    /// `X-Cache: miss` responses across all tiers.
+    pub cache_misses: usize,
+    /// `X-Cache: bypass` responses across all tiers.
+    pub cache_bypass: usize,
     /// Wall-clock duration of the run.
     pub wall: Duration,
     /// All successful latencies, milliseconds.
@@ -204,7 +248,34 @@ impl LoadReport {
         if outcome.retry_waited {
             self.retry_waits += 1;
         }
+        // The cache's hard safety line, checked from the client's own
+        // vantage: a strict (tolerance-0) request must never be
+        // answered by a semantic (non-exact) cache match.
+        assert!(
+            !(outcome.tier.1 == 0 && outcome.cache == Some(CacheFact::HitSemantic)),
+            "strict tier {:?} served a semantic cache hit",
+            outcome.tier
+        );
         let slot = self.per_tier.entry(outcome.tier.clone()).or_default();
+        match outcome.cache {
+            Some(CacheFact::HitExact) => {
+                self.cache_hits += 1;
+                slot.cache_hits_exact += 1;
+            }
+            Some(CacheFact::HitSemantic) => {
+                self.cache_hits += 1;
+                slot.cache_hits_semantic += 1;
+            }
+            Some(CacheFact::Miss) => {
+                self.cache_misses += 1;
+                slot.cache_misses += 1;
+            }
+            Some(CacheFact::Bypass) => {
+                self.cache_bypass += 1;
+                slot.cache_bypass += 1;
+            }
+            None => {}
+        }
         match outcome.status {
             Some(200) => {
                 self.ok += 1;
@@ -259,6 +330,7 @@ struct RequestOutcome {
     wire_fault: bool,
     retry_waited: bool,
     served_by: Option<u32>,
+    cache: Option<CacheFact>,
 }
 
 /// The parts of a response the report cares about.
@@ -269,6 +341,7 @@ struct ReplyFacts {
     brownout: bool,
     retry_after_secs: Option<u64>,
     served_by: Option<u32>,
+    cache: Option<CacheFact>,
 }
 
 /// Extract `"request_id": N` from a response body without a JSON
@@ -374,6 +447,7 @@ impl Client {
         };
         let mut content_length = 0usize;
         let mut headers = 0usize;
+        let mut semantic_match = false;
         loop {
             let line = next_line(&mut self.reader, &mut self.line, &mut budget)?;
             if line.is_empty() {
@@ -400,7 +474,20 @@ impl Client {
                 facts.retry_after_secs = value.parse().ok();
             } else if name.eq_ignore_ascii_case(b"served-by") {
                 facts.served_by = value.strip_prefix("node-").and_then(|n| n.parse().ok());
+            } else if name.eq_ignore_ascii_case(b"x-cache") {
+                facts.cache = match value {
+                    // Refined to HitSemantic by X-Cache-Match below.
+                    "hit" => Some(CacheFact::HitExact),
+                    "miss" => Some(CacheFact::Miss),
+                    "bypass" => Some(CacheFact::Bypass),
+                    _ => None,
+                };
+            } else if name.eq_ignore_ascii_case(b"x-cache-match") {
+                semantic_match = value.eq_ignore_ascii_case("semantic");
             }
+        }
+        if semantic_match && facts.cache == Some(CacheFact::HitExact) {
+            facts.cache = Some(CacheFact::HitSemantic);
         }
         if content_length > self.limits.max_body_bytes {
             return Err(HttpError::PayloadTooLarge);
@@ -589,9 +676,12 @@ fn one_shot(
 pub fn run_load(addr: SocketAddr, config: &LoadConfig) -> io::Result<LoadReport> {
     assert!(config.requests > 0, "load needs at least one request");
     assert!(config.payloads > 0, "load needs a payload population");
-    let requests = config
-        .mix
-        .sample(config.requests, config.payloads, config.seed);
+    let requests = config.mix.sample_keyed(
+        config.requests,
+        config.payloads,
+        config.seed,
+        &config.keyspace,
+    );
     // Fail fast if the server is not there at all.
     drop(TcpStream::connect(addr)?);
 
@@ -709,6 +799,7 @@ fn run_closed(
                             wire_fault: injected,
                             retry_waited,
                             served_by: reply.and_then(|facts| facts.served_by),
+                            cache: reply.and_then(|facts| facts.cache),
                         });
                     }
                     outcomes
@@ -773,6 +864,7 @@ fn run_open(
                             wire_fault: fault != WireFaultOutcome::None,
                             retry_waited: false,
                             served_by: reply.and_then(|facts| facts.served_by),
+                            cache: reply.and_then(|facts| facts.cache),
                         });
                     }
                     outcomes
@@ -826,6 +918,7 @@ mod tests {
                 wire_fault: status.is_none(),
                 retry_waited: status == Some(429),
                 served_by: if status == Some(200) { Some(1) } else { None },
+                cache: None,
             });
         }
         report.trim_slowest();
@@ -887,6 +980,7 @@ mod tests {
                 wire_fault: false,
                 retry_waited: false,
                 served_by: Some((i % 3) as u32),
+                cache: None,
             });
         }
         report.trim_slowest();
@@ -907,6 +1001,66 @@ mod tests {
         assert_eq!(parse_request_id(b"{\"request_id\":7}"), Some(7));
         assert_eq!(parse_request_id(b"{\"answered_by\": \"fast\"}"), None);
         assert_eq!(parse_request_id(b"\xff\xfe"), None);
+    }
+
+    fn cached_outcome(tier: (String, u32), cache: Option<CacheFact>) -> RequestOutcome {
+        RequestOutcome {
+            tier,
+            status: Some(200),
+            request_id: None,
+            latency: Duration::from_millis(1),
+            brownout: false,
+            wire_fault: false,
+            retry_waited: false,
+            served_by: None,
+            cache,
+        }
+    }
+
+    #[test]
+    fn report_folds_cache_dispositions_per_tier() {
+        let mut report = LoadReport::default();
+        let tier = ("cost".to_string(), 50);
+        for cache in [
+            Some(CacheFact::HitExact),
+            Some(CacheFact::HitSemantic),
+            Some(CacheFact::Miss),
+            Some(CacheFact::Bypass),
+            None,
+        ] {
+            report.absorb(&cached_outcome(tier.clone(), cache));
+        }
+        assert_eq!(report.cache_hits, 2);
+        assert_eq!(report.cache_misses, 1);
+        assert_eq!(report.cache_bypass, 1);
+        let slot = &report.per_tier[&tier];
+        assert_eq!(slot.cache_hits_exact, 1);
+        assert_eq!(slot.cache_hits_semantic, 1);
+        assert_eq!(slot.cache_misses, 1);
+        assert_eq!(slot.cache_bypass, 1);
+        assert_eq!(slot.cache_hit_ratio(), Some(2.0 / 3.0));
+        // A tier that never consulted the cache has no ratio.
+        assert_eq!(TierLoad::default().cache_hit_ratio(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "semantic cache hit")]
+    fn strict_tier_semantic_hits_trip_the_client_assertion() {
+        let mut report = LoadReport::default();
+        report.absorb(&cached_outcome(
+            ("cost".to_string(), 0),
+            Some(CacheFact::HitSemantic),
+        ));
+    }
+
+    #[test]
+    fn strict_tier_exact_hits_are_fine() {
+        let mut report = LoadReport::default();
+        report.absorb(&cached_outcome(
+            ("cost".to_string(), 0),
+            Some(CacheFact::HitExact),
+        ));
+        assert_eq!(report.cache_hits, 1);
     }
 
     #[test]

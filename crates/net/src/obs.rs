@@ -111,6 +111,21 @@ pub fn tier_key(objective: Objective, tolerance: f64) -> String {
     format!("{objective}/{tolerance:.3}")
 }
 
+/// How the semantic result cache disposed of one compute request, for
+/// the per-tier counters on `/metrics`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheEvent {
+    /// Served from cache on a bit-equal input fingerprint.
+    HitExact,
+    /// Served from cache via the semantic admissibility rule.
+    HitSemantic,
+    /// Cache consulted, no admissible entry; the request executed.
+    Miss,
+    /// Cache not consulted (disabled, epoch-fenced node, brownout, or
+    /// client `Cache-Control: no-cache`).
+    Bypass,
+}
+
 /// One objective's deployed tiers: ascending tolerances with their
 /// telemetry sinks, plus the baseline (premium) version index.
 #[derive(Clone)]
@@ -200,6 +215,11 @@ pub struct Observability {
     requests_dropped: Arc<Counter>,
     model_invocations: Arc<Counter>,
     sim_latency: HistogramHandle,
+    cache_hit: Arc<Counter>,
+    cache_hit_semantic: Arc<Counter>,
+    cache_miss: Arc<Counter>,
+    cache_bypass: Arc<Counter>,
+    cache_hit_latency: HistogramHandle,
 }
 
 impl Observability {
@@ -236,6 +256,11 @@ impl Observability {
             requests_dropped: registry.counter("requests_dropped"),
             model_invocations: registry.counter("model_invocations"),
             sim_latency: registry.histogram("sim_latency_us"),
+            cache_hit: registry.counter("cache_hit"),
+            cache_hit_semantic: registry.counter("cache_hit_semantic"),
+            cache_miss: registry.counter("cache_miss"),
+            cache_bypass: registry.counter("cache_bypass"),
+            cache_hit_latency: registry.histogram("cache_hit_latency_us"),
             registry,
             tracer,
             sentinel: RwLock::new(Arc::new(sentinel)),
@@ -365,6 +390,61 @@ impl Observability {
     pub fn record_dropped(&self) {
         self.requests_total.inc();
         self.requests_dropped.inc();
+    }
+
+    /// Record one cache disposition: the global counters, the hit-path
+    /// latency histogram (the deterministic accounted hit latency, not
+    /// wall clock, so `/metrics` totals stay run-identical), and a
+    /// per-tier counter named `cache_{hit,miss,bypass}:{tier_key}`
+    /// under the request's *deployed* tier (downward-compatibility
+    /// rule, same as telemetry). Per-tier series resolve through the
+    /// bounded registry, so tier cardinality can degrade fidelity but
+    /// never memory.
+    pub fn record_cache(&self, objective: Objective, tolerance: f64, event: CacheEvent) {
+        let kind = match event {
+            CacheEvent::HitExact => {
+                self.cache_hit.inc();
+                self.cache_hit_latency
+                    .record(crate::service::CACHE_HIT_SIM_LATENCY_US);
+                "cache_hit"
+            }
+            CacheEvent::HitSemantic => {
+                self.cache_hit.inc();
+                self.cache_hit_semantic.inc();
+                self.cache_hit_latency
+                    .record(crate::service::CACHE_HIT_SIM_LATENCY_US);
+                "cache_hit"
+            }
+            CacheEvent::Miss => {
+                self.cache_miss.inc();
+                "cache_miss"
+            }
+            CacheEvent::Bypass => {
+                self.cache_bypass.inc();
+                "cache_bypass"
+            }
+        };
+        if let Some(tier) = self.deployed_tier(objective, tolerance) {
+            self.registry
+                .counter(&format!("{kind}:{}", tier_key(objective, tier)))
+                .inc();
+        }
+    }
+
+    /// The deployed tier tolerance serving a requested one: the
+    /// largest advertised tolerance not exceeding the request's.
+    fn deployed_tier(&self, objective: Objective, tolerance: f64) -> Option<f64> {
+        let tiers = self.tiers.read();
+        let tiers = tiers.iter().find(|t| t.objective == objective)?;
+        let mut hit = None;
+        for (tol, _) in &tiers.slots {
+            if *tol <= tolerance + 1e-12 {
+                hit = Some(*tol);
+            } else {
+                break;
+            }
+        }
+        hit
     }
 }
 

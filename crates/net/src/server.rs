@@ -30,7 +30,8 @@ use crate::http::{
     read_request, write_response, write_response_with, Limits, Request, RULES_EPOCH_HEADER,
 };
 use crate::metrics::{admission_object, metrics_document, supervisor_object};
-use crate::service::{ComputeOutcome, ComputeService, ServiceError};
+use crate::obs::CacheEvent;
+use crate::service::{CacheAdmitTicket, CacheServed, ComputeOutcome, ComputeService, ServiceError};
 use crate::stats::stats_document;
 use parking_lot::Mutex;
 use std::io::{self, BufReader, Read};
@@ -802,6 +803,91 @@ enum Prepared {
     },
 }
 
+/// Whether the client forbade cache use for this request
+/// (`Cache-Control: no-cache` or `no-store`).
+fn client_no_cache(request: &Request) -> bool {
+    request.header("cache-control").is_some_and(|value| {
+        value.split(',').any(|directive| {
+            let directive = directive.trim();
+            directive.eq_ignore_ascii_case("no-cache") || directive.eq_ignore_ascii_case("no-store")
+        })
+    })
+}
+
+/// How the cache front half disposed of one admitted request.
+enum CacheDisposition {
+    /// Answered and settled from the cache; build the reply directly.
+    Hit {
+        outcome: ComputeOutcome,
+        exact: bool,
+    },
+    /// Execute. `ticket` is the pre-resolved insert permit for a miss
+    /// (`None` on bypass or when admission filtered the key); `tag` is
+    /// the `X-Cache` header value, `None` when no cache is configured
+    /// so cache-off replies carry no cache header at all.
+    Execute {
+        ticket: Option<CacheAdmitTicket>,
+        tag: Option<&'static str>,
+    },
+}
+
+/// The cache consult shared verbatim by both engines: brownout-shaped
+/// requests and client `Cache-Control: no-cache` bypass (a browned-out
+/// answer must not shadow the tier's real one, and a bypass must not
+/// be admitted either — the entry would be indistinguishable from a
+/// clean answer), everything else asks the service's semantic cache.
+fn cache_front(
+    service: &ComputeService,
+    request: &Request,
+    service_request: &ServiceRequest,
+    brownout_shaped: bool,
+    handle: Option<&TraceHandle>,
+) -> CacheDisposition {
+    if service.cache().is_none() {
+        return CacheDisposition::Execute {
+            ticket: None,
+            tag: None,
+        };
+    }
+    if brownout_shaped || client_no_cache(request) {
+        service.note_cache_event(service_request, CacheEvent::Bypass);
+        return CacheDisposition::Execute {
+            ticket: None,
+            tag: Some("bypass"),
+        };
+    }
+    let fingerprint = fnv1a(&request.body);
+    match service.cache_serve(service_request, fingerprint, handle) {
+        CacheServed::Hit { outcome, exact } => CacheDisposition::Hit { outcome, exact },
+        CacheServed::Miss => CacheDisposition::Execute {
+            ticket: service.cache_ticket(service_request, fingerprint),
+            tag: Some("miss"),
+        },
+        CacheServed::Bypass => CacheDisposition::Execute {
+            ticket: None,
+            tag: Some("bypass"),
+        },
+    }
+}
+
+/// Stamp a reply with its `X-Cache` disposition (no-op when the node
+/// runs without a cache).
+fn tag_cache(reply: Reply, tag: Option<&'static str>) -> Reply {
+    match tag {
+        Some(tag) => reply.with_header("X-Cache", tag.to_string()),
+        None => reply,
+    }
+}
+
+/// Stamp a cache hit's reply: `X-Cache: hit` plus whether the match
+/// was bit-exact or semantic (tolerance-rule admissible).
+fn tag_cache_hit(reply: Reply, exact: bool) -> Reply {
+    reply.with_header("X-Cache", "hit".to_string()).with_header(
+        "X-Cache-Match",
+        if exact { "exact" } else { "semantic" }.to_string(),
+    )
+}
+
 /// `POST /compute`: the paper's API over a real wire (the synchronous
 /// path — the threaded engine, and every error path of the reactor).
 fn compute(service: &ComputeService, request: &Request) -> Reply {
@@ -817,12 +903,39 @@ fn compute(service: &ComputeService, request: &Request) -> Reply {
             brownout,
         } => {
             let _in_flight = service.admission().begin();
-            render_outcome(
+            match cache_front(
+                service,
+                request,
                 &service_request,
+                brownout.is_some(),
                 handle.as_ref(),
-                service.admission(),
-                service.execute_shaped(&service_request, brownout, handle.as_ref()),
-            )
+            ) {
+                CacheDisposition::Hit { outcome, exact } => tag_cache_hit(
+                    render_outcome(
+                        &service_request,
+                        handle.as_ref(),
+                        service.admission(),
+                        Ok(outcome),
+                    ),
+                    exact,
+                ),
+                CacheDisposition::Execute { ticket, tag } => {
+                    let result =
+                        service.execute_shaped(&service_request, brownout, handle.as_ref());
+                    if let (Some(ticket), Ok(outcome)) = (&ticket, &result) {
+                        ticket.admit(outcome);
+                    }
+                    tag_cache(
+                        render_outcome(
+                            &service_request,
+                            handle.as_ref(),
+                            service.admission(),
+                            result,
+                        ),
+                        tag,
+                    )
+                }
+            }
         }
     };
     if let (Some(o), Some(h)) = (obs, handle.as_ref()) {
@@ -854,27 +967,61 @@ fn compute_async(service: &ComputeService, request: &Request, done: ReplySink) {
             brownout,
         } => {
             let in_flight = service.admission().begin();
-            let admission = Arc::clone(service.admission());
-            let continuation_handle = handle.clone();
-            let executed = service_request.clone();
-            service.execute_shaped_async(
-                &executed,
-                brownout,
+            match cache_front(
+                service,
+                request,
+                &service_request,
+                brownout.is_some(),
                 handle.as_ref(),
-                Box::new(move |result| {
+            ) {
+                // A hit already settled: answer on the calling thread,
+                // never touching the batcher or a worker pool.
+                CacheDisposition::Hit { outcome, exact } => {
                     let _in_flight = in_flight;
-                    let reply = render_outcome(
-                        &service_request,
-                        continuation_handle.as_ref(),
-                        &admission,
-                        result,
+                    let reply = tag_cache_hit(
+                        render_outcome(
+                            &service_request,
+                            handle.as_ref(),
+                            service.admission(),
+                            Ok(outcome),
+                        ),
+                        exact,
                     );
-                    if let (Some(o), Some(h)) = (&obs, continuation_handle.as_ref()) {
+                    if let (Some(o), Some(h)) = (&obs, handle.as_ref()) {
                         o.tracer().finish(h);
                     }
                     done(reply);
-                }),
-            );
+                }
+                CacheDisposition::Execute { ticket, tag } => {
+                    let admission = Arc::clone(service.admission());
+                    let continuation_handle = handle.clone();
+                    let executed = service_request.clone();
+                    service.execute_shaped_async(
+                        &executed,
+                        brownout,
+                        handle.as_ref(),
+                        Box::new(move |result| {
+                            let _in_flight = in_flight;
+                            if let (Some(ticket), Ok(outcome)) = (&ticket, &result) {
+                                ticket.admit(outcome);
+                            }
+                            let reply = tag_cache(
+                                render_outcome(
+                                    &service_request,
+                                    continuation_handle.as_ref(),
+                                    &admission,
+                                    result,
+                                ),
+                                tag,
+                            );
+                            if let (Some(o), Some(h)) = (&obs, continuation_handle.as_ref()) {
+                                o.tracer().finish(h);
+                            }
+                            done(reply);
+                        }),
+                    );
+                }
+            }
         }
     }
 }
@@ -1295,6 +1442,90 @@ mod tests {
         assert!(reply.body.contains("\"observability\": false"));
         assert!(reply.body.contains("\"admission\""));
         assert!(reply.body.contains("\"supervisor\""));
+    }
+
+    #[test]
+    fn cache_round_trip_serves_hits_with_headers() {
+        let service = Arc::new(demo_service(
+            60,
+            9,
+            ServiceConfig {
+                cache: Some(Arc::new(tt_cache::SemanticCache::new(
+                    tt_cache::CacheConfig::defaults(),
+                ))),
+                ..ServiceConfig::defaults()
+            },
+        ));
+        let off = AtomicBool::new(false);
+        let tolerant = [
+            ("Tolerance", "0.05"),
+            ("Objective", "cost"),
+            ("Payload", "3"),
+        ];
+        // First sight: miss, executed, offered back.
+        let first = route(&service, &off, &req("POST", "/compute", &tolerant, b"q1"));
+        assert_eq!(first.status, 200);
+        assert_eq!(first.header("X-Cache"), Some("miss"));
+        // Same body: bit-exact hit.
+        let second = route(&service, &off, &req("POST", "/compute", &tolerant, b"q1"));
+        assert_eq!(second.status, 200);
+        assert_eq!(second.header("X-Cache"), Some("hit"));
+        assert_eq!(second.header("X-Cache-Match"), Some("exact"));
+        // Different body, same semantic key, admissible degradation:
+        // semantic hit.
+        let third = route(&service, &off, &req("POST", "/compute", &tolerant, b"q2"));
+        assert_eq!(third.status, 200);
+        assert_eq!(third.header("X-Cache"), Some("hit"));
+        assert_eq!(third.header("X-Cache-Match"), Some("semantic"));
+        // Hit and miss answer the same bytes for the answer fields.
+        for key in ["\"answered_by\"", "\"billed_tolerance\": 0.05"] {
+            assert!(first.body.contains(key) && third.body.contains(key));
+        }
+        // Client opt-out bypasses without touching the cache.
+        let mut with_no_cache = tolerant.to_vec();
+        with_no_cache.push(("Cache-Control", "no-cache"));
+        let bypass = route(
+            &service,
+            &off,
+            &req("POST", "/compute", &with_no_cache, b"q1"),
+        );
+        assert_eq!(bypass.header("X-Cache"), Some("bypass"));
+
+        // Strict (tolerance-0) requests: exact bit-equal hits only.
+        let strict = [("Payload", "5")];
+        let miss = route(&service, &off, &req("POST", "/compute", &strict, b"s1"));
+        assert_eq!(miss.header("X-Cache"), Some("miss"));
+        let exact = route(&service, &off, &req("POST", "/compute", &strict, b"s1"));
+        assert_eq!(exact.header("X-Cache"), Some("hit"));
+        assert_eq!(exact.header("X-Cache-Match"), Some("exact"));
+        let other_body = route(&service, &off, &req("POST", "/compute", &strict, b"s2"));
+        assert_ne!(
+            other_body.header("X-Cache-Match"),
+            Some("semantic"),
+            "strict tiers must never take a semantic hit"
+        );
+
+        // A rules hot-swap (broadcast form) purges: the exact hit
+        // above is gone.
+        let epoch = service.rules_epoch() + 1;
+        service.adopt_rules(crate::demo::demo_frontend(service.matrix(), 9), epoch);
+        let after_swap = route(&service, &off, &req("POST", "/compute", &tolerant, b"q1"));
+        assert_eq!(after_swap.header("X-Cache"), Some("miss"));
+        let stats = service.cache().unwrap().stats();
+        assert!(stats.purges >= 1);
+    }
+
+    #[test]
+    fn cache_off_replies_carry_no_cache_header() {
+        let service = svc();
+        let off = AtomicBool::new(false);
+        let reply = route(
+            &service,
+            &off,
+            &req("POST", "/compute", &[("Payload", "1")], b""),
+        );
+        assert_eq!(reply.status, 200);
+        assert_eq!(reply.header("X-Cache"), None);
     }
 
     #[test]

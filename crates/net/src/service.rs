@@ -18,12 +18,13 @@
 
 use crate::admission::{AdmissionConfig, AdmissionController, AdmissionDecision, BrownoutLevel};
 use crate::batch::{BatchConfig, BatchItem, Batcher};
-use crate::obs::{ObsConfig, Observability};
+use crate::obs::{CacheEvent, ObsConfig, Observability};
 use parking_lot::{Mutex, RwLock};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
+use tt_cache::{Lookup, SemanticCache};
 use tt_core::objective::Objective;
 use tt_core::policy::{Policy, Scheduling, Termination};
 use tt_core::profile::ProfileMatrix;
@@ -39,6 +40,100 @@ use tt_serve::supervisor::{
 };
 use tt_serve::trace::{TraceEvent, TraceRecorder};
 use tt_sim::{CostLedger, FaultOutcome, FaultPlan, InstanceType, Money, SimDuration, SimTime};
+
+/// The semantic result cache the serving layer shares: stored answers
+/// are [`CachedAnswer`]s, keys are [`semantic_key`] values, and exact
+/// matches compare the wire body's fingerprint.
+pub type ResultCache = SemanticCache<CachedAnswer>;
+
+/// Accounted latency of a cache hit, µs. A deterministic constant (not
+/// wall clock) so `/metrics` totals stay bit-identical across runs;
+/// far below any profiled model latency because a hit touches no
+/// worker pool.
+pub const CACHE_HIT_SIM_LATENCY_US: u64 = 25;
+
+/// What the result cache stores per semantic key: the identity of the
+/// answering version. Everything else a response needs (quality error,
+/// confidence, names, prices) is re-derived from the profile matrix
+/// and the request, so cached answers can never drift from the
+/// virtual-cost model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CachedAnswer {
+    /// The version whose answer was stored.
+    pub answered_by: usize,
+}
+
+/// The semantic cache key: objective ⊕ payload index. Two requests
+/// with the same key ask the same question; their tolerance decides
+/// whether a stored answer is admissible.
+pub fn semantic_key(objective: Objective, payload: usize) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in objective.to_string().as_bytes() {
+        hash ^= u64::from(*b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    for b in payload.to_le_bytes() {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// How the cache layer disposed of one request.
+#[derive(Debug, Clone)]
+pub enum CacheServed {
+    /// Answered (and fully settled/billed) from the cache; `exact` is
+    /// true when the stored input fingerprint was bit-equal.
+    Hit {
+        /// The settled outcome, billed at the declared tier.
+        outcome: ComputeOutcome,
+        /// Bit-equal input match (vs a semantic-rule match).
+        exact: bool,
+    },
+    /// Cache consulted, no admissible entry: execute, then offer the
+    /// answer back via [`CacheAdmitTicket::admit`].
+    Miss,
+    /// Cache not consulted (disabled, or this node is epoch-fenced).
+    Bypass,
+}
+
+/// A pre-resolved insert permit for the miss path. Captured *before*
+/// execution so the deferred (batched) path can admit from an executor
+/// thread without re-borrowing the service.
+pub struct CacheAdmitTicket {
+    cache: Arc<ResultCache>,
+    key: u64,
+    fingerprint: u64,
+    epoch: u64,
+    baseline_err: f64,
+}
+
+impl CacheAdmitTicket {
+    /// Offer an executed answer to the cache. Degraded or
+    /// brownout-shaped answers are never admitted (they are not the
+    /// policy's intended result for the key), and the cache re-checks
+    /// the epoch, so a fence between execute and admit voids the
+    /// ticket.
+    pub fn admit(&self, outcome: &ComputeOutcome) {
+        if outcome.degraded || outcome.brownout.is_some() {
+            return;
+        }
+        let achieved_milli =
+            ((outcome.quality_err - self.baseline_err).max(0.0) * 1000.0).round() as u32;
+        let executed_milli = (outcome.billed_tolerance * 1000.0).round() as u32;
+        self.cache.insert(
+            self.key,
+            self.fingerprint,
+            achieved_milli,
+            executed_milli,
+            outcome.answered_by as u64,
+            CachedAnswer {
+                answered_by: outcome.answered_by,
+            },
+            self.epoch,
+        );
+    }
+}
 
 /// Tuning for a [`ComputeService`].
 #[derive(Debug, Clone)]
@@ -76,6 +171,12 @@ pub struct ServiceConfig {
     /// default; only [`ComputeService::execute_shaped_async`] (the
     /// reactor engine's path) consults it.
     pub batch: BatchConfig,
+    /// The semantic result cache consulted ahead of policy evaluation;
+    /// `None` disables caching. The `Arc` is the sharing unit: a fleet
+    /// puts one instance here and every node's clone of the config
+    /// points at the same cache, which is what keeps hit/miss
+    /// sequences node-count-invariant.
+    pub cache: Option<Arc<ResultCache>>,
 }
 
 impl ServiceConfig {
@@ -98,6 +199,7 @@ impl ServiceConfig {
             supervisor: Some(SupervisorSetup::defaults()),
             node_id: 0,
             batch: BatchConfig::defaults(),
+            cache: None,
         }
     }
 }
@@ -187,6 +289,9 @@ pub struct ServiceSnapshot {
     pub resilience: ResilienceStats,
     /// Tier economics folded from the trace.
     pub billing: BillingReport,
+    /// Result-cache counters, when a cache is configured. In a fleet
+    /// the cache is shared, so every node reports the same totals.
+    pub cache: Option<tt_cache::CacheStats>,
 }
 
 /// Mutable run state behind one lock: the trace and the money.
@@ -614,6 +719,12 @@ impl ComputeService {
     pub fn adopt_rules(&self, frontend: TieredFrontend, epoch: u64) {
         self.install(frontend);
         self.rules_epoch.store(epoch, Ordering::SeqCst);
+        // Fence the shared result cache to the broadcast epoch: any
+        // pre-epoch answer is purged before this node serves under the
+        // new stamp (`install` already purged to its locally derived
+        // epoch; this re-purge is a no-op unless the fleet epoch is
+        // ahead).
+        self.purge_cache_to(epoch);
     }
 
     /// Re-stamp this node to `epoch` without touching the live rules
@@ -1159,6 +1270,153 @@ impl ComputeService {
         }
     }
 
+    /// The semantic result cache, when one is configured.
+    pub fn cache(&self) -> Option<&Arc<ResultCache>> {
+        self.config.cache.as_ref()
+    }
+
+    /// Try to answer `request` from the semantic result cache. A hit
+    /// is settled through the same [`Accounts::settle`] as an executed
+    /// request — billed at the declared tier with the price the miss
+    /// path would have charged, traced, and counted — but with zero
+    /// model invocations and zero accounted busy time: the ledger's
+    /// compute side is where the cache's savings show up, while
+    /// per-tier billed totals stay bit-identical across cache on/off.
+    ///
+    /// `fingerprint` is the FNV-1a hash of the raw request body (the
+    /// bit-equal identity strict requests demand). Brownout-shaped
+    /// requests must not reach this method — the caller routes them
+    /// straight to execution as a bypass.
+    pub fn cache_serve(
+        &self,
+        request: &ServiceRequest,
+        fingerprint: u64,
+        trace: Option<&TraceHandle>,
+    ) -> CacheServed {
+        let Some(cache) = &self.config.cache else {
+            // No cache configured: not a bypass worth counting —
+            // cache-off deployments keep empty cache metrics.
+            return CacheServed::Bypass;
+        };
+        let epoch = self.rules_epoch();
+        let payload = request.payload % self.matrix.requests().max(1);
+        let key = semantic_key(request.objective, payload);
+        let tolerance_milli = (request.tolerance.value() * 1000.0).round() as u32;
+        let (answer, exact) = match cache.lookup(key, fingerprint, tolerance_milli, epoch) {
+            Lookup::Stale => {
+                // Epoch-fenced: this node must not serve (or refresh)
+                // pre-epoch answers, so the request bypasses the cache
+                // entirely.
+                self.note_cache_event(request, CacheEvent::Bypass);
+                return CacheServed::Bypass;
+            }
+            Lookup::Miss => {
+                self.note_cache_event(request, CacheEvent::Miss);
+                return CacheServed::Miss;
+            }
+            Lookup::Exact(answer) => (answer, true),
+            Lookup::Semantic(answer) => (answer, false),
+        };
+
+        let arrival = self.now();
+        self.stats.lock().total_requests += 1;
+        let root = trace.map(|handle| {
+            let id = handle.open("execute", None, self.wall_us());
+            handle.attr_str(id, "objective", request.objective.to_string());
+            handle.attr_int(
+                id,
+                "tolerance_milli",
+                (request.tolerance.value() * 1000.0).round() as i64,
+            );
+            handle.attr_int(id, "payload", payload as i64);
+            id
+        });
+        let span = trace.zip(root);
+        if let Some((handle, parent)) = span {
+            let id = handle.open("cache", Some(parent), self.wall_us());
+            handle.attr_str(id, "match", if exact { "exact" } else { "semantic" });
+            handle.attr_int(id, "answered_by", answer.answered_by as i64);
+            handle.close(id, self.wall_us());
+        }
+        // Bill exactly what the miss path would bill: the declared
+        // tier, the frontend's route (brownouts never reach here) —
+        // only the execution facts are synthetic.
+        let policy = self.frontend.read().route(request);
+        let outcome = self.accounts().settle(
+            SettleCtx {
+                objective: request.objective,
+                declared_tolerance: request.tolerance.value(),
+                billed_tolerance: request.tolerance.value(),
+                brownout: None,
+                policy,
+                payload,
+                arrival,
+                stage: StageOutcome {
+                    answered_by: answer.answered_by,
+                    degraded: false,
+                    sim_latency_us: CACHE_HIT_SIM_LATENCY_US,
+                    busy_us: 0,
+                    invocations: 0,
+                },
+            },
+            span,
+        );
+        self.note_cache_event(
+            request,
+            if exact {
+                CacheEvent::HitExact
+            } else {
+                CacheEvent::HitSemantic
+            },
+        );
+        CacheServed::Hit { outcome, exact }
+    }
+
+    /// Pre-resolve an insert permit for the miss path, capturing the
+    /// cache handle, epoch, and the objective's current premium
+    /// baseline error (the reference the entry's achieved degradation
+    /// is measured against). `None` when no cache is configured or the
+    /// seeded admission filter excludes the key.
+    pub fn cache_ticket(
+        &self,
+        request: &ServiceRequest,
+        fingerprint: u64,
+    ) -> Option<CacheAdmitTicket> {
+        let cache = self.config.cache.as_ref()?;
+        let payload = request.payload % self.matrix.requests().max(1);
+        let key = semantic_key(request.objective, payload);
+        if !cache.admits(key) {
+            return None;
+        }
+        let baseline_err = {
+            let fe = self.frontend.read();
+            let baseline = fe
+                .rules()
+                .find(|r| r.objective() == request.objective)
+                .map(|r| r.baseline_version());
+            baseline
+                .map(|v| self.matrix.get(payload, v).quality_err)
+                .unwrap_or(0.0)
+        };
+        Some(CacheAdmitTicket {
+            cache: Arc::clone(cache),
+            key,
+            fingerprint,
+            epoch: self.rules_epoch(),
+            baseline_err,
+        })
+    }
+
+    /// Count one cache disposition in the per-tier and global
+    /// observability counters. The server calls this directly for the
+    /// bypasses that never consult the cache (brownout-shaped
+    /// requests, client `Cache-Control: no-cache`).
+    pub fn note_cache_event(&self, request: &ServiceRequest, event: CacheEvent) {
+        if let Some(obs) = &self.obs {
+            obs.record_cache(request.objective, request.tolerance.value(), event);
+        }
+    }
+
     /// The fault-free accounting twin of [`ComputeService::run_policy`]:
     /// the same per-request invocation, busy-time, and latency math as
     /// a pure function of `(policy, payload)`, plus the list of
@@ -1569,7 +1827,20 @@ impl ComputeService {
         // A local hot-swap is a new rules generation for this node; in
         // a fleet the control plane overwrites this stamp when it
         // rebroadcasts the swap cluster-wide.
-        self.rules_epoch.fetch_add(1, Ordering::SeqCst);
+        let epoch = self.rules_epoch.fetch_add(1, Ordering::SeqCst) + 1;
+        // Purge *before* any request can route on the new rules and
+        // look up under the new epoch: answers computed under the old
+        // rules must never satisfy a post-swap request.
+        self.purge_cache_to(epoch);
+    }
+
+    /// Advance the result cache's epoch fence (clearing it) when a
+    /// cache is configured. Monotonic and idempotent, so every node
+    /// sharing the cache may call it on adopt.
+    fn purge_cache_to(&self, epoch: u64) {
+        if let Some(cache) = &self.config.cache {
+            cache.purge_to_epoch(epoch);
+        }
     }
 
     /// Record one executed transition: a `supervisor` span on the
@@ -1635,6 +1906,7 @@ impl ComputeService {
             trace: state.trace.clone(),
             resilience: self.stats.lock().clone(),
             billing,
+            cache: self.config.cache.as_ref().map(|c| c.stats()),
         }
     }
 }

@@ -73,13 +73,46 @@ pub fn stats_document(snapshot: &ServiceSnapshot, uptime_ms: u64) -> JsonObject 
         )
         .with_num("margin_usd", snapshot.billing.margin().as_dollars());
 
-    JsonObject::new()
+    let mut doc = JsonObject::new()
         .with_str("service", "toltiers")
         .with_int("uptime_ms", uptime_ms as i64)
         .with_int("served", snapshot.served as i64)
         .with("tiers", Json::Array(tiers))
         .with("billing", Json::Object(billing))
-        .with("resilience", Json::Object(resilience))
+        .with("resilience", Json::Object(resilience));
+    if let Some(cache) = &snapshot.cache {
+        doc = doc.with("cache", Json::Object(cache_object(cache)));
+    }
+    doc
+}
+
+/// The result-cache subtree of `/stats`: raw counters plus the derived
+/// hit ratio (hits over consults; bypasses don't consult the cache).
+fn cache_object(stats: &tt_cache::CacheStats) -> JsonObject {
+    let hits = stats.hits_exact + stats.hits_semantic;
+    let consults = hits + stats.misses;
+    JsonObject::new()
+        .with_int("epoch", stats.epoch as i64)
+        .with_int("entries", stats.entries as i64)
+        .with_int("hits_exact", stats.hits_exact as i64)
+        .with_int("hits_semantic", stats.hits_semantic as i64)
+        .with_int("misses", stats.misses as i64)
+        .with_int("stale_lookups", stats.stale_lookups as i64)
+        .with_int("expired", stats.expired as i64)
+        .with_int("inserts", stats.inserts as i64)
+        .with_int("kept", stats.kept as i64)
+        .with_int("rejected_admission", stats.rejected_admission as i64)
+        .with_int("rejected_stale", stats.rejected_stale as i64)
+        .with_int("evictions", stats.evictions as i64)
+        .with_int("purges", stats.purges as i64)
+        .with_num(
+            "hit_ratio",
+            if consults == 0 {
+                0.0
+            } else {
+                hits as f64 / consults as f64
+            },
+        )
 }
 
 #[cfg(test)]
@@ -113,6 +146,7 @@ mod tests {
                 retries: 1,
                 ..ResilienceStats::default()
             },
+            cache: None,
         };
         let doc = stats_document(&snapshot, 1234).render();
         assert!(doc.contains("\"service\": \"toltiers\""));
@@ -168,9 +202,47 @@ mod tests {
                 &TierPriceSchedule::list_prices(Money::from_dollars(0.001)),
                 Money::ZERO,
             ),
+            cache: None,
         };
         let doc = stats_document(&snapshot, 0).render();
         assert!(doc.contains("\"tiers\": []"));
         assert!(doc.contains("\"served\": 0"));
+        assert!(!doc.contains("\"cache\""), "cache-off omits the subtree");
+    }
+
+    #[test]
+    fn cache_subtree_renders_counters_and_hit_ratio() {
+        let snapshot = ServiceSnapshot {
+            served: 0,
+            trace: TraceRecorder::new(),
+            resilience: ResilienceStats::default(),
+            billing: BillingReport::from_trace(
+                &TraceRecorder::new(),
+                &TierPriceSchedule::list_prices(Money::from_dollars(0.001)),
+                Money::ZERO,
+            ),
+            cache: Some(tt_cache::CacheStats {
+                epoch: 3,
+                entries: 10,
+                hits_exact: 30,
+                hits_semantic: 10,
+                misses: 40,
+                stale_lookups: 1,
+                expired: 0,
+                inserts: 12,
+                kept: 2,
+                rejected_admission: 4,
+                rejected_stale: 1,
+                evictions: 2,
+                purges: 2,
+            }),
+        };
+        let doc = stats_document(&snapshot, 0).render();
+        assert!(doc.contains("\"cache\""));
+        assert!(doc.contains("\"hits_exact\": 30"));
+        assert!(doc.contains("\"hits_semantic\": 10"));
+        assert!(doc.contains("\"misses\": 40"));
+        assert!(doc.contains("\"hit_ratio\": 0.5"));
+        assert!(doc.contains("\"purges\": 2"));
     }
 }

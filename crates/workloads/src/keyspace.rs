@@ -1,0 +1,265 @@
+//! Payload-index (key) distributions for request streams.
+//!
+//! The serving stack's semantic cache ([`tt-cache`]) only has a hit
+//! curve to show if the workload actually repeats keys, so a
+//! [`Keyspace`] shapes *which payload* each sampled request carries
+//! while [`crate::RequestMix`] keeps shaping *who* is asking
+//! (tolerance/objective). All distributions are seeded and
+//! deterministic: the same `(keyspace, payloads, seed)` triple yields
+//! the same key sequence on every host and at any concurrency.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// How payload indices are drawn for a request stream.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Keyspace {
+    /// Independent uniform draws over `0..payloads` — the historical
+    /// default, bit-compatible with the pre-keyspace sampler.
+    Uniform,
+    /// Strictly cycling `0, 1, 2, …` — a repeat-free stream (for
+    /// `requests <= payloads`), the billing-parity baseline for the
+    /// cache.
+    Sequential,
+    /// Zipf-distributed ranks: key `k` drawn with weight
+    /// `1 / (k+1)^s`. Larger `s` skews harder toward a few hot keys.
+    Zipf {
+        /// The skew exponent (`s > 0`); web-like traffic sits near 1.
+        s: f64,
+    },
+    /// A hot set of `hot` keys receives `hot_share` of the traffic
+    /// (uniform within it), the rest goes uniform over the whole
+    /// space. Every `churn_every` draws the hot set rotates to a
+    /// fresh seeded selection, modelling trending-content turnover.
+    RepeatHeavy {
+        /// Hot-set cardinality.
+        hot: usize,
+        /// Fraction of draws served from the hot set (0..=1).
+        hot_share: f64,
+        /// Draws between hot-set rotations; 0 disables churn.
+        churn_every: usize,
+    },
+}
+
+impl Keyspace {
+    /// Parse a loadgen `--keyspace` flag value: `uniform`,
+    /// `sequential`, `zipf:S`, or `repeat:HOT,SHARE,CHURN`.
+    pub fn parse(flag: &str) -> Result<Keyspace, String> {
+        let flag = flag.trim();
+        if flag.eq_ignore_ascii_case("uniform") {
+            return Ok(Keyspace::Uniform);
+        }
+        if flag.eq_ignore_ascii_case("sequential") {
+            return Ok(Keyspace::Sequential);
+        }
+        if let Some(s) = flag.strip_prefix("zipf:") {
+            let s: f64 = s.parse().map_err(|_| format!("bad zipf exponent {s:?}"))?;
+            if s <= 0.0 {
+                return Err("zipf exponent must be positive".into());
+            }
+            return Ok(Keyspace::Zipf { s });
+        }
+        if let Some(rest) = flag.strip_prefix("repeat:") {
+            let parts: Vec<&str> = rest.split(',').collect();
+            if parts.len() != 3 {
+                return Err(format!("repeat wants HOT,SHARE,CHURN, got {rest:?}"));
+            }
+            let hot: usize = parts[0]
+                .parse()
+                .map_err(|_| "bad hot-set size".to_string())?;
+            let hot_share: f64 = parts[1].parse().map_err(|_| "bad hot share".to_string())?;
+            let churn_every: usize = parts[2].parse().map_err(|_| "bad churn".to_string())?;
+            if hot == 0 || !(0.0..=1.0).contains(&hot_share) {
+                return Err("repeat wants hot >= 1 and share in 0..=1".into());
+            }
+            return Ok(Keyspace::RepeatHeavy {
+                hot,
+                hot_share,
+                churn_every,
+            });
+        }
+        Err(format!(
+            "unknown keyspace {flag:?} (want uniform | sequential | zipf:S | repeat:HOT,SHARE,CHURN)"
+        ))
+    }
+
+    /// Build the stateful sampler for a space of `payloads` keys.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `payloads == 0`.
+    pub fn sampler(&self, payloads: usize, seed: u64) -> KeyspaceSampler {
+        assert!(payloads > 0, "need at least one payload");
+        let cdf = match self {
+            Keyspace::Zipf { s } => {
+                let mut acc = 0.0;
+                Some(
+                    (0..payloads)
+                        .map(|k| {
+                            acc += 1.0 / ((k + 1) as f64).powf(*s);
+                            acc
+                        })
+                        .collect::<Vec<f64>>(),
+                )
+            }
+            _ => None,
+        };
+        KeyspaceSampler {
+            kind: self.clone(),
+            payloads,
+            seed,
+            draws: 0,
+            cdf,
+        }
+    }
+}
+
+/// Stateful, seeded key sampler produced by [`Keyspace::sampler`].
+#[derive(Debug, Clone)]
+pub struct KeyspaceSampler {
+    kind: Keyspace,
+    payloads: usize,
+    seed: u64,
+    draws: u64,
+    cdf: Option<Vec<f64>>,
+}
+
+impl KeyspaceSampler {
+    /// Draw the next payload index. `rng` is the stream's shared
+    /// seeded generator (uniform/zipf/repeat consume from it;
+    /// sequential does not), so the full request stream stays a pure
+    /// function of the seed.
+    pub fn draw(&mut self, rng: &mut StdRng) -> usize {
+        let n = self.payloads;
+        let drawn = self.draws;
+        self.draws += 1;
+        match &self.kind {
+            Keyspace::Uniform => rng.gen_range(0..n),
+            Keyspace::Sequential => (drawn as usize) % n,
+            Keyspace::Zipf { .. } => {
+                let cdf = self.cdf.as_ref().expect("zipf cdf precomputed");
+                let total = *cdf.last().expect("non-empty cdf");
+                let u = rng.gen::<f64>() * total;
+                cdf.partition_point(|&c| c < u).min(n - 1)
+            }
+            Keyspace::RepeatHeavy {
+                hot,
+                hot_share,
+                churn_every,
+            } => {
+                let generation = if *churn_every == 0 {
+                    0
+                } else {
+                    drawn / *churn_every as u64
+                };
+                if rng.gen::<f64>() < *hot_share {
+                    let slot = rng.gen_range(0..*hot) as u64;
+                    // The hot set is a pure function of (seed,
+                    // generation, slot): no stored state to drift.
+                    (mix(self.seed ^ generation.wrapping_mul(0x9e37_79b9) ^ slot) as usize) % n
+                } else {
+                    rng.gen_range(0..n)
+                }
+            }
+        }
+    }
+}
+
+/// SplitMix64 finalizer for hot-set membership.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn draw_n(ks: &Keyspace, n: usize, payloads: usize, seed: u64) -> Vec<usize> {
+        let mut sampler = ks.sampler(payloads, seed);
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| sampler.draw(&mut rng)).collect()
+    }
+
+    #[test]
+    fn parse_round_trips_every_form() {
+        assert_eq!(Keyspace::parse("uniform").unwrap(), Keyspace::Uniform);
+        assert_eq!(Keyspace::parse("sequential").unwrap(), Keyspace::Sequential);
+        assert_eq!(
+            Keyspace::parse("zipf:1.2").unwrap(),
+            Keyspace::Zipf { s: 1.2 }
+        );
+        assert_eq!(
+            Keyspace::parse("repeat:16,0.9,5000").unwrap(),
+            Keyspace::RepeatHeavy {
+                hot: 16,
+                hot_share: 0.9,
+                churn_every: 5000
+            }
+        );
+        assert!(Keyspace::parse("zipf:-1").is_err());
+        assert!(Keyspace::parse("pareto").is_err());
+    }
+
+    #[test]
+    fn every_keyspace_is_deterministic_per_seed() {
+        for ks in [
+            Keyspace::Uniform,
+            Keyspace::Sequential,
+            Keyspace::Zipf { s: 1.1 },
+            Keyspace::RepeatHeavy {
+                hot: 8,
+                hot_share: 0.9,
+                churn_every: 100,
+            },
+        ] {
+            assert_eq!(draw_n(&ks, 500, 64, 7), draw_n(&ks, 500, 64, 7));
+            assert!(draw_n(&ks, 500, 64, 7).iter().all(|&k| k < 64));
+        }
+    }
+
+    #[test]
+    fn sequential_is_repeat_free_within_one_cycle() {
+        let keys = draw_n(&Keyspace::Sequential, 64, 64, 3);
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 64, "one full repeat-free cycle");
+    }
+
+    #[test]
+    fn zipf_skews_mass_onto_low_ranks() {
+        let keys = draw_n(&Keyspace::Zipf { s: 1.2 }, 10_000, 100, 11);
+        let head = keys.iter().filter(|&&k| k < 10).count() as f64 / keys.len() as f64;
+        let uniform_head = 0.10;
+        assert!(
+            head > 3.0 * uniform_head,
+            "zipf head share {head} should dwarf uniform {uniform_head}"
+        );
+    }
+
+    #[test]
+    fn repeat_heavy_concentrates_then_churns() {
+        let ks = Keyspace::RepeatHeavy {
+            hot: 4,
+            hot_share: 0.9,
+            churn_every: 1_000,
+        };
+        let keys = draw_n(&ks, 2_000, 1_000, 5);
+        let distinct = |window: &[usize]| {
+            let mut w = window.to_vec();
+            w.sort_unstable();
+            w.dedup();
+            w.len()
+        };
+        // Each generation leans on ~4 hot keys out of 1000...
+        assert!(distinct(&keys[..1_000]) < 150);
+        // ...and the two generations' hot sets differ.
+        let first: Vec<usize> = keys[..1_000].to_vec();
+        let second: Vec<usize> = keys[1_000..].to_vec();
+        assert_ne!(first, second);
+    }
+}

@@ -18,10 +18,12 @@
 
 pub mod asr_workload;
 pub mod faults;
+pub mod keyspace;
 pub mod mix;
 pub mod vision_workload;
 
 pub use asr_workload::AsrWorkload;
 pub use faults::FaultScenario;
+pub use keyspace::{Keyspace, KeyspaceSampler};
 pub use mix::RequestMix;
 pub use vision_workload::VisionWorkload;

@@ -5,6 +5,7 @@
 //! configurable distribution — the population of API consumers hitting
 //! a tiered deployment.
 
+use crate::keyspace::Keyspace;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use tt_core::objective::Objective;
@@ -54,14 +55,36 @@ impl RequestMix {
         ])
     }
 
-    /// Draw a stream of `n` requests over `payloads` profiled payloads.
+    /// Draw a stream of `n` requests over `payloads` profiled payloads
+    /// with uniform key draws — equivalent to
+    /// [`RequestMix::sample_keyed`] with [`Keyspace::Uniform`], and
+    /// bit-compatible with the pre-keyspace sampler.
     ///
     /// # Panics
     ///
     /// Panics if `payloads == 0`.
     pub fn sample(&self, n: usize, payloads: usize, seed: u64) -> Vec<ServiceRequest> {
+        self.sample_keyed(n, payloads, seed, &Keyspace::Uniform)
+    }
+
+    /// Draw a stream of `n` requests whose payload indices follow
+    /// `keyspace` (Zipf, repeat-heavy, …) while tolerances/objectives
+    /// follow this mix. One seed drives both draws, so the stream is
+    /// fully deterministic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `payloads == 0`.
+    pub fn sample_keyed(
+        &self,
+        n: usize,
+        payloads: usize,
+        seed: u64,
+        keyspace: &Keyspace,
+    ) -> Vec<ServiceRequest> {
         assert!(payloads > 0, "need at least one payload");
         let mut rng = StdRng::seed_from_u64(seed);
+        let mut sampler = keyspace.sampler(payloads, seed);
         (0..n)
             .map(|_| {
                 let mut u = rng.gen::<f64>() * self.total_weight;
@@ -73,7 +96,7 @@ impl RequestMix {
                     }
                     u -= e.0;
                 }
-                ServiceRequest::new(rng.gen_range(0..payloads), chosen.1, chosen.2)
+                ServiceRequest::new(sampler.draw(&mut rng), chosen.1, chosen.2)
             })
             .collect()
     }

@@ -44,6 +44,37 @@ fn post_compute(
         .map_err(|e| std::io::Error::other(format!("{e:?}")))
 }
 
+/// Like [`post_compute`] but pins the payload with a `Payload` header,
+/// so two different bodies can map to the same semantic key.
+fn post_payload(
+    addr: std::net::SocketAddr,
+    tolerance: f64,
+    payload: usize,
+    body: &str,
+) -> std::io::Result<Response> {
+    let mut stream = TcpStream::connect(addr)?;
+    write!(
+        stream,
+        "POST /compute HTTP/1.1\r\nTolerance: {tolerance}\r\nObjective: cost\r\n\
+         Payload: {payload}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    read_response(&mut reader, &Limits::default())
+        .map_err(|e| std::io::Error::other(format!("{e:?}")))
+}
+
+/// The `X-Cache` disposition of a reply, as a display string.
+fn cache_line(response: &Response) -> String {
+    match response.header("x-cache") {
+        Some(tag) => match response.header("x-cache-match") {
+            Some(kind) => format!("{tag} ({kind})"),
+            None => tag.to_string(),
+        },
+        None => "(no X-Cache header)".to_string(),
+    }
+}
+
 fn get(addr: std::net::SocketAddr, path: &str) -> std::io::Result<Response> {
     let mut stream = TcpStream::connect(addr)?;
     write!(stream, "GET {path} HTTP/1.1\r\nConnection: close\r\n\r\n")?;
@@ -68,12 +99,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // same deployment, same bits billed (DESIGN.md §14); CI runs this
     // example once per engine.
     let reactor = std::env::var("TT_ENGINE").is_ok_and(|v| v.eq_ignore_ascii_case("reactor"));
+    // `TT_CACHE=1` puts the tier-aware semantic result cache ahead of
+    // policy evaluation (DESIGN.md §15): hits skip the worker pools
+    // entirely, bill at the declared tier, and tolerance-0 requests
+    // only ever take exact (bit-equal input) hits.
+    let cached = std::env::var("TT_CACHE")
+        .is_ok_and(|v| v == "1" || v.eq_ignore_ascii_case("on") || v.eq_ignore_ascii_case("true"));
     let mut service_config = ServiceConfig::defaults();
     if reactor {
         service_config.batch = tt_net::BatchConfig {
             enabled: true,
             ..tt_net::BatchConfig::defaults()
         };
+    }
+    if cached {
+        service_config.cache = Some(Arc::new(tt_cache::SemanticCache::new(
+            tt_cache::CacheConfig::defaults(),
+        )));
     }
     let service = Arc::new(tt_net::demo::demo_service(PAYLOADS, SEED, service_config));
     let server_config = ServerConfig {
@@ -92,7 +134,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     } else {
         "threaded"
     };
-    println!("  serving on http://{addr} (engine: {engine})");
+    let cache_mode = if cached { "on" } else { "off" };
+    println!("  serving on http://{addr} (engine: {engine}, cache: {cache_mode})");
     println!("  try: curl -X POST http://{addr}/compute \\");
     println!("            -H \"Tolerance: 0.01\" -H \"Objective: response-time\" -d \"payload-7\"");
 
@@ -117,7 +160,50 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         one_line(&bad)
     );
 
-    banner("4. Closed-loop load: 4 connections, keep-alive");
+    banner("4. The semantic result cache (TT_CACHE=1)");
+    if cached {
+        // A tolerant tier warms the cache, repeats hit exactly, and a
+        // *different* input mapping to the same semantic key hits
+        // semantically — admissible because the cached answer's
+        // achieved degradation fits inside the declared tolerance.
+        let cold = post_payload(addr, 0.05, 3, "query-alpha")?;
+        println!(
+            "  tolerant cold consult     -> X-Cache: {}",
+            cache_line(&cold)
+        );
+        let repeat = post_payload(addr, 0.05, 3, "query-alpha")?;
+        println!(
+            "  tolerant exact repeat     -> X-Cache: {}",
+            cache_line(&repeat)
+        );
+        let semantic = post_payload(addr, 0.05, 3, "query-beta")?;
+        println!(
+            "  tolerant same-key new body -> X-Cache: {}",
+            cache_line(&semantic)
+        );
+        // Tolerance 0 is a bit-equality contract: repeats of the same
+        // input hit, but a different input never semantic-hits.
+        let strict_cold = post_payload(addr, 0.0, 5, "query-gamma")?;
+        println!(
+            "  strict (0%) cold consult  -> X-Cache: {}",
+            cache_line(&strict_cold)
+        );
+        let strict_repeat = post_payload(addr, 0.0, 5, "query-gamma")?;
+        println!(
+            "  strict exact repeat       -> X-Cache: {}",
+            cache_line(&strict_repeat)
+        );
+        let strict_other = post_payload(addr, 0.0, 5, "query-delta")?;
+        println!(
+            "  strict different body     -> X-Cache: {}",
+            cache_line(&strict_other)
+        );
+    } else {
+        let plain = post_compute(addr, 0.05, "cost", "payload-7")?;
+        println!("  cache off (set TT_CACHE=1) -> {}", cache_line(&plain));
+    }
+
+    banner("5. Closed-loop load: 4 connections, keep-alive");
     let closed = run_load(addr, &LoadConfig::closed(400, 4, PAYLOADS, 11))?;
     println!(
         "  {} ok / {} sent in {:.0} ms  ({:.0} req/s, p50 {:.2} ms, p99 {:.2} ms)",
@@ -129,7 +215,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         closed.latency_ms(0.99).unwrap_or(0.0),
     );
 
-    banner("5. Open-loop load: Poisson arrivals, coordinated-omission-free");
+    banner("6. Open-loop load: Poisson arrivals, coordinated-omission-free");
     let open = run_load(addr, &LoadConfig::open(300, 800.0, PAYLOADS, 13))?;
     println!(
         "  {} ok / {} sent at 800 req/s offered  (p50 {:.2} ms, p99 {:.2} ms)",
@@ -139,7 +225,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         open.latency_ms(0.99).unwrap_or(0.0),
     );
 
-    banner("6. Operational endpoints");
+    banner("7. Operational endpoints");
     let health = get(addr, "/healthz")?;
     println!(
         "  GET /healthz -> {} {}",
@@ -169,7 +255,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         traces.body.len()
     );
 
-    banner("7. The SLO sentinel's verdict per advertised tier");
+    banner("8. The SLO sentinel's verdict per advertised tier");
     let obs = service.observability().expect("demo observability is on");
     obs.sentinel().force_tick(obs.now_us());
     for verdict in obs.sentinel().verdicts() {
@@ -179,7 +265,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
-    banner("8. Graceful drain");
+    banner("9. Graceful drain");
     let snapshot = service.snapshot();
     println!(
         "  served {} requests, billed {} across {} tiers, availability {:.3}",
@@ -188,6 +274,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         snapshot.billing.tiers.len(),
         snapshot.resilience.availability(),
     );
+    if let Some(cache) = &snapshot.cache {
+        println!(
+            "  cache: {} exact + {} semantic hits, {} misses, {} entries held",
+            cache.hits_exact, cache.hits_semantic, cache.misses, cache.entries
+        );
+    }
     running.stop()?;
     std::thread::sleep(Duration::from_millis(20));
     println!("  drained; listener closed.");

