@@ -104,6 +104,26 @@ fn report_json(report: &LoadReport) -> JsonObject {
             )
         })
         .collect();
+    // The worst-latency requests, each with the trace id from its
+    // `X-Trace-Id` response header: paste one into `GET /trace/{id}`
+    // to pull the span tree for that exact slow request.
+    let slowest: Vec<Json> = report
+        .slowest
+        .iter()
+        .map(|slow| {
+            let mut obj = JsonObject::new()
+                .with_num("latency_ms", slow.latency_ms)
+                .with_str("objective", &slow.tier.0)
+                .with_num("tolerance", f64::from(slow.tier.1) / 1000.0);
+            if let Some(id) = slow.trace_id {
+                obj = obj.with_int("trace_id", id as i64);
+            }
+            if let Some(id) = slow.request_id {
+                obj = obj.with_int("request_id", id as i64);
+            }
+            Json::Object(obj)
+        })
+        .collect();
     JsonObject::new()
         .with_int("sent", report.sent as i64)
         .with_int("ok", report.ok as i64)
@@ -115,6 +135,7 @@ fn report_json(report: &LoadReport) -> JsonObject {
         .with_num("p99_ms", latency(0.99))
         .with_num("p999_ms", latency(0.999))
         .with("tiers", Json::Array(tiers))
+        .with("slowest", Json::Array(slowest))
 }
 
 fn fetch(addr: std::net::SocketAddr, path: &str) -> (u16, String) {

@@ -32,8 +32,15 @@
 //! float-fold-order differences across arbitrary request partitions.
 
 use crate::demo::{demo_frontend, demo_matrix};
-use crate::http::{read_response, Limits, Request, Response, RULES_EPOCH_HEADER};
-use crate::server::{error_body, HttpHandler, Reply, RunningServer, Server, ServerConfig};
+use crate::doc::{events_document, fleet_windows_document};
+use crate::http::{
+    format_parent_span, read_response, Limits, Request, Response, PARENT_SPAN_HEADER,
+    RULES_EPOCH_HEADER, TRACE_ID_HEADER,
+};
+use crate::server::{
+    error_body, query_param, trace_tree_body, HttpHandler, Reply, RunningServer, Server,
+    ServerConfig,
+};
 use crate::service::{ComputeService, ServiceConfig};
 use parking_lot::{Mutex, RwLock};
 use std::collections::BTreeMap;
@@ -41,9 +48,10 @@ use std::io::{self, BufReader, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use tt_bench::perfjson::{Json, JsonObject};
 use tt_core::profile::ProfileMatrix;
+use tt_obs::{EventLog, TraceContext, Tracer, WindowAccum};
 
 /// How the front tier spreads tolerant-tier requests over healthy
 /// nodes. Strict (tolerance-0) requests always use `Failover` order.
@@ -240,6 +248,14 @@ pub struct FrontTier {
     proxied: AtomicU64,
     failovers: AtomicU64,
     fence_events: AtomicU64,
+    /// The front's own span ring: every proxied request gets a route
+    /// span with one child span per node attempt, joined (by trace id)
+    /// to the span trees the nodes record for the same request.
+    tracer: Tracer,
+    /// The fleet control-plane event log: epoch publishes,
+    /// fence/unfence transitions, node deaths and restarts, drains.
+    events: EventLog,
+    boot: Instant,
 }
 
 impl std::fmt::Debug for FrontTier {
@@ -274,6 +290,27 @@ impl FrontTier {
     /// The fleet's current rules epoch.
     pub fn epoch(&self) -> u64 {
         self.epoch.load(Ordering::SeqCst)
+    }
+
+    /// Microseconds since the front tier booted (event and span
+    /// timestamps).
+    fn now_us(&self) -> u64 {
+        u64::try_from(self.boot.elapsed().as_micros()).unwrap_or(u64::MAX)
+    }
+
+    /// Record one control-plane event, stamped with the front's clock.
+    fn event(&self, kind: &'static str, detail: String) -> u64 {
+        self.events.record(self.now_us(), kind, detail)
+    }
+
+    /// The front tier's control-plane event log.
+    pub fn event_log(&self) -> &EventLog {
+        &self.events
+    }
+
+    /// The front tier's span ring (route + per-attempt proxy spans).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// Successfully proxied requests.
@@ -343,10 +380,16 @@ impl FrontTier {
         }
     }
 
-    /// Forward `request` to `slot`, stamped with the fleet epoch.
-    /// Pooled connections get one retry on a fresh socket before the
-    /// node is declared unreachable.
-    fn proxy_once(&self, slot: &NodeSlot, request: &Request) -> io::Result<Response> {
+    /// Forward `request` to `slot`, stamped with the fleet epoch and
+    /// the trace context (`trace` parents the node's span tree under
+    /// this attempt's proxy span). Pooled connections get one retry on
+    /// a fresh socket before the node is declared unreachable.
+    fn proxy_once(
+        &self,
+        slot: &NodeSlot,
+        request: &Request,
+        trace: &TraceContext,
+    ) -> io::Result<Response> {
         if slot.part_data.load(Ordering::SeqCst) {
             return Err(io::Error::new(
                 io::ErrorKind::ConnectionReset,
@@ -368,6 +411,10 @@ impl FrontTier {
             }
         }
         wire.extend_from_slice(format!("{RULES_EPOCH_HEADER}: {epoch}\r\n").as_bytes());
+        wire.extend_from_slice(format!("{TRACE_ID_HEADER}: {}\r\n", trace.trace_id).as_bytes());
+        wire.extend_from_slice(
+            format!("{PARENT_SPAN_HEADER}: {}\r\n", format_parent_span(trace)).as_bytes(),
+        );
         wire.extend_from_slice(
             format!(
                 "Content-Length: {}\r\nConnection: keep-alive\r\n\r\n",
@@ -399,19 +446,58 @@ impl FrontTier {
     /// Proxy with health-aware failover: walk the candidate order,
     /// marking unreachable nodes down and stale nodes fenced, until a
     /// node answers under the fleet epoch.
+    ///
+    /// Every request gets a front-side trace: a `route` span with one
+    /// `proxy` child per attempted node (failed and successful
+    /// attempts are sibling spans), and the chosen node joins the same
+    /// trace id on its own ring — `GET /trace/{id}` on the front
+    /// reassembles the full cross-node tree.
     fn proxy_compute(&self, request: &Request) -> Reply {
         let strict = request
             .header("tolerance")
             .is_none_or(|t| t.trim().parse::<f64>().map_or(true, |v| v == 0.0));
+        // Originate the fleet trace — or join one the client carried.
+        let handle = match request.trace_context() {
+            Some(context) => self.tracer.begin_remote(context),
+            None => self.tracer.begin(),
+        };
+        let trace_id = handle.trace_id();
+        let hop = handle.context().hop;
+        let route = handle.open("route", None, self.now_us());
+        handle.attr_str(
+            route,
+            "strategy",
+            if strict {
+                RouteStrategy::Failover.label()
+            } else {
+                self.strategy.label()
+            },
+        );
         let mut moved_past_failure = false;
+        let mut relayed = None;
         for id in self.order(strict) {
             let slot = &self.slots[id];
-            match self.proxy_once(slot, request) {
+            let attempt = handle.open("proxy", Some(route), self.now_us());
+            handle.attr_str(attempt, "node", slot.name());
+            let downstream = TraceContext {
+                trace_id,
+                parent_span: Some(attempt),
+                hop: hop + 1,
+            };
+            match self.proxy_once(slot, request, &downstream) {
                 Err(_) => {
+                    handle.attr_str(attempt, "outcome", "error");
+                    handle.close(attempt, self.now_us());
                     slot.failures.fetch_add(1, Ordering::SeqCst);
-                    slot.down.store(true, Ordering::SeqCst);
+                    let newly_down = !slot.down.swap(true, Ordering::SeqCst);
                     slot.drop_pool();
                     moved_past_failure = true;
+                    if newly_down {
+                        self.event(
+                            "node_down",
+                            format!("{} unreachable; failing over", slot.name()),
+                        );
+                    }
                 }
                 Ok(response) => {
                     let fleet_epoch = self.epoch();
@@ -423,29 +509,107 @@ impl FrontTier {
                     if stale {
                         // The node answered from an older rules
                         // generation: fence it and move on.
-                        slot.fenced.store(true, Ordering::SeqCst);
+                        handle.attr_str(attempt, "outcome", "stale");
+                        handle.close(attempt, self.now_us());
+                        let newly_fenced = !slot.fenced.swap(true, Ordering::SeqCst);
                         self.fence_events.fetch_add(1, Ordering::SeqCst);
                         moved_past_failure = true;
+                        if newly_fenced {
+                            self.event(
+                                "fence",
+                                format!(
+                                    "{} served a stale epoch (fleet at {fleet_epoch})",
+                                    slot.name()
+                                ),
+                            );
+                        }
                         continue;
                     }
+                    handle.attr_str(attempt, "outcome", "ok");
+                    handle.attr_int(attempt, "status", i64::from(response.status));
+                    handle.close(attempt, self.now_us());
                     slot.served.fetch_add(1, Ordering::SeqCst);
                     self.proxied.fetch_add(1, Ordering::SeqCst);
                     if moved_past_failure {
                         self.failovers.fetch_add(1, Ordering::SeqCst);
                     }
-                    return relay(slot, &response);
+                    relayed = Some(relay(slot, &response));
+                    break;
                 }
             }
         }
-        Reply::json(
-            503,
-            "Service Unavailable",
-            JsonObject::new()
-                .with_str("error", "no healthy node")
-                .with_int("epoch", self.epoch() as i64)
-                .render(),
-        )
-        .with_header(RULES_EPOCH_HEADER, self.epoch().to_string())
+        handle.close(route, self.now_us());
+        self.tracer.finish(&handle);
+        let reply = relayed.unwrap_or_else(|| {
+            Reply::json(
+                503,
+                "Service Unavailable",
+                JsonObject::new()
+                    .with_str("error", "no healthy node")
+                    .with_int("epoch", self.epoch() as i64)
+                    .render(),
+            )
+            .with_header(RULES_EPOCH_HEADER, self.epoch().to_string())
+        });
+        // The front's trace id wins over the node's echo: both name
+        // the same fleet-wide trace, but only one copy may cross back
+        // to the client.
+        reply.with_header(TRACE_ID_HEADER, trace_id.to_string())
+    }
+
+    /// `GET /trace/{id}` at the fleet level: join the front's route
+    /// span tree with every node-local tree recorded for the same
+    /// trace id, ordered by hop then request id — the full cross-node
+    /// story of one request, assembled in-process.
+    fn trace_by_id(&self, path: &str) -> Reply {
+        let Some(id) = path
+            .strip_prefix("/trace/")
+            .and_then(|raw| raw.parse::<u64>().ok())
+        else {
+            return Reply::json(404, "Not Found", error_body("no such trace"));
+        };
+        let mut traces = self.tracer.find(id);
+        for slot in &self.slots {
+            if let Some(obs) = slot.service.observability() {
+                traces.extend(obs.tracer().find(id));
+            }
+        }
+        if traces.is_empty() {
+            return Reply::json(404, "Not Found", error_body("no such trace"));
+        }
+        Reply::json(200, "OK", trace_tree_body(id, &traces))
+    }
+
+    /// `GET /metrics/windows` at the fleet level: each node's
+    /// cumulative telemetry fold plus the deterministic fleet merge —
+    /// the capacity planner's input contract, node-count-invariant for
+    /// a fixed request multiset.
+    fn windows(&self) -> Reply {
+        let nodes: Vec<(usize, WindowAccum)> = self
+            .slots
+            .iter()
+            .filter_map(|slot| {
+                slot.service
+                    .observability()
+                    .map(|obs| (slot.id, obs.windows().cumulative()))
+            })
+            .collect();
+        let doc = fleet_windows_document(&nodes, self.now_us() / 1_000)
+            .with_str("strategy", self.strategy.label())
+            .with_int("epoch", self.epoch() as i64);
+        Reply::json(200, "OK", doc.render())
+    }
+
+    /// `GET /events?since=seq`: the fleet control-plane event log
+    /// (epoch publishes, fence/unfence, node deaths, drains).
+    fn events_reply(&self, request: &Request) -> Reply {
+        let since = query_param(request, "since")
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(0);
+        let events = self.events.since(since);
+        let doc = events_document(&events, self.events.last_seq(), self.events.dropped())
+            .with_str("scope", "fleet");
+        Reply::json(200, "OK", doc.render())
     }
 
     /// `GET /healthz` at the fleet level: `200 ok` while every node is
@@ -584,6 +748,7 @@ impl FrontTier {
                     Ok(response) => {
                         slot.draining.store(true, Ordering::SeqCst);
                         slot.drop_pool();
+                        self.event("drain", format!("{} draining on request", slot.name()));
                         relay(slot, &response)
                     }
                     Err(_) => {
@@ -633,14 +798,19 @@ impl HttpHandler for FrontTier {
         match (request.method.as_str(), request.path()) {
             ("POST", "/compute") => self.proxy_compute(request),
             ("GET", "/healthz") | ("HEAD", "/healthz") => self.healthz(),
+            ("GET", "/metrics/windows") | ("HEAD", "/metrics/windows") => self.windows(),
+            ("GET", "/events") | ("HEAD", "/events") => self.events_reply(request),
             ("GET", "/metrics")
             | ("HEAD", "/metrics")
             | ("GET", "/cluster")
             | ("HEAD", "/cluster") => self.metrics(),
+            ("GET", path) | ("HEAD", path) if path.starts_with("/trace/") => self.trace_by_id(path),
             ("POST", "/drain") => self.drain(request, shutdown),
             (_, "/compute")
             | (_, "/healthz")
             | (_, "/metrics")
+            | (_, "/metrics/windows")
+            | (_, "/events")
             | (_, "/cluster")
             | (_, "/drain") => Reply::json(
                 405,
@@ -675,9 +845,19 @@ impl HttpHandler for FrontTier {
             if node_epoch < fleet_epoch {
                 if !slot.fenced.swap(true, Ordering::SeqCst) {
                     self.fence_events.fetch_add(1, Ordering::SeqCst);
+                    self.event(
+                        "fence",
+                        format!(
+                            "{} at epoch {node_epoch}, fleet at {fleet_epoch}",
+                            slot.name()
+                        ),
+                    );
                 }
-            } else if slot.fenced.load(Ordering::SeqCst) {
-                slot.fenced.store(false, Ordering::SeqCst);
+            } else if slot.fenced.swap(false, Ordering::SeqCst) {
+                self.event(
+                    "unfence",
+                    format!("{} re-adopted epoch {node_epoch}", slot.name()),
+                );
             }
         }
     }
@@ -788,6 +968,9 @@ impl Fleet {
             proxied: AtomicU64::new(0),
             failovers: AtomicU64::new(0),
             fence_events: AtomicU64::new(0),
+            tracer: Tracer::new(config.service.obs.trace_capacity),
+            events: EventLog::new(config.service.obs.event_capacity),
+            boot: Instant::now(),
         });
         let front_server = Server::bind(
             "127.0.0.1:0",
@@ -851,6 +1034,8 @@ impl Fleet {
         if let Some(running) = slot.running.lock().take() {
             let _ = running.stop();
         }
+        self.front
+            .event("node_crash", format!("{} killed (chaos)", slot.name()));
     }
 
     /// Restart a crashed node on a fresh port with its state intact,
@@ -876,6 +1061,10 @@ impl Fleet {
         slot.fenced.store(false, Ordering::SeqCst);
         slot.draining.store(false, Ordering::SeqCst);
         slot.down.store(false, Ordering::SeqCst);
+        self.front.event(
+            "node_restart",
+            format!("{} back at {}", slot.name(), slot.addr.read()),
+        );
         Ok(())
     }
 
@@ -919,13 +1108,19 @@ impl Fleet {
         if let Some(cache) = &self.config.service.cache {
             cache.purge_to_epoch(epoch);
         }
+        let mut adopted = 0usize;
         for slot in &self.slots {
             if slot.part_control.load(Ordering::SeqCst) || slot.down.load(Ordering::SeqCst) {
                 continue;
             }
             slot.service.adopt_rules(frontend.clone(), epoch);
+            adopted += 1;
         }
         self.epoch.store(epoch, Ordering::SeqCst);
+        self.front.event(
+            "epoch_publish",
+            format!("rules epoch {epoch} published to {adopted} nodes"),
+        );
         epoch
     }
 

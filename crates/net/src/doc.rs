@@ -1,0 +1,211 @@
+//! Shared perfjson builders for the ops documents.
+//!
+//! `/stats` and `/metrics` used to assemble their common scaffolding
+//! (service identity, uptime, histogram summaries) independently;
+//! this module is the single builder both route through so the two
+//! documents cannot drift. It also renders the flight-recorder
+//! surfaces added with the windowed telemetry store: the
+//! `/metrics/windows` document (the capacity planner's input
+//! contract) and the `/events` control-plane log.
+
+use tt_bench::perfjson::{Json, JsonObject};
+use tt_obs::{Event, Histogram, SealedWindow, WindowAccum, WindowStore};
+
+/// The shared document root every ops endpoint starts from: the
+/// service identity plus uptime. `/stats`, `/metrics`,
+/// `/metrics/windows`, and `/events` all build on this, so the
+/// identity keys cannot drift between documents.
+pub fn document_root(uptime_ms: u64) -> JsonObject {
+    JsonObject::new()
+        .with_str("service", "toltiers")
+        .with_int("uptime_ms", uptime_ms as i64)
+}
+
+/// Render one histogram's integer summary. Quantiles are nearest-rank
+/// over bucket counts — integers, not interpolations.
+pub fn histogram_object(hist: &Histogram) -> JsonObject {
+    let mut obj = JsonObject::new()
+        .with_int("count", hist.count() as i64)
+        .with_int("sum", hist.sum() as i64);
+    for (key, value) in [
+        ("min", hist.min()),
+        ("max", hist.max()),
+        ("p50", hist.quantile(0.5)),
+        ("p99", hist.quantile(0.99)),
+        ("p999", hist.quantile(0.999)),
+    ] {
+        if let Some(v) = value {
+            obj = obj.with_int(key, v as i64);
+        }
+    }
+    obj
+}
+
+/// Render one window accumulator: per-tier counts in sorted-key order
+/// plus per-version service-time histogram summaries. Everything is
+/// integer-accumulated, so a fixed request multiset renders
+/// byte-identically at any thread or node count.
+pub fn accum_object(accum: &WindowAccum) -> JsonObject {
+    let mut tiers = JsonObject::new();
+    for (key, tier) in &accum.tiers {
+        tiers = tiers.with(
+            key,
+            Json::Object(
+                JsonObject::new()
+                    .with_int("arrivals", tier.arrivals as i64)
+                    .with_int("admitted", tier.admitted as i64)
+                    .with_int("rejected", tier.rejected as i64)
+                    .with_int("shed", tier.shed as i64)
+                    .with_int("browned_out", tier.browned_out as i64)
+                    .with_int("cache_hits", tier.cache_hits as i64)
+                    .with_int("cache_misses", tier.cache_misses as i64),
+            ),
+        );
+    }
+    let mut versions = JsonObject::new();
+    for (version, hist) in &accum.versions {
+        versions = versions.with(
+            &format!("v{version}"),
+            Json::Object(histogram_object(hist).with_int("sum_us", hist.sum() as i64)),
+        );
+    }
+    JsonObject::new()
+        .with("tiers", Json::Object(tiers))
+        .with("service_time_us", Json::Object(versions))
+}
+
+fn sealed_object(window: &SealedWindow) -> JsonObject {
+    JsonObject::new()
+        .with_int("index", window.index as i64)
+        .with_int("start_us", window.start_us as i64)
+        .with_int("end_us", window.end_us as i64)
+        .with("accum", Json::Object(accum_object(&window.accum)))
+}
+
+/// The `GET /metrics/windows?n=K` document: the most recent `limit`
+/// sealed windows (oldest first), ring accounting, and the cumulative
+/// fold — the deterministic planner contract. Window *boundaries*
+/// depend on heartbeat timing; `"cumulative"` does not, and is
+/// bit-identical across thread counts and node partitions for a fixed
+/// request multiset.
+pub fn windows_document(store: &WindowStore, limit: usize, uptime_ms: u64) -> JsonObject {
+    let sealed = store.sealed(limit);
+    let windows: Vec<Json> = sealed
+        .iter()
+        .map(|w| Json::Object(sealed_object(w)))
+        .collect();
+    document_root(uptime_ms)
+        .with_int("window_ms", (store.window_us() / 1_000) as i64)
+        .with_int("sealed_total", store.sealed_count() as i64)
+        .with_int("dropped_windows", store.dropped_windows() as i64)
+        .with("windows", Json::Array(windows))
+        .with(
+            "cumulative",
+            Json::Object(accum_object(&store.cumulative())),
+        )
+}
+
+/// Render a pre-merged fleet view of per-node cumulative accumulators:
+/// same shape as a node's `"cumulative"`, plus the per-node fold
+/// provenance. The merge is commutative/associative, so the fleet
+/// document is independent of node order.
+pub fn fleet_windows_document(nodes: &[(usize, WindowAccum)], uptime_ms: u64) -> JsonObject {
+    let mut merged = WindowAccum::default();
+    let mut node_ids: Vec<i64> = Vec::with_capacity(nodes.len());
+    for (id, accum) in nodes {
+        merged.merge(accum);
+        node_ids.push(*id as i64);
+    }
+    node_ids.sort_unstable();
+    document_root(uptime_ms)
+        .with(
+            "nodes",
+            Json::Array(node_ids.into_iter().map(Json::Int).collect()),
+        )
+        .with("cumulative", Json::Object(accum_object(&merged)))
+}
+
+fn event_object(event: &Event) -> JsonObject {
+    JsonObject::new()
+        .with_int("seq", event.seq as i64)
+        .with_int("at_us", event.at_us as i64)
+        .with_str("kind", event.kind)
+        .with_str("detail", &event.detail)
+}
+
+/// The `GET /events?since=N` document: every retained event past the
+/// cursor, oldest first, plus the cursor to resume from.
+pub fn events_document(events: &[Event], last_seq: u64, dropped: u64) -> JsonObject {
+    let items: Vec<Json> = events
+        .iter()
+        .map(|e| Json::Object(event_object(e)))
+        .collect();
+    JsonObject::new()
+        .with_int("count", items.len() as i64)
+        .with_int("last_seq", last_seq as i64)
+        .with_int("dropped", dropped as i64)
+        .with("events", Json::Array(items))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tt_obs::{AdmissionOutcome, EventLog};
+
+    #[test]
+    fn windows_document_renders_ring_and_cumulative() {
+        let store = WindowStore::new(1_000, 8);
+        store.record_arrival("cost/0.050");
+        store.record_admission("cost/0.050", AdmissionOutcome::Admitted);
+        store.record_service(2, 9_000);
+        store.tick(2_000);
+        store.record_cache("cost/0.050", true);
+        let doc = windows_document(&store, 8, 1_234).render();
+        assert!(doc.contains("\"service\": \"toltiers\""));
+        assert!(doc.contains("\"window_ms\": 1"));
+        assert!(doc.contains("\"sealed_total\": 1"));
+        assert!(doc.contains("\"dropped_windows\": 0"));
+        assert!(doc.contains("\"cost/0.050\""));
+        assert!(doc.contains("\"v2\""));
+        // The cache hit landed after the seal: cumulative sees it, the
+        // sealed window does not.
+        let cumulative_at = doc.find("\"cumulative\"").unwrap();
+        assert!(doc[cumulative_at..].contains("\"cache_hits\": 1"));
+        assert!(!doc[..cumulative_at].contains("\"cache_hits\": 1"));
+    }
+
+    #[test]
+    fn fleet_document_merges_node_folds_order_independently() {
+        let mk = |tier: &str, n: u64| {
+            let s = WindowStore::new(1_000, 4);
+            for _ in 0..n {
+                s.record_arrival(tier);
+            }
+            s.record_service(1, 700);
+            s.cumulative()
+        };
+        let a = mk("cost/0.010", 3);
+        let b = mk("cost/0.050", 5);
+        let ab = fleet_windows_document(&[(0, a.clone()), (1, b.clone())], 7).render();
+        let ba = fleet_windows_document(&[(1, b), (0, a)], 7).render();
+        assert_eq!(ab, ba);
+        let nodes_at = ab.find("\"nodes\"").expect("nodes array");
+        let cumulative_at = ab.find("\"cumulative\"").expect("cumulative fold");
+        assert!(ab[nodes_at..cumulative_at].contains('0'));
+        assert!(ab[nodes_at..cumulative_at].contains('1'));
+        assert!(ab.contains("\"arrivals\": 3"));
+        assert!(ab.contains("\"arrivals\": 5"));
+    }
+
+    #[test]
+    fn events_document_carries_the_cursor() {
+        let log = EventLog::new(8);
+        log.record(5, "epoch_publish", "epoch 2");
+        log.record(9, "node_fence", "node-1 stale epoch 1 < 2");
+        let doc = events_document(&log.since(1), log.last_seq(), log.dropped()).render();
+        assert!(doc.contains("\"count\": 1"));
+        assert!(doc.contains("\"last_seq\": 2"));
+        assert!(doc.contains("\"kind\": \"node_fence\""));
+        assert!(!doc.contains("epoch_publish"));
+    }
+}

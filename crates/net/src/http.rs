@@ -129,12 +129,53 @@ impl Request {
     pub fn rules_epoch(&self) -> Result<Option<u64>, HttpError> {
         parse_rules_epoch(self.header(RULES_EPOCH_HEADER))
     }
+
+    /// The distributed-tracing context stamped on this request, if
+    /// any: `X-Trace-Id` carries the fleet-wide trace id, and
+    /// `X-Parent-Span` carries `"{parent_span_id}/{hop}"` — the
+    /// stamping tier's proxy span plus this request's hop depth.
+    /// `None` when unstamped (direct clients) **or** malformed: a bad
+    /// trace stamp must never fail a request, it just starts a fresh
+    /// local trace.
+    pub fn trace_context(&self) -> Option<tt_obs::TraceContext> {
+        let trace_id = self.header(TRACE_ID_HEADER)?.trim().parse::<u64>().ok()?;
+        let (parent_span, hop) = match self.header(PARENT_SPAN_HEADER) {
+            Some(raw) => {
+                let (span, hop) = raw.trim().split_once('/')?;
+                (
+                    Some(span.trim().parse::<u32>().ok()?),
+                    hop.trim().parse::<u32>().ok()?,
+                )
+            }
+            None => (None, 0),
+        };
+        Some(tt_obs::TraceContext {
+            trace_id,
+            parent_span,
+            hop,
+        })
+    }
 }
 
 /// Wire header carrying the rules epoch, both directions: the front
 /// tier stamps proxied requests with the epoch it expects, nodes stamp
 /// every response with the epoch they actually served under.
 pub const RULES_EPOCH_HEADER: &str = "Rules-Epoch";
+
+/// Wire header carrying the fleet-wide trace id (decimal `u64`). The
+/// front tier originates it on proxied requests; nodes echo it on
+/// replies so clients can correlate a response to `GET /trace/{id}`.
+pub const TRACE_ID_HEADER: &str = "X-Trace-Id";
+
+/// Wire header carrying `"{parent_span_id}/{hop}"`: which span in the
+/// hop-above trace is this request's parent, and how many proxy hops
+/// deep the request is.
+pub const PARENT_SPAN_HEADER: &str = "X-Parent-Span";
+
+/// Format an [`tt_obs::TraceContext`]'s `X-Parent-Span` value.
+pub fn format_parent_span(context: &tt_obs::TraceContext) -> String {
+    format!("{}/{}", context.parent_span.unwrap_or(0), context.hop)
+}
 
 /// Parse an optional `Rules-Epoch` header value.
 ///

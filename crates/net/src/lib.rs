@@ -35,6 +35,7 @@ pub mod admission;
 pub mod batch;
 pub mod cluster;
 pub mod demo;
+pub mod doc;
 pub mod http;
 pub mod loadgen;
 pub mod metrics;

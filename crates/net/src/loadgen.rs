@@ -173,6 +173,10 @@ pub struct SlowRequest {
     pub latency_ms: f64,
     /// The server-assigned request ID, when tracing was on.
     pub request_id: Option<u64>,
+    /// The fleet-wide trace ID from the `X-Trace-Id` response header —
+    /// paste it into `GET /trace/{id}` on the front tier to see the
+    /// full cross-node span tree for this exact slow request.
+    pub trace_id: Option<u64>,
     /// `(objective, tolerance-in-tenths-of-percent)` tier key.
     pub tier: (String, u32),
 }
@@ -293,6 +297,7 @@ impl LoadReport {
                 self.slowest.push(SlowRequest {
                     latency_ms: ms,
                     request_id: outcome.request_id,
+                    trace_id: outcome.trace_id,
                     tier: outcome.tier.clone(),
                 });
             }
@@ -325,6 +330,7 @@ struct RequestOutcome {
     tier: (String, u32),
     status: Option<u16>,
     request_id: Option<u64>,
+    trace_id: Option<u64>,
     latency: Duration,
     brownout: bool,
     wire_fault: bool,
@@ -338,6 +344,7 @@ struct RequestOutcome {
 struct ReplyFacts {
     status: u16,
     request_id: Option<u64>,
+    trace_id: Option<u64>,
     brownout: bool,
     retry_after_secs: Option<u64>,
     served_by: Option<u32>,
@@ -474,6 +481,8 @@ impl Client {
                 facts.retry_after_secs = value.parse().ok();
             } else if name.eq_ignore_ascii_case(b"served-by") {
                 facts.served_by = value.strip_prefix("node-").and_then(|n| n.parse().ok());
+            } else if name.eq_ignore_ascii_case(b"x-trace-id") {
+                facts.trace_id = value.parse().ok();
             } else if name.eq_ignore_ascii_case(b"x-cache") {
                 facts.cache = match value {
                     // Refined to HitSemantic by X-Cache-Match below.
@@ -794,6 +803,7 @@ fn run_closed(
                             tier: tier_key(request),
                             status: reply.map(|facts| facts.status),
                             request_id: reply.and_then(|facts| facts.request_id),
+                            trace_id: reply.and_then(|facts| facts.trace_id),
                             latency,
                             brownout: reply.is_some_and(|facts| facts.brownout),
                             wire_fault: injected,
@@ -859,6 +869,7 @@ fn run_open(
                             tier: tier_key(request),
                             status: reply.map(|facts| facts.status),
                             request_id: reply.and_then(|facts| facts.request_id),
+                            trace_id: reply.and_then(|facts| facts.trace_id),
                             latency: epoch.elapsed().saturating_sub(due),
                             brownout: reply.is_some_and(|facts| facts.brownout),
                             wire_fault: fault != WireFaultOutcome::None,
@@ -913,6 +924,7 @@ mod tests {
                 tier: ("cost".to_string(), 50),
                 status,
                 request_id: id,
+                trace_id: id,
                 latency: Duration::from_secs_f64(ms / 1e3),
                 brownout,
                 wire_fault: status.is_none(),
@@ -975,6 +987,7 @@ mod tests {
                 tier: ("cost".to_string(), 0),
                 status: Some(200),
                 request_id: Some(i),
+                trace_id: Some(i),
                 latency: Duration::from_millis(i),
                 brownout: false,
                 wire_fault: false,
@@ -1008,6 +1021,7 @@ mod tests {
             tier,
             status: Some(200),
             request_id: None,
+            trace_id: None,
             latency: Duration::from_millis(1),
             brownout: false,
             wire_fault: false,

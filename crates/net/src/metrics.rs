@@ -10,30 +10,11 @@
 //! depends on accept-loop timing) deliberately live *outside* it.
 
 use crate::admission::AdmissionController;
+use crate::doc::{document_root, histogram_object};
 use crate::obs::Observability;
 use crate::service::SupervisorStatus;
 use tt_bench::perfjson::{Json, JsonObject};
-use tt_obs::{Histogram, SloVerdict};
-
-/// Render one histogram's integer summary. Quantiles are nearest-rank
-/// over bucket counts — integers, not interpolations.
-fn histogram_object(hist: &Histogram) -> JsonObject {
-    let mut obj = JsonObject::new()
-        .with_int("count", hist.count() as i64)
-        .with_int("sum", hist.sum() as i64);
-    for (key, value) in [
-        ("min", hist.min()),
-        ("max", hist.max()),
-        ("p50", hist.quantile(0.5)),
-        ("p99", hist.quantile(0.99)),
-        ("p999", hist.quantile(0.999)),
-    ] {
-        if let Some(v) = value {
-            obj = obj.with_int(key, v as i64);
-        }
-    }
-    obj
-}
+use tt_obs::SloVerdict;
 
 fn verdict_object(v: &SloVerdict) -> JsonObject {
     JsonObject::new()
@@ -79,12 +60,16 @@ pub fn metrics_document(obs: &Observability, uptime_ms: u64) -> JsonObject {
         tiers = tiers.with(&key, Json::Object(tier));
     }
 
+    // Drop accounting lives inside "totals": for a fixed request set
+    // both series-cap overflows and trace-ring evictions are
+    // deterministic, and the fault-free e2e asserts both are zero.
     let totals = JsonObject::new()
         .with("counters", Json::Object(counters))
         .with("gauges", Json::Object(gauges))
         .with("histograms", Json::Object(histograms))
         .with("tiers", Json::Object(tiers))
-        .with_int("dropped_series", snap.dropped_series as i64);
+        .with_int("dropped_series", snap.dropped_series as i64)
+        .with_int("dropped_traces", obs.tracer().dropped_traces() as i64);
 
     let sentinel = obs.sentinel();
     let verdicts: Vec<Json> = sentinel
@@ -97,11 +82,18 @@ pub fn metrics_document(obs: &Observability, uptime_ms: u64) -> JsonObject {
         .with_int("windows_evaluated", obs.windows_evaluated() as i64)
         .with("tiers", Json::Array(verdicts));
 
-    JsonObject::new()
-        .with_str("service", "toltiers")
-        .with_int("uptime_ms", uptime_ms as i64)
+    // Telemetry-window ring accounting; sealing cadence is wall-clock
+    // driven, so like `uptime_ms` it lives outside "totals".
+    let windows = JsonObject::new()
+        .with_int("window_ms", (obs.windows().window_us() / 1_000) as i64)
+        .with_int("sealed_total", obs.windows().sealed_count() as i64)
+        .with_int("dropped_windows", obs.windows().dropped_windows() as i64);
+
+    document_root(uptime_ms)
         .with("totals", Json::Object(totals))
         .with("slo", Json::Object(slo))
+        .with("windows", Json::Object(windows))
+        .with_int("events_last_seq", obs.events().last_seq() as i64)
 }
 
 /// Render the admission controller's state: the live AIMD limit,
@@ -181,6 +173,7 @@ mod tests {
             baseline_err: 0.1,
             degraded: false,
             invocations: 1,
+            version: 0,
         });
         obs.sentinel().force_tick(1_000_000);
         let body = metrics_document(&obs, 1_234).render();
@@ -223,6 +216,7 @@ mod tests {
                     baseline_err: 0.02,
                     degraded: i % 7 == 0,
                     invocations: 1 + (i % 2),
+                    version: (i % 3) as usize,
                 });
             }
             extract(&metrics_document(&obs, 999).render())

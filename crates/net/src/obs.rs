@@ -26,8 +26,8 @@ use tt_core::objective::Objective;
 use tt_core::profile::ProfileMatrix;
 use tt_core::rulegen::RoutingRules;
 use tt_obs::{
-    BucketScheme, Counter, HistogramHandle, MetricsRegistry, SloSentinel, SloTarget, TierTelemetry,
-    Tracer,
+    AdmissionOutcome, BucketScheme, Counter, EventLog, HistogramHandle, MetricsRegistry,
+    SloSentinel, SloTarget, TierTelemetry, Tracer, WindowStore,
 };
 use tt_serve::frontend::TieredFrontend;
 
@@ -56,6 +56,13 @@ pub struct ObsConfig {
     /// events (per-tier aggregates still cover the whole stream).
     /// `None`: retain everything, as the simulation recorders do.
     pub trace_retention: Option<usize>,
+    /// Duration of one telemetry window ([`WindowStore`]), sealed by
+    /// the idle-tick heartbeat.
+    pub telemetry_window: Duration,
+    /// Sealed telemetry windows retained in the bounded ring.
+    pub window_capacity: usize,
+    /// Control-plane events retained in the bounded event log.
+    pub event_capacity: usize,
 }
 
 impl ObsConfig {
@@ -70,6 +77,9 @@ impl ObsConfig {
             latency_quantile: 0.99,
             latency_headroom: 2.0,
             trace_retention: Some(4096),
+            telemetry_window: Duration::from_millis(250),
+            window_capacity: 64,
+            event_capacity: 1024,
         }
     }
 
@@ -102,6 +112,9 @@ pub struct ServedSample {
     pub degraded: bool,
     /// Model invocations the request consumed (retries, hedges).
     pub invocations: u64,
+    /// The model version that answered — keys the telemetry windows'
+    /// per-version service-time histograms (the planner's input).
+    pub version: usize,
 }
 
 /// The stable tier key used across `/metrics`, SLO verdicts, and
@@ -202,6 +215,8 @@ fn build_tiers(
 pub struct Observability {
     registry: MetricsRegistry,
     tracer: Tracer,
+    windows: WindowStore,
+    events: EventLog,
     sentinel: RwLock<Arc<SloSentinel>>,
     tiers: RwLock<Vec<ObjectiveTiers>>,
     /// Windows evaluated by sentinels retired in earlier rebinds.
@@ -263,6 +278,11 @@ impl Observability {
             cache_hit_latency: registry.histogram("cache_hit_latency_us"),
             registry,
             tracer,
+            windows: WindowStore::new(
+                config.telemetry_window.as_micros().max(1) as u64,
+                config.window_capacity.max(1),
+            ),
+            events: EventLog::new(config.event_capacity.max(1)),
             sentinel: RwLock::new(Arc::new(sentinel)),
             tiers: RwLock::new(tiers),
             windows_carried: AtomicU64::new(0),
@@ -301,6 +321,22 @@ impl Observability {
         &self.tracer
     }
 
+    /// The windowed telemetry store (for `/metrics/windows` and the
+    /// capacity planner's input contract).
+    pub fn windows(&self) -> &WindowStore {
+        &self.windows
+    }
+
+    /// The control-plane event log (for `/events`).
+    pub fn events(&self) -> &EventLog {
+        &self.events
+    }
+
+    /// Record a control-plane event stamped with the service clock.
+    pub fn event(&self, kind: &'static str, detail: impl Into<String>) -> u64 {
+        self.events.record(self.now_us(), kind, detail)
+    }
+
     /// The SLO sentinel (for `/metrics` verdicts and `/healthz`).
     /// Returned by handle: a rules hot-swap replaces the sentinel, and
     /// a caller holding the old handle keeps a coherent (if stale)
@@ -321,11 +357,14 @@ impl Observability {
         self.started.elapsed().as_micros() as u64
     }
 
-    /// Advance the sentinel; evaluates a window when one has elapsed.
-    /// Called from the server's accept loop between accepts.
+    /// Advance the sentinel and the telemetry window store; evaluates
+    /// a sentinel window (and seals a telemetry window) when one has
+    /// elapsed. Called from the server's accept loop between accepts.
     pub fn tick(&self) -> bool {
+        let now = self.now_us();
+        self.windows.tick(now);
         let sentinel = self.sentinel();
-        sentinel.tick(self.now_us())
+        sentinel.tick(now)
     }
 
     /// The baseline (premium) version for an objective's tiers.
@@ -367,8 +406,10 @@ impl Observability {
         out
     }
 
-    /// Record one served request into the registry and its tier's
-    /// telemetry. All hot-path operations are atomics.
+    /// Record one served request into the registry, its tier's
+    /// telemetry, and the open telemetry window's per-version
+    /// service-time histogram. All hot-path registry operations are
+    /// atomics; the window record is one short uncontended lock.
     pub fn record_served(&self, sample: &ServedSample) {
         self.requests_total.inc();
         if sample.degraded {
@@ -376,6 +417,8 @@ impl Observability {
         }
         self.model_invocations.add(sample.invocations);
         self.sim_latency.record(sample.sim_latency_us);
+        self.windows
+            .record_service(sample.version, sample.sim_latency_us);
         if let Some(telemetry) = self.telemetry(sample.objective, sample.tolerance) {
             telemetry.record(
                 sample.sim_latency_us,
@@ -386,10 +429,45 @@ impl Observability {
         }
     }
 
-    /// Record one request no version could answer.
-    pub fn record_dropped(&self) {
+    /// Record one request no version could answer: global counters
+    /// plus a shed count on the tier's open telemetry window.
+    pub fn record_dropped(&self, objective: Objective, tolerance: f64) {
         self.requests_total.inc();
         self.requests_dropped.inc();
+        self.windows.record_admission(
+            &self.window_tier(objective, tolerance),
+            AdmissionOutcome::Shed,
+        );
+    }
+
+    /// Record one request arriving for a tier (pre-admission) into the
+    /// open telemetry window — the planner's per-tier arrival rate.
+    pub fn record_arrival(&self, objective: Objective, tolerance: f64) {
+        self.windows
+            .record_arrival(&self.window_tier(objective, tolerance));
+    }
+
+    /// Record the admission controller's decision for one request into
+    /// the open telemetry window.
+    pub fn record_admission(
+        &self,
+        objective: Objective,
+        tolerance: f64,
+        outcome: AdmissionOutcome,
+    ) {
+        self.windows
+            .record_admission(&self.window_tier(objective, tolerance), outcome);
+    }
+
+    /// The telemetry-window tier key for a requested tolerance: the
+    /// *deployed* tier's key (downward-compatibility rule, same as
+    /// telemetry), falling back to the raw request key when no tier
+    /// matches.
+    fn window_tier(&self, objective: Objective, tolerance: f64) -> String {
+        let tier = self
+            .deployed_tier(objective, tolerance)
+            .unwrap_or(tolerance);
+        tier_key(objective, tier)
     }
 
     /// Record one cache disposition: the global counters, the hit-path
@@ -424,6 +502,19 @@ impl Observability {
                 "cache_bypass"
             }
         };
+        // Hits and misses (actual cache consults) also land on the
+        // tier's open telemetry window; bypasses don't consult.
+        match event {
+            CacheEvent::HitExact | CacheEvent::HitSemantic => {
+                self.windows
+                    .record_cache(&self.window_tier(objective, tolerance), true);
+            }
+            CacheEvent::Miss => {
+                self.windows
+                    .record_cache(&self.window_tier(objective, tolerance), false);
+            }
+            CacheEvent::Bypass => {}
+        }
         if let Some(tier) = self.deployed_tier(objective, tolerance) {
             self.registry
                 .counter(&format!("{kind}:{}", tier_key(objective, tier)))
@@ -505,8 +596,9 @@ mod tests {
             baseline_err: 0.1,
             degraded: true,
             invocations: 2,
+            version: 1,
         });
-        obs.record_dropped();
+        obs.record_dropped(Objective::Cost, 0.05);
         let snap = obs.registry().snapshot();
         assert_eq!(snap.counters["requests_total"], 2);
         assert_eq!(snap.counters["requests_degraded"], 1);

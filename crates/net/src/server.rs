@@ -26,8 +26,10 @@
 //! idle polls tick the sliding SLO window.
 
 use crate::admission::{AdmissionController, AdmissionDecision, BrownoutLevel};
+use crate::doc::{events_document, windows_document};
 use crate::http::{
     read_request, write_response, write_response_with, Limits, Request, RULES_EPOCH_HEADER,
+    TRACE_ID_HEADER,
 };
 use crate::metrics::{admission_object, metrics_document, supervisor_object};
 use crate::obs::CacheEvent;
@@ -43,7 +45,7 @@ use tt_bench::perfjson::{Json, JsonObject};
 use tt_core::policy::Policy;
 use tt_core::request::ServiceRequest;
 use tt_core::TaskPool;
-use tt_obs::TraceHandle;
+use tt_obs::{AdmissionOutcome, TraceHandle};
 use tt_serve::frontend::parse_annotations;
 
 /// How long any component of the stack waits on a peer's response
@@ -642,8 +644,23 @@ pub(crate) fn route(service: &ComputeService, shutdown: &AtomicBool, request: &R
             )
         }
         ("GET", "/metrics") | ("HEAD", "/metrics") => metrics(service),
+        ("GET", "/metrics/windows") | ("HEAD", "/metrics/windows") => windows(service, request),
+        ("GET", "/events") | ("HEAD", "/events") => events(service, request),
         ("GET", "/trace/recent") | ("HEAD", "/trace/recent") => trace_recent(service),
+        ("GET", path) | ("HEAD", path) if path.strip_prefix("/trace/").is_some() => {
+            trace_by_id(service, path)
+        }
         ("POST", "/drain") => {
+            if let Some(obs) = service.observability() {
+                obs.event(
+                    "drain",
+                    format!(
+                        "node {} draining, {} in flight",
+                        service.node_id(),
+                        service.admission().pressure()
+                    ),
+                );
+            }
             shutdown.store(true, Ordering::SeqCst);
             // The acknowledgement tells the operator what they are
             // draining and how much work is still in flight, so a
@@ -663,6 +680,8 @@ pub(crate) fn route(service: &ComputeService, shutdown: &AtomicBool, request: &R
         | (_, "/healthz")
         | (_, "/stats")
         | (_, "/metrics")
+        | (_, "/metrics/windows")
+        | (_, "/events")
         | (_, "/trace/recent")
         | (_, "/drain") => Reply::json(
             405,
@@ -765,6 +784,101 @@ fn trace_recent(service: &ComputeService) -> Reply {
     }
     body.push_str("]}");
     Reply::json(200, "OK", body)
+}
+
+/// One query parameter's value from a request target, e.g. `n` from
+/// `/metrics/windows?n=4`.
+pub(crate) fn query_param<'a>(request: &'a Request, name: &str) -> Option<&'a str> {
+    let (_, query) = request.target.split_once('?')?;
+    query.split('&').find_map(|pair| {
+        let (key, value) = pair.split_once('=')?;
+        (key == name).then_some(value)
+    })
+}
+
+/// `GET /metrics/windows?n=K`: the sealed telemetry-window ring plus
+/// the cumulative fold — the capacity planner's input contract.
+fn windows(service: &ComputeService, request: &Request) -> Reply {
+    let Some(obs) = service.observability() else {
+        return Reply::json(404, "Not Found", error_body("observability disabled"));
+    };
+    let limit = query_param(request, "n")
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(8);
+    let uptime_ms = service.started().elapsed().as_millis() as u64;
+    Reply::json(
+        200,
+        "OK",
+        windows_document(obs.windows(), limit, uptime_ms)
+            .with_int("node", service.node_id() as i64)
+            .render(),
+    )
+}
+
+/// `GET /events?since=N`: the control-plane event log past the cursor.
+fn events(service: &ComputeService, request: &Request) -> Reply {
+    let Some(obs) = service.observability() else {
+        return Reply::json(404, "Not Found", error_body("observability disabled"));
+    };
+    let since = query_param(request, "since")
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(0);
+    let log = obs.events();
+    Reply::json(
+        200,
+        "OK",
+        events_document(&log.since(since), log.last_seq(), log.dropped())
+            .with_int("node", service.node_id() as i64)
+            .render(),
+    )
+}
+
+/// `GET /trace/{id}`: every retained trace on this node belonging to
+/// fleet-wide trace `id` (the front tier assembles the cross-node
+/// tree; a node answers its own hops).
+fn trace_by_id(service: &ComputeService, path: &str) -> Reply {
+    let Some(obs) = service.observability() else {
+        return Reply::json(404, "Not Found", error_body("tracing disabled"));
+    };
+    let raw = path.strip_prefix("/trace/").unwrap_or_default();
+    let Ok(trace_id) = raw.parse::<u64>() else {
+        return Reply::json(
+            404,
+            "Not Found",
+            error_body(&format!("no route for {path}")),
+        );
+    };
+    let traces = obs.tracer().find(trace_id);
+    if traces.is_empty() {
+        return Reply::json(
+            404,
+            "Not Found",
+            error_body(&format!("trace {trace_id} not retained on this node")),
+        );
+    }
+    Reply::json(200, "OK", trace_tree_body(trace_id, &traces))
+}
+
+/// Render one fleet-wide trace's hops as a JSON document, ordered by
+/// (hop, local request id) — the deterministic assembly order both a
+/// node and the front tier use.
+pub(crate) fn trace_tree_body(trace_id: u64, traces: &[tt_obs::RequestTrace]) -> String {
+    let mut ordered: Vec<&tt_obs::RequestTrace> = traces.iter().collect();
+    ordered.sort_by_key(|t| (t.hop, t.request_id));
+    let mut body = String::with_capacity(96 + ordered.len() * 256);
+    body.push_str("{\"trace_id\": ");
+    body.push_str(&trace_id.to_string());
+    body.push_str(", \"hops\": ");
+    body.push_str(&ordered.len().to_string());
+    body.push_str(", \"traces\": [");
+    for (i, trace) in ordered.iter().enumerate() {
+        if i > 0 {
+            body.push_str(", ");
+        }
+        body.push_str(&trace.to_json_line());
+    }
+    body.push_str("]}");
+    body
 }
 
 /// FNV-1a over the body bytes: payload selection for clients that send
@@ -893,9 +1007,14 @@ fn tag_cache_hit(reply: Reply, exact: bool) -> Reply {
 fn compute(service: &ComputeService, request: &Request) -> Reply {
     // When observability is on, the whole handler runs under a traced
     // request: parsing gets its own span, and the handle rides into
-    // the service (and across its worker pool) for the rest.
+    // the service (and across its worker pool) for the rest. A request
+    // stamped with a remote trace context (proxied by a front tier)
+    // joins that trace instead of starting its own.
     let obs = service.observability();
-    let handle = obs.map(|o| o.tracer().begin());
+    let handle = obs.map(|o| match request.trace_context() {
+        Some(context) => o.tracer().begin_remote(context),
+        None => o.tracer().begin(),
+    });
     let reply = match prepare_compute(service, request, handle.as_ref()) {
         Prepared::Reply(reply) => reply,
         Prepared::Execute {
@@ -941,7 +1060,12 @@ fn compute(service: &ComputeService, request: &Request) -> Reply {
     if let (Some(o), Some(h)) = (obs, handle.as_ref()) {
         o.tracer().finish(h);
     }
-    reply
+    // Echo the trace id so a client (or the relaying front tier) can
+    // drill into `GET /trace/{id}` with one curl.
+    match handle {
+        Some(h) => reply.with_header(TRACE_ID_HEADER, h.trace_id().to_string()),
+        None => reply,
+    }
 }
 
 /// `POST /compute` in continuation-passing style for the reactor
@@ -954,7 +1078,18 @@ fn compute(service: &ComputeService, request: &Request) -> Reply {
 /// request counts against the limit until its reply is built.
 fn compute_async(service: &ComputeService, request: &Request, done: ReplySink) {
     let obs = service.observability().cloned();
-    let handle = obs.as_ref().map(|o| o.tracer().begin());
+    let handle = obs.as_ref().map(|o| match request.trace_context() {
+        Some(context) => o.tracer().begin_remote(context),
+        None => o.tracer().begin(),
+    });
+    // Stamp the trace id on whichever reply path fires, exactly as the
+    // synchronous engine does.
+    let done: ReplySink = match handle.as_ref().map(|h| h.trace_id()) {
+        Some(trace_id) => Box::new(move |reply: Reply| {
+            done(reply.with_header(TRACE_ID_HEADER, trace_id.to_string()));
+        }),
+        None => done,
+    };
     match prepare_compute(service, request, handle.as_ref()) {
         Prepared::Reply(reply) => {
             if let (Some(o), Some(h)) = (&obs, handle.as_ref()) {
@@ -1065,6 +1200,11 @@ fn prepare_compute(
             return Prepared::Reply(Reply::json(400, "Bad Request", error_body(&why)));
         }
     };
+    // The tier is known: this request is an arrival on the open
+    // telemetry window (pre-admission — the planner's arrival rate).
+    if let Some(o) = service.observability() {
+        o.record_arrival(objective, tolerance.value());
+    }
     let payload = match payload_for(request, service.matrix().requests()) {
         Ok(p) => p,
         Err(why) => {
@@ -1090,6 +1230,14 @@ fn prepare_compute(
     // first so a rejected request never counts against the limit, then
     // the in-flight guard covers the whole execution.
     let decision = service.admit(&service_request);
+    let outcome = match &decision {
+        AdmissionDecision::Reject { .. } => AdmissionOutcome::Rejected,
+        AdmissionDecision::Brownout { .. } => AdmissionOutcome::BrownedOut,
+        _ => AdmissionOutcome::Admitted,
+    };
+    if let Some(o) = service.observability() {
+        o.record_admission(objective, tolerance.value(), outcome);
+    }
     if let AdmissionDecision::Reject { retry_after_secs } = decision {
         let mut body = JsonObject::new().with_str("error", "overloaded, retry later");
         if let Some(h) = handle {
@@ -1361,6 +1509,7 @@ mod tests {
                 baseline_err: 0.1,
                 degraded: false,
                 invocations: 1,
+                version: 0,
             });
         }
         obs.sentinel().force_tick(obs.now_us());

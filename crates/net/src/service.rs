@@ -441,6 +441,7 @@ impl Accounts {
                 baseline_err,
                 degraded: stage.degraded,
                 invocations: stage.invocations,
+                version: stage.answered_by,
             });
         }
         self.served.fetch_add(1, Ordering::SeqCst);
@@ -725,6 +726,12 @@ impl ComputeService {
         // epoch; this re-purge is a no-op unless the fleet epoch is
         // ahead).
         self.purge_cache_to(epoch);
+        if let Some(obs) = &self.obs {
+            obs.event(
+                "epoch_adopt",
+                format!("node {} adopted rules epoch {epoch}", self.node_id()),
+            );
+        }
     }
 
     /// Re-stamp this node to `epoch` without touching the live rules
@@ -1228,7 +1235,7 @@ impl ComputeService {
             Err(e) => {
                 self.stats.lock().dropped_requests += 1;
                 if let Some(obs) = &self.obs {
-                    obs.record_dropped();
+                    obs.record_dropped(request.objective, request.tolerance.value());
                 }
                 if let Some((handle, id)) = span {
                     handle.attr_str(id, "outcome", "unavailable");
@@ -1691,7 +1698,14 @@ impl ComputeService {
     /// loop calls this when the sentinel window rolls; deterministic
     /// tests drive it directly.
     pub fn on_window(&self) {
+        let before = self.admission.limit();
         self.admission.on_window_tick();
+        let after = self.admission.limit();
+        if before != after {
+            if let Some(obs) = &self.obs {
+                obs.event("aimd_limit", format!("limit {before} -> {after}"));
+            }
+        }
         self.supervise();
     }
 
@@ -1823,7 +1837,7 @@ impl ComputeService {
             self.config.obs.latency_quantile,
         );
         *self.frontend.write() = frontend;
-        self.rules_revision.fetch_add(1, Ordering::SeqCst);
+        let revision = self.rules_revision.fetch_add(1, Ordering::SeqCst) + 1;
         // A local hot-swap is a new rules generation for this node; in
         // a fleet the control plane overwrites this stamp when it
         // rebroadcasts the swap cluster-wide.
@@ -1832,6 +1846,12 @@ impl ComputeService {
         // look up under the new epoch: answers computed under the old
         // rules must never satisfy a post-swap request.
         self.purge_cache_to(epoch);
+        if let Some(obs) = &self.obs {
+            obs.event(
+                "rules_install",
+                format!("rules revision {revision} live under epoch {epoch}"),
+            );
+        }
     }
 
     /// Advance the result cache's epoch fence (clearing it) when a
@@ -1840,6 +1860,9 @@ impl ComputeService {
     fn purge_cache_to(&self, epoch: u64) {
         if let Some(cache) = &self.config.cache {
             cache.purge_to_epoch(epoch);
+            if let Some(obs) = &self.obs {
+                obs.event("cache_purge", format!("cache fenced to epoch {epoch}"));
+            }
         }
     }
 
@@ -1866,6 +1889,9 @@ impl ComputeService {
             Some(v) => format!("window {window} {kind} v{v} (rules rev {revision})"),
             None => format!("window {window} {kind} (rules rev {revision})"),
         };
+        if let Some(obs) = &self.obs {
+            obs.event("supervisor", line.clone());
+        }
         rt.log.push(line);
     }
 

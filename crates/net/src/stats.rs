@@ -5,6 +5,7 @@
 //! and the `BENCH_serve.json` artifact share one JSON dialect:
 //! insertion-ordered keys, finite numbers only, stable diffs.
 
+use crate::doc::document_root;
 use crate::service::ServiceSnapshot;
 use tt_bench::perfjson::{Json, JsonObject};
 use tt_sim::LatencyRecorder;
@@ -73,9 +74,7 @@ pub fn stats_document(snapshot: &ServiceSnapshot, uptime_ms: u64) -> JsonObject 
         )
         .with_num("margin_usd", snapshot.billing.margin().as_dollars());
 
-    let mut doc = JsonObject::new()
-        .with_str("service", "toltiers")
-        .with_int("uptime_ms", uptime_ms as i64)
+    let mut doc = document_root(uptime_ms)
         .with_int("served", snapshot.served as i64)
         .with("tiers", Json::Array(tiers))
         .with("billing", Json::Object(billing))

@@ -1,0 +1,143 @@
+//! Control-plane event log — a bounded, seq-stamped ring of structured
+//! events recording *why* the system changed state: epoch publishes,
+//! node fence/unfence, supervisor transitions, AIMD limit changes,
+//! cache purges, drain acknowledgements.
+//!
+//! Tests and operators consume it via `GET /events?since=seq` instead
+//! of grepping stdout: `since` plus the monotonic sequence number give
+//! a cheap cursor (poll, remember the last seq you saw, ask for
+//! everything after it). The ring is bounded; evictions are counted,
+//! never silent.
+//!
+//! Like every tt-obs primitive the log never reads a clock — the
+//! caller injects the timestamp, so replayed or simulated control
+//! planes produce byte-identical logs.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// One control-plane event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Event {
+    /// Monotonic sequence number, starting at 1, never reused.
+    pub seq: u64,
+    /// Caller-injected timestamp (µs since service start).
+    pub at_us: u64,
+    /// Machine-matchable kind, e.g. `"epoch_publish"`, `"node_fence"`.
+    pub kind: &'static str,
+    /// Human-readable detail, e.g. `"node-2 stale epoch 3 < 4"`.
+    pub detail: String,
+}
+
+#[derive(Debug)]
+struct LogInner {
+    next_seq: u64,
+    ring: VecDeque<Event>,
+    dropped: u64,
+}
+
+/// Bounded ring of [`Event`]s with a monotonic sequence cursor.
+#[derive(Debug)]
+pub struct EventLog {
+    capacity: usize,
+    inner: Mutex<LogInner>,
+}
+
+impl EventLog {
+    /// A log retaining at most `capacity` events (oldest evicted,
+    /// counted in [`EventLog::dropped`]).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            inner: Mutex::new(LogInner {
+                next_seq: 1,
+                ring: VecDeque::new(),
+                dropped: 0,
+            }),
+        }
+    }
+
+    /// Append an event; returns its sequence number.
+    pub fn record(&self, at_us: u64, kind: &'static str, detail: impl Into<String>) -> u64 {
+        let mut inner = self.inner.lock().expect("event log poisoned");
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        inner.ring.push_back(Event {
+            seq,
+            at_us,
+            kind,
+            detail: detail.into(),
+        });
+        while inner.ring.len() > self.capacity {
+            inner.ring.pop_front();
+            inner.dropped += 1;
+        }
+        seq
+    }
+
+    /// Every retained event with `seq > since`, oldest first. Pass
+    /// `since = 0` for everything retained.
+    pub fn since(&self, since: u64) -> Vec<Event> {
+        let inner = self.inner.lock().expect("event log poisoned");
+        inner
+            .ring
+            .iter()
+            .filter(|e| e.seq > since)
+            .cloned()
+            .collect()
+    }
+
+    /// Sequence number of the newest event, 0 when none recorded.
+    pub fn last_seq(&self) -> u64 {
+        self.inner.lock().expect("event log poisoned").next_seq - 1
+    }
+
+    /// Events evicted from the bounded ring.
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().expect("event log poisoned").dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seq_is_monotonic_and_cursor_resumes() {
+        let log = EventLog::new(16);
+        assert_eq!(log.last_seq(), 0);
+        assert!(log.since(0).is_empty());
+        let a = log.record(10, "epoch_publish", "epoch 1");
+        let b = log.record(20, "node_fence", "node-2 stale");
+        assert_eq!((a, b), (1, 2));
+        assert_eq!(log.last_seq(), 2);
+
+        let all = log.since(0);
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[0].kind, "epoch_publish");
+
+        // Cursor: remember last seq, ask for everything after.
+        let c = log.record(30, "node_unfence", "node-2 healed");
+        let tail = log.since(b);
+        assert_eq!(tail.len(), 1);
+        assert_eq!(tail[0].seq, c);
+        assert_eq!(tail[0].detail, "node-2 healed");
+    }
+
+    #[test]
+    fn ring_is_bounded_and_counts_evictions() {
+        let log = EventLog::new(3);
+        for i in 0..10u64 {
+            log.record(i, "aimd_limit", format!("limit {i}"));
+        }
+        let retained = log.since(0);
+        assert_eq!(retained.len(), 3);
+        // Oldest retained is seq 8 — seqs never reset on eviction.
+        assert_eq!(retained[0].seq, 8);
+        assert_eq!(log.dropped(), 7);
+        assert_eq!(log.last_seq(), 10);
+        // A cursor past the tail returns nothing.
+        assert!(log.since(10).is_empty());
+    }
+}

@@ -14,7 +14,14 @@
 //!   optional JSONL file sink;
 //! * [`slo`] — a sentinel that folds live telemetry against each
 //!   tier's advertised guarantee over sliding windows and publishes
-//!   in/out-of-contract verdicts.
+//!   in/out-of-contract verdicts;
+//! * [`window`] — a bounded ring of sealed telemetry windows
+//!   (per-tier arrival/admission/cache counts, per-version
+//!   service-time histograms) whose cumulative fold is bit-identical
+//!   at any thread or node count — the capacity planner's input;
+//! * [`events`] — a bounded, seq-stamped control-plane event log
+//!   (epoch publishes, fences, supervisor transitions) so tests can
+//!   assert *why* the system acted, not just that it did.
 //!
 //! Everything is dependency-free `std` (matching the workspace's
 //! vendored-only stance) and deterministic by construction: counts
@@ -24,12 +31,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod events;
 pub mod hist;
 pub mod registry;
 pub mod slo;
 pub mod span;
+pub mod window;
 
+pub use events::{Event, EventLog};
 pub use hist::{AtomicHistogram, BucketScheme, Histogram};
 pub use registry::{Counter, Gauge, HistogramHandle, MetricsRegistry, MetricsSnapshot};
 pub use slo::{SloSentinel, SloTarget, SloVerdict, TierTelemetry};
-pub use span::{AttrValue, RequestTrace, SpanEvent, TraceHandle, Tracer};
+pub use span::{AttrValue, RequestTrace, SpanEvent, TraceContext, TraceHandle, Tracer};
+pub use window::{AdmissionOutcome, SealedWindow, TierWindow, WindowAccum, WindowStore};

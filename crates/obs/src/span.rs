@@ -58,13 +58,50 @@ impl SpanEvent {
     }
 }
 
+/// The wire-carried distributed-tracing context: which fleet-wide
+/// trace a request belongs to, which remote span is its parent, and
+/// how many proxy hops deep it is.
+///
+/// The front tier originates a context (hop 0, no parent) and stamps
+/// it on proxied requests via the `X-Trace-Id` / `X-Parent-Span`
+/// headers; a node receiving those headers joins its local span tree
+/// to the remote parent via [`Tracer::begin_remote`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct TraceContext {
+    /// Fleet-wide trace ID, minted once at the originating tier.
+    pub trace_id: u64,
+    /// The remote parent span's ID (in the hop-above trace); `None`
+    /// at the originating tier.
+    pub parent_span: Option<u32>,
+    /// Proxy depth: 0 at the originating tier, parent's hop + 1 below.
+    pub hop: u32,
+}
+
+impl TraceContext {
+    /// A locally-originated context: this request is its own trace.
+    pub fn local(trace_id: u64) -> Self {
+        TraceContext {
+            trace_id,
+            parent_span: None,
+            hop: 0,
+        }
+    }
+}
+
 /// A finished request trace: the request ID plus its spans in open
 /// order.
 #[derive(Debug, Clone, PartialEq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct RequestTrace {
-    /// The propagated request ID.
+    /// The propagated request ID (local to the tracing process).
     pub request_id: u64,
+    /// Fleet-wide trace ID (equals `request_id` when locally minted).
+    pub trace_id: u64,
+    /// Remote parent span ID, when this trace joined a remote parent.
+    pub parent_span: Option<u32>,
+    /// Proxy depth of this trace within its fleet-wide tree.
+    pub hop: u32,
     /// Spans in the order they were opened.
     pub spans: Vec<SpanEvent>,
 }
@@ -84,7 +121,18 @@ impl RequestTrace {
     /// microseconds need no float formatting).
     pub fn to_json_line(&self) -> String {
         let mut out = String::with_capacity(64 + self.spans.len() * 96);
-        let _ = write!(out, "{{\"request_id\": {}, \"spans\": [", self.request_id);
+        let _ = write!(
+            out,
+            "{{\"request_id\": {}, \"trace_id\": {}, \"hop\": {}, \"parent_span\": ",
+            self.request_id, self.trace_id, self.hop
+        );
+        match self.parent_span {
+            Some(p) => {
+                let _ = write!(out, "{p}");
+            }
+            None => out.push_str("null"),
+        }
+        out.push_str(", \"spans\": [");
         for (i, s) in self.spans.iter().enumerate() {
             if i > 0 {
                 out.push_str(", ");
@@ -153,6 +201,7 @@ struct HandleState {
 #[derive(Debug)]
 struct HandleInner {
     request_id: u64,
+    context: TraceContext,
     state: Mutex<HandleState>,
 }
 
@@ -165,11 +214,19 @@ pub struct TraceHandle {
 
 impl TraceHandle {
     /// A standalone handle (not attached to a [`Tracer`]) — useful in
-    /// tests and simulations that only want the span tree.
+    /// tests and simulations that only want the span tree. The trace
+    /// context is local: the request is its own trace at hop 0.
     pub fn detached(request_id: u64) -> Self {
+        Self::detached_with_context(request_id, TraceContext::local(request_id))
+    }
+
+    /// A standalone handle joined to an explicit (possibly remote)
+    /// trace context.
+    pub fn detached_with_context(request_id: u64, context: TraceContext) -> Self {
         TraceHandle {
             inner: Arc::new(HandleInner {
                 request_id,
+                context,
                 state: Mutex::new(HandleState::default()),
             }),
         }
@@ -178,6 +235,16 @@ impl TraceHandle {
     /// The propagated request ID.
     pub fn request_id(&self) -> u64 {
         self.inner.request_id
+    }
+
+    /// The fleet-wide trace ID this handle's spans belong to.
+    pub fn trace_id(&self) -> u64 {
+        self.inner.context.trace_id
+    }
+
+    /// The full trace context (trace ID, remote parent, hop).
+    pub fn context(&self) -> TraceContext {
+        self.inner.context
     }
 
     /// Open a span; returns its ID for closing and parenting.
@@ -233,6 +300,9 @@ impl TraceHandle {
         let mut state = self.inner.state.lock().expect("trace handle poisoned");
         RequestTrace {
             request_id: self.inner.request_id,
+            trace_id: self.inner.context.trace_id,
+            parent_span: self.inner.context.parent_span,
+            hop: self.inner.context.hop,
             spans: std::mem::take(&mut state.spans),
         }
     }
@@ -251,6 +321,7 @@ pub struct Tracer {
     capacity: usize,
     next_id: AtomicU64,
     finished: AtomicU64,
+    evicted: AtomicU64,
     state: Mutex<TracerState>,
     sink: Option<Mutex<std::fs::File>>,
     sink_path: Option<PathBuf>,
@@ -263,6 +334,7 @@ impl Tracer {
             capacity: capacity.max(1),
             next_id: AtomicU64::new(1),
             finished: AtomicU64::new(0),
+            evicted: AtomicU64::new(0),
             state: Mutex::new(TracerState {
                 ring: VecDeque::new(),
                 sink_error: false,
@@ -287,9 +359,20 @@ impl Tracer {
     }
 
     /// Begin a trace for a new request, minting the next request ID.
+    /// The request is the origin of its own fleet-wide trace (hop 0).
     pub fn begin(&self) -> TraceHandle {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         TraceHandle::detached(id)
+    }
+
+    /// Begin a trace for a request that arrived with a remote trace
+    /// context (`X-Trace-Id` / `X-Parent-Span` on the wire): a local
+    /// request ID is minted as usual, but the finished trace carries
+    /// the remote trace ID, parent span, and hop so a fleet-level
+    /// assembler can join this node's span tree to the remote parent.
+    pub fn begin_remote(&self, context: TraceContext) -> TraceHandle {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        TraceHandle::detached_with_context(id, context)
     }
 
     /// Finish a trace: move its spans into the ring (evicting the
@@ -305,6 +388,7 @@ impl Tracer {
             state.ring.push_back(trace);
             while state.ring.len() > self.capacity {
                 state.ring.pop_front();
+                self.evicted.fetch_add(1, Ordering::Relaxed);
             }
         }
         self.finished.fetch_add(1, Ordering::Relaxed);
@@ -323,9 +407,29 @@ impl Tracer {
         state.ring.iter().skip(skip).cloned().collect()
     }
 
+    /// Every retained trace belonging to fleet-wide trace `trace_id`,
+    /// oldest first. A node that served several hops of the same trace
+    /// (e.g. a retry relanded here) returns them all.
+    pub fn find(&self, trace_id: u64) -> Vec<RequestTrace> {
+        let state = self.state.lock().expect("tracer poisoned");
+        state
+            .ring
+            .iter()
+            .filter(|t| t.trace_id == trace_id)
+            .cloned()
+            .collect()
+    }
+
     /// Total traces finished (including evicted ones).
     pub fn finished_count(&self) -> u64 {
         self.finished.load(Ordering::Relaxed)
+    }
+
+    /// Finished traces evicted from the bounded ring — the tracer's
+    /// drop count. Zero in any run whose request count stays within
+    /// the configured retention.
+    pub fn dropped_traces(&self) -> u64 {
+        self.evicted.load(Ordering::Relaxed)
     }
 
     /// In-memory retention capacity.
@@ -397,6 +501,42 @@ mod tests {
         assert_eq!(recent[0].request_id, 4);
         assert_eq!(recent[1].request_id, 5);
         assert_eq!(tracer.finished_count(), 5);
+        assert_eq!(tracer.dropped_traces(), 3);
+    }
+
+    #[test]
+    fn remote_context_joins_and_is_findable() {
+        let tracer = Tracer::new(8);
+        // A locally-minted request is its own trace.
+        let local = tracer.begin();
+        assert_eq!(local.trace_id(), local.request_id());
+        assert_eq!(local.context().hop, 0);
+        local.span("request", None, 0, 1);
+        tracer.finish(&local);
+
+        // A proxied request joins the remote parent.
+        let ctx = TraceContext {
+            trace_id: 9_001,
+            parent_span: Some(3),
+            hop: 1,
+        };
+        let remote = tracer.begin_remote(ctx);
+        assert_eq!(remote.trace_id(), 9_001);
+        assert_ne!(remote.request_id(), 9_001, "local id minted as usual");
+        remote.span("request", None, 5, 9);
+        tracer.finish(&remote);
+
+        let found = tracer.find(9_001);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].parent_span, Some(3));
+        assert_eq!(found[0].hop, 1);
+        assert!(tracer.find(424_242).is_empty());
+        assert_eq!(tracer.dropped_traces(), 0);
+
+        let line = found[0].to_json_line();
+        assert!(line.contains("\"trace_id\": 9001"));
+        assert!(line.contains("\"hop\": 1"));
+        assert!(line.contains("\"parent_span\": 3"));
     }
 
     #[test]

@@ -1,0 +1,132 @@
+//! Property tests for the flight recorder's determinism contracts:
+//! histogram merge is commutative, associative, and bit-identical
+//! across arbitrary shard interleavings, and the windowed telemetry
+//! store's cumulative fold is invariant under thread count — the two
+//! facts the fleet-merged `/metrics/windows` view rests on.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use tt_obs::{AdmissionOutcome, AtomicHistogram, BucketScheme, Histogram, WindowStore};
+
+/// Tier keys the window strategies draw from (sorted-key rendering is
+/// part of the contract, so include keys that sort differently than
+/// they arrive).
+const TIERS: [&str; 4] = [
+    "response-time/0.000",
+    "response-time/0.010",
+    "cost/0.050",
+    "cost/0.010",
+];
+
+fn fold(shards: &[Histogram], order: &[usize]) -> Histogram {
+    let mut out = Histogram::new(BucketScheme::DEFAULT);
+    for &i in order {
+        out.merge(&shards[i]);
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Any partition of a value multiset across shards, folded in any
+    /// order, equals single-shard recording: merge is commutative and
+    /// associative, and no count or sum is lost to sharding.
+    #[test]
+    fn histogram_merge_is_shard_and_order_invariant(
+        values in prop::collection::vec(0u64..2_000_000, 1..200),
+        assignment in prop::collection::vec(0usize..4, 1..200),
+        swap in 0usize..4,
+    ) {
+        let mut reference = Histogram::new(BucketScheme::DEFAULT);
+        for &v in &values {
+            reference.record(v);
+        }
+
+        let shards: Vec<AtomicHistogram> =
+            (0..4).map(|_| AtomicHistogram::new(BucketScheme::DEFAULT)).collect();
+        for (i, &v) in values.iter().enumerate() {
+            shards[assignment[i % assignment.len()]].record(v);
+        }
+        let snaps: Vec<Histogram> = shards.iter().map(AtomicHistogram::snapshot).collect();
+
+        let forward = fold(&snaps, &[0, 1, 2, 3]);
+        let mut order = vec![3, 2, 1, 0];
+        order.swap(0, swap);
+        let shuffled = fold(&snaps, &order);
+
+        prop_assert_eq!(&forward, &reference);
+        prop_assert_eq!(&shuffled, &reference);
+        prop_assert_eq!(forward.count(), values.len() as u64);
+        prop_assert_eq!(forward.sum(), values.iter().sum::<u64>());
+
+        // Associativity: ((0+1)+(2+3)) == (0+(1+(2+3))).
+        let mut left = snaps[0].clone();
+        left.merge(&snaps[1]);
+        let mut right = snaps[2].clone();
+        right.merge(&snaps[3]);
+        let mut paired = left;
+        paired.merge(&right);
+        prop_assert_eq!(&paired, &reference);
+    }
+
+    /// The window store's cumulative fold is a pure function of the
+    /// operation multiset: recording the same operations from 1 or 4
+    /// threads — with heartbeat ticks racing the writers — yields the
+    /// same cumulative accumulator.
+    #[test]
+    fn window_cumulative_fold_is_thread_count_invariant(
+        ops in prop::collection::vec(
+            (0usize..4, 0u8..6, 1u64..500_000), 8..120),
+    ) {
+        let record = |store: &WindowStore, op: &(usize, u8, u64)| {
+            let (tier, kind, value) = *op;
+            let key = TIERS[tier];
+            match kind {
+                0 => store.record_arrival(key),
+                1 => store.record_admission(key, AdmissionOutcome::Admitted),
+                2 => store.record_admission(key, AdmissionOutcome::BrownedOut),
+                3 => store.record_admission(key, AdmissionOutcome::Shed),
+                4 => store.record_cache(key, value % 2 == 0),
+                _ => store.record_service((value % 3) as usize, value),
+            }
+        };
+
+        let single = WindowStore::new(1_000, 16);
+        for op in &ops {
+            record(&single, op);
+        }
+
+        let sharded = Arc::new(WindowStore::new(1_000, 16));
+        std::thread::scope(|scope| {
+            for lane in 0..4usize {
+                let sharded = Arc::clone(&sharded);
+                let ops = &ops;
+                scope.spawn(move || {
+                    for (i, op) in ops.iter().enumerate() {
+                        if i % 4 == lane {
+                            record(&sharded, op);
+                        }
+                        if i % 16 == lane {
+                            // Heartbeats race the writers; sealing
+                            // must never lose or duplicate a record.
+                            sharded.tick((i as u64 + 1) * 300);
+                        }
+                    }
+                });
+            }
+        });
+
+        prop_assert_eq!(single.cumulative(), sharded.cumulative());
+
+        // The sealed ring plus the open window partition the
+        // cumulative fold exactly: fold every sealed window into the
+        // still-open remainder and the totals must match.
+        let mut folded = tt_obs::WindowAccum::default();
+        for window in sharded.sealed(usize::MAX) {
+            folded.merge(&window.accum);
+        }
+        let cumulative = sharded.cumulative();
+        prop_assert!(folded.total_arrivals() <= cumulative.total_arrivals());
+    }
+}

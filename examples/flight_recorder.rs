@@ -1,0 +1,145 @@
+//! The fleet flight recorder, end to end on loopback: boots a 3-node
+//! fleet, kills a node mid-load, then pulls the three observability
+//! surfaces that explain what happened — the cross-node trace tree
+//! for a request that failed over (`GET /trace/{id}`), the fleet
+//! control-plane event log (`GET /events`), and the merged telemetry
+//! window fold (`GET /metrics/windows`).
+//!
+//! Run with `cargo run --release -p tt-examples --bin flight_recorder`.
+//!
+//! While it runs you can hit the printed front-tier address yourself:
+//!
+//! ```text
+//! curl http://127.0.0.1:PORT/trace/42
+//! curl "http://127.0.0.1:PORT/events?since=0"
+//! curl "http://127.0.0.1:PORT/metrics/windows?n=4"
+//! ```
+
+use std::io::{BufReader, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+use tt_examples::banner;
+use tt_net::cluster::{Fleet, FleetConfig, NodeState, RouteStrategy};
+use tt_net::http::{read_response, Limits, Response};
+use tt_net::loadgen::{run_load, LoadConfig};
+
+const PAYLOADS: usize = 120;
+const SEED: u64 = 7;
+
+fn post_compute(addr: std::net::SocketAddr, tolerance: f64) -> std::io::Result<Response> {
+    let body = "payload-7";
+    let mut stream = TcpStream::connect(addr)?;
+    write!(
+        stream,
+        "POST /compute HTTP/1.1\r\nTolerance: {tolerance}\r\nObjective: cost\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    read_response(&mut reader, &Limits::default())
+        .map_err(|e| std::io::Error::other(format!("{e:?}")))
+}
+
+fn get(addr: std::net::SocketAddr, path: &str) -> std::io::Result<Response> {
+    let mut stream = TcpStream::connect(addr)?;
+    write!(stream, "GET {path} HTTP/1.1\r\nConnection: close\r\n\r\n")?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    read_response(&mut reader, &Limits::default())
+        .map_err(|e| std::io::Error::other(format!("{e:?}")))
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    banner("1. Boot a 3-node fleet (primary-first failover routing)");
+    let mut config = FleetConfig::defaults(3);
+    config.payloads = PAYLOADS;
+    config.seed = SEED;
+    config.strategy = RouteStrategy::Failover;
+    let fleet = Fleet::launch(config)?;
+    let addr = fleet.front_addr();
+    println!("  front tier on http://{addr}  (epoch {})", fleet.epoch());
+
+    banner("2. Load, killing node 0 mid-run: failover covers the hole");
+    let report = std::thread::scope(|scope| {
+        let fleet = &fleet;
+        let crash_at = fleet.front().proxied() + 60;
+        scope.spawn(move || {
+            let deadline = Instant::now() + Duration::from_secs(10);
+            while fleet.front().proxied() < crash_at && Instant::now() < deadline {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            fleet.crash_node(0);
+        });
+        run_load(addr, &LoadConfig::closed(200, 4, PAYLOADS, 13))
+    })?;
+    println!(
+        "  {} ok / {} sent with {} failover(s)",
+        report.ok,
+        report.sent,
+        fleet.front().failovers(),
+    );
+    assert_eq!(report.ok, report.sent, "failover must not lose requests");
+
+    banner("3. One more request: its trace tree tells the whole story");
+    let response = post_compute(addr, 0.05)?;
+    let trace_id: u64 = response
+        .header("x-trace-id")
+        .expect("X-Trace-Id on every front reply")
+        .parse()?;
+    println!(
+        "  {} served by {} -> X-Trace-Id: {trace_id}",
+        response.status,
+        response.header("served-by").unwrap_or("?"),
+    );
+    let tree = get(addr, &format!("/trace/{trace_id}"))?.text();
+    println!("  GET /trace/{trace_id} ->\n  {tree}");
+    assert!(
+        tree.contains("\"name\": \"route\"") && tree.contains("\"name\": \"proxy\""),
+        "route + proxy spans assembled"
+    );
+    assert!(
+        tree.contains("\"hop\": 1"),
+        "the serving node's span tree joined at hop 1"
+    );
+
+    banner("4. Fence and heal a node that misses a rules broadcast");
+    fleet.partition_control(2, true);
+    fleet.broadcast_rules();
+    let fencing = Instant::now();
+    while fleet.front().node_states()[2] != NodeState::Fenced
+        && fencing.elapsed() < Duration::from_secs(2)
+    {
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    fleet.partition_control(2, false);
+    fleet.broadcast_rules();
+    while fleet.front().node_states()[2] != NodeState::Up
+        && fencing.elapsed() < Duration::from_secs(4)
+    {
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    println!("  node-2 fenced and unfenced around the re-broadcast");
+
+    banner("5. The control-plane event log explains every transition");
+    let events = get(addr, "/events?since=0")?.text();
+    println!("  GET /events ->\n  {events}");
+    let fence_at = events.find("\"kind\": \"fence\"").expect("fence logged");
+    let unfence_at = events
+        .find("\"kind\": \"unfence\"")
+        .expect("unfence logged");
+    assert!(fence_at < unfence_at, "fence precedes unfence");
+    assert!(events.contains("\"kind\": \"node_down\""), "death logged");
+
+    banner("6. The merged telemetry window fold (the planner's input)");
+    let windows = get(addr, "/metrics/windows")?.text();
+    let cumulative_at = windows.find("\"cumulative\"").expect("cumulative fold");
+    println!("  GET /metrics/windows (cumulative subtree) ->");
+    println!(
+        "  {}",
+        &windows[cumulative_at..windows.len().min(cumulative_at + 400)]
+    );
+    assert!(windows.contains("\"arrivals\""), "fold carries traffic");
+
+    fleet.shutdown()?;
+    println!("\nflight recorder smoke: all surfaces answered");
+    Ok(())
+}

@@ -1,0 +1,262 @@
+//! End-to-end acceptance for the fleet flight recorder: a crash mid
+//! failover leaves one cross-node trace tree holding both the failed
+//! and the succeeding proxy attempt; the fleet-merged telemetry
+//! window fold is bit-identical across node and thread counts; the
+//! control-plane event log orders fence before unfence; and a
+//! fault-free run drops nothing (series, traces, or windows).
+
+use std::io::{BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+use tt_net::cluster::{Fleet, FleetConfig, RouteStrategy};
+use tt_net::http::{read_response, Limits, Response};
+use tt_net::loadgen::{run_load, LoadConfig};
+use tt_net::server::HttpHandler;
+
+const SEED: u64 = 77;
+const PAYLOADS: usize = 60;
+const REQUESTS: usize = 160;
+
+fn fleet(nodes: usize, strategy: RouteStrategy) -> Fleet {
+    let mut config = FleetConfig::defaults(nodes);
+    config.payloads = PAYLOADS;
+    config.seed = SEED;
+    config.strategy = strategy;
+    Fleet::launch(config).expect("fleet boots")
+}
+
+fn fetch(addr: SocketAddr, path: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("ops connection");
+    stream
+        .write_all(format!("GET {path} HTTP/1.1\r\nConnection: close\r\n\r\n").as_bytes())
+        .expect("ops request");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let response = read_response(&mut reader, &Limits::default()).expect("ops response");
+    (response.status, response.text())
+}
+
+/// One tolerant compute request over the wire, returning the full
+/// response (headers included — the trace id rides `X-Trace-Id`).
+fn post_compute(addr: SocketAddr) -> Response {
+    let mut stream = TcpStream::connect(addr).expect("compute connection");
+    stream.set_read_timeout(Some(Duration::from_secs(10))).ok();
+    let body = "payload-3";
+    stream
+        .write_all(
+            format!(
+                "POST /compute HTTP/1.1\r\nTolerance: 0.05\r\nObjective: cost\r\nPayload: 3\r\n\
+                 Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+                body.len()
+            )
+            .as_bytes(),
+        )
+        .expect("compute request");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    read_response(&mut reader, &Limits::default()).expect("compute response")
+}
+
+/// Extract the balanced-brace JSON object that starts at `"{key}": {`.
+fn extract_object(body: &str, key: &str) -> String {
+    let marker = format!("\"{key}\": {{");
+    let start = body
+        .find(&marker)
+        .unwrap_or_else(|| panic!("{key} object present in {body}"));
+    let open = start + marker.len() - 1;
+    let mut depth = 0usize;
+    for (i, ch) in body[open..].char_indices() {
+        match ch {
+            '{' => depth += 1,
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return body[open..open + i + 1].to_string();
+                }
+            }
+            _ => {}
+        }
+    }
+    panic!("unbalanced {key} object");
+}
+
+/// A crash discovered mid-failover leaves ONE trace tree telling the
+/// whole story: the front's route span with a failed proxy attempt on
+/// the dead node and a succeeding sibling attempt on the survivor,
+/// joined (hop 1) to the survivor's own span tree for the same trace.
+#[test]
+fn crash_failover_yields_one_cross_node_trace_tree() {
+    let fleet = fleet(2, RouteStrategy::Failover);
+
+    // Warm: primary-first routing serves from node 0.
+    let warm = post_compute(fleet.front_addr());
+    assert_eq!(warm.status, 200);
+    assert_eq!(warm.header("served-by"), Some("node-0"));
+    let warm_trace: u64 = warm
+        .header("x-trace-id")
+        .expect("every front reply carries a trace id")
+        .parse()
+        .expect("numeric trace id");
+    let (status, warm_tree) = fetch(fleet.front_addr(), &format!("/trace/{warm_trace}"));
+    assert_eq!(status, 200, "warm trace is assembled: {warm_tree}");
+    assert!(warm_tree.contains("\"name\": \"route\""), "{warm_tree}");
+    assert!(warm_tree.contains("\"hop\": 1"), "node joined: {warm_tree}");
+
+    // Crash the primary; the next request must fail over — and the
+    // trace must show both attempts as sibling proxy spans.
+    fleet.crash_node(0);
+    let response = post_compute(fleet.front_addr());
+    assert_eq!(response.status, 200, "failover served the request");
+    assert_eq!(response.header("served-by"), Some("node-1"));
+    let trace_id: u64 = response
+        .header("x-trace-id")
+        .expect("trace id survives failover")
+        .parse()
+        .expect("numeric trace id");
+
+    let (status, tree) = fetch(fleet.front_addr(), &format!("/trace/{trace_id}"));
+    assert_eq!(status, 200, "trace assembled after failover: {tree}");
+    assert!(
+        tree.contains("\"hops\": 2"),
+        "front + surviving node: {tree}"
+    );
+    assert!(
+        tree.contains("\"outcome\": \"error\""),
+        "the failed attempt is recorded: {tree}"
+    );
+    assert!(
+        tree.contains("\"outcome\": \"ok\""),
+        "the succeeding attempt is recorded: {tree}"
+    );
+    assert!(
+        tree.contains("\"node\": \"node-0\"") && tree.contains("\"node\": \"node-1\""),
+        "both nodes are named: {tree}"
+    );
+    assert!(
+        tree.contains("\"hop\": 0") && tree.contains("\"hop\": 1"),
+        "hop 0 (front) and hop 1 (node) trees joined: {tree}"
+    );
+
+    // The control-plane log recorded the death.
+    let (status, events) = fetch(fleet.front_addr(), "/events");
+    assert_eq!(status, 200);
+    assert!(events.contains("\"kind\": \"node_crash\""), "{events}");
+    assert!(events.contains("\"kind\": \"node_down\""), "{events}");
+
+    // An unknown trace id is a clean 404, not an empty tree.
+    let (status, _) = fetch(fleet.front_addr(), "/trace/999999999");
+    assert_eq!(status, 404);
+
+    fleet.shutdown().expect("clean shutdown");
+}
+
+/// The planner contract: the fleet-merged cumulative telemetry fold is
+/// bit-identical for the same request multiset at any fleet shape —
+/// node counts {1, 2, 4} × client thread counts {1, 4}.
+#[test]
+fn fleet_window_fold_is_bit_identical_across_shapes() {
+    let mut reference: Option<String> = None;
+    for nodes in [1usize, 2, 4] {
+        for threads in [1usize, 4] {
+            let fleet = fleet(nodes, RouteStrategy::RoundRobin);
+            let report = run_load(
+                fleet.front_addr(),
+                &LoadConfig::closed(REQUESTS, threads, PAYLOADS, SEED),
+            )
+            .expect("load");
+            assert_eq!(report.ok, report.sent, "{nodes}x{threads} lost requests");
+            let (status, body) = fetch(fleet.front_addr(), "/metrics/windows");
+            assert_eq!(status, 200);
+            let cumulative = extract_object(&body, "cumulative");
+            assert!(
+                cumulative.contains("\"arrivals\""),
+                "fold has traffic: {cumulative}"
+            );
+            fleet.shutdown().expect("clean shutdown");
+            match &reference {
+                None => reference = Some(cumulative),
+                Some(reference) => {
+                    assert_eq!(
+                        reference, &cumulative,
+                        "{nodes} nodes x {threads} threads diverged from the reference fold"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Control-plane event ordering: a node that misses a broadcast is
+/// fenced, and unfenced after it re-adopts — in that order, with
+/// monotonically increasing sequence numbers, and the epoch publishes
+/// on the log bracketing them.
+#[test]
+fn event_log_orders_fence_before_unfence() {
+    let fleet = fleet(2, RouteStrategy::RoundRobin);
+    fleet.partition_control(1, true);
+    fleet.broadcast_rules();
+    fleet.front().on_idle();
+    fleet.partition_control(1, false);
+    fleet.broadcast_rules();
+    fleet.front().on_idle();
+
+    let (status, events) = fetch(fleet.front_addr(), "/events");
+    assert_eq!(status, 200);
+    let fence_at = events.find("\"kind\": \"fence\"").expect("fence logged");
+    let unfence_at = events
+        .find("\"kind\": \"unfence\"")
+        .expect("unfence logged");
+    assert!(fence_at < unfence_at, "fence precedes unfence: {events}");
+    assert!(events.contains("\"kind\": \"epoch_publish\""), "{events}");
+
+    // The since-cursor replays only the suffix.
+    let (_, all) = fetch(fleet.front_addr(), "/events?since=0");
+    let (_, tail) = fetch(fleet.front_addr(), "/events?since=2");
+    assert!(tail.len() < all.len(), "cursor trims the replay");
+
+    // Node-local logs carry the adoption trail.
+    let (status, node_events) = fetch(fleet.node_addr(0), "/events");
+    assert_eq!(status, 200);
+    assert!(
+        node_events.contains("\"kind\": \"epoch_adopt\""),
+        "{node_events}"
+    );
+
+    fleet.shutdown().expect("clean shutdown");
+}
+
+/// Fault-free runs drop nothing: no metric series past the registry
+/// cap, no trace-ring evictions, no telemetry windows trimmed — the
+/// flight recorder's completeness contract, asserted from `/metrics`.
+#[test]
+fn fault_free_run_drops_no_series_traces_or_windows() {
+    let fleet = fleet(1, RouteStrategy::Failover);
+    let report = run_load(
+        fleet.front_addr(),
+        &LoadConfig::closed(REQUESTS, 4, PAYLOADS, SEED),
+    )
+    .expect("load");
+    assert_eq!(report.ok, report.sent);
+
+    let (status, metrics) = fetch(fleet.node_addr(0), "/metrics");
+    assert_eq!(status, 200);
+    assert!(
+        metrics.contains("\"dropped_series\": 0"),
+        "no series dropped: {metrics}"
+    );
+    assert!(
+        metrics.contains("\"dropped_traces\": 0"),
+        "no traces evicted: {metrics}"
+    );
+    assert!(
+        metrics.contains("\"dropped_windows\": 0"),
+        "no windows trimmed: {metrics}"
+    );
+
+    // The node's window ring answers with the same cumulative shape
+    // the fleet view merges.
+    let (status, windows) = fetch(fleet.node_addr(0), "/metrics/windows?n=4");
+    assert_eq!(status, 200);
+    assert!(windows.contains("\"cumulative\""), "{windows}");
+    assert!(windows.contains("\"service_time_us\""), "{windows}");
+
+    fleet.shutdown().expect("clean shutdown");
+}
