@@ -330,6 +330,17 @@ impl AdmissionController {
         self.limit.load(Ordering::SeqCst)
     }
 
+    /// Install an externally chosen concurrency limit — the capacity
+    /// tuner's fast path on a traffic surge — clamped to the
+    /// configured `min_limit..=max_limit` bounds. Returns the limit
+    /// actually installed; AIMD pacing continues from it on the next
+    /// window tick.
+    pub fn set_limit(&self, limit: usize) -> usize {
+        let clamped = limit.clamp(self.config.min_limit, self.config.max_limit);
+        self.limit.store(clamped, Ordering::SeqCst);
+        clamped
+    }
+
     /// Report a congestion signal from outside the decision path (the
     /// front door's dispatch queue overflowing).
     pub fn on_congestion(&self) {

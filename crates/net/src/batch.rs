@@ -72,6 +72,23 @@ impl BatchConfig {
         let slack_us = (tolerance * self.slack_us_per_unit_tolerance as f64).round() as u64;
         Some(Duration::from_micros(slack_us).min(self.max_deadline))
     }
+
+    /// [`BatchConfig::formation_deadline`] scaled by
+    /// `slack_permille / 1000` — the capacity tuner's surge knob:
+    /// tightening formation deadlines trades batching efficiency for
+    /// queueing headroom without rebuilding the batcher. The
+    /// tolerance-floor bypass is unaffected, and a scaled deadline of
+    /// zero still batches (the group just flushes immediately).
+    pub fn formation_deadline_scaled(
+        &self,
+        tolerance: f64,
+        slack_permille: u32,
+    ) -> Option<Duration> {
+        self.formation_deadline(tolerance).map(|d| {
+            let us = d.as_micros() as u64 * u64::from(slack_permille) / 1000;
+            Duration::from_micros(us)
+        })
+    }
 }
 
 /// What makes two in-flight requests batchable: same objective, same

@@ -32,7 +32,7 @@
 //! float-fold-order differences across arbitrary request partitions.
 
 use crate::demo::{demo_frontend, demo_matrix};
-use crate::doc::{events_document, fleet_windows_document};
+use crate::doc::{capacity_object, events_document, fleet_windows_document};
 use crate::http::{
     format_parent_span, read_response, Limits, Request, Response, PARENT_SPAN_HEADER,
     RULES_EPOCH_HEADER, TRACE_ID_HEADER,
@@ -601,14 +601,64 @@ impl FrontTier {
     }
 
     /// `GET /events?since=seq`: the fleet control-plane event log
-    /// (epoch publishes, fence/unfence, node deaths, drains).
+    /// (epoch publishes, fence/unfence, node deaths, drains). With
+    /// `?node=i`, the named node's own log instead — planner resizes,
+    /// forecast regens, and tuner nudges land there, so the fleet
+    /// endpoint surfaces every control decision in the cluster.
     fn events_reply(&self, request: &Request) -> Reply {
         let since = query_param(request, "since")
             .and_then(|v| v.parse::<u64>().ok())
             .unwrap_or(0);
+        if let Some(raw) = query_param(request, "node") {
+            let Ok(id) = raw.parse::<usize>() else {
+                return Reply::json(400, "Bad Request", error_body("bad node index"));
+            };
+            let Some(slot) = self.slots.get(id) else {
+                return Reply::json(404, "Not Found", error_body(&format!("no node {id}")));
+            };
+            let Some(obs) = slot.service.observability() else {
+                return Reply::json(404, "Not Found", error_body("observability disabled"));
+            };
+            let log = obs.events();
+            let doc = events_document(&log.since(since), log.last_seq(), log.dropped())
+                .with_str("scope", &slot.name());
+            return Reply::json(200, "OK", doc.render());
+        }
         let events = self.events.since(since);
         let doc = events_document(&events, self.events.last_seq(), self.events.dropped())
             .with_str("scope", "fleet");
+        Reply::json(200, "OK", doc.render())
+    }
+
+    /// `GET /planner` at the fleet level: every node's capacity-planner
+    /// status side by side, plus fleet-wide provisioning totals. 404
+    /// when no node runs a planner.
+    fn planner_reply(&self) -> Reply {
+        let mut nodes = JsonObject::new();
+        let mut configured = 0i64;
+        let mut pool_workers = 0i64;
+        let mut resizes = 0i64;
+        let mut mix_regens = 0i64;
+        for slot in &self.slots {
+            if let Some(status) = slot.service.capacity_status() {
+                configured += 1;
+                pool_workers += status.pool_workers as i64;
+                resizes += status.planner.resizes as i64;
+                mix_regens += status.mix_regens as i64;
+                nodes = nodes.with(&slot.name(), Json::Object(capacity_object(&status)));
+            }
+        }
+        if configured == 0 {
+            return Reply::json(404, "Not Found", error_body("planner disabled"));
+        }
+        let doc = JsonObject::new()
+            .with_str("scope", "fleet")
+            .with_int("epoch", self.epoch() as i64)
+            .with_int("planned_nodes", configured)
+            .with_int("pool_workers", pool_workers)
+            .with_int("resizes", resizes)
+            .with_int("mix_regens", mix_regens)
+            .with("nodes", Json::Object(nodes));
         Reply::json(200, "OK", doc.render())
     }
 
@@ -800,6 +850,7 @@ impl HttpHandler for FrontTier {
             ("GET", "/healthz") | ("HEAD", "/healthz") => self.healthz(),
             ("GET", "/metrics/windows") | ("HEAD", "/metrics/windows") => self.windows(),
             ("GET", "/events") | ("HEAD", "/events") => self.events_reply(request),
+            ("GET", "/planner") | ("HEAD", "/planner") => self.planner_reply(),
             ("GET", "/metrics")
             | ("HEAD", "/metrics")
             | ("GET", "/cluster")
@@ -811,6 +862,7 @@ impl HttpHandler for FrontTier {
             | (_, "/metrics")
             | (_, "/metrics/windows")
             | (_, "/events")
+            | (_, "/planner")
             | (_, "/cluster")
             | (_, "/drain") => Reply::json(
                 405,

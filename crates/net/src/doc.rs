@@ -125,6 +125,44 @@ pub fn fleet_windows_document(nodes: &[(usize, WindowAccum)], uptime_ms: u64) ->
         .with("cumulative", Json::Object(accum_object(&merged)))
 }
 
+/// The `GET /planner` document body: planner forecast state, resize
+/// and regen counters, the tuner's posture, and the human-readable
+/// decision log. Everything here is integer state from the pure
+/// automatons, so a fixed fold sequence renders byte-identically.
+pub fn capacity_object(status: &crate::service::CapacityStatus) -> JsonObject {
+    let mut mix = JsonObject::new();
+    for (tier, share) in &status.planner.regen_mix {
+        mix = mix.with_int(tier, *share as i64);
+    }
+    let log: Vec<Json> = status.log.iter().map(|l| Json::Str(l.clone())).collect();
+    JsonObject::new()
+        .with(
+            "planner",
+            Json::Object(
+                JsonObject::new()
+                    .with_int("rounds", status.planner.rounds as i64)
+                    .with_int("workers", status.planner.workers as i64)
+                    .with_int("busy_ewma_us", status.planner.busy_ewma_us as i64)
+                    .with_int("resizes", status.planner.resizes as i64)
+                    .with_int("regens", status.planner.regens as i64)
+                    .with("regen_mix_permille", Json::Object(mix)),
+            ),
+        )
+        .with(
+            "tuner",
+            Json::Object(
+                JsonObject::new()
+                    .with_int("windows", status.windows as i64)
+                    .with("surging", Json::Bool(status.surging))
+                    .with_int("nudges", status.nudges as i64)
+                    .with_int("batch_slack_permille", status.batch_slack_permille as i64),
+            ),
+        )
+        .with_int("pool_workers", status.pool_workers as i64)
+        .with_int("mix_regens", status.mix_regens as i64)
+        .with("log", Json::Array(log))
+}
+
 fn event_object(event: &Event) -> JsonObject {
     JsonObject::new()
         .with_int("seq", event.seq as i64)

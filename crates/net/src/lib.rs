@@ -57,8 +57,8 @@ pub use http::{
     RequestAssembler, Response,
 };
 pub use loadgen::{
-    post_drain, run_load, CacheFact, DrainAck, DrainedBy, LoadConfig, LoadMode, LoadReport,
-    SlowRequest, TierLoad,
+    post_drain, run_load, ArrivalShape, CacheFact, DrainAck, DrainedBy, LoadConfig, LoadMode,
+    LoadReport, SlowRequest, TierLoad,
 };
 pub use metrics::{admission_object, metrics_document, supervisor_object};
 pub use obs::{tier_key, CacheEvent, ObsConfig, Observability, ServedSample};
@@ -67,8 +67,8 @@ pub use server::{
     PEER_READ_TIMEOUT,
 };
 pub use service::{
-    semantic_key, CacheAdmitTicket, CacheServed, CachedAnswer, ComputeOutcome, ComputeService,
-    OutcomeSink, ResultCache, ServiceConfig, ServiceError, ServiceSnapshot, SupervisorSetup,
-    SupervisorStatus, CACHE_HIT_SIM_LATENCY_US,
+    semantic_key, CacheAdmitTicket, CacheServed, CachedAnswer, CapacityStatus, ComputeOutcome,
+    ComputeService, OutcomeSink, PlannerSetup, ResultCache, ServiceConfig, ServiceError,
+    ServiceSnapshot, SupervisorSetup, SupervisorStatus, CACHE_HIT_SIM_LATENCY_US,
 };
 pub use stats::stats_document;

@@ -44,6 +44,85 @@ pub enum LoadMode {
     },
 }
 
+/// How an open-loop schedule's rate varies over the run. Shapes
+/// modulate the [`LoadMode::Open`] base rate via the seeded
+/// non-homogeneous processes in [`tt_sim::arrivals`]; the schedule
+/// stays response-independent, so tail latency remains free of
+/// coordinated omission under every shape.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArrivalShape {
+    /// Homogeneous Poisson at the base rate.
+    Steady,
+    /// Sinusoidal day/night cycle around the base rate: trough at the
+    /// start of the run, peak half a period in.
+    Diurnal {
+        /// Peak-to-mean swing, in (0, 1].
+        amplitude: f64,
+        /// One full day/night cycle.
+        period: Duration,
+    },
+    /// A flash crowd: the base rate multiplies by `multiplier` inside
+    /// `[start, start + duration)` and reverts after.
+    Flash {
+        /// Rate multiplier during the crowd (≥ 1).
+        multiplier: f64,
+        /// When the crowd arrives, from the start of the run.
+        start: Duration,
+        /// How long the crowd lasts.
+        duration: Duration,
+    },
+}
+
+impl ArrivalShape {
+    /// The phase label a request scheduled at `due` reports under —
+    /// `None` for [`ArrivalShape::Steady`] (one homogeneous phase).
+    /// Flash crowds split pre/during/post; diurnal cycles split into
+    /// quarters (q1 = trough-side ramp, q3 = peak).
+    pub fn phase_of(&self, due: Duration) -> Option<&'static str> {
+        match self {
+            ArrivalShape::Steady => None,
+            ArrivalShape::Diurnal { period, .. } => {
+                let quarter = period.as_secs_f64() / 4.0;
+                match (due.as_secs_f64() / quarter) as u64 % 4 {
+                    0 => Some("q1"),
+                    1 => Some("q2"),
+                    2 => Some("q3"),
+                    _ => Some("q4"),
+                }
+            }
+            ArrivalShape::Flash {
+                start, duration, ..
+            } => {
+                if due < *start {
+                    Some("pre")
+                } else if due < *start + *duration {
+                    Some("during")
+                } else {
+                    Some("post")
+                }
+            }
+        }
+    }
+
+    /// Build the seeded arrival process for this shape around
+    /// `rate_per_sec`.
+    fn process(&self, rate_per_sec: f64, seed: u64) -> Result<ArrivalProcess, String> {
+        use tt_sim::SimDuration;
+        let sim = |d: &Duration| SimDuration::from_micros(d.as_micros() as u64);
+        match self {
+            ArrivalShape::Steady => ArrivalProcess::poisson(rate_per_sec, seed),
+            ArrivalShape::Diurnal { amplitude, period } => {
+                ArrivalProcess::diurnal(rate_per_sec, *amplitude, sim(period), seed)
+            }
+            ArrivalShape::Flash {
+                multiplier,
+                start,
+                duration,
+            } => ArrivalProcess::flash(rate_per_sec, *multiplier, sim(start), sim(duration), seed),
+        }
+    }
+}
+
 /// Load-generation parameters.
 #[derive(Debug, Clone)]
 pub struct LoadConfig {
@@ -51,6 +130,9 @@ pub struct LoadConfig {
     pub requests: usize,
     /// Pacing discipline.
     pub mode: LoadMode,
+    /// Rate shape for the open loop (ignored by the closed loop, which
+    /// has no schedule to shape).
+    pub arrival: ArrivalShape,
     /// Tolerance/objective mix requests are drawn from.
     pub mix: RequestMix,
     /// Payload-index distribution (`--keyspace`): uniform, sequential
@@ -82,6 +164,7 @@ impl LoadConfig {
         LoadConfig {
             requests,
             mode: LoadMode::Closed { concurrency },
+            arrival: ArrivalShape::Steady,
             mix: RequestMix::representative(),
             keyspace: Keyspace::Uniform,
             payloads,
@@ -97,6 +180,7 @@ impl LoadConfig {
         LoadConfig {
             requests,
             mode: LoadMode::Open { rate_per_sec },
+            arrival: ArrivalShape::Steady,
             mix: RequestMix::representative(),
             keyspace: Keyspace::Uniform,
             payloads,
@@ -220,6 +304,13 @@ pub struct LoadReport {
     pub latencies_ms: Vec<f64>,
     /// Per (objective, tolerance-in-tenths-of-percent) tier breakdown.
     pub per_tier: BTreeMap<(String, u32), TierLoad>,
+    /// Per-phase breakdown under a shaped open-loop schedule, keyed by
+    /// the [`ArrivalShape::phase_of`] label (`pre`/`during`/`post` for
+    /// a flash crowd, `q1`–`q4` for a diurnal cycle). Phases are
+    /// assigned from the *scheduled* send time, so queueing during the
+    /// crowd is charged to the crowd's phase. Empty for steady shapes
+    /// and closed loops.
+    pub per_phase: BTreeMap<&'static str, TierLoad>,
     /// The slowest successful requests (worst first, at most
     /// [`SLOWEST_RETAINED`]), with server request IDs for trace
     /// correlation.
@@ -260,6 +351,21 @@ impl LoadReport {
             "strict tier {:?} served a semantic cache hit",
             outcome.tier
         );
+        if let Some(phase) = outcome.phase {
+            let slot = self.per_phase.entry(phase).or_default();
+            match outcome.status {
+                Some(200) => {
+                    slot.ok += 1;
+                    slot.latencies_ms.push(outcome.latency.as_secs_f64() * 1e3);
+                    if outcome.brownout {
+                        slot.browned_out += 1;
+                    }
+                }
+                Some(429) => slot.rejected += 1,
+                Some(503) => slot.shed += 1,
+                _ => {}
+            }
+        }
         let slot = self.per_tier.entry(outcome.tier.clone()).or_default();
         match outcome.cache {
             Some(CacheFact::HitExact) => {
@@ -328,6 +434,8 @@ impl LoadReport {
 /// One request's fate, as the client saw it.
 struct RequestOutcome {
     tier: (String, u32),
+    /// Shaped-schedule phase label, from the scheduled send time.
+    phase: Option<&'static str>,
     status: Option<u16>,
     request_id: Option<u64>,
     trace_id: Option<u64>,
@@ -801,6 +909,7 @@ fn run_closed(
                         }
                         outcomes.push(RequestOutcome {
                             tier: tier_key(request),
+                            phase: None,
                             status: reply.map(|facts| facts.status),
                             request_id: reply.and_then(|facts| facts.request_id),
                             trace_id: reply.and_then(|facts| facts.trace_id),
@@ -835,8 +944,10 @@ fn run_open(
     rate_per_sec: f64,
 ) -> Vec<RequestOutcome> {
     let limits = config.limits;
-    let arrivals = ArrivalProcess::poisson(rate_per_sec, config.seed)
-        .expect("positive rate")
+    let arrivals = config
+        .arrival
+        .process(rate_per_sec, config.seed)
+        .expect("valid arrival shape")
         .take(requests.len());
     let schedule: Vec<(Duration, &ServiceRequest)> = arrivals
         .zip(requests.iter())
@@ -867,6 +978,7 @@ fn run_open(
                         // lands in the report via the status split.
                         outcomes.push(RequestOutcome {
                             tier: tier_key(request),
+                            phase: config.arrival.phase_of(due),
                             status: reply.map(|facts| facts.status),
                             request_id: reply.and_then(|facts| facts.request_id),
                             trace_id: reply.and_then(|facts| facts.trace_id),
@@ -922,6 +1034,7 @@ mod tests {
         ] {
             report.absorb(&RequestOutcome {
                 tier: ("cost".to_string(), 50),
+                phase: None,
                 status,
                 request_id: id,
                 trace_id: id,
@@ -985,6 +1098,7 @@ mod tests {
         for i in 0..40u64 {
             report.absorb(&RequestOutcome {
                 tier: ("cost".to_string(), 0),
+                phase: None,
                 status: Some(200),
                 request_id: Some(i),
                 trace_id: Some(i),
@@ -1019,6 +1133,7 @@ mod tests {
     fn cached_outcome(tier: (String, u32), cache: Option<CacheFact>) -> RequestOutcome {
         RequestOutcome {
             tier,
+            phase: None,
             status: Some(200),
             request_id: None,
             trace_id: None,
@@ -1075,6 +1190,64 @@ mod tests {
             Some(CacheFact::HitExact),
         ));
         assert_eq!(report.cache_hits, 1);
+    }
+
+    #[test]
+    fn arrival_shapes_classify_phases_from_scheduled_time() {
+        let flash = ArrivalShape::Flash {
+            multiplier: 5.0,
+            start: Duration::from_secs(2),
+            duration: Duration::from_secs(3),
+        };
+        assert_eq!(flash.phase_of(Duration::from_secs(1)), Some("pre"));
+        assert_eq!(flash.phase_of(Duration::from_secs(2)), Some("during"));
+        assert_eq!(flash.phase_of(Duration::from_millis(4_999)), Some("during"));
+        assert_eq!(flash.phase_of(Duration::from_secs(5)), Some("post"));
+
+        let diurnal = ArrivalShape::Diurnal {
+            amplitude: 0.8,
+            period: Duration::from_secs(8),
+        };
+        assert_eq!(diurnal.phase_of(Duration::from_secs(1)), Some("q1"));
+        assert_eq!(diurnal.phase_of(Duration::from_secs(3)), Some("q2"));
+        assert_eq!(diurnal.phase_of(Duration::from_secs(5)), Some("q3"));
+        assert_eq!(diurnal.phase_of(Duration::from_secs(7)), Some("q4"));
+        // A second cycle wraps back around.
+        assert_eq!(diurnal.phase_of(Duration::from_secs(9)), Some("q1"));
+
+        assert_eq!(ArrivalShape::Steady.phase_of(Duration::ZERO), None);
+    }
+
+    #[test]
+    fn shaped_outcomes_fold_into_phase_slots() {
+        let mut report = LoadReport::default();
+        for (phase, status, ms) in [
+            (Some("pre"), Some(200), 4.0),
+            (Some("during"), Some(200), 40.0),
+            (Some("during"), Some(429), 0.0),
+            (Some("during"), Some(503), 0.0),
+            (Some("post"), Some(200), 6.0),
+        ] {
+            report.absorb(&RequestOutcome {
+                tier: ("cost".to_string(), 50),
+                phase,
+                status,
+                request_id: None,
+                trace_id: None,
+                latency: Duration::from_secs_f64(ms / 1e3),
+                brownout: false,
+                wire_fault: false,
+                retry_waited: false,
+                served_by: None,
+                cache: None,
+            });
+        }
+        assert_eq!(report.per_phase.len(), 3);
+        assert_eq!(report.per_phase["pre"].ok, 1);
+        let during = &report.per_phase["during"];
+        assert_eq!((during.ok, during.rejected, during.shed), (1, 1, 1));
+        assert_eq!(during.latency_ms(0.5), Some(40.0));
+        assert_eq!(report.per_phase["post"].latency_ms(0.5), Some(6.0));
     }
 
     #[test]

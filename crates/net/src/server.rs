@@ -26,7 +26,7 @@
 //! idle polls tick the sliding SLO window.
 
 use crate::admission::{AdmissionController, AdmissionDecision, BrownoutLevel};
-use crate::doc::{events_document, windows_document};
+use crate::doc::{capacity_object, events_document, windows_document};
 use crate::http::{
     read_request, write_response, write_response_with, Limits, Request, RULES_EPOCH_HEADER,
     TRACE_ID_HEADER,
@@ -646,6 +646,7 @@ pub(crate) fn route(service: &ComputeService, shutdown: &AtomicBool, request: &R
         ("GET", "/metrics") | ("HEAD", "/metrics") => metrics(service),
         ("GET", "/metrics/windows") | ("HEAD", "/metrics/windows") => windows(service, request),
         ("GET", "/events") | ("HEAD", "/events") => events(service, request),
+        ("GET", "/planner") | ("HEAD", "/planner") => planner(service),
         ("GET", "/trace/recent") | ("HEAD", "/trace/recent") => trace_recent(service),
         ("GET", path) | ("HEAD", path) if path.strip_prefix("/trace/").is_some() => {
             trace_by_id(service, path)
@@ -682,6 +683,7 @@ pub(crate) fn route(service: &ComputeService, shutdown: &AtomicBool, request: &R
         | (_, "/metrics")
         | (_, "/metrics/windows")
         | (_, "/events")
+        | (_, "/planner")
         | (_, "/trace/recent")
         | (_, "/drain") => Reply::json(
             405,
@@ -798,19 +800,53 @@ pub(crate) fn query_param<'a>(request: &'a Request, name: &str) -> Option<&'a st
 
 /// `GET /metrics/windows?n=K`: the sealed telemetry-window ring plus
 /// the cumulative fold — the capacity planner's input contract.
+///
+/// `n` must be a non-negative integer when present; anything else is a
+/// 400 naming the offending value. Values beyond the ring's retention
+/// capacity clamp silently — the ring can never answer with more.
 fn windows(service: &ComputeService, request: &Request) -> Reply {
     let Some(obs) = service.observability() else {
         return Reply::json(404, "Not Found", error_body("observability disabled"));
     };
-    let limit = query_param(request, "n")
-        .and_then(|v| v.parse::<usize>().ok())
-        .unwrap_or(8);
+    let capacity = obs.windows().capacity();
+    let limit = match query_param(request, "n") {
+        None => 8.min(capacity),
+        Some(raw) => match raw.parse::<usize>() {
+            Ok(n) => n.min(capacity),
+            Err(_) => {
+                return Reply::json(
+                    400,
+                    "Bad Request",
+                    error_body(&format!(
+                        "query parameter n must be a non-negative integer, got {raw:?}"
+                    )),
+                );
+            }
+        },
+    };
     let uptime_ms = service.started().elapsed().as_millis() as u64;
     Reply::json(
         200,
         "OK",
         windows_document(obs.windows(), limit, uptime_ms)
             .with_int("node", service.node_id() as i64)
+            .render(),
+    )
+}
+
+/// `GET /planner`: the capacity planner's live status — forecast
+/// state, resize/regen counters, tuner posture, and the recent
+/// decision log. 404 when no planner is configured.
+fn planner(service: &ComputeService) -> Reply {
+    let Some(status) = service.capacity_status() else {
+        return Reply::json(404, "Not Found", error_body("planner disabled"));
+    };
+    Reply::json(
+        200,
+        "OK",
+        capacity_object(&status)
+            .with_int("node", service.node_id() as i64)
+            .with_int("rules_epoch", service.rules_epoch() as i64)
             .render(),
     )
 }
@@ -1684,6 +1720,82 @@ mod tests {
         let reply = route(&service, &flag, &req("POST", "/drain", &[], b""));
         assert_eq!(reply.status, 202);
         assert!(flag.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn windows_n_param_is_validated_and_clamped() {
+        let service = svc();
+        let off = AtomicBool::new(false);
+
+        // Non-numeric n is a named 400, not a silent default.
+        for bad in ["abc", "-3", "1.5", ""] {
+            let reply = route(
+                &service,
+                &off,
+                &req("GET", &format!("/metrics/windows?n={bad}"), &[], b""),
+            );
+            assert_eq!(reply.status, 400, "n={bad:?}");
+            assert!(
+                reply.body.contains("query parameter n"),
+                "{} for n={bad:?}",
+                reply.body
+            );
+        }
+
+        // Numeric n clamps to the ring capacity instead of failing.
+        let capacity = service.observability().unwrap().windows().capacity();
+        let huge = route(
+            &service,
+            &off,
+            &req("GET", "/metrics/windows?n=999999999", &[], b""),
+        );
+        assert_eq!(huge.status, 200);
+        let plain = route(
+            &service,
+            &off,
+            &req("GET", &format!("/metrics/windows?n={capacity}"), &[], b""),
+        );
+        // Same ring state, clamped limit: identical window list.
+        assert_eq!(huge.body, plain.body);
+        assert_eq!(
+            route(
+                &service,
+                &off,
+                &req("GET", "/metrics/windows?n=0", &[], b"")
+            )
+            .status,
+            200
+        );
+    }
+
+    #[test]
+    fn planner_endpoint_is_404_without_a_planner_and_live_with_one() {
+        let off = AtomicBool::new(false);
+
+        let bare = svc();
+        assert_eq!(
+            route(&bare, &off, &req("GET", "/planner", &[], b"")).status,
+            404
+        );
+        assert_eq!(
+            route(&bare, &off, &req("POST", "/planner", &[], b"")).status,
+            405
+        );
+
+        let planned = Arc::new(demo_service(
+            60,
+            9,
+            ServiceConfig {
+                planner: Some(crate::service::PlannerSetup::defaults()),
+                ..ServiceConfig::defaults()
+            },
+        ));
+        let reply = route(&planned, &off, &req("GET", "/planner", &[], b""));
+        assert_eq!(reply.status, 200);
+        assert!(reply.body.contains("\"planner\""));
+        assert!(reply.body.contains("\"tuner\""));
+        assert!(reply.body.contains("\"pool_workers\""));
+        assert!(reply.body.contains("\"rules_epoch\""));
     }
 
     #[test]

@@ -34,6 +34,10 @@ use tt_obs::TraceHandle;
 use tt_serve::billing::{BillingReport, TierEconomics, TierPriceSchedule};
 use tt_serve::frontend::TieredFrontend;
 use tt_serve::live::{ModelCall, WorkerPool};
+use tt_serve::planner::{
+    Planner, PlannerAction, PlannerConfig, PlannerInput, PlannerStatus, ServiceTotals, Tuner,
+    TunerConfig,
+};
 use tt_serve::resilience::{BreakerPolicy, CircuitBreaker, ResilienceStats, RetryPolicy};
 use tt_serve::supervisor::{
     Supervisor, SupervisorAction, SupervisorConfig, VersionWindow, WindowObservation,
@@ -162,6 +166,12 @@ pub struct ServiceConfig {
     /// The self-healing rule supervisor; `None` disables closed-loop
     /// quarantine / rule-swap / rollback.
     pub supervisor: Option<SupervisorSetup>,
+    /// Continuous capacity planning: the low-frequency planner
+    /// (forecast-driven pool resizes, forecast-mix rule regeneration)
+    /// plus the high-frequency tuner (admission/batching nudges).
+    /// `None` leaves provisioning static. Requires observability —
+    /// the planner consumes the windowed telemetry fold.
+    pub planner: Option<PlannerSetup>,
     /// This service's node id within a fleet (`0` for a standalone
     /// server). Stamped into the `/drain` acknowledgement, stale-epoch
     /// rejections, and metrics so operators can tell replicas apart.
@@ -197,6 +207,7 @@ impl ServiceConfig {
             obs: ObsConfig::defaults(),
             admission: AdmissionConfig::defaults(),
             supervisor: Some(SupervisorSetup::defaults()),
+            planner: None,
             node_id: 0,
             batch: BatchConfig::defaults(),
             cache: None,
@@ -232,6 +243,73 @@ impl SupervisorSetup {
             rulegen_threads: 0,
         }
     }
+}
+
+/// How the service runs the continuous capacity planner: the two
+/// automatons' knobs plus the rule-regeneration parameters a
+/// forecast-mix regen uses.
+#[derive(Debug, Clone)]
+pub struct PlannerSetup {
+    /// The low-frequency planner's forecast model and resize policy.
+    /// Its `window_us` must match the observability telemetry window
+    /// for the demand arithmetic to be calibrated.
+    pub planner: PlannerConfig,
+    /// The high-frequency tuner's surge thresholds and nudges.
+    pub tuner: TunerConfig,
+    /// Confidence handed to the rule generator on a forecast-mix
+    /// regen.
+    pub rulegen_confidence: f64,
+    /// Worker threads for forecast-mix regeneration (`0` = one per
+    /// hardware thread).
+    pub rulegen_threads: usize,
+}
+
+impl PlannerSetup {
+    /// Defaults matching [`ObsConfig::defaults`]'s 250 ms telemetry
+    /// window: plan every 4 windows, 70% target utilization, tuner
+    /// surge at 2× the smoothed arrival rate.
+    pub fn defaults() -> Self {
+        PlannerSetup {
+            planner: PlannerConfig::defaults(),
+            tuner: TunerConfig::defaults(),
+            rulegen_confidence: 0.95,
+            rulegen_threads: 0,
+        }
+    }
+}
+
+/// Mutable capacity-planning state behind one lock: the two automatons,
+/// the window counter pacing the planner's cadence, and the decision
+/// log.
+struct PlannerRuntime {
+    planner: Planner,
+    tuner: Tuner,
+    setup: PlannerSetup,
+    windows: u64,
+    log: Vec<String>,
+}
+
+/// Live capacity-planner facts for `/planner` and tests; `None` when
+/// planning is disabled.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CapacityStatus {
+    /// The planner automaton's snapshot.
+    pub planner: PlannerStatus,
+    /// Telemetry windows the tuner has closed.
+    pub windows: u64,
+    /// Whether the tuner currently judges traffic surging.
+    pub surging: bool,
+    /// Surge onsets the tuner has absorbed.
+    pub nudges: u64,
+    /// The batch formation-deadline scale currently installed,
+    /// per-mille.
+    pub batch_slack_permille: u32,
+    /// Workers the pool currently provisions.
+    pub pool_workers: usize,
+    /// Forecast-mix rule regenerations executed.
+    pub mix_regens: u64,
+    /// Human-readable decision log, oldest first.
+    pub log: Vec<String>,
 }
 
 /// Why a request could not be answered.
@@ -554,6 +632,14 @@ pub struct ComputeService {
     admission: Arc<AdmissionController>,
     health: Arc<VersionHealth>,
     supervisor: Option<Mutex<SupervisorRuntime>>,
+    /// Continuous capacity planning, when `config.planner` is set and
+    /// observability is on (the planner reads the telemetry fold).
+    capacity: Option<Mutex<PlannerRuntime>>,
+    /// The tuner's batch formation-deadline scale, per-mille of the
+    /// configured deadline; read per-request on the batched path.
+    batch_slack_permille: AtomicU32,
+    /// Forecast-mix rule regenerations executed by the planner.
+    mix_regens: AtomicU64,
     rules_revision: AtomicU64,
     /// Fleet-wide rules-epoch stamp this node last adopted. Standalone
     /// servers track `rules_revision`; fleet nodes are set by the
@@ -647,8 +733,24 @@ impl ComputeService {
                 log: Vec::new(),
             })
         });
+        let capacity = config
+            .planner
+            .clone()
+            .filter(|_| obs.is_some())
+            .map(|setup| {
+                Mutex::new(PlannerRuntime {
+                    planner: Planner::new(setup.planner.clone(), config.model_workers.max(1)),
+                    tuner: Tuner::new(setup.tuner.clone()),
+                    setup,
+                    windows: 0,
+                    log: Vec::new(),
+                })
+            });
         ComputeService {
             pool: WorkerPool::new(config.model_workers.max(1)),
+            capacity,
+            batch_slack_permille: AtomicU32::new(1000),
+            mix_regens: AtomicU64::new(0),
             breakers: Arc::new(Mutex::new(breakers)),
             faults: config.faults.clone().map(|p| Arc::new(Mutex::new(p))),
             stats: Arc::new(Mutex::new(ResilienceStats::default())),
@@ -1572,10 +1674,13 @@ impl ComputeService {
         done: OutcomeSink,
     ) {
         let eligible = self.batcher.is_some() && self.faults.is_none();
-        let deadline_in = self
-            .config
-            .batch
-            .formation_deadline(request.tolerance.value());
+        // The tuner's surge knob scales formation deadlines down so
+        // tolerant requests stop waiting for batchmates while the
+        // system is under pressure.
+        let deadline_in = self.config.batch.formation_deadline_scaled(
+            request.tolerance.value(),
+            self.batch_slack_permille.load(Ordering::SeqCst),
+        );
         let (Some(batcher), Some(deadline_in), true) = (&self.batcher, deadline_in, eligible)
         else {
             return done(self.execute_shaped(request, brownout, trace));
@@ -1693,10 +1798,11 @@ impl ComputeService {
             .decide(request.objective, request.tolerance.value())
     }
 
-    /// Close one sentinel window for both control loops: the AIMD
-    /// limit update and one supervisor judgement. The server's accept
-    /// loop calls this when the sentinel window rolls; deterministic
-    /// tests drive it directly.
+    /// Close one sentinel window for every control loop: the AIMD
+    /// limit update, one supervisor judgement, the capacity tuner,
+    /// and — every `windows_per_round` windows — one planning round.
+    /// The server's accept loop calls this when the sentinel window
+    /// rolls; deterministic tests drive it directly.
     pub fn on_window(&self) {
         let before = self.admission.limit();
         self.admission.on_window_tick();
@@ -1707,6 +1813,7 @@ impl ComputeService {
             }
         }
         self.supervise();
+        self.plan_window();
     }
 
     /// Feed the supervisor one window of evidence and execute whatever
@@ -1752,6 +1859,162 @@ impl ComputeService {
             }
             SupervisorAction::Rollback { version } => self.execute_rollback(&mut rt, version),
         }
+    }
+
+    /// Feed both capacity automatons. The tuner closes every window;
+    /// the planner closes one round every `windows_per_round` windows.
+    /// Both consume the *cumulative* telemetry fold, so their decision
+    /// sequences are a pure function of the observed totals — see
+    /// [`tt_serve::planner`].
+    fn plan_window(&self) {
+        let (Some(runtime), Some(obs)) = (&self.capacity, &self.obs) else {
+            return;
+        };
+        let fold = obs.windows().cumulative();
+        let mut rt = runtime.lock();
+        rt.windows += 1;
+
+        // High-frequency loop: the tuner absorbs what the planner is
+        // too slow for.
+        let arrivals: u64 = fold.tiers.values().map(|t| t.arrivals).sum();
+        let decision = rt.tuner.observe(arrivals, self.admission.limit());
+        if let Some(limit) = decision.admission_limit {
+            let installed = self.admission.set_limit(limit);
+            let line = format!("surge: admission limit boosted to {installed}");
+            obs.event("tuner_limit", line.clone());
+            rt.log.push(line);
+        }
+        if let Some(slack) = decision.batch_slack_permille {
+            self.batch_slack_permille.store(slack, Ordering::SeqCst);
+            let line = format!("batch formation slack -> {slack} permille");
+            obs.event("tuner_batch", line.clone());
+            rt.log.push(line);
+        }
+
+        // Low-frequency loop: one planning round per cadence.
+        if rt.windows % rt.planner.config().windows_per_round != 0 {
+            return;
+        }
+        let input = Self::planner_input(&fold);
+        let actions = rt.planner.observe(&input);
+        for action in actions {
+            match action {
+                PlannerAction::Forecast {
+                    busy_us,
+                    mean_service_us,
+                    demand_workers,
+                } => {
+                    obs.event(
+                        "planner_forecast",
+                        format!(
+                            "busy {busy_us}us/round at mean {mean_service_us}us \
+                             -> demand {demand_workers} workers"
+                        ),
+                    );
+                }
+                PlannerAction::Resize { from, to } => {
+                    self.pool.resize(to);
+                    let line = format!("workers {from} -> {to}");
+                    obs.event("planner_resize", line.clone());
+                    rt.log.push(line);
+                }
+                PlannerAction::Regen { mix, seed } => {
+                    let rendered: Vec<String> =
+                        mix.iter().map(|(t, p)| format!("{t}={p}")).collect();
+                    let line = format!("forecast mix shift [{}]", rendered.join(" "));
+                    if self.execute_forecast_regen(&rt.setup, &mix, seed) {
+                        self.mix_regens.fetch_add(1, Ordering::SeqCst);
+                        obs.event("planner_regen", line.clone());
+                        rt.log.push(line);
+                    } else {
+                        obs.event("planner_regen_failed", line);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Adapt the telemetry fold into the planner's input contract:
+    /// cumulative per-tier arrivals and per-version service totals.
+    fn planner_input(fold: &tt_obs::WindowAccum) -> PlannerInput {
+        PlannerInput {
+            arrivals: fold
+                .tiers
+                .iter()
+                .map(|(tier, w)| (tier.clone(), w.arrivals))
+                .collect(),
+            service: fold
+                .versions
+                .iter()
+                .map(|(&v, hist)| {
+                    (
+                        v,
+                        ServiceTotals {
+                            count: hist.count(),
+                            sum_us: hist.sum(),
+                        },
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    /// Execute a forecast-mix regen: re-run the threaded rule
+    /// generator — with the planner's seed, over the non-quarantined
+    /// versions — for every objective present in the forecast mix,
+    /// and publish through the same install path supervisor swaps
+    /// use (epoch bump, cache purge, observability rebind). Each
+    /// objective's deployed tier *set* is preserved, so billing stays
+    /// independent of when a regen lands; what changes is the
+    /// tolerance→policy mapping, re-derived for the traffic the
+    /// forecast expects. Returns false when regeneration fails (the
+    /// service keeps serving on the unchanged rules).
+    fn execute_forecast_regen(
+        &self,
+        setup: &PlannerSetup,
+        mix: &BTreeMap<String, u64>,
+        seed: u64,
+    ) -> bool {
+        let excluded: Vec<usize> = self
+            .supervisor
+            .as_ref()
+            .map(|rt| rt.lock().automaton.quarantined().collect())
+            .unwrap_or_default();
+        let current: Vec<RoutingRules> = {
+            let fe = self.frontend.read();
+            let mut rules: Vec<RoutingRules> = fe.rules().cloned().collect();
+            rules.sort_by_key(|r| r.objective().to_string());
+            rules
+        };
+        let Ok((sub, map)) = self.matrix.without_versions(&excluded) else {
+            return false;
+        };
+        let Ok(generator) = RoutingRuleGenerator::with_defaults_threaded(
+            &sub,
+            setup.rulegen_confidence,
+            seed,
+            setup.rulegen_threads,
+        ) else {
+            return false;
+        };
+        let mut out = Vec::with_capacity(current.len());
+        for rules in current {
+            let objective_prefix = format!("{}/", rules.objective());
+            let in_forecast = mix.keys().any(|tier| tier.starts_with(&objective_prefix));
+            if !in_forecast {
+                // No forecast traffic for this objective: keep its
+                // rules as deployed.
+                out.push(rules);
+                continue;
+            }
+            let tolerances: Vec<f64> = rules.tiers().iter().map(|&(t, _)| t).collect();
+            match generator.generate(&tolerances, rules.objective()) {
+                Ok(fresh) => out.push(fresh.map_versions(&map)),
+                Err(_) => return false,
+            }
+        }
+        self.install(TieredFrontend::new(out));
+        true
     }
 
     /// Execute a quarantine decision: regenerate routing rules over
@@ -1912,6 +2175,29 @@ impl ComputeService {
             windows_observed: rt.automaton.windows_observed(),
             log: rt.log.clone(),
         })
+    }
+
+    /// Capacity-planner state for `/planner` and tests; `None` when
+    /// planning is disabled.
+    pub fn capacity_status(&self) -> Option<CapacityStatus> {
+        let runtime = self.capacity.as_ref()?;
+        let rt = runtime.lock();
+        Some(CapacityStatus {
+            planner: rt.planner.status(),
+            windows: rt.windows,
+            surging: rt.tuner.surging(),
+            nudges: rt.tuner.nudges(),
+            batch_slack_permille: self.batch_slack_permille.load(Ordering::SeqCst),
+            pool_workers: self.pool.workers(),
+            mix_regens: self.mix_regens.load(Ordering::SeqCst),
+            log: rt.log.clone(),
+        })
+    }
+
+    /// Workers the model-execution pool currently provisions (the
+    /// planner live-resizes this).
+    pub fn pool_workers(&self) -> usize {
+        self.pool.workers()
     }
 
     /// Requests answered so far.
@@ -2384,5 +2670,173 @@ mod tests {
         let req = ServiceRequest::new(0, Tolerance::ZERO, Objective::ResponseTime);
         assert_eq!(svc.execute(&req), Err(ServiceError::Unavailable));
         assert_eq!(svc.snapshot().resilience.dropped_requests, 1);
+    }
+
+    fn planner_setup() -> PlannerSetup {
+        let mut setup = PlannerSetup::defaults();
+        // One planning round per window with a tight window, so the
+        // tests can drive rounds directly.
+        setup.planner.window_us = 10_000;
+        setup.planner.windows_per_round = 1;
+        setup.planner.shrink_patience = 2;
+        setup
+    }
+
+    #[test]
+    fn planner_grows_the_pool_under_demand_and_logs_typed_events() {
+        let svc = service(ServiceConfig {
+            planner: Some(planner_setup()),
+            ..ServiceConfig::defaults()
+        });
+        assert_eq!(svc.pool_workers(), 4);
+        let obs = Arc::clone(svc.observability().unwrap());
+        // One heavy round: 40 arrivals at ~8ms mean service in a 10ms
+        // round at 70% utilization demands far more than 4 workers.
+        for i in 0..40 {
+            obs.record_arrival(Objective::Cost, 0.05);
+            let req = ServiceRequest::new(i, Tolerance::new(0.05).unwrap(), Objective::Cost);
+            svc.execute(&req).unwrap();
+        }
+        svc.on_window();
+        let status = svc.capacity_status().expect("planner enabled");
+        assert!(status.planner.rounds >= 1);
+        assert!(
+            svc.pool_workers() > 4,
+            "demand must grow the pool: {} workers",
+            svc.pool_workers()
+        );
+        let kinds: Vec<&str> = obs.events().since(0).iter().map(|e| e.kind).collect();
+        assert!(kinds.contains(&"planner_forecast"), "{kinds:?}");
+        assert!(kinds.contains(&"planner_resize"), "{kinds:?}");
+        assert!(kinds.contains(&"planner_regen"), "{kinds:?}");
+        assert!(status.mix_regens >= 1);
+        assert!(!status.log.is_empty());
+    }
+
+    #[test]
+    fn planner_shrinks_after_the_trough_persists() {
+        let svc = service(ServiceConfig {
+            planner: Some(planner_setup()),
+            ..ServiceConfig::defaults()
+        });
+        let obs = Arc::clone(svc.observability().unwrap());
+        for i in 0..40 {
+            obs.record_arrival(Objective::Cost, 0.05);
+            let req = ServiceRequest::new(i, Tolerance::new(0.05).unwrap(), Objective::Cost);
+            svc.execute(&req).unwrap();
+        }
+        svc.on_window();
+        let peak = svc.pool_workers();
+        assert!(peak > 4);
+        // Idle rounds: the demand EWMA decays and, after the patience
+        // streak, the planner releases the capacity.
+        for _ in 0..12 {
+            svc.on_window();
+        }
+        assert!(
+            svc.pool_workers() < peak,
+            "trough must shrink the pool: {} vs peak {peak}",
+            svc.pool_workers()
+        );
+    }
+
+    #[test]
+    fn tuner_boosts_admission_on_a_surge_window() {
+        let mut setup = planner_setup();
+        // Keep the planner quiet so only the tuner acts.
+        setup.planner.windows_per_round = 1000;
+        let svc = service(ServiceConfig {
+            planner: Some(setup),
+            ..ServiceConfig::defaults()
+        });
+        let obs = Arc::clone(svc.observability().unwrap());
+        // Steady warmup windows.
+        let mut tol = 0.05;
+        for _ in 0..4 {
+            for _ in 0..10 {
+                obs.record_arrival(Objective::Cost, tol);
+            }
+            svc.on_window();
+        }
+        let limit_before = svc.admission().limit();
+        // 6× surge in one window.
+        tol = 0.05;
+        for _ in 0..60 {
+            obs.record_arrival(Objective::Cost, tol);
+        }
+        svc.on_window();
+        let status = svc.capacity_status().unwrap();
+        assert!(status.surging, "tuner must flag the surge");
+        assert_eq!(status.nudges, 1);
+        assert!(
+            svc.admission().limit() > limit_before,
+            "surge must boost the limit: {} -> {}",
+            limit_before,
+            svc.admission().limit()
+        );
+        assert_eq!(status.batch_slack_permille, 250);
+        let kinds: Vec<&str> = obs.events().since(0).iter().map(|e| e.kind).collect();
+        assert!(kinds.contains(&"tuner_limit"), "{kinds:?}");
+        assert!(kinds.contains(&"tuner_batch"), "{kinds:?}");
+        // Calm windows revert the batch slack.
+        for _ in 0..8 {
+            for _ in 0..10 {
+                obs.record_arrival(Objective::Cost, tol);
+            }
+            svc.on_window();
+        }
+        let status = svc.capacity_status().unwrap();
+        assert!(!status.surging);
+        assert_eq!(status.batch_slack_permille, 1000);
+    }
+
+    #[test]
+    fn forecast_regen_preserves_tier_sets_and_bumps_the_epoch() {
+        let svc = service(ServiceConfig {
+            planner: Some(planner_setup()),
+            ..ServiceConfig::defaults()
+        });
+        let obs = Arc::clone(svc.observability().unwrap());
+        let tiers_before: Vec<Vec<u32>> = {
+            let fe = svc.frontend();
+            let mut sets: Vec<Vec<u32>> = fe
+                .rules()
+                .map(|r| {
+                    r.tiers()
+                        .iter()
+                        .map(|&(t, _)| (t * 1000.0).round() as u32)
+                        .collect()
+                })
+                .collect();
+            sets.sort();
+            sets
+        };
+        let epoch_before = svc.rules_epoch();
+        for i in 0..40 {
+            obs.record_arrival(Objective::Cost, 0.05);
+            let req = ServiceRequest::new(i, Tolerance::new(0.05).unwrap(), Objective::Cost);
+            svc.execute(&req).unwrap();
+        }
+        svc.on_window();
+        assert!(svc.capacity_status().unwrap().mix_regens >= 1);
+        assert!(svc.rules_epoch() > epoch_before, "regen publishes an epoch");
+        let tiers_after: Vec<Vec<u32>> = {
+            let fe = svc.frontend();
+            let mut sets: Vec<Vec<u32>> = fe
+                .rules()
+                .map(|r| {
+                    r.tiers()
+                        .iter()
+                        .map(|&(t, _)| (t * 1000.0).round() as u32)
+                        .collect()
+                })
+                .collect();
+            sets.sort();
+            sets
+        };
+        assert_eq!(
+            tiers_before, tiers_after,
+            "forecast regen must preserve deployed tier sets"
+        );
     }
 }

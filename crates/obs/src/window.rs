@@ -190,6 +190,11 @@ impl WindowStore {
         self.window_us
     }
 
+    /// The maximum number of sealed windows the ring retains.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
     /// Count a request arriving for `tier` (pre-admission).
     pub fn record_arrival(&self, tier: &str) {
         self.record_tier(tier, |t| t.arrivals += 1);

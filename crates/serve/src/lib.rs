@@ -17,7 +17,11 @@
 //!   the cluster reports about them.
 //! * [`live`] — a real thread-pool executor (crossbeam channels) for
 //!   running actual model code behind the same tiered API, used by the
-//!   examples.
+//!   examples; live-resizable with drain-before-reap semantics.
+//! * [`planner`] — continuous capacity planning: a low-frequency
+//!   forecast-driven planner (pool resizes, forecast-mix rule regen)
+//!   plus a high-frequency tuner (admission/batching nudges), both
+//!   pure deterministic automatons.
 //!
 //! # Examples
 //!
@@ -36,6 +40,7 @@ pub mod billing;
 pub mod cluster;
 pub mod frontend;
 pub mod live;
+pub mod planner;
 pub mod pricing;
 pub mod resilience;
 pub mod supervisor;
@@ -44,6 +49,10 @@ pub mod trace;
 pub use billing::{BillingReport, TierPriceSchedule};
 pub use cluster::{ClusterConfig, ClusterSim, ServingReport};
 pub use frontend::{parse_annotations, AnnotationError, TieredFrontend};
+pub use planner::{
+    Planner, PlannerAction, PlannerConfig, PlannerInput, PlannerStatus, ServiceTotals, Tuner,
+    TunerConfig, TunerDecision,
+};
 pub use pricing::PricingCatalog;
 pub use resilience::{
     BreakerPolicy, BreakerState, CircuitBreaker, ResilienceConfig, ResilienceStats, RetryPolicy,

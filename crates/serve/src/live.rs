@@ -33,40 +33,85 @@ use std::time::{Duration, Instant};
 /// `Condvar`.)
 #[derive(Debug)]
 struct Permits {
-    available: std::sync::Mutex<usize>,
+    state: std::sync::Mutex<PermitState>,
     freed: std::sync::Condvar,
+}
+
+/// `available` counts free permits; `deficit` counts permits scheduled
+/// for removal that are currently held by running calls. A shrink never
+/// waits for in-flight work: it takes what is free immediately and
+/// books the remainder as deficit, which future releases pay down
+/// before any permit becomes available again.
+#[derive(Debug)]
+struct PermitState {
+    available: usize,
+    deficit: usize,
 }
 
 impl Permits {
     fn new(count: usize) -> Self {
         Permits {
-            available: std::sync::Mutex::new(count),
+            state: std::sync::Mutex::new(PermitState {
+                available: count,
+                deficit: 0,
+            }),
             freed: std::sync::Condvar::new(),
         }
     }
 
     fn acquire(&self) {
-        let mut n = self
-            .available
+        let mut s = self
+            .state
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
-        while *n == 0 {
-            n = self
+        while s.available == 0 {
+            s = self
                 .freed
-                .wait(n)
+                .wait(s)
                 .unwrap_or_else(std::sync::PoisonError::into_inner);
         }
-        *n -= 1;
+        s.available -= 1;
     }
 
     fn release(&self) {
-        let mut n = self
-            .available
+        let mut s = self
+            .state
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
-        *n += 1;
-        drop(n);
+        if s.deficit > 0 {
+            s.deficit -= 1;
+            return;
+        }
+        s.available += 1;
+        drop(s);
         self.freed.notify_one();
+    }
+
+    /// Grow capacity by `count` permits (paying down any deficit
+    /// first).
+    fn add(&self, count: usize) {
+        let mut s = self
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let paid = count.min(s.deficit);
+        s.deficit -= paid;
+        s.available += count - paid;
+        drop(s);
+        self.freed.notify_all();
+    }
+
+    /// Shrink capacity by `count` permits without waiting for running
+    /// calls: free permits are removed immediately, the remainder is
+    /// booked as deficit and absorbed by future releases.
+    fn remove(&self, count: usize) {
+        let mut s = self
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let taken = count.min(s.available);
+        s.available -= taken;
+        s.deficit += count - taken;
     }
 }
 
@@ -95,8 +140,15 @@ enum Job<T> {
 #[derive(Debug)]
 pub struct WorkerPool<T: Send + 'static> {
     tx: Sender<Job<T>>,
+    /// Retained so [`WorkerPool::resize`] can hand new workers the
+    /// same MPMC job stream.
+    rx: Receiver<Job<T>>,
     workers: Mutex<Vec<JoinHandle<()>>>,
     permits: Arc<Permits>,
+    /// The provisioned worker count (the resize target). Workers being
+    /// drained out by a shrink are no longer counted even while they
+    /// finish their in-flight call.
+    provisioned: std::sync::atomic::AtomicUsize,
 }
 
 impl<T: Send + 'static> WorkerPool<T> {
@@ -110,36 +162,88 @@ impl<T: Send + 'static> WorkerPool<T> {
         let (tx, rx) = unbounded::<Job<T>>();
         let permits = Arc::new(Permits::new(workers));
         let handles = (0..workers)
-            .map(|_| {
-                let rx: Receiver<Job<T>> = rx.clone();
-                let permits = Arc::clone(&permits);
-                std::thread::spawn(move || {
-                    while let Ok(job) = rx.recv() {
-                        match job {
-                            Job::Run {
-                                call,
-                                cancelled,
-                                reply,
-                            } => {
-                                if cancelled.load(Ordering::Relaxed) {
-                                    continue; // cancelled while queued
-                                }
-                                permits.acquire();
-                                let out = call();
-                                permits.release();
-                                let _ = reply.send(out);
-                            }
-                            Job::Shutdown => break,
-                        }
-                    }
-                })
-            })
+            .map(|_| Self::spawn_worker(&rx, &permits))
             .collect();
         WorkerPool {
             tx,
+            rx,
             workers: Mutex::new(handles),
             permits,
+            provisioned: std::sync::atomic::AtomicUsize::new(workers),
         }
+    }
+
+    fn spawn_worker(rx: &Receiver<Job<T>>, permits: &Arc<Permits>) -> JoinHandle<()> {
+        let rx: Receiver<Job<T>> = rx.clone();
+        let permits = Arc::clone(permits);
+        std::thread::spawn(move || {
+            while let Ok(job) = rx.recv() {
+                match job {
+                    Job::Run {
+                        call,
+                        cancelled,
+                        reply,
+                    } => {
+                        if cancelled.load(Ordering::Relaxed) {
+                            continue; // cancelled while queued
+                        }
+                        permits.acquire();
+                        let out = call();
+                        permits.release();
+                        let _ = reply.send(out);
+                    }
+                    Job::Shutdown => break,
+                }
+            }
+        })
+    }
+
+    /// The provisioned worker count (the most recent resize target).
+    pub fn workers(&self) -> usize {
+        self.provisioned.load(Ordering::SeqCst)
+    }
+
+    /// Live-resize the pool to `target` workers.
+    ///
+    /// Growing spawns fresh workers on the shared job stream and adds
+    /// permits immediately. Shrinking enqueues one shutdown job per
+    /// retired worker and books the permit removal as a deficit paid
+    /// by completing calls — a worker always finishes its in-flight
+    /// call before exiting (drain-before-reap), so no request is ever
+    /// dropped by a resize. Returns the previous provisioned count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target == 0`.
+    pub fn resize(&self, target: usize) -> usize {
+        assert!(target > 0, "pool needs at least one worker");
+        let mut workers = self.workers.lock();
+        let current = self.provisioned.load(Ordering::SeqCst);
+        if target > current {
+            self.permits.add(target - current);
+            for _ in current..target {
+                workers.push(Self::spawn_worker(&self.rx, &self.permits));
+            }
+        } else if target < current {
+            let retire = current - target;
+            self.permits.remove(retire);
+            for _ in 0..retire {
+                let _ = self.tx.send(Job::Shutdown);
+            }
+        }
+        self.provisioned.store(target, Ordering::SeqCst);
+        // Reap workers that have already drained out of earlier
+        // shrinks; exited threads join instantly.
+        let mut alive = Vec::with_capacity(workers.len());
+        for handle in workers.drain(..) {
+            if handle.is_finished() {
+                let _ = handle.join();
+            } else {
+                alive.push(handle);
+            }
+        }
+        *workers = alive;
+        current
     }
 
     /// Submit a call; the receiver yields its result.
@@ -334,6 +438,65 @@ mod tests {
         for (i, rx) in receivers.into_iter().enumerate() {
             assert_eq!(rx.recv().unwrap().0, i * i);
         }
+    }
+
+    #[test]
+    fn resize_grows_and_shrinks_the_provisioned_count() {
+        let pool: WorkerPool<u32> = WorkerPool::new(2);
+        assert_eq!(pool.workers(), 2);
+        assert_eq!(pool.resize(6), 2);
+        assert_eq!(pool.workers(), 6);
+        assert_eq!(pool.resize(1), 6);
+        assert_eq!(pool.workers(), 1);
+        // The survivor still serves.
+        let rx = pool.submit(Box::new(|| (7, 1.0)));
+        assert_eq!(rx.recv().unwrap().0, 7);
+    }
+
+    #[test]
+    fn shrink_drains_in_flight_work_before_reaping() {
+        let pool: Arc<WorkerPool<u32>> = Arc::new(WorkerPool::new(4));
+        let receivers: Vec<_> = (0..16u32)
+            .map(|i| {
+                pool.submit(Box::new(move || {
+                    std::thread::sleep(Duration::from_millis(5));
+                    (i, 1.0)
+                }))
+            })
+            .collect();
+        // Shrink while all four workers are mid-call: every queued and
+        // in-flight job must still complete.
+        pool.resize(1);
+        for (i, rx) in receivers.into_iter().enumerate() {
+            assert_eq!(rx.recv_timeout(Duration::from_secs(5)).unwrap().0, i as u32);
+        }
+        assert_eq!(pool.workers(), 1);
+    }
+
+    #[test]
+    fn grow_restores_parallel_capacity_after_a_shrink() {
+        let pool: Arc<WorkerPool<u64>> = Arc::new(WorkerPool::new(4));
+        pool.resize(1);
+        pool.resize(4);
+        // Four concurrent sleeps finish in roughly one sleep's time
+        // only if four workers (and permits) are genuinely live.
+        let started = Instant::now();
+        let receivers: Vec<_> = (0..4u64)
+            .map(|i| {
+                pool.submit(Box::new(move || {
+                    std::thread::sleep(Duration::from_millis(40));
+                    (i, 1.0)
+                }))
+            })
+            .collect();
+        for rx in receivers {
+            rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        }
+        assert!(
+            started.elapsed() < Duration::from_millis(140),
+            "four jobs must overlap after regrowth, took {:?}",
+            started.elapsed()
+        );
     }
 
     #[test]

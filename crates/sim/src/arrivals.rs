@@ -22,8 +22,72 @@ pub struct ArrivalProcess {
 
 #[derive(Debug, Clone)]
 enum Kind {
-    Poisson { rate_per_sec: f64, rng: StdRng },
-    Deterministic { gap: SimDuration },
+    Poisson {
+        rate_per_sec: f64,
+        rng: StdRng,
+    },
+    Deterministic {
+        gap: SimDuration,
+    },
+    /// A non-homogeneous Poisson process realised by thinning a
+    /// homogeneous candidate stream at the peak rate (Lewis–Shedler):
+    /// every candidate instant is kept with probability
+    /// `rate(t) / peak_rate`, which reproduces the exact time-varying
+    /// intensity while staying deterministic per seed.
+    Modulated {
+        peak_rate_per_sec: f64,
+        rng: StdRng,
+        shape: RateShape,
+    },
+}
+
+/// Time-varying intensity profiles for [`Kind::Modulated`].
+#[derive(Debug, Clone)]
+enum RateShape {
+    /// Sinusoidal day/night cycle: the rate starts at the trough
+    /// (`base * (1 - amplitude)`), peaks at `base * (1 + amplitude)`
+    /// half a period in, and returns to the trough each full period.
+    Diurnal {
+        base: f64,
+        amplitude: f64,
+        period_s: f64,
+    },
+    /// Steady base rate with a flash crowd: within
+    /// `[start, start + duration)` the rate jumps to
+    /// `base * multiplier`, then falls back.
+    Flash {
+        base: f64,
+        multiplier: f64,
+        start_s: f64,
+        duration_s: f64,
+    },
+}
+
+impl RateShape {
+    fn rate_at(&self, t_s: f64) -> f64 {
+        match self {
+            RateShape::Diurnal {
+                base,
+                amplitude,
+                period_s,
+            } => {
+                let phase = std::f64::consts::TAU * t_s / period_s;
+                base * (1.0 - amplitude * phase.cos())
+            }
+            RateShape::Flash {
+                base,
+                multiplier,
+                start_s,
+                duration_s,
+            } => {
+                if t_s >= *start_s && t_s < start_s + duration_s {
+                    base * multiplier
+                } else {
+                    *base
+                }
+            }
+        }
+    }
 }
 
 impl ArrivalProcess {
@@ -54,20 +118,114 @@ impl ArrivalProcess {
             now: SimTime::ZERO,
         }
     }
+
+    /// A diurnal (sinusoidal) arrival process: the rate starts at the
+    /// trough `base * (1 - amplitude)`, peaks at `base * (1 + amplitude)`
+    /// half a `period` in, and completes one full cycle per `period`.
+    /// Seeded and deterministic; realised by thinning a homogeneous
+    /// Poisson stream at the peak rate.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error message if `base_rate_per_sec` is non-positive
+    /// or non-finite, `amplitude` is outside `(0, 1]`, or `period` is
+    /// zero.
+    pub fn diurnal(
+        base_rate_per_sec: f64,
+        amplitude: f64,
+        period: SimDuration,
+        seed: u64,
+    ) -> Result<Self, String> {
+        if !base_rate_per_sec.is_finite() || base_rate_per_sec <= 0.0 {
+            return Err(format!("invalid arrival rate: {base_rate_per_sec}"));
+        }
+        if !amplitude.is_finite() || amplitude <= 0.0 || amplitude > 1.0 {
+            return Err(format!("diurnal amplitude must be in (0, 1]: {amplitude}"));
+        }
+        if period == SimDuration::ZERO {
+            return Err("diurnal period must be positive".into());
+        }
+        Ok(ArrivalProcess {
+            kind: Kind::Modulated {
+                peak_rate_per_sec: base_rate_per_sec * (1.0 + amplitude),
+                rng: StdRng::seed_from_u64(seed),
+                shape: RateShape::Diurnal {
+                    base: base_rate_per_sec,
+                    amplitude,
+                    period_s: period.as_secs_f64(),
+                },
+            },
+            now: SimTime::ZERO,
+        })
+    }
+
+    /// A flash-crowd arrival process: steady `base_rate_per_sec`
+    /// arrivals except within `[start, start + duration)`, where the
+    /// rate jumps to `base_rate_per_sec * multiplier`. Seeded and
+    /// deterministic; realised by thinning at the crowd rate.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error message if the base rate is non-positive or
+    /// non-finite, `multiplier < 1` or non-finite, or `duration` is
+    /// zero.
+    pub fn flash(
+        base_rate_per_sec: f64,
+        multiplier: f64,
+        start: SimDuration,
+        duration: SimDuration,
+        seed: u64,
+    ) -> Result<Self, String> {
+        if !base_rate_per_sec.is_finite() || base_rate_per_sec <= 0.0 {
+            return Err(format!("invalid arrival rate: {base_rate_per_sec}"));
+        }
+        if !multiplier.is_finite() || multiplier < 1.0 {
+            return Err(format!("flash multiplier must be >= 1: {multiplier}"));
+        }
+        if duration == SimDuration::ZERO {
+            return Err("flash duration must be positive".into());
+        }
+        Ok(ArrivalProcess {
+            kind: Kind::Modulated {
+                peak_rate_per_sec: base_rate_per_sec * multiplier,
+                rng: StdRng::seed_from_u64(seed),
+                shape: RateShape::Flash {
+                    base: base_rate_per_sec,
+                    multiplier,
+                    start_s: start.as_secs_f64(),
+                    duration_s: duration.as_secs_f64(),
+                },
+            },
+            now: SimTime::ZERO,
+        })
+    }
 }
 
 impl Iterator for ArrivalProcess {
     type Item = SimTime;
 
     fn next(&mut self) -> Option<SimTime> {
-        let gap = match &mut self.kind {
+        match &mut self.kind {
             Kind::Poisson { rate_per_sec, rng } => {
                 let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
-                SimDuration::from_secs_f64(-u.ln() / *rate_per_sec)
+                self.now += SimDuration::from_secs_f64(-u.ln() / *rate_per_sec);
             }
-            Kind::Deterministic { gap } => *gap,
-        };
-        self.now += gap;
+            Kind::Deterministic { gap } => {
+                self.now += *gap;
+            }
+            Kind::Modulated {
+                peak_rate_per_sec,
+                rng,
+                shape,
+            } => loop {
+                let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                self.now += SimDuration::from_secs_f64(-u.ln() / *peak_rate_per_sec);
+                let keep: f64 = rng.gen_range(0.0..1.0);
+                if keep * *peak_rate_per_sec < shape.rate_at(self.now.as_secs_f64()) {
+                    break;
+                }
+            },
+        }
         Some(self.now)
     }
 }
@@ -124,6 +282,107 @@ mod tests {
                 SimTime::from_micros(30_000)
             ]
         );
+    }
+
+    #[test]
+    fn diurnal_rejects_bad_parameters() {
+        let day = SimDuration::from_millis(60_000);
+        assert!(ArrivalProcess::diurnal(0.0, 0.5, day, 1).is_err());
+        assert!(ArrivalProcess::diurnal(100.0, 0.0, day, 1).is_err());
+        assert!(ArrivalProcess::diurnal(100.0, 1.5, day, 1).is_err());
+        assert!(ArrivalProcess::diurnal(100.0, 0.5, SimDuration::ZERO, 1).is_err());
+        assert!(ArrivalProcess::diurnal(f64::NAN, 0.5, day, 1).is_err());
+    }
+
+    #[test]
+    fn flash_rejects_bad_parameters() {
+        let s = SimDuration::from_millis(1_000);
+        assert!(ArrivalProcess::flash(-1.0, 5.0, s, s, 1).is_err());
+        assert!(ArrivalProcess::flash(100.0, 0.5, s, s, 1).is_err());
+        assert!(ArrivalProcess::flash(100.0, 5.0, s, SimDuration::ZERO, 1).is_err());
+        assert!(ArrivalProcess::flash(100.0, f64::INFINITY, s, s, 1).is_err());
+    }
+
+    #[test]
+    fn diurnal_is_deterministic_per_seed_and_monotone() {
+        let mk = || {
+            ArrivalProcess::diurnal(200.0, 0.8, SimDuration::from_millis(10_000), 21)
+                .unwrap()
+                .take(500)
+                .collect::<Vec<_>>()
+        };
+        let a = mk();
+        assert_eq!(a, mk());
+        assert!(a.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn diurnal_peak_half_outpaces_trough_half() {
+        // Trough at t=0, peak at period/2: the second quarter-cycle
+        // around the peak must see far more arrivals than the first
+        // quarter around the trough.
+        let period = SimDuration::from_millis(100_000);
+        let arrivals: Vec<_> = ArrivalProcess::diurnal(100.0, 0.9, period, 7)
+            .unwrap()
+            .take_while(|t| t.as_secs_f64() < 100.0)
+            .collect();
+        let trough = arrivals
+            .iter()
+            .filter(|t| t.as_secs_f64() < 12.5 || t.as_secs_f64() >= 87.5)
+            .count();
+        let peak = arrivals
+            .iter()
+            .filter(|t| (37.5..62.5).contains(&t.as_secs_f64()))
+            .count();
+        assert!(
+            peak > trough * 3,
+            "peak quarter {peak} vs trough quarter {trough}"
+        );
+    }
+
+    #[test]
+    fn flash_crowd_multiplies_the_rate_inside_its_window() {
+        let arrivals: Vec<_> = ArrivalProcess::flash(
+            100.0,
+            5.0,
+            SimDuration::from_millis(10_000),
+            SimDuration::from_millis(10_000),
+            13,
+        )
+        .unwrap()
+        .take_while(|t| t.as_secs_f64() < 30.0)
+        .collect();
+        let pre = arrivals.iter().filter(|t| t.as_secs_f64() < 10.0).count();
+        let during = arrivals
+            .iter()
+            .filter(|t| (10.0..20.0).contains(&t.as_secs_f64()))
+            .count();
+        let post = arrivals.iter().filter(|t| t.as_secs_f64() >= 20.0).count();
+        let ratio = during as f64 / pre.max(1) as f64;
+        assert!(
+            (3.5..6.5).contains(&ratio),
+            "crowd ratio {ratio} (pre {pre}, during {during})"
+        );
+        let post_ratio = during as f64 / post.max(1) as f64;
+        assert!(post_ratio > 3.5, "rate must fall back after the crowd");
+    }
+
+    #[test]
+    fn flash_is_deterministic_per_seed() {
+        let mk = |seed| {
+            ArrivalProcess::flash(
+                50.0,
+                4.0,
+                SimDuration::from_millis(2_000),
+                SimDuration::from_millis(1_000),
+                seed,
+            )
+            .unwrap()
+            .take(300)
+            .collect::<Vec<_>>()
+        };
+        assert_eq!(mk(5), mk(5));
+        assert_ne!(mk(5), mk(6));
     }
 
     #[test]

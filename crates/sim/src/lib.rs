@@ -14,7 +14,8 @@
 //!   termination policy).
 //! * [`fault`] — seeded per-pool fault injection (crashes, transient
 //!   errors, stragglers) with deterministic, independent streams.
-//! * [`arrivals`] — Poisson and deterministic arrival processes.
+//! * [`arrivals`] — Poisson, deterministic, diurnal, and flash-crowd
+//!   arrival processes.
 //! * [`cost`] — IaaS (busy-time) and per-invocation API cost accounting.
 //! * [`metrics`] — latency recording and summaries.
 //!
